@@ -1,0 +1,49 @@
+# Precursor reproduction — common workflows.
+
+GO ?= go
+
+.PHONY: all build vet test race bench figures artifacts examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One testing.B benchmark per paper table/figure, plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Text tables for every figure and table of the evaluation.
+figures:
+	$(GO) run ./cmd/precursor-bench -all
+
+# Figure SVGs + CSVs under ./out.
+artifacts:
+	mkdir -p out
+	$(GO) run ./cmd/precursor-bench -all -svg out -format csv > out/results.csv
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/multitenant
+	$(GO) run ./examples/sealrestore
+	$(GO) run ./examples/twittercache
+	$(GO) run ./examples/netdeploy
+
+# Short fuzz pass over every wire decoder.
+fuzz:
+	$(GO) test ./internal/wire/ -fuzz '^FuzzDecodeRequest$$' -fuzztime 30s
+	$(GO) test ./internal/wire/ -fuzz '^FuzzDecodeResponse$$' -fuzztime 30s
+	$(GO) test ./internal/wire/ -fuzz '^FuzzDecodeRequestControl$$' -fuzztime 30s
+	$(GO) test ./internal/wire/ -fuzz '^FuzzDecodeResponseControl$$' -fuzztime 30s
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,197 @@
+package precursor_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§5). Each benchmark regenerates its artifact through internal/bench and
+// reports the headline quantity as custom metrics, so
+// `go test -bench=. -benchmem` reproduces the entire evaluation. The
+// plain-text tables themselves come from `go run ./cmd/precursor-bench`.
+
+import (
+	"testing"
+	"time"
+
+	"precursor/internal/bench"
+	"precursor/internal/sim"
+)
+
+// BenchmarkFigure1CryptoVsRDMA measures the server-encryption scheme's
+// decrypt+re-encrypt throughput against the 40 Gb/s line rate (Figure 1).
+func BenchmarkFigure1CryptoVsRDMA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := bench.Figure1([]int{6, 12}, 10*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the 1 KiB / 12-thread point: the size the paper calls out
+		// as ≈36 % below line rate.
+		for _, p := range points {
+			if p.BufferBytes == 1024 && p.Threads == 12 {
+				b.ReportMetric(p.CryptoMBps, "crypto-MB/s@1KiB")
+				b.ReportMetric(p.LineMBps, "line-MB/s")
+			}
+		}
+	}
+}
+
+// benchThroughput runs one modelled closed-loop configuration per
+// iteration and reports Kops/s.
+func benchThroughput(b *testing.B, sys sim.System, clients, size int, readRatio float64) {
+	b.Helper()
+	var kops float64
+	for i := 0; i < b.N; i++ {
+		r := sim.Run(sim.RunConfig{
+			System: sys, Clients: clients, ValueSize: size,
+			ReadRatio: readRatio, Entries: 600000,
+			Seed: int64(i + 1), Duration: 100 * time.Millisecond,
+		})
+		kops = r.Kops
+	}
+	b.ReportMetric(kops, "Kops/s")
+}
+
+// BenchmarkFigure4Workloads reproduces the read-ratio comparison
+// (Figure 4): 32 B values, 50 clients.
+func BenchmarkFigure4Workloads(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		sys   sim.System
+		ratio float64
+	}{
+		{"Precursor/read100", sim.Precursor, 1.00},
+		{"Precursor/read95", sim.Precursor, 0.95},
+		{"Precursor/read50", sim.Precursor, 0.50},
+		{"Precursor/read5", sim.Precursor, 0.05},
+		{"ServerEnc/read100", sim.ServerEnc, 1.00},
+		{"ServerEnc/read5", sim.ServerEnc, 0.05},
+		{"ShieldStore/read100", sim.ShieldStore, 1.00},
+		{"ShieldStore/read5", sim.ShieldStore, 0.05},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			benchThroughput(b, tc.sys, 50, 32, tc.ratio)
+		})
+	}
+}
+
+// BenchmarkFigure5ReadOnly reproduces the read-only value-size sweep (5a).
+func BenchmarkFigure5ReadOnly(b *testing.B) {
+	for _, size := range bench.Fig5Sizes {
+		for _, sys := range bench.Systems {
+			b.Run(sys.String()+"/"+byteName(size), func(b *testing.B) {
+				benchThroughput(b, sys, 50, size, 1.0)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure5UpdateMostly reproduces the update-mostly sweep (5b).
+func BenchmarkFigure5UpdateMostly(b *testing.B) {
+	for _, size := range bench.Fig5Sizes {
+		for _, sys := range bench.Systems {
+			b.Run(sys.String()+"/"+byteName(size), func(b *testing.B) {
+				benchThroughput(b, sys, 50, size, 0.05)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure6Clients reproduces the client-scaling sweep (Figure 6).
+func BenchmarkFigure6Clients(b *testing.B) {
+	for _, n := range []int{10, 30, 55, 80, 100} {
+		b.Run("Precursor/clients"+itoa(n), func(b *testing.B) {
+			benchThroughput(b, sim.Precursor, n, 32, 1.0)
+		})
+	}
+}
+
+// BenchmarkFigure7LatencyCDF reproduces the tail-latency experiment:
+// low-load gets with p50/p95/p99 reported, including the EPC-paging run.
+func BenchmarkFigure7LatencyCDF(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		sys     sim.System
+		entries int
+	}{
+		{"Precursor", sim.Precursor, 600000},
+		{"PrecursorEPCPaging", sim.Precursor, 3000000},
+		{"ShieldStore", sim.ShieldStore, 600000},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var r sim.RunResult
+			for i := 0; i < b.N; i++ {
+				r = sim.Run(sim.RunConfig{
+					System: tc.sys, Clients: 4, ValueSize: 32, ReadRatio: 1,
+					Entries: tc.entries, Seed: int64(i + 1),
+					Duration: 100 * time.Millisecond,
+				})
+			}
+			b.ReportMetric(float64(r.Latency.Quantile(0.50))/1e3, "p50-µs")
+			b.ReportMetric(float64(r.Latency.Quantile(0.95))/1e3, "p95-µs")
+			b.ReportMetric(float64(r.Latency.Quantile(0.99))/1e3, "p99-µs")
+		})
+	}
+}
+
+// BenchmarkFigure8Breakdown reproduces the latency breakdown: average
+// networking vs server time per get.
+func BenchmarkFigure8Breakdown(b *testing.B) {
+	for _, sys := range []sim.System{sim.Precursor, sim.ShieldStore} {
+		for _, size := range []int{16, 1024, 8192} {
+			b.Run(sys.String()+"/"+byteName(size), func(b *testing.B) {
+				model := sim.DefaultCostModel()
+				var r sim.RunResult
+				for i := 0; i < b.N; i++ {
+					r = sim.Run(sim.RunConfig{
+						System: sys, Clients: 4, ValueSize: size, ReadRatio: 1,
+						Entries: 600000, Seed: int64(i + 1),
+						Duration: 60 * time.Millisecond,
+					})
+				}
+				b.ReportMetric(float64(r.NetTime.Mean())/1e3, "net-µs")
+				b.ReportMetric(float64(model.ServerShare(sys, sim.Get, size))/1e3, "server-µs")
+			})
+		}
+	}
+}
+
+// BenchmarkTable1EPCWorkingSet reproduces the EPC working-set table with
+// the full functional stores (real inserts, real page accounting).
+func BenchmarkTable1EPCWorkingSet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.System == "precursor" && r.Keys == 0 {
+				b.ReportMetric(float64(r.Pages), "precursor-init-pages")
+			}
+			if r.System == "precursor" && r.Keys == 100000 {
+				b.ReportMetric(r.MiB, "precursor-100k-MiB")
+			}
+			if r.System == "shieldstore" && r.Keys == 0 {
+				b.ReportMetric(r.MiB, "shieldstore-init-MiB")
+			}
+		}
+	}
+}
+
+func byteName(n int) string {
+	if n >= 1024 && n%1024 == 0 {
+		return itoa(n/1024) + "KiB"
+	}
+	return itoa(n) + "B"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

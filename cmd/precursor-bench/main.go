@@ -1,0 +1,184 @@
+// Command precursor-bench regenerates every table and figure of the
+// paper's evaluation (§5) and prints them as text tables.
+//
+// Usage:
+//
+//	precursor-bench -all
+//	precursor-bench -fig 4            # one figure: 1, 4, 5a, 5b, 6, 7, 8
+//	precursor-bench -table 1
+//	precursor-bench -fig 5a -seed 7
+//
+// Figures 4–8 are produced by the calibrated discrete-event model of the
+// paper's testbed (internal/sim); Figure 1 measures real AES-GCM
+// throughput on this machine; Table 1 runs the functional stores and
+// reads real enclave page accounting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"precursor/internal/bench"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "", "figure to regenerate: 1, 4, 5a, 5b, 6, 7, 8")
+		table  = flag.String("table", "", "table to regenerate: 1")
+		all    = flag.Bool("all", false, "regenerate everything")
+		seed   = flag.Int64("seed", 42, "model seed (runs are deterministic per seed)")
+		format = flag.String("format", "table", "output format: table or csv")
+		svgDir = flag.String("svg", "", "also write figure SVGs into this directory")
+		f1dur  = flag.Duration("fig1-window", 100*time.Millisecond, "per-point measurement window for figure 1")
+	)
+	flag.Parse()
+
+	if !*all && *fig == "" && *table == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *format != "table" && *format != "csv" {
+		fmt.Fprintln(os.Stderr, "precursor-bench: -format must be table or csv")
+		os.Exit(2)
+	}
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "precursor-bench:", err)
+			os.Exit(1)
+		}
+	}
+	if err := run(*all, *fig, *table, *seed, *f1dur, *format == "csv", *svgDir); err != nil {
+		fmt.Fprintln(os.Stderr, "precursor-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(all bool, fig, table string, seed int64, f1dur time.Duration, csv bool, svgDir string) error {
+	want := func(name string) bool { return all || fig == name }
+	writeSVG := func(name, svg string) error {
+		if svgDir == "" {
+			return nil
+		}
+		path := filepath.Join(svgDir, name)
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		return nil
+	}
+
+	if want("1") {
+		points, err := bench.Figure1([]int{6, 12}, f1dur)
+		if err != nil {
+			return fmt.Errorf("figure 1: %w", err)
+		}
+		if csv {
+			fmt.Print(bench.Fig1CSV(points))
+		} else {
+			fmt.Println(bench.RenderFigure1(points))
+		}
+		if err := writeSVG("figure1.svg", bench.Fig1SVG(points)); err != nil {
+			return err
+		}
+	}
+	printThroughput := func(rows []bench.ThroughputRow, title, xlabel string, x func(bench.ThroughputRow) string) {
+		if csv {
+			fmt.Print(bench.ThroughputCSV(rows))
+			return
+		}
+		fmt.Println(bench.RenderThroughput(title, xlabel, rows, x))
+	}
+	if want("4") {
+		rows := bench.Figure4(seed)
+		printThroughput(rows,
+			"Figure 4: throughput by read ratio (32B values, 50 clients)", "read%",
+			func(r bench.ThroughputRow) string { return strconv.Itoa(r.ReadPct) + "%" })
+		if err := writeSVG("figure4.svg", bench.Fig4SVG(rows)); err != nil {
+			return err
+		}
+	}
+	if want("5a") {
+		rows := bench.Figure5(true, seed)
+		printThroughput(rows,
+			"Figure 5a: throughput by value size (read-only, 50 clients)", "size", sizeLabel)
+		if err := writeSVG("figure5a.svg", bench.Fig5SVG(rows, true)); err != nil {
+			return err
+		}
+	}
+	if want("5b") {
+		rows := bench.Figure5(false, seed)
+		printThroughput(rows,
+			"Figure 5b: throughput by value size (update-mostly, 50 clients)", "size", sizeLabel)
+		if err := writeSVG("figure5b.svg", bench.Fig5SVG(rows, false)); err != nil {
+			return err
+		}
+	}
+	if want("6") {
+		rows := bench.Figure6(seed)
+		printThroughput(rows,
+			"Figure 6: throughput by client count (read-only, 32B values)", "clients",
+			func(r bench.ThroughputRow) string { return strconv.Itoa(r.Clients) })
+		if err := writeSVG("figure6.svg", bench.Fig6SVG(rows)); err != nil {
+			return err
+		}
+	}
+	if want("7") {
+		series := bench.Figure7(seed)
+		if csv {
+			fmt.Print(bench.Fig7CSV(series))
+		} else {
+			fmt.Println(bench.RenderFigure7(series))
+			fmt.Println("CDF points (fraction latency_µs), per series:")
+			for _, s := range series {
+				fmt.Printf("# %s\n", s.Label)
+				for _, p := range s.Points {
+					fmt.Printf("%.4f %.1f\n", p.Fraction, float64(p.Latency)/1e3)
+				}
+			}
+			fmt.Println()
+		}
+		for _, size := range []int{32, 512, 1024} {
+			name := fmt.Sprintf("figure7-%dB.svg", size)
+			if err := writeSVG(name, bench.Fig7SVG(series, size)); err != nil {
+				return err
+			}
+		}
+	}
+	if want("8") {
+		rows := bench.Figure8(seed)
+		if csv {
+			fmt.Print(bench.Fig8CSV(rows))
+		} else {
+			fmt.Println(bench.RenderFigure8(rows))
+		}
+		if err := writeSVG("figure8.svg", bench.Fig8SVG(rows)); err != nil {
+			return err
+		}
+	}
+	if all || table == "1" {
+		if !csv {
+			fmt.Println("Table 1: running functional EPC experiment (inserts through full stacks)...")
+		}
+		rows, err := bench.Table1()
+		if err != nil {
+			return fmt.Errorf("table 1: %w", err)
+		}
+		if csv {
+			fmt.Print(bench.Table1CSV(rows))
+		} else {
+			fmt.Println(bench.RenderTable1(rows))
+		}
+	}
+	return nil
+}
+
+func sizeLabel(r bench.ThroughputRow) string {
+	if r.ValueSize >= 1024 && r.ValueSize%1024 == 0 {
+		return strconv.Itoa(r.ValueSize/1024) + "KiB"
+	}
+	return strconv.Itoa(r.ValueSize) + "B"
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"precursor/internal/bench"
+)
+
+// captureStdout runs fn with os.Stdout redirected and returns the output.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		out, _ := io.ReadAll(r)
+		done <- string(out)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	return out
+}
+
+func TestRunFigure8Table(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run(false, "8", "", 1, 10*time.Millisecond, false, "")
+	})
+	if !strings.Contains(out, "Figure 8") || !strings.Contains(out, "precursor") {
+		t.Errorf("output: %q", out)
+	}
+}
+
+func TestRunFigure8CSVAndSVG(t *testing.T) {
+	dir := t.TempDir()
+	out := captureStdout(t, func() error {
+		return run(false, "8", "", 1, 10*time.Millisecond, true, dir)
+	})
+	if !strings.HasPrefix(out, "system,value_bytes,network_us,server_us") {
+		t.Errorf("csv header missing: %.80q", out)
+	}
+	svg, err := os.ReadFile(filepath.Join(dir, "figure8.svg"))
+	if err != nil {
+		t.Fatalf("svg not written: %v", err)
+	}
+	if !strings.Contains(string(svg), "<svg") {
+		t.Error("not an SVG")
+	}
+}
+
+func TestRunFigure1Short(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run(false, "1", "", 1, 2*time.Millisecond, false, "")
+	})
+	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "32KiB") {
+		t.Errorf("output: %q", out)
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	if got := sizeLabel(bench.ThroughputRow{ValueSize: 16}); got != "16B" {
+		t.Errorf("16 -> %q", got)
+	}
+	if got := sizeLabel(bench.ThroughputRow{ValueSize: 16384}); got != "16KiB" {
+		t.Errorf("16384 -> %q", got)
+	}
+}

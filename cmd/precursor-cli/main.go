@@ -1,0 +1,177 @@
+// Command precursor-cli is a Precursor client for servers started with
+// cmd/precursor-server.
+//
+// Usage:
+//
+//	precursor-cli -addr H:P -server-key B64 -measurement HEX put mykey myvalue
+//	precursor-cli ... get mykey
+//	precursor-cli ... del mykey
+//	precursor-cli ... bench -clients 8 -ops 1000 -value-size 128 -read-ratio 0.95
+//
+// The -server-key and -measurement values are printed by the server at
+// startup; the client refuses to talk to an enclave whose attestation does
+// not match them.
+package main
+
+import (
+	"crypto/ecdsa"
+	"crypto/x509"
+	"encoding/base64"
+	"encoding/hex"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"precursor"
+	"precursor/internal/core"
+	"precursor/internal/ycsb"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7100", "server address")
+		serverKey  = flag.String("server-key", "", "base64 platform attestation public key (from the server banner)")
+		measureHex = flag.String("measurement", "", "hex enclave measurement (from the server banner)")
+	)
+	flag.Parse()
+	if err := run(*addr, *serverKey, *measureHex, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "precursor-cli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, serverKey, measureHex string, args []string) error {
+	if len(args) == 0 {
+		return errors.New("usage: precursor-cli [flags] put|get|del|bench ...")
+	}
+	cfg, err := dialConfig(serverKey, measureHex)
+	if err != nil {
+		return err
+	}
+
+	switch args[0] {
+	case "put":
+		if len(args) != 3 {
+			return errors.New("usage: put <key> <value>")
+		}
+		client, err := precursor.Dial(addr, cfg)
+		if err != nil {
+			return err
+		}
+		defer client.Close()
+		if err := client.Put(args[1], []byte(args[2])); err != nil {
+			return err
+		}
+		fmt.Println("OK")
+		return nil
+	case "get":
+		if len(args) != 2 {
+			return errors.New("usage: get <key>")
+		}
+		client, err := precursor.Dial(addr, cfg)
+		if err != nil {
+			return err
+		}
+		defer client.Close()
+		v, err := client.Get(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", v)
+		return nil
+	case "del":
+		if len(args) != 2 {
+			return errors.New("usage: del <key>")
+		}
+		client, err := precursor.Dial(addr, cfg)
+		if err != nil {
+			return err
+		}
+		defer client.Close()
+		if err := client.Delete(args[1]); err != nil {
+			return err
+		}
+		fmt.Println("OK")
+		return nil
+	case "bench":
+		return runBench(addr, cfg, args[1:])
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func dialConfig(serverKey, measureHex string) (precursor.DialConfig, error) {
+	var cfg precursor.DialConfig
+	if serverKey == "" || measureHex == "" {
+		return cfg, errors.New("-server-key and -measurement are required (printed by the server)")
+	}
+	der, err := base64.StdEncoding.DecodeString(serverKey)
+	if err != nil {
+		return cfg, fmt.Errorf("decode server key: %w", err)
+	}
+	pub, err := x509.ParsePKIXPublicKey(der)
+	if err != nil {
+		return cfg, fmt.Errorf("parse server key: %w", err)
+	}
+	ecPub, ok := pub.(*ecdsa.PublicKey)
+	if !ok {
+		return cfg, errors.New("server key is not an ECDSA public key")
+	}
+	m, err := hex.DecodeString(measureHex)
+	if err != nil || len(m) != len(cfg.Measurement) {
+		return cfg, errors.New("measurement must be 32 hex-encoded bytes")
+	}
+	cfg.PlatformKey = ecPub
+	copy(cfg.Measurement[:], m)
+	cfg.Timeout = 10 * time.Second
+	return cfg, nil
+}
+
+// runBench drives a small YCSB workload against the live server.
+func runBench(addr string, cfg precursor.DialConfig, args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	var (
+		clients   = fs.Int("clients", 4, "concurrent client connections")
+		ops       = fs.Int("ops", 1000, "operations per client")
+		valueSize = fs.Int("value-size", 128, "value size in bytes")
+		records   = fs.Int("records", 10000, "key-space size")
+		readRatio = fs.Float64("read-ratio", 0.95, "fraction of reads")
+		load      = fs.Int("load", 10000, "records to preload (0 = skip)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *load > 0 {
+		loader, err := precursor.Dial(addr, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loading %d records...\n", *load)
+		if err := ycsb.Load(loader, *load, *valueSize, 1); err != nil {
+			loader.Close()
+			return err
+		}
+		loader.Close()
+	}
+
+	report, err := ycsb.Run(func(i int) (ycsb.Store, error) {
+		return precursor.Dial(addr, cfg)
+	}, ycsb.RunnerConfig{
+		Workload:     ycsb.Workload{Name: fmt.Sprintf("read%.0f%%", *readRatio*100), ReadRatio: *readRatio},
+		Records:      *records,
+		ValueSize:    *valueSize,
+		Clients:      *clients,
+		OpsPerClient: *ops,
+		Seed:         time.Now().UnixNano(),
+		NotFoundOK:   true,
+		IsNotFound:   func(err error) bool { return errors.Is(err, core.ErrNotFound) },
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(report)
+	return nil
+}

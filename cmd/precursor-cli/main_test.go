@@ -1,0 +1,82 @@
+package main
+
+import (
+	"crypto/x509"
+	"encoding/base64"
+	"encoding/hex"
+	"strings"
+	"testing"
+
+	"precursor"
+)
+
+// makeBannerValues produces a valid (key, measurement) pair the way the
+// server banner does.
+func makeBannerValues(t *testing.T) (string, string) {
+	t.Helper()
+	platform, err := precursor.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	der, err := x509.MarshalPKIXPublicKey(platform.AttestationPublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m precursor.Measurement
+	for i := range m {
+		m[i] = byte(i)
+	}
+	return base64.StdEncoding.EncodeToString(der), hex.EncodeToString(m[:])
+}
+
+func TestDialConfigParsesBannerValues(t *testing.T) {
+	key, measurement := makeBannerValues(t)
+	cfg, err := dialConfig(key, measurement)
+	if err != nil {
+		t.Fatalf("dialConfig: %v", err)
+	}
+	if cfg.PlatformKey == nil {
+		t.Error("platform key not parsed")
+	}
+	if cfg.Measurement[1] != 1 || cfg.Measurement[31] != 31 {
+		t.Error("measurement not parsed")
+	}
+	if cfg.Timeout <= 0 {
+		t.Error("timeout not defaulted")
+	}
+}
+
+func TestDialConfigRejectsBadInputs(t *testing.T) {
+	key, measurement := makeBannerValues(t)
+	cases := []struct {
+		name, key, m string
+	}{
+		{"missing key", "", measurement},
+		{"missing measurement", key, ""},
+		{"bad base64", "!!!", measurement},
+		{"bad hex", key, "zz"},
+		{"short measurement", key, "abcd"},
+		{"not a key", base64.StdEncoding.EncodeToString([]byte("junk")), measurement},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := dialConfig(tc.key, tc.m); err == nil {
+				t.Error("accepted")
+			}
+		})
+	}
+}
+
+func TestRunRejectsUnknownCommand(t *testing.T) {
+	key, measurement := makeBannerValues(t)
+	err := run("127.0.0.1:1", key, measurement, []string{"frobnicate"})
+	if err == nil || !strings.Contains(err.Error(), "unknown command") {
+		t.Errorf("got %v", err)
+	}
+	if err := run("127.0.0.1:1", key, measurement, nil); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run("127.0.0.1:1", key, measurement, []string{"put", "only-key"}); err == nil {
+		t.Error("malformed put accepted")
+	}
+}

@@ -1,0 +1,147 @@
+// Command precursor-server runs a Precursor key-value store reachable
+// over the TCP fabric.
+//
+// On startup it prints the two values clients need to attest the enclave:
+// the platform attestation public key and the enclave measurement. Start a
+// client with cmd/precursor-cli, passing both.
+//
+// Usage:
+//
+//	precursor-server -addr :7100 -workers 12
+//	precursor-server -addr :7100 -hardened -owner-only
+package main
+
+import (
+	"crypto/x509"
+	"encoding/base64"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"precursor"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7100", "listen address")
+		workers   = flag.Int("workers", 12, "trusted polling threads")
+		hardened  = flag.Bool("hardened", false, "store payload MACs inside the enclave (§3.9)")
+		inline    = flag.Bool("inline-small", false, "store values <56B inside the enclave (§5.2)")
+		ownerOnly = flag.Bool("owner-only", false, "only the writing client may read/delete a key")
+		stats     = flag.Duration("stats", 0, "print server stats at this interval (0 = off)")
+		metrics   = flag.String("metrics", "", "serve Prometheus metrics on this address (e.g. :9090)")
+		stateDir  = flag.String("state-dir", "", "directory for durable state: platform identity, trusted counter, snapshot (empty = ephemeral)")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *hardened, *inline, *ownerOnly, *stats, *metrics, *stateDir); err != nil {
+		fmt.Fprintln(os.Stderr, "precursor-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery time.Duration, metricsAddr, stateDir string) error {
+	cfg := precursor.ServerConfig{
+		Workers:           workers,
+		HardenedMACs:      hardened,
+		InlineSmallValues: inline,
+	}
+	var snapshotPath string
+	if stateDir != "" {
+		platform, err := precursor.LoadOrCreatePlatform(stateDir)
+		if err != nil {
+			return err
+		}
+		counter, err := precursor.OpenFileCounter(filepath.Join(stateDir, "counter"))
+		if err != nil {
+			return err
+		}
+		cfg.Platform = platform
+		cfg.RollbackCounter = counter
+		snapshotPath = filepath.Join(stateDir, "snapshot")
+	} else {
+		platform, err := precursor.NewPlatform()
+		if err != nil {
+			return err
+		}
+		cfg.Platform = platform
+	}
+	svc, err := precursor.Serve(addr, cfg)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	svc.Server.SetOwnerOnly(ownerOnly)
+
+	if snapshotPath != "" {
+		if f, err := os.Open(snapshotPath); err == nil {
+			restoreErr := svc.Server.Restore(f)
+			_ = f.Close()
+			if restoreErr != nil {
+				return fmt.Errorf("restore %s: %w", snapshotPath, restoreErr)
+			}
+			fmt.Printf("restored %d entries from %s\n", svc.Server.Stats().Entries, snapshotPath)
+		}
+		defer func() {
+			f, err := os.Create(snapshotPath + ".tmp")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "seal:", err)
+				return
+			}
+			if err := svc.Server.Seal(f); err != nil {
+				fmt.Fprintln(os.Stderr, "seal:", err)
+				_ = f.Close()
+				return
+			}
+			_ = f.Close()
+			if err := os.Rename(snapshotPath+".tmp", snapshotPath); err != nil {
+				fmt.Fprintln(os.Stderr, "seal:", err)
+				return
+			}
+			fmt.Printf("sealed %d entries to %s\n", svc.Server.Stats().Entries, snapshotPath)
+		}()
+	}
+
+	if metricsAddr != "" {
+		metrics, err := precursor.ServeMetrics(svc.Server, metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer metrics.Close()
+		fmt.Printf("metrics:          http://%s/metrics"+"\n", metrics.Addr())
+	}
+
+	pub, err := x509.MarshalPKIXPublicKey(cfg.Platform.AttestationPublicKey())
+	if err != nil {
+		return fmt.Errorf("marshal attestation key: %w", err)
+	}
+	m := svc.Server.Measurement()
+	fmt.Printf("precursor-server listening on %s\n", svc.Addr())
+	fmt.Printf("attestation-key:  %s\n", base64.StdEncoding.EncodeToString(pub))
+	fmt.Printf("measurement:      %s\n", hex.EncodeToString(m[:]))
+	fmt.Printf("connect with: precursor-cli -addr %s -server-key <attestation-key> -measurement <measurement> ...\n", svc.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if statsEvery > 0 {
+		ticker := time.NewTicker(statsEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-sig:
+				return nil
+			case <-ticker.C:
+				st := svc.Server.Stats()
+				fmt.Printf("clients=%d entries=%d puts=%d gets=%d deletes=%d replays=%d epc=%.1fMiB\n",
+					st.Clients, st.Entries, st.Puts, st.Gets, st.Deletes,
+					st.Replays, st.Enclave.WorkingSetMiB())
+			}
+		}
+	}
+	<-sig
+	return nil
+}

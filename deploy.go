@@ -1,0 +1,99 @@
+package precursor
+
+import (
+	"crypto/ecdsa"
+	"fmt"
+	"sync"
+	"time"
+
+	"precursor/internal/core"
+	"precursor/internal/rdma"
+)
+
+// Service is a Precursor server listening on the TCP fabric: the
+// cross-process deployment path (cmd/precursor-server wraps it).
+type Service struct {
+	Server *Server
+
+	listener *rdma.TCPListener
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// Serve starts a Precursor server on addr over the TCP fabric and accepts
+// client connections until Close. Pass ":0" to pick a free port; Addr
+// reports the bound address.
+func Serve(addr string, cfg ServerConfig) (*Service, error) {
+	device := rdma.NewDevice("precursor-server")
+	server, err := core.NewServer(device, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := rdma.ListenTCP(device, addr)
+	if err != nil {
+		server.Close()
+		return nil, err
+	}
+	svc := &Service{Server: server, listener: ln, done: make(chan struct{})}
+	go func() {
+		defer close(svc.done)
+		for {
+			qp, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				if _, err := server.HandleConnection(qp); err != nil {
+					_ = qp.Close()
+				}
+			}()
+		}
+	}()
+	return svc, nil
+}
+
+// Addr returns the service's bound address.
+func (s *Service) Addr() string { return s.listener.Addr() }
+
+// Close stops accepting connections and shuts the server down.
+func (s *Service) Close() {
+	s.stopOnce.Do(func() {
+		_ = s.listener.Close()
+		<-s.done
+		s.Server.Close()
+	})
+}
+
+// DialConfig configures Dial.
+type DialConfig struct {
+	// PlatformKey verifies the server's attestation quotes; required.
+	PlatformKey *ecdsa.PublicKey
+	// Measurement pins the expected enclave build; required.
+	Measurement Measurement
+	// Timeout bounds each operation (default 5 s).
+	Timeout time.Duration
+}
+
+// Dial connects to a Serve-d Precursor instance over the TCP fabric,
+// performing remote attestation before any data flows.
+func Dial(addr string, cfg DialConfig) (*Client, error) {
+	if cfg.PlatformKey == nil {
+		return nil, fmt.Errorf("precursor: DialConfig.PlatformKey is required")
+	}
+	device := rdma.NewDevice("precursor-client-" + addr)
+	conn, err := rdma.DialTCP(device, addr)
+	if err != nil {
+		return nil, err
+	}
+	client, err := core.Connect(core.ClientConfig{
+		Conn: conn, Device: device,
+		PlatformKey: cfg.PlatformKey,
+		Measurement: cfg.Measurement,
+		Timeout:     cfg.Timeout,
+	})
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return client, nil
+}

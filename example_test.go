@@ -1,0 +1,91 @@
+package precursor_test
+
+import (
+	"fmt"
+	"log"
+
+	"precursor"
+)
+
+// Example demonstrates the minimal in-process deployment: attest the
+// enclave, connect, and run operations.
+func Example() {
+	platform, err := precursor.NewPlatform()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fabric := precursor.NewFabric()
+	dev, err := fabric.NewDevice("server")
+	if err != nil {
+		log.Fatal(err)
+	}
+	server, err := precursor.NewServer(dev, precursor.ServerConfig{
+		Platform: platform, Workers: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer server.Close()
+
+	cdev, err := fabric.NewDevice("client")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cq, sq := fabric.ConnectRC(cdev, dev)
+	go func() { _, _ = server.HandleConnection(sq) }()
+
+	client, err := precursor.Connect(precursor.ClientConfig{
+		Conn: cq, Device: cdev,
+		PlatformKey: platform.AttestationPublicKey(),
+		Measurement: server.Measurement(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	if err := client.Put("greeting", []byte("hello enclave")); err != nil {
+		log.Fatal(err)
+	}
+	v, err := client.Get("greeting")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(v))
+	// Output: hello enclave
+}
+
+// ExampleServe shows the one-call TCP deployment used by
+// cmd/precursor-server.
+func ExampleServe() {
+	platform, err := precursor.NewPlatform()
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := precursor.Serve("127.0.0.1:0", precursor.ServerConfig{
+		Platform: platform, Workers: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	client, err := precursor.Dial(svc.Addr(), precursor.DialConfig{
+		PlatformKey: platform.AttestationPublicKey(),
+		Measurement: svc.Server.Measurement(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	if err := client.Put("k", []byte("over real TCP")); err != nil {
+		log.Fatal(err)
+	}
+	v, err := client.Get("k")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(v))
+	// Output: over real TCP
+}

@@ -1,0 +1,113 @@
+// Quickstart: start a Precursor server and client on the in-process RDMA
+// fabric, attest the enclave, and run a few operations.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"precursor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. An SGX-capable platform: owns the attestation key clients use to
+	//    verify quotes.
+	platform, err := precursor.NewPlatform()
+	if err != nil {
+		return err
+	}
+
+	// 2. An RDMA fabric with one device per machine.
+	fabric := precursor.NewFabric()
+	serverDev, err := fabric.NewDevice("server")
+	if err != nil {
+		return err
+	}
+	clientDev, err := fabric.NewDevice("client")
+	if err != nil {
+		return err
+	}
+
+	// 3. The Precursor server: creates its enclave and starts the trusted
+	//    polling threads.
+	server, err := precursor.NewServer(serverDev, precursor.ServerConfig{
+		Platform: platform,
+		Workers:  4,
+	})
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+	fmt.Printf("server enclave measurement: %x\n", server.Measurement())
+
+	// 4. Connect a client: a reliable-connected queue pair, then remote
+	//    attestation + ring-buffer bootstrap. The client refuses to
+	//    proceed if the enclave measurement or platform key don't match.
+	clientQP, serverQP := fabric.ConnectRC(clientDev, serverDev)
+	go func() {
+		if _, err := server.HandleConnection(serverQP); err != nil {
+			log.Printf("handle connection: %v", err)
+		}
+	}()
+	client, err := precursor.Connect(precursor.ClientConfig{
+		Conn:        clientQP,
+		Device:      clientDev,
+		PlatformKey: platform.AttestationPublicKey(),
+		Measurement: server.Measurement(),
+	})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	fmt.Printf("attested and connected as client %d\n", client.ID())
+
+	// 5. Operations. Every put encrypts the value on the client under a
+	//    fresh one-time key; the server enclave never sees the plaintext
+	//    or performs payload cryptography.
+	start := time.Now()
+	if err := client.Put("user:1001", []byte(`{"name":"ines","role":"author"}`)); err != nil {
+		return err
+	}
+	fmt.Printf("put user:1001        (%v)\n", time.Since(start).Round(time.Microsecond))
+
+	start = time.Now()
+	v, err := client.Get("user:1001")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("get user:1001 -> %s  (%v)\n", v, time.Since(start).Round(time.Microsecond))
+
+	if err := client.Put("user:1001", []byte(`{"name":"ines","role":"admin"}`)); err != nil {
+		return err
+	}
+	v, err = client.Get("user:1001")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("updated        -> %s\n", v)
+
+	if err := client.Delete("user:1001"); err != nil {
+		return err
+	}
+	if _, err := client.Get("user:1001"); err != nil {
+		fmt.Printf("after delete   -> %v (authenticated not-found)\n", err)
+	}
+
+	// 6. Server-side view: note the enclave's tiny working set and the
+	//    absence of per-request transitions.
+	st := server.Stats()
+	fmt.Printf("\nserver stats: puts=%d gets=%d deletes=%d entries=%d\n",
+		st.Puts, st.Gets, st.Deletes, st.Entries)
+	fmt.Printf("enclave: %d ecalls total (none on the hot path), %.2f MiB EPC working set\n",
+		st.Enclave.Ecalls, st.Enclave.WorkingSetMiB())
+	return nil
+}

@@ -1,0 +1,133 @@
+// Sealrestore: persist the store to untrusted storage and recover it,
+// with rollback detection — the monotonic-counter integration the paper
+// points to in §2.1 ("trusted time and monotonic counters to detect state
+// rollback attacks and forking").
+//
+//	go run ./examples/sealrestore
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"log"
+
+	"precursor"
+	"precursor/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	platform, err := precursor.NewPlatform()
+	if err != nil {
+		return err
+	}
+	fabric := precursor.NewFabric()
+	serverDev, err := fabric.NewDevice("server")
+	if err != nil {
+		return err
+	}
+	server, err := precursor.NewServer(serverDev, precursor.ServerConfig{
+		Platform: platform, Workers: 2,
+	})
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+
+	clientDev, err := fabric.NewDevice("client")
+	if err != nil {
+		return err
+	}
+	cq, sq := fabric.ConnectRC(clientDev, serverDev)
+	go func() { _, _ = server.HandleConnection(sq) }()
+	client, err := precursor.Connect(precursor.ClientConfig{
+		Conn: cq, Device: clientDev,
+		PlatformKey: platform.AttestationPublicKey(),
+		Measurement: server.Measurement(),
+	})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	// Fill the store.
+	for i := 0; i < 100; i++ {
+		if err := client.Put(fmt.Sprintf("doc-%02d", i), []byte(fmt.Sprintf("content-%02d", i))); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("stored 100 entries; trusted counter = %d\n", server.RollbackCounter())
+
+	// Seal a snapshot: encrypted and authenticated under the enclave's
+	// sealing key, stamped with the trusted monotonic counter. The blob
+	// itself can live anywhere untrusted.
+	var snapshot bytes.Buffer
+	if err := server.Seal(&snapshot); err != nil {
+		return err
+	}
+	fmt.Printf("sealed snapshot: %d bytes, counter -> %d\n",
+		snapshot.Len(), server.RollbackCounter())
+
+	// Simulate data loss.
+	for i := 0; i < 100; i++ {
+		if err := client.Delete(fmt.Sprintf("doc-%02d", i)); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wiped the store (%d entries)\n", server.Stats().Entries)
+
+	// Recover.
+	if err := server.Restore(bytes.NewReader(snapshot.Bytes())); err != nil {
+		return err
+	}
+	v, err := client.Get("doc-42")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("restored %d entries; doc-42 = %q (client-side MAC verified)\n",
+		server.Stats().Entries, v)
+
+	// Rollback attack: the host keeps the old snapshot, lets the enclave
+	// seal newer state, then feeds the stale snapshot back.
+	oldSnapshot := append([]byte(nil), snapshot.Bytes()...)
+	if err := client.Put("doc-42", []byte("newer content")); err != nil {
+		return err
+	}
+	var newer bytes.Buffer
+	if err := server.Seal(&newer); err != nil {
+		return err
+	}
+	err = server.Restore(bytes.NewReader(oldSnapshot))
+	if errors.Is(err, core.ErrSnapshotRollback) {
+		fmt.Printf("replaying the stale snapshot -> %v (attack detected)\n", err)
+	} else {
+		return fmt.Errorf("rollback not detected: %v", err)
+	}
+
+	// Tampered snapshot: flip one bit anywhere in the sealed blob.
+	tampered := append([]byte(nil), newer.Bytes()...)
+	tampered[len(tampered)/2] ^= 1
+	err = server.Restore(bytes.NewReader(tampered))
+	if errors.Is(err, core.ErrSnapshotAuth) {
+		fmt.Printf("tampered snapshot           -> %v\n", err)
+	} else {
+		return fmt.Errorf("tamper not detected: %v", err)
+	}
+
+	// The genuine latest snapshot still restores.
+	if err := server.Restore(bytes.NewReader(newer.Bytes())); err != nil {
+		return err
+	}
+	v, err = client.Get("doc-42")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("latest snapshot restores     -> doc-42 = %q\n", v)
+	return nil
+}

@@ -1,0 +1,124 @@
+// Twittercache: drives Precursor with a workload shaped like the
+// production in-memory caches in Yang et al.'s Twitter analysis
+// (OSDI '20), which the paper cites to justify its value-size range:
+// "50% of the values are bigger than 230B and 35% of the clusters are
+// write-heavy workloads" (§5.2).
+//
+//	go run ./examples/twittercache
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"precursor"
+	"precursor/internal/ycsb"
+)
+
+// sizeBucket approximates the Twitter value-size distribution: median
+// ≈230 B with a long tail.
+func sizeBucket(rng *rand.Rand) int {
+	switch p := rng.Float64(); {
+	case p < 0.25:
+		return 50 + rng.Intn(80) // small metadata entries
+	case p < 0.50:
+		return 130 + rng.Intn(100) // just under the median
+	case p < 0.80:
+		return 230 + rng.Intn(800) // the >230 B half
+	case p < 0.95:
+		return 1024 + rng.Intn(3072)
+	default:
+		return 4096 + rng.Intn(12288) // rare large objects
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	platform, err := precursor.NewPlatform()
+	if err != nil {
+		return err
+	}
+	fabric := precursor.NewFabric()
+	serverDev, err := fabric.NewDevice("server")
+	if err != nil {
+		return err
+	}
+	server, err := precursor.NewServer(serverDev, precursor.ServerConfig{
+		Platform: platform, Workers: 4,
+	})
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+
+	connect := func(name string) (ycsb.Store, error) {
+		dev, err := fabric.NewDevice(name)
+		if err != nil {
+			return nil, err
+		}
+		cq, sq := fabric.ConnectRC(dev, serverDev)
+		go func() { _, _ = server.HandleConnection(sq) }()
+		return precursor.Connect(precursor.ClientConfig{
+			Conn: cq, Device: dev,
+			PlatformKey: platform.AttestationPublicKey(),
+			Measurement: server.Measurement(),
+			Timeout:     30 * time.Second,
+		})
+	}
+
+	// Preload a cache's worth of variably sized tweets/timelines.
+	const records = 5000
+	loader, err := connect("loader")
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(1))
+	fmt.Printf("loading %d records with Twitter-like value sizes...\n", records)
+	var loadedBytes int
+	for i := 0; i < records; i++ {
+		size := sizeBucket(rng)
+		value := make([]byte, size)
+		rng.Read(value)
+		if err := loader.Put(ycsb.Key(i), value); err != nil {
+			return err
+		}
+		loadedBytes += size
+	}
+	fmt.Printf("loaded %.1f MiB of payload (all of it in untrusted memory)\n",
+		float64(loadedBytes)/(1<<20))
+
+	// A "write-heavy cluster" (35% of Twitter's clusters): 60% reads,
+	// 40% writes, zipfian keys — hot timelines dominate.
+	report, err := ycsb.Run(func(i int) (ycsb.Store, error) {
+		return connect(fmt.Sprintf("cache-client-%d", i))
+	}, ycsb.RunnerConfig{
+		Workload:     ycsb.Workload{Name: "twitter-write-heavy", ReadRatio: 0.60},
+		Records:      records,
+		ValueSize:    300, // representative update size
+		Dist:         ycsb.Zipfian,
+		Clients:      4,
+		OpsPerClient: 2000,
+		Seed:         7,
+		NotFoundOK:   true,
+		IsNotFound:   func(err error) bool { return errors.Is(err, precursor.ErrNotFound) },
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n" + report.String())
+
+	st := server.Stats()
+	fmt.Printf("\nserver: entries=%d payload-pool=%.1f MiB (untrusted), enclave=%.2f MiB (EPC)\n",
+		st.Entries, float64(st.PoolBytesReserved)/(1<<20), st.Enclave.WorkingSetMiB())
+	fmt.Printf("the %.0f:1 untrusted:enclave memory ratio is the paper's R2 objective in action\n",
+		float64(st.PoolBytesReserved)/(st.Enclave.WorkingSetMiB()*(1<<20)))
+	return nil
+}

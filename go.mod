@@ -1,0 +1,3 @@
+module precursor
+
+go 1.22

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"precursor/internal/sim"
+)
+
+func TestFigure1Measurement(t *testing.T) {
+	points, err := Figure1([]int{2}, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(Fig1Sizes) {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Throughput must grow with buffer size: per-op overhead dominates at
+	// 16 B (the phenomenon Figure 1 demonstrates).
+	small := points[0]
+	large := points[len(points)-1]
+	if small.BufferBytes != 16 || large.BufferBytes != 32768 {
+		t.Fatalf("unexpected size order: %+v", points)
+	}
+	if large.CryptoMBps < 4*small.CryptoMBps {
+		t.Errorf("no per-op overhead effect: %f vs %f MB/s",
+			small.CryptoMBps, large.CryptoMBps)
+	}
+	out := RenderFigure1(points)
+	if !strings.Contains(out, "32KiB") || !strings.Contains(out, "16B") {
+		t.Errorf("render: %q", out)
+	}
+}
+
+func TestFigure4Rows(t *testing.T) {
+	rows := Figure4(1)
+	if len(rows) != 4*3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Within every read ratio: precursor > server-enc > shieldstore.
+	for i := 0; i < len(rows); i += 3 {
+		p, se, ss := rows[i], rows[i+1], rows[i+2]
+		if !(p.Kops > se.Kops && se.Kops > ss.Kops) {
+			t.Errorf("ordering violated at read=%d%%: %.0f/%.0f/%.0f",
+				p.ReadPct, p.Kops, se.Kops, ss.Kops)
+		}
+	}
+	out := RenderThroughput("Figure 4", "read%", rows, func(r ThroughputRow) string {
+		return strconv.Itoa(r.ReadPct)
+	})
+	if !strings.Contains(out, "precursor") {
+		t.Errorf("render: %q", out)
+	}
+}
+
+func TestFigure5Shapes(t *testing.T) {
+	readOnly := Figure5(true, 2)
+	if len(readOnly) != len(Fig5Sizes)*3 {
+		t.Fatalf("rows = %d", len(readOnly))
+	}
+	// Precursor's throughput at 16 B must be ≳4× its 16 KiB value
+	// (bandwidth-bound decline).
+	var first, last float64
+	for _, r := range readOnly {
+		if r.System == sim.Precursor && r.ValueSize == 16 {
+			first = r.Kops
+		}
+		if r.System == sim.Precursor && r.ValueSize == 16384 {
+			last = r.Kops
+		}
+	}
+	if first < 3*last {
+		t.Errorf("no bandwidth-bound decline: %.0f -> %.0f", first, last)
+	}
+
+	updateMostly := Figure5(false, 2)
+	// Update-mostly throughput at small sizes is below read-only's.
+	if updateMostly[0].Kops >= readOnly[0].Kops {
+		t.Errorf("update-mostly (%.0f) not below read-only (%.0f)",
+			updateMostly[0].Kops, readOnly[0].Kops)
+	}
+}
+
+func TestFigure6PeakNear55(t *testing.T) {
+	rows := Figure6(3)
+	best, bestClients := 0.0, 0
+	for _, r := range rows {
+		if r.System == sim.Precursor && r.Kops > best {
+			best, bestClients = r.Kops, r.Clients
+		}
+	}
+	if bestClients < 40 || bestClients > 70 {
+		t.Errorf("precursor peak at %d clients (%.0f Kops), want ≈55", bestClients, best)
+	}
+}
+
+func TestFigure7Series(t *testing.T) {
+	series := Figure7(4)
+	if len(series) != 9 { // 3 sizes × (shieldstore, precursor, paging)
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) == 0 || s.P99 < s.P50 {
+			t.Errorf("series %s malformed: %+v", s.Label, s)
+		}
+	}
+	out := RenderFigure7(series)
+	if !strings.Contains(out, "epc-paging") {
+		t.Errorf("render: %q", out)
+	}
+}
+
+func TestFigure8Rows(t *testing.T) {
+	rows := Figure8(5)
+	if len(rows) != len(Fig8Sizes)*2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 0; i < len(rows); i += 2 {
+		ss, p := rows[i], rows[i+1]
+		if ss.System != sim.ShieldStore || p.System != sim.Precursor {
+			t.Fatalf("row order: %+v", rows[i])
+		}
+		if ss.NetworkUs < 5*p.NetworkUs {
+			t.Errorf("size %d: shieldstore networking %.1fµs not ≫ precursor %.1fµs",
+				ss.Size, ss.NetworkUs, p.NetworkUs)
+		}
+		if ss.ServerUs <= p.ServerUs {
+			t.Errorf("size %d: shieldstore server %.1fµs not above precursor %.1fµs",
+				ss.Size, ss.ServerUs, p.ServerUs)
+		}
+	}
+}
+
+// TestTable1Shape runs the functional EPC experiment with a reduced final
+// phase (full 100 k is exercised by the bench binary) and asserts the
+// paper's qualitative result: Precursor starts tiny and grows with keys,
+// ShieldStore starts huge and stays flat.
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("functional EPC experiment is slow")
+	}
+	old := Table1Phases
+	Table1Phases = []int{0, 1, 5000}
+	defer func() { Table1Phases = old }()
+
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	pre0, pre1, preN := rows[0], rows[1], rows[2]
+	ss0, _, ssN := rows[3], rows[4], rows[5]
+
+	if pre0.MiB > 1.0 {
+		t.Errorf("precursor init = %.2f MiB, want ≲0.3", pre0.MiB)
+	}
+	if pre1.Pages < pre0.Pages {
+		t.Errorf("precursor shrank after 1 key: %d -> %d", pre0.Pages, pre1.Pages)
+	}
+	if preN.Pages <= pre1.Pages {
+		t.Errorf("precursor did not grow with keys: %d -> %d", pre1.Pages, preN.Pages)
+	}
+	if ss0.MiB < 50 {
+		t.Errorf("shieldstore init = %.1f MiB, want ≈68", ss0.MiB)
+	}
+	if float64(ssN.Pages) > float64(ss0.Pages)*1.05 {
+		t.Errorf("shieldstore grew: %d -> %d pages", ss0.Pages, ssN.Pages)
+	}
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "precursor") || !strings.Contains(out, "shieldstore") {
+		t.Errorf("render: %q", out)
+	}
+}

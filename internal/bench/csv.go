@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// CSV renderers: machine-readable output for plotting pipelines
+// (`precursor-bench -format csv`). One header row per artifact; numeric
+// columns only, comma-separated, latencies in microseconds.
+
+// ThroughputCSV renders Figure 4/5/6 rows.
+func ThroughputCSV(rows []ThroughputRow) string {
+	var b strings.Builder
+	b.WriteString("system,read_pct,value_bytes,clients,kops\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%.1f\n",
+			r.System, r.ReadPct, r.ValueSize, r.Clients, r.Kops)
+	}
+	return b.String()
+}
+
+// Fig1CSV renders Figure 1 points.
+func Fig1CSV(points []Fig1Point) string {
+	var b strings.Builder
+	b.WriteString("buffer_bytes,threads,crypto_mbps,model_mbps,line_mbps\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%d,%d,%.1f,%.1f,%.1f\n",
+			p.BufferBytes, p.Threads, p.CryptoMBps, p.ModelMBps, p.LineMBps)
+	}
+	return b.String()
+}
+
+// Fig7CSV renders the full CDF point clouds.
+func Fig7CSV(series []CDFSeries) string {
+	var b strings.Builder
+	b.WriteString("series,value_bytes,fraction,latency_us\n")
+	for _, s := range series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%s,%d,%.5f,%.2f\n",
+				s.Label, s.Size, p.Fraction, float64(p.Latency)/float64(time.Microsecond))
+		}
+	}
+	return b.String()
+}
+
+// Fig8CSV renders the breakdown rows.
+func Fig8CSV(rows []BreakdownRow) string {
+	var b strings.Builder
+	b.WriteString("system,value_bytes,network_us,server_us\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%d,%.2f,%.2f\n", r.System, r.Size, r.NetworkUs, r.ServerUs)
+	}
+	return b.String()
+}
+
+// Table1CSV renders the EPC rows.
+func Table1CSV(rows []EPCRow) string {
+	var b strings.Builder
+	b.WriteString("system,keys,pages,mib\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%d,%d,%.2f\n", r.System, r.Keys, r.Pages, r.MiB)
+	}
+	return b.String()
+}

@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"precursor/internal/hist"
+	"precursor/internal/sim"
+)
+
+// Systems is the evaluation's system list, in the figures' legend order.
+var Systems = []sim.System{sim.Precursor, sim.ServerEnc, sim.ShieldStore}
+
+// evalEntries is the warm-up load of the throughput experiments (§5.2).
+const evalEntries = 600000
+
+// defaultDuration is the virtual measurement horizon per configuration.
+const defaultDuration = 120 * time.Millisecond
+
+// ThroughputRow is one bar of Figures 4–6.
+type ThroughputRow struct {
+	System    sim.System
+	ReadPct   int
+	ValueSize int
+	Clients   int
+	Kops      float64
+}
+
+// Figure4 regenerates the workload-mix comparison: 32 B values, 50
+// clients, read ratios 100/95/50/5 %.
+func Figure4(seed int64) []ThroughputRow {
+	ratios := []float64{1.00, 0.95, 0.50, 0.05}
+	var rows []ThroughputRow
+	for _, rr := range ratios {
+		for _, sys := range Systems {
+			r := sim.Run(sim.RunConfig{
+				System: sys, Clients: 50, ValueSize: 32, ReadRatio: rr,
+				Entries: evalEntries, Seed: seed, Duration: defaultDuration,
+			})
+			rows = append(rows, ThroughputRow{
+				System: sys, ReadPct: int(rr * 100), ValueSize: 32,
+				Clients: 50, Kops: r.Kops,
+			})
+		}
+	}
+	return rows
+}
+
+// Fig5Sizes are the value sizes of Figure 5.
+var Fig5Sizes = []int{16, 64, 128, 512, 1024, 4096, 16384}
+
+// Figure5 regenerates the value-size sweep for a read-only (5a) or
+// update-mostly (5b) workload with 50 clients.
+func Figure5(readOnly bool, seed int64) []ThroughputRow {
+	ratio := 1.0
+	if !readOnly {
+		ratio = 0.05
+	}
+	var rows []ThroughputRow
+	for _, size := range Fig5Sizes {
+		for _, sys := range Systems {
+			r := sim.Run(sim.RunConfig{
+				System: sys, Clients: 50, ValueSize: size, ReadRatio: ratio,
+				Entries: evalEntries, Seed: seed, Duration: defaultDuration,
+			})
+			rows = append(rows, ThroughputRow{
+				System: sys, ReadPct: int(ratio * 100), ValueSize: size,
+				Clients: 50, Kops: r.Kops,
+			})
+		}
+	}
+	return rows
+}
+
+// Fig6Clients are the client counts of Figure 6.
+var Fig6Clients = []int{10, 20, 30, 40, 50, 55, 60, 70, 80, 90, 100}
+
+// Figure6 regenerates the client-scaling sweep (read-only, 32 B).
+func Figure6(seed int64) []ThroughputRow {
+	var rows []ThroughputRow
+	for _, n := range Fig6Clients {
+		for _, sys := range Systems {
+			r := sim.Run(sim.RunConfig{
+				System: sys, Clients: n, ValueSize: 32, ReadRatio: 1,
+				Entries: evalEntries, Seed: seed, Duration: defaultDuration,
+			})
+			rows = append(rows, ThroughputRow{
+				System: sys, ReadPct: 100, ValueSize: 32, Clients: n, Kops: r.Kops,
+			})
+		}
+	}
+	return rows
+}
+
+// CDFSeries is one curve of Figure 7.
+type CDFSeries struct {
+	Label  string
+	Size   int
+	P50    time.Duration
+	P95    time.Duration
+	P99    time.Duration
+	Points []hist.CDFPoint
+}
+
+// Figure7 regenerates the get() latency CDFs for 32/512/1024 B values at
+// low load, plus Precursor's EPC-paging series (3 M entries).
+func Figure7(seed int64) []CDFSeries {
+	var out []CDFSeries
+	for _, size := range []int{32, 512, 1024} {
+		for _, sys := range []sim.System{sim.ShieldStore, sim.Precursor} {
+			r := sim.Run(sim.RunConfig{
+				System: sys, Clients: 4, ValueSize: size, ReadRatio: 1,
+				Entries: evalEntries, Seed: seed, Duration: defaultDuration,
+			})
+			out = append(out, cdfSeries(fmt.Sprintf("%s-%dB", sys, size), size, r))
+		}
+		// The dashed line: Precursor past the EPC limit.
+		r := sim.Run(sim.RunConfig{
+			System: sim.Precursor, Clients: 4, ValueSize: size, ReadRatio: 1,
+			Entries: 3000000, Seed: seed, Duration: defaultDuration,
+		})
+		out = append(out, cdfSeries(fmt.Sprintf("precursor-epc-paging-%dB", size), size, r))
+	}
+	return out
+}
+
+func cdfSeries(label string, size int, r sim.RunResult) CDFSeries {
+	return CDFSeries{
+		Label:  label,
+		Size:   size,
+		P50:    r.Latency.Quantile(0.50),
+		P95:    r.Latency.Quantile(0.95),
+		P99:    r.Latency.Quantile(0.99),
+		Points: r.Latency.CDF(40),
+	}
+}
+
+// BreakdownRow is one bar pair of Figure 8.
+type BreakdownRow struct {
+	System    sim.System
+	Size      int
+	NetworkUs float64
+	ServerUs  float64
+}
+
+// Fig8Sizes are the value sizes of Figure 8.
+var Fig8Sizes = []int{16, 64, 128, 512, 1024, 4096, 8192}
+
+// Figure8 regenerates the average get() latency breakdown (networking vs
+// server processing) under a read-only workload at low load.
+func Figure8(seed int64) []BreakdownRow {
+	model := sim.DefaultCostModel()
+	var rows []BreakdownRow
+	for _, size := range Fig8Sizes {
+		for _, sys := range []sim.System{sim.ShieldStore, sim.Precursor} {
+			r := sim.Run(sim.RunConfig{
+				System: sys, Clients: 4, ValueSize: size, ReadRatio: 1,
+				Entries: evalEntries, Seed: seed, Duration: defaultDuration,
+			})
+			rows = append(rows, BreakdownRow{
+				System:    sys,
+				Size:      size,
+				NetworkUs: float64(r.NetTime.Mean()) / 1e3,
+				ServerUs:  float64(model.ServerShare(sys, sim.Get, size)) / 1e3,
+			})
+		}
+	}
+	return rows
+}
+
+// RenderThroughput formats Figure 4/5/6 rows grouped by their x-axis.
+func RenderThroughput(title, xlabel string, rows []ThroughputRow, x func(ThroughputRow) string) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "%-12s %-24s %-10s\n", xlabel, "system", "Kops/s")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-24s %-10.0f\n", x(r), r.System.String(), r.Kops)
+	}
+	return b.String()
+}
+
+// RenderFigure7 formats the CDF summary rows.
+func RenderFigure7(series []CDFSeries) string {
+	var b strings.Builder
+	b.WriteString("Figure 7: get() latency CDFs (read-only, low load)\n")
+	fmt.Fprintf(&b, "%-30s %-10s %-10s %-10s\n", "series", "p50", "p95", "p99")
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-30s %-10v %-10v %-10v\n", s.Label,
+			s.P50.Round(time.Microsecond), s.P95.Round(time.Microsecond),
+			s.P99.Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// RenderFigure8 formats the latency-breakdown rows.
+func RenderFigure8(rows []BreakdownRow) string {
+	var b strings.Builder
+	b.WriteString("Figure 8: average get() latency breakdown (µs)\n")
+	fmt.Fprintf(&b, "%-10s %-24s %-14s %-14s\n", "size", "system", "network", "server")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-24s %-14.1f %-14.1f\n",
+			byteSize(r.Size), r.System.String(), r.NetworkUs, r.ServerUs)
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+	"time"
+
+	"precursor/internal/hist"
+	"precursor/internal/sim"
+)
+
+func sampleThroughputRows() []ThroughputRow {
+	var rows []ThroughputRow
+	for _, pct := range []int{100, 5} {
+		for i, sys := range Systems {
+			rows = append(rows, ThroughputRow{
+				System: sys, ReadPct: pct, ValueSize: 32, Clients: 50,
+				Kops: float64(1000 - 300*i),
+			})
+		}
+	}
+	return rows
+}
+
+func TestThroughputCSV(t *testing.T) {
+	out := ThroughputCSV(sampleThroughputRows())
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+6 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "system,read_pct,value_bytes,clients,kops" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "precursor,100,32,50,1000.0") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestFig1CSV(t *testing.T) {
+	out := Fig1CSV([]Fig1Point{{BufferBytes: 1024, Threads: 12, CryptoMBps: 1960.4, ModelMBps: 3200, LineMBps: 5000}})
+	if !strings.Contains(out, "1024,12,1960.4,3200.0,5000.0") {
+		t.Errorf("csv = %q", out)
+	}
+}
+
+// TestFig1ModelReproducesPaperClaim: "for small packets (up to 1 KiB),
+// the cryptographic operations cause 36% less throughput than the raw
+// RDMA bandwidth" (§2.4) — the modelled testbed curve must land there,
+// and approach the line rate at 32 KiB.
+func TestFig1ModelReproducesPaperClaim(t *testing.T) {
+	m := sim.DefaultCostModel()
+	at1KiB := m.Fig1ModelMBps(12, 1024)
+	gap := 1 - at1KiB/LineRate40GbMBps
+	if gap < 0.30 || gap > 0.42 {
+		t.Errorf("1KiB gap = %.0f%%, paper says ≈36%%", gap*100)
+	}
+	at32KiB := m.Fig1ModelMBps(12, 32768)
+	if at32KiB < 0.92*LineRate40GbMBps {
+		t.Errorf("32KiB modelled throughput %.0f MB/s, want ≈line rate", at32KiB)
+	}
+	// Small buffers collapse (the motivation for the whole design).
+	if m.Fig1ModelMBps(12, 16) > 0.1*LineRate40GbMBps {
+		t.Errorf("16B modelled throughput too high: %.0f", m.Fig1ModelMBps(12, 16))
+	}
+}
+
+func TestFig7CSVAndTable1CSV(t *testing.T) {
+	h := hist.New()
+	h.Record(5 * time.Microsecond)
+	h.Record(10 * time.Microsecond)
+	series := []CDFSeries{{Label: "precursor-32B", Size: 32, Points: h.CDF(10)}}
+	out := Fig7CSV(series)
+	if !strings.Contains(out, "precursor-32B,32,") {
+		t.Errorf("csv = %q", out)
+	}
+	t1 := Table1CSV([]EPCRow{{System: "precursor", Keys: 0, Pages: 48, MiB: 0.19}})
+	if !strings.Contains(t1, "precursor,0,48,0.19") {
+		t.Errorf("table1 csv = %q", t1)
+	}
+}
+
+func TestFig8CSV(t *testing.T) {
+	out := Fig8CSV([]BreakdownRow{
+		{System: sim.ShieldStore, Size: 16, NetworkUs: 58.6, ServerUs: 9.4},
+	})
+	if !strings.Contains(out, "shieldstore,16,58.60,9.40") {
+		t.Errorf("csv = %q", out)
+	}
+}
+
+// validXML checks SVG well-formedness.
+func validXML(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("invalid SVG: %v", err)
+		}
+	}
+}
+
+func TestSVGBuilders(t *testing.T) {
+	rows := sampleThroughputRows()
+	validXML(t, Fig4SVG(rows))
+	validXML(t, Fig5SVG(rows, true))
+	validXML(t, Fig5SVG(rows, false))
+	validXML(t, Fig6SVG(rows))
+	validXML(t, Fig1SVG([]Fig1Point{
+		{BufferBytes: 16, Threads: 6, CryptoMBps: 100, LineMBps: 5000},
+		{BufferBytes: 32768, Threads: 6, CryptoMBps: 2500, LineMBps: 5000},
+	}))
+	h := hist.New()
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	validXML(t, Fig7SVG([]CDFSeries{
+		{Label: "precursor-32B", Size: 32, Points: h.CDF(20)},
+		{Label: "shieldstore-32B", Size: 32, Points: h.CDF(20)},
+	}, 32))
+	validXML(t, Fig8SVG([]BreakdownRow{
+		{System: sim.ShieldStore, Size: 16, NetworkUs: 58, ServerUs: 9},
+		{System: sim.Precursor, Size: 16, NetworkUs: 2, ServerUs: 7},
+	}))
+}

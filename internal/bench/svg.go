@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"precursor/internal/plot"
+	"precursor/internal/sim"
+)
+
+// SVG builders: turn each figure's rows into a rendered chart, so
+// `precursor-bench -svg DIR` regenerates the paper's figures as images.
+
+// Fig1SVG plots the crypto-vs-line-rate curves.
+func Fig1SVG(points []Fig1Point) string {
+	byThreads := make(map[int][]plot.Point)
+	var threads []int
+	for _, p := range points {
+		if _, seen := byThreads[p.Threads]; !seen {
+			threads = append(threads, p.Threads)
+		}
+		byThreads[p.Threads] = append(byThreads[p.Threads],
+			plot.Point{X: float64(p.BufferBytes), Y: p.CryptoMBps})
+	}
+	var series []plot.Series
+	for _, th := range threads {
+		series = append(series, plot.Series{
+			Name:   fmt.Sprintf("%d threads decrypt/encrypt (host)", th),
+			Points: byThreads[th],
+		})
+	}
+	// Modelled curve for the highest thread count (the paper's machine).
+	if len(threads) > 0 {
+		th := threads[len(threads)-1]
+		var pts []plot.Point
+		for _, p := range points {
+			if p.Threads == th {
+				pts = append(pts, plot.Point{X: float64(p.BufferBytes), Y: p.ModelMBps})
+			}
+		}
+		series = append(series, plot.Series{
+			Name:   fmt.Sprintf("%d threads (modelled testbed)", th),
+			Points: pts,
+		})
+	}
+	var line []plot.Point
+	for _, sz := range Fig1Sizes {
+		line = append(line, plot.Point{X: float64(sz), Y: LineRate40GbMBps})
+	}
+	series = append(series, plot.Series{Name: "40Gb line rate", Points: line})
+	return plot.Line{
+		Title:  "Figure 1: crypto throughput vs 40Gb RDMA bandwidth",
+		XLabel: "buffer size (bytes, log scale)",
+		YLabel: "throughput (MB/s)",
+		LogX:   true,
+		Series: series,
+	}.SVG()
+}
+
+// Fig4SVG plots the read-ratio bars.
+func Fig4SVG(rows []ThroughputRow) string {
+	groups, values := groupThroughput(rows, func(r ThroughputRow) string {
+		return fmt.Sprintf("%d%% read", r.ReadPct)
+	})
+	return plot.Bars{
+		Title:  "Figure 4: throughput by workload (32B, 50 clients)",
+		XLabel: "read ratio",
+		YLabel: "Kops/s",
+		Groups: groups,
+		Series: systemNames(),
+		Values: values,
+	}.SVG()
+}
+
+// Fig5SVG plots a value-size sweep.
+func Fig5SVG(rows []ThroughputRow, readOnly bool) string {
+	title := "Figure 5a: value-size sweep (read-only, 50 clients)"
+	if !readOnly {
+		title = "Figure 5b: value-size sweep (update-mostly, 50 clients)"
+	}
+	return lineBySystem(rows, title, "value size (bytes, log scale)",
+		func(r ThroughputRow) float64 { return float64(r.ValueSize) }, true)
+}
+
+// Fig6SVG plots the client-count sweep.
+func Fig6SVG(rows []ThroughputRow) string {
+	return lineBySystem(rows, "Figure 6: client scaling (read-only, 32B)",
+		"clients", func(r ThroughputRow) float64 { return float64(r.Clients) }, false)
+}
+
+// Fig7SVG plots the latency CDFs for one value size.
+func Fig7SVG(series []CDFSeries, size int) string {
+	var out []plot.Series
+	for _, s := range series {
+		if s.Size != size {
+			continue
+		}
+		pts := make([]plot.Point, 0, len(s.Points))
+		for _, p := range s.Points {
+			pts = append(pts, plot.Point{
+				X: float64(p.Latency) / float64(time.Microsecond),
+				Y: p.Fraction,
+			})
+		}
+		out = append(out, plot.Series{Name: s.Label, Points: pts})
+	}
+	return plot.Line{
+		Title:  fmt.Sprintf("Figure 7: get() latency CDF (%dB values)", size),
+		XLabel: "latency (µs, log scale)",
+		YLabel: "CDF",
+		LogX:   true,
+		Series: out,
+	}.SVG()
+}
+
+// Fig8SVG plots the latency breakdown as grouped bars (network + server
+// per system and size).
+func Fig8SVG(rows []BreakdownRow) string {
+	var groups []string
+	var values [][]float64
+	for i := 0; i < len(rows); i += 2 {
+		ss, p := rows[i], rows[i+1]
+		groups = append(groups, byteSize(ss.Size))
+		values = append(values, []float64{ss.NetworkUs, ss.ServerUs, p.NetworkUs, p.ServerUs})
+	}
+	return plot.Bars{
+		Title:  "Figure 8: average get() latency breakdown",
+		XLabel: "value size",
+		YLabel: "latency (µs)",
+		Groups: groups,
+		Series: []string{
+			"shieldstore network", "shieldstore server",
+			"precursor network", "precursor server",
+		},
+		Values: values,
+	}.SVG()
+}
+
+// groupThroughput reshapes rows (ordered group-major, system-minor) into
+// bar-chart groups.
+func groupThroughput(rows []ThroughputRow, label func(ThroughputRow) string) ([]string, [][]float64) {
+	var groups []string
+	var values [][]float64
+	for i := 0; i < len(rows); i += len(Systems) {
+		groups = append(groups, label(rows[i]))
+		var group []float64
+		for j := 0; j < len(Systems) && i+j < len(rows); j++ {
+			group = append(group, rows[i+j].Kops)
+		}
+		values = append(values, group)
+	}
+	return groups, values
+}
+
+func lineBySystem(rows []ThroughputRow, title, xlabel string, x func(ThroughputRow) float64, logX bool) string {
+	bySystem := make(map[sim.System][]plot.Point)
+	for _, r := range rows {
+		bySystem[r.System] = append(bySystem[r.System], plot.Point{X: x(r), Y: r.Kops})
+	}
+	var series []plot.Series
+	for _, sys := range Systems {
+		series = append(series, plot.Series{Name: sys.String(), Points: bySystem[sys]})
+	}
+	return plot.Line{
+		Title: title, XLabel: xlabel, YLabel: "Kops/s", LogX: logX, Series: series,
+	}.SVG()
+}
+
+func systemNames() []string {
+	names := make([]string, len(Systems))
+	for i, s := range Systems {
+		names[i] = s.String()
+	}
+	return names
+}

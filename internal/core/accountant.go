@@ -1,0 +1,81 @@
+package core
+
+import (
+	"sync"
+
+	"precursor/internal/sgx"
+)
+
+// enclaveAccountant mirrors the hash table's memory behaviour onto the
+// simulated enclave so the EPC working set (Table 1) and paging charges
+// (Figure 7) come from real allocation and access patterns.
+type enclaveAccountant struct {
+	enclave *sgx.Enclave
+
+	mu       sync.Mutex
+	table    *sgx.Region // backing region for the current bucket array
+	sessions *sgx.Region // per-client session state (grown in steps)
+	nSess    int
+}
+
+// sessionStateBytes is the modelled enclave state per client: the 128-bit
+// session key, GCM context, oid, and client id (§4 lists a 256-bit secret,
+// 1 B oid and 4 B client id; the AEAD schedule dominates).
+const sessionStateBytes = 200
+
+func newEnclaveAccountant(e *sgx.Enclave) *enclaveAccountant {
+	return &enclaveAccountant{enclave: e}
+}
+
+// GrowTable implements hashtable.Accountant: the bucket array moved from
+// oldBytes to newBytes of enclave memory.
+func (a *enclaveAccountant) GrowTable(oldBytes, newBytes int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.table != nil {
+		a.enclave.Free(a.table)
+	}
+	region, err := a.enclave.Alloc(newBytes)
+	if err != nil {
+		// Destroyed enclave: nothing to account.
+		a.table = nil
+		return
+	}
+	a.table = region
+}
+
+// TouchBucket implements hashtable.Accountant: bucket i of n was accessed.
+func (a *enclaveAccountant) TouchBucket(i, n, entrySize int) {
+	a.mu.Lock()
+	region := a.table
+	a.mu.Unlock()
+	if region == nil {
+		return
+	}
+	off := i * entrySize
+	if off+entrySize > len(region.Data) {
+		return // table grew concurrently; next touch lands in new region
+	}
+	region.Touch(off, entrySize)
+}
+
+// chargeSession accounts one client's in-enclave session state.
+func (a *enclaveAccountant) chargeSession() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.nSess++
+	need := a.nSess * sessionStateBytes
+	if a.sessions != nil && need <= len(a.sessions.Data) {
+		a.sessions.Touch(0, need)
+		return
+	}
+	if a.sessions != nil {
+		a.enclave.Free(a.sessions)
+	}
+	region, err := a.enclave.Alloc(need*2 + sessionStateBytes)
+	if err != nil {
+		a.sessions = nil
+		return
+	}
+	a.sessions = region
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"precursor/internal/rdma"
+	"precursor/internal/sgx"
+)
+
+// TestMaxClientsAdmissionControl: a connection flood beyond the limit is
+// rejected at bootstrap with a clear error on both ends (§3.9).
+func TestMaxClientsAdmissionControl(t *testing.T) {
+	tc := newCluster(t, ServerConfig{MaxClients: 2})
+
+	a := tc.connect()
+	b := tc.connect()
+	_ = a
+	_ = b
+
+	// Third connection: server refuses, client sees the rejection.
+	dev, err := tc.fabric.NewDevice("flood")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliQP, srvQP := tc.fabric.ConnectRC(dev, tc.srvDev)
+	handled := make(chan error, 1)
+	go func() {
+		_, err := tc.server.HandleConnection(srvQP)
+		handled <- err
+	}()
+	_, err = Connect(ClientConfig{
+		Conn: cliQP, Device: dev,
+		PlatformKey: tc.platform.AttestationPublicKey(),
+		Measurement: tc.server.Measurement(),
+		Timeout:     2 * time.Second,
+	})
+	if err == nil {
+		t.Fatal("third client admitted past MaxClients=2")
+	}
+	if err := <-handled; !errors.Is(err, ErrServerFull) {
+		t.Errorf("server-side error = %v, want ErrServerFull", err)
+	}
+
+	// Existing clients unaffected; revoking one frees a slot.
+	if err := a.Put("k", []byte("v")); err != nil {
+		t.Fatalf("existing client disturbed: %v", err)
+	}
+	tc.server.RevokeClient(b.ID())
+	c := tc.connect()
+	if err := c.Put("k2", []byte("v2")); err != nil {
+		t.Fatalf("post-revocation admission failed: %v", err)
+	}
+}
+
+// TestRandomRKeysOption: with RandomRKeys the server's ring registrations
+// stop being enumerable.
+func TestRandomRKeysOption(t *testing.T) {
+	platform, err := sgx.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &testCluster{t: t, platform: platform, fabric: rdma.NewFabric()}
+	srvDev, err := tc.fabric.NewDevice("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.srvDev = srvDev
+	server, err := NewServer(srvDev, ServerConfig{
+		Platform: platform, Workers: 2, PollInterval: time.Microsecond,
+		RandomRKeys: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Close)
+	tc.server = server
+
+	client := tc.connect()
+	if err := client.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// An attacker enumerating small rkeys against the server device finds
+	// no remotely writable window.
+	attDev, err := tc.fabric.NewDevice("attacker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for guess := uint32(1); guess <= 256; guess++ {
+		aq, _ := tc.fabric.ConnectRC(attDev, srvDev)
+		if err := aq.PostWrite(1, guess, 0, []byte{0xFF}, true); err != nil {
+			continue
+		}
+		if comps := aq.PollSend(1); len(comps) == 1 && comps[0].Err == nil {
+			hits++
+		}
+	}
+	if hits != 0 {
+		t.Errorf("attacker hit %d windows despite randomized rkeys", hits)
+	}
+	// The store still works for the legitimate client.
+	if v, err := client.Get("k"); err != nil || string(v) != "v" {
+		t.Errorf("legitimate traffic broken: %q %v", v, err)
+	}
+}
+
+// TestServerFullErrorMessage ensures the rejection reaches clients as a
+// readable bootstrap error rather than a timeout.
+func TestServerFullErrorMessage(t *testing.T) {
+	tc := newCluster(t, ServerConfig{MaxClients: 1})
+	_ = tc.connect()
+
+	dev, err := tc.fabric.NewDevice("late")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliQP, srvQP := tc.fabric.ConnectRC(dev, tc.srvDev)
+	go func() { _, _ = tc.server.HandleConnection(srvQP) }()
+	_, err = Connect(ClientConfig{
+		Conn: cliQP, Device: dev,
+		PlatformKey: tc.platform.AttestationPublicKey(),
+		Measurement: tc.server.Measurement(),
+		Timeout:     2 * time.Second,
+	})
+	if err == nil {
+		t.Fatal("admitted past capacity")
+	}
+	if msg := fmt.Sprint(err); msg == "" {
+		t.Error("empty rejection message")
+	}
+}

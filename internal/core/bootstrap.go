@@ -1,0 +1,92 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"precursor/internal/rdma"
+	"precursor/internal/sgx"
+)
+
+// Bootstrap messages travel over two-sided SEND/RECV once per connection
+// (§3.6): the attested key exchange plus the ring-buffer memory windows.
+// They are a setup-path concern, so a self-describing JSON encoding is
+// used; the request hot path uses the compact binary codecs in
+// internal/wire.
+
+// helloMsg is the client's combined attestation + bootstrap request.
+type helloMsg struct {
+	// Attestation handshake (ECDH public key + nonce).
+	AttestPub   []byte `json:"attestPub"`
+	AttestNonce []byte `json:"attestNonce"`
+	// Response-ring window in client memory the server will write into.
+	RespRingRKey uint32 `json:"respRingRKey"`
+	RespSlots    int    `json:"respSlots"`
+	RespSlotSize int    `json:"respSlotSize"`
+	// Credit counter in client memory for the request ring.
+	ReqCreditRKey uint32 `json:"reqCreditRKey"`
+}
+
+// welcomeMsg is the server's combined attestation + bootstrap response.
+type welcomeMsg struct {
+	// Attestation: enclave ECDH public key and quote over the transcript.
+	AttestPub        []byte `json:"attestPub"`
+	QuoteMeasurement []byte `json:"quoteMeasurement"`
+	QuoteReportData  []byte `json:"quoteReportData"`
+	QuoteSignature   []byte `json:"quoteSignature"`
+	// Assigned identity and request-ring window in server memory.
+	ClientID       uint32 `json:"clientID"`
+	ReqRingRKey    uint32 `json:"reqRingRKey"`
+	ReqSlots       int    `json:"reqSlots"`
+	ReqSlotSize    int    `json:"reqSlotSize"`
+	RespCreditRKey uint32 `json:"respCreditRKey"`
+	// Error, if the server rejected the client.
+	Error string `json:"error,omitempty"`
+}
+
+const bootstrapBufSize = 4096
+
+// sendMsg marshals and SENDs one bootstrap message.
+func sendMsg(conn rdma.Conn, wrID uint64, v any) error {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("marshal bootstrap: %w", err)
+	}
+	if len(buf) > bootstrapBufSize {
+		return ErrBadBootstrap
+	}
+	if err := conn.PostSend(wrID, buf, false, len(buf) <= rdma.InlineThreshold); err != nil {
+		return fmt.Errorf("send bootstrap: %w", err)
+	}
+	return nil
+}
+
+// recvMsg blocks polling the receive CQ for one bootstrap message.
+func recvMsg(conn rdma.Conn, v any) error {
+	for {
+		comps := conn.PollRecv(1)
+		if len(comps) == 0 {
+			time.Sleep(10 * time.Microsecond)
+			continue
+		}
+		c := comps[0]
+		if c.Status != rdma.StatusOK {
+			return fmt.Errorf("%w: recv status %v", ErrClosed, c.Err)
+		}
+		if err := json.Unmarshal(c.Buf[:c.Len], v); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadBootstrap, err)
+		}
+		return nil
+	}
+}
+
+func (w *welcomeMsg) quote() sgx.Quote {
+	var m sgx.Measurement
+	copy(m[:], w.QuoteMeasurement)
+	return sgx.Quote{
+		Measurement: m,
+		ReportData:  w.QuoteReportData,
+		Signature:   w.QuoteSignature,
+	}
+}

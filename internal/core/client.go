@@ -1,0 +1,363 @@
+package core
+
+import (
+	"crypto/ecdsa"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"precursor/internal/cryptox"
+	"precursor/internal/rdma"
+	"precursor/internal/ringbuf"
+	"precursor/internal/sgx"
+	"precursor/internal/wire"
+)
+
+// ClientConfig configures a Precursor client connection.
+type ClientConfig struct {
+	// Conn is the client's queue pair to the server; Device is the local
+	// RDMA device used to register the response ring. Both are required.
+	Conn   rdma.Conn
+	Device *rdma.Device
+	// PlatformKey and Measurement pin the expected server enclave for
+	// remote attestation (§3.6). Both are required.
+	PlatformKey *ecdsa.PublicKey
+	Measurement sgx.Measurement
+	// RespSlots and RespSlotSize set the response-ring geometry (defaults
+	// mirror the server's request ring).
+	RespSlots    int
+	RespSlotSize int
+	// Timeout bounds each operation's wait for a response.
+	Timeout time.Duration
+	// InlineSmallValues sends values below InlineMax inside the control
+	// data for enclave-resident storage (§5.2). The server must have the
+	// mode enabled as well.
+	InlineSmallValues bool
+	InlineMax         int
+}
+
+func (c *ClientConfig) withDefaults() ClientConfig {
+	out := *c
+	if out.RespSlots <= 0 {
+		out.RespSlots = DefaultRingSlots
+	}
+	if out.RespSlotSize <= 0 {
+		out.RespSlotSize = DefaultSlotSize
+	}
+	if out.Timeout <= 0 {
+		out.Timeout = 5 * time.Second
+	}
+	if out.InlineMax <= 0 {
+		out.InlineMax = DefaultInlineMax
+	}
+	return out
+}
+
+// Client is a Precursor client: the "precursor" of the paper's title, the
+// party that performs the payload cryptography (Algorithm 1).
+type Client struct {
+	mu sync.Mutex // one outstanding operation per client, as in YCSB
+
+	cfg        ClientConfig
+	conn       rdma.Conn
+	device     *rdma.Device
+	id         uint32
+	ad         [4]byte
+	aead       *cryptox.AEAD
+	oid        uint64
+	reqWriter  *ringbuf.Writer
+	respReader *ringbuf.Reader
+	respRing   *rdma.MemoryRegion
+	reqCredit  *rdma.MemoryRegion
+	closed     bool
+
+	// Stats.
+	puts, gets, deletes uint64
+	integrityFailures   uint64
+}
+
+// Connect performs remote attestation against the server enclave, derives
+// K_session, exchanges ring-buffer memory windows, and returns a ready
+// client (§3.6).
+func Connect(cfg ClientConfig) (*Client, error) {
+	c := cfg.withDefaults()
+	if c.Conn == nil || c.Device == nil {
+		return nil, fmt.Errorf("precursor: Conn and Device are required")
+	}
+	if c.PlatformKey == nil {
+		return nil, fmt.Errorf("precursor: PlatformKey is required for attestation")
+	}
+
+	cl := &Client{cfg: c, conn: c.Conn, device: c.Device}
+	cl.respRing = c.Device.RegisterMemory(
+		ringbuf.RingBytes(c.RespSlots, c.RespSlotSize), rdma.PermRemoteWrite)
+	cl.reqCredit = c.Device.RegisterMemory(ringbuf.CreditBytes, rdma.PermRemoteWrite)
+
+	hs, err := sgx.NewClientHandshake()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Conn.PostRecv(1, make([]byte, bootstrapBufSize)); err != nil {
+		return nil, fmt.Errorf("post bootstrap recv: %w", err)
+	}
+	hello := hs.Hello()
+	if err := sendMsg(c.Conn, 1, &helloMsg{
+		AttestPub:     hello.PublicKey,
+		AttestNonce:   hello.Nonce,
+		RespRingRKey:  cl.respRing.RKey(),
+		RespSlots:     c.RespSlots,
+		RespSlotSize:  c.RespSlotSize,
+		ReqCreditRKey: cl.reqCredit.RKey(),
+	}); err != nil {
+		return nil, err
+	}
+	var welcome welcomeMsg
+	if err := recvMsg(c.Conn, &welcome); err != nil {
+		return nil, err
+	}
+	if welcome.Error != "" {
+		return nil, fmt.Errorf("precursor: server rejected connection: %s", welcome.Error)
+	}
+	sessionKey, err := hs.Complete(c.PlatformKey, sgx.ServerHello{
+		PublicKey: welcome.AttestPub,
+		Quote:     welcome.quote(),
+	}, c.Measurement)
+	if err != nil {
+		return nil, fmt.Errorf("attestation: %w", err)
+	}
+	cl.aead, err = cryptox.NewAEAD(sessionKey)
+	if err != nil {
+		return nil, err
+	}
+	cl.id = welcome.ClientID
+	binary.LittleEndian.PutUint32(cl.ad[:], cl.id)
+
+	cl.reqWriter, err = ringbuf.NewWriter(ringbuf.WriterConfig{
+		Conn: c.Conn, RingRKey: welcome.ReqRingRKey,
+		Slots: welcome.ReqSlots, SlotSize: welcome.ReqSlotSize,
+		Credit: cl.reqCredit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cl.respReader, err = ringbuf.NewReader(ringbuf.ReaderConfig{
+		Ring: cl.respRing, Slots: c.RespSlots, SlotSize: c.RespSlotSize,
+		Conn: c.Conn, CreditRKey: welcome.RespCreditRKey,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cl, nil
+}
+
+// ID returns the server-assigned client identifier.
+func (c *Client) ID() uint32 { return c.id }
+
+// Put stores value under key (Algorithm 1): encrypt the value under a
+// fresh one-time key, MAC the ciphertext, and ship the key material to
+// the enclave inside transport-encrypted control data.
+func (c *Client) Put(key string, value []byte) error {
+	if len(key) == 0 || len(key) > wire.MaxKeyLen || len(value) > wire.MaxValueLen {
+		return ErrTooLarge
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	c.oid++
+	ctl := wire.RequestControl{Op: wire.OpPut, Oid: c.oid, Key: []byte(key)}
+	req := wire.Request{Op: wire.OpPut, ClientID: c.id}
+
+	if c.cfg.InlineSmallValues && len(value) < c.cfg.InlineMax {
+		ctl.Flags = wire.FlagInlineValue
+		ctl.InlineValue = value
+	} else {
+		opKey, err := cryptox.NewOperationKey()
+		if err != nil {
+			return err
+		}
+		payload, mac, err := cryptox.EncryptPayload(opKey, value)
+		if err != nil {
+			return err
+		}
+		ctl.OpKey = opKey[:]
+		req.Payload = payload
+		req.PayloadMAC = mac
+	}
+
+	rc, _, err := c.roundTrip(&req, &ctl)
+	if err != nil {
+		return err
+	}
+	if rc.Flags&wire.FlagNotFound != 0 {
+		return ErrBadResponse
+	}
+	c.puts++
+	return nil
+}
+
+// Get fetches and verifies the value for key: the server returns the
+// stored ciphertext as-is plus the control data with K_operation; the
+// client recomputes the MAC and decrypts (§3.7, "Query data").
+func (c *Client) Get(key string) ([]byte, error) {
+	if len(key) == 0 || len(key) > wire.MaxKeyLen {
+		return nil, ErrTooLarge
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	c.oid++
+	ctl := wire.RequestControl{Op: wire.OpGet, Oid: c.oid, Key: []byte(key)}
+	req := wire.Request{Op: wire.OpGet, ClientID: c.id}
+
+	rc, payload, err := c.roundTrip(&req, &ctl)
+	if err != nil {
+		return nil, err
+	}
+	if rc.Flags&wire.FlagNotFound != 0 {
+		return nil, ErrNotFound
+	}
+	if rc.Flags&wire.FlagInlineValue != 0 {
+		return append([]byte(nil), rc.InlineValue...), nil
+	}
+	if len(rc.OpKey) != wire.OpKeySize {
+		return nil, ErrBadResponse
+	}
+	var opKey cryptox.OperationKey
+	copy(opKey[:], rc.OpKey)
+
+	ciphertext := payload
+	mac := rc.PayloadMAC
+	if mac == nil {
+		// Base mode: the MAC travels with the untrusted payload.
+		if len(payload) < wire.MACSize {
+			return nil, ErrBadResponse
+		}
+		ciphertext = payload[:len(payload)-wire.MACSize]
+		mac = payload[len(payload)-wire.MACSize:]
+	}
+	value, err := cryptox.DecryptPayload(opKey, ciphertext, mac)
+	if err != nil {
+		c.integrityFailures++
+		return nil, fmt.Errorf("%w: %v", ErrIntegrity, err)
+	}
+	c.gets++
+	return value, nil
+}
+
+// Delete removes key from the store.
+func (c *Client) Delete(key string) error {
+	if len(key) == 0 || len(key) > wire.MaxKeyLen {
+		return ErrTooLarge
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	c.oid++
+	ctl := wire.RequestControl{Op: wire.OpDelete, Oid: c.oid, Key: []byte(key)}
+	req := wire.Request{Op: wire.OpDelete, ClientID: c.id}
+
+	rc, _, err := c.roundTrip(&req, &ctl)
+	if err != nil {
+		return err
+	}
+	if rc.Flags&wire.FlagNotFound != 0 {
+		return ErrNotFound
+	}
+	c.deletes++
+	return nil
+}
+
+// roundTrip seals the control data, sends the request, and awaits the
+// authenticated response for the current oid.
+func (c *Client) roundTrip(req *wire.Request, ctl *wire.RequestControl) (*wire.ResponseControl, []byte, error) {
+	pt, err := ctl.Encode()
+	if err != nil {
+		return nil, nil, err
+	}
+	req.SealedControl, err = c.aead.Seal(pt, c.ad[:])
+	if err != nil {
+		return nil, nil, err
+	}
+	frame, err := req.Encode(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(frame) > c.reqWriter.MaxMessage() {
+		return nil, nil, ErrTooLarge
+	}
+	if err := c.reqWriter.Write(frame); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	deadline := time.Now().Add(c.cfg.Timeout)
+	for {
+		msg, ready, err := c.respReader.Poll()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ready {
+			if time.Now().After(deadline) {
+				return nil, nil, ErrTimeout
+			}
+			// Sleeping (rather than spinning) lets the runtime park in the
+			// netpoller, which matters on low-core hosts where a busy spin
+			// would starve the TCP fabric's agent goroutines.
+			time.Sleep(2 * time.Microsecond)
+			continue
+		}
+		resp, err := wire.DecodeResponse(msg)
+		if err != nil {
+			return nil, nil, ErrBadResponse
+		}
+		if len(resp.SealedControl) == 0 {
+			// Unauthenticated server error (auth failure / bad request).
+			return nil, nil, fmt.Errorf("%w: server status %v", ErrAuth, resp.Status)
+		}
+		rcPt, err := c.aead.Open(resp.SealedControl, c.ad[:])
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: response control", ErrAuth)
+		}
+		rc, err := wire.DecodeResponseControl(rcPt)
+		if err != nil {
+			return nil, nil, ErrBadResponse
+		}
+		if rc.Oid != c.oid {
+			// Stale or replayed response; keep waiting for the fresh one.
+			if time.Now().After(deadline) {
+				return nil, nil, ErrTimeout
+			}
+			continue
+		}
+		if rc.Flags&wire.FlagReplay != 0 {
+			return nil, nil, ErrReplay
+		}
+		return rc, resp.Payload, nil
+	}
+}
+
+// Stats returns client-side operation counters.
+func (c *Client) Stats() (puts, gets, deletes, integrityFailures uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.puts, c.gets, c.deletes, c.integrityFailures
+}
+
+// Close releases the connection and local memory registrations.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	err := c.conn.Close()
+	c.device.Deregister(c.respRing)
+	c.device.Deregister(c.reqCredit)
+	return err
+}

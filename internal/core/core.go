@@ -1,0 +1,155 @@
+// Package core implements Precursor: the client-centric, SGX-and-RDMA
+// key-value store that is the paper's contribution.
+//
+// The protocol follows §3 exactly:
+//
+//   - Each request is split into transport-encrypted control data, whose
+//     plaintext only the server enclave sees, and payload data that the
+//     client encrypted under a fresh one-time key K_operation; the payload
+//     never enters the enclave (Fig. 2/3).
+//   - Clients write requests into per-client circular buffers in the
+//     server's untrusted memory using one-sided RDMA WRITEs; trusted
+//     threads poll those rings (one long-running ecall at startup, no
+//     per-request transitions), and untrusted worker threads post replies
+//     back into per-client response rings (§3.8).
+//   - The enclave's state per entry is only the key, K_operation, a pointer
+//     into the untrusted payload pool, and replay metadata — a few dozen
+//     bytes — so the EPC working set stays tiny (§3.3, §5.4).
+//   - Per-client monotonically increasing operation identifiers (oid) are
+//     verified inside the enclave to reject replays (Algorithms 1 and 2).
+//
+// Two optional modes from the paper are implemented: the hardened
+// in-enclave-MAC mode of the security discussion (§3.9), which protects
+// against value substitution by formerly authorized clients, and the
+// small-value inline mode sketched as future work in §5.2, which stores
+// values smaller than the control data directly in the enclave.
+package core
+
+import (
+	"errors"
+	"log/slog"
+	"time"
+
+	"precursor/internal/sgx"
+)
+
+// Errors returned by the store.
+var (
+	ErrNotFound     = errors.New("precursor: key not found")
+	ErrServerFull   = errors.New("precursor: server at client capacity")
+	ErrReplay       = errors.New("precursor: replay detected (stale oid)")
+	ErrAuth         = errors.New("precursor: authentication failed")
+	ErrBadResponse  = errors.New("precursor: malformed or unfresh response")
+	ErrClosed       = errors.New("precursor: connection closed")
+	ErrRevoked      = errors.New("precursor: client revoked")
+	ErrTooLarge     = errors.New("precursor: key or value too large")
+	ErrTimeout      = errors.New("precursor: request timed out")
+	ErrIntegrity    = errors.New("precursor: payload integrity check failed")
+	ErrBadBootstrap = errors.New("precursor: malformed bootstrap message")
+)
+
+// Default geometry. Ring slots hold a full request (header + sealed
+// control + payload + MAC), so the slot size bounds the value size.
+const (
+	DefaultRingSlots  = 32
+	DefaultSlotSize   = 20 * 1024
+	DefaultWorkers    = 12 // the evaluation's server thread count
+	DefaultEntryBytes = 92 // per-bucket enclave bytes (key + metadata)
+	DefaultImagePages = 45 // enclave code + static data (≈180 KiB)
+	// DefaultInlineMax is the control-data size (≈56 B, §5.2) under which
+	// the inline-small-value mode stores values inside the enclave.
+	DefaultInlineMax = 56
+)
+
+// ServerConfig configures a Precursor server instance.
+type ServerConfig struct {
+	// Platform hosts the server enclave; required.
+	Platform *sgx.Platform
+	// Image identifies the enclave binary for attestation. Clients must
+	// expect its measurement.
+	Image []byte
+	// Workers is the number of trusted polling threads (default 12,
+	// matching the evaluation).
+	Workers int
+	// RingSlots and SlotSize set per-client ring geometry.
+	RingSlots int
+	SlotSize  int
+	// HardenedMACs stores payload MACs inside the enclave and returns them
+	// under transport encryption (§3.9).
+	HardenedMACs bool
+	// InlineSmallValues stores values smaller than InlineMax directly in
+	// the enclave (§5.2 future-work optimization).
+	InlineSmallValues bool
+	InlineMax         int
+	// EntryBytes is the modelled enclave bytes per hash-table bucket.
+	EntryBytes int
+	// ImagePages is the enclave's static EPC footprint in pages.
+	ImagePages int
+	// PollInterval is the idle back-off of trusted threads; 0 disables
+	// sleeping (pure busy-poll, as the paper's server).
+	PollInterval time.Duration
+	// MaxClients bounds concurrent sessions (0 = unlimited). The security
+	// discussion (§3.9) notes an attacker can exhaust the RNIC's
+	// connection cache by opening many connections; this is the
+	// corresponding admission control.
+	MaxClients int
+	// RandomRKeys registers ring memory with unpredictable rkeys — the
+	// ReDMArk-style mitigation §3.9 references.
+	RandomRKeys bool
+	// Logger receives structured connection-lifecycle and security events
+	// (nil = silent). The hot path never logs.
+	Logger *slog.Logger
+	// RollbackCounter supplies the trusted monotonic counter for sealed
+	// snapshots (nil = a fresh in-memory counter, which protects a single
+	// process lifetime). Deployments that restore across restarts pass a
+	// durable counter, e.g. sgx.OpenFileCounter — standing in for an
+	// external trusted counter service (§2.1).
+	RollbackCounter sgx.TrustedCounter
+}
+
+func (c *ServerConfig) withDefaults() ServerConfig {
+	out := *c
+	if out.Workers <= 0 {
+		out.Workers = DefaultWorkers
+	}
+	if out.RingSlots <= 0 {
+		out.RingSlots = DefaultRingSlots
+	}
+	if out.SlotSize <= 0 {
+		out.SlotSize = DefaultSlotSize
+	}
+	if out.EntryBytes <= 0 {
+		out.EntryBytes = DefaultEntryBytes
+	}
+	if out.ImagePages <= 0 {
+		out.ImagePages = DefaultImagePages
+	}
+	if out.InlineMax <= 0 {
+		out.InlineMax = DefaultInlineMax
+	}
+	if len(out.Image) == 0 {
+		out.Image = []byte("precursor-enclave-v1")
+	}
+	if out.PollInterval == 0 {
+		out.PollInterval = 20 * time.Microsecond
+	}
+	return out
+}
+
+// ServerStats is a snapshot of server activity.
+type ServerStats struct {
+	Puts, Gets, Deletes uint64
+	Replays             uint64 // rejected stale/duplicate oids
+	AuthFailures        uint64 // control data that failed auth-decryption
+	BadRequests         uint64
+	// EnclaveCryptoBytes counts the bytes the enclave en/decrypted: only
+	// the small control segments — never payload — which is the design's
+	// central claim (compare the baselines' counters).
+	EnclaveCryptoBytes uint64
+	Entries            int
+	Clients            int
+	Enclave            sgx.Stats
+	PoolBytesReserved  int64
+	PoolBytesInUse     int64
+	PoolGrowths        uint64 // ≈ ocall count for pool growth
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestMetamorphicAgainstModel drives a random operation stream through
+// the complete protocol stack (client crypto, rings, enclave, pool) and a
+// plain map side by side; every observable result must match. This is the
+// whole-system analogue of the hash table's model check.
+func TestMetamorphicAgainstModel(t *testing.T) {
+	tc := newCluster(t, ServerConfig{})
+	c := tc.connect()
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		model := make(map[string][]byte)
+		// Namespace keys per iteration: the store persists across
+		// quick.Check runs, the model map does not.
+		ns := fmt.Sprintf("m%x-", uint64(seed))
+		for op := 0; op < 150; op++ {
+			key := ns + fmt.Sprintf("%d", rng.Intn(40))
+			switch rng.Intn(5) {
+			case 0, 1: // put
+				value := make([]byte, rng.Intn(600))
+				rng.Read(value)
+				if err := c.Put(key, value); err != nil {
+					t.Logf("put: %v", err)
+					return false
+				}
+				model[key] = append([]byte(nil), value...)
+			case 2, 3: // get
+				got, err := c.Get(key)
+				want, exists := model[key]
+				switch {
+				case errors.Is(err, ErrNotFound):
+					if exists {
+						t.Logf("get %s: store says missing, model has %d bytes", key, len(want))
+						return false
+					}
+				case err != nil:
+					t.Logf("get: %v", err)
+					return false
+				default:
+					if !exists || !bytes.Equal(got, want) {
+						t.Logf("get %s mismatch", key)
+						return false
+					}
+				}
+			case 4: // delete
+				err := c.Delete(key)
+				_, exists := model[key]
+				if exists != (err == nil) {
+					t.Logf("delete %s: err=%v model-exists=%v", key, err, exists)
+					return false
+				}
+				if err != nil && !errors.Is(err, ErrNotFound) {
+					return false
+				}
+				delete(model, key)
+			}
+		}
+		// Final sweep: every model key must be readable with exact bytes.
+		for key, want := range model {
+			got, err := c.Get(key)
+			if err != nil || !bytes.Equal(got, want) {
+				t.Logf("final sweep %s: %v", key, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMetamorphicWithSealRestoreCycles interleaves seal/restore cycles
+// with the random stream: a restore of the latest snapshot must behave as
+// a no-op for the observable state.
+func TestMetamorphicWithSealRestoreCycles(t *testing.T) {
+	tc := newCluster(t, ServerConfig{})
+	c := tc.connect()
+	rng := rand.New(rand.NewSource(99))
+	model := make(map[string][]byte)
+
+	for round := 0; round < 5; round++ {
+		for op := 0; op < 60; op++ {
+			key := fmt.Sprintf("k%d", rng.Intn(25))
+			if rng.Intn(2) == 0 {
+				value := make([]byte, rng.Intn(300))
+				rng.Read(value)
+				if err := c.Put(key, value); err != nil {
+					t.Fatal(err)
+				}
+				model[key] = append([]byte(nil), value...)
+			} else if err := c.Delete(key); err == nil {
+				delete(model, key)
+			}
+		}
+		var snap bytes.Buffer
+		if err := tc.server.Seal(&snap); err != nil {
+			t.Fatalf("round %d seal: %v", round, err)
+		}
+		if err := tc.server.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+			t.Fatalf("round %d restore: %v", round, err)
+		}
+		for key, want := range model {
+			got, err := c.Get(key)
+			if err != nil || !bytes.Equal(got, want) {
+				t.Fatalf("round %d key %s after restore: %v", round, key, err)
+			}
+		}
+		if got := tc.server.Stats().Entries; got != len(model) {
+			t.Fatalf("round %d entries = %d, model = %d", round, got, len(model))
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"precursor/internal/cryptox"
+	"precursor/internal/wire"
+)
+
+// Persistence: sealed snapshots with rollback detection.
+//
+// The paper notes (§2.1) that "when the data is persistently saved to the
+// disk, SGX provides trusted time and monotonic counters to detect state
+// rollback attacks and forking", citing ROTE-style prevention techniques
+// "which can be integrated into our design". This file is that
+// integration: Seal writes the enclave's metadata together with the
+// untrusted payload blobs as one authenticated blob under the enclave's
+// sealing key, stamped with a trusted monotonic counter; Restore refuses
+// snapshots whose counter does not match the trusted counter's current
+// value, so replaying an older (or forked) snapshot is detected.
+
+// Errors returned by Seal/Restore.
+var (
+	ErrSnapshotAuth   = errors.New("precursor: snapshot authentication failed")
+	ErrSnapshotFormat = errors.New("precursor: malformed snapshot")
+	// ErrSnapshotRollback reports a snapshot older than the trusted
+	// monotonic counter — a rollback or fork attack.
+	ErrSnapshotRollback = errors.New("precursor: snapshot rollback detected")
+)
+
+// snapshotMagic versions the snapshot format.
+var snapshotMagic = []byte("PRECURSOR-SNAP-1")
+
+// Seal writes an authenticated, encrypted snapshot of the store to w and
+// bumps the trusted monotonic counter. Only a snapshot produced by the
+// latest Seal will Restore.
+func (s *Server) Seal(w io.Writer) error {
+	return s.enclave.Ecall("seal_state", func() error {
+		key, err := s.enclave.SealingKey()
+		if err != nil {
+			return err
+		}
+		aead, err := cryptox.NewAEAD(key)
+		if err != nil {
+			return err
+		}
+		plain, err := s.serializeState()
+		if err != nil {
+			return err
+		}
+		counter, err := s.rollback.Increment()
+		if err != nil {
+			return fmt.Errorf("trusted counter: %w", err)
+		}
+		var ad [8]byte
+		binary.LittleEndian.PutUint64(ad[:], counter)
+		sealed, err := aead.Seal(plain, ad[:])
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(snapshotMagic); err != nil {
+			return fmt.Errorf("write snapshot: %w", err)
+		}
+		var hdr [16]byte
+		binary.LittleEndian.PutUint64(hdr[:8], counter)
+		binary.LittleEndian.PutUint64(hdr[8:], uint64(len(sealed)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return fmt.Errorf("write snapshot: %w", err)
+		}
+		if _, err := w.Write(sealed); err != nil {
+			return fmt.Errorf("write snapshot: %w", err)
+		}
+		return nil
+	})
+}
+
+// Restore replaces the store's contents with a snapshot previously
+// produced by Seal. The snapshot must authenticate under the enclave's
+// sealing key and carry the trusted counter's current value; an older
+// counter means the host fed the enclave stale state.
+func (s *Server) Restore(r io.Reader) error {
+	return s.enclave.Ecall("restore_state", func() error {
+		magic := make([]byte, len(snapshotMagic))
+		if _, err := io.ReadFull(r, magic); err != nil {
+			return fmt.Errorf("%w: %v", ErrSnapshotFormat, err)
+		}
+		if string(magic) != string(snapshotMagic) {
+			return ErrSnapshotFormat
+		}
+		var hdr [16]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return fmt.Errorf("%w: %v", ErrSnapshotFormat, err)
+		}
+		counter := binary.LittleEndian.Uint64(hdr[:8])
+		size := binary.LittleEndian.Uint64(hdr[8:])
+		if size > 1<<32 {
+			return ErrSnapshotFormat
+		}
+		sealed := make([]byte, size)
+		if _, err := io.ReadFull(r, sealed); err != nil {
+			return fmt.Errorf("%w: %v", ErrSnapshotFormat, err)
+		}
+		// Rollback check first: the counter value is bound into the AEAD's
+		// additional data, so a lying header also fails authentication.
+		current, err := s.rollback.Value()
+		if err != nil {
+			return fmt.Errorf("trusted counter: %w", err)
+		}
+		if counter != current {
+			return ErrSnapshotRollback
+		}
+		key, err := s.enclave.SealingKey()
+		if err != nil {
+			return err
+		}
+		aead, err := cryptox.NewAEAD(key)
+		if err != nil {
+			return err
+		}
+		var ad [8]byte
+		binary.LittleEndian.PutUint64(ad[:], counter)
+		plain, err := aead.Open(sealed, ad[:])
+		if err != nil {
+			return ErrSnapshotAuth
+		}
+		return s.deserializeState(plain)
+	})
+}
+
+// serializeState flattens every entry: metadata from the enclave table
+// plus its payload bytes from the untrusted pool.
+func (s *Server) serializeState() ([]byte, error) {
+	var out []byte
+	var failure error
+	out = binary.LittleEndian.AppendUint32(out, uint32(s.table.Len()))
+	s.table.Range(func(key string, e *entry) bool {
+		if len(key) > wire.MaxKeyLen {
+			failure = wire.ErrOversized
+			return false
+		}
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(key)))
+		out = append(out, key...)
+		out = append(out, e.opKey[:]...)
+		out = binary.LittleEndian.AppendUint32(out, e.owner)
+		flags := byte(0)
+		if e.hasMAC {
+			flags |= 1
+		}
+		if e.inline != nil {
+			flags |= 2
+		}
+		out = append(out, flags)
+		out = append(out, e.mac[:]...)
+		switch {
+		case e.inline != nil:
+			out = binary.LittleEndian.AppendUint32(out, uint32(len(e.inline.Data)))
+			out = append(out, e.inline.Data...)
+		case e.ref.Valid():
+			stored, err := s.pool.Read(e.ref)
+			if err != nil {
+				failure = err
+				return false
+			}
+			out = binary.LittleEndian.AppendUint32(out, uint32(len(stored)))
+			out = append(out, stored...)
+		default:
+			out = binary.LittleEndian.AppendUint32(out, 0)
+		}
+		return true
+	})
+	return out, failure
+}
+
+// deserializeState rebuilds the table and pool from snapshot plaintext.
+func (s *Server) deserializeState(buf []byte) error {
+	if len(buf) < 4 {
+		return ErrSnapshotFormat
+	}
+	count := binary.LittleEndian.Uint32(buf)
+	buf = buf[4:]
+
+	// Drop current state, returning resources, then refill in place.
+	// Restore is intended to run before serving traffic (or during a
+	// quiesced window); concurrent requests observe a consistent table at
+	// every individual operation but may see a partially restored set.
+	s.table.Range(func(key string, e *entry) bool {
+		s.releaseEntry(e)
+		return true
+	})
+	s.table.Clear()
+
+	for i := uint32(0); i < count; i++ {
+		if len(buf) < 2 {
+			return ErrSnapshotFormat
+		}
+		keyLen := int(binary.LittleEndian.Uint16(buf))
+		buf = buf[2:]
+		if keyLen == 0 || keyLen > wire.MaxKeyLen || len(buf) < keyLen+wire.OpKeySize+4+1+wire.MACSize+4 {
+			return ErrSnapshotFormat
+		}
+		key := string(buf[:keyLen])
+		buf = buf[keyLen:]
+		e := &entry{}
+		copy(e.opKey[:], buf[:wire.OpKeySize])
+		buf = buf[wire.OpKeySize:]
+		e.owner = binary.LittleEndian.Uint32(buf)
+		buf = buf[4:]
+		flags := buf[0]
+		buf = buf[1:]
+		e.hasMAC = flags&1 != 0
+		inline := flags&2 != 0
+		copy(e.mac[:], buf[:wire.MACSize])
+		buf = buf[wire.MACSize:]
+		dataLen := int(binary.LittleEndian.Uint32(buf))
+		buf = buf[4:]
+		if dataLen > wire.MaxValueLen+64+wire.MACSize || len(buf) < dataLen {
+			return ErrSnapshotFormat
+		}
+		data := buf[:dataLen]
+		buf = buf[dataLen:]
+
+		switch {
+		case inline:
+			region, err := s.enclave.Alloc(dataLen)
+			if err != nil {
+				return err
+			}
+			copy(region.Data, data)
+			e.inline = region
+		case dataLen > 0:
+			ref, err := s.pool.Alloc(dataLen)
+			if err != nil {
+				return err
+			}
+			if err := s.pool.Write(ref, data); err != nil {
+				return err
+			}
+			e.ref = ref
+		}
+		s.table.Put(key, e)
+	}
+	if len(buf) != 0 {
+		return ErrSnapshotFormat
+	}
+	return nil
+}
+
+// RollbackCounter exposes the trusted counter value (for diagnostics).
+func (s *Server) RollbackCounter() uint64 {
+	v, err := s.rollback.Value()
+	if err != nil {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// sealAndCapture seals the server state into a buffer.
+func sealAndCapture(t *testing.T, s *Server) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Seal(&buf); err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestSealRestoreRoundTrip(t *testing.T) {
+	tc := newCluster(t, ServerConfig{})
+	c := tc.connect()
+
+	for i := 0; i < 50; i++ {
+		if err := c.Put(fmt.Sprintf("k%02d", i), []byte(fmt.Sprintf("value-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := sealAndCapture(t, tc.server)
+
+	// Wipe the store, then restore.
+	for i := 0; i < 50; i++ {
+		if err := c.Delete(fmt.Sprintf("k%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tc.server.Stats().Entries != 0 {
+		t.Fatal("wipe failed")
+	}
+	if err := tc.server.Restore(bytes.NewReader(snap)); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got := tc.server.Stats().Entries; got != 50 {
+		t.Fatalf("entries after restore = %d", got)
+	}
+	// Values are readable through the normal protocol and verify on the
+	// client (the one-time keys and MACs survived the round trip).
+	for i := 0; i < 50; i += 7 {
+		got, err := c.Get(fmt.Sprintf("k%02d", i))
+		if err != nil || string(got) != fmt.Sprintf("value-%02d", i) {
+			t.Fatalf("restored k%02d: %q %v", i, got, err)
+		}
+	}
+}
+
+// TestSnapshotRollbackDetected: restoring an older snapshot after a newer
+// Seal must fail — the monotonic-counter rollback defence (§2.1).
+func TestSnapshotRollbackDetected(t *testing.T) {
+	tc := newCluster(t, ServerConfig{})
+	c := tc.connect()
+
+	if err := c.Put("state", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	oldSnap := sealAndCapture(t, tc.server)
+
+	if err := c.Put("state", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	_ = sealAndCapture(t, tc.server) // newer snapshot bumps the counter
+
+	if err := tc.server.Restore(bytes.NewReader(oldSnap)); !errors.Is(err, ErrSnapshotRollback) {
+		t.Errorf("rollback restore: %v, want ErrSnapshotRollback", err)
+	}
+	// Current state unchanged.
+	if got, err := c.Get("state"); err != nil || string(got) != "v2" {
+		t.Errorf("state after rejected rollback: %q %v", got, err)
+	}
+}
+
+// TestSnapshotTamperDetected: any bit flip in the sealed snapshot fails
+// authentication.
+func TestSnapshotTamperDetected(t *testing.T) {
+	tc := newCluster(t, ServerConfig{})
+	c := tc.connect()
+	if err := c.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	snap := sealAndCapture(t, tc.server)
+
+	for _, idx := range []int{len(snapshotMagic) + 16, len(snap) / 2, len(snap) - 1} {
+		mut := append([]byte(nil), snap...)
+		mut[idx] ^= 0x01
+		err := tc.server.Restore(bytes.NewReader(mut))
+		if !errors.Is(err, ErrSnapshotAuth) && !errors.Is(err, ErrSnapshotFormat) &&
+			!errors.Is(err, ErrSnapshotRollback) {
+			t.Errorf("tamper at %d: %v", idx, err)
+		}
+	}
+	// Counter-field tampering specifically: flipping the embedded counter
+	// must fail (it is bound as AEAD additional data).
+	mut := append([]byte(nil), snap...)
+	mut[len(snapshotMagic)] ^= 0x01
+	if err := tc.server.Restore(bytes.NewReader(mut)); err == nil {
+		t.Error("counter tamper accepted")
+	}
+}
+
+func TestSnapshotGarbageRejected(t *testing.T) {
+	tc := newCluster(t, ServerConfig{})
+	if err := tc.server.Restore(bytes.NewReader([]byte("not a snapshot"))); !errors.Is(err, ErrSnapshotFormat) {
+		t.Errorf("got %v", err)
+	}
+	if err := tc.server.Restore(bytes.NewReader(nil)); !errors.Is(err, ErrSnapshotFormat) {
+		t.Errorf("empty: got %v", err)
+	}
+}
+
+// TestSnapshotWrongEnclaveRejected: a snapshot sealed by a different
+// enclave build (different measurement → different sealing key) must not
+// restore.
+func TestSnapshotWrongEnclaveRejected(t *testing.T) {
+	tcA := newCluster(t, ServerConfig{Image: []byte("build-a")})
+	cA := tcA.connect()
+	if err := cA.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	snap := sealAndCapture(t, tcA.server)
+
+	tcB := newCluster(t, ServerConfig{Image: []byte("build-b")})
+	_ = sealAndCapture(t, tcB.server) // align B's counter with the snapshot's (1)... then one more Seal needed
+	// B's counter is now 1, matching the snapshot's counter, so the
+	// rollback check passes and the sealing key is what must reject it.
+	if err := tcB.server.Restore(bytes.NewReader(snap)); !errors.Is(err, ErrSnapshotAuth) {
+		t.Errorf("cross-enclave restore: %v, want ErrSnapshotAuth", err)
+	}
+}
+
+// TestSealRestoreWithModes covers hardened-MAC and inline-value entries.
+func TestSealRestoreWithModes(t *testing.T) {
+	tc := newCluster(t, ServerConfig{HardenedMACs: true, InlineSmallValues: true})
+	withInline := func(cfg *ClientConfig) { cfg.InlineSmallValues = true }
+	c := tc.connect(withInline)
+
+	if err := c.Put("tiny", []byte("abc")); err != nil { // inline path
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte{9}, 300)
+	if err := c.Put("big", big); err != nil { // hardened pooled path
+		t.Fatal(err)
+	}
+	snap := sealAndCapture(t, tc.server)
+	if err := c.Delete("tiny"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("big"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.server.Restore(bytes.NewReader(snap)); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got, err := c.Get("tiny"); err != nil || string(got) != "abc" {
+		t.Errorf("tiny after restore: %q %v", got, err)
+	}
+	if got, err := c.Get("big"); err != nil || !bytes.Equal(got, big) {
+		t.Errorf("big after restore: %v", err)
+	}
+}
+
+func TestRollbackCounterMonotonic(t *testing.T) {
+	tc := newCluster(t, ServerConfig{})
+	if v := tc.server.RollbackCounter(); v != 0 {
+		t.Errorf("initial counter = %d", v)
+	}
+	sealAndCapture(t, tc.server)
+	sealAndCapture(t, tc.server)
+	if v := tc.server.RollbackCounter(); v != 2 {
+		t.Errorf("counter after two seals = %d", v)
+	}
+}

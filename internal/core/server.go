@@ -1,0 +1,603 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"precursor/internal/cryptox"
+	"precursor/internal/hashtable"
+	"precursor/internal/rdma"
+	"precursor/internal/ringbuf"
+	"precursor/internal/sgx"
+	"precursor/internal/slab"
+	"precursor/internal/wire"
+)
+
+// entry is the per-key security metadata the enclave's hash table stores:
+// K_operation, the pointer into the untrusted payload pool, and the owner
+// (Fig. 3). In hardened mode the payload MAC is kept here too; in inline
+// mode the value itself is.
+type entry struct {
+	opKey  cryptox.OperationKey
+	ref    slab.Ref
+	mac    [wire.MACSize]byte
+	hasMAC bool
+	inline *sgx.Region // enclave-resident small value, nil otherwise
+	owner  uint32
+}
+
+// session is the per-client state: the transport-encryption AEAD keyed
+// with K_session, the replay window, and the ring endpoints.
+type session struct {
+	id         uint32
+	conn       rdma.Conn
+	aead       *cryptox.AEAD
+	ad         [4]byte // AEAD additional data: the client id
+	reqRing    *rdma.MemoryRegion
+	reqReader  *ringbuf.Reader
+	respWriter *ringbuf.Writer
+	respCredit *rdma.MemoryRegion
+	lastOid    uint64 // accessed only by the owning trusted thread
+	revoked    atomic.Bool
+}
+
+// outFrame is a reply handed from a trusted thread to the untrusted
+// sender pool (§3.8: "trusted threads write request replies into an
+// untrusted queue; the worker threads send these messages using RDMA").
+type outFrame struct {
+	sess  *session
+	frame []byte
+}
+
+// Server is a Precursor key-value store instance.
+type Server struct {
+	cfg      ServerConfig
+	device   *rdma.Device
+	enclave  *sgx.Enclave
+	acct     *enclaveAccountant
+	table    *hashtable.Table[*entry]
+	pool     *slab.Pool
+	rollback sgx.TrustedCounter
+
+	mu        sync.Mutex
+	sessions  map[uint32]*session
+	byWorker  atomic.Value // [][]*session, rebuilt on membership change
+	nextID    uint32
+	ownerOnly bool
+
+	out    chan outFrame
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+
+	puts, gets, deletes   atomic.Uint64
+	replays, authFailures atomic.Uint64
+	badRequests           atomic.Uint64
+	cryptoBytes           atomic.Uint64
+}
+
+// NewServer creates and starts a Precursor server on the given RDMA
+// device. The enclave is created, measured, and its trusted polling
+// threads are launched (one "start polling" ecall each, §4).
+func NewServer(device *rdma.Device, cfg ServerConfig) (*Server, error) {
+	if cfg.Platform == nil {
+		return nil, fmt.Errorf("precursor: ServerConfig.Platform is required")
+	}
+	c := cfg.withDefaults()
+	if c.RandomRKeys {
+		device.RandomizeRKeys()
+	}
+	enclave := c.Platform.CreateEnclave(c.Image, c.ImagePages)
+
+	s := &Server{
+		cfg:      c,
+		device:   device,
+		enclave:  enclave,
+		rollback: c.RollbackCounter,
+		sessions: make(map[uint32]*session),
+		out:      make(chan outFrame, 1024),
+		stopCh:   make(chan struct{}),
+	}
+	if s.rollback == nil {
+		s.rollback = sgx.AsTrustedCounter(sgx.NewMonotonicCounter())
+	}
+	s.acct = newEnclaveAccountant(enclave)
+	s.pool = slab.New(slab.WithGrowFunc(func(n int) error {
+		// The single ocall of §4/§3.8: enlarge the pre-allocated untrusted
+		// list. The allocation itself happens in untrusted memory.
+		return enclave.Ocall("grow_pool", func() error { return nil })
+	}))
+
+	// Ecall i.: initialize the hash table inside the enclave.
+	if err := enclave.Ecall("init_hashtable", func() error {
+		s.table = hashtable.New[*entry](s.acct, c.EntryBytes)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Ecall ii.: start the trusted polling threads.
+	s.byWorker.Store(make([][]*session, c.Workers))
+	for w := 0; w < c.Workers; w++ {
+		w := w
+		if err := enclave.Ecall("start_polling", func() error { return nil }); err != nil {
+			return nil, err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.trustedLoop(w)
+		}()
+	}
+	// Untrusted sender pool.
+	for w := 0; w < c.Workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.senderLoop()
+		}()
+	}
+	return s, nil
+}
+
+// Measurement returns the enclave identity clients must expect.
+func (s *Server) Measurement() sgx.Measurement { return s.enclave.Measurement() }
+
+// Enclave exposes the server's enclave for tooling (perf tracing).
+func (s *Server) Enclave() *sgx.Enclave { return s.enclave }
+
+// SetOwnerOnly enables the simple access-control policy where only the
+// client that wrote a key may read or delete it ("traditional access
+// control schemes inside the server-side TEE", §3.3).
+func (s *Server) SetOwnerOnly(on bool) {
+	s.mu.Lock()
+	s.ownerOnly = on
+	s.mu.Unlock()
+}
+
+// HandleConnection runs the per-client bootstrap on a freshly connected
+// queue pair: remote attestation with session-key establishment (ecall
+// iii., "add a new client"), ring allocation, and the memory-window
+// exchange of §3.6. It blocks until the handshake completes.
+func (s *Server) HandleConnection(conn rdma.Conn) (uint32, error) {
+	if err := conn.PostRecv(1, make([]byte, bootstrapBufSize)); err != nil {
+		return 0, fmt.Errorf("post bootstrap recv: %w", err)
+	}
+	var hello helloMsg
+	if err := recvMsg(conn, &hello); err != nil {
+		return 0, err
+	}
+	if hello.RespSlots <= 0 || hello.RespSlotSize <= ringbuf.Overhead {
+		_ = sendMsg(conn, 1, &welcomeMsg{Error: "bad response ring geometry"})
+		return 0, ErrBadBootstrap
+	}
+	if s.cfg.MaxClients > 0 {
+		s.mu.Lock()
+		full := len(s.sessions) >= s.cfg.MaxClients
+		s.mu.Unlock()
+		if full {
+			// Admission control against connection floods (§3.9).
+			_ = sendMsg(conn, 1, &welcomeMsg{Error: "server at client capacity"})
+			conn.SetError()
+			return 0, ErrServerFull
+		}
+	}
+
+	var (
+		sh         sgx.ServerHello
+		sessionKey []byte
+	)
+	err := s.enclave.Ecall("add_client", func() error {
+		var err error
+		sh, sessionKey, err = s.enclave.RespondHandshake(sgx.ClientHello{
+			PublicKey: hello.AttestPub,
+			Nonce:     hello.AttestNonce,
+		})
+		return err
+	})
+	if err != nil {
+		_ = sendMsg(conn, 1, &welcomeMsg{Error: "attestation failed"})
+		return 0, fmt.Errorf("attestation: %w", err)
+	}
+	aead, err := cryptox.NewAEAD(sessionKey)
+	if err != nil {
+		return 0, err
+	}
+
+	// Allocate the client's request ring in untrusted server memory and
+	// the credit counter its response-ring reader reports into.
+	reqRing := s.device.RegisterMemory(
+		ringbuf.RingBytes(s.cfg.RingSlots, s.cfg.SlotSize), rdma.PermRemoteWrite)
+	respCredit := s.device.RegisterMemory(ringbuf.CreditBytes, rdma.PermRemoteWrite)
+
+	sess := &session{conn: conn, aead: aead, reqRing: reqRing, respCredit: respCredit}
+
+	sess.reqReader, err = ringbuf.NewReader(ringbuf.ReaderConfig{
+		Ring: reqRing, Slots: s.cfg.RingSlots, SlotSize: s.cfg.SlotSize,
+		Conn: conn, CreditRKey: hello.ReqCreditRKey,
+	})
+	if err != nil {
+		return 0, err
+	}
+	sess.respWriter, err = ringbuf.NewWriter(ringbuf.WriterConfig{
+		Conn: conn, RingRKey: hello.RespRingRKey,
+		Slots: hello.RespSlots, SlotSize: hello.RespSlotSize,
+		Credit: respCredit,
+	})
+	if err != nil {
+		return 0, err
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	sess.id = id
+	binary.LittleEndian.PutUint32(sess.ad[:], id)
+	s.sessions[id] = sess
+	s.rebuildWorkersLocked()
+	s.mu.Unlock()
+
+	// The enclave keeps ~200 B of session state (K_session, oid, id).
+	s.acct.chargeSession()
+	s.logEvent("client attested and connected", slog.Int("client", int(id)),
+		slog.Int("reqRingSlots", s.cfg.RingSlots))
+
+	welcome := &welcomeMsg{
+		AttestPub:        sh.PublicKey,
+		QuoteMeasurement: sh.Quote.Measurement[:],
+		QuoteReportData:  sh.Quote.ReportData,
+		QuoteSignature:   sh.Quote.Signature,
+		ClientID:         id,
+		ReqRingRKey:      reqRing.RKey(),
+		ReqSlots:         s.cfg.RingSlots,
+		ReqSlotSize:      s.cfg.SlotSize,
+		RespCreditRKey:   respCredit.RKey(),
+	}
+	if err := sendMsg(conn, 2, welcome); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// RevokeClient tears down a client's access by transitioning its queue
+// pair to the error state (§3.9) and dropping its session.
+func (s *Server) RevokeClient(id uint32) bool {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+		s.rebuildWorkersLocked()
+	}
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	sess.revoked.Store(true)
+	sess.conn.SetError()
+	s.device.Deregister(sess.reqRing)
+	s.device.Deregister(sess.respCredit)
+	s.logEvent("client revoked", slog.Int("client", int(id)))
+	return true
+}
+
+// logEvent emits a structured event when a logger is configured.
+func (s *Server) logEvent(msg string, attrs ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info(msg, attrs...)
+	}
+}
+
+// rebuildWorkersLocked repartitions sessions across trusted threads.
+func (s *Server) rebuildWorkersLocked() {
+	parts := make([][]*session, s.cfg.Workers)
+	for id, sess := range s.sessions {
+		w := int(id) % s.cfg.Workers
+		parts[w] = append(parts[w], sess)
+	}
+	s.byWorker.Store(parts)
+}
+
+// trustedLoop is one trusted thread: it polls its subset of client rings
+// (§3.8) and handles complete requests. Conceptually it runs inside the
+// long-lived "start polling" ecall issued at startup, so the hot path has
+// no enclave transitions.
+func (s *Server) trustedLoop(worker int) {
+	var scratch *sgx.Region
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		default:
+		}
+		parts, _ := s.byWorker.Load().([][]*session)
+		var mine []*session
+		if worker < len(parts) {
+			mine = parts[worker]
+		}
+		progress := false
+		for _, sess := range mine {
+			if sess.revoked.Load() {
+				continue
+			}
+			msg, ready, err := sess.reqReader.Poll()
+			if err != nil {
+				// Corrupt frame from a rogue client: skip; flow-control
+				// violations produce garbage the framing rejects (§3.9).
+				s.badRequests.Add(1)
+				continue
+			}
+			if !ready {
+				continue
+			}
+			if scratch == nil {
+				// Lazily allocate this trusted thread's in-enclave staging
+				// page for control data and replies, first request only —
+				// the small one-time EPC jump Table 1 shows at one key.
+				scratch, _ = s.enclave.Alloc(sgx.PageSize)
+			}
+			if scratch != nil {
+				scratch.Touch(0, len(msg)%sgx.PageSize+1)
+			}
+			progress = true
+			s.handleRequest(sess, msg)
+		}
+		if !progress && s.cfg.PollInterval > 0 {
+			time.Sleep(s.cfg.PollInterval)
+		}
+	}
+}
+
+// senderLoop is one untrusted worker: it posts trusted threads' replies
+// into client response rings with one-sided writes.
+func (s *Server) senderLoop() {
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case of := <-s.out:
+			if of.sess.revoked.Load() {
+				continue
+			}
+			// Errors here mean the client vanished or was revoked; the
+			// reply is dropped, which the client observes as a timeout.
+			_ = of.sess.respWriter.Write(of.frame)
+		}
+	}
+}
+
+// reply encodes and enqueues a response for the untrusted sender pool.
+func (s *Server) reply(sess *session, status wire.Status, control *wire.ResponseControl, payload []byte) {
+	var sealed []byte
+	if control != nil {
+		pt, err := control.Encode()
+		if err != nil {
+			return
+		}
+		sealed, err = sess.aead.Seal(pt, sess.ad[:])
+		if err != nil {
+			return
+		}
+		s.cryptoBytes.Add(uint64(len(sealed)))
+	}
+	resp := wire.Response{Status: status, SealedControl: sealed, Payload: payload}
+	frame, err := resp.Encode(nil)
+	if err != nil {
+		return
+	}
+	select {
+	case s.out <- outFrame{sess: sess, frame: frame}:
+	case <-s.stopCh:
+	}
+}
+
+// handleRequest implements Algorithm 2 and the get/delete analogues.
+func (s *Server) handleRequest(sess *session, msg []byte) {
+	req, err := wire.DecodeRequest(msg)
+	if err != nil {
+		s.badRequests.Add(1)
+		s.reply(sess, wire.StatusBadRequest, nil, nil)
+		return
+	}
+	// Only the sealed control segment crosses into the enclave; req.Payload
+	// stays in untrusted memory (Fig. 3, steps 3–4).
+	s.cryptoBytes.Add(uint64(len(req.SealedControl)))
+	pt, err := sess.aead.Open(req.SealedControl, sess.ad[:])
+	if err != nil {
+		s.authFailures.Add(1)
+		s.logEvent("control data failed authentication", slog.Int("client", int(sess.id)))
+		s.reply(sess, wire.StatusAuthFailed, nil, nil)
+		return
+	}
+	ctl, err := wire.DecodeRequestControl(pt)
+	if err != nil || ctl.Op != req.Op {
+		s.badRequests.Add(1)
+		s.reply(sess, wire.StatusBadRequest, nil, nil)
+		return
+	}
+	// Replay check (Algorithm 2, lines 4–6): oids must strictly increase.
+	if ctl.Oid <= sess.lastOid {
+		s.replays.Add(1)
+		s.logEvent("replay detected", slog.Int("client", int(sess.id)),
+			slog.Uint64("oid", ctl.Oid), slog.Uint64("lastOid", sess.lastOid))
+		s.reply(sess, wire.StatusReplay,
+			&wire.ResponseControl{Oid: ctl.Oid, Flags: wire.FlagReplay}, nil)
+		return
+	}
+	sess.lastOid = ctl.Oid
+
+	switch ctl.Op {
+	case wire.OpPut:
+		s.handlePut(sess, req, ctl)
+	case wire.OpGet:
+		s.handleGet(sess, ctl)
+	case wire.OpDelete:
+		s.handleDelete(sess, ctl)
+	}
+}
+
+func (s *Server) handlePut(sess *session, req *wire.Request, ctl *wire.RequestControl) {
+	s.puts.Add(1)
+	e := &entry{owner: sess.id}
+
+	if ctl.Flags&wire.FlagInlineValue != 0 {
+		// §5.2 optimization: the small value lives inside the enclave.
+		region, err := s.enclave.Alloc(len(ctl.InlineValue))
+		if err != nil {
+			s.reply(sess, wire.StatusServerError, nil, nil)
+			return
+		}
+		copy(region.Data, ctl.InlineValue)
+		e.inline = region
+	} else {
+		if len(ctl.OpKey) != wire.OpKeySize || req.Payload == nil {
+			s.badRequests.Add(1)
+			s.reply(sess, wire.StatusBadRequest, nil, nil)
+			return
+		}
+		copy(e.opKey[:], ctl.OpKey)
+		// store_to_untrusted (Algorithm 2, line 7): ciphertext and MAC go
+		// to the pre-allocated pool in untrusted memory.
+		stored := len(req.Payload)
+		if !s.cfg.HardenedMACs {
+			stored += wire.MACSize
+		}
+		ref, err := s.pool.Alloc(stored)
+		if err != nil {
+			s.reply(sess, wire.StatusServerError, nil, nil)
+			return
+		}
+		slot, err := s.pool.Read(ref)
+		if err != nil {
+			s.reply(sess, wire.StatusServerError, nil, nil)
+			return
+		}
+		copy(slot, req.Payload)
+		if s.cfg.HardenedMACs {
+			// §3.9 hardening: the MAC is enclave state, not pool state.
+			copy(e.mac[:], req.PayloadMAC)
+			e.hasMAC = true
+		} else {
+			copy(slot[len(req.Payload):], req.PayloadMAC)
+		}
+		e.ref = ref
+	}
+
+	old, existed := s.table.Swap(string(ctl.Key), e)
+	if existed {
+		s.releaseEntry(old)
+	}
+	s.reply(sess, wire.StatusOK, &wire.ResponseControl{Oid: ctl.Oid}, nil)
+}
+
+func (s *Server) handleGet(sess *session, ctl *wire.RequestControl) {
+	s.gets.Add(1)
+	e, ok := s.table.Get(string(ctl.Key))
+	if ok && s.isDenied(sess, e) {
+		// Access control: pretend absence rather than leak existence.
+		ok = false
+	}
+	if !ok {
+		s.reply(sess, wire.StatusNotFound,
+			&wire.ResponseControl{Oid: ctl.Oid, Flags: wire.FlagNotFound}, nil)
+		return
+	}
+	rc := &wire.ResponseControl{Oid: ctl.Oid}
+	var payload []byte
+	switch {
+	case e.inline != nil:
+		rc.Flags = wire.FlagInlineValue
+		rc.InlineValue = e.inline.Data
+		e.inline.Touch(0, len(e.inline.Data))
+	default:
+		rc.OpKey = e.opKey[:]
+		stored, err := s.pool.Read(e.ref)
+		if err != nil {
+			s.reply(sess, wire.StatusServerError, nil, nil)
+			return
+		}
+		// The encrypted payload is transferred as-is — the server performs
+		// no payload cryptography (§3.2).
+		payload = stored
+		if e.hasMAC {
+			rc.PayloadMAC = e.mac[:]
+		}
+	}
+	s.reply(sess, wire.StatusOK, rc, payload)
+}
+
+func (s *Server) handleDelete(sess *session, ctl *wire.RequestControl) {
+	s.deletes.Add(1)
+	key := string(ctl.Key)
+	e, ok := s.table.Get(key)
+	if ok && s.isDenied(sess, e) {
+		ok = false
+	}
+	if !ok {
+		s.reply(sess, wire.StatusNotFound,
+			&wire.ResponseControl{Oid: ctl.Oid, Flags: wire.FlagNotFound}, nil)
+		return
+	}
+	s.table.Delete(key)
+	s.releaseEntry(e)
+	s.reply(sess, wire.StatusOK, &wire.ResponseControl{Oid: ctl.Oid}, nil)
+}
+
+func (s *Server) isDenied(sess *session, e *entry) bool {
+	s.mu.Lock()
+	ownerOnly := s.ownerOnly
+	s.mu.Unlock()
+	return ownerOnly && e.owner != sess.id
+}
+
+func (s *Server) releaseEntry(e *entry) {
+	if e == nil {
+		return
+	}
+	if e.inline != nil {
+		s.enclave.Free(e.inline)
+	}
+	if e.ref.Valid() {
+		s.pool.Free(e.ref)
+	}
+}
+
+// Stats returns a snapshot of server activity.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	clients := len(s.sessions)
+	s.mu.Unlock()
+	ps := s.pool.Stats()
+	return ServerStats{
+		Puts:               s.puts.Load(),
+		Gets:               s.gets.Load(),
+		Deletes:            s.deletes.Load(),
+		Replays:            s.replays.Load(),
+		AuthFailures:       s.authFailures.Load(),
+		BadRequests:        s.badRequests.Load(),
+		EnclaveCryptoBytes: s.cryptoBytes.Load(),
+		Entries:            s.table.Len(),
+		Clients:            clients,
+		Enclave:            s.enclave.Stats(),
+		PoolBytesReserved:  ps.BytesReserved,
+		PoolBytesInUse:     ps.BytesInUse,
+		PoolGrowths:        ps.Growths,
+	}
+}
+
+// Close stops all worker threads and destroys the enclave.
+func (s *Server) Close() {
+	s.mu.Lock()
+	select {
+	case <-s.stopCh:
+		s.mu.Unlock()
+		return
+	default:
+	}
+	close(s.stopCh)
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.enclave.Destroy()
+}

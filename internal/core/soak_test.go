@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSoakMixedWorkload runs a sustained mixed workload from many clients
+// with concurrent revocations and snapshots — the kitchen-sink stability
+// test. Skipped in -short mode.
+func TestSoakMixedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	tc := newCluster(t, ServerConfig{Workers: 4})
+	const (
+		nClients  = 6
+		perClient = 300
+		sealEvery = 500 * time.Millisecond
+	)
+	clients := make([]*Client, nClients)
+	for i := range clients {
+		clients[i] = tc.connect()
+	}
+
+	stopSeal := make(chan struct{})
+	var sealWg sync.WaitGroup
+	sealWg.Add(1)
+	go func() {
+		defer sealWg.Done()
+		ticker := time.NewTicker(sealEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopSeal:
+				return
+			case <-ticker.C:
+				var buf bytes.Buffer
+				if err := tc.server.Seal(&buf); err != nil {
+					t.Errorf("concurrent seal: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(id int, c *Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id)))
+			shadow := make(map[string][]byte)
+			for op := 0; op < perClient; op++ {
+				key := fmt.Sprintf("soak-c%d-k%d", id, rng.Intn(40))
+				switch rng.Intn(4) {
+				case 0, 1:
+					v := make([]byte, rng.Intn(2048))
+					rng.Read(v)
+					if err := c.Put(key, v); err != nil {
+						t.Errorf("client %d put: %v", id, err)
+						return
+					}
+					shadow[key] = append([]byte(nil), v...)
+				case 2:
+					got, err := c.Get(key)
+					want, ok := shadow[key]
+					if ok {
+						if err != nil || !bytes.Equal(got, want) {
+							t.Errorf("client %d get %s: %v", id, key, err)
+							return
+						}
+					} else if !errors.Is(err, ErrNotFound) {
+						t.Errorf("client %d get missing %s: %v", id, key, err)
+						return
+					}
+				case 3:
+					err := c.Delete(key)
+					if _, ok := shadow[key]; ok && err != nil {
+						t.Errorf("client %d delete %s: %v", id, key, err)
+						return
+					}
+					delete(shadow, key)
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	close(stopSeal)
+	sealWg.Wait()
+
+	st := tc.server.Stats()
+	if st.AuthFailures != 0 || st.Replays != 0 || st.BadRequests != 0 {
+		t.Errorf("security events during soak: %+v", st)
+	}
+	if st.Enclave.PageFaults != 0 {
+		t.Errorf("unexpected EPC paging during soak: %d", st.Enclave.PageFaults)
+	}
+	t.Logf("soak: %d puts, %d gets, %d deletes, %d entries, %.2f MiB EPC",
+		st.Puts, st.Gets, st.Deletes, st.Entries, st.Enclave.WorkingSetMiB())
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"precursor/internal/rdma"
+	"precursor/internal/sgx"
+)
+
+// TestOverTCPFabric runs the full Precursor protocol — attestation, ring
+// bootstrap, put/get/delete — across a real TCP connection via the
+// SoftRoCE-style fabric, proving the store works between processes.
+func TestOverTCPFabric(t *testing.T) {
+	platform, err := sgx.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverDev := rdma.NewDevice("server")
+	server, err := NewServer(serverDev, ServerConfig{
+		Platform: platform, Workers: 2, PollInterval: time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	ln, err := rdma.ListenTCP(serverDev, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			qp, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { _, _ = server.HandleConnection(qp) }()
+		}
+	}()
+
+	clientDev := rdma.NewDevice("client")
+	conn, err := rdma.DialTCP(clientDev, ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Connect(ClientConfig{
+		Conn: conn, Device: clientDev,
+		PlatformKey: platform.AttestationPublicKey(),
+		Measurement: server.Measurement(),
+		Timeout:     10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Connect over TCP fabric: %v", err)
+	}
+	defer client.Close()
+
+	value := bytes.Repeat([]byte{0xCD}, 1500)
+	if err := client.Put("tcp-key", value); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := client.Get("tcp-key")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(got, value) {
+		t.Error("round trip mismatch over TCP fabric")
+	}
+	if err := client.Delete("tcp-key"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := client.Get("tcp-key"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("after delete: %v", err)
+	}
+}
+
+// TestOverTCPFabricConcurrentClients exercises multiple TCP-fabric
+// clients against one server concurrently.
+func TestOverTCPFabricConcurrentClients(t *testing.T) {
+	platform, err := sgx.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverDev := rdma.NewDevice("server")
+	server, err := NewServer(serverDev, ServerConfig{
+		Platform: platform, Workers: 2, PollInterval: time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	ln, err := rdma.ListenTCP(serverDev, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			qp, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { _, _ = server.HandleConnection(qp) }()
+		}
+	}()
+
+	const n = 4
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			dev := rdma.NewDevice(fmt.Sprintf("client-%d", id))
+			conn, err := rdma.DialTCP(dev, ln.Addr())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			client, err := Connect(ClientConfig{
+				Conn: conn, Device: dev,
+				PlatformKey: platform.AttestationPublicKey(),
+				Measurement: server.Measurement(),
+				Timeout:     10 * time.Second,
+			})
+			if err != nil {
+				t.Errorf("connect: %v", err)
+				return
+			}
+			defer client.Close()
+			for op := 0; op < 30; op++ {
+				key := fmt.Sprintf("c%d-k%d", id, op)
+				if err := client.Put(key, []byte(key)); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				got, err := client.Get(key)
+				if err != nil || string(got) != key {
+					t.Errorf("get: %q %v", got, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := server.Stats(); st.Clients != n {
+		t.Errorf("clients = %d", st.Clients)
+	}
+}

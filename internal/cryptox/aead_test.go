@@ -1,0 +1,177 @@
+package cryptox
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTestAEAD(t *testing.T) *AEAD {
+	t.Helper()
+	a, err := NewAEAD(bytes.Repeat([]byte{0x5a}, SessionKeySize))
+	if err != nil {
+		t.Fatalf("NewAEAD: %v", err)
+	}
+	return a
+}
+
+func TestAEADRoundTrip(t *testing.T) {
+	a := newTestAEAD(t)
+	pt := []byte("control data: K_op || key || oid")
+	ad := []byte("client-7")
+
+	sealed, err := a.Seal(pt, ad)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if len(sealed) != len(pt)+SealOverhead {
+		t.Errorf("sealed length %d, want %d", len(sealed), len(pt)+SealOverhead)
+	}
+	got, err := a.Open(sealed, ad)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Errorf("round trip mismatch: %q != %q", got, pt)
+	}
+}
+
+func TestAEADRejectsTampering(t *testing.T) {
+	a := newTestAEAD(t)
+	sealed, err := a.Seal([]byte("secret"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sealed {
+		mut := append([]byte(nil), sealed...)
+		mut[i] ^= 1
+		if _, err := a.Open(mut, nil); !errors.Is(err, ErrAuthFailed) {
+			t.Fatalf("tamper at byte %d: got %v, want ErrAuthFailed", i, err)
+		}
+	}
+}
+
+func TestAEADRejectsWrongAD(t *testing.T) {
+	a := newTestAEAD(t)
+	sealed, err := a.Seal([]byte("secret"), []byte("client-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Open(sealed, []byte("client-2")); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("wrong AD: got %v, want ErrAuthFailed", err)
+	}
+}
+
+func TestAEADRejectsWrongKey(t *testing.T) {
+	a := newTestAEAD(t)
+	other, err := NewAEAD(bytes.Repeat([]byte{0x11}, SessionKeySize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := a.Seal([]byte("secret"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Open(sealed, nil); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("wrong key: got %v, want ErrAuthFailed", err)
+	}
+}
+
+func TestAEADShortCiphertext(t *testing.T) {
+	a := newTestAEAD(t)
+	if _, err := a.Open(make([]byte, SealOverhead-1), nil); !errors.Is(err, ErrCiphertext) {
+		t.Errorf("got %v, want ErrCiphertext", err)
+	}
+}
+
+func TestAEADKeySize(t *testing.T) {
+	if _, err := NewAEAD(make([]byte, 15)); !errors.Is(err, ErrSessionKeySize) {
+		t.Errorf("got %v, want ErrSessionKeySize", err)
+	}
+}
+
+func TestAEADFreshNonces(t *testing.T) {
+	a := newTestAEAD(t)
+	pt := []byte("same plaintext")
+	s1, err := a.Seal(pt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := a.Seal(pt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(s1, s2) {
+		t.Error("two seals of the same plaintext are identical (nonce reuse)")
+	}
+}
+
+func TestAEADQuickRoundTrip(t *testing.T) {
+	a := newTestAEAD(t)
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pt := make([]byte, int(n)%2048)
+		rng.Read(pt)
+		ad := make([]byte, rng.Intn(64))
+		rng.Read(ad)
+		sealed, err := a.Seal(pt, ad)
+		if err != nil {
+			return false
+		}
+		got, err := a.Open(sealed, ad)
+		return err == nil && bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHKDFRFC5869Case1(t *testing.T) {
+	ikm := bytes.Repeat([]byte{0x0b}, 22)
+	salt := mustHex(t, "000102030405060708090a0b0c")
+	info := mustHex(t, "f0f1f2f3f4f5f6f7f8f9")
+	want := "3cb25f25faacd57a90434f64d0362f2a" +
+		"2d2d0a90cf1a5a4c5db02d56ecc4c5bf" +
+		"34007208d5b887185865"
+
+	okm, err := HKDF(ikm, salt, info, 42)
+	if err != nil {
+		t.Fatalf("HKDF: %v", err)
+	}
+	if got := hex.EncodeToString(okm); got != want {
+		t.Errorf("OKM mismatch\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestHKDFNilSalt(t *testing.T) {
+	okm, err := HKDF([]byte("secret"), nil, []byte("info"), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(okm) != 32 {
+		t.Errorf("length %d, want 32", len(okm))
+	}
+}
+
+func TestHKDFTooLong(t *testing.T) {
+	if _, err := HKDF([]byte("s"), nil, nil, 255*32+1); !errors.Is(err, ErrHKDFLength) {
+		t.Errorf("got %v, want ErrHKDFLength", err)
+	}
+}
+
+func TestHKDFDistinctInfo(t *testing.T) {
+	a, err := HKDF([]byte("secret"), nil, []byte("session"), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HKDF([]byte("secret"), nil, []byte("other"), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Error("distinct info strings produced identical keys")
+	}
+}

@@ -1,0 +1,166 @@
+package cryptox
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/subtle"
+	"errors"
+)
+
+// CMACSize is the size in bytes of an AES-CMAC tag.
+const CMACSize = 16
+
+// ErrCMACKeySize is returned when the CMAC key is not a valid AES key size.
+var ErrCMACKeySize = errors.New("cryptox: cmac key must be 16, 24 or 32 bytes")
+
+// cmacRb is the constant from RFC 4493 §2.3 for 128-bit block ciphers.
+const cmacRb = 0x87
+
+// CMAC implements AES-CMAC per RFC 4493. It is a hash.Hash-like incremental
+// MAC; construct instances with NewCMAC. A CMAC value must not be used
+// concurrently from multiple goroutines.
+type CMAC struct {
+	block cipher.Block
+	k1    [CMACSize]byte
+	k2    [CMACSize]byte
+	x     [CMACSize]byte // running CBC state
+	buf   [CMACSize]byte // pending partial block
+	n     int            // bytes pending in buf
+}
+
+// NewCMAC returns an AES-CMAC instance keyed with key (16, 24 or 32 bytes).
+// The paper's server uses sgx_rijndael128_cmac_msg, i.e. AES-128-CMAC; pass
+// a 16-byte key for that configuration.
+func NewCMAC(key []byte) (*CMAC, error) {
+	switch len(key) {
+	case 16, 24, 32:
+	default:
+		return nil, ErrCMACKeySize
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	c := &CMAC{block: block}
+	// Subkey generation (RFC 4493 §2.3).
+	var l [CMACSize]byte
+	block.Encrypt(l[:], l[:])
+	shiftLeftOne(c.k1[:], l[:])
+	if l[0]&0x80 != 0 {
+		c.k1[CMACSize-1] ^= cmacRb
+	}
+	shiftLeftOne(c.k2[:], c.k1[:])
+	if c.k1[0]&0x80 != 0 {
+		c.k2[CMACSize-1] ^= cmacRb
+	}
+	return c, nil
+}
+
+// Write absorbs p into the MAC state. It never returns an error.
+func (c *CMAC) Write(p []byte) (int, error) {
+	total := len(p)
+	// The final block must stay pending until Sum, so only flush the buffer
+	// when more input follows it.
+	if c.n == CMACSize && len(p) > 0 {
+		c.flushBuf()
+	}
+	if c.n > 0 {
+		n := copy(c.buf[c.n:], p)
+		c.n += n
+		p = p[n:]
+		if c.n == CMACSize && len(p) > 0 {
+			c.flushBuf()
+		}
+	}
+	// Process whole blocks, keeping at least one byte pending for the final
+	// block transformation.
+	for len(p) > CMACSize {
+		xorBlock(c.x[:], p[:CMACSize])
+		c.block.Encrypt(c.x[:], c.x[:])
+		p = p[CMACSize:]
+	}
+	if len(p) > 0 {
+		c.n = copy(c.buf[:], p)
+	}
+	return total, nil
+}
+
+func (c *CMAC) flushBuf() {
+	xorBlock(c.x[:], c.buf[:])
+	c.block.Encrypt(c.x[:], c.x[:])
+	c.n = 0
+}
+
+// Sum appends the 16-byte tag over everything written so far to b and
+// returns the result. Sum does not modify the running state, so a CMAC can
+// continue to absorb data afterwards.
+func (c *CMAC) Sum(b []byte) []byte {
+	var last [CMACSize]byte
+	if c.n == CMACSize {
+		copy(last[:], c.buf[:])
+		xorBlock(last[:], c.k1[:])
+	} else {
+		copy(last[:], c.buf[:c.n])
+		last[c.n] = 0x80
+		xorBlock(last[:], c.k2[:])
+	}
+	var tag [CMACSize]byte
+	copy(tag[:], c.x[:])
+	xorBlock(tag[:], last[:])
+	c.block.Encrypt(tag[:], tag[:])
+	return append(b, tag[:]...)
+}
+
+// Reset restores the CMAC to its freshly keyed state.
+func (c *CMAC) Reset() {
+	c.x = [CMACSize]byte{}
+	c.buf = [CMACSize]byte{}
+	c.n = 0
+}
+
+// Size returns the tag size in bytes.
+func (c *CMAC) Size() int { return CMACSize }
+
+// BlockSize returns the underlying block size in bytes.
+func (c *CMAC) BlockSize() int { return CMACSize }
+
+// ComputeCMAC returns the AES-CMAC tag of msg under key.
+func ComputeCMAC(key, msg []byte) ([]byte, error) {
+	c, err := NewCMAC(key)
+	if err != nil {
+		return nil, err
+	}
+	_, _ = c.Write(msg)
+	return c.Sum(nil), nil
+}
+
+// VerifyCMAC reports whether tag is the AES-CMAC of msg under key, using a
+// constant-time comparison.
+func VerifyCMAC(key, msg, tag []byte) (bool, error) {
+	want, err := ComputeCMAC(key, msg)
+	if err != nil {
+		return false, err
+	}
+	if len(tag) != CMACSize {
+		return false, nil
+	}
+	return subtle.ConstantTimeCompare(want, tag) == 1, nil
+}
+
+// shiftLeftOne sets dst to src shifted left by one bit. dst and src must be
+// 16 bytes.
+func shiftLeftOne(dst, src []byte) {
+	var carry byte
+	for i := CMACSize - 1; i >= 0; i-- {
+		b := src[i]
+		dst[i] = b<<1 | carry
+		carry = b >> 7
+	}
+}
+
+// xorBlock XORs b into a in place; both must be 16 bytes.
+func xorBlock(a, b []byte) {
+	for i := 0; i < CMACSize; i++ {
+		a[i] ^= b[i]
+	}
+}

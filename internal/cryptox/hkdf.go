@@ -1,0 +1,39 @@
+package cryptox
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+)
+
+// ErrHKDFLength is returned when more than 255 output blocks are requested.
+var ErrHKDFLength = errors.New("cryptox: hkdf output length too large")
+
+// HKDF derives length bytes of key material from secret, salt and info
+// using HKDF-SHA-256 (RFC 5869). It is used to turn the attestation
+// handshake's ECDH shared secret into the per-client session key K_session.
+func HKDF(secret, salt, info []byte, length int) ([]byte, error) {
+	if length > 255*sha256.Size {
+		return nil, ErrHKDFLength
+	}
+	// Extract.
+	if salt == nil {
+		salt = make([]byte, sha256.Size)
+	}
+	ext := hmac.New(sha256.New, salt)
+	ext.Write(secret)
+	prk := ext.Sum(nil)
+
+	// Expand.
+	out := make([]byte, 0, length)
+	var prev []byte
+	for counter := byte(1); len(out) < length; counter++ {
+		exp := hmac.New(sha256.New, prk)
+		exp.Write(prev)
+		exp.Write(info)
+		exp.Write([]byte{counter})
+		prev = exp.Sum(nil)
+		out = append(out, prev...)
+	}
+	return out[:length], nil
+}

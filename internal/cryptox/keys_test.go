@@ -1,0 +1,197 @@
+package cryptox
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewOperationKeyFresh(t *testing.T) {
+	a, err := NewOperationKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewOperationKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("two operation keys are identical")
+	}
+	if a == (OperationKey{}) {
+		t.Error("operation key is all zero")
+	}
+}
+
+func TestPayloadRoundTrip(t *testing.T) {
+	op, err := NewOperationKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	value := []byte("the value stored in untrusted memory")
+
+	payload, mac, err := EncryptPayload(op, value)
+	if err != nil {
+		t.Fatalf("EncryptPayload: %v", err)
+	}
+	if len(payload) != Salsa20NonceSize+len(value) {
+		t.Errorf("payload length %d, want %d", len(payload), Salsa20NonceSize+len(value))
+	}
+	if bytes.Contains(payload, value) {
+		t.Error("plaintext visible in payload")
+	}
+	got, err := DecryptPayload(op, payload, mac)
+	if err != nil {
+		t.Fatalf("DecryptPayload: %v", err)
+	}
+	if !bytes.Equal(got, value) {
+		t.Errorf("round trip mismatch: %q != %q", got, value)
+	}
+}
+
+// TestPayloadTamperDetection: any modification to the untrusted payload
+// must be caught by the client-side MAC check — the core integrity claim
+// of the paper's client-centric scheme.
+func TestPayloadTamperDetection(t *testing.T) {
+	op, err := NewOperationKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, mac, err := EncryptPayload(op, []byte("authentic value"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range payload {
+		mut := append([]byte(nil), payload...)
+		mut[i] ^= 0xff
+		if _, err := DecryptPayload(op, mut, mac); !errors.Is(err, ErrAuthFailed) {
+			t.Fatalf("payload tamper at byte %d: got %v, want ErrAuthFailed", i, err)
+		}
+	}
+	for i := range mac {
+		mut := append([]byte(nil), mac...)
+		mut[i] ^= 0xff
+		if _, err := DecryptPayload(op, payload, mut); !errors.Is(err, ErrAuthFailed) {
+			t.Fatalf("mac tamper at byte %d: got %v, want ErrAuthFailed", i, err)
+		}
+	}
+}
+
+func TestPayloadWrongKeyRejected(t *testing.T) {
+	op1, err := NewOperationKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	op2, err := NewOperationKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, mac, err := EncryptPayload(op1, []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecryptPayload(op2, payload, mac); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("wrong key: got %v, want ErrAuthFailed", err)
+	}
+}
+
+func TestPayloadEmptyValue(t *testing.T) {
+	op, err := NewOperationKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, mac, err := EncryptPayload(op, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecryptPayload(op, payload, mac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %d bytes, want 0", len(got))
+	}
+}
+
+func TestPayloadShortPayloadRejected(t *testing.T) {
+	op, err := NewOperationKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := make([]byte, Salsa20NonceSize-1)
+	mac, err := ComputeCMAC(MACKey(op), short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecryptPayload(op, short, mac); !errors.Is(err, ErrCiphertext) {
+		t.Errorf("got %v, want ErrCiphertext", err)
+	}
+}
+
+func TestPayloadQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		value := make([]byte, int(n)%8192)
+		rng.Read(value)
+		var op OperationKey
+		rng.Read(op[:])
+
+		payload, mac, err := EncryptPayload(op, value)
+		if err != nil {
+			return false
+		}
+		got, err := DecryptPayload(op, payload, mac)
+		return err == nil && bytes.Equal(got, value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFreshKeysPerPut: encrypting the same value twice with fresh keys must
+// produce unrelated ciphertexts — the traffic-analysis resistance argument
+// in §3.3.
+func TestFreshKeysPerPut(t *testing.T) {
+	value := []byte("identical value both times")
+	op1, err := NewOperationKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	op2, err := NewOperationKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, m1, err := EncryptPayload(op1, value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, m2, err := EncryptPayload(op2, value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(p1[Salsa20NonceSize:], p2[Salsa20NonceSize:]) {
+		t.Error("ciphertexts identical under fresh one-time keys")
+	}
+	if bytes.Equal(m1, m2) {
+		t.Error("MACs identical under fresh one-time keys")
+	}
+}
+
+func TestRandomBytes(t *testing.T) {
+	a, err := RandomBytes(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomBytes(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Error("two random draws identical")
+	}
+	if len(a) != 32 {
+		t.Errorf("length %d, want 32", len(a))
+	}
+}

@@ -1,0 +1,80 @@
+package hashtable
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestSwapSemantics(t *testing.T) {
+	tbl := New[string](nil, 0)
+	if old, existed := tbl.Swap("k", "v1"); existed || old != "" {
+		t.Errorf("fresh swap: %q %v", old, existed)
+	}
+	if old, existed := tbl.Swap("k", "v2"); !existed || old != "v1" {
+		t.Errorf("replace swap: %q %v", old, existed)
+	}
+	if v, ok := tbl.Get("k"); !ok || v != "v2" {
+		t.Errorf("after swap: %q %v", v, ok)
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("len = %d", tbl.Len())
+	}
+}
+
+func TestSwapUnderCollisions(t *testing.T) {
+	tbl := New[int](nil, 0)
+	const n = 200
+	for i := 0; i < n; i++ {
+		tbl.Put("key-"+strconv.Itoa(i), i)
+	}
+	// Swap every key and verify old values round-trip.
+	for i := 0; i < n; i++ {
+		old, existed := tbl.Swap("key-"+strconv.Itoa(i), i*10)
+		if !existed || old != i {
+			t.Fatalf("swap %d: %d %v", i, old, existed)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := tbl.Get("key-" + strconv.Itoa(i)); !ok || v != i*10 {
+			t.Fatalf("after swap %d: %d %v", i, v, ok)
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	tbl := New[int](nil, 0)
+	for i := 0; i < 500; i++ {
+		tbl.Put(strconv.Itoa(i), i)
+	}
+	buckets := tbl.Buckets()
+	tbl.Clear()
+	if tbl.Len() != 0 {
+		t.Errorf("len after clear = %d", tbl.Len())
+	}
+	if tbl.Buckets() != buckets {
+		t.Errorf("bucket array changed: %d -> %d", buckets, tbl.Buckets())
+	}
+	if _, ok := tbl.Get("42"); ok {
+		t.Error("cleared key still present")
+	}
+	// Table is reusable after Clear.
+	tbl.Put("fresh", 1)
+	if v, ok := tbl.Get("fresh"); !ok || v != 1 {
+		t.Errorf("reuse after clear: %d %v", v, ok)
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	tbl := New[int](nil, 0)
+	for i := 0; i < 100; i++ {
+		tbl.Put(strconv.Itoa(i), i)
+	}
+	visits := 0
+	tbl.Range(func(key string, v int) bool {
+		visits++
+		return visits < 10
+	})
+	if visits != 10 {
+		t.Errorf("visits = %d", visits)
+	}
+}

@@ -1,0 +1,227 @@
+// Package hist provides the latency histograms behind the evaluation's
+// tail-latency CDFs (Figure 7) and breakdowns (Figure 8).
+//
+// The histogram uses logarithmic buckets (HdrHistogram-style: power-of-two
+// magnitudes each split into 64 linear sub-buckets), giving ≤ ~1.6 % value
+// error across nanoseconds-to-seconds without per-sample allocation.
+package hist
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"time"
+)
+
+const subBucketBits = 6 // 64 linear sub-buckets per magnitude
+
+// Histogram records durations in nanoseconds. The zero value is unusable;
+// call New. Histogram is not safe for concurrent use; shard per worker and
+// Merge.
+type Histogram struct {
+	counts []uint64
+	total  uint64
+	sum    float64
+	min    int64
+	max    int64
+}
+
+// New creates an empty histogram.
+func New() *Histogram {
+	return &Histogram{
+		counts: make([]uint64, (64-subBucketBits)<<subBucketBits),
+		min:    math.MaxInt64,
+	}
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	mag := bits.Len64(u >> subBucketBits) // 0 for small values
+	sub := u >> uint(mag)                 // 0..(2^subBucketBits+...)-1
+	idx := mag<<subBucketBits + int(sub)
+	return idx
+}
+
+// bucketValue returns a representative (upper-bound) value for a bucket.
+func bucketValue(idx int) int64 {
+	mag := idx >> subBucketBits
+	sub := idx & ((1 << subBucketBits) - 1)
+	return int64(uint64(sub+1) << uint(mag))
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	idx := bucketIndex(v)
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	h.counts[idx]++
+	h.total++
+	h.sum += float64(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the mean sample.
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / float64(h.total))
+}
+
+// Min and Max return sample extremes.
+func (h *Histogram) Min() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.min)
+}
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) with bucket resolution.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	target := uint64(q * float64(h.total))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= target {
+			v := bucketValue(i)
+			if v > h.max {
+				v = h.max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Merge adds other's samples into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.total > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// CDFPoint is one point of a cumulative distribution function.
+type CDFPoint struct {
+	Latency  time.Duration
+	Fraction float64
+}
+
+// CDF returns up to n points of the distribution, suitable for plotting
+// Figure 7. Points are emitted at each non-empty bucket boundary and
+// thinned to n.
+func (h *Histogram) CDF(n int) []CDFPoint {
+	if h.total == 0 || n <= 0 {
+		return nil
+	}
+	var raw []CDFPoint
+	var seen uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		v := bucketValue(i)
+		if v > h.max {
+			v = h.max
+		}
+		raw = append(raw, CDFPoint{
+			Latency:  time.Duration(v),
+			Fraction: float64(seen) / float64(h.total),
+		})
+	}
+	if len(raw) <= n {
+		return raw
+	}
+	out := make([]CDFPoint, 0, n)
+	step := float64(len(raw)-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		out = append(out, raw[int(float64(i)*step+0.5)])
+	}
+	return out
+}
+
+// Summary formats the standard percentile row used in EXPERIMENTS.md.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.total, h.Mean().Round(time.Microsecond),
+		h.Quantile(0.50).Round(time.Microsecond),
+		h.Quantile(0.95).Round(time.Microsecond),
+		h.Quantile(0.99).Round(time.Microsecond),
+		h.Max().Round(time.Microsecond))
+}
+
+// Series is a named collection of histograms, e.g. one per value size.
+type Series struct {
+	names []string
+	hists map[string]*Histogram
+}
+
+// NewSeries creates an empty series.
+func NewSeries() *Series {
+	return &Series{hists: make(map[string]*Histogram)}
+}
+
+// At returns (creating if needed) the named histogram.
+func (s *Series) At(name string) *Histogram {
+	h, ok := s.hists[name]
+	if !ok {
+		h = New()
+		s.hists[name] = h
+		s.names = append(s.names, name)
+		sort.Strings(s.names)
+	}
+	return h
+}
+
+// Table renders the series as an aligned text table.
+func (s *Series) Table() string {
+	var b strings.Builder
+	for _, name := range s.names {
+		fmt.Fprintf(&b, "%-16s %s\n", name, s.hists[name].Summary())
+	}
+	return b.String()
+}

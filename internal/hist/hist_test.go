@@ -1,0 +1,147 @@
+package hist
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	h := New()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram not zero-valued")
+	}
+	if pts := h.CDF(10); pts != nil {
+		t.Errorf("CDF of empty = %v", pts)
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	h := New()
+	h.Record(42 * time.Microsecond)
+	if h.Count() != 1 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Min() != 42*time.Microsecond || h.Max() != 42*time.Microsecond {
+		t.Errorf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	got := h.Quantile(0.99)
+	if got < 42*time.Microsecond || got > 43*time.Microsecond {
+		t.Errorf("p99 = %v", got)
+	}
+}
+
+// TestQuantileAccuracy compares against exact quantiles of a known
+// sample set; log-bucket error must stay below ~2%.
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := New()
+	samples := make([]int64, 100000)
+	for i := range samples {
+		v := int64(rng.ExpFloat64() * 50000) // exponential, mean 50µs
+		samples[i] = v
+		h.Record(time.Duration(v))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		exact := samples[int(q*float64(len(samples)))]
+		got := int64(h.Quantile(q))
+		if exact == 0 {
+			continue
+		}
+		err := float64(got-exact) / float64(exact)
+		if err < -0.05 || err > 0.05 {
+			t.Errorf("q=%v: got %d exact %d (err %.2f%%)", q, got, exact, err*100)
+		}
+	}
+}
+
+func TestMergePreservesTotals(t *testing.T) {
+	a, b := New(), New()
+	for i := 0; i < 1000; i++ {
+		a.Record(time.Duration(i) * time.Microsecond)
+		b.Record(time.Duration(i*2) * time.Microsecond)
+	}
+	total := New()
+	total.Merge(a)
+	total.Merge(b)
+	if total.Count() != 2000 {
+		t.Errorf("count = %d", total.Count())
+	}
+	if total.Max() != b.Max() {
+		t.Errorf("max = %v", total.Max())
+	}
+	if total.Min() != a.Min() {
+		t.Errorf("min = %v", total.Min())
+	}
+}
+
+func TestCDFMonotonic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := New()
+		for i := 0; i < 5000; i++ {
+			h.Record(time.Duration(rng.Intn(1e8)))
+		}
+		pts := h.CDF(50)
+		if len(pts) == 0 {
+			return false
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Fraction < pts[i-1].Fraction || pts[i].Latency < pts[i-1].Latency {
+				return false
+			}
+		}
+		return pts[len(pts)-1].Fraction > 0.999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := New()
+	for i := 0; i < 10000; i++ {
+		h.Record(time.Duration(rng.Intn(1e9)))
+	}
+	last := time.Duration(0)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < last {
+			t.Fatalf("quantile not monotonic at q=%.2f: %v < %v", q, v, last)
+		}
+		last = v
+	}
+}
+
+func TestNegativeDurationClamped(t *testing.T) {
+	h := New()
+	h.Record(-5 * time.Second)
+	if h.Min() != 0 {
+		t.Errorf("min = %v", h.Min())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries()
+	s.At("get").Record(time.Millisecond)
+	s.At("put").Record(2 * time.Millisecond)
+	s.At("get").Record(3 * time.Millisecond)
+	if s.At("get").Count() != 2 || s.At("put").Count() != 1 {
+		t.Error("series routing broken")
+	}
+	tbl := s.Table()
+	if len(tbl) == 0 {
+		t.Error("empty table")
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	h := New()
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i % 1e7))
+	}
+}

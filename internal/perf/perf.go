@@ -1,0 +1,79 @@
+// Package perf is the reproduction's stand-in for sgx-perf (Weichbrodt et
+// al., Middleware '18), the tool the paper uses to trace enclave working
+// sets for Table 1 (§5.4) and per-call transition statistics.
+package perf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"precursor/internal/sgx"
+)
+
+// Snapshot is one working-set observation.
+type Snapshot struct {
+	Label string
+	Stats sgx.Stats
+}
+
+// Tracer records working-set snapshots of one enclave across experiment
+// phases (e.g. after 0, 1 and 100,000 inserts).
+type Tracer struct {
+	enclave   *sgx.Enclave
+	snapshots []Snapshot
+}
+
+// NewTracer attaches to an enclave.
+func NewTracer(e *sgx.Enclave) *Tracer { return &Tracer{enclave: e} }
+
+// Snapshot records the current working set under the given label.
+func (t *Tracer) Snapshot(label string) Snapshot {
+	s := Snapshot{Label: label, Stats: t.enclave.Stats()}
+	t.snapshots = append(t.snapshots, s)
+	return s
+}
+
+// Snapshots returns all recorded observations in order.
+func (t *Tracer) Snapshots() []Snapshot {
+	return append([]Snapshot(nil), t.snapshots...)
+}
+
+// Row formats one snapshot as a Table 1 cell: "N pages (X MiB)".
+func (s Snapshot) Row() string {
+	return fmt.Sprintf("%d pages (%.1f MiB)", s.Stats.EPCPages, s.Stats.WorkingSetMiB())
+}
+
+// Table renders all snapshots as aligned rows.
+func (t *Tracer) Table() string {
+	var b strings.Builder
+	for _, s := range t.snapshots {
+		fmt.Fprintf(&b, "%-16s %s\n", s.Label, s.Row())
+	}
+	return b.String()
+}
+
+// CallReport formats an enclave's per-call transition counters the way
+// sgx-perf reports ecalls/ocalls, sorted by count descending.
+func CallReport(e *sgx.Enclave) string {
+	counts := e.CallCounts()
+	type kv struct {
+		name  string
+		count uint64
+	}
+	rows := make([]kv, 0, len(counts))
+	for name, c := range counts {
+		rows = append(rows, kv{name, c})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].count != rows[j].count {
+			return rows[i].count > rows[j].count
+		}
+		return rows[i].name < rows[j].name
+	})
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %d\n", r.name, r.count)
+	}
+	return b.String()
+}

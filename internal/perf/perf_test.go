@@ -1,0 +1,64 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+
+	"precursor/internal/sgx"
+)
+
+func TestTracerSnapshots(t *testing.T) {
+	p, err := sgx.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := p.CreateEnclave([]byte("img"), 10)
+	tr := NewTracer(e)
+
+	s0 := tr.Snapshot("0 keys/init")
+	if s0.Stats.EPCPages != 10 {
+		t.Errorf("initial pages = %d", s0.Stats.EPCPages)
+	}
+	if _, err := e.Alloc(8 * sgx.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	s1 := tr.Snapshot("after alloc")
+	if s1.Stats.EPCPages != 18 {
+		t.Errorf("pages after alloc = %d", s1.Stats.EPCPages)
+	}
+	if len(tr.Snapshots()) != 2 {
+		t.Errorf("snapshot count = %d", len(tr.Snapshots()))
+	}
+	tbl := tr.Table()
+	if !strings.Contains(tbl, "0 keys/init") || !strings.Contains(tbl, "18 pages") {
+		t.Errorf("table = %q", tbl)
+	}
+}
+
+func TestRowFormat(t *testing.T) {
+	s := Snapshot{Label: "x", Stats: sgx.Stats{EPCPages: 17392}}
+	row := s.Row()
+	if !strings.Contains(row, "17392 pages") || !strings.Contains(row, "67.9 MiB") {
+		t.Errorf("row = %q", row)
+	}
+}
+
+func TestCallReport(t *testing.T) {
+	p, err := sgx.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := p.CreateEnclave([]byte("img"), 0)
+	for i := 0; i < 5; i++ {
+		_ = e.Ecall("poll", func() error { return nil })
+	}
+	_ = e.Ocall("grow", func() error { return nil })
+	rep := CallReport(e)
+	lines := strings.Split(strings.TrimSpace(rep), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("report = %q", rep)
+	}
+	if !strings.HasPrefix(lines[0], "ecall:poll") {
+		t.Errorf("sorting wrong: %q", rep)
+	}
+}

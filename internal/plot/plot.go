@@ -1,0 +1,275 @@
+// Package plot renders the reproduction's figures as standalone SVG
+// files using only the standard library. It supports the three shapes the
+// paper's evaluation needs: grouped bar charts (Fig. 4), line charts with
+// an optional logarithmic x-axis (Figs. 1, 5, 6), and CDF step plots
+// (Fig. 7). The output is deliberately simple, deterministic, and
+// viewer-agnostic.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Size of the drawing canvas and margins, in SVG user units.
+const (
+	width   = 720.0
+	height  = 440.0
+	marginL = 80.0
+	marginR = 24.0
+	marginT = 48.0
+	marginB = 64.0
+)
+
+// palette is a colorblind-safe cycle (Okabe–Ito).
+var palette = []string{
+	"#0072B2", "#D55E00", "#009E73", "#CC79A7",
+	"#E69F00", "#56B4E9", "#F0E442", "#000000",
+}
+
+// Point is one (x, y) sample.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named sequence of points.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Line describes a line chart.
+type Line struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	Series []Series
+}
+
+// Bars describes a grouped bar chart: one group per X label, one bar per
+// series within each group.
+type Bars struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Groups []string    // x-axis group labels
+	Series []string    // legend entries
+	Values [][]float64 // Values[group][series]
+}
+
+// SVG renders the line chart.
+func (l Line) SVG() string {
+	var b strings.Builder
+	header(&b, l.Title)
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	maxY := 0.0
+	for _, s := range l.Series {
+		for _, p := range s.Points {
+			x := p.X
+			if l.LogX {
+				x = math.Log2(math.Max(p.X, 1))
+			}
+			minX = math.Min(minX, x)
+			maxX = math.Max(maxX, x)
+			maxY = math.Max(maxY, p.Y)
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	if minX >= maxX {
+		maxX = minX + 1
+	}
+	maxY *= 1.08
+
+	xpos := func(x float64) float64 {
+		if l.LogX {
+			x = math.Log2(math.Max(x, 1))
+		}
+		return marginL + (x-minX)/(maxX-minX)*(width-marginL-marginR)
+	}
+	ypos := func(y float64) float64 {
+		return height - marginB - y/maxY*(height-marginT-marginB)
+	}
+
+	axes(&b, l.XLabel, l.YLabel)
+	yTicks(&b, maxY, ypos)
+	// X ticks: the union of sample positions (thinned).
+	xs := xValues(l.Series)
+	step := 1
+	if len(xs) > 8 {
+		step = len(xs) / 8
+	}
+	for i := 0; i < len(xs); i += step {
+		x := xs[i]
+		px := xpos(x)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#999"/>`+"\n",
+			px, height-marginB, px, height-marginB+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			px, height-marginB+18, humanNum(x))
+	}
+
+	for i, s := range l.Series {
+		color := palette[i%len(palette)]
+		var path strings.Builder
+		for j, p := range s.Points {
+			cmd := "L"
+			if j == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, xpos(p.X), ypos(p.Y))
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.TrimSpace(path.String()), color)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`+"\n",
+				xpos(p.X), ypos(p.Y), color)
+		}
+	}
+	legend(&b, seriesNames(l.Series))
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// SVG renders the grouped bar chart.
+func (bc Bars) SVG() string {
+	var b strings.Builder
+	header(&b, bc.Title)
+
+	maxY := 0.0
+	for _, group := range bc.Values {
+		for _, v := range group {
+			maxY = math.Max(maxY, v)
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	maxY *= 1.08
+	ypos := func(y float64) float64 {
+		return height - marginB - y/maxY*(height-marginT-marginB)
+	}
+	axes(&b, bc.XLabel, bc.YLabel)
+	yTicks(&b, maxY, ypos)
+
+	plotW := width - marginL - marginR
+	groupW := plotW / float64(len(bc.Groups))
+	barW := groupW * 0.8 / float64(maxInt(len(bc.Series), 1))
+	for gi, group := range bc.Values {
+		gx := marginL + float64(gi)*groupW
+		for si, v := range group {
+			x := gx + groupW*0.1 + float64(si)*barW
+			y := ypos(v)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, y, barW*0.92, height-marginB-y, palette[si%len(palette)])
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="9" text-anchor="middle">%s</text>`+"\n",
+				x+barW*0.46, y-3, humanNum(v))
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			gx+groupW/2, height-marginB+18, bc.Groups[gi])
+	}
+	legend(&b, bc.Series)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func header(b *strings.Builder, title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" `+
+		`viewBox="0 0 %.0f %.0f" font-family="sans-serif">`+"\n", width, height, width, height)
+	fmt.Fprintf(b, `<rect width="%.0f" height="%.0f" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(b, `<text x="%.1f" y="24" font-size="15" text-anchor="middle">%s</text>`+"\n",
+		width/2, escape(title))
+}
+
+func axes(b *strings.Builder, xlabel, ylabel string) {
+	fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+	fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		(marginL+width-marginR)/2, height-16, escape(xlabel))
+	fmt.Fprintf(b, `<text x="18" y="%.1f" font-size="12" text-anchor="middle" `+
+		`transform="rotate(-90 18 %.1f)">%s</text>`+"\n",
+		(marginT+height-marginB)/2, (marginT+height-marginB)/2, escape(ylabel))
+}
+
+func yTicks(b *strings.Builder, maxY float64, ypos func(float64) float64) {
+	for i := 0; i <= 5; i++ {
+		v := maxY * float64(i) / 5
+		y := ypos(v)
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, y, width-marginR, y)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-6, y+4, humanNum(v))
+	}
+}
+
+func legend(b *strings.Builder, names []string) {
+	x := marginL + 10
+	y := marginT + 4.0
+	for i, name := range names {
+		fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="12" height="12" fill="%s"/>`+"\n",
+			x, y, palette[i%len(palette)])
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="12">%s</text>`+"\n",
+			x+16, y+10, escape(name))
+		y += 18
+	}
+}
+
+func xValues(series []Series) []float64 {
+	set := make(map[float64]struct{})
+	for _, s := range series {
+		for _, p := range s.Points {
+			set[p.X] = struct{}{}
+		}
+	}
+	xs := make([]float64, 0, len(set))
+	for x := range set {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+func seriesNames(series []Series) []string {
+	names := make([]string, len(series))
+	for i, s := range series {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// humanNum renders a number compactly (1200 → "1.2k").
+func humanNum(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return trimZero(fmt.Sprintf("%.1fM", v/1e6))
+	case av >= 1e3:
+		return trimZero(fmt.Sprintf("%.1fk", v/1e3))
+	case av >= 10 || av == math.Trunc(av):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return trimZero(fmt.Sprintf("%.1f", v))
+	}
+}
+
+func trimZero(s string) string {
+	return strings.Replace(s, ".0", "", 1)
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,97 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+// validate parses the SVG as XML (well-formedness check).
+func validate(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("invalid SVG XML: %v", err)
+		}
+	}
+}
+
+func TestLineSVG(t *testing.T) {
+	l := Line{
+		Title:  "Throughput vs size",
+		XLabel: "value size (B)",
+		YLabel: "Kops/s",
+		LogX:   true,
+		Series: []Series{
+			{Name: "precursor", Points: []Point{{16, 1100}, {1024, 1080}, {16384, 256}}},
+			{Name: "shieldstore", Points: []Point{{16, 118}, {1024, 113}, {16384, 68}}},
+		},
+	}
+	svg := l.SVG()
+	validate(t, svg)
+	for _, want := range []string{"precursor", "shieldstore", "Kops/s", "<path", "Throughput"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestLineSVGLinearAxis(t *testing.T) {
+	l := Line{
+		Title: "clients", XLabel: "n", YLabel: "kops",
+		Series: []Series{{Name: "p", Points: []Point{{10, 1}, {50, 5}, {100, 3}}}},
+	}
+	validate(t, l.SVG())
+}
+
+func TestBarsSVG(t *testing.T) {
+	bc := Bars{
+		Title:  "Figure 4",
+		XLabel: "read ratio",
+		YLabel: "Kops/s",
+		Groups: []string{"100%", "95%", "50%", "5%"},
+		Series: []string{"precursor", "server-enc", "shieldstore"},
+		Values: [][]float64{
+			{1110, 773, 118}, {1102, 750, 118}, {934, 585, 118}, {693, 480, 118},
+		},
+	}
+	svg := bc.SVG()
+	validate(t, svg)
+	if strings.Count(svg, "<rect") < 12 { // 12 bars + background
+		t.Errorf("expected ≥12 bars, svg has %d rects", strings.Count(svg, "<rect"))
+	}
+	for _, want := range []string{"100%", "server-enc", "1.1k"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestEmptyInputsDoNotPanic(t *testing.T) {
+	validate(t, Line{Title: "empty"}.SVG())
+	validate(t, Bars{Title: "empty", Groups: []string{"a"}, Values: [][]float64{{}}}.SVG())
+}
+
+func TestEscape(t *testing.T) {
+	l := Line{Title: `a<b & "c"`, Series: []Series{{Name: "s", Points: []Point{{1, 1}}}}}
+	svg := l.SVG()
+	validate(t, svg)
+	if strings.Contains(svg, `a<b`) {
+		t.Error("title not escaped")
+	}
+}
+
+func TestHumanNum(t *testing.T) {
+	for in, want := range map[float64]string{
+		0: "0", 5.5: "5.5", 42: "42", 1200: "1.2k", 1000000: "1M", 2500000: "2.5M",
+	} {
+		if got := humanNum(in); got != want {
+			t.Errorf("humanNum(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

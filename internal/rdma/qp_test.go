@@ -1,0 +1,396 @@
+package rdma
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// pair builds a connected client/server QP pair on a fresh fabric.
+func pair(t *testing.T) (*Fabric, *Device, *Device, *QP, *QP) {
+	t.Helper()
+	f := NewFabric()
+	server, err := f.NewDevice("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := f.NewDevice("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, sq := f.ConnectRC(client, server)
+	return f, client, server, cq, sq
+}
+
+func TestOneSidedWriteBypassesRemoteCPU(t *testing.T) {
+	_, _, server, cq, sq := pair(t)
+	mr := server.RegisterMemory(4096, PermRemoteWrite)
+
+	msg := []byte("request written by the NIC")
+	if err := cq.PostWrite(1, mr.RKey(), 128, msg, true); err != nil {
+		t.Fatalf("PostWrite: %v", err)
+	}
+	// The data is visible in server memory by polling — no server-side
+	// completion, no receive consumed: the one-sided property.
+	got := make([]byte, len(msg))
+	if n := mr.ReadAt(128, got); n != len(msg) {
+		t.Fatalf("ReadAt: %d bytes", n)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("memory = %q, want %q", got, msg)
+	}
+	if comps := sq.PollRecv(10); len(comps) != 0 {
+		t.Errorf("one-sided write generated %d remote completions", len(comps))
+	}
+	comps := cq.PollSend(10)
+	if len(comps) != 1 || comps[0].Status != StatusOK || comps[0].WRID != 1 {
+		t.Errorf("sender completions = %+v", comps)
+	}
+}
+
+func TestSelectiveSignaling(t *testing.T) {
+	_, _, server, cq, _ := pair(t)
+	mr := server.RegisterMemory(4096, PermRemoteWrite)
+
+	for i := 0; i < 15; i++ {
+		if err := cq.PostWrite(uint64(i), mr.RKey(), 0, []byte{1}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cq.PostWrite(99, mr.RKey(), 0, []byte{1}, true); err != nil {
+		t.Fatal(err)
+	}
+	comps := cq.PollSend(100)
+	if len(comps) != 1 || comps[0].WRID != 99 {
+		t.Errorf("selective signaling: got %d completions %+v, want only wr 99", len(comps), comps)
+	}
+}
+
+func TestOneSidedRead(t *testing.T) {
+	_, _, server, cq, _ := pair(t)
+	mr := server.RegisterMemory(1024, PermRemoteRead)
+	mr.WriteAt(100, []byte("payload-as-is"))
+
+	dst := make([]byte, 13)
+	if err := cq.PostRead(7, mr.RKey(), 100, dst); err != nil {
+		t.Fatal(err)
+	}
+	if string(dst) != "payload-as-is" {
+		t.Errorf("read %q", dst)
+	}
+	comps := cq.PollSend(10)
+	if len(comps) != 1 || comps[0].Op != OpRead || comps[0].Status != StatusOK {
+		t.Errorf("completions = %+v", comps)
+	}
+}
+
+func TestBadRKeyMovesQPToError(t *testing.T) {
+	_, _, server, cq, _ := pair(t)
+	_ = server.RegisterMemory(1024, PermRemoteWrite)
+
+	if err := cq.PostWrite(1, 0xdeadbeef, 0, []byte("x"), true); err != nil {
+		t.Fatal(err)
+	}
+	comps := cq.PollSend(10)
+	if len(comps) != 1 || comps[0].Status != StatusRemoteAccessError || !errors.Is(comps[0].Err, ErrBadRKey) {
+		t.Fatalf("completions = %+v", comps)
+	}
+	// Subsequent posts fail: QP is in the error state.
+	if err := cq.PostWrite(2, 1, 0, []byte("x"), true); !errors.Is(err, ErrQPError) {
+		t.Errorf("post after error: %v", err)
+	}
+}
+
+func TestOutOfBoundsWriteRejected(t *testing.T) {
+	_, _, server, cq, _ := pair(t)
+	mr := server.RegisterMemory(64, PermRemoteWrite)
+
+	if err := cq.PostWrite(1, mr.RKey(), 60, []byte("12345"), true); err != nil {
+		t.Fatal(err)
+	}
+	comps := cq.PollSend(10)
+	if len(comps) != 1 || !errors.Is(comps[0].Err, ErrBounds) {
+		t.Fatalf("completions = %+v", comps)
+	}
+	// Memory before the bound untouched beyond what bounds allow: nothing
+	// was written at all (failed ops must not partially apply).
+	buf := make([]byte, 4)
+	mr.ReadAt(60, buf)
+	if !bytes.Equal(buf, make([]byte, 4)) {
+		t.Errorf("partial write applied: %q", buf)
+	}
+}
+
+func TestPermissionEnforced(t *testing.T) {
+	_, _, server, cq, _ := pair(t)
+	readOnly := server.RegisterMemory(64, PermRemoteRead)
+
+	if err := cq.PostWrite(1, readOnly.RKey(), 0, []byte("x"), true); err != nil {
+		t.Fatal(err)
+	}
+	comps := cq.PollSend(10)
+	if len(comps) != 1 || !errors.Is(comps[0].Err, ErrPermission) {
+		t.Fatalf("write to read-only MR: %+v", comps)
+	}
+
+	// Reads of a write-only region likewise fail.
+	_, _, server2, cq2, _ := pair(t)
+	writeOnly := server2.RegisterMemory(64, PermRemoteWrite)
+	dst := make([]byte, 8)
+	if err := cq2.PostRead(2, writeOnly.RKey(), 0, dst); err != nil {
+		t.Fatal(err)
+	}
+	comps = cq2.PollSend(10)
+	if len(comps) != 1 || !errors.Is(comps[0].Err, ErrPermission) {
+		t.Fatalf("read of write-only MR: %+v", comps)
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	_, _, _, cq, sq := pair(t)
+
+	recvBuf := make([]byte, 64)
+	if err := sq.PostRecv(11, recvBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := cq.PostSend(22, []byte("hello enclave"), true, true); err != nil {
+		t.Fatal(err)
+	}
+	comps := sq.PollRecv(10)
+	if len(comps) != 1 {
+		t.Fatalf("recv completions = %+v", comps)
+	}
+	c := comps[0]
+	if c.WRID != 11 || c.Op != OpRecv || string(c.Buf[:c.Len]) != "hello enclave" {
+		t.Errorf("completion = %+v", c)
+	}
+	sendComps := cq.PollSend(10)
+	if len(sendComps) != 1 || sendComps[0].WRID != 22 {
+		t.Errorf("send completions = %+v", sendComps)
+	}
+}
+
+func TestSendBeforeRecvParksRNR(t *testing.T) {
+	_, _, _, cq, sq := pair(t)
+	if err := cq.PostSend(1, []byte("early"), false, false); err != nil {
+		t.Fatal(err)
+	}
+	if comps := sq.PollRecv(10); len(comps) != 0 {
+		t.Fatalf("message delivered without recv: %+v", comps)
+	}
+	if err := sq.PostRecv(2, make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	comps := sq.PollRecv(10)
+	if len(comps) != 1 || string(comps[0].Buf[:comps[0].Len]) != "early" {
+		t.Fatalf("parked message not delivered: %+v", comps)
+	}
+}
+
+func TestWriteWithImmediate(t *testing.T) {
+	_, _, server, cq, sq := pair(t)
+	mr := server.RegisterMemory(256, PermRemoteWrite)
+	if err := sq.PostRecv(5, make([]byte, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cq.PostWriteImm(6, mr.RKey(), 0, []byte("data"), 0xabcd, false); err != nil {
+		t.Fatal(err)
+	}
+	comps := sq.PollRecv(10)
+	if len(comps) != 1 || comps[0].Op != OpRecvImm || comps[0].Imm != 0xabcd || !comps[0].HasImm {
+		t.Fatalf("imm completion = %+v", comps)
+	}
+	got := make([]byte, 4)
+	mr.ReadAt(0, got)
+	if string(got) != "data" {
+		t.Errorf("memory = %q", got)
+	}
+}
+
+func TestAtomics(t *testing.T) {
+	_, _, server, cq, _ := pair(t)
+	mr := server.RegisterMemory(64, PermRemoteAtomic|PermRemoteRead)
+	mr.WriteUint64(8, 100)
+
+	if err := cq.PostAtomicFAA(1, mr.RKey(), 8, 5); err != nil {
+		t.Fatal(err)
+	}
+	comps := cq.PollSend(1)
+	if len(comps) != 1 || comps[0].OldVal != 100 {
+		t.Fatalf("FAA completion = %+v", comps)
+	}
+	if got := mr.ReadUint64(8); got != 105 {
+		t.Errorf("after FAA: %d", got)
+	}
+
+	if err := cq.PostAtomicCAS(2, mr.RKey(), 8, 105, 999); err != nil {
+		t.Fatal(err)
+	}
+	comps = cq.PollSend(1)
+	if len(comps) != 1 || comps[0].OldVal != 105 {
+		t.Fatalf("CAS completion = %+v", comps)
+	}
+	if got := mr.ReadUint64(8); got != 999 {
+		t.Errorf("after CAS: %d", got)
+	}
+
+	// Failed compare leaves memory unchanged.
+	if err := cq.PostAtomicCAS(3, mr.RKey(), 8, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	cq.PollSend(1)
+	if got := mr.ReadUint64(8); got != 999 {
+		t.Errorf("failed CAS mutated memory: %d", got)
+	}
+
+	// Misaligned atomics are rejected.
+	if err := cq.PostAtomicFAA(4, mr.RKey(), 12, 1); err != nil {
+		t.Fatal(err)
+	}
+	comps = cq.PollSend(1)
+	if len(comps) != 1 || !errors.Is(comps[0].Err, ErrAtomicAlign) {
+		t.Fatalf("misaligned atomic: %+v", comps)
+	}
+}
+
+func TestSetErrorRevokesClient(t *testing.T) {
+	_, _, server, cq, sq := pair(t)
+	mr := server.RegisterMemory(64, PermRemoteWrite)
+
+	// Server revokes the client (the paper's QP state-transition
+	// revocation, §3.9).
+	sq.SetError()
+	if err := cq.PostWrite(1, mr.RKey(), 0, []byte("x"), true); !errors.Is(err, ErrQPError) {
+		t.Errorf("client write after revocation: %v", err)
+	}
+}
+
+func TestCloseFlushesPeer(t *testing.T) {
+	_, _, _, cq, sq := pair(t)
+	if err := sq.PostRecv(1, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cq.Close(); err != nil {
+		t.Fatal(err)
+	}
+	comps := sq.PollRecv(10)
+	if len(comps) != 1 || comps[0].Status != StatusFlushed {
+		t.Fatalf("peer recv not flushed: %+v", comps)
+	}
+	if err := cq.PostSend(2, []byte("x"), false, false); !errors.Is(err, ErrQPClosed) {
+		t.Errorf("send on closed QP: %v", err)
+	}
+}
+
+func TestDeregisteredMRRejected(t *testing.T) {
+	_, _, server, cq, _ := pair(t)
+	mr := server.RegisterMemory(64, PermRemoteWrite)
+	server.Deregister(mr)
+	if err := cq.PostWrite(1, mr.RKey(), 0, []byte("x"), true); err != nil {
+		t.Fatal(err)
+	}
+	comps := cq.PollSend(10)
+	if len(comps) != 1 || comps[0].Status != StatusRemoteAccessError {
+		t.Fatalf("completions = %+v", comps)
+	}
+}
+
+func TestFaultHookCorruption(t *testing.T) {
+	f, _, server, cq, _ := pair(t)
+	mr := server.RegisterMemory(64, PermRemoteWrite)
+	f.SetFaultHook(func(op OpType, data []byte) ([]byte, bool) {
+		mut := append([]byte(nil), data...)
+		mut[0] ^= 0xff
+		return mut, false
+	})
+	if err := cq.PostWrite(1, mr.RKey(), 0, []byte("abc"), true); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 3)
+	mr.ReadAt(0, got)
+	if got[0] == 'a' {
+		t.Error("fault hook did not corrupt data")
+	}
+	f.SetFaultHook(nil)
+}
+
+func TestConcurrentWritersDisjointRegions(t *testing.T) {
+	_, _, server, _, _ := pair(t)
+	f := NewFabric()
+	serverDev, err := f.NewDevice("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = server
+	mr := serverDev.RegisterMemory(64*256, PermRemoteWrite)
+
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		clientDev, err := f.NewDevice(string(rune('a' + c)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		qp, _ := f.ConnectRC(clientDev, serverDev)
+		wg.Add(1)
+		go func(id int, qp *QP) {
+			defer wg.Done()
+			payload := bytes.Repeat([]byte{byte(id + 1)}, 64)
+			for i := 0; i < 256/8; i++ {
+				off := uint64((id*256/8 + i) * 64)
+				if err := qp.PostWrite(uint64(i), mr.RKey(), off, payload, false); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}(c, qp)
+	}
+	wg.Wait()
+	// Every 64-byte slot holds a uniform value — no torn or misplaced writes.
+	buf := make([]byte, 64)
+	for slot := 0; slot < 256; slot++ {
+		mr.ReadAt(slot*64, buf)
+		first := buf[0]
+		if first == 0 {
+			t.Fatalf("slot %d never written", slot)
+		}
+		for _, b := range buf {
+			if b != first {
+				t.Fatalf("slot %d torn: % x", slot, buf)
+			}
+		}
+	}
+}
+
+// TestMRReadWriteQuick exercises local access bounds with random offsets.
+func TestMRReadWriteQuick(t *testing.T) {
+	dev := NewDevice("d")
+	mr := dev.RegisterMemory(1024, PermRemoteRead|PermRemoteWrite)
+	fn := func(off int16, val byte) bool {
+		o := int(off)
+		data := []byte{val}
+		wrote := mr.WriteAt(o, data)
+		if o < 0 || o >= 1024 {
+			return wrote == 0
+		}
+		got := make([]byte, 1)
+		return mr.ReadAt(o, got) == 1 && got[0] == val
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDuplicateDeviceName(t *testing.T) {
+	f := NewFabric()
+	if _, err := f.NewDevice("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.NewDevice("x"); err == nil {
+		t.Error("duplicate device accepted")
+	}
+	if _, err := f.Device("missing"); !errors.Is(err, ErrNoSuchDevice) {
+		t.Errorf("got %v", err)
+	}
+}

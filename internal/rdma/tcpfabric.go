@@ -1,0 +1,507 @@
+package rdma
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// This file implements the TCP fabric: RDMA verbs tunneled over a real
+// TCP connection, SoftRoCE-style. Each end runs a NIC-agent goroutine
+// that applies incoming one-sided operations directly to its local
+// device's registered memory — the application on that host is not
+// involved, preserving one-sided semantics across processes — and that
+// acknowledges them so the initiator sees RC completion behaviour
+// (including remote access errors transitioning the QP to error state).
+//
+// cmd/precursor-server and cmd/precursor-cli deploy Precursor across
+// machines with this fabric; the in-process Fabric covers tests and
+// benchmarks.
+
+// frame types on the wire.
+const (
+	frWrite byte = iota + 1
+	frWriteImm
+	frRead
+	frSend
+	frAtomicCAS
+	frAtomicFAA
+	frAck
+	frError // peer moved to error state
+)
+
+// ack status codes.
+const (
+	ackOK byte = iota
+	ackRemoteError
+)
+
+const tcpMaxFrame = 4 << 20
+
+// ErrFrameTooLarge is returned for oversized fabric frames.
+var ErrFrameTooLarge = errors.New("rdma: tcp fabric frame too large")
+
+// TCPQP is a queue pair whose peer is reached over TCP. It implements
+// Conn. Create pairs with DialTCP / TCPListener.Accept.
+type TCPQP struct {
+	device *Device
+	conn   net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	state   qpState
+	sendCQ  []Completion
+	recvCQ  []Completion
+	recvQ   []postedRecv
+	pending []inboundMsg
+	nextOp  uint64
+	awaits  map[uint64]*pendingOp
+
+	done chan struct{}
+}
+
+var _ Conn = (*TCPQP)(nil)
+
+// pendingOp tracks an initiated operation awaiting its ack.
+type pendingOp struct {
+	wrID     uint64
+	op       OpType
+	signaled bool
+	dst      []byte // read destination
+}
+
+// NewTCPQP wraps an established net.Conn as a queue pair on dev. Both
+// sides must wrap their end. The agent goroutine starts immediately.
+func NewTCPQP(dev *Device, conn net.Conn) *TCPQP {
+	q := &TCPQP{
+		device: dev,
+		conn:   conn,
+		awaits: make(map[uint64]*pendingOp),
+		done:   make(chan struct{}),
+	}
+	go q.agent()
+	return q
+}
+
+// DialTCP connects to a TCP fabric listener and returns the local QP.
+func DialTCP(dev *Device, addr string) (*TCPQP, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rdma: dial fabric: %w", err)
+	}
+	return NewTCPQP(dev, conn), nil
+}
+
+// TCPListener accepts fabric connections for a local device.
+type TCPListener struct {
+	dev *Device
+	ln  net.Listener
+}
+
+// ListenTCP starts a fabric listener on addr.
+func ListenTCP(dev *Device, addr string) (*TCPListener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rdma: listen fabric: %w", err)
+	}
+	return &TCPListener{dev: dev, ln: ln}, nil
+}
+
+// Addr returns the listening address.
+func (l *TCPListener) Addr() string { return l.ln.Addr().String() }
+
+// Accept blocks for the next fabric connection and returns its QP.
+func (l *TCPListener) Accept() (*TCPQP, error) {
+	conn, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewTCPQP(l.dev, conn), nil
+}
+
+// Close stops the listener.
+func (l *TCPListener) Close() error { return l.ln.Close() }
+
+// writeFrame sends one length-prefixed frame: [u32 len][type][payload].
+func (q *TCPQP) writeFrame(ft byte, payload []byte) error {
+	if len(payload)+1 > tcpMaxFrame {
+		return ErrFrameTooLarge
+	}
+	q.wmu.Lock()
+	defer q.wmu.Unlock()
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = ft
+	if _, err := q.conn.Write(hdr[:]); err != nil {
+		return fmt.Errorf("rdma: fabric write: %w", err)
+	}
+	if _, err := q.conn.Write(payload); err != nil {
+		return fmt.Errorf("rdma: fabric write: %w", err)
+	}
+	return nil
+}
+
+// checkReadyTCP validates the QP can initiate.
+func (q *TCPQP) checkReadyTCP() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	switch q.state {
+	case qpErr:
+		return ErrQPError
+	case qpClosed:
+		return ErrQPClosed
+	}
+	return nil
+}
+
+// register tracks an awaiting op and returns its id.
+func (q *TCPQP) register(p *pendingOp) uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.nextOp++
+	q.awaits[q.nextOp] = p
+	return q.nextOp
+}
+
+// PostWrite implements Conn.
+func (q *TCPQP) PostWrite(wrID uint64, rkey uint32, off uint64, data []byte, signaled bool) error {
+	return q.postWriteTCP(frWrite, wrID, rkey, off, data, 0, signaled)
+}
+
+// PostWriteImm implements Conn.
+func (q *TCPQP) PostWriteImm(wrID uint64, rkey uint32, off uint64, data []byte, imm uint32, signaled bool) error {
+	return q.postWriteTCP(frWriteImm, wrID, rkey, off, data, imm, signaled)
+}
+
+func (q *TCPQP) postWriteTCP(ft byte, wrID uint64, rkey uint32, off uint64, data []byte, imm uint32, signaled bool) error {
+	if err := q.checkReadyTCP(); err != nil {
+		return err
+	}
+	opID := q.register(&pendingOp{wrID: wrID, op: OpWrite, signaled: signaled})
+	// [opID u64][rkey u32][off u64][imm u32][data]
+	payload := make([]byte, 24, 24+len(data))
+	binary.LittleEndian.PutUint64(payload[0:], opID)
+	binary.LittleEndian.PutUint32(payload[8:], rkey)
+	binary.LittleEndian.PutUint64(payload[12:], off)
+	binary.LittleEndian.PutUint32(payload[20:], imm)
+	payload = append(payload, data...)
+	return q.writeFrame(ft, payload)
+}
+
+// PostRead implements Conn.
+func (q *TCPQP) PostRead(wrID uint64, rkey uint32, off uint64, dst []byte) error {
+	if err := q.checkReadyTCP(); err != nil {
+		return err
+	}
+	opID := q.register(&pendingOp{wrID: wrID, op: OpRead, signaled: true, dst: dst})
+	payload := make([]byte, 24)
+	binary.LittleEndian.PutUint64(payload[0:], opID)
+	binary.LittleEndian.PutUint32(payload[8:], rkey)
+	binary.LittleEndian.PutUint64(payload[12:], off)
+	binary.LittleEndian.PutUint32(payload[20:], uint32(len(dst)))
+	return q.writeFrame(frRead, payload)
+}
+
+// PostAtomicCAS implements Conn.
+func (q *TCPQP) PostAtomicCAS(wrID uint64, rkey uint32, off uint64, compare, swap uint64) error {
+	return q.postAtomicTCP(frAtomicCAS, wrID, rkey, off, compare, swap, OpAtomicCAS)
+}
+
+// PostAtomicFAA implements Conn.
+func (q *TCPQP) PostAtomicFAA(wrID uint64, rkey uint32, off uint64, add uint64) error {
+	return q.postAtomicTCP(frAtomicFAA, wrID, rkey, off, 0, add, OpAtomicFAA)
+}
+
+func (q *TCPQP) postAtomicTCP(ft byte, wrID uint64, rkey uint32, off uint64, compare, val uint64, op OpType) error {
+	if err := q.checkReadyTCP(); err != nil {
+		return err
+	}
+	opID := q.register(&pendingOp{wrID: wrID, op: op, signaled: true})
+	payload := make([]byte, 36)
+	binary.LittleEndian.PutUint64(payload[0:], opID)
+	binary.LittleEndian.PutUint32(payload[8:], rkey)
+	binary.LittleEndian.PutUint64(payload[12:], off)
+	binary.LittleEndian.PutUint64(payload[20:], compare)
+	binary.LittleEndian.PutUint64(payload[28:], val)
+	return q.writeFrame(ft, payload)
+}
+
+// PostSend implements Conn.
+func (q *TCPQP) PostSend(wrID uint64, data []byte, signaled, inline bool) error {
+	if err := q.checkReadyTCP(); err != nil {
+		return err
+	}
+	_ = inline
+	opID := q.register(&pendingOp{wrID: wrID, op: OpSend, signaled: signaled})
+	payload := make([]byte, 8, 8+len(data))
+	binary.LittleEndian.PutUint64(payload[0:], opID)
+	payload = append(payload, data...)
+	return q.writeFrame(frSend, payload)
+}
+
+// PostRecv implements Conn.
+func (q *TCPQP) PostRecv(wrID uint64, buf []byte) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	switch q.state {
+	case qpErr:
+		return ErrQPError
+	case qpClosed:
+		return ErrQPClosed
+	}
+	r := postedRecv{wrID: wrID, buf: buf}
+	if len(q.pending) > 0 {
+		msg := q.pending[0]
+		q.pending = q.pending[1:]
+		q.recvCQ = append(q.recvCQ, makeRecvCompletion(r, msg))
+		return nil
+	}
+	q.recvQ = append(q.recvQ, r)
+	return nil
+}
+
+// PollSend implements Conn.
+func (q *TCPQP) PollSend(max int) []Completion {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return popCompletions(&q.sendCQ, max)
+}
+
+// PollRecv implements Conn.
+func (q *TCPQP) PollRecv(max int) []Completion {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return popCompletions(&q.recvCQ, max)
+}
+
+// SetError implements Conn.
+func (q *TCPQP) SetError() {
+	_ = q.writeFrame(frError, nil)
+	q.enterErrorTCP()
+}
+
+// Close implements Conn.
+func (q *TCPQP) Close() error {
+	q.mu.Lock()
+	if q.state == qpClosed {
+		q.mu.Unlock()
+		return nil
+	}
+	q.state = qpClosed
+	q.mu.Unlock()
+	return q.conn.Close()
+}
+
+func (q *TCPQP) enterErrorTCP() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.state != qpReady {
+		return
+	}
+	q.state = qpErr
+	for _, r := range q.recvQ {
+		q.recvCQ = append(q.recvCQ, Completion{
+			WRID: r.wrID, Op: OpRecv, Status: StatusFlushed, Err: ErrQPError, Buf: r.buf,
+		})
+	}
+	q.recvQ = nil
+}
+
+// agent is the NIC-agent loop: it reads frames, applies one-sided ops to
+// local memory, delivers sends, and completes awaited operations.
+func (q *TCPQP) agent() {
+	defer close(q.done)
+	for {
+		frameType, payload, err := q.readFrame()
+		if err != nil {
+			q.enterErrorTCP()
+			return
+		}
+		switch frameType {
+		case frWrite, frWriteImm:
+			q.applyWrite(frameType == frWriteImm, payload)
+		case frRead:
+			q.applyRead(payload)
+		case frAtomicCAS, frAtomicFAA:
+			q.applyAtomic(frameType == frAtomicCAS, payload)
+		case frSend:
+			q.applySend(payload)
+		case frAck:
+			q.applyAck(payload)
+		case frError:
+			q.enterErrorTCP()
+			return
+		}
+	}
+}
+
+func (q *TCPQP) readFrame() (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(q.conn, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n == 0 || n > tcpMaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n-1)
+	if _, err := io.ReadFull(q.conn, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// sendAck replies to an initiated op: [opID u64][status][old u64][data].
+func (q *TCPQP) sendAck(opID uint64, status byte, old uint64, data []byte) {
+	payload := make([]byte, 17, 17+len(data))
+	binary.LittleEndian.PutUint64(payload[0:], opID)
+	payload[8] = status
+	binary.LittleEndian.PutUint64(payload[9:], old)
+	payload = append(payload, data...)
+	_ = q.writeFrame(frAck, payload)
+}
+
+func (q *TCPQP) applyWrite(hasImm bool, p []byte) {
+	if len(p) < 24 {
+		return
+	}
+	opID := binary.LittleEndian.Uint64(p[0:])
+	rkey := binary.LittleEndian.Uint32(p[8:])
+	off := binary.LittleEndian.Uint64(p[12:])
+	imm := binary.LittleEndian.Uint32(p[20:])
+	data := p[24:]
+
+	mr, err := q.device.lookupMR(rkey)
+	if err == nil {
+		err = mr.remoteWrite(off, data)
+	}
+	if err != nil {
+		q.sendAck(opID, ackRemoteError, 0, nil)
+		return
+	}
+	if hasImm {
+		q.deliverTCP(inboundMsg{imm: imm, hasImm: true})
+	}
+	q.sendAck(opID, ackOK, 0, nil)
+}
+
+func (q *TCPQP) applyRead(p []byte) {
+	if len(p) < 24 {
+		return
+	}
+	opID := binary.LittleEndian.Uint64(p[0:])
+	rkey := binary.LittleEndian.Uint32(p[8:])
+	off := binary.LittleEndian.Uint64(p[12:])
+	n := binary.LittleEndian.Uint32(p[20:])
+	if n > tcpMaxFrame/2 {
+		q.sendAck(opID, ackRemoteError, 0, nil)
+		return
+	}
+	dst := make([]byte, n)
+	mr, err := q.device.lookupMR(rkey)
+	if err == nil {
+		err = mr.remoteRead(off, dst)
+	}
+	if err != nil {
+		q.sendAck(opID, ackRemoteError, 0, nil)
+		return
+	}
+	q.sendAck(opID, ackOK, 0, dst)
+}
+
+func (q *TCPQP) applyAtomic(cas bool, p []byte) {
+	if len(p) < 36 {
+		return
+	}
+	opID := binary.LittleEndian.Uint64(p[0:])
+	rkey := binary.LittleEndian.Uint32(p[8:])
+	off := binary.LittleEndian.Uint64(p[12:])
+	compare := binary.LittleEndian.Uint64(p[20:])
+	val := binary.LittleEndian.Uint64(p[28:])
+
+	mr, err := q.device.lookupMR(rkey)
+	var old uint64
+	if err == nil {
+		old, err = mr.remoteAtomic(off, cas, compare, val)
+	}
+	if err != nil {
+		q.sendAck(opID, ackRemoteError, 0, nil)
+		return
+	}
+	q.sendAck(opID, ackOK, old, nil)
+}
+
+func (q *TCPQP) applySend(p []byte) {
+	if len(p) < 8 {
+		return
+	}
+	opID := binary.LittleEndian.Uint64(p[0:])
+	data := append([]byte(nil), p[8:]...)
+	q.deliverTCP(inboundMsg{data: data})
+	q.sendAck(opID, ackOK, 0, nil)
+}
+
+func (q *TCPQP) deliverTCP(msg inboundMsg) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.state != qpReady {
+		return
+	}
+	if len(q.recvQ) == 0 {
+		q.pending = append(q.pending, msg)
+		return
+	}
+	r := q.recvQ[0]
+	q.recvQ = q.recvQ[1:]
+	q.recvCQ = append(q.recvCQ, makeRecvCompletion(r, msg))
+}
+
+func (q *TCPQP) applyAck(p []byte) {
+	if len(p) < 17 {
+		return
+	}
+	opID := binary.LittleEndian.Uint64(p[0:])
+	status := p[8]
+	old := binary.LittleEndian.Uint64(p[9:])
+	data := p[17:]
+
+	q.mu.Lock()
+	op, ok := q.awaits[opID]
+	if ok {
+		delete(q.awaits, opID)
+	}
+	q.mu.Unlock()
+	if !ok {
+		return
+	}
+	if status != ackOK {
+		// Remote access error: RC semantics move the QP to error state.
+		q.mu.Lock()
+		q.sendCQ = append(q.sendCQ, Completion{
+			WRID: op.wrID, Op: op.op, Status: StatusRemoteAccessError, Err: ErrBadRKey,
+		})
+		q.mu.Unlock()
+		q.enterErrorTCP()
+		return
+	}
+	var c Completion
+	switch op.op {
+	case OpRead:
+		n := copy(op.dst, data)
+		c = Completion{WRID: op.wrID, Op: OpRead, Status: StatusOK, Len: n}
+	case OpAtomicCAS, OpAtomicFAA:
+		c = Completion{WRID: op.wrID, Op: op.op, Status: StatusOK, OldVal: old, Len: 8}
+	default:
+		if !op.signaled {
+			return
+		}
+		c = Completion{WRID: op.wrID, Op: op.op, Status: StatusOK}
+	}
+	q.mu.Lock()
+	q.sendCQ = append(q.sendCQ, c)
+	q.mu.Unlock()
+}

@@ -1,0 +1,222 @@
+package rdma
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// tcpPair builds a connected pair of TCP-fabric QPs over loopback.
+func tcpPair(t *testing.T) (*Device, *Device, *TCPQP, *TCPQP) {
+	t.Helper()
+	serverDev := NewDevice("tcp-server")
+	clientDev := NewDevice("tcp-client")
+	ln, err := ListenTCP(serverDev, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+
+	acceptCh := make(chan *TCPQP, 1)
+	go func() {
+		qp, err := ln.Accept()
+		if err == nil {
+			acceptCh <- qp
+		}
+	}()
+	cliQP, err := DialTCP(clientDev, ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvQP := <-acceptCh
+	t.Cleanup(func() { _ = cliQP.Close(); _ = srvQP.Close() })
+	return clientDev, serverDev, cliQP, srvQP
+}
+
+// pollSendWait polls the send CQ until a completion arrives or times out.
+func pollSendWait(t *testing.T, q Conn) Completion {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if comps := q.PollSend(1); len(comps) == 1 {
+			return comps[0]
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	t.Fatal("no completion")
+	return Completion{}
+}
+
+func pollRecvWait(t *testing.T, q Conn) Completion {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if comps := q.PollRecv(1); len(comps) == 1 {
+			return comps[0]
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	t.Fatal("no recv completion")
+	return Completion{}
+}
+
+func TestTCPOneSidedWrite(t *testing.T) {
+	_, serverDev, cliQP, _ := tcpPair(t)
+	mr := serverDev.RegisterMemory(4096, PermRemoteWrite)
+
+	msg := []byte("written across real TCP")
+	if err := cliQP.PostWrite(1, mr.RKey(), 64, msg, true); err != nil {
+		t.Fatal(err)
+	}
+	c := pollSendWait(t, cliQP)
+	if c.Status != StatusOK || c.WRID != 1 {
+		t.Fatalf("completion = %+v", c)
+	}
+	got := make([]byte, len(msg))
+	mr.ReadAt(64, got)
+	if !bytes.Equal(got, msg) {
+		t.Errorf("memory = %q", got)
+	}
+}
+
+func TestTCPOneSidedRead(t *testing.T) {
+	_, serverDev, cliQP, _ := tcpPair(t)
+	mr := serverDev.RegisterMemory(1024, PermRemoteRead)
+	mr.WriteAt(10, []byte("remote-bytes"))
+
+	dst := make([]byte, 12)
+	if err := cliQP.PostRead(2, mr.RKey(), 10, dst); err != nil {
+		t.Fatal(err)
+	}
+	c := pollSendWait(t, cliQP)
+	if c.Status != StatusOK || c.Len != 12 {
+		t.Fatalf("completion = %+v", c)
+	}
+	if string(dst) != "remote-bytes" {
+		t.Errorf("dst = %q", dst)
+	}
+}
+
+func TestTCPSendRecv(t *testing.T) {
+	_, _, cliQP, srvQP := tcpPair(t)
+	if err := srvQP.PostRecv(9, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cliQP.PostSend(3, []byte("bootstrap hello"), true, true); err != nil {
+		t.Fatal(err)
+	}
+	c := pollRecvWait(t, srvQP)
+	if string(c.Buf[:c.Len]) != "bootstrap hello" {
+		t.Errorf("recv = %q", c.Buf[:c.Len])
+	}
+	sc := pollSendWait(t, cliQP)
+	if sc.WRID != 3 || sc.Status != StatusOK {
+		t.Errorf("send completion = %+v", sc)
+	}
+}
+
+func TestTCPSendBeforeRecvParks(t *testing.T) {
+	_, _, cliQP, srvQP := tcpPair(t)
+	if err := cliQP.PostSend(1, []byte("early"), false, false); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := srvQP.PostRecv(2, make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	c := pollRecvWait(t, srvQP)
+	if string(c.Buf[:c.Len]) != "early" {
+		t.Errorf("recv = %q", c.Buf[:c.Len])
+	}
+}
+
+func TestTCPAtomics(t *testing.T) {
+	_, serverDev, cliQP, _ := tcpPair(t)
+	mr := serverDev.RegisterMemory(64, PermRemoteAtomic)
+	mr.WriteUint64(0, 7)
+
+	if err := cliQP.PostAtomicFAA(1, mr.RKey(), 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	c := pollSendWait(t, cliQP)
+	if c.OldVal != 7 {
+		t.Errorf("FAA old = %d", c.OldVal)
+	}
+	if got := mr.ReadUint64(0); got != 10 {
+		t.Errorf("after FAA = %d", got)
+	}
+	if err := cliQP.PostAtomicCAS(2, mr.RKey(), 0, 10, 99); err != nil {
+		t.Fatal(err)
+	}
+	c = pollSendWait(t, cliQP)
+	if c.OldVal != 10 {
+		t.Errorf("CAS old = %d", c.OldVal)
+	}
+	if got := mr.ReadUint64(0); got != 99 {
+		t.Errorf("after CAS = %d", got)
+	}
+}
+
+func TestTCPBadRKeyErrorState(t *testing.T) {
+	_, _, cliQP, _ := tcpPair(t)
+	if err := cliQP.PostWrite(1, 0xdead, 0, []byte("x"), true); err != nil {
+		t.Fatal(err)
+	}
+	c := pollSendWait(t, cliQP)
+	if c.Status != StatusRemoteAccessError {
+		t.Fatalf("completion = %+v", c)
+	}
+	// QP is now in error state.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		err := cliQP.PostWrite(2, 1, 0, []byte("x"), true)
+		if errors.Is(err, ErrQPError) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("QP never entered error state")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestTCPWriteImm(t *testing.T) {
+	_, serverDev, cliQP, srvQP := tcpPair(t)
+	mr := serverDev.RegisterMemory(128, PermRemoteWrite)
+	if err := srvQP.PostRecv(5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cliQP.PostWriteImm(6, mr.RKey(), 0, []byte("imm-data"), 0x1234, false); err != nil {
+		t.Fatal(err)
+	}
+	c := pollRecvWait(t, srvQP)
+	if c.Op != OpRecvImm || c.Imm != 0x1234 {
+		t.Fatalf("completion = %+v", c)
+	}
+	got := make([]byte, 8)
+	mr.ReadAt(0, got)
+	if string(got) != "imm-data" {
+		t.Errorf("memory = %q", got)
+	}
+}
+
+func TestTCPCloseUnblocksPeer(t *testing.T) {
+	_, _, cliQP, srvQP := tcpPair(t)
+	if err := cliQP.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		err := srvQP.PostSend(1, []byte("x"), false, false)
+		if err == nil {
+			// Agent may not have noticed yet; the frame goes nowhere.
+			if time.Now().After(deadline) {
+				t.Fatal("peer never observed close")
+			}
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		break // ErrQPError or ErrQPClosed — both acceptable
+	}
+}

@@ -1,0 +1,263 @@
+package ringbuf
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"precursor/internal/rdma"
+)
+
+// testRing wires a writer on devA to a ring registered on devB.
+type testRing struct {
+	fabric *rdma.Fabric
+	ringMR *rdma.MemoryRegion
+	writer *Writer
+	reader *Reader
+}
+
+func newTestRing(t *testing.T, slots, slotSize, creditEvery int) *testRing {
+	t.Helper()
+	f := rdma.NewFabric()
+	client, err := f.NewDevice("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := f.NewDevice("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cqp, sqp := f.ConnectRC(client, server)
+
+	ring := server.RegisterMemory(RingBytes(slots, slotSize), rdma.PermRemoteWrite)
+	credit := client.RegisterMemory(CreditBytes, rdma.PermRemoteWrite)
+
+	w, err := NewWriter(WriterConfig{
+		Conn: cqp, RingRKey: ring.RKey(), Slots: slots, SlotSize: slotSize,
+		Credit: credit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(ReaderConfig{
+		Ring: ring, Slots: slots, SlotSize: slotSize,
+		Conn: sqp, CreditRKey: credit.RKey(), CreditEvery: creditEvery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testRing{fabric: f, ringMR: ring, writer: w, reader: r}
+}
+
+func TestRoundTripSingle(t *testing.T) {
+	tr := newTestRing(t, 8, 256, 1)
+	msg := []byte("first request")
+	ok, err := tr.writer.TryWrite(msg)
+	if err != nil || !ok {
+		t.Fatalf("TryWrite: %v %v", ok, err)
+	}
+	got, ready, err := tr.reader.Poll()
+	if err != nil || !ready {
+		t.Fatalf("Poll: %v %v", ready, err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("got %q", got)
+	}
+	// Ring is now empty.
+	if _, ready, _ := tr.reader.Poll(); ready {
+		t.Error("Poll returned a second message")
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	tr := newTestRing(t, 16, 128, 1)
+	for i := 0; i < 10; i++ {
+		if ok, err := tr.writer.TryWrite([]byte{byte(i)}); err != nil || !ok {
+			t.Fatalf("write %d: %v %v", i, ok, err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		msg, ready, err := tr.reader.Poll()
+		if err != nil || !ready {
+			t.Fatalf("poll %d: %v %v", i, ready, err)
+		}
+		if msg[0] != byte(i) {
+			t.Fatalf("out of order: got %d want %d", msg[0], i)
+		}
+	}
+}
+
+func TestBackpressureAndCredits(t *testing.T) {
+	tr := newTestRing(t, 4, 128, 1)
+	// Fill the ring.
+	for i := 0; i < 4; i++ {
+		if ok, err := tr.writer.TryWrite([]byte{byte(i)}); err != nil || !ok {
+			t.Fatalf("fill %d: %v %v", i, ok, err)
+		}
+	}
+	// No credit left.
+	if ok, err := tr.writer.TryWrite([]byte{9}); err != nil || ok {
+		t.Fatalf("overfull write accepted: %v %v", ok, err)
+	}
+	if tr.writer.Available() != 0 {
+		t.Errorf("Available = %d", tr.writer.Available())
+	}
+	// Consume one; credit returns (creditEvery=1 flushes immediately).
+	if _, ready, err := tr.reader.Poll(); !ready || err != nil {
+		t.Fatalf("poll: %v %v", ready, err)
+	}
+	if tr.writer.Available() != 1 {
+		t.Errorf("Available after consume = %d", tr.writer.Available())
+	}
+	if ok, err := tr.writer.TryWrite([]byte{9}); err != nil || !ok {
+		t.Fatalf("write after credit: %v %v", ok, err)
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	tr := newTestRing(t, 4, 128, 1)
+	for round := 0; round < 25; round++ {
+		msg := []byte(fmt.Sprintf("round-%02d", round))
+		if ok, err := tr.writer.TryWrite(msg); err != nil || !ok {
+			t.Fatalf("write %d: %v %v", round, ok, err)
+		}
+		got, ready, err := tr.reader.Poll()
+		if err != nil || !ready {
+			t.Fatalf("poll %d: %v %v", round, ready, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("round %d: got %q", round, got)
+		}
+	}
+}
+
+func TestOversizedMessage(t *testing.T) {
+	tr := newTestRing(t, 4, 64, 1)
+	if _, err := tr.writer.TryWrite(make([]byte, 64)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("got %v", err)
+	}
+	if tr.writer.MaxMessage() != 64-Overhead {
+		t.Errorf("MaxMessage = %d", tr.writer.MaxMessage())
+	}
+}
+
+func TestEmptyMessage(t *testing.T) {
+	tr := newTestRing(t, 4, 64, 1)
+	if ok, err := tr.writer.TryWrite(nil); err != nil || !ok {
+		t.Fatalf("TryWrite(nil): %v %v", ok, err)
+	}
+	msg, ready, err := tr.reader.Poll()
+	if err != nil || !ready || len(msg) != 0 {
+		t.Fatalf("Poll: %q %v %v", msg, ready, err)
+	}
+}
+
+func TestCorruptLengthDetected(t *testing.T) {
+	tr := newTestRing(t, 4, 64, 1)
+	// An adversary (or rogue client, §3.9) writes garbage directly.
+	tr.ringMR.SetByte(0, StartSign)
+	tr.ringMR.WriteAt(1, []byte{0xff, 0xff, 0xff, 0x7f})
+	if _, _, err := tr.reader.Poll(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestIncompleteFrameNotDelivered(t *testing.T) {
+	tr := newTestRing(t, 4, 64, 1)
+	// Start sign + length but no end sign: write still in flight.
+	tr.ringMR.SetByte(0, StartSign)
+	tr.ringMR.WriteAt(1, []byte{5, 0, 0, 0})
+	if _, ready, err := tr.reader.Poll(); ready || err != nil {
+		t.Errorf("incomplete frame delivered: %v %v", ready, err)
+	}
+}
+
+func TestRevokedWriterSurfacesError(t *testing.T) {
+	f := rdma.NewFabric()
+	client, _ := f.NewDevice("c")
+	server, _ := f.NewDevice("s")
+	cqp, sqp := f.ConnectRC(client, server)
+	ring := server.RegisterMemory(RingBytes(4, 64), rdma.PermRemoteWrite)
+	credit := client.RegisterMemory(CreditBytes, rdma.PermRemoteWrite)
+	w, err := NewWriter(WriterConfig{Conn: cqp, RingRKey: ring.RKey(), Slots: 4, SlotSize: 64, Credit: credit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqp.SetError() // server revokes the client
+	if _, err := w.TryWrite([]byte("x")); err == nil {
+		t.Error("write through revoked QP succeeded")
+	}
+}
+
+// TestStreamQuick pushes a random message stream through a small ring with
+// concurrent reader and writer and checks exact FIFO delivery.
+func TestStreamQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		slots := rng.Intn(7) + 2
+		slotSize := 64 + rng.Intn(128)
+		tr := newTestRing(t, slots, slotSize, 1)
+		n := 200
+		msgs := make([][]byte, n)
+		for i := range msgs {
+			m := make([]byte, rng.Intn(slotSize-Overhead))
+			rng.Read(m)
+			msgs[i] = m
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		errCh := make(chan error, 1)
+		go func() {
+			defer wg.Done()
+			for _, m := range msgs {
+				if err := tr.writer.Write(m); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+		received := 0
+		for received < n {
+			msg, ready, err := tr.reader.Poll()
+			if err != nil {
+				t.Errorf("poll: %v", err)
+				return false
+			}
+			if !ready {
+				continue
+			}
+			if !bytes.Equal(msg, msgs[received]) {
+				t.Errorf("message %d mismatch", received)
+				return false
+			}
+			received++
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			t.Errorf("writer: %v", err)
+			return false
+		default:
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewWriter(WriterConfig{Slots: 0, SlotSize: 64}); err == nil {
+		t.Error("zero slots accepted")
+	}
+	if _, err := NewWriter(WriterConfig{Slots: 4, SlotSize: 3}); err == nil {
+		t.Error("tiny slot accepted")
+	}
+	if _, err := NewReader(ReaderConfig{Slots: 4, SlotSize: 64}); err == nil {
+		t.Error("nil ring accepted")
+	}
+}

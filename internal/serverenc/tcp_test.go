@@ -1,0 +1,70 @@
+package serverenc
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"precursor/internal/rdma"
+	"precursor/internal/sgx"
+)
+
+// TestOverTCPFabric runs the baseline end to end across a real TCP
+// connection, matching Precursor's deployment path.
+func TestOverTCPFabric(t *testing.T) {
+	platform, err := sgx.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverDev := rdma.NewDevice("se-server")
+	server, err := NewServer(serverDev, ServerConfig{
+		Platform: platform, Workers: 2, PollInterval: time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	ln, err := rdma.ListenTCP(serverDev, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			qp, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { _, _ = server.HandleConnection(qp) }()
+		}
+	}()
+
+	clientDev := rdma.NewDevice("se-client")
+	conn, err := rdma.DialTCP(clientDev, ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Connect(ClientConfig{
+		Conn: conn, Device: clientDev,
+		PlatformKey: platform.AttestationPublicKey(),
+		Measurement: server.Measurement(),
+		Timeout:     10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	defer client.Close()
+
+	value := bytes.Repeat([]byte{0x5C}, 2000)
+	if err := client.Put("tcp-k", value); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := client.Get("tcp-k")
+	if err != nil || !bytes.Equal(got, value) {
+		t.Fatalf("Get: %v", err)
+	}
+	if st := server.Stats(); st.EnclaveCryptoBytes < 2*2000 {
+		t.Errorf("server crypto bytes = %d", st.EnclaveCryptoBytes)
+	}
+}

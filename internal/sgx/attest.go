@@ -1,0 +1,174 @@
+package sgx
+
+import (
+	"crypto/ecdh"
+	"crypto/ecdsa"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+
+	"precursor/internal/cryptox"
+)
+
+// Quote is the attestation evidence an enclave produces: the measurement
+// of its initial state plus caller-chosen report data, signed by the
+// platform's quoting key.
+type Quote struct {
+	Measurement Measurement
+	ReportData  []byte
+	Signature   []byte
+}
+
+// VerifyQuote checks a quote's signature under the platform attestation
+// key and that it certifies the expected measurement.
+func VerifyQuote(pub *ecdsa.PublicKey, q Quote, expected Measurement) error {
+	if !ecdsa.VerifyASN1(pub, quoteDigest(q.Measurement, q.ReportData), q.Signature) {
+		return ErrQuoteInvalid
+	}
+	if q.Measurement != expected {
+		return ErrMeasurement
+	}
+	return nil
+}
+
+// SealingKey derives this enclave's 16-byte sealing key (EGETKEY with the
+// MRENCLAVE policy): stable across enclave restarts on the same platform
+// for the same binary, unavailable to other enclaves or platforms. Used
+// to persist state to untrusted storage (§2.1).
+func (e *Enclave) SealingKey() ([]byte, error) {
+	e.mu.Lock()
+	if e.destroyed {
+		e.mu.Unlock()
+		return nil, ErrEnclaveStopped
+	}
+	e.mu.Unlock()
+	return cryptox.HKDF(e.platform.sealSecret, e.measurement[:],
+		[]byte("sgx-sealing-key-mrenclave-v1"), cryptox.SessionKeySize)
+}
+
+// Quote produces attestation evidence binding reportData to this enclave.
+func (e *Enclave) Quote(reportData []byte) (Quote, error) {
+	e.mu.Lock()
+	if e.destroyed {
+		e.mu.Unlock()
+		return Quote{}, ErrEnclaveStopped
+	}
+	e.mu.Unlock()
+	sig, err := e.platform.signQuote(e.measurement, reportData)
+	if err != nil {
+		return Quote{}, err
+	}
+	rd := append([]byte(nil), reportData...)
+	return Quote{Measurement: e.measurement, ReportData: rd, Signature: sig}, nil
+}
+
+// sessionInfo is the HKDF info string for K_session derivation.
+const sessionInfo = "precursor-k-session-v1"
+
+// ClientHello opens the attestation handshake: an ephemeral ECDH public
+// key plus a freshness nonce.
+type ClientHello struct {
+	PublicKey []byte // ECDH P-256 public key
+	Nonce     []byte // 16-byte anti-replay nonce
+}
+
+// ServerHello answers with the enclave's ephemeral key and a quote whose
+// report data binds both public keys and the client nonce, proving the key
+// exchange terminates inside the attested enclave.
+type ServerHello struct {
+	PublicKey []byte
+	Quote     Quote
+}
+
+// ClientHandshake is the client half of the attested key exchange.
+type ClientHandshake struct {
+	priv  *ecdh.PrivateKey
+	hello ClientHello
+}
+
+// NewClientHandshake generates the client's ephemeral key and nonce.
+func NewClientHandshake() (*ClientHandshake, error) {
+	priv, err := ecdh.P256().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("client ecdh key: %w", err)
+	}
+	nonce, err := cryptox.RandomBytes(16)
+	if err != nil {
+		return nil, err
+	}
+	return &ClientHandshake{
+		priv:  priv,
+		hello: ClientHello{PublicKey: priv.PublicKey().Bytes(), Nonce: nonce},
+	}, nil
+}
+
+// Hello returns the message to send to the server.
+func (h *ClientHandshake) Hello() ClientHello { return h.hello }
+
+// Complete verifies the server's quote against the expected measurement
+// and platform key and derives the session key K_session.
+func (h *ClientHandshake) Complete(pub *ecdsa.PublicKey, sh ServerHello, expected Measurement) ([]byte, error) {
+	if err := VerifyQuote(pub, sh.Quote, expected); err != nil {
+		return nil, err
+	}
+	want := reportData(sh.PublicKey, h.hello.PublicKey, h.hello.Nonce)
+	if len(sh.Quote.ReportData) != len(want) || !equalBytes(sh.Quote.ReportData, want) {
+		return nil, ErrQuoteInvalid
+	}
+	peer, err := ecdh.P256().NewPublicKey(sh.PublicKey)
+	if err != nil {
+		return nil, fmt.Errorf("server public key: %w", err)
+	}
+	shared, err := h.priv.ECDH(peer)
+	if err != nil {
+		return nil, fmt.Errorf("ecdh: %w", err)
+	}
+	return cryptox.HKDF(shared, h.hello.Nonce, []byte(sessionInfo), cryptox.SessionKeySize)
+}
+
+// RespondHandshake is the enclave half: it generates an ephemeral key,
+// quotes the transcript, and derives the same session key. It must be
+// called from inside an ecall.
+func (e *Enclave) RespondHandshake(ch ClientHello) (ServerHello, []byte, error) {
+	priv, err := ecdh.P256().GenerateKey(rand.Reader)
+	if err != nil {
+		return ServerHello{}, nil, fmt.Errorf("server ecdh key: %w", err)
+	}
+	peer, err := ecdh.P256().NewPublicKey(ch.PublicKey)
+	if err != nil {
+		return ServerHello{}, nil, fmt.Errorf("client public key: %w", err)
+	}
+	shared, err := priv.ECDH(peer)
+	if err != nil {
+		return ServerHello{}, nil, fmt.Errorf("ecdh: %w", err)
+	}
+	serverPub := priv.PublicKey().Bytes()
+	quote, err := e.Quote(reportData(serverPub, ch.PublicKey, ch.Nonce))
+	if err != nil {
+		return ServerHello{}, nil, err
+	}
+	key, err := cryptox.HKDF(shared, ch.Nonce, []byte(sessionInfo), cryptox.SessionKeySize)
+	if err != nil {
+		return ServerHello{}, nil, err
+	}
+	return ServerHello{PublicKey: serverPub, Quote: quote}, key, nil
+}
+
+func reportData(serverPub, clientPub, nonce []byte) []byte {
+	h := sha256.New()
+	h.Write(serverPub)
+	h.Write(clientPub)
+	h.Write(nonce)
+	return h.Sum(nil)
+}
+
+func equalBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	var v byte
+	for i := range a {
+		v |= a[i] ^ b[i]
+	}
+	return v == 0
+}

@@ -1,0 +1,131 @@
+package sgx
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestAttestationHandshake(t *testing.T) {
+	p := newTestPlatform(t)
+	e := p.CreateEnclave([]byte("precursor-server-v1"), 10)
+
+	ch, err := NewClientHandshake()
+	if err != nil {
+		t.Fatalf("NewClientHandshake: %v", err)
+	}
+	sh, serverKey, err := e.RespondHandshake(ch.Hello())
+	if err != nil {
+		t.Fatalf("RespondHandshake: %v", err)
+	}
+	clientKey, err := ch.Complete(p.AttestationPublicKey(), sh, e.Measurement())
+	if err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	if !bytes.Equal(clientKey, serverKey) {
+		t.Error("client and enclave derived different session keys")
+	}
+	if len(clientKey) != 16 {
+		t.Errorf("session key length %d, want 16", len(clientKey))
+	}
+}
+
+func TestAttestationRejectsWrongMeasurement(t *testing.T) {
+	p := newTestPlatform(t)
+	e := p.CreateEnclave([]byte("malicious-binary"), 10)
+	expected := p.CreateEnclave([]byte("precursor-server-v1"), 10).Measurement()
+
+	ch, err := NewClientHandshake()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, _, err := e.RespondHandshake(ch.Hello())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Complete(p.AttestationPublicKey(), sh, expected); !errors.Is(err, ErrMeasurement) {
+		t.Errorf("got %v, want ErrMeasurement", err)
+	}
+}
+
+func TestAttestationRejectsWrongPlatform(t *testing.T) {
+	p1 := newTestPlatform(t)
+	p2 := newTestPlatform(t)
+	e := p1.CreateEnclave([]byte("img"), 10)
+
+	ch, err := NewClientHandshake()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, _, err := e.RespondHandshake(ch.Hello())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Complete(p2.AttestationPublicKey(), sh, e.Measurement()); !errors.Is(err, ErrQuoteInvalid) {
+		t.Errorf("got %v, want ErrQuoteInvalid", err)
+	}
+}
+
+// TestAttestationRejectsKeySubstitution: a man in the middle replacing the
+// enclave's ECDH key must be caught, because the quote binds both keys.
+func TestAttestationRejectsKeySubstitution(t *testing.T) {
+	p := newTestPlatform(t)
+	e := p.CreateEnclave([]byte("img"), 10)
+
+	ch, err := NewClientHandshake()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, _, err := e.RespondHandshake(ch.Hello())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Substitute the attacker's public key for the enclave's.
+	mitm, err := NewClientHandshake()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.PublicKey = mitm.Hello().PublicKey
+	if _, err := ch.Complete(p.AttestationPublicKey(), sh, e.Measurement()); !errors.Is(err, ErrQuoteInvalid) {
+		t.Errorf("got %v, want ErrQuoteInvalid", err)
+	}
+}
+
+// TestAttestationRejectsReplayedQuote: a quote for a different nonce must
+// not verify for this handshake.
+func TestAttestationRejectsReplayedQuote(t *testing.T) {
+	p := newTestPlatform(t)
+	e := p.CreateEnclave([]byte("img"), 10)
+
+	old, err := NewClientHandshake()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldSh, _, err := e.RespondHandshake(old.Hello())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewClientHandshake()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.Complete(p.AttestationPublicKey(), oldSh, e.Measurement()); err == nil {
+		t.Error("replayed ServerHello accepted")
+	}
+}
+
+func TestQuoteTamperDetected(t *testing.T) {
+	p := newTestPlatform(t)
+	e := p.CreateEnclave([]byte("img"), 10)
+	q, err := e.Quote([]byte("report"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyQuote(p.AttestationPublicKey(), q, e.Measurement()); err != nil {
+		t.Fatalf("valid quote rejected: %v", err)
+	}
+	q.ReportData[0] ^= 1
+	if err := VerifyQuote(p.AttestationPublicKey(), q, e.Measurement()); !errors.Is(err, ErrQuoteInvalid) {
+		t.Errorf("tampered report data: got %v", err)
+	}
+}

@@ -1,0 +1,47 @@
+package sgx
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrCounterRollback is returned when a monotonic counter would move
+// backwards — the signature of a state rollback or fork attack.
+var ErrCounterRollback = errors.New("sgx: monotonic counter rollback detected")
+
+// MonotonicCounter models the SGX trusted monotonic counter used to detect
+// rollback of persisted state (§2.1). Increment-only; an attempt to set a
+// lower value fails.
+type MonotonicCounter struct {
+	mu    sync.Mutex
+	value uint64
+}
+
+// NewMonotonicCounter creates a counter starting at zero.
+func NewMonotonicCounter() *MonotonicCounter { return &MonotonicCounter{} }
+
+// Increment advances the counter and returns the new value.
+func (c *MonotonicCounter) Increment() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.value++
+	return c.value
+}
+
+// Value returns the current counter value.
+func (c *MonotonicCounter) Value() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.value
+}
+
+// VerifyAtLeast checks that observed state is not older than the counter,
+// i.e. observed >= current value. It returns ErrCounterRollback otherwise.
+func (c *MonotonicCounter) VerifyAtLeast(observed uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if observed < c.value {
+		return ErrCounterRollback
+	}
+	return nil
+}

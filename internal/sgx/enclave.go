@@ -1,0 +1,230 @@
+package sgx
+
+import (
+	"sync"
+)
+
+// Enclave is one simulated SGX enclave: an isolated heap whose pages are
+// tracked against the EPC, plus transition gates and cycle accounting.
+//
+// All methods are safe for concurrent use; the store's trusted threads
+// enter through Ecall from multiple goroutines.
+type Enclave struct {
+	platform    *Platform
+	measurement Measurement
+	imagePages  int
+
+	mu        sync.Mutex
+	destroyed bool
+	nextBase  int64
+	heapBytes int64
+
+	// pages is every live heap page touched: the enclave working set that
+	// sgx-perf reports and Table 1 counts (plus imagePages). Freeing a
+	// region retires its pages — sgx-perf traces pages in active use, not
+	// lifetime-cumulative allocations.
+	pages map[int64]struct{}
+
+	// resident tracks which pages currently fit in the EPC; once the
+	// working set exceeds maxResident, touches of non-resident pages are
+	// charged as EPC faults.
+	resident     map[int64]struct{}
+	residentFIFO []int64
+	maxResident  int64
+
+	ecalls     uint64
+	ocalls     uint64
+	pageFaults uint64
+	cycles     uint64
+
+	callCounts map[string]uint64
+}
+
+// Region is a block of enclave memory returned by Alloc. Data is ordinary
+// process memory, but because the only reference lives inside enclave-owned
+// structures reached through ecalls, package boundaries enforce the
+// isolation the hardware would.
+type Region struct {
+	Data []byte
+
+	enclave *Enclave
+	base    int64
+}
+
+// Measurement returns the enclave's MRENCLAVE-equivalent identity.
+func (e *Enclave) Measurement() Measurement { return e.measurement }
+
+// Alloc allocates n bytes on the enclave heap and records the pages in the
+// working set. It returns ErrEPCExhausted only if the platform was
+// configured with a hard heap cap smaller than the request; by default the
+// heap may exceed the EPC — exactly like real SGX — at the price of paging
+// charges on access.
+func (e *Enclave) Alloc(n int) (*Region, error) {
+	if n < 0 {
+		n = 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.destroyed {
+		return nil, ErrEnclaveStopped
+	}
+	base := e.nextBase
+	// Keep allocations page-aligned so working-set accounting is exact.
+	span := int64(n)
+	if rem := span % PageSize; rem != 0 {
+		span += PageSize - rem
+	}
+	if span == 0 {
+		span = PageSize
+	}
+	e.nextBase += span
+	e.heapBytes += int64(n)
+	r := &Region{Data: make([]byte, n), enclave: e, base: base}
+	e.touchLocked(base, int64(n))
+	return r, nil
+}
+
+// Free returns a region's pages to the allocator's accounting, retiring
+// them from both the working set and residency: the enclave's working set
+// reflects pages in active use, as sgx-perf measures it (so e.g. a grown
+// hash table's footprint is its current size, not the sum of all
+// generations).
+func (e *Enclave) Free(r *Region) {
+	if r == nil || r.enclave != e {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.heapBytes -= int64(len(r.Data))
+	if e.heapBytes < 0 {
+		e.heapBytes = 0
+	}
+	for p := r.base / PageSize; p <= (r.base+int64(len(r.Data)))/PageSize; p++ {
+		delete(e.resident, p)
+		delete(e.pages, p)
+	}
+	r.Data = nil
+}
+
+// Touch records an access to r.Data[off:off+n] for paging purposes. The
+// store calls this on every in-enclave read or write so that exceeding the
+// EPC produces the fault charges Figure 7's paging experiment shows.
+func (r *Region) Touch(off, n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.enclave.mu.Lock()
+	r.enclave.touchLocked(r.base+int64(off), int64(n))
+	r.enclave.mu.Unlock()
+}
+
+func (e *Enclave) touchLocked(base, n int64) {
+	if n <= 0 {
+		n = 1
+	}
+	first := base / PageSize
+	last := (base + n - 1) / PageSize
+	for p := first; p <= last; p++ {
+		e.pages[p] = struct{}{}
+		if _, ok := e.resident[p]; ok {
+			continue
+		}
+		// Page not resident: count a fault only once the EPC is full,
+		// i.e. when residency requires evicting another page.
+		if int64(len(e.resident)) >= e.maxResident-int64(e.imagePages) {
+			// Evict the oldest resident page (FIFO approximation of the
+			// kernel's paging) and charge the round trip.
+			for len(e.residentFIFO) > 0 {
+				victim := e.residentFIFO[0]
+				e.residentFIFO = e.residentFIFO[1:]
+				if _, still := e.resident[victim]; still {
+					delete(e.resident, victim)
+					break
+				}
+			}
+			e.pageFaults++
+			e.cycles += e.platform.faultCycles
+		}
+		e.resident[p] = struct{}{}
+		e.residentFIFO = append(e.residentFIFO, p)
+	}
+}
+
+// Ecall enters the enclave, charging one transition, and runs fn. The name
+// is recorded for sgx-perf-style per-call statistics.
+func (e *Enclave) Ecall(name string, fn func() error) error {
+	e.mu.Lock()
+	if e.destroyed {
+		e.mu.Unlock()
+		return ErrEnclaveStopped
+	}
+	e.ecalls++
+	e.cycles += e.platform.transitionCycles
+	e.countLocked("ecall:" + name)
+	e.mu.Unlock()
+	return fn()
+}
+
+// Ocall leaves the enclave, charging one transition, and runs fn in the
+// untrusted environment.
+func (e *Enclave) Ocall(name string, fn func() error) error {
+	e.mu.Lock()
+	if e.destroyed {
+		e.mu.Unlock()
+		return ErrEnclaveStopped
+	}
+	e.ocalls++
+	e.cycles += e.platform.transitionCycles
+	e.countLocked("ocall:" + name)
+	e.mu.Unlock()
+	return fn()
+}
+
+func (e *Enclave) countLocked(name string) {
+	if e.callCounts == nil {
+		e.callCounts = make(map[string]uint64)
+	}
+	e.callCounts[name]++
+}
+
+// ChargeCycles adds modelled in-enclave work (e.g. crypto) to the cycle
+// counter without a transition.
+func (e *Enclave) ChargeCycles(c uint64) {
+	e.mu.Lock()
+	e.cycles += c
+	e.mu.Unlock()
+}
+
+// Stats returns a snapshot of accounted activity.
+func (e *Enclave) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{
+		Ecalls:     e.ecalls,
+		Ocalls:     e.ocalls,
+		PageFaults: e.pageFaults,
+		Cycles:     e.cycles,
+		HeapBytes:  e.heapBytes,
+		EPCPages:   e.imagePages + len(e.pages),
+	}
+}
+
+// CallCounts returns a copy of the per-call transition counters.
+func (e *Enclave) CallCounts() map[string]uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make(map[string]uint64, len(e.callCounts))
+	for k, v := range e.callCounts {
+		out[k] = v
+	}
+	return out
+}
+
+// Destroy tears the enclave down; further calls fail with
+// ErrEnclaveStopped. The hosting OS can do this at any time (the paper's
+// availability assumption), so the store must tolerate it.
+func (e *Enclave) Destroy() {
+	e.mu.Lock()
+	e.destroyed = true
+	e.mu.Unlock()
+}

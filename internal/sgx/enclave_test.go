@@ -1,0 +1,234 @@
+package sgx
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func newTestPlatform(t *testing.T, opts ...PlatformOption) *Platform {
+	t.Helper()
+	p, err := NewPlatform(opts...)
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	return p
+}
+
+func TestEnclaveMeasurementDeterministic(t *testing.T) {
+	p := newTestPlatform(t)
+	a := p.CreateEnclave([]byte("image-v1"), 10)
+	b := p.CreateEnclave([]byte("image-v1"), 10)
+	c := p.CreateEnclave([]byte("image-v2"), 10)
+	if a.Measurement() != b.Measurement() {
+		t.Error("same image produced different measurements")
+	}
+	if a.Measurement() == c.Measurement() {
+		t.Error("different images produced the same measurement")
+	}
+}
+
+func TestAllocTracksWorkingSet(t *testing.T) {
+	p := newTestPlatform(t)
+	e := p.CreateEnclave([]byte("img"), 42)
+
+	if got := e.Stats().EPCPages; got != 42 {
+		t.Fatalf("initial pages = %d, want image pages 42", got)
+	}
+	if _, err := e.Alloc(PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().EPCPages; got != 43 {
+		t.Errorf("after 1-page alloc: %d pages, want 43", got)
+	}
+	if _, err := e.Alloc(10*PageSize + 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().EPCPages; got != 54 {
+		t.Errorf("after 11-page alloc: %d pages, want 54", got)
+	}
+	if got := e.Stats().HeapBytes; got != int64(PageSize+10*PageSize+1) {
+		t.Errorf("heap bytes = %d", got)
+	}
+}
+
+func TestFreeRetiresPages(t *testing.T) {
+	p := newTestPlatform(t)
+	e := p.CreateEnclave([]byte("img"), 0)
+	r, err := e.Alloc(4 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.Stats()
+	if before.EPCPages < 4 {
+		t.Fatalf("pages before free = %d", before.EPCPages)
+	}
+	e.Free(r)
+	after := e.Stats()
+	if after.HeapBytes != 0 {
+		t.Errorf("heap bytes after free = %d, want 0", after.HeapBytes)
+	}
+	// The working set reflects active pages (sgx-perf semantics): freed
+	// pages leave it, so a table that grows by replacement is counted at
+	// its current size only.
+	if after.EPCPages != 0 {
+		t.Errorf("working set after free: %d -> %d, want 0", before.EPCPages, after.EPCPages)
+	}
+}
+
+func TestTransitionAccounting(t *testing.T) {
+	p := newTestPlatform(t)
+	e := p.CreateEnclave([]byte("img"), 0)
+
+	for i := 0; i < 3; i++ {
+		if err := e.Ecall("poll", func() error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Ocall("grow_pool", func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.Ecalls != 3 || s.Ocalls != 1 {
+		t.Errorf("ecalls=%d ocalls=%d, want 3/1", s.Ecalls, s.Ocalls)
+	}
+	if want := uint64(4 * TransitionCycles); s.Cycles != want {
+		t.Errorf("cycles=%d, want %d", s.Cycles, want)
+	}
+	counts := e.CallCounts()
+	if counts["ecall:poll"] != 3 || counts["ocall:grow_pool"] != 1 {
+		t.Errorf("call counts = %v", counts)
+	}
+}
+
+func TestEcallErrorPropagates(t *testing.T) {
+	p := newTestPlatform(t)
+	e := p.CreateEnclave([]byte("img"), 0)
+	sentinel := errors.New("inner failure")
+	if err := e.Ecall("x", func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Errorf("got %v, want sentinel", err)
+	}
+}
+
+// TestEPCPagingCharged: once the working set exceeds the EPC, touches of
+// non-resident pages incur fault charges — the mechanism behind the paging
+// series in Figure 7.
+func TestEPCPagingCharged(t *testing.T) {
+	// Tiny EPC: 8 pages.
+	p := newTestPlatform(t, WithEPCBytes(8*PageSize))
+	e := p.CreateEnclave([]byte("img"), 0)
+
+	r, err := e.Alloc(6 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faults := e.Stats().PageFaults; faults != 0 {
+		t.Fatalf("faults before exceeding EPC: %d", faults)
+	}
+	// Allocate beyond the EPC: allocation touches pages, forcing eviction.
+	r2, err := e.Alloc(6 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overflow := e.Stats().PageFaults
+	if overflow == 0 {
+		t.Fatal("no faults despite exceeding EPC")
+	}
+	// Re-touching the first (now evicted) region faults again.
+	r.Touch(0, 6*PageSize)
+	if got := e.Stats().PageFaults; got <= overflow {
+		t.Errorf("re-touch did not fault: %d -> %d", overflow, got)
+	}
+	// Touching a resident page immediately again is free.
+	before := e.Stats().PageFaults
+	r2.Touch(5*PageSize, 10)
+	r2.Touch(5*PageSize, 10)
+	if got := e.Stats().PageFaults; got > before+1 {
+		t.Errorf("hot page faulted repeatedly: %d -> %d", before, got)
+	}
+}
+
+func TestNoPagingUnderEPC(t *testing.T) {
+	p := newTestPlatform(t)
+	e := p.CreateEnclave([]byte("img"), 0)
+	r, err := e.Alloc(1 << 20) // 1 MiB, far below 93 MiB
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		r.Touch(0, 1<<20)
+	}
+	if faults := e.Stats().PageFaults; faults != 0 {
+		t.Errorf("faults under EPC limit: %d", faults)
+	}
+}
+
+func TestDestroyedEnclaveRejectsCalls(t *testing.T) {
+	p := newTestPlatform(t)
+	e := p.CreateEnclave([]byte("img"), 0)
+	e.Destroy()
+	if err := e.Ecall("x", func() error { return nil }); !errors.Is(err, ErrEnclaveStopped) {
+		t.Errorf("ecall: got %v", err)
+	}
+	if err := e.Ocall("x", func() error { return nil }); !errors.Is(err, ErrEnclaveStopped) {
+		t.Errorf("ocall: got %v", err)
+	}
+	if _, err := e.Alloc(16); !errors.Is(err, ErrEnclaveStopped) {
+		t.Errorf("alloc: got %v", err)
+	}
+	if _, err := e.Quote(nil); !errors.Is(err, ErrEnclaveStopped) {
+		t.Errorf("quote: got %v", err)
+	}
+}
+
+func TestEnclaveConcurrentUse(t *testing.T) {
+	p := newTestPlatform(t)
+	e := p.CreateEnclave([]byte("img"), 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = e.Ecall("op", func() error { return nil })
+				r, err := e.Alloc(64)
+				if err != nil {
+					t.Errorf("alloc: %v", err)
+					return
+				}
+				r.Touch(0, 64)
+				e.Free(r)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := e.Stats().Ecalls; got != 8*200 {
+		t.Errorf("ecalls = %d, want %d", got, 8*200)
+	}
+}
+
+func TestWorkingSetMiB(t *testing.T) {
+	s := Stats{EPCPages: 17392}
+	if got := s.WorkingSetMiB(); got < 67.8 || got > 68.0 {
+		t.Errorf("17392 pages = %.2f MiB, want ≈67.9", got)
+	}
+}
+
+func TestMonotonicCounter(t *testing.T) {
+	c := NewMonotonicCounter()
+	if v := c.Increment(); v != 1 {
+		t.Errorf("first increment = %d", v)
+	}
+	if v := c.Increment(); v != 2 {
+		t.Errorf("second increment = %d", v)
+	}
+	if err := c.VerifyAtLeast(2); err != nil {
+		t.Errorf("current value rejected: %v", err)
+	}
+	if err := c.VerifyAtLeast(5); err != nil {
+		t.Errorf("future value rejected: %v", err)
+	}
+	if err := c.VerifyAtLeast(1); !errors.Is(err, ErrCounterRollback) {
+		t.Errorf("rollback not detected: %v", err)
+	}
+}

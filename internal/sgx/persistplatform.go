@@ -1,0 +1,89 @@
+package sgx
+
+import (
+	"crypto/x509"
+	"encoding/pem"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Platform persistence: a real machine's attestation and sealing roots
+// are fused into the CPU and survive reboots. LoadOrCreatePlatform gives
+// the simulated platform the same property by persisting its key material
+// to a directory, so a restarted precursor-server still speaks for the
+// same "machine" (its quotes verify under the published key and its
+// sealed snapshots still open).
+
+const (
+	platformKeyFile  = "platform.key"
+	platformSealFile = "platform.seal"
+)
+
+// LoadOrCreatePlatform restores a platform's identity from dir, creating
+// a fresh one (and persisting it) on first use. Extra options are applied
+// after loading.
+func LoadOrCreatePlatform(dir string, opts ...PlatformOption) (*Platform, error) {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("platform state dir: %w", err)
+	}
+	keyPath := filepath.Join(dir, platformKeyFile)
+	sealPath := filepath.Join(dir, platformSealFile)
+
+	keyPEM, keyErr := os.ReadFile(keyPath)
+	sealRaw, sealErr := os.ReadFile(sealPath)
+	if os.IsNotExist(keyErr) || os.IsNotExist(sealErr) {
+		p, err := NewPlatform(opts...)
+		if err != nil {
+			return nil, err
+		}
+		if err := savePlatform(p, keyPath, sealPath); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+	if keyErr != nil {
+		return nil, fmt.Errorf("read platform key: %w", keyErr)
+	}
+	if sealErr != nil {
+		return nil, fmt.Errorf("read sealing root: %w", sealErr)
+	}
+
+	block, _ := pem.Decode(keyPEM)
+	if block == nil || block.Type != "EC PRIVATE KEY" {
+		return nil, fmt.Errorf("platform key file %s malformed", keyPath)
+	}
+	parsed, err := x509.ParseECPrivateKey(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("parse platform key: %w", err)
+	}
+	if len(sealRaw) != 32 {
+		return nil, fmt.Errorf("sealing root %s malformed (%d bytes)", sealPath, len(sealRaw))
+	}
+	p := &Platform{
+		epcBytes:         DefaultEPCBytes,
+		transitionCycles: TransitionCycles,
+		faultCycles:      PageFaultCycles,
+		signKey:          parsed,
+		sealSecret:       sealRaw,
+	}
+	for _, o := range opts {
+		o.apply(p)
+	}
+	return p, nil
+}
+
+func savePlatform(p *Platform, keyPath, sealPath string) error {
+	der, err := x509.MarshalECPrivateKey(p.signKey)
+	if err != nil {
+		return fmt.Errorf("marshal platform key: %w", err)
+	}
+	keyPEM := pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: der})
+	if err := os.WriteFile(keyPath, keyPEM, 0o600); err != nil {
+		return fmt.Errorf("write platform key: %w", err)
+	}
+	if err := os.WriteFile(sealPath, p.sealSecret, 0o600); err != nil {
+		return fmt.Errorf("write sealing root: %w", err)
+	}
+	return nil
+}

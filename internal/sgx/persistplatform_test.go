@@ -1,0 +1,86 @@
+package sgx
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadOrCreatePlatformRoundTrip: the persisted platform identity is
+// stable across "reboots": same attestation key, same sealing keys.
+func TestLoadOrCreatePlatformRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p1, err := LoadOrCreatePlatform(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, err := p1.CreateEnclave([]byte("bin"), 1).SealingKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := LoadOrCreatePlatform(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p1.AttestationPublicKey().Equal(p2.AttestationPublicKey()) {
+		t.Error("attestation key changed across reload")
+	}
+	k2, err := p2.CreateEnclave([]byte("bin"), 1).SealingKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(k1, k2) {
+		t.Error("sealing key changed across reload")
+	}
+	// A different directory is a different machine.
+	p3, err := LoadOrCreatePlatform(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.AttestationPublicKey().Equal(p3.AttestationPublicKey()) {
+		t.Error("fresh platform shares the attestation key")
+	}
+}
+
+// TestLoadOrCreatePlatformQuotesVerify: quotes from a reloaded platform
+// verify under the originally published key.
+func TestLoadOrCreatePlatformQuotesVerify(t *testing.T) {
+	dir := t.TempDir()
+	p1, err := LoadOrCreatePlatform(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	published := p1.AttestationPublicKey()
+
+	p2, err := LoadOrCreatePlatform(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := p2.CreateEnclave([]byte("bin"), 1)
+	q, err := e.Quote([]byte("rd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyQuote(published, q, e.Measurement()); err != nil {
+		t.Errorf("reloaded platform's quote rejected: %v", err)
+	}
+}
+
+func TestLoadOrCreatePlatformCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadOrCreatePlatform(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the sealing root.
+	if err := writeFile(filepath.Join(dir, platformSealFile), []byte("short")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadOrCreatePlatform(dir); err == nil {
+		t.Error("corrupt sealing root accepted")
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o600)
+}

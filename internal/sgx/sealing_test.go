@@ -1,0 +1,62 @@
+package sgx
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestSealingKeyStableAcrossRestarts: the same binary on the same
+// platform derives the same sealing key — SGX's MRENCLAVE policy, the
+// property persistence depends on.
+func TestSealingKeyStableAcrossRestarts(t *testing.T) {
+	p := newTestPlatform(t)
+	e1 := p.CreateEnclave([]byte("binary-v1"), 10)
+	k1, err := e1.SealingKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1.Destroy() // "restart"
+	e2 := p.CreateEnclave([]byte("binary-v1"), 10)
+	k2, err := e2.SealingKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(k1, k2) {
+		t.Error("sealing key changed across enclave restarts")
+	}
+}
+
+// TestSealingKeyIsolation: different binaries and different platforms get
+// different keys.
+func TestSealingKeyIsolation(t *testing.T) {
+	p := newTestPlatform(t)
+	kA, err := p.CreateEnclave([]byte("binary-a"), 10).SealingKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kB, err := p.CreateEnclave([]byte("binary-b"), 10).SealingKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(kA, kB) {
+		t.Error("different binaries share a sealing key")
+	}
+	p2 := newTestPlatform(t)
+	kA2, err := p2.CreateEnclave([]byte("binary-a"), 10).SealingKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(kA, kA2) {
+		t.Error("different platforms share a sealing key")
+	}
+}
+
+func TestSealingKeyAfterDestroy(t *testing.T) {
+	p := newTestPlatform(t)
+	e := p.CreateEnclave([]byte("img"), 0)
+	e.Destroy()
+	if _, err := e.SealingKey(); !errors.Is(err, ErrEnclaveStopped) {
+		t.Errorf("got %v", err)
+	}
+}

@@ -1,0 +1,65 @@
+// Package sgx simulates the Intel SGX trusted-execution environment that
+// Precursor's server runs in.
+//
+// Real SGX hardware is unavailable in this reproduction, so the package
+// models the properties the paper's design and evaluation depend on:
+//
+//   - an isolated enclave memory region whose size is bounded by the
+//     enclave page cache (EPC, ≈93 MiB usable on the paper's hardware);
+//   - costly transitions between the untrusted application and the enclave
+//     (ecalls/ocalls, ≈13,000 cycles each per Weichbrodt et al.);
+//   - software paging when the enclave working set exceeds the EPC
+//     (≈20,000 cycles per evicted/reloaded page per Arnautov et al.);
+//   - enclave measurement and remote attestation, producing a quote a
+//     client can verify before provisioning the session key K_session;
+//   - monotonic counters for rollback detection.
+//
+// Costs are accounted in virtual CPU cycles on per-enclave counters; the
+// benchmark harness converts them to time with the calibrated clock in
+// internal/sim. The functional key-value store uses the same package, so
+// working-set numbers (Table 1) come from real allocation behaviour rather
+// than a model.
+package sgx
+
+// Hardware constants of the paper's testbed. They are defaults; both the
+// EPC size and the cost constants can be overridden per Platform for
+// sensitivity experiments.
+const (
+	// PageSize is the EPC page granularity.
+	PageSize = 4096
+
+	// DefaultEPCBytes is the usable EPC on the paper's pre-Ice-Lake server
+	// (≈93 MiB of the 128 MiB EPC after security metadata).
+	DefaultEPCBytes = 93 << 20
+
+	// TransitionCycles is the cost of one enclave transition
+	// (ecall or ocall): ≈13,000 cycles for context switch, security checks
+	// and TLB flush (sgx-perf, Middleware '18).
+	TransitionCycles = 13000
+
+	// PageFaultCycles is the cost of one EPC page eviction/reload
+	// (≈20,000 cycles, SCONE OSDI '16).
+	PageFaultCycles = 20000
+)
+
+// MeasurementSize is the size of an enclave measurement (MRENCLAVE).
+const MeasurementSize = 32
+
+// Measurement identifies the initial code and data of an enclave, the
+// value remote attestation certifies.
+type Measurement [MeasurementSize]byte
+
+// Stats is a snapshot of an enclave's accounted activity.
+type Stats struct {
+	Ecalls     uint64 // enclave entries
+	Ocalls     uint64 // calls out of the enclave
+	PageFaults uint64 // EPC evictions + reloads
+	Cycles     uint64 // total modelled cycles from the above
+	HeapBytes  int64  // bytes currently allocated on the enclave heap
+	EPCPages   int    // pages in the current working set (incl. image)
+}
+
+// WorkingSetMiB returns the working set in MiB, the unit Table 1 reports.
+func (s Stats) WorkingSetMiB() float64 {
+	return float64(s.EPCPages) * PageSize / (1 << 20)
+}

@@ -1,0 +1,101 @@
+package sgx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// TrustedCounter abstracts the monotonic counter used for rollback
+// detection. The in-process MonotonicCounter satisfies it; deployments
+// that must survive process restarts plug in an external trusted counter
+// service (the ROTE-style "lightweight collective memory" the paper cites
+// for rollback and forking detection, §2.1).
+type TrustedCounter interface {
+	// Increment advances the counter and returns the new value.
+	Increment() (uint64, error)
+	// Value returns the current counter value.
+	Value() (uint64, error)
+}
+
+// MonotonicCounter implements TrustedCounter in process memory.
+var _ TrustedCounter = (*counterAdapter)(nil)
+
+// counterAdapter lifts MonotonicCounter (whose methods are infallible)
+// into the TrustedCounter interface.
+type counterAdapter struct{ c *MonotonicCounter }
+
+// AsTrustedCounter adapts a MonotonicCounter to the TrustedCounter
+// interface.
+func AsTrustedCounter(c *MonotonicCounter) TrustedCounter {
+	return &counterAdapter{c: c}
+}
+
+// Increment implements TrustedCounter.
+func (a *counterAdapter) Increment() (uint64, error) { return a.c.Increment(), nil }
+
+// Value implements TrustedCounter.
+func (a *counterAdapter) Value() (uint64, error) { return a.c.Value(), nil }
+
+// FileCounter is a TrustedCounter persisted to a file, standing in for an
+// external trusted monotonic-counter service. Note the trust caveat: a
+// file on the *same* untrusted host can itself be rolled back; in a real
+// deployment this state must live with a quorum of other enclaves (ROTE)
+// or in hardware counters. The implementation is what the store needs —
+// strictly monotonic, durable across restarts — with trust delegated to
+// wherever the file actually lives.
+type FileCounter struct {
+	mu   sync.Mutex
+	path string
+	v    uint64
+}
+
+// OpenFileCounter loads (or creates) the counter state at path.
+func OpenFileCounter(path string) (*FileCounter, error) {
+	fc := &FileCounter{path: path}
+	raw, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		// Fresh counter.
+	case err != nil:
+		return nil, fmt.Errorf("read counter: %w", err)
+	case len(raw) == 8:
+		fc.v = binary.LittleEndian.Uint64(raw)
+	default:
+		return nil, fmt.Errorf("counter file %s corrupt (%d bytes)", path, len(raw))
+	}
+	return fc, nil
+}
+
+// Increment implements TrustedCounter, persisting before returning.
+func (f *FileCounter) Increment() (uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	next := f.v + 1
+	if err := f.writeLocked(next); err != nil {
+		return 0, err
+	}
+	f.v = next
+	return next, nil
+}
+
+// Value implements TrustedCounter.
+func (f *FileCounter) Value() (uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.v, nil
+}
+
+func (f *FileCounter) writeLocked(v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	tmp := f.path + ".tmp"
+	if err := os.WriteFile(tmp, buf[:], 0o600); err != nil {
+		return fmt.Errorf("write counter: %w", err)
+	}
+	if err := os.Rename(tmp, f.path); err != nil {
+		return fmt.Errorf("commit counter: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package shieldstore
+
+import (
+	"crypto/ecdsa"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"precursor/internal/cryptox"
+	"precursor/internal/sgx"
+	"precursor/internal/wire"
+)
+
+// Client is a ShieldStore client. Unlike Precursor clients it performs no
+// payload cryptography: it transport-encrypts whole requests and trusts
+// the server enclave to maintain storage integrity.
+type Client struct {
+	mu sync.Mutex
+
+	tr     Transport
+	id     uint32
+	ad     [4]byte
+	aead   *cryptox.AEAD
+	closed bool
+}
+
+// Connect performs the attested handshake over the transport.
+func Connect(tr Transport, platformKey *ecdsa.PublicKey, measurement sgx.Measurement) (*Client, error) {
+	hs, err := sgx.NewClientHandshake()
+	if err != nil {
+		return nil, err
+	}
+	hello := hs.Hello()
+	raw, err := json.Marshal(struct {
+		AttestPub   []byte `json:"attestPub"`
+		AttestNonce []byte `json:"attestNonce"`
+	}{hello.PublicKey, hello.Nonce})
+	if err != nil {
+		return nil, err
+	}
+	if err := tr.Send(raw); err != nil {
+		return nil, err
+	}
+	reply, err := tr.Recv()
+	if err != nil {
+		return nil, err
+	}
+	var welcome struct {
+		AttestPub        []byte `json:"attestPub"`
+		QuoteMeasurement []byte `json:"quoteMeasurement"`
+		QuoteReportData  []byte `json:"quoteReportData"`
+		QuoteSignature   []byte `json:"quoteSignature"`
+		ClientID         uint32 `json:"clientID"`
+	}
+	if err := json.Unmarshal(reply, &welcome); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMessage, err)
+	}
+	var m sgx.Measurement
+	copy(m[:], welcome.QuoteMeasurement)
+	key, err := hs.Complete(platformKey, sgx.ServerHello{
+		PublicKey: welcome.AttestPub,
+		Quote: sgx.Quote{
+			Measurement: m,
+			ReportData:  welcome.QuoteReportData,
+			Signature:   welcome.QuoteSignature,
+		},
+	}, measurement)
+	if err != nil {
+		return nil, fmt.Errorf("attestation: %w", err)
+	}
+	aead, err := cryptox.NewAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{tr: tr, id: welcome.ClientID, aead: aead}
+	binary.LittleEndian.PutUint32(c.ad[:], c.id)
+	return c, nil
+}
+
+// Put stores value under key.
+func (c *Client) Put(key string, value []byte) error {
+	_, err := c.call(wire.OpPut, key, value)
+	return err
+}
+
+// Get fetches the value for key.
+func (c *Client) Get(key string) ([]byte, error) {
+	return c.call(wire.OpGet, key, nil)
+}
+
+// Delete removes key.
+func (c *Client) Delete(key string) error {
+	_, err := c.call(wire.OpDelete, key, nil)
+	return err
+}
+
+func (c *Client) call(op wire.Opcode, key string, value []byte) ([]byte, error) {
+	if len(key) == 0 || len(key) > wire.MaxKeyLen || len(value) > wire.MaxValueLen {
+		return nil, ErrTooLarge
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	pt := make([]byte, 3+len(key)+len(value))
+	pt[0] = byte(op)
+	binary.LittleEndian.PutUint16(pt[1:3], uint16(len(key)))
+	copy(pt[3:], key)
+	copy(pt[3+len(key):], value)
+	sealed, err := c.aead.Seal(pt, c.ad[:])
+	if err != nil {
+		return nil, err
+	}
+	if err := c.tr.Send(sealed); err != nil {
+		return nil, err
+	}
+	reply, err := c.tr.Recv()
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.aead.Open(reply, c.ad[:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: response", ErrAuth)
+	}
+	if len(body) < 1 {
+		return nil, ErrBadMessage
+	}
+	switch wire.Status(body[0]) {
+	case wire.StatusOK:
+		return body[1:], nil
+	case wire.StatusNotFound:
+		return nil, ErrNotFound
+	case wire.StatusServerError:
+		return nil, ErrIntegrity
+	case wire.StatusAuthFailed:
+		return nil, ErrAuth
+	default:
+		return nil, ErrBadMessage
+	}
+}
+
+// Close shuts the transport down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.tr.Close()
+}

@@ -1,0 +1,154 @@
+package shieldstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDeleteUpdatesMerkle: after a delete, the bucket hash is recomputed
+// and subsequent operations on the bucket still verify.
+func TestDeleteUpdatesMerkle(t *testing.T) {
+	srv, platform := newTestServer(t, ServerConfig{Buckets: 4})
+	c := connectClient(t, srv, platform)
+	// Several keys share buckets with only 4 buckets.
+	for i := 0; i < 20; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i += 2 {
+		if err := c.Delete(fmt.Sprintf("k%d", i)); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		got, err := c.Get(fmt.Sprintf("k%d", i))
+		if i%2 == 0 {
+			if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("deleted k%d: %v", i, err)
+			}
+			continue
+		}
+		if err != nil || string(got) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("kept k%d: %q %v", i, got, err)
+		}
+	}
+	if srv.Stats().IntegrityFailures != 0 {
+		t.Error("merkle failures during legitimate delete traffic")
+	}
+}
+
+// TestModelEquivalence drives ShieldStore and a map with the same random
+// stream.
+func TestModelEquivalence(t *testing.T) {
+	srv, platform := newTestServer(t, ServerConfig{Buckets: 16})
+	c := connectClient(t, srv, platform)
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		model := make(map[string][]byte)
+		ns := fmt.Sprintf("s%x-", uint64(seed))
+		for op := 0; op < 120; op++ {
+			key := ns + fmt.Sprintf("%d", rng.Intn(30))
+			switch rng.Intn(4) {
+			case 0, 1:
+				v := make([]byte, rng.Intn(200))
+				rng.Read(v)
+				if err := c.Put(key, v); err != nil {
+					return false
+				}
+				model[key] = append([]byte(nil), v...)
+			case 2:
+				got, err := c.Get(key)
+				want, ok := model[key]
+				if ok != (err == nil) {
+					return false
+				}
+				if ok && !bytes.Equal(got, want) {
+					return false
+				}
+			case 3:
+				err := c.Delete(key)
+				_, ok := model[key]
+				if ok != (err == nil) {
+					return false
+				}
+				delete(model, key)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyValueAndOverwrite(t *testing.T) {
+	srv, platform := newTestServer(t, ServerConfig{})
+	c := connectClient(t, srv, platform)
+	if err := c.Put("k", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("k")
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty value: %q %v", got, err)
+	}
+	if err := c.Put("k", []byte("now non-empty")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = c.Get("k")
+	if err != nil || string(got) != "now non-empty" {
+		t.Errorf("overwrite: %q %v", got, err)
+	}
+}
+
+func TestOversizeRejectedClientSide(t *testing.T) {
+	srv, platform := newTestServer(t, ServerConfig{})
+	c := connectClient(t, srv, platform)
+	if err := c.Put("", []byte("v")); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("empty key: %v", err)
+	}
+	if _, err := c.Get(string(make([]byte, 5000))); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("huge key: %v", err)
+	}
+}
+
+// TestCryptoBytesScaleWithTraffic: the defining server-encryption-scheme
+// property — enclave crypto bytes grow with payload size.
+func TestCryptoBytesScaleWithTraffic(t *testing.T) {
+	srv, platform := newTestServer(t, ServerConfig{})
+	c := connectClient(t, srv, platform)
+	if err := c.Put("small", make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	after64 := srv.Stats().EnclaveCryptoBytes
+	if err := c.Put("big", make([]byte, 8192)); err != nil {
+		t.Fatal(err)
+	}
+	delta := srv.Stats().EnclaveCryptoBytes - after64
+	if delta < 2*8192 {
+		t.Errorf("8KiB put only added %d crypto bytes", delta)
+	}
+}
+
+func TestPipeCloseUnblocksServer(t *testing.T) {
+	srv, platform := newTestServer(t, ServerConfig{})
+	ct, st := NewPipe()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(st) }()
+	c, err := Connect(ct, platform.AttestationPublicKey(), srv.Measurement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close()
+	if err := <-done; err != nil {
+		t.Errorf("Serve returned %v after client close", err)
+	}
+}

@@ -1,0 +1,44 @@
+package shieldstore
+
+import (
+	"crypto/sha256"
+)
+
+// The integrity structure is the two-level scheme the paper describes:
+// each bucket's MAC list hashes to a bucket hash ("hashes over a bucket
+// list of MACs"), and bucket hashes aggregate into group hashes held in
+// the enclave.
+//
+// In the default configuration every bucket hash is cached inside the
+// enclave (fast verification, large EPC footprint). With the cache
+// disabled, bucket hashes live in *untrusted* memory and only the group
+// hashes stay in the enclave: every operation must then re-verify its
+// whole group — the EPC-versus-computation trade-off §5.4 attributes to
+// ShieldStore's design.
+
+// groupSize is the number of buckets per in-enclave group hash when the
+// bucket-hash cache is disabled.
+const groupSize = 256
+
+// bucketHashFromMACs computes a bucket's hash over its MAC list.
+func bucketHashFromMACs(macs [][16]byte) [HashSize]byte {
+	h := sha256.New()
+	for i := range macs {
+		h.Write(macs[i][:])
+	}
+	var out [HashSize]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// groupHashFromBuckets computes a group hash over consecutive bucket
+// hashes.
+func groupHashFromBuckets(hashes [][HashSize]byte) [HashSize]byte {
+	h := sha256.New()
+	for i := range hashes {
+		h.Write(hashes[i][:])
+	}
+	var out [HashSize]byte
+	h.Sum(out[:0])
+	return out
+}

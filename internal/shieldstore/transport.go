@@ -1,0 +1,135 @@
+package shieldstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Transport is the socket-like, two-sided message channel ShieldStore
+// clients and servers communicate over — deliberately *not* RDMA: the
+// baseline goes through the traditional network stack (§5.1).
+type Transport interface {
+	Send(msg []byte) error
+	Recv() ([]byte, error)
+	Close() error
+}
+
+// maxMessage bounds a single transport message (1 MiB value + framing).
+const maxMessage = 2 << 20
+
+// pipeEnd is one end of an in-process transport pair.
+type pipeEnd struct {
+	out    chan<- []byte
+	in     <-chan []byte
+	mu     sync.Mutex
+	closed chan struct{}
+	once   sync.Once
+	peer   *pipeEnd
+}
+
+// NewPipe returns two connected in-process transports, used by tests and
+// benchmarks in place of a kernel TCP socket.
+func NewPipe() (Transport, Transport) {
+	ab := make(chan []byte, 16)
+	ba := make(chan []byte, 16)
+	a := &pipeEnd{out: ab, in: ba, closed: make(chan struct{})}
+	b := &pipeEnd{out: ba, in: ab, closed: make(chan struct{})}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// Send implements Transport.
+func (p *pipeEnd) Send(msg []byte) error {
+	cp := append([]byte(nil), msg...)
+	select {
+	case <-p.closed:
+		return ErrClosed
+	case <-p.peer.closed:
+		return ErrClosed
+	case p.out <- cp:
+		return nil
+	}
+}
+
+// Recv implements Transport.
+func (p *pipeEnd) Recv() ([]byte, error) {
+	select {
+	case <-p.closed:
+		return nil, ErrClosed
+	case msg, ok := <-p.in:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return msg, nil
+	case <-p.peer.closed:
+		// Drain anything already queued before reporting closure.
+		select {
+		case msg := <-p.in:
+			return msg, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Close implements Transport.
+func (p *pipeEnd) Close() error {
+	p.once.Do(func() { close(p.closed) })
+	return nil
+}
+
+// netTransport frames messages over a net.Conn with a 4-byte length
+// prefix — the real-TCP deployment path.
+type netTransport struct {
+	conn net.Conn
+	rmu  sync.Mutex
+	wmu  sync.Mutex
+}
+
+// NewNetTransport wraps a net.Conn (e.g. a TCP connection) as a Transport.
+func NewNetTransport(conn net.Conn) Transport {
+	return &netTransport{conn: conn}
+}
+
+// Send implements Transport.
+func (t *netTransport) Send(msg []byte) error {
+	if len(msg) > maxMessage {
+		return ErrTooLarge
+	}
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(msg)))
+	if _, err := t.conn.Write(hdr[:]); err != nil {
+		return fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	if _, err := t.conn.Write(msg); err != nil {
+		return fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	return nil
+}
+
+// Recv implements Transport.
+func (t *netTransport) Recv() ([]byte, error) {
+	t.rmu.Lock()
+	defer t.rmu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(t.conn, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxMessage {
+		return nil, ErrBadMessage
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(t.conn, msg); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	return msg, nil
+}
+
+// Close implements Transport.
+func (t *netTransport) Close() error { return t.conn.Close() }

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"time"
+
+	"precursor/internal/hist"
+)
+
+// RunConfig describes one closed-loop experiment: N clients repeatedly
+// issuing YCSB-style operations against one modelled server, exactly the
+// setup of §5.2.
+type RunConfig struct {
+	System    System
+	Clients   int
+	ValueSize int
+	// ReadRatio is the fraction of get() operations (1.0 = YCSB-C).
+	ReadRatio float64
+	// Entries is the number of preloaded keys (600 k in the throughput
+	// experiments; 3 M to trigger EPC paging in Figure 7).
+	Entries int
+	// Duration is the virtual measurement horizon (default 200 ms); the
+	// first 20 % is warm-up and not measured.
+	Duration time.Duration
+	Seed     int64
+	// Model overrides the calibrated testbed model (nil = default).
+	Model *CostModel
+}
+
+// RunResult aggregates one run's measurements.
+type RunResult struct {
+	System     System
+	Clients    int
+	ValueSize  int
+	ReadRatio  float64
+	Ops        uint64
+	Kops       float64
+	Latency    *hist.Histogram
+	NetTime    *hist.Histogram // both directions, link + propagation
+	ServerTime *hist.Histogram // queueing + service at the server
+}
+
+// Run executes one closed-loop simulation deterministically.
+func Run(cfg RunConfig) RunResult {
+	model := DefaultCostModel()
+	if cfg.Model != nil {
+		model = *cfg.Model
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 200 * time.Millisecond
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.ReadRatio < 0 || cfg.ReadRatio > 1 {
+		cfg.ReadRatio = 1
+	}
+
+	eng := NewEngine(cfg.Seed + 1)
+	res := RunResult{
+		System:     cfg.System,
+		Clients:    cfg.Clients,
+		ValueSize:  cfg.ValueSize,
+		ReadRatio:  cfg.ReadRatio,
+		Latency:    hist.New(),
+		NetTime:    hist.New(),
+		ServerTime: hist.New(),
+	}
+
+	var (
+		workers = NewResource(eng, serverParallelism(&model, cfg.System))
+		nic     = NewResource(eng, 1)
+		ingress = NewLink(eng, model.LinkBytesPerS, 0)
+		egress  = NewLink(eng, model.LinkBytesPerS, 0)
+	)
+	warmup := cfg.Duration / 5
+	rng := eng.Rand()
+
+	var loop func()
+	launch := func() { loop() }
+	loop = func() {
+		op := Put
+		if rng.Float64() < cfg.ReadRatio {
+			op = Get
+		}
+		prep := model.ClientThink(rng) + model.ClientPrep(cfg.System, op, cfg.ValueSize)
+		eng.Schedule(prep, func() {
+			t0 := eng.Now()
+			reqBytes := model.RequestBytes(cfg.System, op, cfg.ValueSize)
+			inLatency := model.NetOneWay(cfg.System, rng)
+			ingress.Transfer(reqBytes, func() {
+				eng.Schedule(inLatency, func() {
+					netIn := eng.Now() - t0
+					afterNIC := func() {
+						tSrv := eng.Now()
+						service := model.ServerService(cfg.System, op, cfg.ValueSize, rng) +
+							model.EPCPenalty(cfg.Entries, rng)
+						workers.Acquire(service, func() {
+							srvTime := eng.Now() - tSrv
+							tOut := eng.Now()
+							respBytes := model.ResponseBytes(cfg.System, op, cfg.ValueSize)
+							outLatency := model.NetOneWay(cfg.System, rng)
+							egress.Transfer(respBytes, func() {
+								eng.Schedule(outLatency, func() {
+									netOut := eng.Now() - tOut
+									verify := model.ClientVerify(cfg.System, op, cfg.ValueSize)
+									eng.Schedule(verify, func() {
+										if eng.Now() > warmup {
+											res.Ops++
+											res.Latency.Record(eng.Now() - t0)
+											res.NetTime.Record(netIn + netOut)
+											res.ServerTime.Record(srvTime)
+										}
+										loop()
+									})
+								})
+							})
+						})
+					}
+					if cfg.System == ShieldStore {
+						// The kernel path is inside the worker service;
+						// no RNIC message stage.
+						afterNIC()
+						return
+					}
+					nic.Acquire(model.NICMsgService(cfg.Clients), afterNIC)
+				})
+			})
+		})
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		// Stagger starts to avoid phase lock.
+		eng.Schedule(time.Duration(rng.Int63n(int64(50*time.Microsecond))), launch)
+	}
+	eng.Run(cfg.Duration)
+
+	window := cfg.Duration - warmup
+	res.Kops = float64(res.Ops) / window.Seconds() / 1000
+	return res
+}
+
+// serverParallelism selects the worker count: CPU-bound RDMA systems are
+// limited by physical cores; the thread-blocking socket server by its 12
+// synchronous threads.
+func serverParallelism(m *CostModel, sys System) int {
+	if sys == ShieldStore {
+		return m.ServerThreads
+	}
+	return m.ServerCores
+}

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestClientPrepMonotonicInSize(t *testing.T) {
+	m := DefaultCostModel()
+	for _, sys := range []System{Precursor, ServerEnc, ShieldStore} {
+		last := time.Duration(0)
+		for _, size := range []int{16, 256, 4096, 65536} {
+			d := m.ClientPrep(sys, Put, size)
+			if d < last {
+				t.Errorf("%v: prep(%d) = %v < prep(smaller) = %v", sys, size, d, last)
+			}
+			last = d
+		}
+	}
+}
+
+// TestPrecursorClientDoesMoreWorkOnPut: the offload means Precursor's
+// client pays more per put than the baselines' clients — the explicit
+// trade the design makes.
+func TestPrecursorClientDoesMoreWorkOnPut(t *testing.T) {
+	m := DefaultCostModel()
+	size := 1024
+	p := m.ClientPrep(Precursor, Put, size)
+	se := m.ClientPrep(ServerEnc, Put, size)
+	if p <= se {
+		t.Errorf("precursor client put prep %v not above server-enc %v", p, se)
+	}
+	// And conversely for get verification (MAC+decrypt on the client).
+	pg := m.ClientVerify(Precursor, Get, size)
+	if pg <= 0 {
+		t.Errorf("verify = %v", pg)
+	}
+}
+
+// TestServerServiceOrdering: per-op server demand must order
+// Precursor < ServerEnc < ShieldStore at every size.
+func TestServerServiceOrdering(t *testing.T) {
+	m := DefaultCostModel()
+	m.ServiceTailProb = 0 // deterministic for comparison
+	rng := rand.New(rand.NewSource(1))
+	for _, size := range []int{16, 512, 4096, 16384} {
+		p := m.ServerService(Precursor, Get, size, rng)
+		se := m.ServerService(ServerEnc, Get, size, rng)
+		ss := m.ServerService(ShieldStore, Get, size, rng)
+		if !(p < se && se < ss) {
+			t.Errorf("size %d: ordering violated %v / %v / %v", size, p, se, ss)
+		}
+	}
+}
+
+// TestPrecursorServiceSizeInsensitive: the headline claim — Precursor's
+// in-enclave work is (nearly) independent of the value size, while the
+// baselines' grows.
+func TestPrecursorServiceSizeInsensitive(t *testing.T) {
+	m := DefaultCostModel()
+	m.ServiceTailProb = 0
+	rng := rand.New(rand.NewSource(1))
+	small := m.ServerService(Precursor, Get, 16, rng)
+	large := m.ServerService(Precursor, Get, 16384, rng)
+	if float64(large) > 3*float64(small) {
+		t.Errorf("precursor service grew %v -> %v", small, large)
+	}
+	seSmall := m.ServerService(ServerEnc, Get, 16, rng)
+	seLarge := m.ServerService(ServerEnc, Get, 16384, rng)
+	if float64(seLarge) < 4*float64(seSmall) {
+		t.Errorf("server-enc service did not grow: %v -> %v", seSmall, seLarge)
+	}
+}
+
+func TestNICContentionKicksInPastCacheSize(t *testing.T) {
+	m := DefaultCostModel()
+	at55 := m.NICMsgService(55)
+	at56 := m.NICMsgService(56)
+	at100 := m.NICMsgService(100)
+	if at55 != m.NICMsgService(10) {
+		t.Error("contention below the cache limit")
+	}
+	if !(at56 > at55 && at100 > at56) {
+		t.Errorf("no growing contention: %v %v %v", at55, at56, at100)
+	}
+}
+
+func TestRequestResponseBytes(t *testing.T) {
+	m := DefaultCostModel()
+	// Put requests carry the payload; get requests do not.
+	if m.RequestBytes(Precursor, Put, 4096) <= m.RequestBytes(Precursor, Get, 4096) {
+		t.Error("put request not larger than get request")
+	}
+	// Get responses carry the payload; put responses do not.
+	if m.ResponseBytes(Precursor, Get, 4096) <= m.ResponseBytes(Precursor, Put, 4096) {
+		t.Error("get response not larger than put response")
+	}
+}
+
+func TestClientThinkBounds(t *testing.T) {
+	m := DefaultCostModel()
+	rng := rand.New(rand.NewSource(2))
+	lo := time.Duration(m.ClientThinkNs * 0.8)
+	hi := time.Duration(m.ClientThinkNs * 1.2)
+	for i := 0; i < 1000; i++ {
+		d := m.ClientThink(rng)
+		if d < lo || d > hi {
+			t.Fatalf("think %v outside [%v, %v]", d, lo, hi)
+		}
+	}
+}
+
+func TestTCPLatencyLognormalMedian(t *testing.T) {
+	m := DefaultCostModel()
+	rng := rand.New(rand.NewSource(3))
+	var samples []time.Duration
+	for i := 0; i < 4001; i++ {
+		samples = append(samples, m.NetOneWay(ShieldStore, rng))
+	}
+	// Median should be near TCPOneWayNs.
+	var below int
+	target := time.Duration(m.TCPOneWayNs)
+	for _, s := range samples {
+		if s < target {
+			below++
+		}
+	}
+	frac := float64(below) / float64(len(samples))
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("median off: %.2f of samples below the nominal median", frac)
+	}
+}
+
+func TestSystemStrings(t *testing.T) {
+	if Precursor.String() != "precursor" || ServerEnc.String() != "precursor-server-enc" ||
+		ShieldStore.String() != "shieldstore" || System(0).String() != "unknown" {
+		t.Error("system strings")
+	}
+}
+
+// TestRunDefaultsApplied: zero-value config fields get sane defaults.
+func TestRunDefaultsApplied(t *testing.T) {
+	r := Run(RunConfig{System: Precursor, Seed: 1, Duration: 10 * time.Millisecond})
+	if r.Clients != 1 || r.ReadRatio != 0 {
+		// ReadRatio 0 is valid (all puts); Clients defaulted to 1.
+		t.Logf("defaults: %+v", r)
+	}
+	if r.Ops == 0 {
+		t.Error("no ops completed with defaults")
+	}
+}

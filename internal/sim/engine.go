@@ -1,0 +1,190 @@
+// Package sim contains the deterministic discrete-event simulator and the
+// calibrated cost model that regenerate the paper's performance figures.
+//
+// Real SGX and RDMA hardware being unavailable, throughput and latency
+// numbers cannot be measured directly; instead, every protocol step of the
+// three systems (Precursor, the server-encryption variant, ShieldStore) is
+// replayed against a queueing model of the paper's testbed — server worker
+// threads, NIC message and bandwidth capacity, link latencies, enclave
+// transition/paging charges — with service times derived from the paper's
+// own constants (§2, §5.1) where stated and calibrated against its
+// reported results where not. The model is documented constant-by-constant
+// in costmodel.go; EXPERIMENTS.md records paper-versus-model output for
+// every figure and table.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Engine is a deterministic discrete-event scheduler over virtual time.
+type Engine struct {
+	now   time.Duration
+	queue eventHeap
+	seq   uint64
+	rng   *rand.Rand
+}
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // FIFO tiebreak for simultaneous events: determinism
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewEngine creates an engine with a seeded random source; equal seeds
+// yield bit-identical runs.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule runs fn after delay of virtual time (clamped to ≥ 0).
+func (e *Engine) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Run processes events until the queue empties or virtual time reaches
+// the horizon. It returns the number of events processed.
+func (e *Engine) Run(horizon time.Duration) int {
+	n := 0
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.at > horizon {
+			e.now = horizon
+			return n
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		next.fn()
+		n++
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return n
+}
+
+// RunUntilIdle processes all remaining events regardless of time.
+func (e *Engine) RunUntilIdle() int {
+	n := 0
+	for len(e.queue) > 0 {
+		next := heap.Pop(&e.queue).(event)
+		e.now = next.at
+		next.fn()
+		n++
+	}
+	return n
+}
+
+// Resource is a FIFO queue served by k identical servers (e.g. the
+// server's worker threads). Acquire enqueues a job with the given service
+// demand; done runs when the job completes (queueing + service later).
+type Resource struct {
+	eng     *Engine
+	servers int
+	busy    int
+	waiting []job
+}
+
+type job struct {
+	service time.Duration
+	done    func()
+}
+
+// NewResource creates a k-server FIFO resource.
+func NewResource(eng *Engine, servers int) *Resource {
+	if servers < 1 {
+		servers = 1
+	}
+	return &Resource{eng: eng, servers: servers}
+}
+
+// Acquire submits a job.
+func (r *Resource) Acquire(service time.Duration, done func()) {
+	if r.busy < r.servers {
+		r.busy++
+		r.eng.Schedule(service, func() { r.release(done) })
+		return
+	}
+	r.waiting = append(r.waiting, job{service: service, done: done})
+}
+
+func (r *Resource) release(done func()) {
+	if len(r.waiting) > 0 {
+		next := r.waiting[0]
+		r.waiting = r.waiting[1:]
+		r.eng.Schedule(next.service, func() { r.release(next.done) })
+	} else {
+		r.busy--
+	}
+	done()
+}
+
+// InService returns the number of busy servers (for tests).
+func (r *Resource) InService() int { return r.busy }
+
+// QueueLen returns the number of waiting jobs (for tests).
+func (r *Resource) QueueLen() int { return len(r.waiting) }
+
+// Link models a serial transmission resource: bandwidth-limited
+// store-and-forward with a fixed propagation latency. Transfers serialize
+// on the link in FIFO order (one direction of a NIC port).
+type Link struct {
+	eng       *Engine
+	bytesPerS float64
+	latency   time.Duration
+	freeAt    time.Duration
+}
+
+// NewLink creates a link with the given bandwidth (bytes/second) and
+// one-way propagation latency.
+func NewLink(eng *Engine, bytesPerSecond float64, latency time.Duration) *Link {
+	return &Link{eng: eng, bytesPerS: bytesPerSecond, latency: latency}
+}
+
+// Transfer moves n bytes across the link; done runs at arrival time.
+func (l *Link) Transfer(n int, done func()) {
+	start := l.eng.now
+	if l.freeAt > start {
+		start = l.freeAt
+	}
+	tx := time.Duration(float64(n) / l.bytesPerS * float64(time.Second))
+	l.freeAt = start + tx
+	arrive := l.freeAt + l.latency
+	l.eng.Schedule(arrive-l.eng.now, done)
+}
+
+// Utilization returns the fraction of time the link has been busy up to
+// the later of now and its last scheduled transmission.
+func (l *Link) BusyUntil() time.Duration { return l.freeAt }

@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	eng := NewEngine(1)
+	var order []int
+	eng.Schedule(3*time.Microsecond, func() { order = append(order, 3) })
+	eng.Schedule(1*time.Microsecond, func() { order = append(order, 1) })
+	eng.Schedule(2*time.Microsecond, func() { order = append(order, 2) })
+	eng.RunUntilIdle()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if eng.Now() != 3*time.Microsecond {
+		t.Errorf("now = %v", eng.Now())
+	}
+}
+
+func TestEngineSimultaneousFIFO(t *testing.T) {
+	eng := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.Schedule(time.Microsecond, func() { order = append(order, i) })
+	}
+	eng.RunUntilIdle()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineHorizon(t *testing.T) {
+	eng := NewEngine(1)
+	ran := false
+	eng.Schedule(10*time.Millisecond, func() { ran = true })
+	eng.Run(5 * time.Millisecond)
+	if ran {
+		t.Error("event beyond horizon ran")
+	}
+	if eng.Now() != 5*time.Millisecond {
+		t.Errorf("now = %v", eng.Now())
+	}
+}
+
+func TestResourceQueueing(t *testing.T) {
+	eng := NewEngine(1)
+	r := NewResource(eng, 2)
+	var done []time.Duration
+	for i := 0; i < 4; i++ {
+		r.Acquire(10*time.Microsecond, func() { done = append(done, eng.Now()) })
+	}
+	eng.RunUntilIdle()
+	// Two servers: jobs finish at 10,10,20,20 µs.
+	want := []time.Duration{10, 10, 20, 20}
+	for i, w := range want {
+		if done[i] != w*time.Microsecond {
+			t.Errorf("job %d done at %v, want %vµs", i, done[i], w)
+		}
+	}
+}
+
+func TestLinkSerialization(t *testing.T) {
+	eng := NewEngine(1)
+	l := NewLink(eng, 1e9, time.Microsecond) // 1 GB/s, 1 µs propagation
+	var arrivals []time.Duration
+	l.Transfer(1000, func() { arrivals = append(arrivals, eng.Now()) }) // 1 µs tx
+	l.Transfer(1000, func() { arrivals = append(arrivals, eng.Now()) })
+	eng.RunUntilIdle()
+	if arrivals[0] != 2*time.Microsecond {
+		t.Errorf("first arrival %v", arrivals[0])
+	}
+	if arrivals[1] != 3*time.Microsecond { // serialized behind the first
+		t.Errorf("second arrival %v", arrivals[1])
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	cfg := RunConfig{System: Precursor, Clients: 10, ValueSize: 32, ReadRatio: 1, Seed: 42,
+		Duration: 20 * time.Millisecond}
+	a := Run(cfg)
+	b := Run(cfg)
+	if a.Ops != b.Ops || a.Latency.Quantile(0.99) != b.Latency.Quantile(0.99) {
+		t.Errorf("nondeterministic: %d vs %d ops", a.Ops, b.Ops)
+	}
+}
+
+// TestFigure4Shape is the headline check: with the evaluation's setup
+// (50 clients, 32 B values) Precursor must beat ShieldStore by roughly
+// 6–8.5× and the server-encryption variant by ~25–40 % across workloads.
+func TestFigure4Shape(t *testing.T) {
+	ratios := []float64{1.0, 0.95, 0.5, 0.05}
+	for _, rr := range ratios {
+		base := RunConfig{Clients: 50, ValueSize: 32, ReadRatio: rr,
+			Entries: 600000, Seed: 7, Duration: 100 * time.Millisecond}
+
+		p := base
+		p.System = Precursor
+		se := base
+		se.System = ServerEnc
+		ss := base
+		ss.System = ShieldStore
+
+		rp, rse, rss := Run(p), Run(se), Run(ss)
+		t.Logf("read=%.0f%%: precursor=%.0f serverenc=%.0f shieldstore=%.0f Kops",
+			rr*100, rp.Kops, rse.Kops, rss.Kops)
+
+		if ratio := rp.Kops / rss.Kops; ratio < 4.5 || ratio > 12 {
+			t.Errorf("read=%v: precursor/shieldstore = %.1f×, want ≈6–8.5×", rr, ratio)
+		}
+		if ratio := rp.Kops / rse.Kops; ratio < 1.05 || ratio > 1.8 {
+			t.Errorf("read=%v: precursor/serverenc = %.2f×, want ≈1.25–1.4×", rr, ratio)
+		}
+		if rse.Kops <= rss.Kops {
+			t.Errorf("read=%v: server-enc (%.0f) not above shieldstore (%.0f)",
+				rr, rse.Kops, rss.Kops)
+		}
+	}
+}
+
+// TestValueSizeMonotonicity: throughput must not increase with value size,
+// and large values must become bandwidth-bound (Figure 5).
+func TestValueSizeMonotonicity(t *testing.T) {
+	sizes := []int{16, 64, 1024, 4096, 16384}
+	for _, sys := range []System{Precursor, ServerEnc, ShieldStore} {
+		last := 1e18
+		for _, size := range sizes {
+			r := Run(RunConfig{System: sys, Clients: 50, ValueSize: size,
+				ReadRatio: 1, Entries: 600000, Seed: 3, Duration: 60 * time.Millisecond})
+			if r.Kops > last*1.08 { // small noise allowance
+				t.Errorf("%v: throughput rose with size at %dB: %.0f > %.0f",
+					sys, size, r.Kops, last)
+			}
+			last = r.Kops
+		}
+	}
+	// 16 KiB reads must be NIC-bandwidth-bound: ops × bytes ≈ link rate.
+	r := Run(RunConfig{System: Precursor, Clients: 50, ValueSize: 16384,
+		ReadRatio: 1, Entries: 600000, Seed: 3, Duration: 60 * time.Millisecond})
+	gbps := r.Kops * 1000 * float64(16384+170+84) * 8 / 1e9
+	if gbps < 20 || gbps > 40 {
+		t.Errorf("16KiB egress = %.1f Gb/s, want near the 34 Gb/s goodput", gbps)
+	}
+}
+
+// TestClientScalingPeak: Figure 6's shape — throughput rises with client
+// count, peaks near ≈55, then declines from RNIC contention.
+func TestClientScalingPeak(t *testing.T) {
+	counts := []int{10, 30, 55, 80, 100}
+	kops := make([]float64, len(counts))
+	for i, n := range counts {
+		r := Run(RunConfig{System: Precursor, Clients: n, ValueSize: 32,
+			ReadRatio: 1, Entries: 600000, Seed: 5, Duration: 60 * time.Millisecond})
+		kops[i] = r.Kops
+	}
+	t.Logf("clients %v -> kops %v", counts, kops)
+	if !(kops[0] < kops[1] && kops[1] < kops[2]) {
+		t.Errorf("no rise to the 55-client knee: %v", kops)
+	}
+	if !(kops[2] > kops[4]) {
+		t.Errorf("no decline beyond 55 clients: %v", kops)
+	}
+}
+
+// TestLatencyShape: Figure 7 — Precursor p50 ≈ 8 µs with p99 ≈ 21 µs at
+// low load; ShieldStore's distribution sits an order of magnitude higher;
+// EPC paging (3 M entries) moves Precursor's tail but not its whole body.
+func TestLatencyShape(t *testing.T) {
+	low := RunConfig{Clients: 4, ValueSize: 32, ReadRatio: 1,
+		Entries: 600000, Seed: 11, Duration: 80 * time.Millisecond}
+
+	p := low
+	p.System = Precursor
+	rp := Run(p)
+	p50 := rp.Latency.Quantile(0.5)
+	p99 := rp.Latency.Quantile(0.99)
+	t.Logf("precursor p50=%v p95=%v p99=%v", p50, rp.Latency.Quantile(0.95), p99)
+	if p50 < 4*time.Microsecond || p50 > 14*time.Microsecond {
+		t.Errorf("p50 = %v, want ≈8µs", p50)
+	}
+	if p99 < 12*time.Microsecond || p99 > 45*time.Microsecond {
+		t.Errorf("p99 = %v, want ≈21µs", p99)
+	}
+
+	ss := low
+	ss.System = ShieldStore
+	rss := Run(ss)
+	if rss.Latency.Quantile(0.5) < 10*p50 {
+		t.Errorf("shieldstore p50 = %v, want ≳10× precursor's %v",
+			rss.Latency.Quantile(0.5), p50)
+	}
+
+	paged := low
+	paged.System = Precursor
+	paged.Entries = 3000000
+	rpg := Run(paged)
+	t.Logf("paged p50=%v p95=%v p99=%v", rpg.Latency.Quantile(0.5),
+		rpg.Latency.Quantile(0.95), rpg.Latency.Quantile(0.99))
+	if rpg.Latency.Quantile(0.99) < 3*p99 {
+		t.Errorf("EPC paging tail too mild: p99 %v vs unpaged %v",
+			rpg.Latency.Quantile(0.99), p99)
+	}
+	// Till p90 the paged run stays well below ShieldStore (§5.3).
+	if rpg.Latency.Quantile(0.9) > rss.Latency.Quantile(0.9) {
+		t.Errorf("paged p90 %v above shieldstore p90 %v",
+			rpg.Latency.Quantile(0.9), rss.Latency.Quantile(0.9))
+	}
+}
+
+// TestBreakdownShape: Figure 8 — ShieldStore's server share exceeds
+// Precursor's and grows with value size, while Precursor's stays flat;
+// ShieldStore's networking share dwarfs RDMA's.
+func TestBreakdownShape(t *testing.T) {
+	m := DefaultCostModel()
+	small := m.ServerShare(ShieldStore, Get, 16)
+	pSmall := m.ServerShare(Precursor, Get, 16)
+	ratioSmall := float64(small) / float64(pSmall)
+	if ratioSmall < 1.1 || ratioSmall > 2.2 {
+		t.Errorf("small-value server ratio = %.2f, paper ≈1.34", ratioSmall)
+	}
+	large := m.ServerShare(ShieldStore, Get, 8192)
+	pLarge := m.ServerShare(Precursor, Get, 8192)
+	ratioLarge := float64(large) / float64(pLarge)
+	if ratioLarge < 1.6 || ratioLarge > 6 {
+		t.Errorf("large-value server ratio = %.2f, paper ≈2.15", ratioLarge)
+	}
+	if ratioLarge <= ratioSmall {
+		t.Errorf("server ratio does not grow with size: %.2f -> %.2f", ratioSmall, ratioLarge)
+	}
+	// Networking: TCP vs RDMA latency ≈ 26× (§5.4).
+	eng := NewEngine(1)
+	var tcp, rdma time.Duration
+	for i := 0; i < 1000; i++ {
+		tcp += m.NetOneWay(ShieldStore, eng.Rand())
+		rdma += m.NetOneWay(Precursor, eng.Rand())
+	}
+	ratio := float64(tcp) / float64(rdma)
+	if ratio < 15 || ratio > 45 {
+		t.Errorf("tcp/rdma latency ratio = %.1f, paper ≈26", ratio)
+	}
+}
+
+// TestEPCPenaltyThreshold: no penalty while the working set fits the EPC.
+func TestEPCPenaltyThreshold(t *testing.T) {
+	m := DefaultCostModel()
+	eng := NewEngine(9)
+	for i := 0; i < 1000; i++ {
+		if p := m.EPCPenalty(600000, eng.Rand()); p != 0 {
+			t.Fatalf("600k entries incurred penalty %v", p)
+		}
+	}
+	var hits int
+	for i := 0; i < 1000; i++ {
+		if m.EPCPenalty(3000000, eng.Rand()) > 0 {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Error("3M entries never faulted")
+	}
+}

@@ -1,0 +1,83 @@
+package slab
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestClassBoundariesQuick: every allocation lands in a class at least as
+// large as the request, and the class function is monotone.
+func TestClassBoundariesQuick(t *testing.T) {
+	f := func(n uint32) bool {
+		size := int(n % (1 << 20))
+		if size == 0 {
+			size = 1
+		}
+		class, err := classFor(size)
+		if err != nil {
+			return false
+		}
+		slot := classSize(class)
+		if slot < size {
+			return false
+		}
+		// Tightness: the next-smaller class (if any) must not fit.
+		if class > 0 && classSize(class-1) >= size && size > 64 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReuseAcrossClasses: frees in one class never satisfy allocations in
+// another.
+func TestReuseAcrossClasses(t *testing.T) {
+	p := New()
+	small, err := p.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Free(small)
+	big, err := p.Alloc(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.class == small.class {
+		t.Error("1KiB allocation reused the 64B class")
+	}
+	// But a same-class allocation does reuse it.
+	again, err := p.Alloc(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.class != small.class || again.off != small.off {
+		t.Errorf("64B slot not reused: %+v vs %+v", again, small)
+	}
+}
+
+// TestZeroAndOneByteAllocations exercise the minimum class.
+func TestZeroAndOneByteAllocations(t *testing.T) {
+	p := New()
+	for _, n := range []int{0, 1, 63, 64} {
+		ref, err := p.Alloc(n)
+		if err != nil {
+			t.Fatalf("alloc %d: %v", n, err)
+		}
+		want := n
+		if want == 0 {
+			want = 1 // zero-byte requests take the minimum slot
+		}
+		if ref.Size() != want {
+			t.Errorf("alloc %d: size %d", n, ref.Size())
+		}
+		if !ref.Valid() {
+			t.Errorf("alloc %d: invalid ref", n)
+		}
+		if _, err := p.Read(ref); err != nil {
+			t.Errorf("alloc %d: read: %v", n, err)
+		}
+	}
+}

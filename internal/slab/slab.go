@@ -1,0 +1,259 @@
+// Package slab implements the pre-allocated untrusted payload pool the
+// Precursor server stores encrypted values in.
+//
+// The design mirrors §3.8: instead of performing an ocall per allocation,
+// the enclave hands out slots from a pool in untrusted memory that was
+// pre-allocated up front, and only when the pool runs dry does it issue a
+// single (batched) ocall to enlarge it. The pool uses power-of-two size
+// classes with per-class free lists, so slot reuse after deletes and
+// updates is O(1).
+package slab
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// Errors returned by the pool.
+var (
+	ErrTooLarge = errors.New("slab: allocation exceeds maximum slot size")
+	ErrBadRef   = errors.New("slab: invalid reference")
+)
+
+const (
+	// minClassShift is the smallest slot (64 B): a payload nonce plus a
+	// small ciphertext plus its MAC fit without waste.
+	minClassShift = 6
+	// maxClassShift is the largest slot (1 MiB).
+	maxClassShift = 20
+	numClasses    = maxClassShift - minClassShift + 1
+)
+
+// Ref locates an allocation: the pointer the enclave hash table stores
+// alongside K_operation (the "ptr" of Fig. 3).
+type Ref struct {
+	class uint8
+	chunk uint32
+	off   uint32
+	size  uint32
+}
+
+// Valid reports whether the ref refers to an allocation (zero Ref is invalid).
+func (r Ref) Valid() bool { return r.size > 0 }
+
+// Size returns the logical (requested) size of the allocation.
+func (r Ref) Size() int { return int(r.size) }
+
+// Stats is a snapshot of pool usage.
+type Stats struct {
+	BytesReserved int64  // total untrusted memory owned by the pool
+	BytesInUse    int64  // bytes in live allocations (slot-rounded)
+	Allocs        uint64 // total successful allocations
+	Frees         uint64
+	Growths       uint64 // times GrowFunc was invoked (≈ ocall count)
+}
+
+// GrowFunc is invoked (outside the pool lock) whenever the pool must
+// reserve more untrusted memory. The server wires it to a single enclave
+// ocall; tests may fail it to exercise exhaustion.
+type GrowFunc func(bytes int) error
+
+// Pool is a thread-safe untrusted-memory payload pool.
+type Pool struct {
+	mu       sync.Mutex
+	classes  [numClasses]classState
+	grow     GrowFunc
+	growStep int
+	stats    Stats
+}
+
+type classState struct {
+	chunks [][]byte // backing memory, one slot per index within a chunk
+	free   []Ref
+	next   Ref // bump cursor within the newest chunk; size==0 when exhausted
+}
+
+// Option configures a Pool.
+type Option func(*Pool)
+
+// WithGrowFunc sets the callback invoked when the pool reserves memory.
+func WithGrowFunc(f GrowFunc) Option {
+	return func(p *Pool) { p.grow = f }
+}
+
+// WithGrowStep sets the minimum bytes reserved per growth (default 1 MiB).
+func WithGrowStep(n int) Option {
+	return func(p *Pool) {
+		if n > 0 {
+			p.growStep = n
+		}
+	}
+}
+
+// New creates a pool and pre-allocates initialBytes across no size class
+// in particular — memory is reserved lazily per class, but the initial
+// reservation is counted so that growth (and hence ocalls) only begins
+// after it is consumed.
+func New(opts ...Option) *Pool {
+	p := &Pool{growStep: 1 << 20}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// classFor returns the size-class index for a request of n bytes.
+func classFor(n int) (int, error) {
+	if n <= 0 {
+		n = 1
+	}
+	shift := bits.Len(uint(n - 1))
+	if shift < minClassShift {
+		shift = minClassShift
+	}
+	if shift > maxClassShift {
+		return 0, ErrTooLarge
+	}
+	return shift - minClassShift, nil
+}
+
+func classSize(class int) int { return 1 << (class + minClassShift) }
+
+// Alloc reserves a slot of at least n bytes and returns its reference.
+// Zero-byte requests allocate the minimum slot (a Ref must always be
+// Valid and readable).
+func (p *Pool) Alloc(n int) (Ref, error) {
+	if n <= 0 {
+		n = 1
+	}
+	class, err := classFor(n)
+	if err != nil {
+		return Ref{}, err
+	}
+	p.mu.Lock()
+	cs := &p.classes[class]
+	// Reuse a freed slot first.
+	if len(cs.free) > 0 {
+		ref := cs.free[len(cs.free)-1]
+		cs.free = cs.free[:len(cs.free)-1]
+		ref.size = uint32(n)
+		p.stats.Allocs++
+		p.stats.BytesInUse += int64(classSize(class))
+		p.mu.Unlock()
+		return ref, nil
+	}
+	// Bump-allocate within the newest chunk.
+	if ref, ok := p.bumpLocked(class, n); ok {
+		p.mu.Unlock()
+		return ref, nil
+	}
+	// Need more memory: grow outside the lock via the (ocall) callback.
+	slot := classSize(class)
+	chunkBytes := p.growStep
+	if chunkBytes < slot {
+		chunkBytes = slot
+	}
+	growFn := p.grow
+	p.mu.Unlock()
+
+	if growFn != nil {
+		if err := growFn(chunkBytes); err != nil {
+			return Ref{}, fmt.Errorf("slab grow: %w", err)
+		}
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cs = &p.classes[class]
+	cs.chunks = append(cs.chunks, make([]byte, chunkBytes-chunkBytes%slot))
+	cs.next = Ref{class: uint8(class), chunk: uint32(len(cs.chunks) - 1), off: 0, size: 1}
+	p.stats.Growths++
+	p.stats.BytesReserved += int64(chunkBytes - chunkBytes%slot)
+	ref, ok := p.bumpLocked(class, n)
+	if !ok {
+		return Ref{}, ErrTooLarge // unreachable: fresh chunk always fits one slot
+	}
+	return ref, nil
+}
+
+func (p *Pool) bumpLocked(class, n int) (Ref, bool) {
+	cs := &p.classes[class]
+	if cs.next.size == 0 || len(cs.chunks) == 0 {
+		return Ref{}, false
+	}
+	slot := classSize(class)
+	chunk := cs.chunks[cs.next.chunk]
+	if int(cs.next.off)+slot > len(chunk) {
+		return Ref{}, false
+	}
+	ref := Ref{class: uint8(class), chunk: cs.next.chunk, off: cs.next.off, size: uint32(n)}
+	cs.next.off += uint32(slot)
+	p.stats.Allocs++
+	p.stats.BytesInUse += int64(slot)
+	return ref, true
+}
+
+// Free returns a slot to its class free list. Double frees are the
+// caller's responsibility (the enclave owns all refs).
+func (p *Pool) Free(ref Ref) {
+	if !ref.Valid() {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cs := &p.classes[ref.class]
+	cs.free = append(cs.free, Ref{class: ref.class, chunk: ref.chunk, off: ref.off})
+	p.stats.Frees++
+	p.stats.BytesInUse -= int64(classSize(int(ref.class)))
+}
+
+// Write stores data into the slot. len(data) must not exceed the slot.
+func (p *Pool) Write(ref Ref, data []byte) error {
+	buf, err := p.slot(ref)
+	if err != nil {
+		return err
+	}
+	if len(data) > len(buf) {
+		return ErrTooLarge
+	}
+	copy(buf, data)
+	return nil
+}
+
+// Read returns the ref.Size() bytes stored in the slot. The returned slice
+// aliases pool memory — untrusted memory an adversary may mutate, which is
+// exactly the property integrity tests exercise.
+func (p *Pool) Read(ref Ref) ([]byte, error) {
+	buf, err := p.slot(ref)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:ref.size], nil
+}
+
+func (p *Pool) slot(ref Ref) ([]byte, error) {
+	if !ref.Valid() || int(ref.class) >= numClasses {
+		return nil, ErrBadRef
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cs := &p.classes[ref.class]
+	if int(ref.chunk) >= len(cs.chunks) {
+		return nil, ErrBadRef
+	}
+	chunk := cs.chunks[ref.chunk]
+	slot := classSize(int(ref.class))
+	if int(ref.off)+slot > len(chunk) {
+		return nil, ErrBadRef
+	}
+	return chunk[ref.off : int(ref.off)+slot], nil
+}
+
+// Stats returns a snapshot of pool usage.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}

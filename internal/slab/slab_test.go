@@ -1,0 +1,212 @@
+package slab
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocWriteRead(t *testing.T) {
+	p := New()
+	ref, err := p.Alloc(100)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if ref.Size() != 100 {
+		t.Errorf("Size = %d", ref.Size())
+	}
+	data := bytes.Repeat([]byte{0xAB}, 100)
+	if err := p.Write(ref, data); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := p.Read(ref)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("read mismatch")
+	}
+}
+
+func TestAllocSizeClasses(t *testing.T) {
+	if c, err := classFor(1); err != nil || classSize(c) != 64 {
+		t.Errorf("classFor(1): %d, %v", c, err)
+	}
+	if c, err := classFor(64); err != nil || classSize(c) != 64 {
+		t.Errorf("classFor(64): %d, %v", c, err)
+	}
+	if c, err := classFor(65); err != nil || classSize(c) != 128 {
+		t.Errorf("classFor(65): %d, %v", c, err)
+	}
+	if c, err := classFor(1 << 20); err != nil || classSize(c) != 1<<20 {
+		t.Errorf("classFor(1MiB): %d, %v", c, err)
+	}
+	if _, err := classFor(1<<20 + 1); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversize: %v", err)
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	p := New()
+	a, err := p.Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Free(a)
+	b, err := p.Alloc(120) // same class
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.chunk != b.chunk || a.off != b.off {
+		t.Errorf("freed slot not reused: %+v vs %+v", a, b)
+	}
+	s := p.Stats()
+	if s.Allocs != 2 || s.Frees != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+// TestGrowOcallBatching: many small allocations must trigger few growth
+// callbacks — the paper's "single ocall called periodically" property.
+func TestGrowOcallBatching(t *testing.T) {
+	var growths int
+	p := New(WithGrowFunc(func(n int) error {
+		growths++
+		return nil
+	}), WithGrowStep(1<<20))
+
+	for i := 0; i < 10000; i++ { // 10k × 64B = 640 KiB < 1 MiB
+		if _, err := p.Alloc(32); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if growths != 1 {
+		t.Errorf("growths = %d, want 1 for 10k small allocs", growths)
+	}
+}
+
+func TestGrowFailurePropagates(t *testing.T) {
+	sentinel := errors.New("ocall failed")
+	p := New(WithGrowFunc(func(n int) error { return sentinel }))
+	if _, err := p.Alloc(64); !errors.Is(err, sentinel) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestBadRefs(t *testing.T) {
+	p := New()
+	if _, err := p.Read(Ref{}); !errors.Is(err, ErrBadRef) {
+		t.Errorf("zero ref read: %v", err)
+	}
+	if err := p.Write(Ref{size: 10, chunk: 99}, []byte("x")); !errors.Is(err, ErrBadRef) {
+		t.Errorf("bogus chunk: %v", err)
+	}
+	ref, err := p.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Write(ref, make([]byte, 65)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("overfull write: %v", err)
+	}
+}
+
+// TestAllocationsDisjoint is the core safety property: live allocations
+// must never overlap, or clients would corrupt each other's payloads.
+func TestAllocationsDisjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := New()
+		type live struct {
+			ref  Ref
+			data []byte
+		}
+		var lives []live
+		for i := 0; i < 300; i++ {
+			if len(lives) > 0 && rng.Intn(3) == 0 {
+				idx := rng.Intn(len(lives))
+				p.Free(lives[idx].ref)
+				lives = append(lives[:idx], lives[idx+1:]...)
+				continue
+			}
+			n := rng.Intn(2000) + 1
+			ref, err := p.Alloc(n)
+			if err != nil {
+				return false
+			}
+			data := make([]byte, n)
+			rng.Read(data)
+			if err := p.Write(ref, data); err != nil {
+				return false
+			}
+			lives = append(lives, live{ref, data})
+		}
+		for _, l := range lives {
+			got, err := p.Read(l.ref)
+			if err != nil || !bytes.Equal(got, l.data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			pattern := bytes.Repeat([]byte{byte(id + 1)}, 256)
+			for i := 0; i < 500; i++ {
+				ref, err := p.Alloc(256)
+				if err != nil {
+					t.Errorf("alloc: %v", err)
+					return
+				}
+				if err := p.Write(ref, pattern); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				got, err := p.Read(ref)
+				if err != nil || !bytes.Equal(got, pattern) {
+					t.Errorf("read-back corrupted for goroutine %d", id)
+					return
+				}
+				p.Free(ref)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestStatsAccounting(t *testing.T) {
+	p := New(WithGrowStep(1 << 16))
+	refs := make([]Ref, 0, 100)
+	for i := 0; i < 100; i++ {
+		r, err := p.Alloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, r)
+	}
+	s := p.Stats()
+	if s.BytesInUse != 100*64 {
+		t.Errorf("BytesInUse = %d", s.BytesInUse)
+	}
+	if s.BytesReserved < s.BytesInUse {
+		t.Errorf("reserved %d < in use %d", s.BytesReserved, s.BytesInUse)
+	}
+	for _, r := range refs {
+		p.Free(r)
+	}
+	if s := p.Stats(); s.BytesInUse != 0 {
+		t.Errorf("BytesInUse after frees = %d", s.BytesInUse)
+	}
+}

@@ -1,0 +1,178 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// ErrControl is returned when decrypted control data is malformed.
+var ErrControl = errors.New("wire: malformed control data")
+
+// Control flags.
+const (
+	// FlagInlineValue marks a put whose (small) value is stored directly
+	// inside the enclave — the paper's proposed optimization for values
+	// smaller than the control data (§5.2).
+	FlagInlineValue uint8 = 1 << iota
+	// FlagNotFound, set in sealed response control, authenticates a
+	// negative lookup so an adversary on the untrusted path cannot forge
+	// not-found answers by flipping the plaintext status byte.
+	FlagNotFound
+	// FlagReplay, set in sealed response control, authenticates a replay
+	// rejection (Algorithm 2's error branch).
+	FlagReplay
+)
+
+// RequestControl is the plaintext of a request's transport-encrypted
+// control segment: Algorithm 1's (K_operation, key, oid) tuple plus the
+// opcode binding. Only the enclave sees it.
+type RequestControl struct {
+	Op    Opcode
+	Flags uint8
+	Oid   uint64
+	Key   []byte
+	// OpKey is present for put: the fresh one-time key that encrypted the
+	// payload.
+	OpKey []byte
+	// InlineValue is present when FlagInlineValue is set: the raw value,
+	// protected solely by the transport encryption.
+	InlineValue []byte
+}
+
+// Encode serializes the control plaintext.
+func (c *RequestControl) Encode() ([]byte, error) {
+	if len(c.Key) == 0 || len(c.Key) > MaxKeyLen {
+		return nil, ErrOversized
+	}
+	if len(c.OpKey) != 0 && len(c.OpKey) != OpKeySize {
+		return nil, ErrControl
+	}
+	n := 1 + 1 + 8 + 2 + len(c.Key) + 1 + len(c.OpKey) + 2 + len(c.InlineValue)
+	out := make([]byte, 0, n)
+	out = append(out, byte(c.Op), c.Flags)
+	out = binary.LittleEndian.AppendUint64(out, c.Oid)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(c.Key)))
+	out = append(out, c.Key...)
+	out = append(out, byte(len(c.OpKey)))
+	out = append(out, c.OpKey...)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(c.InlineValue)))
+	out = append(out, c.InlineValue...)
+	return out, nil
+}
+
+// DecodeRequestControl parses control plaintext. Returned slices alias buf.
+func DecodeRequestControl(buf []byte) (*RequestControl, error) {
+	if len(buf) < 12 {
+		return nil, ErrControl
+	}
+	c := &RequestControl{Op: Opcode(buf[0]), Flags: buf[1]}
+	c.Oid = binary.LittleEndian.Uint64(buf[2:10])
+	keyLen := int(binary.LittleEndian.Uint16(buf[10:12]))
+	rest := buf[12:]
+	if keyLen == 0 || keyLen > MaxKeyLen || len(rest) < keyLen+1 {
+		return nil, ErrControl
+	}
+	c.Key = rest[:keyLen]
+	rest = rest[keyLen:]
+	opKeyLen := int(rest[0])
+	rest = rest[1:]
+	if opKeyLen != 0 && opKeyLen != OpKeySize {
+		return nil, ErrControl
+	}
+	if len(rest) < opKeyLen+2 {
+		return nil, ErrControl
+	}
+	c.OpKey = rest[:opKeyLen]
+	rest = rest[opKeyLen:]
+	inlineLen := int(binary.LittleEndian.Uint16(rest[:2]))
+	rest = rest[2:]
+	if len(rest) < inlineLen {
+		return nil, ErrControl
+	}
+	if inlineLen > 0 {
+		c.InlineValue = rest[:inlineLen]
+	}
+	return c, nil
+}
+
+// ResponseControl is the plaintext of a response's transport-encrypted
+// control segment: the oid echo (freshness), the one-time key needed to
+// decrypt the payload, and — in the hardened in-enclave-MAC mode or the
+// inline-value mode — the extra fields.
+type ResponseControl struct {
+	Oid   uint64
+	Flags uint8
+	OpKey []byte
+	// PayloadMAC is set in the hardened mode (§3.9): the MAC is stored in
+	// the enclave and returned under transport encryption, so an excluded
+	// client with network access cannot substitute known values.
+	PayloadMAC []byte
+	// InlineValue is set when the entry was stored inside the enclave.
+	InlineValue []byte
+}
+
+// Encode serializes the response control plaintext.
+func (c *ResponseControl) Encode() ([]byte, error) {
+	if len(c.OpKey) != 0 && len(c.OpKey) != OpKeySize {
+		return nil, ErrControl
+	}
+	if len(c.PayloadMAC) != 0 && len(c.PayloadMAC) != MACSize {
+		return nil, ErrControl
+	}
+	out := make([]byte, 0, 9+1+len(c.OpKey)+1+len(c.PayloadMAC)+2+len(c.InlineValue))
+	out = binary.LittleEndian.AppendUint64(out, c.Oid)
+	out = append(out, c.Flags)
+	out = append(out, byte(len(c.OpKey)))
+	out = append(out, c.OpKey...)
+	out = append(out, byte(len(c.PayloadMAC)))
+	out = append(out, c.PayloadMAC...)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(c.InlineValue)))
+	out = append(out, c.InlineValue...)
+	return out, nil
+}
+
+// DecodeResponseControl parses response control plaintext.
+func DecodeResponseControl(buf []byte) (*ResponseControl, error) {
+	if len(buf) < 11 {
+		return nil, ErrControl
+	}
+	c := &ResponseControl{
+		Oid:   binary.LittleEndian.Uint64(buf[:8]),
+		Flags: buf[8],
+	}
+	opKeyLen := int(buf[9])
+	rest := buf[10:]
+	if opKeyLen != 0 && opKeyLen != OpKeySize {
+		return nil, ErrControl
+	}
+	if len(rest) < opKeyLen+1 {
+		return nil, ErrControl
+	}
+	c.OpKey = rest[:opKeyLen]
+	rest = rest[opKeyLen:]
+	macLen := int(rest[0])
+	rest = rest[1:]
+	if macLen != 0 && macLen != MACSize {
+		return nil, ErrControl
+	}
+	if len(rest) < macLen+2 {
+		return nil, ErrControl
+	}
+	c.PayloadMAC = rest[:macLen]
+	rest = rest[macLen:]
+	inlineLen := int(binary.LittleEndian.Uint16(rest[:2]))
+	rest = rest[2:]
+	if len(rest) < inlineLen {
+		return nil, ErrControl
+	}
+	if inlineLen > 0 {
+		c.InlineValue = rest[:inlineLen]
+	}
+	if macLen == 0 {
+		c.PayloadMAC = nil
+	}
+	if opKeyLen == 0 {
+		c.OpKey = nil
+	}
+	return c, nil
+}

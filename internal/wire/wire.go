@@ -1,0 +1,226 @@
+// Package wire defines Precursor's request and response encodings.
+//
+// A request as written into the server's ring buffer consists of an
+// untrusted header, the transport-encrypted control data (whose plaintext
+// only the enclave sees), and — for put() — the client-encrypted payload
+// plus its MAC, which stay in untrusted memory. The split is the paper's
+// core mechanism (Fig. 2/3): the server copies only the sealed control
+// bytes into the enclave.
+//
+// All integers are little-endian. Requests and responses carry explicit
+// start and end operands at the ring-buffer framing layer (see
+// internal/ringbuf); within a frame the opcode and lengths below apply.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Opcode identifies a key-value operation.
+type Opcode uint8
+
+// Operations supported by the store.
+const (
+	OpPut Opcode = iota + 1
+	OpGet
+	OpDelete
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpPut:
+		return "PUT"
+	case OpGet:
+		return "GET"
+	case OpDelete:
+		return "DELETE"
+	}
+	return "UNKNOWN"
+}
+
+// Status is a server response status.
+type Status uint8
+
+// Response statuses.
+const (
+	StatusOK Status = iota
+	StatusNotFound
+	StatusReplay     // stale or repeated oid — possible replay attack
+	StatusAuthFailed // control data failed authenticated decryption
+	StatusBadRequest
+	StatusServerError
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusNotFound:
+		return "NOT_FOUND"
+	case StatusReplay:
+		return "REPLAY"
+	case StatusAuthFailed:
+		return "AUTH_FAILED"
+	case StatusBadRequest:
+		return "BAD_REQUEST"
+	case StatusServerError:
+		return "SERVER_ERROR"
+	}
+	return "UNKNOWN"
+}
+
+// Errors returned by the codecs.
+var (
+	ErrTruncated = errors.New("wire: message truncated")
+	ErrOversized = errors.New("wire: field exceeds maximum size")
+	ErrBadOpcode = errors.New("wire: unknown opcode")
+)
+
+// Limits. Keys follow typical KV-store limits; values up to 16 KiB match
+// the paper's largest evaluated size (the format allows up to 1 MiB).
+const (
+	MaxKeyLen     = 4096
+	MaxValueLen   = 1 << 20
+	MaxControlLen = 8192
+	MACSize       = 16
+	OpKeySize     = 32
+)
+
+// Request is the untrusted-header view of a client request. SealedControl
+// is opaque ciphertext to everything outside the enclave; Payload and
+// PayloadMAC never enter it.
+type Request struct {
+	Op            Opcode
+	ClientID      uint32
+	SealedControl []byte
+	Payload       []byte // nonce‖ciphertext, put only
+	PayloadMAC    []byte // 16-byte CMAC over Payload, put only
+}
+
+// requestHeaderLen is opcode(1) + clientID(4) + controlLen(2) + payloadLen(4).
+const requestHeaderLen = 1 + 4 + 2 + 4
+
+// EncodedLen returns the encoded size of the request.
+func (r *Request) EncodedLen() int {
+	n := requestHeaderLen + len(r.SealedControl)
+	if r.Op == OpPut && len(r.Payload) > 0 {
+		n += len(r.Payload) + MACSize
+	}
+	return n
+}
+
+// Encode appends the encoded request to dst and returns the result.
+func (r *Request) Encode(dst []byte) ([]byte, error) {
+	if len(r.SealedControl) > MaxControlLen {
+		return nil, ErrOversized
+	}
+	if len(r.Payload) > MaxValueLen+64 {
+		return nil, ErrOversized
+	}
+	if r.Op != OpPut && r.Op != OpGet && r.Op != OpDelete {
+		return nil, ErrBadOpcode
+	}
+	dst = append(dst, byte(r.Op))
+	dst = binary.LittleEndian.AppendUint32(dst, r.ClientID)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.SealedControl)))
+	payloadLen := 0
+	if r.Op == OpPut {
+		payloadLen = len(r.Payload)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(payloadLen))
+	dst = append(dst, r.SealedControl...)
+	if r.Op == OpPut && len(r.Payload) > 0 {
+		// Inline-value puts (§5.2) carry no untrusted payload segment;
+		// ordinary puts carry nonce‖ciphertext plus its MAC.
+		dst = append(dst, r.Payload...)
+		if len(r.PayloadMAC) != MACSize {
+			return nil, ErrTruncated
+		}
+		dst = append(dst, r.PayloadMAC...)
+	}
+	return dst, nil
+}
+
+// DecodeRequest parses an encoded request. The returned slices alias buf.
+func DecodeRequest(buf []byte) (*Request, error) {
+	if len(buf) < requestHeaderLen {
+		return nil, ErrTruncated
+	}
+	r := &Request{Op: Opcode(buf[0])}
+	if r.Op != OpPut && r.Op != OpGet && r.Op != OpDelete {
+		return nil, ErrBadOpcode
+	}
+	r.ClientID = binary.LittleEndian.Uint32(buf[1:5])
+	controlLen := int(binary.LittleEndian.Uint16(buf[5:7]))
+	payloadLen := int(binary.LittleEndian.Uint32(buf[7:11]))
+	if controlLen > MaxControlLen || payloadLen > MaxValueLen+64 {
+		return nil, ErrOversized
+	}
+	rest := buf[requestHeaderLen:]
+	if len(rest) < controlLen {
+		return nil, ErrTruncated
+	}
+	r.SealedControl = rest[:controlLen]
+	rest = rest[controlLen:]
+	if r.Op == OpPut && payloadLen > 0 {
+		if len(rest) < payloadLen+MACSize {
+			return nil, ErrTruncated
+		}
+		r.Payload = rest[:payloadLen]
+		r.PayloadMAC = rest[payloadLen : payloadLen+MACSize]
+	}
+	return r, nil
+}
+
+// Response is the untrusted-header view of a server response. For get(),
+// Payload carries the stored ciphertext and its MAC verbatim ("as-is",
+// §3.2); SealedControl carries the one-time key and freshness data.
+type Response struct {
+	Status        Status
+	SealedControl []byte
+	Payload       []byte // storedPayload‖storedMAC for get
+}
+
+const responseHeaderLen = 1 + 2 + 4
+
+// EncodedLen returns the encoded size of the response.
+func (r *Response) EncodedLen() int {
+	return responseHeaderLen + len(r.SealedControl) + len(r.Payload)
+}
+
+// Encode appends the encoded response to dst.
+func (r *Response) Encode(dst []byte) ([]byte, error) {
+	if len(r.SealedControl) > MaxControlLen {
+		return nil, ErrOversized
+	}
+	if len(r.Payload) > MaxValueLen+64+MACSize {
+		return nil, ErrOversized
+	}
+	dst = append(dst, byte(r.Status))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.SealedControl)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Payload)))
+	dst = append(dst, r.SealedControl...)
+	dst = append(dst, r.Payload...)
+	return dst, nil
+}
+
+// DecodeResponse parses an encoded response. The returned slices alias buf.
+func DecodeResponse(buf []byte) (*Response, error) {
+	if len(buf) < responseHeaderLen {
+		return nil, ErrTruncated
+	}
+	r := &Response{Status: Status(buf[0])}
+	controlLen := int(binary.LittleEndian.Uint16(buf[1:3]))
+	payloadLen := int(binary.LittleEndian.Uint32(buf[3:7]))
+	if controlLen > MaxControlLen || payloadLen > MaxValueLen+64+MACSize {
+		return nil, ErrOversized
+	}
+	rest := buf[responseHeaderLen:]
+	if len(rest) < controlLen+payloadLen {
+		return nil, ErrTruncated
+	}
+	r.SealedControl = rest[:controlLen]
+	r.Payload = rest[controlLen : controlLen+payloadLen]
+	return r, nil
+}

@@ -1,0 +1,271 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestRoundTripPut(t *testing.T) {
+	r := &Request{
+		Op:            OpPut,
+		ClientID:      42,
+		SealedControl: []byte("sealed-control-bytes"),
+		Payload:       []byte("nonce+ciphertext"),
+		PayloadMAC:    bytes.Repeat([]byte{7}, MACSize),
+	}
+	enc, err := r.Encode(nil)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if len(enc) != r.EncodedLen() {
+		t.Errorf("EncodedLen=%d, actual %d", r.EncodedLen(), len(enc))
+	}
+	got, err := DecodeRequest(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Op != OpPut || got.ClientID != 42 ||
+		!bytes.Equal(got.SealedControl, r.SealedControl) ||
+		!bytes.Equal(got.Payload, r.Payload) ||
+		!bytes.Equal(got.PayloadMAC, r.PayloadMAC) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestRequestRoundTripGet(t *testing.T) {
+	r := &Request{Op: OpGet, ClientID: 7, SealedControl: []byte("ctl")}
+	enc, err := r.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRequest(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != OpGet || len(got.Payload) != 0 || len(got.PayloadMAC) != 0 {
+		t.Errorf("get round trip: %+v", got)
+	}
+}
+
+func TestRequestBadOpcode(t *testing.T) {
+	r := &Request{Op: 99, SealedControl: []byte("x")}
+	if _, err := r.Encode(nil); !errors.Is(err, ErrBadOpcode) {
+		t.Errorf("encode: %v", err)
+	}
+	enc, err := (&Request{Op: OpGet, SealedControl: []byte("x")}).Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc[0] = 200
+	if _, err := DecodeRequest(enc); !errors.Is(err, ErrBadOpcode) {
+		t.Errorf("decode: %v", err)
+	}
+}
+
+func TestRequestTruncations(t *testing.T) {
+	r := &Request{
+		Op: OpPut, ClientID: 1,
+		SealedControl: []byte("control"),
+		Payload:       []byte("payload"),
+		PayloadMAC:    make([]byte, MACSize),
+	}
+	enc, err := r.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := DecodeRequest(enc[:cut]); err == nil {
+			// Truncations that still leave a structurally valid shorter
+			// message are impossible here because lengths are explicit.
+			t.Errorf("truncated to %d bytes decoded successfully", cut)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	r := &Response{
+		Status:        StatusOK,
+		SealedControl: []byte("resp-control"),
+		Payload:       []byte("stored-ciphertext-and-mac"),
+	}
+	enc, err := r.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != r.EncodedLen() {
+		t.Errorf("EncodedLen=%d, actual %d", r.EncodedLen(), len(enc))
+	}
+	got, err := DecodeResponse(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StatusOK || !bytes.Equal(got.SealedControl, r.SealedControl) ||
+		!bytes.Equal(got.Payload, r.Payload) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestRequestControlRoundTrip(t *testing.T) {
+	c := &RequestControl{
+		Op:    OpPut,
+		Oid:   1234567,
+		Key:   []byte("user:1001"),
+		OpKey: bytes.Repeat([]byte{3}, OpKeySize),
+	}
+	enc, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRequestControl(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != OpPut || got.Oid != 1234567 ||
+		!bytes.Equal(got.Key, c.Key) || !bytes.Equal(got.OpKey, c.OpKey) {
+		t.Errorf("mismatch: %+v", got)
+	}
+}
+
+func TestRequestControlInlineValue(t *testing.T) {
+	c := &RequestControl{
+		Op:          OpPut,
+		Flags:       FlagInlineValue,
+		Oid:         9,
+		Key:         []byte("k"),
+		InlineValue: []byte("tiny"),
+	}
+	enc, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRequestControl(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Flags&FlagInlineValue == 0 || string(got.InlineValue) != "tiny" {
+		t.Errorf("inline value lost: %+v", got)
+	}
+}
+
+func TestRequestControlValidation(t *testing.T) {
+	if _, err := (&RequestControl{Op: OpGet, Key: nil}).Encode(); !errors.Is(err, ErrOversized) {
+		t.Errorf("empty key: %v", err)
+	}
+	if _, err := (&RequestControl{Op: OpGet, Key: make([]byte, MaxKeyLen+1)}).Encode(); !errors.Is(err, ErrOversized) {
+		t.Errorf("huge key: %v", err)
+	}
+	if _, err := (&RequestControl{Op: OpPut, Key: []byte("k"), OpKey: make([]byte, 5)}).Encode(); !errors.Is(err, ErrControl) {
+		t.Errorf("bad opkey: %v", err)
+	}
+	if _, err := DecodeRequestControl([]byte{1, 2, 3}); !errors.Is(err, ErrControl) {
+		t.Errorf("short buf: %v", err)
+	}
+}
+
+func TestResponseControlRoundTrip(t *testing.T) {
+	c := &ResponseControl{
+		Oid:        77,
+		Flags:      FlagInlineValue,
+		OpKey:      bytes.Repeat([]byte{1}, OpKeySize),
+		PayloadMAC: bytes.Repeat([]byte{2}, MACSize),
+	}
+	enc, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResponseControl(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Oid != 77 || got.Flags != FlagInlineValue ||
+		!bytes.Equal(got.OpKey, c.OpKey) || !bytes.Equal(got.PayloadMAC, c.PayloadMAC) {
+		t.Errorf("mismatch: %+v", got)
+	}
+}
+
+func TestResponseControlOptionalFields(t *testing.T) {
+	c := &ResponseControl{Oid: 5}
+	enc, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResponseControl(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OpKey != nil || got.PayloadMAC != nil || got.InlineValue != nil {
+		t.Errorf("optional fields not nil: %+v", got)
+	}
+}
+
+// TestRequestQuickRoundTrip fuzzes encode/decode for structural equality.
+func TestRequestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, op8 uint8, cl uint32, nc, np uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		op := Opcode(op8%3 + 1)
+		r := &Request{
+			Op:            op,
+			ClientID:      cl,
+			SealedControl: make([]byte, int(nc)%512+1),
+		}
+		rng.Read(r.SealedControl)
+		if op == OpPut {
+			r.Payload = make([]byte, int(np)%2048+1)
+			rng.Read(r.Payload)
+			r.PayloadMAC = make([]byte, MACSize)
+			rng.Read(r.PayloadMAC)
+		}
+		enc, err := r.Encode(nil)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeRequest(enc)
+		if err != nil {
+			return false
+		}
+		ok := got.Op == r.Op && got.ClientID == r.ClientID &&
+			bytes.Equal(got.SealedControl, r.SealedControl)
+		if op == OpPut {
+			ok = ok && bytes.Equal(got.Payload, r.Payload) &&
+				bytes.Equal(got.PayloadMAC, r.PayloadMAC)
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeRandomGarbage must never panic on arbitrary input.
+func TestDecodeRandomGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		buf := make([]byte, rng.Intn(128))
+		rng.Read(buf)
+		_, _ = DecodeRequest(buf)
+		_, _ = DecodeResponse(buf)
+		_, _ = DecodeRequestControl(buf)
+		_, _ = DecodeResponseControl(buf)
+	}
+}
+
+func TestOpcodeStatusStrings(t *testing.T) {
+	if OpPut.String() != "PUT" || OpGet.String() != "GET" || OpDelete.String() != "DELETE" {
+		t.Error("opcode strings")
+	}
+	if Opcode(0).String() != "UNKNOWN" {
+		t.Error("unknown opcode string")
+	}
+	for s, want := range map[Status]string{
+		StatusOK: "OK", StatusNotFound: "NOT_FOUND", StatusReplay: "REPLAY",
+		StatusAuthFailed: "AUTH_FAILED", StatusBadRequest: "BAD_REQUEST",
+		StatusServerError: "SERVER_ERROR", Status(99): "UNKNOWN",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %s, want %s", s, s.String(), want)
+		}
+	}
+}

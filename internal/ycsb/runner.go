@@ -1,0 +1,178 @@
+package ycsb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"precursor/internal/hist"
+)
+
+// Store is the key-value surface the runner drives. Precursor, the
+// server-encryption variant and ShieldStore clients all satisfy it.
+type Store interface {
+	Put(key string, value []byte) error
+	Get(key string) ([]byte, error)
+}
+
+// ErrNotFound lets the runner tolerate reads of not-yet-loaded keys when
+// the caller's store maps its own not-found error onto it.
+var ErrNotFound = errors.New("ycsb: key not found")
+
+// Report aggregates a run's measurements.
+type Report struct {
+	Workload  string
+	Clients   int
+	Ops       uint64
+	Errors    uint64
+	Duration  time.Duration
+	Kops      float64
+	Latency   *hist.Histogram
+	ReadOps   uint64
+	UpdateOps uint64
+}
+
+// String renders the standard result row.
+func (r Report) String() string {
+	return fmt.Sprintf("%-16s clients=%-3d ops=%-8d kops=%-8.1f %s",
+		r.Workload, r.Clients, r.Ops, r.Kops, r.Latency.Summary())
+}
+
+// RunnerConfig configures a closed-loop run.
+type RunnerConfig struct {
+	Workload  Workload
+	Records   int
+	ValueSize int
+	Dist      Distribution
+	Clients   int
+	// OpsPerClient bounds each client's operations (0 = use Duration).
+	OpsPerClient int
+	// Duration bounds the run in wall-clock time when OpsPerClient is 0.
+	Duration time.Duration
+	Seed     int64
+	// NotFoundOK ignores not-found read errors (sparse preload).
+	NotFoundOK bool
+	IsNotFound func(error) bool
+	WarmupOps  int // per-client unmeasured leading ops
+}
+
+// Load performs the warm-up phase: inserting records through the store
+// (600 k entries in the paper's throughput experiments).
+func Load(s Store, records, valueSize int, seed int64) error {
+	g, err := NewGenerator(GeneratorConfig{
+		Workload: Workload{ReadRatio: 0}, Records: records,
+		ValueSize: valueSize, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < records; i++ {
+		g.rng.Read(g.valueBuf)
+		if err := s.Put(Key(i), g.valueBuf); err != nil {
+			return fmt.Errorf("load record %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Run drives one store per client in a closed loop and aggregates results.
+// The factory is called once per client (a connection each, as in the
+// paper's 50-client setup).
+func Run(factory func(i int) (Store, error), cfg RunnerConfig) (Report, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.OpsPerClient == 0 && cfg.Duration == 0 {
+		cfg.OpsPerClient = 1000
+	}
+	stores := make([]Store, cfg.Clients)
+	for i := range stores {
+		s, err := factory(i)
+		if err != nil {
+			return Report{}, fmt.Errorf("client %d: %w", i, err)
+		}
+		stores[i] = s
+	}
+
+	type clientResult struct {
+		ops, errs, reads, updates uint64
+		lat                       *hist.Histogram
+	}
+	results := make([]clientResult, cfg.Clients)
+	var wg sync.WaitGroup
+	stopAt := time.Now().Add(cfg.Duration)
+
+	start := time.Now()
+	for i := 0; i < cfg.Clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g, err := NewGenerator(GeneratorConfig{
+				Workload: cfg.Workload, Records: cfg.Records,
+				ValueSize: cfg.ValueSize, Dist: cfg.Dist,
+				Seed: cfg.Seed + int64(i)*7919,
+			})
+			if err != nil {
+				return
+			}
+			res := &results[i]
+			res.lat = hist.New()
+			for n := 0; ; n++ {
+				if cfg.OpsPerClient > 0 {
+					if n >= cfg.OpsPerClient+cfg.WarmupOps {
+						return
+					}
+				} else if time.Now().After(stopAt) {
+					return
+				}
+				op := g.Next()
+				t0 := time.Now()
+				var err error
+				if op.Read {
+					_, err = stores[i].Get(op.Key)
+					if err != nil && cfg.NotFoundOK && cfg.IsNotFound != nil && cfg.IsNotFound(err) {
+						err = nil
+					}
+				} else {
+					err = stores[i].Put(op.Key, op.Value)
+				}
+				if n < cfg.WarmupOps {
+					continue
+				}
+				if err != nil {
+					res.errs++
+					continue
+				}
+				res.lat.Record(time.Since(t0))
+				res.ops++
+				if op.Read {
+					res.reads++
+				} else {
+					res.updates++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report := Report{
+		Workload: cfg.Workload.Name,
+		Clients:  cfg.Clients,
+		Duration: elapsed,
+		Latency:  hist.New(),
+	}
+	for i := range results {
+		report.Ops += results[i].ops
+		report.Errors += results[i].errs
+		report.ReadOps += results[i].reads
+		report.UpdateOps += results[i].updates
+		if results[i].lat != nil {
+			report.Latency.Merge(results[i].lat)
+		}
+	}
+	report.Kops = float64(report.Ops) / elapsed.Seconds() / 1000
+	return report, nil
+}

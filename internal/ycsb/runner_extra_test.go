@@ -1,0 +1,80 @@
+package ycsb
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunnerDurationMode bounds a run by wall-clock time.
+func TestRunnerDurationMode(t *testing.T) {
+	shared := newMapStore()
+	if err := Load(shared, 100, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	report, err := Run(func(i int) (Store, error) { return shared, nil }, RunnerConfig{
+		Workload: WorkloadC, Records: 100, ValueSize: 8,
+		Clients: 2, Duration: 50 * time.Millisecond, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if report.Ops == 0 {
+		t.Error("no ops in duration mode")
+	}
+	if elapsed < 50*time.Millisecond || elapsed > 2*time.Second {
+		t.Errorf("elapsed %v for a 50ms run", elapsed)
+	}
+}
+
+// TestRunnerDefaultOps: with neither bound set, a small default applies.
+func TestRunnerDefaultOps(t *testing.T) {
+	shared := newMapStore()
+	if err := Load(shared, 10, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	report, err := Run(func(i int) (Store, error) { return shared, nil }, RunnerConfig{
+		Workload: WorkloadC, Records: 10, ValueSize: 8, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Ops != 1000 { // default OpsPerClient × default 1 client
+		t.Errorf("ops = %d", report.Ops)
+	}
+}
+
+// TestRunnerFactoryError propagates connection failures.
+func TestRunnerFactoryError(t *testing.T) {
+	_, err := Run(func(i int) (Store, error) {
+		return nil, errTestFactory
+	}, RunnerConfig{Workload: WorkloadC, Records: 10, Clients: 2, OpsPerClient: 5})
+	if err == nil {
+		t.Error("factory error swallowed")
+	}
+}
+
+var errTestFactory = errNotFoundLike("factory down")
+
+type errNotFoundLike string
+
+func (e errNotFoundLike) Error() string { return string(e) }
+
+// TestReportString renders without panicking and includes the workload.
+func TestReportString(t *testing.T) {
+	shared := newMapStore()
+	if err := Load(shared, 10, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	report, err := Run(func(i int) (Store, error) { return shared, nil }, RunnerConfig{
+		Workload: WorkloadA, Records: 10, ValueSize: 8, Clients: 1, OpsPerClient: 10, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := report.String()
+	if len(s) == 0 || report.Workload != WorkloadA.Name {
+		t.Errorf("report = %q", s)
+	}
+}

@@ -1,0 +1,162 @@
+// Package ycsb implements the YCSB benchmark (Cooper et al., SoCC '10)
+// workloads the evaluation drives the stores with (§5.1): uniform (and
+// zipfian) request distributions, the standard read/update mixes, a warm-up
+// loading phase, and a closed-loop multi-client runner.
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Workload is a YCSB operation mix.
+type Workload struct {
+	Name      string
+	ReadRatio float64 // remainder are updates
+}
+
+// The paper's four workloads (§5.2).
+var (
+	// WorkloadA is the update-heavy mix: 50 % reads, 50 % updates.
+	WorkloadA = Workload{Name: "A-update-heavy", ReadRatio: 0.50}
+	// WorkloadB is read-mostly: 95 % reads.
+	WorkloadB = Workload{Name: "B-read-mostly", ReadRatio: 0.95}
+	// WorkloadC is read-only.
+	WorkloadC = Workload{Name: "C-read-only", ReadRatio: 1.0}
+	// UpdateMostly is the paper's 5 % read / 95 % update mix.
+	UpdateMostly = Workload{Name: "update-mostly", ReadRatio: 0.05}
+)
+
+// Distribution selects how keys are drawn.
+type Distribution int
+
+// Request distributions.
+const (
+	// Uniform draws every record equally often — the paper's choice.
+	Uniform Distribution = iota + 1
+	// Zipfian draws hot records more often (YCSB's default skew).
+	Zipfian
+)
+
+// Op is one generated operation.
+type Op struct {
+	Read  bool
+	Key   string
+	Value []byte // set for updates
+}
+
+// Generator produces a deterministic operation stream. Each client should
+// own one Generator (they are not safe for concurrent use).
+type Generator struct {
+	workload  Workload
+	records   int
+	valueSize int
+	dist      Distribution
+	rng       *rand.Rand
+	zipf      *zipfGen
+	valueBuf  []byte
+}
+
+// GeneratorConfig configures a Generator.
+type GeneratorConfig struct {
+	Workload  Workload
+	Records   int
+	ValueSize int
+	Dist      Distribution
+	Seed      int64
+}
+
+// NewGenerator creates a generator.
+func NewGenerator(cfg GeneratorConfig) (*Generator, error) {
+	if cfg.Records <= 0 {
+		return nil, fmt.Errorf("ycsb: records must be positive")
+	}
+	if cfg.ValueSize < 0 {
+		return nil, fmt.Errorf("ycsb: negative value size")
+	}
+	if cfg.Dist == 0 {
+		cfg.Dist = Uniform
+	}
+	g := &Generator{
+		workload:  cfg.Workload,
+		records:   cfg.Records,
+		valueSize: cfg.ValueSize,
+		dist:      cfg.Dist,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		valueBuf:  make([]byte, cfg.ValueSize),
+	}
+	if cfg.Dist == Zipfian {
+		g.zipf = newZipfGen(cfg.Records, 0.99, g.rng)
+	}
+	return g, nil
+}
+
+// Key formats record i as its YCSB key.
+func Key(i int) string { return fmt.Sprintf("user%012d", i) }
+
+// Next produces the next operation. The returned value buffer is reused
+// across calls.
+func (g *Generator) Next() Op {
+	var idx int
+	if g.dist == Zipfian {
+		idx = g.zipf.next()
+	} else {
+		idx = g.rng.Intn(g.records)
+	}
+	op := Op{Key: Key(idx)}
+	if g.rng.Float64() < g.workload.ReadRatio {
+		op.Read = true
+		return op
+	}
+	g.rng.Read(g.valueBuf)
+	op.Value = g.valueBuf
+	return op
+}
+
+// zipfGen is the YCSB zipfian generator over [0, n): items are permuted by
+// a multiplicative hash so the hot set is spread across the key space,
+// matching YCSB's scrambled zipfian.
+type zipfGen struct {
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	rng   *rand.Rand
+}
+
+func newZipfGen(n int, theta float64, rng *rand.Rand) *zipfGen {
+	z := &zipfGen{n: n, theta: theta, rng: rng}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+func zeta(n int, theta float64) float64 {
+	var sum float64
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func (z *zipfGen) next() int {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	var rank int
+	switch {
+	case uz < 1:
+		rank = 0
+	case uz < 1+math.Pow(0.5, z.theta):
+		rank = 1
+	default:
+		rank = int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	}
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	// Scramble so consecutive ranks are not adjacent keys.
+	return int(uint64(rank) * 0x9E3779B97F4A7C15 % uint64(z.n))
+}

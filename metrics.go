@@ -1,0 +1,85 @@
+package precursor
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// MetricsServer exposes a Precursor server's statistics over HTTP in the
+// Prometheus text exposition format (stdlib only), for production
+// monitoring of a deployed store.
+type MetricsServer struct {
+	server *Server
+	http   *http.Server
+	ln     net.Listener
+
+	mu   sync.Mutex
+	done chan struct{}
+}
+
+// ServeMetrics starts an HTTP listener on addr exposing GET /metrics and
+// GET /healthz for the given store.
+func ServeMetrics(server *Server, addr string) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	m := &MetricsServer{server: server, ln: ln, done: make(chan struct{})}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", m.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	m.http = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		defer close(m.done)
+		_ = m.http.Serve(ln)
+	}()
+	return m, nil
+}
+
+// Addr returns the bound address.
+func (m *MetricsServer) Addr() string { return m.ln.Addr().String() }
+
+// Close stops the HTTP listener.
+func (m *MetricsServer) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	err := m.http.Close()
+	<-m.done
+	return err
+}
+
+func (m *MetricsServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := m.server.Stats()
+	var b strings.Builder
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("precursor_puts_total", "Completed put operations", st.Puts)
+	counter("precursor_gets_total", "Completed get operations", st.Gets)
+	counter("precursor_deletes_total", "Completed delete operations", st.Deletes)
+	counter("precursor_replays_total", "Rejected replayed requests", st.Replays)
+	counter("precursor_auth_failures_total", "Control data that failed authentication", st.AuthFailures)
+	counter("precursor_bad_requests_total", "Malformed requests", st.BadRequests)
+	counter("precursor_enclave_crypto_bytes_total", "Bytes en/decrypted inside the enclave (control data only)", st.EnclaveCryptoBytes)
+	counter("precursor_enclave_ecalls_total", "Enclave entries", st.Enclave.Ecalls)
+	counter("precursor_enclave_ocalls_total", "Enclave exits", st.Enclave.Ocalls)
+	counter("precursor_enclave_page_faults_total", "EPC paging events", st.Enclave.PageFaults)
+	gauge("precursor_entries", "Stored key-value entries", float64(st.Entries))
+	gauge("precursor_clients", "Connected client sessions", float64(st.Clients))
+	gauge("precursor_enclave_epc_pages", "Enclave working set in pages", float64(st.Enclave.EPCPages))
+	gauge("precursor_pool_bytes_reserved", "Untrusted payload pool reserved bytes", float64(st.PoolBytesReserved))
+	gauge("precursor_pool_bytes_in_use", "Untrusted payload pool live bytes", float64(st.PoolBytesInUse))
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -1,0 +1,80 @@
+package precursor_test
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"precursor"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	platform, err := precursor.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := precursor.Serve("127.0.0.1:0", precursor.ServerConfig{
+		Platform: platform, Workers: 2, PollInterval: time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	metrics, err := precursor.ServeMetrics(svc.Server, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metrics.Close()
+
+	client, err := precursor.Dial(svc.Addr(), precursor.DialConfig{
+		PlatformKey: platform.AttestationPublicKey(),
+		Measurement: svc.Server.Measurement(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	for i := 0; i < 5; i++ {
+		if err := client.Put("m", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := client.Get("m"); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + metrics.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"precursor_puts_total 5",
+		"precursor_gets_total 1",
+		"precursor_entries 1",
+		"precursor_clients 1",
+		"# TYPE precursor_enclave_epc_pages gauge",
+		"precursor_enclave_crypto_bytes_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+
+	health, err := http.Get("http://" + metrics.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health.Body.Close()
+	if health.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", health.StatusCode)
+	}
+}

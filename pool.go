@@ -1,0 +1,161 @@
+package precursor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Pool multiplexes operations over several Precursor client connections.
+//
+// The protocol allows one outstanding operation per connection (each
+// client owns an oid sequence and its rings, §3.7), so applications that
+// want concurrency open several connections — exactly how the paper's
+// evaluation runs 50 clients. Pool packages that pattern: Get/Put/Delete
+// borrow an idle connection and return it afterwards, so the pool is safe
+// for concurrent use by many goroutines.
+type Pool struct {
+	mu      sync.Mutex
+	free    []*Client
+	all     []*Client
+	waiters []chan *Client
+	closed  bool
+}
+
+// ErrPoolClosed is returned by operations on a closed pool.
+var ErrPoolClosed = errors.New("precursor: pool closed")
+
+// NewPool dials size connections with Dial and pools them.
+func NewPool(addr string, cfg DialConfig, size int) (*Pool, error) {
+	if size <= 0 {
+		size = 1
+	}
+	p := &Pool{}
+	for i := 0; i < size; i++ {
+		c, err := Dial(addr, cfg)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("pool connection %d: %w", i, err)
+		}
+		p.free = append(p.free, c)
+		p.all = append(p.all, c)
+	}
+	return p, nil
+}
+
+// NewPoolFromClients pools already-connected clients (e.g. over the
+// in-process fabric). The pool takes ownership: Close closes them.
+func NewPoolFromClients(clients []*Client) (*Pool, error) {
+	if len(clients) == 0 {
+		return nil, errors.New("precursor: pool needs at least one client")
+	}
+	p := &Pool{}
+	p.free = append(p.free, clients...)
+	p.all = append(p.all, clients...)
+	return p, nil
+}
+
+// acquire borrows a connection, waiting if all are busy.
+func (p *Pool) acquire() (*Client, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	ch := make(chan *Client, 1)
+	p.waiters = append(p.waiters, ch)
+	p.mu.Unlock()
+	c, ok := <-ch
+	if !ok || c == nil {
+		return nil, ErrPoolClosed
+	}
+	return c, nil
+}
+
+// release returns a connection, handing it to a waiter if any.
+func (p *Pool) release(c *Client) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	if len(p.waiters) > 0 {
+		ch := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		p.mu.Unlock()
+		ch <- c
+		return
+	}
+	p.free = append(p.free, c)
+	p.mu.Unlock()
+}
+
+// Put stores value under key using any idle connection.
+func (p *Pool) Put(key string, value []byte) error {
+	c, err := p.acquire()
+	if err != nil {
+		return err
+	}
+	defer p.release(c)
+	return c.Put(key, value)
+}
+
+// Get fetches and verifies the value for key.
+func (p *Pool) Get(key string) ([]byte, error) {
+	c, err := p.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer p.release(c)
+	return c.Get(key)
+}
+
+// Delete removes key.
+func (p *Pool) Delete(key string) error {
+	c, err := p.acquire()
+	if err != nil {
+		return err
+	}
+	defer p.release(c)
+	return c.Delete(key)
+}
+
+// Size returns the number of pooled connections.
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.all)
+}
+
+// Close closes every pooled connection. In-flight operations finish
+// first (they hold their connection); waiters are woken with
+// ErrPoolClosed.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	waiters := p.waiters
+	p.waiters = nil
+	all := p.all
+	p.mu.Unlock()
+
+	for _, ch := range waiters {
+		close(ch)
+	}
+	var firstErr error
+	for _, c := range all {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,115 @@
+// Package precursor is the public API of the Precursor key-value store —
+// a reproduction of "Precursor: A Fast, Client-Centric and Trusted
+// Key-Value Store using RDMA and Intel SGX" (Messadi et al.,
+// Middleware '21).
+//
+// Precursor keeps data confidential and tamper-evident against an
+// untrusted host by combining a (simulated) SGX enclave on the server with
+// client-side payload cryptography: values are encrypted and MACed on the
+// client under fresh one-time keys, so the server enclave only ever
+// handles small control data, and the encrypted payload lives — and
+// travels — entirely in untrusted memory over one-sided RDMA.
+//
+// # Quickstart
+//
+//	platform, _ := precursor.NewPlatform()
+//	fabric := precursor.NewFabric()
+//	dev, _ := fabric.NewDevice("server")
+//	server, _ := precursor.NewServer(dev, precursor.ServerConfig{Platform: platform})
+//	defer server.Close()
+//
+//	cdev, _ := fabric.NewDevice("client")
+//	cq, sq := fabric.ConnectRC(cdev, dev)
+//	go server.HandleConnection(sq)
+//	client, _ := precursor.Connect(precursor.ClientConfig{
+//		Conn: cq, Device: cdev,
+//		PlatformKey: platform.AttestationPublicKey(),
+//		Measurement: server.Measurement(),
+//	})
+//	client.Put("greeting", []byte("hello enclave"))
+//	v, _ := client.Get("greeting")
+//
+// For cross-process deployment over real TCP, use Serve and Dial (the
+// SoftRoCE-style fabric), as cmd/precursor-server and cmd/precursor-cli
+// do. See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// paper-reproduction results.
+package precursor
+
+import (
+	"precursor/internal/core"
+	"precursor/internal/rdma"
+	"precursor/internal/sgx"
+)
+
+// Re-exported core types. The store's full documentation lives on the
+// underlying declarations in internal/core.
+type (
+	// Server is a Precursor key-value store instance.
+	Server = core.Server
+	// Client is a connected Precursor client.
+	Client = core.Client
+	// ServerConfig configures NewServer.
+	ServerConfig = core.ServerConfig
+	// ClientConfig configures Connect.
+	ClientConfig = core.ClientConfig
+	// ServerStats is a server activity snapshot.
+	ServerStats = core.ServerStats
+)
+
+// Re-exported trusted-execution types.
+type (
+	// Platform is an SGX-capable machine hosting enclaves.
+	Platform = sgx.Platform
+	// Measurement identifies an enclave build (MRENCLAVE).
+	Measurement = sgx.Measurement
+)
+
+// Re-exported RDMA types for in-process deployments.
+type (
+	// Fabric is the in-process RDMA network.
+	Fabric = rdma.Fabric
+	// Device is one RDMA NIC.
+	Device = rdma.Device
+	// Conn is a queue-pair connection.
+	Conn = rdma.Conn
+)
+
+// Errors returned by store operations.
+var (
+	ErrNotFound  = core.ErrNotFound
+	ErrReplay    = core.ErrReplay
+	ErrAuth      = core.ErrAuth
+	ErrClosed    = core.ErrClosed
+	ErrTooLarge  = core.ErrTooLarge
+	ErrTimeout   = core.ErrTimeout
+	ErrIntegrity = core.ErrIntegrity
+)
+
+// NewPlatform creates an SGX platform with a fresh attestation key.
+func NewPlatform(opts ...sgx.PlatformOption) (*Platform, error) {
+	return sgx.NewPlatform(opts...)
+}
+
+// LoadOrCreatePlatform restores (or creates) a persistent platform
+// identity in dir, so a restarted server still attests under the same
+// key and can open its previously sealed snapshots.
+func LoadOrCreatePlatform(dir string, opts ...sgx.PlatformOption) (*Platform, error) {
+	return sgx.LoadOrCreatePlatform(dir, opts...)
+}
+
+// OpenFileCounter opens a durable trusted monotonic counter for
+// ServerConfig.RollbackCounter (see the trust caveat on sgx.FileCounter).
+func OpenFileCounter(path string) (*sgx.FileCounter, error) {
+	return sgx.OpenFileCounter(path)
+}
+
+// NewFabric creates an in-process RDMA fabric.
+func NewFabric() *Fabric { return rdma.NewFabric() }
+
+// NewServer creates and starts a Precursor server on the given device.
+func NewServer(device *Device, cfg ServerConfig) (*Server, error) {
+	return core.NewServer(device, cfg)
+}
+
+// Connect attests the server enclave and establishes a client session.
+func Connect(cfg ClientConfig) (*Client, error) { return core.Connect(cfg) }
