@@ -1,0 +1,111 @@
+package precursor
+
+import (
+	"crypto/ecdsa"
+	"errors"
+	"fmt"
+	"time"
+
+	"precursor/internal/cluster"
+	"precursor/internal/core"
+)
+
+// Client-routed sharding: the public surface of internal/cluster.
+//
+// A Precursor cluster is N independent single-node servers. The client
+// owns shard placement — a consistent-hash ring over the shard addresses
+// — and attests every shard's enclave separately before any data flows.
+// The servers never coordinate, so the paper's single-node trust model
+// (§2.3) carries over unchanged; see DESIGN.md §5, "Scaling out".
+
+// Re-exported cluster types.
+type (
+	// ClusterClient routes Put/Get/Delete across shards by key hash.
+	ClusterClient = cluster.Client
+	// ClusterStats aggregates per-shard activity and health.
+	ClusterStats = cluster.Stats
+	// ClusterShardStats is one shard's slice of ClusterStats.
+	ClusterShardStats = cluster.ShardStats
+	// ShardError attributes an operation failure to a shard.
+	ShardError = cluster.ShardError
+	// Ring is the consistent-hash placement ring.
+	Ring = cluster.Ring
+)
+
+// Cluster errors.
+var (
+	// ErrShardDown marks fail-fast errors for a shard whose breaker is open.
+	ErrShardDown = cluster.ErrShardDown
+	// ErrNoShards is returned when a cluster has no members.
+	ErrNoShards = cluster.ErrNoShards
+)
+
+// ShardSpec tells DialCluster how to reach and attest one shard. Serve a
+// shard with precursor-server (or ServeCluster) and copy its printed
+// address, attestation key and measurement here.
+type ShardSpec struct {
+	// Addr is the shard's TCP-fabric address. It doubles as the shard's
+	// ring name, so every client must list the same addresses.
+	Addr string
+	// PlatformKey verifies this shard's attestation quotes; required.
+	PlatformKey *ecdsa.PublicKey
+	// Measurement pins this shard's expected enclave build; required.
+	Measurement Measurement
+}
+
+// ClusterConfig configures DialCluster.
+type ClusterConfig struct {
+	// ConnsPerShard sets each shard's connection-pool size (default 1).
+	// With >1, many goroutines can drive the cluster client concurrently.
+	ConnsPerShard int
+	// Timeout bounds each operation (default 5 s).
+	Timeout time.Duration
+	// VirtualNodes per shard on the placement ring (default 160).
+	VirtualNodes int
+	// RetryBackoff is the base delay before a failed shard is probed
+	// again (default 250 ms, doubling up to MaxBackoff).
+	RetryBackoff time.Duration
+	MaxBackoff   time.Duration
+}
+
+// DialCluster connects to every shard — attesting each enclave
+// independently — and returns a client that routes operations by
+// consistent key hash. A shard that later dies fails fast with a
+// ShardError wrapping ErrShardDown while the others keep serving; see
+// ClusterClient.Degraded.
+func DialCluster(shards []ShardSpec, cfg ClusterConfig) (*ClusterClient, error) {
+	if len(shards) == 0 {
+		return nil, ErrNoShards
+	}
+	if cfg.ConnsPerShard <= 0 {
+		cfg.ConnsPerShard = 1
+	}
+	members := make([]cluster.Shard, 0, len(shards))
+	fail := func(err error) (*ClusterClient, error) {
+		for _, m := range members {
+			_ = m.Backend.Close()
+		}
+		return nil, err
+	}
+	for _, spec := range shards {
+		pool, err := NewPool(spec.Addr, DialConfig{
+			PlatformKey: spec.PlatformKey,
+			Measurement: spec.Measurement,
+			Timeout:     cfg.Timeout,
+		}, cfg.ConnsPerShard)
+		if err != nil {
+			return fail(fmt.Errorf("shard %s: %w", spec.Addr, err))
+		}
+		members = append(members, cluster.Shard{Name: spec.Addr, Backend: pool})
+	}
+	return cluster.New(members, cluster.Options{
+		VirtualNodes: cfg.VirtualNodes,
+		RetryBackoff: cfg.RetryBackoff,
+		MaxBackoff:   cfg.MaxBackoff,
+		IsShardFailure: func(err error) bool {
+			return errors.Is(err, core.ErrClosed) ||
+				errors.Is(err, core.ErrTimeout) ||
+				errors.Is(err, ErrPoolClosed)
+		},
+	})
+}

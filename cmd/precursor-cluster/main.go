@@ -1,0 +1,224 @@
+// Command precursor-cluster launches and drives a client-routed N-shard
+// Precursor deployment over the TCP fabric (see DESIGN.md, "Scaling
+// out": the client owns shard placement; the servers never coordinate).
+//
+// Serve mode keeps an N-shard cluster up and prints one scrapeable
+// cluster-shard line per member — the same format precursor-server
+// -shard i/n emits — with everything a client needs to DialCluster:
+//
+//	precursor-cluster -serve -shards 4
+//
+// Bench mode measures scaling: for each shard count it loads records and
+// runs a YCSB workload through a cluster client, printing a table and
+// appending ops/s-vs-shard-count datapoints to a JSON file:
+//
+//	precursor-cluster -bench -shards 1,2,4 -records 2000 -clients 8 \
+//	    -ops 2000 -json BENCH_cluster.json
+package main
+
+import (
+	"crypto/x509"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"precursor"
+	"precursor/internal/cluster"
+	"precursor/internal/ycsb"
+)
+
+func main() {
+	var (
+		serve    = flag.Bool("serve", false, "launch a cluster and keep it up until interrupted")
+		bench    = flag.Bool("bench", false, "run the multi-shard scaling benchmark")
+		shards   = flag.String("shards", "4", "shard count (serve) or comma-separated counts to sweep (bench)")
+		workers  = flag.Int("workers", 2, "trusted polling threads per shard")
+		conns    = flag.Int("conns-per-shard", 4, "client connections pooled per shard")
+		records  = flag.Int("records", 2000, "records to load before measuring")
+		valsize  = flag.Int("value-size", 128, "value size in bytes")
+		clients  = flag.Int("clients", 8, "concurrent closed-loop clients")
+		ops      = flag.Int("ops", 2000, "operations per client")
+		workload = flag.String("workload", "B", "YCSB workload: A, B, C or update-mostly")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		jsonPath = flag.String("json", "BENCH_cluster.json", "bench: write datapoints to this JSON file (empty = stdout only)")
+	)
+	flag.Parse()
+	if *serve == *bench {
+		fmt.Fprintln(os.Stderr, "precursor-cluster: pass exactly one of -serve or -bench")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var err error
+	if *serve {
+		err = runServe(*shards, *workers)
+	} else {
+		err = runBench(benchConfig{
+			shardCounts: *shards, workers: *workers, conns: *conns,
+			records: *records, valueSize: *valsize, clients: *clients,
+			opsPerClient: *ops, workload: *workload, seed: *seed,
+			jsonPath: *jsonPath, out: os.Stdout,
+		})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "precursor-cluster:", err)
+		os.Exit(1)
+	}
+}
+
+// runServe launches n shards and prints their cluster-shard lines.
+func runServe(shardsFlag string, workers int) error {
+	n, err := strconv.Atoi(strings.TrimSpace(shardsFlag))
+	if err != nil || n <= 0 {
+		return fmt.Errorf("-serve needs a single positive shard count, got %q", shardsFlag)
+	}
+	cs, err := precursor.ServeCluster(n, precursor.ServerConfig{Workers: workers})
+	if err != nil {
+		return err
+	}
+	defer cs.Close()
+	fmt.Printf("precursor-cluster serving %d shards\n", n)
+	for i, spec := range cs.Specs() {
+		pub, err := x509.MarshalPKIXPublicKey(spec.PlatformKey)
+		if err != nil {
+			return err
+		}
+		id := cluster.ShardID{Index: i, Count: n}
+		fmt.Printf("cluster-shard: %s addr=%s key=%s measurement=%s\n",
+			id, spec.Addr,
+			base64.StdEncoding.EncodeToString(pub),
+			hex.EncodeToString(spec.Measurement[:]))
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	return nil
+}
+
+// BenchPoint is one ops/s-vs-shard-count datapoint of the scaling sweep.
+type BenchPoint struct {
+	Shards    int               `json:"shards"`
+	Clients   int               `json:"clients"`
+	Records   int               `json:"records"`
+	ValueSize int               `json:"value_size"`
+	Workload  string            `json:"workload"`
+	Ops       uint64            `json:"ops"`
+	Errors    uint64            `json:"errors"`
+	Kops      float64           `json:"kops"`
+	P50Micros float64           `json:"p50_us"`
+	P99Micros float64           `json:"p99_us"`
+	ShardPuts map[string]uint64 `json:"shard_puts"` // placement balance
+}
+
+type benchConfig struct {
+	shardCounts  string
+	workers      int
+	conns        int
+	records      int
+	valueSize    int
+	clients      int
+	opsPerClient int
+	workload     string
+	seed         int64
+	jsonPath     string
+	out          *os.File
+}
+
+func runBench(cfg benchConfig) error {
+	wl, err := workloadByName(cfg.workload)
+	if err != nil {
+		return err
+	}
+	var counts []int
+	for _, part := range strings.Split(cfg.shardCounts, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad shard count %q", part)
+		}
+		counts = append(counts, n)
+	}
+
+	var points []BenchPoint
+	fmt.Fprintf(cfg.out, "%-8s %-8s %-10s %-10s %-10s %-10s\n",
+		"shards", "clients", "ops", "kops", "p50(µs)", "p99(µs)")
+	for _, n := range counts {
+		p, err := benchOne(n, wl, cfg)
+		if err != nil {
+			return fmt.Errorf("%d shards: %w", n, err)
+		}
+		points = append(points, p)
+		fmt.Fprintf(cfg.out, "%-8d %-8d %-10d %-10.1f %-10.1f %-10.1f\n",
+			p.Shards, p.Clients, p.Ops, p.Kops, p.P50Micros, p.P99Micros)
+	}
+	if cfg.jsonPath != "" {
+		data, err := json.MarshalIndent(points, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.out, "wrote %s\n", cfg.jsonPath)
+	}
+	return nil
+}
+
+func benchOne(n int, wl ycsb.Workload, cfg benchConfig) (BenchPoint, error) {
+	cs, err := precursor.ServeCluster(n, precursor.ServerConfig{Workers: cfg.workers})
+	if err != nil {
+		return BenchPoint{}, err
+	}
+	defer cs.Close()
+	cc, err := precursor.DialCluster(cs.Specs(), precursor.ClusterConfig{
+		ConnsPerShard: cfg.conns,
+		Timeout:       30 * time.Second,
+	})
+	if err != nil {
+		return BenchPoint{}, err
+	}
+	defer cc.Close()
+
+	if err := ycsb.Load(cc, cfg.records, cfg.valueSize, cfg.seed); err != nil {
+		return BenchPoint{}, err
+	}
+	rep, err := ycsb.RunShared(cc, ycsb.RunnerConfig{
+		Workload: wl, Records: cfg.records, ValueSize: cfg.valueSize,
+		Clients: cfg.clients, OpsPerClient: cfg.opsPerClient, Seed: cfg.seed,
+	})
+	if err != nil {
+		return BenchPoint{}, err
+	}
+	point := BenchPoint{
+		Shards: n, Clients: rep.Clients,
+		Records: cfg.records, ValueSize: cfg.valueSize, Workload: wl.Name,
+		Ops: rep.Ops, Errors: rep.Errors, Kops: rep.Kops,
+		P50Micros: float64(rep.Latency.Quantile(0.50)) / 1e3,
+		P99Micros: float64(rep.Latency.Quantile(0.99)) / 1e3,
+		ShardPuts: map[string]uint64{},
+	}
+	for _, ss := range cc.Stats().Shards {
+		point.ShardPuts[ss.Name] = ss.Puts
+	}
+	return point, nil
+}
+
+func workloadByName(name string) (ycsb.Workload, error) {
+	switch strings.ToUpper(name) {
+	case "A":
+		return ycsb.WorkloadA, nil
+	case "B":
+		return ycsb.WorkloadB, nil
+	case "C":
+		return ycsb.WorkloadC, nil
+	case "UPDATE-MOSTLY":
+		return ycsb.UpdateMostly, nil
+	}
+	return ycsb.Workload{}, fmt.Errorf("unknown workload %q (want A, B, C or update-mostly)", name)
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunBenchScalingSweep runs a tiny 1,2-shard sweep end to end and
+// checks the emitted BENCH_cluster.json datapoints.
+func TestRunBenchScalingSweep(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_cluster.json")
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	err = runBench(benchConfig{
+		shardCounts: "1,2", workers: 1, conns: 2,
+		records: 50, valueSize: 32, clients: 2, opsPerClient: 50,
+		workload: "B", seed: 1, jsonPath: jsonPath, out: out,
+	})
+	if err != nil {
+		t.Fatalf("runBench: %v", err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("datapoints not written: %v", err)
+	}
+	var points []BenchPoint
+	if err := json.Unmarshal(data, &points); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, data)
+	}
+	if len(points) != 2 || points[0].Shards != 1 || points[1].Shards != 2 {
+		t.Fatalf("points = %+v", points)
+	}
+	for _, p := range points {
+		if p.Ops != 100 || p.Errors != 0 || p.Kops <= 0 {
+			t.Errorf("point %d shards: %+v", p.Shards, p)
+		}
+		if len(p.ShardPuts) != p.Shards {
+			t.Errorf("shard_puts has %d entries for %d shards", len(p.ShardPuts), p.Shards)
+		}
+	}
+}
+
+func TestWorkloadByName(t *testing.T) {
+	for _, name := range []string{"A", "b", "C", "update-mostly"} {
+		if _, err := workloadByName(name); err != nil {
+			t.Errorf("workloadByName(%q): %v", name, err)
+		}
+	}
+	if _, err := workloadByName("Z"); err == nil {
+		t.Error("workloadByName(Z) accepted")
+	}
+}

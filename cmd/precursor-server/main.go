@@ -9,6 +9,13 @@
 //
 //	precursor-server -addr :7100 -workers 12
 //	precursor-server -addr :7100 -hardened -owner-only
+//
+// As one member of a client-routed cluster (see DESIGN.md, "Scaling
+// out"), give each server its shard position; it prints a
+// machine-readable cluster-shard line an orchestrator can scrape:
+//
+//	precursor-server -addr :7100 -shard 0/4
+//	precursor-server -addr :7101 -shard 1/4
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"time"
 
 	"precursor"
+	"precursor/internal/cluster"
 )
 
 func main() {
@@ -36,15 +44,23 @@ func main() {
 		stats     = flag.Duration("stats", 0, "print server stats at this interval (0 = off)")
 		metrics   = flag.String("metrics", "", "serve Prometheus metrics on this address (e.g. :9090)")
 		stateDir  = flag.String("state-dir", "", "directory for durable state: platform identity, trusted counter, snapshot (empty = ephemeral)")
+		shard     = flag.String("shard", "", "this server's shard position i/n in a client-routed cluster (e.g. 0/4)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *hardened, *inline, *ownerOnly, *stats, *metrics, *stateDir); err != nil {
+	if err := run(*addr, *workers, *hardened, *inline, *ownerOnly, *stats, *metrics, *stateDir, *shard); err != nil {
 		fmt.Fprintln(os.Stderr, "precursor-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery time.Duration, metricsAddr, stateDir string) error {
+func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery time.Duration, metricsAddr, stateDir, shard string) error {
+	var shardID cluster.ShardID
+	if shard != "" {
+		var err error
+		if shardID, err = cluster.ParseShardID(shard); err != nil {
+			return err
+		}
+	}
 	cfg := precursor.ServerConfig{
 		Workers:           workers,
 		HardenedMACs:      hardened,
@@ -123,6 +139,13 @@ func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery 
 	fmt.Printf("precursor-server listening on %s\n", svc.Addr())
 	fmt.Printf("attestation-key:  %s\n", base64.StdEncoding.EncodeToString(pub))
 	fmt.Printf("measurement:      %s\n", hex.EncodeToString(m[:]))
+	if shard != "" {
+		// One scrapeable line per shard: everything DialCluster needs for
+		// this member, keyed by its position.
+		fmt.Printf("cluster-shard: %s addr=%s key=%s measurement=%s\n",
+			shardID, svc.Addr(),
+			base64.StdEncoding.EncodeToString(pub), hex.EncodeToString(m[:]))
+	}
 	fmt.Printf("connect with: precursor-cli -addr %s -server-key <attestation-key> -measurement <measurement> ...\n", svc.Addr())
 
 	sig := make(chan os.Signal, 1)

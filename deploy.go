@@ -64,6 +64,68 @@ func (s *Service) Close() {
 	})
 }
 
+// ClusterService is an N-shard Precursor deployment on this process: N
+// independent single-node Services, each with its own enclave (and, by
+// default, its own platform attestation identity). Clients route across
+// the shards themselves — see DialCluster.
+type ClusterService struct {
+	// Shards are the running per-shard services, in shard order.
+	Shards []*Service
+
+	platforms []*Platform
+}
+
+// ServeCluster launches n shards over the TCP fabric, each listening on
+// its own ephemeral port. cfg applies to every shard; when cfg.Platform
+// is nil each shard gets a fresh platform, so clients attest every shard
+// independently (the cluster trust model — no shared server-side secret).
+func ServeCluster(n int, cfg ServerConfig) (*ClusterService, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("precursor: cluster needs at least one shard, got %d", n)
+	}
+	cs := &ClusterService{}
+	for i := 0; i < n; i++ {
+		shardCfg := cfg
+		if shardCfg.Platform == nil {
+			platform, err := NewPlatform()
+			if err != nil {
+				cs.Close()
+				return nil, fmt.Errorf("shard %d platform: %w", i, err)
+			}
+			shardCfg.Platform = platform
+		}
+		svc, err := Serve("127.0.0.1:0", shardCfg)
+		if err != nil {
+			cs.Close()
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		cs.Shards = append(cs.Shards, svc)
+		cs.platforms = append(cs.platforms, shardCfg.Platform)
+	}
+	return cs, nil
+}
+
+// Specs returns the ShardSpecs a client needs to DialCluster this
+// deployment: each shard's address, attestation key and measurement.
+func (cs *ClusterService) Specs() []ShardSpec {
+	specs := make([]ShardSpec, len(cs.Shards))
+	for i, svc := range cs.Shards {
+		specs[i] = ShardSpec{
+			Addr:        svc.Addr(),
+			PlatformKey: cs.platforms[i].AttestationPublicKey(),
+			Measurement: svc.Server.Measurement(),
+		}
+	}
+	return specs
+}
+
+// Close shuts every shard down.
+func (cs *ClusterService) Close() {
+	for _, svc := range cs.Shards {
+		svc.Close()
+	}
+}
+
 // DialConfig configures Dial.
 type DialConfig struct {
 	// PlatformKey verifies the server's attestation quotes; required.

@@ -1,0 +1,298 @@
+package cluster
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"precursor/internal/core"
+)
+
+// Backend is one shard's key-value connection. *core.Client satisfies it,
+// as does the root package's *precursor.Pool (the usual choice, so many
+// goroutines can drive the cluster client concurrently).
+type Backend interface {
+	Put(key string, value []byte) error
+	Get(key string) ([]byte, error)
+	Delete(key string) error
+	Close() error
+}
+
+// Shard names one cluster member and its connection.
+type Shard struct {
+	// Name identifies the shard on the ring. Placement depends only on
+	// the set of names, so every client must use the same ones (the root
+	// package uses the shard's listen address).
+	Name    string
+	Backend Backend
+}
+
+// Options tunes a cluster Client.
+type Options struct {
+	// VirtualNodes per shard on the ring (DefaultVirtualNodes if <= 0).
+	VirtualNodes int
+	// RetryBackoff is the base delay before a failed shard is probed
+	// again (default 250ms). The delay doubles per consecutive failure up
+	// to MaxBackoff (default 8s).
+	RetryBackoff time.Duration
+	MaxBackoff   time.Duration
+	// IsShardFailure classifies an operation error as a shard outage
+	// (trips the breaker) rather than a data-level error like not-found.
+	// Default: core.ErrClosed or core.ErrTimeout.
+	IsShardFailure func(error) bool
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.VirtualNodes <= 0 {
+		out.VirtualNodes = DefaultVirtualNodes
+	}
+	if out.RetryBackoff <= 0 {
+		out.RetryBackoff = 250 * time.Millisecond
+	}
+	if out.MaxBackoff <= 0 {
+		out.MaxBackoff = 8 * time.Second
+	}
+	if out.IsShardFailure == nil {
+		out.IsShardFailure = func(err error) bool {
+			return errors.Is(err, core.ErrClosed) || errors.Is(err, core.ErrTimeout)
+		}
+	}
+	return out
+}
+
+// Client routes operations across shards by consistent key hash.
+//
+// Each shard has an independent health breaker: when an operation fails
+// with a shard-level error the shard is marked down and subsequent
+// operations routed to it fail immediately with a ShardError wrapping
+// ErrShardDown, until the retry backoff elapses and a single probe
+// operation is let through. Other shards are unaffected — a dead shard
+// costs its own keys, never the cluster.
+//
+// Client is safe for concurrent use when its Backends are (use pools).
+type Client struct {
+	ring   *Ring
+	shards map[string]*shardState
+	opts   Options
+	closed atomic.Bool
+}
+
+// shardState is one shard's connection plus health and counters.
+type shardState struct {
+	name    string
+	backend Backend
+
+	puts, gets, deletes atomic.Uint64
+	errors              atomic.Uint64
+
+	mu       sync.Mutex
+	down     bool
+	failures int       // consecutive shard-level failures
+	retryAt  time.Time // next probe admission when down
+	probing  bool      // a probe op is in flight
+}
+
+// New builds a cluster client over the given shards.
+func New(shards []Shard, opts Options) (*Client, error) {
+	if len(shards) == 0 {
+		return nil, ErrNoShards
+	}
+	o := opts.withDefaults()
+	names := make([]string, len(shards))
+	states := make(map[string]*shardState, len(shards))
+	for i, s := range shards {
+		names[i] = s.Name
+		states[s.Name] = &shardState{name: s.Name, backend: s.Backend}
+	}
+	if len(states) != len(shards) {
+		return nil, errors.New("precursor/cluster: duplicate shard name")
+	}
+	return &Client{ring: NewRing(names, o.VirtualNodes), shards: states, opts: o}, nil
+}
+
+// Ring exposes the placement ring (for metrics and tooling).
+func (c *Client) Ring() *Ring { return c.ring }
+
+// ShardFor returns the name of the shard that owns key.
+func (c *Client) ShardFor(key string) string { return c.ring.Lookup(key) }
+
+// Put stores value under key on the owning shard.
+func (c *Client) Put(key string, value []byte) error {
+	sh, err := c.route(key)
+	if err != nil {
+		return err
+	}
+	err = sh.backend.Put(key, value)
+	if err = c.observe(sh, err); err == nil {
+		sh.puts.Add(1)
+	}
+	return err
+}
+
+// Get fetches and verifies the value for key from the owning shard.
+func (c *Client) Get(key string) ([]byte, error) {
+	sh, err := c.route(key)
+	if err != nil {
+		return nil, err
+	}
+	v, err := sh.backend.Get(key)
+	if err = c.observe(sh, err); err == nil {
+		sh.gets.Add(1)
+	}
+	return v, err
+}
+
+// Delete removes key from the owning shard.
+func (c *Client) Delete(key string) error {
+	sh, err := c.route(key)
+	if err != nil {
+		return err
+	}
+	err = sh.backend.Delete(key)
+	if err = c.observe(sh, err); err == nil {
+		sh.deletes.Add(1)
+	}
+	return err
+}
+
+// route picks the owning shard and consults its breaker.
+func (c *Client) route(key string) (*shardState, error) {
+	if c.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	sh := c.shards[c.ring.Lookup(key)]
+	if sh == nil {
+		return nil, ErrNoShards
+	}
+	if err := sh.admit(); err != nil {
+		sh.errors.Add(1)
+		return nil, err
+	}
+	return sh, nil
+}
+
+// admit lets an operation through unless the shard's breaker is open.
+func (s *shardState) admit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.down {
+		return nil
+	}
+	if s.probing || time.Now().Before(s.retryAt) {
+		return &ShardError{Shard: s.name, Err: ErrShardDown}
+	}
+	s.probing = true // this op is the probe
+	return nil
+}
+
+// observe feeds an operation result back into the shard's breaker and
+// wraps shard-level failures in a ShardError. Data-level errors (e.g.
+// not-found, integrity) pass through unchanged and prove liveness.
+func (c *Client) observe(s *shardState, err error) error {
+	fatal := err != nil && c.opts.IsShardFailure(err)
+	s.mu.Lock()
+	if fatal {
+		s.probing = false
+		s.failures++
+		s.down = true
+		backoff := c.opts.RetryBackoff << uint(min(s.failures-1, 16))
+		if backoff > c.opts.MaxBackoff || backoff <= 0 {
+			backoff = c.opts.MaxBackoff
+		}
+		s.retryAt = time.Now().Add(backoff)
+	} else {
+		s.down = false
+		s.failures = 0
+		s.probing = false
+	}
+	s.mu.Unlock()
+	if err != nil {
+		s.errors.Add(1)
+		if fatal {
+			return &ShardError{Shard: s.name, Err: err}
+		}
+	}
+	return err
+}
+
+// Degraded returns the names of shards whose breaker is currently open,
+// sorted. An empty slice means every shard is believed healthy.
+func (c *Client) Degraded() []string {
+	var out []string
+	for name, sh := range c.shards {
+		sh.mu.Lock()
+		down := sh.down
+		sh.mu.Unlock()
+		if down {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Healthy reports whether no shard is marked down.
+func (c *Client) Healthy() bool { return len(c.Degraded()) == 0 }
+
+// ShardStats is one shard's activity and health snapshot.
+type ShardStats struct {
+	Name                string
+	Puts, Gets, Deletes uint64
+	Errors              uint64
+	Down                bool
+	ConsecutiveFailures int
+	// Ownership is the shard's share of the hash space: its expected
+	// fraction of keys under a uniform distribution.
+	Ownership float64
+}
+
+// Stats aggregates cluster activity.
+type Stats struct {
+	Shards              []ShardStats // sorted by name
+	Puts, Gets, Deletes uint64
+	Errors              uint64
+}
+
+// Stats snapshots per-shard counters, health and ring ownership.
+func (c *Client) Stats() Stats {
+	own := c.ring.OwnershipFractions()
+	st := Stats{Shards: make([]ShardStats, 0, len(c.shards))}
+	for _, name := range c.ring.Shards() {
+		sh := c.shards[name]
+		sh.mu.Lock()
+		ss := ShardStats{
+			Name:                name,
+			Puts:                sh.puts.Load(),
+			Gets:                sh.gets.Load(),
+			Deletes:             sh.deletes.Load(),
+			Errors:              sh.errors.Load(),
+			Down:                sh.down,
+			ConsecutiveFailures: sh.failures,
+			Ownership:           own[name],
+		}
+		sh.mu.Unlock()
+		st.Shards = append(st.Shards, ss)
+		st.Puts += ss.Puts
+		st.Gets += ss.Gets
+		st.Deletes += ss.Deletes
+		st.Errors += ss.Errors
+	}
+	return st
+}
+
+// Close closes every shard backend. Safe to call twice.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	var firstErr error
+	for _, name := range c.ring.Shards() {
+		if err := c.shards[name].backend.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

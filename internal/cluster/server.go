@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Server-side helpers. Precursor shards are ordinary single-node servers
+// — routing lives entirely in the client — so the server side of the
+// cluster subsystem is bookkeeping: naming shards consistently and
+// parsing the -shard i/n flag that cmd/precursor-server and
+// cmd/precursor-cluster share.
+
+// ShardID identifies one member of an N-shard deployment, as given to
+// precursor-server's -shard i/n flag. Index is zero-based.
+type ShardID struct {
+	Index int
+	Count int
+}
+
+// ParseShardID parses "i/n" (e.g. "2/4", zero-based index).
+func ParseShardID(s string) (ShardID, error) {
+	idx, cnt, ok := strings.Cut(s, "/")
+	if !ok {
+		return ShardID{}, fmt.Errorf("precursor/cluster: shard %q: want i/n", s)
+	}
+	i, err1 := strconv.Atoi(strings.TrimSpace(idx))
+	n, err2 := strconv.Atoi(strings.TrimSpace(cnt))
+	if err1 != nil || err2 != nil {
+		return ShardID{}, fmt.Errorf("precursor/cluster: shard %q: want integers i/n", s)
+	}
+	id := ShardID{Index: i, Count: n}
+	return id, id.Validate()
+}
+
+// Validate checks 0 <= Index < Count.
+func (id ShardID) Validate() error {
+	if id.Count <= 0 || id.Index < 0 || id.Index >= id.Count {
+		return fmt.Errorf("precursor/cluster: shard %d/%d out of range", id.Index, id.Count)
+	}
+	return nil
+}
+
+// String renders the flag form "i/n".
+func (id ShardID) String() string { return fmt.Sprintf("%d/%d", id.Index, id.Count) }
+
+// ShardNames returns the canonical names for an n-shard deployment:
+// "shard-0" … "shard-n-1". Deployments that know their members only by
+// address may use addresses as names instead; what matters is that every
+// client uses the same set.
+func ShardNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = "shard-" + strconv.Itoa(i)
+	}
+	return names
+}

@@ -341,11 +341,41 @@ func (c *Client) roundTrip(req *wire.Request, ctl *wire.RequestControl) (*wire.R
 	}
 }
 
-// Stats returns client-side operation counters.
-func (c *Client) Stats() (puts, gets, deletes, integrityFailures uint64) {
+// ClientStats is a snapshot of a client's operation counters, in struct
+// form so aggregators (pools, the cluster client) don't juggle positional
+// returns.
+type ClientStats struct {
+	Puts, Gets, Deletes uint64
+	// IntegrityFailures counts Get responses whose payload MAC did not
+	// verify — the client-side tamper-evidence check (Algorithm 1).
+	IntegrityFailures uint64
+}
+
+// Add accumulates other into s, for cross-connection aggregation.
+func (s *ClientStats) Add(other ClientStats) {
+	s.Puts += other.Puts
+	s.Gets += other.Gets
+	s.Deletes += other.Deletes
+	s.IntegrityFailures += other.IntegrityFailures
+}
+
+// StatsStruct returns client-side operation counters.
+func (c *Client) StatsStruct() ClientStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.puts, c.gets, c.deletes, c.integrityFailures
+	return ClientStats{
+		Puts: c.puts, Gets: c.gets, Deletes: c.deletes,
+		IntegrityFailures: c.integrityFailures,
+	}
+}
+
+// Stats returns client-side operation counters as positional values.
+//
+// Deprecated: use StatsStruct; this wrapper remains for source
+// compatibility.
+func (c *Client) Stats() (puts, gets, deletes, integrityFailures uint64) {
+	st := c.StatsStruct()
+	return st.Puts, st.Gets, st.Deletes, st.IntegrityFailures
 }
 
 // Close releases the connection and local memory registrations.

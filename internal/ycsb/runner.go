@@ -76,6 +76,14 @@ func Load(s Store, records, valueSize int, seed int64) error {
 	return nil
 }
 
+// RunShared drives a single concurrency-safe store with cfg.Clients
+// closed-loop workers. This is the cluster path: a cluster client whose
+// per-shard backends are connection pools multiplexes all workers, and
+// the store — not the runner — decides which shard each key hits.
+func RunShared(s Store, cfg RunnerConfig) (Report, error) {
+	return Run(func(int) (Store, error) { return s, nil }, cfg)
+}
+
 // Run drives one store per client in a closed loop and aggregates results.
 // The factory is called once per client (a connection each, as in the
 // paper's 50-client setup).

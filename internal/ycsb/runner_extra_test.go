@@ -78,3 +78,31 @@ func TestReportString(t *testing.T) {
 		t.Errorf("report = %q", s)
 	}
 }
+
+// TestRunShared: all client loops drive one shared store (the cluster
+// path) and the aggregate counts add up.
+func TestRunShared(t *testing.T) {
+	shared := newMapStore()
+	if err := Load(shared, 50, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunShared(shared, RunnerConfig{
+		Workload: WorkloadA, Records: 50, ValueSize: 8,
+		Clients: 4, OpsPerClient: 100, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops != 400 {
+		t.Errorf("ops = %d, want 400", rep.Ops)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d", rep.Errors)
+	}
+	if rep.ReadOps+rep.UpdateOps != rep.Ops {
+		t.Errorf("reads+updates = %d+%d != %d", rep.ReadOps, rep.UpdateOps, rep.Ops)
+	}
+	if rep.Clients != 4 {
+		t.Errorf("clients = %d", rep.Clients)
+	}
+}

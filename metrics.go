@@ -17,18 +17,34 @@ type MetricsServer struct {
 	http   *http.Server
 	ln     net.Listener
 
-	mu   sync.Mutex
-	done chan struct{}
+	mu        sync.Mutex
+	cluster   *ClusterClient
+	done      chan struct{}
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // ServeMetrics starts an HTTP listener on addr exposing GET /metrics and
 // GET /healthz for the given store.
 func ServeMetrics(server *Server, addr string) (*MetricsServer, error) {
+	return serveMetrics(server, nil, addr)
+}
+
+// ServeClusterMetrics starts a metrics endpoint for a cluster client:
+// ring placement (per-shard hash-space ownership and a keys-per-shard
+// estimate), per-shard operation counters and shard health, all labeled
+// by shard. Use TrackCluster instead to add the same series to an
+// existing per-server endpoint.
+func ServeClusterMetrics(cluster *ClusterClient, addr string) (*MetricsServer, error) {
+	return serveMetrics(nil, cluster, addr)
+}
+
+func serveMetrics(server *Server, cluster *ClusterClient, addr string) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("metrics listener: %w", err)
 	}
-	m := &MetricsServer{server: server, ln: ln, done: make(chan struct{})}
+	m := &MetricsServer{server: server, cluster: cluster, ln: ln, done: make(chan struct{})}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", m.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -46,23 +62,47 @@ func ServeMetrics(server *Server, addr string) (*MetricsServer, error) {
 // Addr returns the bound address.
 func (m *MetricsServer) Addr() string { return m.ln.Addr().String() }
 
-// Close stops the HTTP listener.
-func (m *MetricsServer) Close() error {
+// TrackCluster adds (or replaces) a cluster client whose ring placement
+// and per-shard health are exported on /metrics alongside any per-server
+// series.
+func (m *MetricsServer) TrackCluster(c *ClusterClient) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	err := m.http.Close()
-	<-m.done
-	return err
+	m.cluster = c
+	m.mu.Unlock()
+}
+
+// Close stops the HTTP listener. Safe to call more than once and from
+// concurrent goroutines; later calls return the first call's error.
+func (m *MetricsServer) Close() error {
+	m.closeOnce.Do(func() {
+		m.closeErr = m.http.Close()
+		<-m.done
+	})
+	return m.closeErr
 }
 
 func (m *MetricsServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	st := m.server.Stats()
 	var b strings.Builder
+	if m.server != nil {
+		m.writeServerMetrics(&b)
+	}
+	m.mu.Lock()
+	cluster := m.cluster
+	m.mu.Unlock()
+	if cluster != nil {
+		writeClusterMetrics(&b, cluster)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+func (m *MetricsServer) writeServerMetrics(b *strings.Builder) {
+	st := m.server.Stats()
 	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
 	}
 	counter("precursor_puts_total", "Completed put operations", st.Puts)
 	counter("precursor_gets_total", "Completed get operations", st.Gets)
@@ -79,7 +119,52 @@ func (m *MetricsServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("precursor_enclave_epc_pages", "Enclave working set in pages", float64(st.Enclave.EPCPages))
 	gauge("precursor_pool_bytes_reserved", "Untrusted payload pool reserved bytes", float64(st.PoolBytesReserved))
 	gauge("precursor_pool_bytes_in_use", "Untrusted payload pool live bytes", float64(st.PoolBytesInUse))
+}
 
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_, _ = w.Write([]byte(b.String()))
+// writeClusterMetrics renders ring-placement and per-shard series for a
+// cluster client, labeled by shard name.
+func writeClusterMetrics(b *strings.Builder, c *ClusterClient) {
+	st := c.Stats()
+	head := func(name, help, typ string) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	head("precursor_cluster_shards", "Cluster membership size", "gauge")
+	fmt.Fprintf(b, "precursor_cluster_shards %d\n", len(st.Shards))
+
+	// Live keys across the cluster (puts minus deletes, an upper bound
+	// under overwrites) scales each shard's ring ownership into a
+	// keys-per-shard estimate.
+	var live int64
+	for _, ss := range st.Shards {
+		live += int64(ss.Puts) - int64(ss.Deletes)
+	}
+	if live < 0 {
+		live = 0
+	}
+
+	perShard := func(name, help, typ string, v func(ClusterShardStats) string) {
+		head(name, help, typ)
+		for _, ss := range st.Shards {
+			fmt.Fprintf(b, "%s{shard=%q} %s\n", name, ss.Name, v(ss))
+		}
+	}
+	perShard("precursor_cluster_shard_up", "1 if the shard's breaker is closed (healthy)", "gauge",
+		func(ss ClusterShardStats) string {
+			if ss.Down {
+				return "0"
+			}
+			return "1"
+		})
+	perShard("precursor_cluster_shard_ownership", "Shard's fraction of the placement ring's hash space", "gauge",
+		func(ss ClusterShardStats) string { return fmt.Sprintf("%g", ss.Ownership) })
+	perShard("precursor_cluster_shard_keys_estimate", "Estimated keys on the shard (ring ownership x live keys written through this client)", "gauge",
+		func(ss ClusterShardStats) string { return fmt.Sprintf("%g", ss.Ownership*float64(live)) })
+	perShard("precursor_cluster_shard_puts_total", "Puts routed to the shard", "counter",
+		func(ss ClusterShardStats) string { return fmt.Sprintf("%d", ss.Puts) })
+	perShard("precursor_cluster_shard_gets_total", "Gets routed to the shard", "counter",
+		func(ss ClusterShardStats) string { return fmt.Sprintf("%d", ss.Gets) })
+	perShard("precursor_cluster_shard_deletes_total", "Deletes routed to the shard", "counter",
+		func(ss ClusterShardStats) string { return fmt.Sprintf("%d", ss.Deletes) })
+	perShard("precursor_cluster_shard_errors_total", "Operations against the shard that failed", "counter",
+		func(ss ClusterShardStats) string { return fmt.Sprintf("%d", ss.Errors) })
 }

@@ -1,9 +1,11 @@
 package precursor_test
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -76,5 +78,130 @@ func TestMetricsEndpoint(t *testing.T) {
 	health.Body.Close()
 	if health.StatusCode != http.StatusOK {
 		t.Errorf("healthz = %d", health.StatusCode)
+	}
+}
+
+// TestMetricsServerDoubleClose: Close is idempotent, including from
+// concurrent goroutines.
+func TestMetricsServerDoubleClose(t *testing.T) {
+	platform, err := precursor.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := precursor.Serve("127.0.0.1:0", precursor.ServerConfig{
+		Platform: platform, Workers: 2, PollInterval: time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	metrics, err := precursor.ServeMetrics(svc.Server, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = metrics.Close()
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("concurrent Close %d: %v", i, err)
+		}
+	}
+	if err := metrics.Close(); err != nil {
+		t.Errorf("Close after Close: %v", err)
+	}
+}
+
+// TestClusterMetricsEndpoint: ring placement, per-shard counters and
+// shard health are exported with shard labels, and a dead shard flips to
+// up=0.
+func TestClusterMetricsEndpoint(t *testing.T) {
+	cs, err := precursor.ServeCluster(2, precursor.ServerConfig{
+		Workers: 1, PollInterval: 50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	cc, err := precursor.DialCluster(cs.Specs(), precursor.ClusterConfig{
+		Timeout: 2 * time.Second, RetryBackoff: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	for i := 0; i < 40; i++ {
+		if err := cc.Put(fmt.Sprintf("mk%03d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	metrics, err := precursor.ServeClusterMetrics(cc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metrics.Close()
+
+	fetch := func() string {
+		t.Helper()
+		resp, err := http.Get("http://" + metrics.Addr() + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	text := fetch()
+	for _, want := range []string{
+		"precursor_cluster_shards 2",
+		"precursor_cluster_shard_up{shard=\"" + cs.Shards[0].Addr() + "\"} 1",
+		"precursor_cluster_shard_up{shard=\"" + cs.Shards[1].Addr() + "\"} 1",
+		"precursor_cluster_shard_ownership{shard=\"" + cs.Shards[0].Addr() + "\"}",
+		"precursor_cluster_shard_keys_estimate",
+		"precursor_cluster_shard_puts_total",
+		"precursor_cluster_shard_errors_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("cluster metrics missing %q\n%s", want, text)
+		}
+	}
+
+	// Kill shard 1 and trip its breaker; the endpoint reports it down.
+	deadAddr := cs.Shards[1].Addr()
+	cs.Shards[1].Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var deadKey string
+		for i := 0; ; i++ {
+			k := fmt.Sprintf("dead%05d", i)
+			if cc.ShardFor(k) == deadAddr {
+				deadKey = k
+				break
+			}
+		}
+		if err := cc.Put(deadKey, []byte("x")); err != nil && len(cc.Degraded()) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never opened for dead shard")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	text = fetch()
+	if want := "precursor_cluster_shard_up{shard=\"" + deadAddr + "\"} 0"; !strings.Contains(text, want) {
+		t.Errorf("metrics missing %q after shard death\n%s", want, text)
 	}
 }

@@ -78,11 +78,14 @@ func (p *Pool) acquire() (*Client, error) {
 	return c, nil
 }
 
-// release returns a connection, handing it to a waiter if any.
+// release returns a connection, handing it to a waiter if any. If the
+// pool was closed while the connection was borrowed, the connection is
+// closed here instead of being re-pooled.
 func (p *Pool) release(c *Client) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
+		_ = c.Close()
 		return
 	}
 	if len(p.waiters) > 0 {
@@ -134,8 +137,9 @@ func (p *Pool) Size() int {
 }
 
 // Close closes every pooled connection. In-flight operations finish
-// first (they hold their connection); waiters are woken with
-// ErrPoolClosed.
+// first: only idle connections are closed here, and a borrowed
+// connection is closed when its operation releases it. Waiters are woken
+// with ErrPoolClosed. Close is idempotent — extra calls return nil.
 func (p *Pool) Close() error {
 	p.mu.Lock()
 	if p.closed {
@@ -145,14 +149,15 @@ func (p *Pool) Close() error {
 	p.closed = true
 	waiters := p.waiters
 	p.waiters = nil
-	all := p.all
+	free := p.free
+	p.free = nil
 	p.mu.Unlock()
 
 	for _, ch := range waiters {
 		close(ch)
 	}
 	var firstErr error
-	for _, c := range all {
+	for _, c := range free {
 		if err := c.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}

@@ -54,6 +54,8 @@ type (
 	ClientConfig = core.ClientConfig
 	// ServerStats is a server activity snapshot.
 	ServerStats = core.ServerStats
+	// ClientStats is a client activity snapshot (see Client.StatsStruct).
+	ClientStats = core.ClientStats
 )
 
 // Re-exported trusted-execution types.
