@@ -66,6 +66,11 @@ type ClusterConfig struct {
 	// again (default 250 ms, doubling up to MaxBackoff).
 	RetryBackoff time.Duration
 	MaxBackoff   time.Duration
+	// ReadRetries is forwarded to each shard connection's DialConfig.
+	ReadRetries int
+	// WrapConn is forwarded to each shard connection's DialConfig (fault
+	// injection, tracing). It sees every connection of every shard.
+	WrapConn func(Conn) Conn
 }
 
 // DialCluster connects to every shard — attesting each enclave
@@ -92,6 +97,8 @@ func DialCluster(shards []ShardSpec, cfg ClusterConfig) (*ClusterClient, error) 
 			PlatformKey: spec.PlatformKey,
 			Measurement: spec.Measurement,
 			Timeout:     cfg.Timeout,
+			ReadRetries: cfg.ReadRetries,
+			WrapConn:    cfg.WrapConn,
 		}, cfg.ConnsPerShard)
 		if err != nil {
 			return fail(fmt.Errorf("shard %s: %w", spec.Addr, err))

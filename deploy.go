@@ -134,6 +134,15 @@ type DialConfig struct {
 	Measurement Measurement
 	// Timeout bounds each operation (default 5 s).
 	Timeout time.Duration
+	// ReadRetries bounds the extra attempts an idempotent read makes
+	// after a transient failure, within Timeout (0 = default, <0 = off).
+	ReadRetries int
+	// WrapConn, when set, interposes on the freshly dialed queue pair
+	// before the attestation handshake — the hook the chaos harness uses
+	// to inject transport faults (internal/faultfab), also usable for
+	// tracing or traffic accounting. Must return a conn that delegates
+	// to its argument.
+	WrapConn func(rdma.Conn) rdma.Conn
 }
 
 // Dial connects to a Serve-d Precursor instance over the TCP fabric,
@@ -147,14 +156,19 @@ func Dial(addr string, cfg DialConfig) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	var wrapped rdma.Conn = conn
+	if cfg.WrapConn != nil {
+		wrapped = cfg.WrapConn(conn)
+	}
 	client, err := core.Connect(core.ClientConfig{
-		Conn: conn, Device: device,
+		Conn: wrapped, Device: device,
 		PlatformKey: cfg.PlatformKey,
 		Measurement: cfg.Measurement,
 		Timeout:     cfg.Timeout,
+		ReadRetries: cfg.ReadRetries,
 	})
 	if err != nil {
-		_ = conn.Close()
+		_ = wrapped.Close()
 		return nil, err
 	}
 	return client, nil

@@ -81,6 +81,14 @@ type Client struct {
 }
 
 // shardState is one shard's connection plus health and counters.
+//
+// The breaker is epoch-based so slow, overlapping operations cannot
+// flap it: admit hands each operation a token stamped with the current
+// epoch, every state transition bumps the epoch, and a result is only
+// allowed to transition the breaker if its token is still current.
+// Without this, an operation admitted while the shard was healthy but
+// completing after it tripped would close (on success) or deepen (on
+// failure) the breaker it knows nothing about.
 type shardState struct {
 	name    string
 	backend Backend
@@ -89,10 +97,17 @@ type shardState struct {
 	errors              atomic.Uint64
 
 	mu       sync.Mutex
+	epoch    uint64 // bumped on every trip/close transition
 	down     bool
 	failures int       // consecutive shard-level failures
 	retryAt  time.Time // next probe admission when down
 	probing  bool      // a probe op is in flight
+}
+
+// admitToken records the breaker state an operation was admitted under.
+type admitToken struct {
+	epoch uint64
+	probe bool // this op is the single half-open probe
 }
 
 // New builds a cluster client over the given shards.
@@ -121,12 +136,12 @@ func (c *Client) ShardFor(key string) string { return c.ring.Lookup(key) }
 
 // Put stores value under key on the owning shard.
 func (c *Client) Put(key string, value []byte) error {
-	sh, err := c.route(key)
+	sh, tok, err := c.route(key)
 	if err != nil {
 		return err
 	}
 	err = sh.backend.Put(key, value)
-	if err = c.observe(sh, err); err == nil {
+	if err = c.observe(sh, tok, err); err == nil {
 		sh.puts.Add(1)
 	}
 	return err
@@ -134,12 +149,12 @@ func (c *Client) Put(key string, value []byte) error {
 
 // Get fetches and verifies the value for key from the owning shard.
 func (c *Client) Get(key string) ([]byte, error) {
-	sh, err := c.route(key)
+	sh, tok, err := c.route(key)
 	if err != nil {
 		return nil, err
 	}
 	v, err := sh.backend.Get(key)
-	if err = c.observe(sh, err); err == nil {
+	if err = c.observe(sh, tok, err); err == nil {
 		sh.gets.Add(1)
 	}
 	return v, err
@@ -147,66 +162,83 @@ func (c *Client) Get(key string) ([]byte, error) {
 
 // Delete removes key from the owning shard.
 func (c *Client) Delete(key string) error {
-	sh, err := c.route(key)
+	sh, tok, err := c.route(key)
 	if err != nil {
 		return err
 	}
 	err = sh.backend.Delete(key)
-	if err = c.observe(sh, err); err == nil {
+	if err = c.observe(sh, tok, err); err == nil {
 		sh.deletes.Add(1)
 	}
 	return err
 }
 
 // route picks the owning shard and consults its breaker.
-func (c *Client) route(key string) (*shardState, error) {
+func (c *Client) route(key string) (*shardState, admitToken, error) {
 	if c.closed.Load() {
-		return nil, ErrClientClosed
+		return nil, admitToken{}, ErrClientClosed
 	}
 	sh := c.shards[c.ring.Lookup(key)]
 	if sh == nil {
-		return nil, ErrNoShards
+		return nil, admitToken{}, ErrNoShards
 	}
-	if err := sh.admit(); err != nil {
+	tok, err := sh.admit()
+	if err != nil {
 		sh.errors.Add(1)
-		return nil, err
+		return nil, admitToken{}, err
 	}
-	return sh, nil
+	return sh, tok, nil
 }
 
-// admit lets an operation through unless the shard's breaker is open.
-func (s *shardState) admit() error {
+// admit lets an operation through unless the shard's breaker is open,
+// stamping it with the breaker epoch it was admitted under.
+func (s *shardState) admit() (admitToken, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.down {
-		return nil
+		return admitToken{epoch: s.epoch}, nil
 	}
 	if s.probing || time.Now().Before(s.retryAt) {
-		return &ShardError{Shard: s.name, Err: ErrShardDown}
+		return admitToken{}, &ShardError{Shard: s.name, Err: ErrShardDown}
 	}
-	s.probing = true // this op is the probe
-	return nil
+	s.probing = true // this op is the single half-open probe
+	return admitToken{epoch: s.epoch, probe: true}, nil
 }
 
 // observe feeds an operation result back into the shard's breaker and
 // wraps shard-level failures in a ShardError. Data-level errors (e.g.
 // not-found, integrity) pass through unchanged and prove liveness.
-func (c *Client) observe(s *shardState, err error) error {
+//
+// Only results whose token epoch is still current may transition the
+// breaker, and only a probe's success may close it — a success that was
+// admitted before the trip proves nothing about the shard now.
+func (c *Client) observe(s *shardState, tok admitToken, err error) error {
 	fatal := err != nil && c.opts.IsShardFailure(err)
 	s.mu.Lock()
-	if fatal {
+	current := tok.epoch == s.epoch
+	switch {
+	case fatal && current:
+		// Trip (or deepen, if this was the failed probe).
+		s.epoch++
+		s.down = true
 		s.probing = false
 		s.failures++
-		s.down = true
 		backoff := c.opts.RetryBackoff << uint(min(s.failures-1, 16))
 		if backoff > c.opts.MaxBackoff || backoff <= 0 {
 			backoff = c.opts.MaxBackoff
 		}
 		s.retryAt = time.Now().Add(backoff)
-	} else {
+	case !fatal && current && s.down && tok.probe:
+		// The probe came back healthy: close and reset the backoff.
+		s.epoch++
 		s.down = false
-		s.failures = 0
 		s.probing = false
+		s.failures = 0
+	case !fatal && current && !s.down:
+		// Routine success on a closed breaker: nothing to transition.
+	default:
+		// Stale token (the breaker moved on while this op was in
+		// flight): the result must not flap state it predates.
 	}
 	s.mu.Unlock()
 	if err != nil {

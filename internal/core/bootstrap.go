@@ -47,6 +47,10 @@ type welcomeMsg struct {
 
 const bootstrapBufSize = 4096
 
+// bootstrapTimeout bounds the server's wait for a client's hello; a
+// client that dials and never speaks must not pin a handler goroutine.
+const bootstrapTimeout = 10 * time.Second
+
 // sendMsg marshals and SENDs one bootstrap message.
 func sendMsg(conn rdma.Conn, wrID uint64, v any) error {
 	buf, err := json.Marshal(v)
@@ -62,11 +66,16 @@ func sendMsg(conn rdma.Conn, wrID uint64, v any) error {
 	return nil
 }
 
-// recvMsg blocks polling the receive CQ for one bootstrap message.
-func recvMsg(conn rdma.Conn, v any) error {
+// recvMsg polls the receive CQ for one bootstrap message until the
+// deadline: a lost bootstrap frame must surface as a typed ErrTimeout,
+// never a goroutine parked forever on a half-open connection.
+func recvMsg(conn rdma.Conn, v any, deadline time.Time) error {
 	for {
 		comps := conn.PollRecv(1)
 		if len(comps) == 0 {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("%w: bootstrap", ErrTimeout)
+			}
 			time.Sleep(10 * time.Microsecond)
 			continue
 		}

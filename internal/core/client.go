@@ -3,7 +3,9 @@ package core
 import (
 	"crypto/ecdsa"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"math/rand/v2"
 	"sync"
 	"time"
 
@@ -28,8 +30,21 @@ type ClientConfig struct {
 	// mirror the server's request ring).
 	RespSlots    int
 	RespSlotSize int
-	// Timeout bounds each operation's wait for a response.
+	// Timeout is the per-operation deadline: it covers the whole
+	// operation — waiting for ring credit, the response poll loop, and
+	// (for reads) every retry attempt — so retried sends never stretch
+	// an operation past one Timeout.
 	Timeout time.Duration
+	// ReadRetries bounds the extra attempts an idempotent read (Get)
+	// makes after a transient failure (timeout slice, replay-rejected
+	// oid, malformed response), all within Timeout. Each attempt uses a
+	// fresh oid. 0 means DefaultReadRetries; negative disables retries.
+	// Non-idempotent writes (Put/Delete) are never retried — they fail
+	// with a typed error joined with ErrUnconfirmed instead.
+	ReadRetries int
+	// RetryBase is the base backoff between read retries (default 2ms),
+	// doubled per attempt with ±50% jitter.
+	RetryBase time.Duration
 	// InlineSmallValues sends values below InlineMax inside the control
 	// data for enclave-resident storage (§5.2). The server must have the
 	// mode enabled as well.
@@ -47,6 +62,14 @@ func (c *ClientConfig) withDefaults() ClientConfig {
 	}
 	if out.Timeout <= 0 {
 		out.Timeout = 5 * time.Second
+	}
+	if out.ReadRetries == 0 {
+		out.ReadRetries = DefaultReadRetries
+	} else if out.ReadRetries < 0 {
+		out.ReadRetries = 0
+	}
+	if out.RetryBase <= 0 {
+		out.RetryBase = 2 * time.Millisecond
 	}
 	if out.InlineMax <= 0 {
 		out.InlineMax = DefaultInlineMax
@@ -75,6 +98,10 @@ type Client struct {
 	// Stats.
 	puts, gets, deletes uint64
 	integrityFailures   uint64
+	retries             uint64
+	badFrames           uint64
+	staleFrames         uint64
+	unauthStatuses      uint64
 }
 
 // Connect performs remote attestation against the server enclave, derives
@@ -113,7 +140,7 @@ func Connect(cfg ClientConfig) (*Client, error) {
 		return nil, err
 	}
 	var welcome welcomeMsg
-	if err := recvMsg(c.Conn, &welcome); err != nil {
+	if err := recvMsg(c.Conn, &welcome, time.Now().Add(c.Timeout)); err != nil {
 		return nil, err
 	}
 	if welcome.Error != "" {
@@ -157,6 +184,11 @@ func (c *Client) ID() uint32 { return c.id }
 // Put stores value under key (Algorithm 1): encrypt the value under a
 // fresh one-time key, MAC the ciphertext, and ship the key material to
 // the enclave inside transport-encrypted control data.
+//
+// Put is not idempotent from the protocol's point of view (a retried oid
+// is rejected as a replay), so it is never retried: if the outcome is
+// unknown — the request may or may not have been applied — the error
+// matches both its cause (ErrTimeout or ErrReplay) and ErrUnconfirmed.
 func (c *Client) Put(key string, value []byte) error {
 	if len(key) == 0 || len(key) > wire.MaxKeyLen || len(value) > wire.MaxValueLen {
 		return ErrTooLarge
@@ -166,6 +198,10 @@ func (c *Client) Put(key string, value []byte) error {
 	if c.closed {
 		return ErrClosed
 	}
+	return writeOutcome(c.putOnce(key, value, time.Now().Add(c.cfg.Timeout)))
+}
+
+func (c *Client) putOnce(key string, value []byte, deadline time.Time) error {
 	c.oid++
 	ctl := wire.RequestControl{Op: wire.OpPut, Oid: c.oid, Key: []byte(key)}
 	req := wire.Request{Op: wire.OpPut, ClientID: c.id}
@@ -187,7 +223,7 @@ func (c *Client) Put(key string, value []byte) error {
 		req.PayloadMAC = mac
 	}
 
-	rc, _, err := c.roundTrip(&req, &ctl)
+	rc, _, err := c.roundTrip(&req, &ctl, deadline)
 	if err != nil {
 		return err
 	}
@@ -198,9 +234,28 @@ func (c *Client) Put(key string, value []byte) error {
 	return nil
 }
 
+// writeOutcome types the result of a non-idempotent write: when the
+// error leaves the operation's fate unknown (timed out, or the server
+// saw the oid twice and we cannot tell which copy answered), the caller
+// must be able to select on "maybe applied" — so the cause is joined
+// with ErrUnconfirmed rather than replaced by it.
+func writeOutcome(err error) error {
+	if errors.Is(err, ErrTimeout) || errors.Is(err, ErrReplay) {
+		return fmt.Errorf("%w; %w", err, ErrUnconfirmed)
+	}
+	return err
+}
+
 // Get fetches and verifies the value for key: the server returns the
 // stored ciphertext as-is plus the control data with K_operation; the
 // client recomputes the MAC and decrypts (§3.7, "Query data").
+//
+// Get is idempotent, so transient failures (a timed-out attempt, a
+// replay-rejected oid, a malformed response) are retried with a fresh
+// oid up to ReadRetries times under bounded exponential backoff with
+// jitter — all within the single Timeout deadline. Terminal errors
+// (ErrNotFound, ErrIntegrity, ErrClosed, ErrTooLarge) return
+// immediately.
 func (c *Client) Get(key string) ([]byte, error) {
 	if len(key) == 0 || len(key) > wire.MaxKeyLen {
 		return nil, ErrTooLarge
@@ -210,11 +265,54 @@ func (c *Client) Get(key string) ([]byte, error) {
 	if c.closed {
 		return nil, ErrClosed
 	}
+
+	overall := time.Now().Add(c.cfg.Timeout)
+	attempts := c.cfg.ReadRetries + 1
+	// Slice the budget so early attempts leave room for retries; the last
+	// attempt runs to the overall deadline regardless.
+	slice := c.cfg.Timeout / time.Duration(attempts)
+	if slice <= 0 {
+		slice = c.cfg.Timeout
+	}
+	backoff := c.cfg.RetryBase
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		deadline := time.Now().Add(slice)
+		if a == attempts-1 || deadline.After(overall) {
+			deadline = overall
+		}
+		value, err := c.getOnce(key, deadline)
+		if err == nil || !retryableRead(err) {
+			return value, err
+		}
+		lastErr = err
+		// Bounded exponential backoff with ±50% jitter, capped by what is
+		// left of the operation's budget.
+		sleep := backoff/2 + time.Duration(rand.Int64N(int64(backoff)))
+		if !time.Now().Add(sleep).Before(overall) {
+			break
+		}
+		time.Sleep(sleep)
+		backoff *= 2
+		c.retries++
+	}
+	return nil, lastErr
+}
+
+// retryableRead reports whether an idempotent read may be re-attempted
+// with a fresh oid: yes for timeouts, replay rejections (the server saw
+// a duplicated frame for this oid — a later oid starts clean), and
+// malformed-but-authenticated responses; no for terminal outcomes.
+func retryableRead(err error) bool {
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrReplay) || errors.Is(err, ErrBadResponse)
+}
+
+func (c *Client) getOnce(key string, deadline time.Time) ([]byte, error) {
 	c.oid++
 	ctl := wire.RequestControl{Op: wire.OpGet, Oid: c.oid, Key: []byte(key)}
 	req := wire.Request{Op: wire.OpGet, ClientID: c.id}
 
-	rc, payload, err := c.roundTrip(&req, &ctl)
+	rc, payload, err := c.roundTrip(&req, &ctl, deadline)
 	if err != nil {
 		return nil, err
 	}
@@ -249,7 +347,8 @@ func (c *Client) Get(key string) ([]byte, error) {
 	return value, nil
 }
 
-// Delete removes key from the store.
+// Delete removes key from the store. Like Put it is non-idempotent and
+// never retried; an unknown outcome matches ErrUnconfirmed.
 func (c *Client) Delete(key string) error {
 	if len(key) == 0 || len(key) > wire.MaxKeyLen {
 		return ErrTooLarge
@@ -259,11 +358,15 @@ func (c *Client) Delete(key string) error {
 	if c.closed {
 		return ErrClosed
 	}
+	return writeOutcome(c.deleteOnce(key, time.Now().Add(c.cfg.Timeout)))
+}
+
+func (c *Client) deleteOnce(key string, deadline time.Time) error {
 	c.oid++
 	ctl := wire.RequestControl{Op: wire.OpDelete, Oid: c.oid, Key: []byte(key)}
 	req := wire.Request{Op: wire.OpDelete, ClientID: c.id}
 
-	rc, _, err := c.roundTrip(&req, &ctl)
+	rc, _, err := c.roundTrip(&req, &ctl, deadline)
 	if err != nil {
 		return err
 	}
@@ -275,8 +378,16 @@ func (c *Client) Delete(key string) error {
 }
 
 // roundTrip seals the control data, sends the request, and awaits the
-// authenticated response for the current oid.
-func (c *Client) roundTrip(req *wire.Request, ctl *wire.RequestControl) (*wire.ResponseControl, []byte, error) {
+// authenticated response for the current oid, all under one deadline.
+//
+// Over an untrusted network, frames that fail authentication — a
+// corrupt ring slot, a response whose AEAD open fails, an
+// unauthenticated status frame — cannot be attributed to this (or any)
+// operation: anyone on the path could have forged them. Failing the
+// operation on such a frame would let an attacker cancel requests with
+// garbage, so they are counted and skipped; the operation's fate is
+// decided only by an authenticated response or the deadline.
+func (c *Client) roundTrip(req *wire.Request, ctl *wire.RequestControl, deadline time.Time) (*wire.ResponseControl, []byte, error) {
 	pt, err := ctl.Encode()
 	if err != nil {
 		return nil, nil, err
@@ -292,19 +403,38 @@ func (c *Client) roundTrip(req *wire.Request, ctl *wire.RequestControl) (*wire.R
 	if len(frame) > c.reqWriter.MaxMessage() {
 		return nil, nil, ErrTooLarge
 	}
-	if err := c.reqWriter.Write(frame); err != nil {
-		return nil, nil, fmt.Errorf("%w: %v", ErrClosed, err)
-	}
-	deadline := time.Now().Add(c.cfg.Timeout)
+	// Credit-bounded send: a stalled ring (credits lost or delayed in
+	// flight) must surface as this operation's timeout, not a hang.
 	for {
+		ok, err := c.reqWriter.TryWrite(frame)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrClosed, err)
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, nil, ErrTimeout
+		}
+		time.Sleep(2 * time.Microsecond)
+	}
+	for {
+		if time.Now().After(deadline) {
+			return nil, nil, ErrTimeout
+		}
 		msg, ready, err := c.respReader.Poll()
 		if err != nil {
-			return nil, nil, err
+			if errors.Is(err, ringbuf.ErrCorrupt) {
+				// The reader consumed the mangled slot; the bytes are
+				// unattributable noise.
+				c.badFrames++
+				continue
+			}
+			// Anything else is a failed credit write — the connection is
+			// dead or dying.
+			return nil, nil, fmt.Errorf("%w: %v", ErrClosed, err)
 		}
 		if !ready {
-			if time.Now().After(deadline) {
-				return nil, nil, ErrTimeout
-			}
 			// Sleeping (rather than spinning) lets the runtime park in the
 			// netpoller, which matters on low-core hosts where a busy spin
 			// would starve the TCP fabric's agent goroutines.
@@ -313,25 +443,29 @@ func (c *Client) roundTrip(req *wire.Request, ctl *wire.RequestControl) (*wire.R
 		}
 		resp, err := wire.DecodeResponse(msg)
 		if err != nil {
-			return nil, nil, ErrBadResponse
+			c.badFrames++
+			continue
 		}
 		if len(resp.SealedControl) == 0 {
-			// Unauthenticated server error (auth failure / bad request).
-			return nil, nil, fmt.Errorf("%w: server status %v", ErrAuth, resp.Status)
+			// Unauthenticated status frame (auth failure / bad-request
+			// notice). Advisory at best, forged at worst.
+			c.unauthStatuses++
+			continue
 		}
 		rcPt, err := c.aead.Open(resp.SealedControl, c.ad[:])
 		if err != nil {
-			return nil, nil, fmt.Errorf("%w: response control", ErrAuth)
+			c.badFrames++
+			continue
 		}
 		rc, err := wire.DecodeResponseControl(rcPt)
 		if err != nil {
-			return nil, nil, ErrBadResponse
+			c.badFrames++
+			continue
 		}
 		if rc.Oid != c.oid {
-			// Stale or replayed response; keep waiting for the fresh one.
-			if time.Now().After(deadline) {
-				return nil, nil, ErrTimeout
-			}
+			// Authenticated but stale (a duplicated in-flight response from
+			// an earlier oid); keep waiting for the fresh one.
+			c.staleFrames++
 			continue
 		}
 		if rc.Flags&wire.FlagReplay != 0 {
@@ -349,6 +483,18 @@ type ClientStats struct {
 	// IntegrityFailures counts Get responses whose payload MAC did not
 	// verify — the client-side tamper-evidence check (Algorithm 1).
 	IntegrityFailures uint64
+	// Retries counts read re-attempts after transient failures.
+	Retries uint64
+	// BadFrames counts unattributable response frames skipped by the
+	// poll loop: corrupt ring slots, undecodable responses, and sealed
+	// control data that failed authentication.
+	BadFrames uint64
+	// StaleFrames counts authenticated responses for an oid other than
+	// the one in flight (duplicated or very late deliveries).
+	StaleFrames uint64
+	// UnauthStatuses counts unauthenticated server status frames, which
+	// are never allowed to decide an operation's outcome.
+	UnauthStatuses uint64
 }
 
 // Add accumulates other into s, for cross-connection aggregation.
@@ -357,6 +503,10 @@ func (s *ClientStats) Add(other ClientStats) {
 	s.Gets += other.Gets
 	s.Deletes += other.Deletes
 	s.IntegrityFailures += other.IntegrityFailures
+	s.Retries += other.Retries
+	s.BadFrames += other.BadFrames
+	s.StaleFrames += other.StaleFrames
+	s.UnauthStatuses += other.UnauthStatuses
 }
 
 // StatsStruct returns client-side operation counters.
@@ -366,7 +516,20 @@ func (c *Client) StatsStruct() ClientStats {
 	return ClientStats{
 		Puts: c.puts, Gets: c.gets, Deletes: c.deletes,
 		IntegrityFailures: c.integrityFailures,
+		Retries:           c.retries,
+		BadFrames:         c.badFrames,
+		StaleFrames:       c.staleFrames,
+		UnauthStatuses:    c.unauthStatuses,
 	}
+}
+
+// LastOid returns the most recently issued operation id. Oids are
+// issued strictly monotonically per session — the replay-protection
+// invariant the chaos suite checks after every run.
+func (c *Client) LastOid() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.oid
 }
 
 // Stats returns client-side operation counters as positional values.

@@ -46,6 +46,11 @@ var (
 	ErrTimeout      = errors.New("precursor: request timed out")
 	ErrIntegrity    = errors.New("precursor: payload integrity check failed")
 	ErrBadBootstrap = errors.New("precursor: malformed bootstrap message")
+	// ErrUnconfirmed marks a non-idempotent write whose outcome is
+	// unknown: the request may or may not have been applied. It never
+	// appears alone — it is joined onto the causal error (ErrTimeout or
+	// ErrReplay), so errors.Is works against either.
+	ErrUnconfirmed = errors.New("precursor: write outcome unconfirmed")
 )
 
 // Default geometry. Ring slots hold a full request (header + sealed
@@ -59,6 +64,9 @@ const (
 	// DefaultInlineMax is the control-data size (≈56 B, §5.2) under which
 	// the inline-small-value mode stores values inside the enclave.
 	DefaultInlineMax = 56
+	// DefaultReadRetries is the default number of extra attempts an
+	// idempotent read makes after a transient failure.
+	DefaultReadRetries = 2
 )
 
 // ServerConfig configures a Precursor server instance.

@@ -17,6 +17,10 @@ import (
 	"precursor/internal/wire"
 )
 
+// replyCreditWait bounds how long a shared sender waits for one
+// client's response-ring credit before dropping the reply.
+const replyCreditWait = 20 * time.Millisecond
+
 // entry is the per-key security metadata the enclave's hash table stores:
 // K_operation, the pointer into the untrusted payload pool, and the owner
 // (Fig. 3). In hardened mode the payload MAC is kept here too; in inline
@@ -167,7 +171,7 @@ func (s *Server) HandleConnection(conn rdma.Conn) (uint32, error) {
 		return 0, fmt.Errorf("post bootstrap recv: %w", err)
 	}
 	var hello helloMsg
-	if err := recvMsg(conn, &hello); err != nil {
+	if err := recvMsg(conn, &hello, time.Now().Add(bootstrapTimeout)); err != nil {
 		return 0, err
 	}
 	if hello.RespSlots <= 0 || hello.RespSlotSize <= ringbuf.Overhead {
@@ -363,7 +367,10 @@ func (s *Server) senderLoop() {
 			}
 			// Errors here mean the client vanished or was revoked; the
 			// reply is dropped, which the client observes as a timeout.
-			_ = of.sess.respWriter.Write(of.frame)
+			// The wait for ring credit is bounded: one client whose
+			// response ring never drains must not pin a shared sender
+			// and starve every other session's replies.
+			_ = of.sess.respWriter.WriteDeadline(of.frame, time.Now().Add(replyCreditWait))
 		}
 	}
 }

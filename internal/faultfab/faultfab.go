@@ -1,0 +1,393 @@
+// Package faultfab is a deterministic fault-injection fabric for the
+// client path: it wraps rdma.Conn endpoints and perturbs the verbs
+// traffic flowing through them — message drop, bounded delay (and the
+// reordering it induces), duplication, bit corruption, one-way
+// partitions, and connection resets — under a seeded pseudo-random
+// schedule, so a failing chaos run can be replayed exactly by rerunning
+// with the same seed.
+//
+// The threat model matches the paper's: the network between the client
+// and the server NIC is untrusted (§2.3), so the client protocol must
+// turn every transport misbehaviour into a clean retry or a typed
+// integrity/timeout error — never a wrong answer. The chaos suites in
+// internal/core and internal/cluster drive concurrent workloads through
+// this fabric and check exactly that.
+//
+// # Semantics
+//
+// Faults are drawn per frame (one frame = one Post* call) from the
+// per-direction, per-operation-class probabilities in Config:
+//
+//   - Drop: by default the frame is lost and then redelivered after a
+//     retransmission delay, modelling a reliable-connected QP retrying a
+//     lost packet (delivery is late, never absent). With Config.HardLoss
+//     the frame is lost forever — the RC abstraction is broken, which is
+//     how a one-sided ring-buffer write "disappears" under an active
+//     adversary; the session wedges and the client must observe a
+//     timeout, never fabricate data.
+//   - Delay: the frame is held for a bounded duration and delivered
+//     late; frames behind it pass, so delays double as reordering.
+//   - Dup: the frame is delivered immediately and once more after a
+//     bounded delay — a replayed ring write or bootstrap message.
+//   - Corrupt: one to three bits of the frame payload are flipped before
+//     delivery.
+//   - Reset: the underlying QP is forced into the error state (both ends
+//     observe it), modelling RC retry exhaustion or an adversarial
+//     connection teardown.
+//
+// A one-way Partition(dir) holds every frame in that direction, in
+// order, until Heal(dir) releases them — the ring stays coherent across
+// the outage, so circuit breakers can trip during the partition and
+// recover after it.
+//
+// # Determinism
+//
+// Every wrapped conn draws from its own splitmix64 stream seeded from
+// (Config.Seed, label, direction), so a conn's fault schedule depends
+// only on the seed, its label, and its own frame sequence — not on
+// goroutine interleaving across conns. Give conns stable labels (e.g.
+// "w3-s1" for worker 3, session 1) and a run's schedule is reproducible
+// from the seed alone; the recorded Schedule plus Counts make the drawn
+// schedule inspectable after the fact.
+package faultfab
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"precursor/internal/rdma"
+)
+
+// Direction classifies which way a wrapped endpoint transmits.
+type Direction uint8
+
+// Directions. The names follow the chaos suites' usage: wrap the client
+// end of a queue pair as C2S (its writes carry requests and credits) and
+// the server end as S2C (its writes carry responses and credits).
+const (
+	C2S Direction = iota // client → server
+	S2C                  // server → client
+	numDirections
+)
+
+func (d Direction) String() string {
+	switch d {
+	case C2S:
+		return "c2s"
+	case S2C:
+		return "s2c"
+	}
+	return "dir?"
+}
+
+// OpClass groups verbs so faults can target, say, ring writes but not
+// the bootstrap SENDs.
+type OpClass uint8
+
+// Operation classes.
+const (
+	// ClassWrite covers one-sided WRITE and WRITE_WITH_IMM: ring-buffer
+	// frames and flow-control credit updates.
+	ClassWrite OpClass = iota
+	// ClassSend covers two-sided SENDs: attestation and ring-window
+	// bootstrap messages.
+	ClassSend
+	// ClassRead covers one-sided READs.
+	ClassRead
+	// ClassAtomic covers CAS and FAA.
+	ClassAtomic
+	numClasses
+)
+
+func (c OpClass) String() string {
+	switch c {
+	case ClassWrite:
+		return "write"
+	case ClassSend:
+		return "send"
+	case ClassRead:
+		return "read"
+	case ClassAtomic:
+		return "atomic"
+	}
+	return "class?"
+}
+
+// FaultKind names an injected fault in the recorded schedule.
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	FaultNone FaultKind = iota
+	FaultDrop
+	FaultDelay
+	FaultDup
+	FaultCorrupt
+	FaultReset
+	FaultHold // held by a one-way partition
+	numFaultKinds
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultDrop:
+		return "drop"
+	case FaultDelay:
+		return "delay"
+	case FaultDup:
+		return "dup"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultReset:
+		return "reset"
+	case FaultHold:
+		return "hold"
+	}
+	return "fault?"
+}
+
+// ClassProbs are the per-frame fault probabilities for one operation
+// class in one direction. The probabilities are evaluated cumulatively
+// in field order (Drop, Dup, Corrupt, Delay, Reset), so their sum must
+// not exceed 1.
+type ClassProbs struct {
+	Drop    float64
+	Dup     float64
+	Corrupt float64
+	Delay   float64
+	Reset   float64
+	// MaxDelay bounds injected delays, duplicate redelivery, and the
+	// drop-retransmission penalty (default 5ms).
+	MaxDelay time.Duration
+}
+
+func (p ClassProbs) maxDelay() time.Duration {
+	if p.MaxDelay <= 0 {
+		return 5 * time.Millisecond
+	}
+	return p.MaxDelay
+}
+
+// ClassMap assigns fault probabilities per operation class; classes
+// absent from the map pass traffic through untouched.
+type ClassMap map[OpClass]ClassProbs
+
+// Config parameterizes a fault fabric.
+type Config struct {
+	// Seed roots every conn's pseudo-random fault stream. A failing
+	// chaos run reports its seed; rerunning with the same seed (and the
+	// same conn labels) redraws the identical fault schedule.
+	Seed uint64
+	// HardLoss makes Drop permanent instead of retransmit-late. See the
+	// package comment.
+	HardLoss bool
+	// C2S and S2C configure each direction independently (one-way fault
+	// asymmetry is the point: a lossy response path with a clean request
+	// path, or vice versa).
+	C2S, S2C ClassMap
+}
+
+// Event is one recorded fault decision.
+type Event struct {
+	Label string        // wrapped conn label
+	Dir   Direction     //
+	Class OpClass       //
+	Frame uint64        // per-conn frame sequence number
+	Kind  FaultKind     //
+	Delay time.Duration // for FaultDrop/FaultDelay/FaultDup: the injected lateness
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s/%s %s#%d %s+%v", e.Label, e.Dir, e.Class, e.Frame, e.Kind, e.Delay)
+}
+
+// maxSchedule bounds the retained event log; counts are always exact.
+const maxSchedule = 8192
+
+// Fabric owns the fault configuration, the partition switches, and the
+// recorded schedule for a set of wrapped conns.
+type Fabric struct {
+	cfg Config
+
+	mu          sync.Mutex
+	conns       []*Conn
+	nconns      int
+	partitioned [numDirections]bool
+	events      []Event
+	counts      [numFaultKinds]uint64
+	frames      uint64
+	pending     int // scheduled late deliveries not yet fired
+}
+
+// New creates a fault fabric with the given configuration.
+func New(cfg Config) *Fabric {
+	return &Fabric{cfg: cfg}
+}
+
+// Seed returns the root seed, for failure messages ("-faultseed=N").
+func (f *Fabric) Seed() uint64 { return f.cfg.Seed }
+
+// Wrap interposes the fabric on conn, transmitting in direction dir.
+// label names the conn in the recorded schedule and keys its private
+// fault stream; pass a stable label for reproducible schedules (an
+// empty label is assigned "conn-N" in wrap order).
+func (f *Fabric) Wrap(inner rdma.Conn, dir Direction, label string) *Conn {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.nconns++
+	if label == "" {
+		label = fmt.Sprintf("conn-%d", f.nconns)
+	}
+	probs := f.cfg.C2S
+	if dir == S2C {
+		probs = f.cfg.S2C
+	}
+	c := &Conn{
+		fab:   f,
+		inner: inner,
+		dir:   dir,
+		label: label,
+		probs: probs,
+		rng:   mix(mix(f.cfg.Seed^fnv64(label)) ^ uint64(dir)),
+	}
+	f.conns = append(f.conns, c)
+	return c
+}
+
+// Partition blocks the given direction: every frame transmitted that way
+// is held, in per-conn order, until Heal. One-sided by design — the
+// opposite direction keeps flowing.
+func (f *Fabric) Partition(dir Direction) {
+	f.mu.Lock()
+	f.partitioned[dir] = true
+	f.mu.Unlock()
+}
+
+// Heal reopens the direction and delivers every held frame in order.
+func (f *Fabric) Heal(dir Direction) {
+	f.mu.Lock()
+	f.partitioned[dir] = false
+	conns := append([]*Conn(nil), f.conns...)
+	f.mu.Unlock()
+	for _, c := range conns {
+		if c.dir == dir {
+			c.flushHeld()
+		}
+	}
+}
+
+// Partitioned reports whether the direction is currently blocked.
+func (f *Fabric) Partitioned(dir Direction) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.partitioned[dir]
+}
+
+// Counts returns the number of injected faults by kind name, plus the
+// total frame count under "frames".
+func (f *Fabric) Counts() map[string]uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := map[string]uint64{"frames": f.frames}
+	for k := FaultKind(1); k < numFaultKinds; k++ {
+		out[k.String()] = f.counts[k]
+	}
+	return out
+}
+
+// TotalFaults returns the number of frames that drew any fault.
+func (f *Fabric) TotalFaults() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var n uint64
+	for k := FaultKind(1); k < numFaultKinds; k++ {
+		n += f.counts[k]
+	}
+	return n
+}
+
+// Schedule returns the recorded fault events (the most recent
+// maxSchedule of them), ordered by record time.
+func (f *Fabric) Schedule() []Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Event(nil), f.events...)
+}
+
+// Summary formats the fault counts compactly for failure messages.
+func (f *Fabric) Summary() string {
+	counts := f.Counts()
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := fmt.Sprintf("seed=%d", f.Seed())
+	for _, k := range keys {
+		s += fmt.Sprintf(" %s=%d", k, counts[k])
+	}
+	return s
+}
+
+// Quiesce waits until no late deliveries are outstanding (or the timeout
+// expires), so a test can settle the network before inspecting state.
+// It returns true if the fabric went idle.
+func (f *Fabric) Quiesce(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		f.mu.Lock()
+		idle := f.pending == 0
+		f.mu.Unlock()
+		if idle {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+func (f *Fabric) record(e Event) {
+	f.mu.Lock()
+	f.frames++
+	if e.Kind != FaultNone {
+		f.counts[e.Kind]++
+		if len(f.events) < maxSchedule {
+			f.events = append(f.events, e)
+		}
+	}
+	f.mu.Unlock()
+}
+
+func (f *Fabric) addPending(d int) {
+	f.mu.Lock()
+	f.pending += d
+	f.mu.Unlock()
+}
+
+// splitmix64: tiny, seedable, and stable across platforms — exactly what
+// a replayable schedule needs (math/rand/v2 would work but ties the
+// schedule to its algorithm choices).
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

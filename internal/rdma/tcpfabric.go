@@ -309,6 +309,14 @@ func (q *TCPQP) enterErrorTCP() {
 		})
 	}
 	q.recvQ = nil
+	// Ops still awaiting their ack will never get one: flush them to the
+	// send CQ so initiators observe the failure instead of polling forever.
+	for id, op := range q.awaits {
+		q.sendCQ = append(q.sendCQ, Completion{
+			WRID: op.wrID, Op: op.op, Status: StatusFlushed, Err: ErrQPError,
+		})
+		delete(q.awaits, id)
+	}
 }
 
 // agent is the NIC-agent loop: it reads frames, applies one-sided ops to

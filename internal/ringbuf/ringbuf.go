@@ -180,6 +180,28 @@ func (w *Writer) Write(msg []byte) error {
 	}
 }
 
+// WriteDeadline is Write with an upper bound on the credit wait: it
+// returns ErrRingFull once the deadline passes. Shared senders (the
+// server's reply pool) must use this — a peer whose ring never drains
+// (wedged, vanished, or malicious) returns no credit, and TryWrite
+// alone never touches the conn, so an unbounded Write would block on a
+// dead ring forever.
+func (w *Writer) WriteDeadline(msg []byte, deadline time.Time) error {
+	for {
+		ok, err := w.TryWrite(msg)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return ErrRingFull
+		}
+		time.Sleep(2 * time.Microsecond)
+	}
+}
+
 // Reader is the polling half of a ring: it lives on the machine whose
 // memory holds the ring.
 type Reader struct {
@@ -246,6 +268,12 @@ func NewReader(cfg ReaderConfig) (*Reader, error) {
 
 // Poll checks the next slot for a complete frame. It returns (msg, true)
 // with a copy of the message when one is ready, consuming the slot.
+//
+// A slot whose framing is provably mangled (impossible length) is also
+// consumed — skipped, its credit returned — and reported as ErrCorrupt:
+// the ring must stay in sync past garbage, or one flipped bit would
+// wedge the session forever. The caller decides what corruption means;
+// the reader only guarantees forward progress.
 func (r *Reader) Poll() ([]byte, bool, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -258,7 +286,8 @@ func (r *Reader) Poll() ([]byte, bool, error) {
 	}
 	msgLen := int(binary.LittleEndian.Uint32(r.hdr[1:5]))
 	if msgLen > r.slotSize-Overhead {
-		return nil, false, fmt.Errorf("%w: length %d", ErrCorrupt, msgLen)
+		err := fmt.Errorf("%w: length %d", ErrCorrupt, msgLen)
+		return nil, false, r.consumeCorruptLocked(slotOff, err)
 	}
 	if r.ring.ByteAt(slotOff+headerLen+msgLen) != EndSign {
 		// Write still in flight.
@@ -266,7 +295,8 @@ func (r *Reader) Poll() ([]byte, bool, error) {
 	}
 	msg := make([]byte, msgLen)
 	if n := r.ring.ReadAt(slotOff+headerLen, msg); n != msgLen {
-		return nil, false, fmt.Errorf("%w: short read", ErrCorrupt)
+		err := fmt.Errorf("%w: short read", ErrCorrupt)
+		return nil, false, r.consumeCorruptLocked(slotOff, err)
 	}
 	// Clear the start sign so the slot reads as free until rewritten.
 	r.ring.SetByte(slotOff, 0)
@@ -279,6 +309,21 @@ func (r *Reader) Poll() ([]byte, bool, error) {
 		}
 	}
 	return msg, true, nil
+}
+
+// consumeCorruptLocked skips past a mangled slot: clear its start sign,
+// advance, and return the slot's credit so the writer does not starve.
+// The framing error is returned (joined with any credit-flush error).
+func (r *Reader) consumeCorruptLocked(slotOff int, cause error) error {
+	r.ring.SetByte(slotOff, 0)
+	r.readIdx++
+	r.consumed++
+	if r.consumed-r.lastFlushed >= r.creditEvery {
+		if err := r.flushCreditsLocked(); err != nil {
+			return errors.Join(cause, err)
+		}
+	}
+	return cause
 }
 
 // FlushCredits pushes the consumed count to the writer immediately.

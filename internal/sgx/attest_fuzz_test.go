@@ -1,0 +1,120 @@
+package sgx
+
+import (
+	"bytes"
+	"testing"
+
+	"precursor/internal/cryptox"
+)
+
+// Native fuzz targets for the attestation/session-setup messages — the
+// first attacker-controlled bytes a Precursor endpoint ever parses.
+// Mirrors internal/wire/fuzz_test.go: no input may panic, and no
+// invalid input may ever yield a successful verification or a session
+// key. Seeds cover the honest handshake so mutation explores the
+// near-valid space; run with -fuzz for exploration.
+
+// fuzzHandshake builds one honest platform/enclave/handshake fixture
+// shared (read-only) across fuzz iterations.
+func fuzzHandshake(f *testing.F) (*Platform, *Enclave, *ClientHandshake, ServerHello, []byte) {
+	f.Helper()
+	platform, err := NewPlatform()
+	if err != nil {
+		f.Fatal(err)
+	}
+	enclave := platform.CreateEnclave([]byte("fuzz-enclave-image"), 4)
+	ch, err := NewClientHandshake()
+	if err != nil {
+		f.Fatal(err)
+	}
+	sh, key, err := enclave.RespondHandshake(ch.Hello())
+	if err != nil {
+		f.Fatal(err)
+	}
+	return platform, enclave, ch, sh, key
+}
+
+func FuzzVerifyQuote(f *testing.F) {
+	platform, enclave, _, sh, _ := fuzzHandshake(f)
+	pub := platform.AttestationPublicKey()
+	expected := enclave.Measurement()
+
+	f.Add(sh.Quote.Measurement[:], sh.Quote.ReportData, sh.Quote.Signature)
+	f.Add([]byte{}, []byte{}, []byte{})
+	f.Add(expected[:], []byte("report"), []byte("not-asn1"))
+
+	f.Fuzz(func(t *testing.T, meas, report, sig []byte) {
+		var q Quote
+		copy(q.Measurement[:], meas)
+		q.ReportData = report
+		q.Signature = sig
+		err := VerifyQuote(pub, q, expected)
+		if err == nil {
+			// Acceptance must mean exactly this: the pinned measurement,
+			// under a signature the platform key really validates.
+			if q.Measurement != expected {
+				t.Fatalf("VerifyQuote accepted measurement %x, pinned %x", q.Measurement, expected)
+			}
+			if VerifyQuote(pub, q, expected) != nil {
+				t.Fatal("VerifyQuote not deterministic")
+			}
+		}
+	})
+}
+
+func FuzzClientHandshakeComplete(f *testing.F) {
+	platform, enclave, ch, sh, key := fuzzHandshake(f)
+	pub := platform.AttestationPublicKey()
+	expected := enclave.Measurement()
+
+	f.Add(sh.PublicKey, sh.Quote.Measurement[:], sh.Quote.ReportData, sh.Quote.Signature)
+	f.Add([]byte{}, []byte{}, []byte{}, []byte{})
+	f.Add(sh.PublicKey, expected[:], sh.Quote.ReportData, []byte("forged"))
+
+	f.Fuzz(func(t *testing.T, serverPub, meas, report, sig []byte) {
+		var q Quote
+		copy(q.Measurement[:], meas)
+		q.ReportData = report
+		q.Signature = sig
+		got, err := ch.Complete(pub, ServerHello{PublicKey: serverPub, Quote: q}, expected)
+		if err != nil {
+			return
+		}
+		// A completed handshake is only legal for the enclave's genuine
+		// ephemeral key — anything else is a successful impersonation.
+		if !bytes.Equal(serverPub, sh.PublicKey) {
+			t.Fatalf("Complete accepted forged server key %x", serverPub)
+		}
+		if len(got) != cryptox.SessionKeySize || !bytes.Equal(got, key) {
+			t.Fatalf("Complete derived key %x, honest handshake derived %x", got, key)
+		}
+	})
+}
+
+func FuzzRespondHandshake(f *testing.F) {
+	platform, enclave, ch, _, _ := fuzzHandshake(f)
+	pub := platform.AttestationPublicKey()
+
+	f.Add(ch.Hello().PublicKey, ch.Hello().Nonce)
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0x04, 0xff}, []byte("nonce"))
+
+	f.Fuzz(func(t *testing.T, clientPub, nonce []byte) {
+		sh, key, err := enclave.RespondHandshake(ClientHello{PublicKey: clientPub, Nonce: nonce})
+		if err != nil {
+			return
+		}
+		// The enclave may serve any well-formed client, but whatever it
+		// returns must be a complete, verifiable transcript.
+		if len(key) != cryptox.SessionKeySize {
+			t.Fatalf("session key length %d", len(key))
+		}
+		if verr := VerifyQuote(pub, sh.Quote, enclave.Measurement()); verr != nil {
+			t.Fatalf("enclave produced unverifiable quote: %v", verr)
+		}
+		want := reportData(sh.PublicKey, clientPub, nonce)
+		if !bytes.Equal(sh.Quote.ReportData, want) {
+			t.Fatal("quote does not bind the handshake transcript")
+		}
+	})
+}

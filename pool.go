@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Pool multiplexes operations over several Precursor client connections.
@@ -14,23 +15,48 @@ import (
 // evaluation runs 50 clients. Pool packages that pattern: Get/Put/Delete
 // borrow an idle connection and return it afterwards, so the pool is safe
 // for concurrent use by many goroutines.
+//
+// A pool built with NewPool self-heals: when an operation fails with
+// ErrClosed the dead connection is discarded and a background goroutine
+// redials (with backoff) to restore capacity. While capacity is degraded,
+// acquire waits are bounded — an operation that cannot borrow a
+// connection within the pool's timeout fails with an error wrapping
+// ErrTimeout rather than blocking forever, so a cluster breaker sitting
+// above the pool can trip instead of hanging.
 type Pool struct {
 	mu      sync.Mutex
 	free    []*Client
 	all     []*Client
 	waiters []chan *Client
 	closed  bool
+
+	// redial re-establishes one connection after a dead one is discarded
+	// (nil for NewPoolFromClients: the pool cannot re-dial in-process
+	// fabric clients, so dead connections are simply re-pooled as before).
+	redial func() (*Client, error)
+	// waitTimeout bounds acquire when every connection is busy or dead.
+	waitTimeout time.Duration
 }
 
 // ErrPoolClosed is returned by operations on a closed pool.
 var ErrPoolClosed = errors.New("precursor: pool closed")
+
+// defaultAcquireWait bounds acquire when DialConfig.Timeout is unset.
+const defaultAcquireWait = 5 * time.Second
 
 // NewPool dials size connections with Dial and pools them.
 func NewPool(addr string, cfg DialConfig, size int) (*Pool, error) {
 	if size <= 0 {
 		size = 1
 	}
-	p := &Pool{}
+	wait := cfg.Timeout
+	if wait <= 0 {
+		wait = defaultAcquireWait
+	}
+	p := &Pool{
+		redial:      func() (*Client, error) { return Dial(addr, cfg) },
+		waitTimeout: wait,
+	}
 	for i := 0; i < size; i++ {
 		c, err := Dial(addr, cfg)
 		if err != nil {
@@ -49,13 +75,13 @@ func NewPoolFromClients(clients []*Client) (*Pool, error) {
 	if len(clients) == 0 {
 		return nil, errors.New("precursor: pool needs at least one client")
 	}
-	p := &Pool{}
+	p := &Pool{waitTimeout: defaultAcquireWait}
 	p.free = append(p.free, clients...)
 	p.all = append(p.all, clients...)
 	return p, nil
 }
 
-// acquire borrows a connection, waiting if all are busy.
+// acquire borrows a connection, waiting (bounded) if all are busy.
 func (p *Pool) acquire() (*Client, error) {
 	p.mu.Lock()
 	if p.closed {
@@ -71,11 +97,34 @@ func (p *Pool) acquire() (*Client, error) {
 	ch := make(chan *Client, 1)
 	p.waiters = append(p.waiters, ch)
 	p.mu.Unlock()
-	c, ok := <-ch
-	if !ok || c == nil {
-		return nil, ErrPoolClosed
+
+	timer := time.NewTimer(p.waitTimeout)
+	defer timer.Stop()
+	select {
+	case c, ok := <-ch:
+		if !ok || c == nil {
+			return nil, ErrPoolClosed
+		}
+		return c, nil
+	case <-timer.C:
 	}
-	return c, nil
+
+	// Timed out: retract the waiter entry. A release may hand us a
+	// connection concurrently — if it already did (our entry is gone),
+	// take the connection from the channel and put it back in rotation.
+	p.mu.Lock()
+	for i, w := range p.waiters {
+		if w == ch {
+			p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+			p.mu.Unlock()
+			return nil, fmt.Errorf("precursor: pool acquire: %w", ErrTimeout)
+		}
+	}
+	p.mu.Unlock()
+	if c, ok := <-ch; ok && c != nil {
+		p.release(c)
+	}
+	return nil, fmt.Errorf("precursor: pool acquire: %w", ErrTimeout)
 }
 
 // release returns a connection, handing it to a waiter if any. If the
@@ -99,14 +148,71 @@ func (p *Pool) release(c *Client) {
 	p.mu.Unlock()
 }
 
+// finish returns a connection after an operation: a connection whose
+// operation failed with ErrClosed is dead protocol-wise (its session and
+// oid sequence are gone), so instead of re-pooling it we discard it and
+// redial a replacement in the background.
+func (p *Pool) finish(c *Client, err error) {
+	if err == nil || !errors.Is(err, ErrClosed) || p.redial == nil {
+		p.release(c)
+		return
+	}
+	_ = c.Close()
+	p.mu.Lock()
+	for i, pc := range p.all {
+		if pc == c {
+			p.all = append(p.all[:i], p.all[i+1:]...)
+			break
+		}
+	}
+	stopped := p.closed
+	p.mu.Unlock()
+	if !stopped {
+		go p.redialLoop()
+	}
+}
+
+// redialLoop restores one discarded connection, backing off between
+// attempts, until it succeeds or the pool closes.
+func (p *Pool) redialLoop() {
+	backoff := 50 * time.Millisecond
+	const maxBackoff = 2 * time.Second
+	for {
+		p.mu.Lock()
+		stopped := p.closed
+		p.mu.Unlock()
+		if stopped {
+			return
+		}
+		c, err := p.redial()
+		if err == nil {
+			p.mu.Lock()
+			if p.closed {
+				p.mu.Unlock()
+				_ = c.Close()
+				return
+			}
+			p.all = append(p.all, c)
+			p.mu.Unlock()
+			p.release(c)
+			return
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
 // Put stores value under key using any idle connection.
 func (p *Pool) Put(key string, value []byte) error {
 	c, err := p.acquire()
 	if err != nil {
 		return err
 	}
-	defer p.release(c)
-	return c.Put(key, value)
+	err = c.Put(key, value)
+	p.finish(c, err)
+	return err
 }
 
 // Get fetches and verifies the value for key.
@@ -115,8 +221,9 @@ func (p *Pool) Get(key string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer p.release(c)
-	return c.Get(key)
+	v, err := c.Get(key)
+	p.finish(c, err)
+	return v, err
 }
 
 // Delete removes key.
@@ -125,11 +232,13 @@ func (p *Pool) Delete(key string) error {
 	if err != nil {
 		return err
 	}
-	defer p.release(c)
-	return c.Delete(key)
+	err = c.Delete(key)
+	p.finish(c, err)
+	return err
 }
 
-// Size returns the number of pooled connections.
+// Size returns the number of pooled connections (live ones — dead
+// connections awaiting redial are not counted).
 func (p *Pool) Size() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()

@@ -85,6 +85,9 @@ var (
 	ErrTooLarge  = core.ErrTooLarge
 	ErrTimeout   = core.ErrTimeout
 	ErrIntegrity = core.ErrIntegrity
+	// ErrUnconfirmed joins the causal error of a non-idempotent write
+	// whose outcome is unknown (it may or may not have been applied).
+	ErrUnconfirmed = core.ErrUnconfirmed
 )
 
 // NewPlatform creates an SGX platform with a fresh attestation key.
