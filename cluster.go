@@ -71,6 +71,10 @@ type ClusterConfig struct {
 	// WrapConn is forwarded to each shard connection's DialConfig (fault
 	// injection, tracing). It sees every connection of every shard.
 	WrapConn func(Conn) Conn
+	// Tracer is forwarded to each shard connection's DialConfig: one
+	// SideClient tracer shared by every connection of every shard, so
+	// /metrics shows cluster-wide client-side stage latency.
+	Tracer *Tracer
 }
 
 // DialCluster connects to every shard — attesting each enclave
@@ -99,6 +103,7 @@ func DialCluster(shards []ShardSpec, cfg ClusterConfig) (*ClusterClient, error) 
 			Timeout:     cfg.Timeout,
 			ReadRetries: cfg.ReadRetries,
 			WrapConn:    cfg.WrapConn,
+			Tracer:      cfg.Tracer,
 		}, cfg.ConnsPerShard)
 		if err != nil {
 			return fail(fmt.Errorf("shard %s: %w", spec.Addr, err))

@@ -49,6 +49,9 @@ func main() {
 		workload = flag.String("workload", "B", "YCSB workload: A, B, C or update-mostly")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		jsonPath = flag.String("json", "BENCH_cluster.json", "bench: write datapoints to this JSON file (empty = stdout only)")
+		metrics  = flag.String("metrics", "", "serve: expose Prometheus metrics for the whole cluster on this address")
+		trace    = flag.Bool("trace", false, "serve: record per-stage op timing across all shards (needs -metrics to export)")
+		pprofOn  = flag.Bool("pprof", false, "serve: net/http/pprof under /debug/pprof/ on the metrics address")
 	)
 	flag.Parse()
 	if *serve == *bench {
@@ -58,7 +61,7 @@ func main() {
 	}
 	var err error
 	if *serve {
-		err = runServe(*shards, *workers)
+		err = runServe(*shards, *workers, *metrics, *trace, *pprofOn)
 	} else {
 		err = runBench(benchConfig{
 			shardCounts: *shards, workers: *workers, conns: *conns,
@@ -74,16 +77,42 @@ func main() {
 }
 
 // runServe launches n shards and prints their cluster-shard lines.
-func runServe(shardsFlag string, workers int) error {
+func runServe(shardsFlag string, workers int, metricsAddr string, trace, pprofOn bool) error {
 	n, err := strconv.Atoi(strings.TrimSpace(shardsFlag))
 	if err != nil || n <= 0 {
 		return fmt.Errorf("-serve needs a single positive shard count, got %q", shardsFlag)
 	}
-	cs, err := precursor.ServeCluster(n, precursor.ServerConfig{Workers: workers})
+	cfg := precursor.ServerConfig{Workers: workers}
+	var tracer *precursor.Tracer
+	if trace {
+		// One shared server-side tracer: every shard records into the same
+		// histograms, so /metrics shows cluster-wide stage latency.
+		tracer = precursor.NewTracer(precursor.TracerConfig{
+			Side:    precursor.SideServer,
+			Workers: workers * n,
+		})
+		cfg.Tracer = tracer
+	}
+	cs, err := precursor.ServeCluster(n, cfg)
 	if err != nil {
 		return err
 	}
 	defer cs.Close()
+	if metricsAddr != "" {
+		var opts []precursor.MetricsOption
+		if tracer != nil {
+			opts = append(opts, precursor.WithTracer("server", tracer))
+		}
+		if pprofOn {
+			opts = append(opts, precursor.WithPprof())
+		}
+		ms, err := precursor.ServeClusterMetrics(nil, metricsAddr, opts...)
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+		fmt.Printf("metrics:          http://%s/metrics\n", ms.Addr())
+	}
 	fmt.Printf("precursor-cluster serving %d shards\n", n)
 	for i, spec := range cs.Specs() {
 		pub, err := x509.MarshalPKIXPublicKey(spec.PlatformKey)

@@ -45,15 +45,18 @@ func main() {
 		metrics   = flag.String("metrics", "", "serve Prometheus metrics on this address (e.g. :9090)")
 		stateDir  = flag.String("state-dir", "", "directory for durable state: platform identity, trusted counter, snapshot (empty = ephemeral)")
 		shard     = flag.String("shard", "", "this server's shard position i/n in a client-routed cluster (e.g. 0/4)")
+		trace     = flag.Bool("trace", false, "record per-stage op timing; exported on /metrics and /debug/traces (needs -metrics)")
+		pprofFlag = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the metrics address (needs -metrics)")
+		slowop    = flag.Duration("slowop", 0, "log operations slower than this threshold (implies -trace; 0 = off)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *hardened, *inline, *ownerOnly, *stats, *metrics, *stateDir, *shard); err != nil {
+	if err := run(*addr, *workers, *hardened, *inline, *ownerOnly, *stats, *metrics, *stateDir, *shard, *trace, *pprofFlag, *slowop); err != nil {
 		fmt.Fprintln(os.Stderr, "precursor-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery time.Duration, metricsAddr, stateDir, shard string) error {
+func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery time.Duration, metricsAddr, stateDir, shard string, trace, pprofOn bool, slowop time.Duration) error {
 	var shardID cluster.ShardID
 	if shard != "" {
 		var err error
@@ -65,6 +68,15 @@ func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery 
 		Workers:           workers,
 		HardenedMACs:      hardened,
 		InlineSmallValues: inline,
+	}
+	var tracer *precursor.Tracer
+	if trace || slowop > 0 {
+		tracer = precursor.NewTracer(precursor.TracerConfig{
+			Side:          precursor.SideServer,
+			Workers:       workers,
+			SlowThreshold: slowop,
+		})
+		cfg.Tracer = tracer
 	}
 	var snapshotPath string
 	if stateDir != "" {
@@ -123,12 +135,27 @@ func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery 
 	}
 
 	if metricsAddr != "" {
-		metrics, err := precursor.ServeMetrics(svc.Server, metricsAddr)
+		var opts []precursor.MetricsOption
+		if tracer != nil {
+			opts = append(opts, precursor.WithTracer("server", tracer))
+		}
+		if pprofOn {
+			opts = append(opts, precursor.WithPprof())
+		}
+		metrics, err := precursor.ServeMetrics(svc.Server, metricsAddr, opts...)
 		if err != nil {
 			return err
 		}
 		defer metrics.Close()
 		fmt.Printf("metrics:          http://%s/metrics"+"\n", metrics.Addr())
+		if tracer != nil {
+			fmt.Printf("traces:           http://%s/debug/traces"+"\n", metrics.Addr())
+		}
+		if pprofOn {
+			fmt.Printf("pprof:            http://%s/debug/pprof/"+"\n", metrics.Addr())
+		}
+	} else if tracer != nil || pprofOn {
+		fmt.Fprintln(os.Stderr, "precursor-server: -trace/-pprof/-slowop export requires -metrics (slow-op logging still active)")
 	}
 
 	pub, err := x509.MarshalPKIXPublicKey(cfg.Platform.AttestationPublicKey())

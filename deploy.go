@@ -143,6 +143,10 @@ type DialConfig struct {
 	// tracing or traffic accounting. Must return a conn that delegates
 	// to its argument.
 	WrapConn func(rdma.Conn) rdma.Conn
+	// Tracer, when set, records client-side stage timing for every
+	// operation (see OBSERVABILITY.md). Share one SideClient tracer
+	// across pooled or sharded connections to aggregate their stats.
+	Tracer *Tracer
 }
 
 // Dial connects to a Serve-d Precursor instance over the TCP fabric,
@@ -166,6 +170,7 @@ func Dial(addr string, cfg DialConfig) (*Client, error) {
 		Measurement: cfg.Measurement,
 		Timeout:     cfg.Timeout,
 		ReadRetries: cfg.ReadRetries,
+		Tracer:      cfg.Tracer,
 	})
 	if err != nil {
 		_ = wrapped.Close()

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"precursor/internal/core"
+	"precursor/internal/hist"
 )
 
 // Backend is one shard's key-value connection. *core.Client satisfies it,
@@ -96,6 +97,13 @@ type shardState struct {
 	puts, gets, deletes atomic.Uint64
 	errors              atomic.Uint64
 
+	// lat records whole-operation latency against this shard as seen by
+	// this client (queueing, transport and retries included). latIdx
+	// rotates recordings across the sharded histogram's stripes, since
+	// many goroutines may drive one shard through a pool.
+	lat    *hist.Sharded
+	latIdx atomic.Uint32
+
 	mu       sync.Mutex
 	epoch    uint64 // bumped on every trip/close transition
 	down     bool
@@ -120,7 +128,7 @@ func New(shards []Shard, opts Options) (*Client, error) {
 	states := make(map[string]*shardState, len(shards))
 	for i, s := range shards {
 		names[i] = s.Name
-		states[s.Name] = &shardState{name: s.Name, backend: s.Backend}
+		states[s.Name] = &shardState{name: s.Name, backend: s.Backend, lat: hist.NewSharded(0)}
 	}
 	if len(states) != len(shards) {
 		return nil, errors.New("precursor/cluster: duplicate shard name")
@@ -140,7 +148,9 @@ func (c *Client) Put(key string, value []byte) error {
 	if err != nil {
 		return err
 	}
+	t0 := time.Now()
 	err = sh.backend.Put(key, value)
+	sh.recordLatency(t0)
 	if err = c.observe(sh, tok, err); err == nil {
 		sh.puts.Add(1)
 	}
@@ -153,7 +163,9 @@ func (c *Client) Get(key string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	t0 := time.Now()
 	v, err := sh.backend.Get(key)
+	sh.recordLatency(t0)
 	if err = c.observe(sh, tok, err); err == nil {
 		sh.gets.Add(1)
 	}
@@ -166,11 +178,19 @@ func (c *Client) Delete(key string) error {
 	if err != nil {
 		return err
 	}
+	t0 := time.Now()
 	err = sh.backend.Delete(key)
+	sh.recordLatency(t0)
 	if err = c.observe(sh, tok, err); err == nil {
 		sh.deletes.Add(1)
 	}
 	return err
+}
+
+// recordLatency adds one operation's elapsed time to the shard's
+// latency histogram, striping across histogram shards for concurrency.
+func (s *shardState) recordLatency(start time.Time) {
+	s.lat.Record(int(s.latIdx.Add(1)), time.Since(start))
 }
 
 // route picks the owning shard and consults its breaker.
@@ -279,6 +299,10 @@ type ShardStats struct {
 	// Ownership is the shard's share of the hash space: its expected
 	// fraction of keys under a uniform distribution.
 	Ownership float64
+	// Latency summarizes whole-operation latency against this shard as
+	// seen by this client, retries and transport included (always on —
+	// the recording cost is one clock read and a striped histogram add).
+	Latency hist.Quantiles
 }
 
 // Stats aggregates cluster activity.
@@ -304,6 +328,7 @@ func (c *Client) Stats() Stats {
 			Down:                sh.down,
 			ConsecutiveFailures: sh.failures,
 			Ownership:           own[name],
+			Latency:             sh.lat.Snapshot().Quantiles(),
 		}
 		sh.mu.Unlock()
 		st.Shards = append(st.Shards, ss)

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"precursor/internal/faultfab"
+	"precursor/internal/obs"
 	"precursor/internal/rdma"
 	"precursor/internal/sgx"
 )
@@ -90,6 +91,7 @@ type chaosHarness struct {
 	plat   *sgx.Platform
 	server *Server
 	srvDev *rdma.Device
+	tracer *obs.Tracer // optional client-side tracer wired into every session
 
 	stop    atomic.Bool
 	failMu  sync.Mutex
@@ -167,6 +169,7 @@ func (h *chaosHarness) connect(worker, session int) (*Client, error) {
 		Measurement: h.server.Measurement(),
 		Timeout:     chaosOpTimeout,
 		RetryBase:   500 * time.Microsecond,
+		Tracer:      h.tracer,
 	})
 	if err != nil {
 		cliConn.Close()
@@ -509,6 +512,87 @@ func TestChaosBootstrap(t *testing.T) {
 		t.Fatalf("all 20 bootstrap attempts failed (seed=%d, %s)", h.ffab.Seed(), h.ffab.Summary())
 	}
 	t.Logf("bootstrap: %d/20 handshakes completed under %s", succeeded, h.ffab.Summary())
+}
+
+// TestChaosTracePropagation: traces survive retries and faults. A
+// partitioned read's attempts appear as sibling cli_attempt spans with
+// increasing attempt numbers under ONE trace (never one trace per
+// attempt); a write that fails ErrUnconfirmed marks its trace
+// unconfirmed; and fabric injections that overlap an operation are
+// annotated onto its trace via the OnFault -> NoteFault hook.
+func TestChaosTracePropagation(t *testing.T) {
+	tracer := obs.New(obs.Config{Side: obs.SideClient, Workers: 2, Ring: 64})
+	fcfg := faultfab.Config{Seed: *faultSeed} // deterministic: partition only
+	fcfg.OnFault = func(e faultfab.Event) { tracer.NoteFault(e.String()) }
+	h := newChaosHarness(t, fcfg)
+	h.tracer = tracer
+	h.ffab = faultfab.New(fcfg) // rebuild so OnFault is attached
+	cl, err := h.connect(0, 0)
+	if err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	defer cl.Close()
+
+	if err := cl.Put("tk", []byte("v1")); err != nil {
+		t.Fatalf("put before partition: %v", err)
+	}
+
+	h.ffab.Partition(faultfab.C2S)
+	if err := cl.Put("tk", []byte("v2")); !errors.Is(err, ErrUnconfirmed) {
+		t.Fatalf("put during partition: %v, want ErrUnconfirmed", err)
+	}
+	if _, err := cl.Get("tk"); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("get during partition: %v, want ErrTimeout", err)
+	}
+	h.ffab.Heal(faultfab.C2S)
+
+	recent := tracer.Recent()
+	if len(recent) < 3 {
+		t.Fatalf("expected >=3 traces (clean put, unconfirmed put, retried get), got %d", len(recent))
+	}
+	var unconfirmedPut, retriedGet, annotated bool
+	for _, tr := range recent {
+		if tr.Kind == "put" && tr.Unconfirmed && tr.Err != "" {
+			unconfirmedPut = true
+		}
+		if tr.Kind == "get" && tr.Err != "" {
+			// All retry attempts must be siblings inside this one trace,
+			// numbered from 1 upward.
+			var attempts []int
+			for _, sp := range tr.Spans {
+				if sp.Stage == obs.CliAttempt {
+					attempts = append(attempts, int(sp.Attempt))
+				}
+			}
+			if len(attempts) >= 2 {
+				for i, a := range attempts {
+					if a != i+1 {
+						t.Fatalf("attempt spans not numbered 1..n in one trace: %v", attempts)
+					}
+				}
+				retriedGet = true
+			}
+		}
+		if len(tr.Faults) > 0 {
+			annotated = true
+		}
+	}
+	if !unconfirmedPut {
+		t.Errorf("no put trace marked unconfirmed; traces: %+v", recent)
+	}
+	if !retriedGet {
+		t.Errorf("no get trace with >=2 sibling attempt spans; traces: %+v", recent)
+	}
+	if !annotated {
+		t.Errorf("no trace carries fault annotations despite partition holds")
+	}
+	// Every recorded client stage must be one the glossary names (no
+	// srv_* stages can appear on a client-side tracer).
+	for _, sq := range tracer.Snapshot() {
+		if !strings.HasPrefix(sq.Stage.String(), "cli_") {
+			t.Errorf("client tracer recorded non-client stage %q", sq.Stage)
+		}
+	}
 }
 
 // TestChaosPartitionRecovery cuts the request direction mid-run: ops

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"precursor/internal/cryptox"
+	"precursor/internal/obs"
 	"precursor/internal/rdma"
 	"precursor/internal/ringbuf"
 	"precursor/internal/sgx"
@@ -50,6 +51,13 @@ type ClientConfig struct {
 	// mode enabled as well.
 	InlineSmallValues bool
 	InlineMax         int
+	// Tracer records per-stage latency spans and recent operation traces
+	// (a SideClient obs.Tracer). Nil disables tracing. A Tracer is safe
+	// to share across clients (e.g. every connection of a pool), which
+	// aggregates their stage latencies; Client.StatsStruct then reports
+	// the shared snapshot. Spans never carry keys, values or key
+	// material — see OBSERVABILITY.md.
+	Tracer *obs.Tracer
 }
 
 func (c *ClientConfig) withDefaults() ClientConfig {
@@ -94,6 +102,11 @@ type Client struct {
 	respRing   *rdma.MemoryRegion
 	reqCredit  *rdma.MemoryRegion
 	closed     bool
+
+	// curOp is the in-flight operation's tracing handle (nil when the
+	// tracer is disabled). Guarded by mu like the rest of the op state —
+	// a client runs one operation at a time.
+	curOp *obs.Op
 
 	// Stats.
 	puts, gets, deletes uint64
@@ -198,7 +211,37 @@ func (c *Client) Put(key string, value []byte) error {
 	if c.closed {
 		return ErrClosed
 	}
-	return writeOutcome(c.putOnce(key, value, time.Now().Add(c.cfg.Timeout)))
+	c.beginOp("put")
+	err := writeOutcome(c.putOnce(key, value, time.Now().Add(c.cfg.Timeout)))
+	c.endOp(err)
+	return err
+}
+
+// beginOp starts the in-flight operation's trace (no-op when the tracer
+// is disabled). Called with mu held.
+func (c *Client) beginOp(kind string) {
+	if tr := c.cfg.Tracer; tr != nil {
+		c.curOp = tr.Start(int(c.id), kind)
+		c.curOp.SetClient(c.id)
+	}
+}
+
+// endOp finishes the in-flight trace with the operation's outcome.
+// Called with mu held.
+func (c *Client) endOp(err error) {
+	op := c.curOp
+	if op == nil {
+		return
+	}
+	c.curOp = nil
+	op.SetOid(c.oid)
+	if err != nil {
+		op.SetError(err)
+		if errors.Is(err, ErrUnconfirmed) {
+			op.MarkUnconfirmed()
+		}
+	}
+	op.Finish()
 }
 
 func (c *Client) putOnce(key string, value []byte, deadline time.Time) error {
@@ -210,6 +253,7 @@ func (c *Client) putOnce(key string, value []byte, deadline time.Time) error {
 		ctl.Flags = wire.FlagInlineValue
 		ctl.InlineValue = value
 	} else {
+		t0 := c.curOp.Now()
 		opKey, err := cryptox.NewOperationKey()
 		if err != nil {
 			return err
@@ -221,6 +265,7 @@ func (c *Client) putOnce(key string, value []byte, deadline time.Time) error {
 		ctl.OpKey = opKey[:]
 		req.Payload = payload
 		req.PayloadMAC = mac
+		c.curOp.Span(obs.CliEncrypt, t0)
 	}
 
 	rc, _, err := c.roundTrip(&req, &ctl, deadline)
@@ -265,7 +310,17 @@ func (c *Client) Get(key string) ([]byte, error) {
 	if c.closed {
 		return nil, ErrClosed
 	}
+	c.beginOp("get")
+	value, err := c.getRetry(key)
+	c.endOp(err)
+	return value, err
+}
 
+// getRetry is Get's budget-sliced retry loop. Each attempt records one
+// CliAttempt sibling span (numbered 1..n) under the operation's single
+// trace, so retries are visible as a fan of attempts rather than
+// separate operations.
+func (c *Client) getRetry(key string) ([]byte, error) {
 	overall := time.Now().Add(c.cfg.Timeout)
 	attempts := c.cfg.ReadRetries + 1
 	// Slice the budget so early attempts leave room for retries; the last
@@ -281,7 +336,9 @@ func (c *Client) Get(key string) ([]byte, error) {
 		if a == attempts-1 || deadline.After(overall) {
 			deadline = overall
 		}
+		aStart := c.curOp.Now()
 		value, err := c.getOnce(key, deadline)
+		c.curOp.AttemptSpan(a+1, aStart)
 		if err == nil || !retryableRead(err) {
 			return value, err
 		}
@@ -292,7 +349,9 @@ func (c *Client) Get(key string) ([]byte, error) {
 		if !time.Now().Add(sleep).Before(overall) {
 			break
 		}
+		bStart := c.curOp.Now()
 		time.Sleep(sleep)
+		c.curOp.Span(obs.CliBackoff, bStart)
 		backoff *= 2
 		c.retries++
 	}
@@ -338,11 +397,13 @@ func (c *Client) getOnce(key string, deadline time.Time) ([]byte, error) {
 		ciphertext = payload[:len(payload)-wire.MACSize]
 		mac = payload[len(payload)-wire.MACSize:]
 	}
+	t0 := c.curOp.Now()
 	value, err := cryptox.DecryptPayload(opKey, ciphertext, mac)
 	if err != nil {
 		c.integrityFailures++
 		return nil, fmt.Errorf("%w: %v", ErrIntegrity, err)
 	}
+	c.curOp.Span(obs.CliVerify, t0)
 	c.gets++
 	return value, nil
 }
@@ -358,7 +419,10 @@ func (c *Client) Delete(key string) error {
 	if c.closed {
 		return ErrClosed
 	}
-	return writeOutcome(c.deleteOnce(key, time.Now().Add(c.cfg.Timeout)))
+	c.beginOp("delete")
+	err := writeOutcome(c.deleteOnce(key, time.Now().Add(c.cfg.Timeout)))
+	c.endOp(err)
+	return err
 }
 
 func (c *Client) deleteOnce(key string, deadline time.Time) error {
@@ -388,6 +452,8 @@ func (c *Client) deleteOnce(key string, deadline time.Time) error {
 // garbage, so they are counted and skipped; the operation's fate is
 // decided only by an authenticated response or the deadline.
 func (c *Client) roundTrip(req *wire.Request, ctl *wire.RequestControl, deadline time.Time) (*wire.ResponseControl, []byte, error) {
+	op := c.curOp
+	t := op.Now()
 	pt, err := ctl.Encode()
 	if err != nil {
 		return nil, nil, err
@@ -403,21 +469,32 @@ func (c *Client) roundTrip(req *wire.Request, ctl *wire.RequestControl, deadline
 	if len(frame) > c.reqWriter.MaxMessage() {
 		return nil, nil, ErrTooLarge
 	}
+	t = op.SpanEnd(obs.CliSeal, t)
 	// Credit-bounded send: a stalled ring (credits lost or delayed in
 	// flight) must surface as this operation's timeout, not a hang.
+	// For tracing, the loop splits into credit wait (all the failed
+	// TryWrite spins) and the one successful ring write. The fast path —
+	// first TryWrite succeeds — reuses the seal span's end as both the
+	// (zero-length) credit wait and the write start, so it costs one
+	// clock read; the clock is re-read only on actual credit stalls.
+	waitStart, writeStart := t, t
 	for {
 		ok, err := c.reqWriter.TryWrite(frame)
 		if err != nil {
 			return nil, nil, fmt.Errorf("%w: %v", ErrClosed, err)
 		}
 		if ok {
+			op.SpanAt(obs.CliCreditWait, waitStart, writeStart)
+			t = op.SpanEnd(obs.CliRingWrite, writeStart)
 			break
 		}
 		if time.Now().After(deadline) {
 			return nil, nil, ErrTimeout
 		}
 		time.Sleep(2 * time.Microsecond)
+		writeStart = op.Now()
 	}
+	pollStart := t
 	for {
 		if time.Now().After(deadline) {
 			return nil, nil, ErrTimeout
@@ -468,6 +545,7 @@ func (c *Client) roundTrip(req *wire.Request, ctl *wire.RequestControl, deadline
 			c.staleFrames++
 			continue
 		}
+		op.Span(obs.CliRespWait, pollStart)
 		if rc.Flags&wire.FlagReplay != 0 {
 			return nil, nil, ErrReplay
 		}
@@ -495,9 +573,19 @@ type ClientStats struct {
 	// UnauthStatuses counts unauthenticated server status frames, which
 	// are never allowed to decide an operation's outcome.
 	UnauthStatuses uint64
+	// CreditStalls counts request-ring send attempts that found no
+	// credit — each unit is one spin of the credit-wait loop, so the
+	// counter measures flow-control backpressure.
+	CreditStalls uint64
+	// Stages is the per-stage latency snapshot from this client's
+	// tracer, nil when ClientConfig.Tracer is unset. Add ignores it (a
+	// quantile snapshot cannot be summed): to aggregate stage latencies
+	// across connections, share one Tracer among them instead.
+	Stages []obs.StageQuantiles
 }
 
 // Add accumulates other into s, for cross-connection aggregation.
+// Stages is not summable and is left untouched; see its doc.
 func (s *ClientStats) Add(other ClientStats) {
 	s.Puts += other.Puts
 	s.Gets += other.Gets
@@ -507,9 +595,11 @@ func (s *ClientStats) Add(other ClientStats) {
 	s.BadFrames += other.BadFrames
 	s.StaleFrames += other.StaleFrames
 	s.UnauthStatuses += other.UnauthStatuses
+	s.CreditStalls += other.CreditStalls
 }
 
-// StatsStruct returns client-side operation counters.
+// StatsStruct returns client-side operation counters, plus the tracer's
+// per-stage latency quantiles when tracing is enabled.
 func (c *Client) StatsStruct() ClientStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -520,8 +610,13 @@ func (c *Client) StatsStruct() ClientStats {
 		BadFrames:         c.badFrames,
 		StaleFrames:       c.staleFrames,
 		UnauthStatuses:    c.unauthStatuses,
+		CreditStalls:      c.reqWriter.Stalls(),
+		Stages:            c.cfg.Tracer.Snapshot(),
 	}
 }
+
+// Tracer returns the client's tracer (nil when tracing is disabled).
+func (c *Client) Tracer() *obs.Tracer { return c.cfg.Tracer }
 
 // LastOid returns the most recently issued operation id. Oids are
 // issued strictly monotonically per session — the replay-protection

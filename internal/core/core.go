@@ -30,6 +30,7 @@ import (
 	"log/slog"
 	"time"
 
+	"precursor/internal/obs"
 	"precursor/internal/sgx"
 )
 
@@ -113,6 +114,11 @@ type ServerConfig struct {
 	// durable counter, e.g. sgx.OpenFileCounter — standing in for an
 	// external trusted counter service (§2.1).
 	RollbackCounter sgx.TrustedCounter
+	// Tracer records per-stage latency spans and recent operation traces
+	// (a SideServer obs.Tracer). Nil disables tracing; the hot path then
+	// pays one branch per request. Spans never carry keys, values or key
+	// material — see OBSERVABILITY.md.
+	Tracer *obs.Tracer
 }
 
 func (c *ServerConfig) withDefaults() ServerConfig {

@@ -82,6 +82,17 @@ func (s *Server) Seal(w io.Writer) error {
 // sealing key and carry the trusted counter's current value; an older
 // counter means the host fed the enclave stale state.
 func (s *Server) Restore(r io.Reader) error {
+	// While state is being replaced the server is not ready for traffic;
+	// /healthz readiness reports 503 until the restore completes. A
+	// server closed mid-restore stays not-ready.
+	s.ready.Store(false)
+	defer func() {
+		select {
+		case <-s.stopCh:
+		default:
+			s.ready.Store(true)
+		}
+	}()
 	return s.enclave.Ecall("restore_state", func() error {
 		magic := make([]byte, len(snapshotMagic))
 		if _, err := io.ReadFull(r, magic); err != nil {

@@ -10,6 +10,7 @@ import (
 
 	"precursor/internal/cryptox"
 	"precursor/internal/hashtable"
+	"precursor/internal/obs"
 	"precursor/internal/rdma"
 	"precursor/internal/ringbuf"
 	"precursor/internal/sgx"
@@ -52,9 +53,13 @@ type session struct {
 // outFrame is a reply handed from a trusted thread to the untrusted
 // sender pool (§3.8: "trusted threads write request replies into an
 // untrusted queue; the worker threads send these messages using RDMA").
+// The tracing op rides along (nil when tracing is off): the sender loop
+// owns the final srv_send span and finishes the trace.
 type outFrame struct {
 	sess  *session
 	frame []byte
+	op    *obs.Op
+	enq   int64 // enqueue timestamp (obs.Now chain); start of the srv_send span
 }
 
 // Server is a Precursor key-value store instance.
@@ -76,6 +81,7 @@ type Server struct {
 	out    chan outFrame
 	stopCh chan struct{}
 	wg     sync.WaitGroup
+	ready  atomic.Bool
 
 	puts, gets, deletes   atomic.Uint64
 	replays, authFailures atomic.Uint64
@@ -144,14 +150,23 @@ func NewServer(device *rdma.Device, cfg ServerConfig) (*Server, error) {
 			s.senderLoop()
 		}()
 	}
+	s.ready.Store(true)
 	return s, nil
 }
+
+// Ready reports whether the server has completed bootstrap and can take
+// traffic: true once NewServer returns, false while a Restore is
+// replacing state and after Close. /healthz readiness keys off this.
+func (s *Server) Ready() bool { return s.ready.Load() }
 
 // Measurement returns the enclave identity clients must expect.
 func (s *Server) Measurement() sgx.Measurement { return s.enclave.Measurement() }
 
 // Enclave exposes the server's enclave for tooling (perf tracing).
 func (s *Server) Enclave() *sgx.Enclave { return s.enclave }
+
+// Tracer returns the server's tracer (nil when tracing is disabled).
+func (s *Server) Tracer() *obs.Tracer { return s.cfg.Tracer }
 
 // SetOwnerOnly enables the simple access-control policy where only the
 // client that wrote a key may read or delete it ("traditional access
@@ -310,6 +325,7 @@ func (s *Server) rebuildWorkersLocked() {
 // no enclave transitions.
 func (s *Server) trustedLoop(worker int) {
 	var scratch *sgx.Region
+	tr := s.cfg.Tracer
 	for {
 		select {
 		case <-s.stopCh:
@@ -321,6 +337,11 @@ func (s *Server) trustedLoop(worker int) {
 		if worker < len(parts) {
 			mine = parts[worker]
 		}
+		// iterStart anchors srv_pickup: the time from the sweep's first
+		// ready frame being found to each frame's handling starting. It
+		// is stamped lazily so idle sweeps — the overwhelming majority
+		// under low load — never touch the clock.
+		var iterStart int64
 		progress := false
 		for _, sess := range mine {
 			if sess.revoked.Load() {
@@ -346,7 +367,17 @@ func (s *Server) trustedLoop(worker int) {
 				scratch.Touch(0, len(msg)%sgx.PageSize+1)
 			}
 			progress = true
-			s.handleRequest(sess, msg)
+			var op *obs.Op
+			var now int64
+			if tr != nil {
+				if iterStart == 0 {
+					iterStart = obs.Now()
+				}
+				op = tr.StartAt(worker, "op", iterStart)
+				op.SetClient(sess.id)
+				now = op.SpanEnd(obs.SrvPickup, iterStart)
+			}
+			s.handleRequest(sess, msg, op, now)
 		}
 		if !progress && s.cfg.PollInterval > 0 {
 			time.Sleep(s.cfg.PollInterval)
@@ -363,6 +394,8 @@ func (s *Server) senderLoop() {
 			return
 		case of := <-s.out:
 			if of.sess.revoked.Load() {
+				of.op.SetError(ErrRevoked)
+				of.op.Finish()
 				continue
 			}
 			// Errors here mean the client vanished or was revoked; the
@@ -370,44 +403,65 @@ func (s *Server) senderLoop() {
 			// The wait for ring credit is bounded: one client whose
 			// response ring never drains must not pin a shared sender
 			// and starve every other session's replies.
-			_ = of.sess.respWriter.WriteDeadline(of.frame, time.Now().Add(replyCreditWait))
+			err := of.sess.respWriter.WriteDeadline(of.frame, time.Now().Add(replyCreditWait))
+			of.op.Span(obs.SrvSend, of.enq)
+			of.op.SetError(err)
+			of.op.Finish()
 		}
 	}
 }
 
 // reply encodes and enqueues a response for the untrusted sender pool.
-func (s *Server) reply(sess *session, status wire.Status, control *wire.ResponseControl, payload []byte) {
+// It takes ownership of op: on the happy path the sender loop finishes
+// the trace after the ring write; on encode/seal failures and shutdown
+// the trace is finished here. now is the caller's last stage-boundary
+// timestamp (0 when op is nil), continuing the chained clock reads.
+func (s *Server) reply(sess *session, status wire.Status, control *wire.ResponseControl, payload []byte, op *obs.Op, now int64) {
 	var sealed []byte
 	if control != nil {
 		pt, err := control.Encode()
 		if err != nil {
+			op.SetError(err)
+			op.Finish()
 			return
 		}
 		sealed, err = sess.aead.Seal(pt, sess.ad[:])
 		if err != nil {
+			op.SetError(err)
+			op.Finish()
 			return
 		}
 		s.cryptoBytes.Add(uint64(len(sealed)))
+		now = op.SpanEnd(obs.SrvReplySeal, now)
 	}
 	resp := wire.Response{Status: status, SealedControl: sealed, Payload: payload}
 	frame, err := resp.Encode(nil)
 	if err != nil {
+		op.SetError(err)
+		op.Finish()
 		return
 	}
 	select {
-	case s.out <- outFrame{sess: sess, frame: frame}:
+	case s.out <- outFrame{sess: sess, frame: frame, op: op, enq: now}:
 	case <-s.stopCh:
+		op.Finish()
 	}
 }
 
 // handleRequest implements Algorithm 2 and the get/delete analogues.
-func (s *Server) handleRequest(sess *session, msg []byte) {
+// op (nil when tracing is off) passes to reply, which owns its finish.
+// now is the srv_pickup span's end (0 when op is nil); each stage's end
+// becomes the next stage's start so the chain costs one clock read per
+// boundary.
+func (s *Server) handleRequest(sess *session, msg []byte, op *obs.Op, now int64) {
 	req, err := wire.DecodeRequest(msg)
 	if err != nil {
 		s.badRequests.Add(1)
-		s.reply(sess, wire.StatusBadRequest, nil, nil)
+		op.SetError(err)
+		s.reply(sess, wire.StatusBadRequest, nil, nil, op, now)
 		return
 	}
+	now = op.SpanEnd(obs.SrvDecode, now)
 	// Only the sealed control segment crosses into the enclave; req.Payload
 	// stays in untrusted memory (Fig. 3, steps 3–4).
 	s.cryptoBytes.Add(uint64(len(req.SealedControl)))
@@ -415,37 +469,58 @@ func (s *Server) handleRequest(sess *session, msg []byte) {
 	if err != nil {
 		s.authFailures.Add(1)
 		s.logEvent("control data failed authentication", slog.Int("client", int(sess.id)))
-		s.reply(sess, wire.StatusAuthFailed, nil, nil)
+		op.SetError(ErrAuth)
+		s.reply(sess, wire.StatusAuthFailed, nil, nil, op, now)
 		return
 	}
 	ctl, err := wire.DecodeRequestControl(pt)
 	if err != nil || ctl.Op != req.Op {
 		s.badRequests.Add(1)
-		s.reply(sess, wire.StatusBadRequest, nil, nil)
+		op.SetError(ErrBadResponse)
+		s.reply(sess, wire.StatusBadRequest, nil, nil, op, now)
 		return
 	}
+	op.SetKind(opKind(ctl.Op))
+	op.SetOid(ctl.Oid)
 	// Replay check (Algorithm 2, lines 4–6): oids must strictly increase.
 	if ctl.Oid <= sess.lastOid {
 		s.replays.Add(1)
 		s.logEvent("replay detected", slog.Int("client", int(sess.id)),
 			slog.Uint64("oid", ctl.Oid), slog.Uint64("lastOid", sess.lastOid))
+		now = op.SpanEnd(obs.SrvVerify, now)
+		op.SetError(ErrReplay)
 		s.reply(sess, wire.StatusReplay,
-			&wire.ResponseControl{Oid: ctl.Oid, Flags: wire.FlagReplay}, nil)
+			&wire.ResponseControl{Oid: ctl.Oid, Flags: wire.FlagReplay}, nil, op, now)
 		return
 	}
 	sess.lastOid = ctl.Oid
+	now = op.SpanEnd(obs.SrvVerify, now)
 
 	switch ctl.Op {
 	case wire.OpPut:
-		s.handlePut(sess, req, ctl)
+		s.handlePut(sess, req, ctl, op, now)
 	case wire.OpGet:
-		s.handleGet(sess, ctl)
+		s.handleGet(sess, ctl, op, now)
 	case wire.OpDelete:
-		s.handleDelete(sess, ctl)
+		s.handleDelete(sess, ctl, op, now)
 	}
 }
 
-func (s *Server) handlePut(sess *session, req *wire.Request, ctl *wire.RequestControl) {
+// opKind maps opcodes to the lowercase trace kinds the client side also
+// uses, so one operation reads uniformly across both tracers.
+func opKind(o wire.Opcode) string {
+	switch o {
+	case wire.OpPut:
+		return "put"
+	case wire.OpGet:
+		return "get"
+	case wire.OpDelete:
+		return "delete"
+	}
+	return "op"
+}
+
+func (s *Server) handlePut(sess *session, req *wire.Request, ctl *wire.RequestControl, op *obs.Op, now int64) {
 	s.puts.Add(1)
 	e := &entry{owner: sess.id}
 
@@ -453,7 +528,8 @@ func (s *Server) handlePut(sess *session, req *wire.Request, ctl *wire.RequestCo
 		// §5.2 optimization: the small value lives inside the enclave.
 		region, err := s.enclave.Alloc(len(ctl.InlineValue))
 		if err != nil {
-			s.reply(sess, wire.StatusServerError, nil, nil)
+			op.SetError(err)
+			s.reply(sess, wire.StatusServerError, nil, nil, op, now)
 			return
 		}
 		copy(region.Data, ctl.InlineValue)
@@ -461,7 +537,8 @@ func (s *Server) handlePut(sess *session, req *wire.Request, ctl *wire.RequestCo
 	} else {
 		if len(ctl.OpKey) != wire.OpKeySize || req.Payload == nil {
 			s.badRequests.Add(1)
-			s.reply(sess, wire.StatusBadRequest, nil, nil)
+			op.SetError(ErrBadResponse)
+			s.reply(sess, wire.StatusBadRequest, nil, nil, op, now)
 			return
 		}
 		copy(e.opKey[:], ctl.OpKey)
@@ -473,12 +550,14 @@ func (s *Server) handlePut(sess *session, req *wire.Request, ctl *wire.RequestCo
 		}
 		ref, err := s.pool.Alloc(stored)
 		if err != nil {
-			s.reply(sess, wire.StatusServerError, nil, nil)
+			op.SetError(err)
+			s.reply(sess, wire.StatusServerError, nil, nil, op, now)
 			return
 		}
 		slot, err := s.pool.Read(ref)
 		if err != nil {
-			s.reply(sess, wire.StatusServerError, nil, nil)
+			op.SetError(err)
+			s.reply(sess, wire.StatusServerError, nil, nil, op, now)
 			return
 		}
 		copy(slot, req.Payload)
@@ -496,10 +575,11 @@ func (s *Server) handlePut(sess *session, req *wire.Request, ctl *wire.RequestCo
 	if existed {
 		s.releaseEntry(old)
 	}
-	s.reply(sess, wire.StatusOK, &wire.ResponseControl{Oid: ctl.Oid}, nil)
+	now = op.SpanEnd(obs.SrvApply, now)
+	s.reply(sess, wire.StatusOK, &wire.ResponseControl{Oid: ctl.Oid}, nil, op, now)
 }
 
-func (s *Server) handleGet(sess *session, ctl *wire.RequestControl) {
+func (s *Server) handleGet(sess *session, ctl *wire.RequestControl, op *obs.Op, now int64) {
 	s.gets.Add(1)
 	e, ok := s.table.Get(string(ctl.Key))
 	if ok && s.isDenied(sess, e) {
@@ -507,8 +587,9 @@ func (s *Server) handleGet(sess *session, ctl *wire.RequestControl) {
 		ok = false
 	}
 	if !ok {
+		now = op.SpanEnd(obs.SrvApply, now)
 		s.reply(sess, wire.StatusNotFound,
-			&wire.ResponseControl{Oid: ctl.Oid, Flags: wire.FlagNotFound}, nil)
+			&wire.ResponseControl{Oid: ctl.Oid, Flags: wire.FlagNotFound}, nil, op, now)
 		return
 	}
 	rc := &wire.ResponseControl{Oid: ctl.Oid}
@@ -522,7 +603,8 @@ func (s *Server) handleGet(sess *session, ctl *wire.RequestControl) {
 		rc.OpKey = e.opKey[:]
 		stored, err := s.pool.Read(e.ref)
 		if err != nil {
-			s.reply(sess, wire.StatusServerError, nil, nil)
+			op.SetError(err)
+			s.reply(sess, wire.StatusServerError, nil, nil, op, now)
 			return
 		}
 		// The encrypted payload is transferred as-is — the server performs
@@ -532,10 +614,11 @@ func (s *Server) handleGet(sess *session, ctl *wire.RequestControl) {
 			rc.PayloadMAC = e.mac[:]
 		}
 	}
-	s.reply(sess, wire.StatusOK, rc, payload)
+	now = op.SpanEnd(obs.SrvApply, now)
+	s.reply(sess, wire.StatusOK, rc, payload, op, now)
 }
 
-func (s *Server) handleDelete(sess *session, ctl *wire.RequestControl) {
+func (s *Server) handleDelete(sess *session, ctl *wire.RequestControl, op *obs.Op, now int64) {
 	s.deletes.Add(1)
 	key := string(ctl.Key)
 	e, ok := s.table.Get(key)
@@ -543,13 +626,15 @@ func (s *Server) handleDelete(sess *session, ctl *wire.RequestControl) {
 		ok = false
 	}
 	if !ok {
+		now = op.SpanEnd(obs.SrvApply, now)
 		s.reply(sess, wire.StatusNotFound,
-			&wire.ResponseControl{Oid: ctl.Oid, Flags: wire.FlagNotFound}, nil)
+			&wire.ResponseControl{Oid: ctl.Oid, Flags: wire.FlagNotFound}, nil, op, now)
 		return
 	}
 	s.table.Delete(key)
 	s.releaseEntry(e)
-	s.reply(sess, wire.StatusOK, &wire.ResponseControl{Oid: ctl.Oid}, nil)
+	now = op.SpanEnd(obs.SrvApply, now)
+	s.reply(sess, wire.StatusOK, &wire.ResponseControl{Oid: ctl.Oid}, nil, op, now)
 }
 
 func (s *Server) isDenied(sess *session, e *entry) bool {
@@ -603,6 +688,7 @@ func (s *Server) Close() {
 		return
 	default:
 	}
+	s.ready.Store(false)
 	close(s.stopCh)
 	s.mu.Unlock()
 	s.wg.Wait()

@@ -189,6 +189,12 @@ type Config struct {
 	// asymmetry is the point: a lossy response path with a clean request
 	// path, or vice versa).
 	C2S, S2C ClassMap
+	// OnFault, when set, is called synchronously for every injected
+	// fault (never for clean frames) — the hook the tracing layer uses
+	// to annotate operation spans with the injections that overlapped
+	// them (e.g. obs.Tracer.NoteFault). It runs on the faulting frame's
+	// delivery goroutine and must be fast and non-blocking.
+	OnFault func(Event)
 }
 
 // Event is one recorded fault decision.
@@ -362,6 +368,9 @@ func (f *Fabric) record(e Event) {
 		}
 	}
 	f.mu.Unlock()
+	if e.Kind != FaultNone && f.cfg.OnFault != nil {
+		f.cfg.OnFault(e)
+	}
 }
 
 func (f *Fabric) addPending(d int) {

@@ -127,6 +127,38 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return time.Duration(h.max)
 }
 
+// Quantiles is a flat snapshot of the histogram's standard quantile set,
+// convenient for metrics export (plain values, no histogram pointer).
+type Quantiles struct {
+	// Count is the number of recorded samples; all other fields are zero
+	// when it is zero.
+	Count uint64
+	// Sum is the total of all samples.
+	Sum time.Duration
+	// Min, Mean and Max summarize the sample range.
+	Min, Mean, Max time.Duration
+	// P50, P95, P99 and P999 are the standard export quantiles.
+	P50, P95, P99, P999 time.Duration
+}
+
+// Quantiles snapshots the standard quantile set in one pass.
+func (h *Histogram) Quantiles() Quantiles {
+	if h.total == 0 {
+		return Quantiles{}
+	}
+	return Quantiles{
+		Count: h.total,
+		Sum:   time.Duration(h.sum),
+		Min:   h.Min(),
+		Mean:  h.Mean(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+	}
+}
+
 // Merge adds other's samples into h.
 func (h *Histogram) Merge(other *Histogram) {
 	for i, c := range other.counts {

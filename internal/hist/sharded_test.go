@@ -1,0 +1,98 @@
+package hist
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestShardedConcurrentRecord hammers one Sharded from many goroutines
+// (run under -race) and checks no samples are lost and quantile snapshots
+// taken mid-flight stay well-formed.
+func TestShardedConcurrentRecord(t *testing.T) {
+	const (
+		workers   = 8
+		perWorker = 5000
+	)
+	s := NewSharded(4) // fewer shards than workers: forces sharing
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s.Record(w, time.Duration(i%1000)*time.Microsecond)
+			}
+		}()
+	}
+	// Concurrent snapshots while recorders run: must not race or corrupt.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			snap := s.Snapshot()
+			if snap.Count() > workers*perWorker {
+				t.Errorf("snapshot count %d exceeds total recorded %d", snap.Count(), workers*perWorker)
+				return
+			}
+			q := snap.Quantiles()
+			if q.P50 > q.P99 || q.P99 > q.Max {
+				t.Errorf("quantiles out of order: %+v", q)
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if got := s.Count(); got != workers*perWorker {
+		t.Fatalf("Count() = %d, want %d", got, workers*perWorker)
+	}
+	snap := s.Snapshot()
+	if snap.Count() != workers*perWorker {
+		t.Fatalf("final snapshot count = %d, want %d", snap.Count(), workers*perWorker)
+	}
+	q := snap.Quantiles()
+	if q.Count != workers*perWorker || q.Max < 990*time.Microsecond {
+		t.Fatalf("unexpected quantiles: %+v", q)
+	}
+}
+
+// TestShardedDefaults checks lazy allocation and the default shard count.
+func TestShardedDefaults(t *testing.T) {
+	s := NewSharded(0)
+	if len(s.shards) != DefaultShards {
+		t.Fatalf("default shards = %d, want %d", len(s.shards), DefaultShards)
+	}
+	if s.Count() != 0 {
+		t.Fatalf("fresh sharded has count %d", s.Count())
+	}
+	if snap := s.Snapshot(); snap.Count() != 0 {
+		t.Fatalf("fresh snapshot has count %d", snap.Count())
+	}
+	s.Record(-3, time.Millisecond) // negative worker index must not panic
+	if s.Count() != 1 {
+		t.Fatalf("count after one record = %d", s.Count())
+	}
+}
+
+// TestQuantilesSnapshot checks the flat Quantiles view against the
+// histogram's own accessors.
+func TestQuantilesSnapshot(t *testing.T) {
+	h := New()
+	if q := h.Quantiles(); q != (Quantiles{}) {
+		t.Fatalf("empty histogram quantiles = %+v, want zero", q)
+	}
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	q := h.Quantiles()
+	if q.Count != 1000 || q.Min != h.Min() || q.Max != h.Max() || q.Mean != h.Mean() {
+		t.Fatalf("quantiles mismatch: %+v", q)
+	}
+	if q.P50 != h.Quantile(0.50) || q.P999 != h.Quantile(0.999) {
+		t.Fatalf("quantile fields mismatch: %+v", q)
+	}
+}

@@ -1,0 +1,34 @@
+package obs
+
+import "testing"
+
+// BenchmarkOpLifecycle measures the full per-op tracing cost: pool get,
+// six spans, finish with histogram recording and ring push.
+func BenchmarkOpLifecycle(b *testing.B) {
+	tr := New(Config{Side: SideServer, Workers: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		op := tr.StartAt(0, "put", Now())
+		t0 := op.Now()
+		op.Span(SrvPickup, t0)
+		t1 := op.Now()
+		op.Span(SrvDecode, t1)
+		t2 := op.Now()
+		op.Span(SrvVerify, t2)
+		t3 := op.Now()
+		op.Span(SrvApply, t3)
+		t4 := op.Now()
+		op.Span(SrvReplySeal, t4)
+		op.SetOid(uint64(i))
+		op.Finish()
+	}
+}
+
+// BenchmarkNowBaseline is the cost of one clock read, for scale.
+func BenchmarkNowBaseline(b *testing.B) {
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink = Now()
+	}
+	_ = sink
+}

@@ -1,0 +1,580 @@
+// Package obs is Precursor's operation-tracing and stage-timing layer:
+// the live counterpart of the bench harness's offline latency breakdowns
+// (Figure 8), threaded through the whole hot path.
+//
+// Both sides of an operation record per-stage spans — the client times
+// its payload cryptography, credit wait, ring write and response wait;
+// the server times frame pickup, enclave verification, table/pool work
+// and the reply path — into a Tracer. A Tracer keeps two things: sharded
+// per-stage histograms (internal/hist) for quantile export on /metrics,
+// and a bounded lock-free ring of recent complete traces for inspection
+// via GET /debug/traces (Chrome trace_event JSON) and the slow-op log.
+//
+// The design constraint is the disabled cost: every recording entry
+// point is a method on a nil-able *Op (or a nil-check on the *Tracer),
+// so a server or client built without a Tracer pays one predictable
+// branch per request and nothing else. The enabled cost is a handful of
+// monotonic clock reads and one pooled allocation per operation.
+//
+// Security note (DESIGN.md §6): spans carry stage names, timestamps,
+// operation ids and fault annotations only — never keys, values, or
+// K_operation material. See OBSERVABILITY.md.
+package obs
+
+import (
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"precursor/internal/hist"
+)
+
+// Stage identifies one timed segment of the operation pipeline. The
+// cli_* stages are recorded by the client, the srv_* stages by the
+// server; OBSERVABILITY.md maps each to its PROTOCOL.md message-flow
+// step.
+type Stage uint8
+
+// Pipeline stages, in rough operation order.
+const (
+	// CliEncrypt is the client-side payload encryption + MAC under the
+	// fresh K_operation (Algorithm 1; Put only).
+	CliEncrypt Stage = iota
+	// CliSeal is control-data encoding plus AEAD sealing under K_session,
+	// and request-frame encoding.
+	CliSeal
+	// CliCreditWait is time spent waiting for request-ring credit before
+	// the frame could be placed.
+	CliCreditWait
+	// CliRingWrite is the successful one-sided write of the request frame
+	// into the server's ring.
+	CliRingWrite
+	// CliRespWait is the response poll loop: from frame sent to the
+	// authenticated response for the in-flight oid.
+	CliRespWait
+	// CliVerify is client-side response payload verification: MAC
+	// recompute + decrypt (Get only).
+	CliVerify
+	// CliBackoff is retry backoff sleep between read attempts.
+	CliBackoff
+	// CliAttempt spans one full attempt of a retried read; sibling
+	// CliAttempt spans under one trace carry increasing Attempt numbers.
+	CliAttempt
+	// CliTotal spans the whole client operation (recorded automatically
+	// on Finish for client-side tracers).
+	CliTotal
+	// SrvPickup is poll-to-pickup: from the trusted thread's poll-loop
+	// iteration start to a complete frame being detected in a ring.
+	SrvPickup
+	// SrvDecode is untrusted request-frame decoding.
+	SrvDecode
+	// SrvVerify is the enclave's control-data handling: AEAD open of the
+	// sealed control segment, control decoding, and the replay check
+	// (Algorithm 2, lines 1–6).
+	SrvVerify
+	// SrvApply is the table and payload-pool work of the operation body:
+	// store_to_untrusted / lookup / delete (Algorithm 2, line 7+).
+	SrvApply
+	// SrvReplySeal is response-control encoding plus AEAD sealing.
+	SrvReplySeal
+	// SrvSend is the reply's untrusted-sender path: from enqueue on the
+	// outgoing channel to the one-sided response-ring write returning
+	// (includes response-ring credit wait).
+	SrvSend
+	// SrvTotal spans the whole server-side handling (recorded
+	// automatically on Finish for server-side tracers).
+	SrvTotal
+	// NumStages is the number of defined stages.
+	NumStages
+)
+
+// stageNames are the wire/export names, stable API for dashboards.
+var stageNames = [NumStages]string{
+	CliEncrypt:    "cli_encrypt",
+	CliSeal:       "cli_seal",
+	CliCreditWait: "cli_credit_wait",
+	CliRingWrite:  "cli_ring_write",
+	CliRespWait:   "cli_resp_wait",
+	CliVerify:     "cli_verify",
+	CliBackoff:    "cli_backoff",
+	CliAttempt:    "cli_attempt",
+	CliTotal:      "cli_total",
+	SrvPickup:     "srv_pickup",
+	SrvDecode:     "srv_decode",
+	SrvVerify:     "srv_verify",
+	SrvApply:      "srv_apply",
+	SrvReplySeal:  "srv_reply_seal",
+	SrvSend:       "srv_send",
+	SrvTotal:      "srv_total",
+}
+
+// String returns the stage's export name.
+func (s Stage) String() string {
+	if s < NumStages {
+		return stageNames[s]
+	}
+	return "stage?"
+}
+
+// Side tells a Tracer which half of the pipeline it instruments (it
+// determines the automatic total stage and labels exports).
+type Side uint8
+
+// Tracer sides.
+const (
+	// SideServer tracers record srv_* stages.
+	SideServer Side = iota
+	// SideClient tracers record cli_* stages.
+	SideClient
+)
+
+// String returns "server" or "client".
+func (s Side) String() string {
+	if s == SideClient {
+		return "client"
+	}
+	return "server"
+}
+
+// totalStage is the side's automatic whole-operation stage.
+func (s Side) totalStage() Stage {
+	if s == SideClient {
+		return CliTotal
+	}
+	return SrvTotal
+}
+
+// timeBase anchors the package's monotonic clock. All span timestamps
+// are nanoseconds since process start: reading the monotonic clock
+// alone (time.Since) costs about half a full time.Now(), and the hot
+// path reads it per stage boundary.
+var timeBase = time.Now()
+
+// Now returns the current time on the tracer's monotonic timebase, in
+// nanoseconds since process start. Callers holding only a *Tracer (not
+// an *Op) use it to stamp span starts before an Op exists.
+func Now() int64 { return int64(time.Since(timeBase)) }
+
+// Span is one timed stage within a trace.
+type Span struct {
+	// Stage names the pipeline segment.
+	Stage Stage
+	// Attempt is the 1-based read-retry attempt number for CliAttempt
+	// (and the stages recorded inside it); 0 when not applicable.
+	Attempt uint8
+	// Start is the span's start time on the monotonic timebase (Now).
+	Start int64
+	// Dur is the span's duration in nanoseconds.
+	Dur int64
+}
+
+// maxSpans bounds the spans kept per operation. A worst-case retried
+// read records ~5 spans per attempt; beyond the bound further spans are
+// still counted into histograms but dropped from the stored trace.
+const maxSpans = 24
+
+// maxFaultNotes bounds the fault annotations stored per trace and the
+// tracer's fault-note ring.
+const maxFaultNotes = 64
+
+// Trace is one finished operation's record: identity, outcome, and the
+// stage spans both for inspection (Recent, /debug/traces) and the
+// slow-op log.
+type Trace struct {
+	// ID is the tracer-unique trace identifier.
+	ID uint64
+	// Kind is the operation kind ("put", "get", "delete", …).
+	Kind string
+	// Client is the server-assigned client id, when known.
+	Client uint32
+	// Oid is the operation id (of the last attempt, for retried reads).
+	Oid uint64
+	// Start and End bound the operation on the monotonic timebase (Now).
+	Start, End int64
+	// Err is the operation's error string, empty on success.
+	Err string
+	// Unconfirmed marks a non-idempotent write whose outcome is unknown
+	// (the ErrUnconfirmed join).
+	Unconfirmed bool
+	// Spans are the recorded stages, in recording order. The side's
+	// total stage is always last.
+	Spans []Span
+	// Faults lists faultfab injections whose record time fell inside
+	// [Start, End] — the annotation that lets a chaos run explain its
+	// own latency tail. Empty outside chaos runs.
+	Faults []string
+}
+
+// Dur returns the trace's total duration.
+func (t *Trace) Dur() time.Duration { return time.Duration(t.End - t.Start) }
+
+// Config parameterizes New.
+type Config struct {
+	// Side selects client or server stage bookkeeping.
+	Side Side
+	// Workers sizes the per-stage histogram sharding (hist.DefaultShards
+	// if <= 0); pass the number of threads that will record.
+	Workers int
+	// Ring bounds the recent-trace ring (default 256).
+	Ring int
+	// SlowThreshold, when > 0, logs the full stage breakdown of every
+	// operation at least this slow.
+	SlowThreshold time.Duration
+	// Logger receives slow-op reports (slog.Default() if nil).
+	Logger *slog.Logger
+}
+
+// Tracer aggregates operation traces for one side of the pipeline. All
+// methods are safe for concurrent use; a nil *Tracer is inert (Start
+// returns a nil *Op whose methods no-op).
+type Tracer struct {
+	side  Side
+	hists [NumStages]*hist.Sharded
+
+	ring    []atomic.Pointer[Trace]
+	ringIdx atomic.Uint64
+
+	ids  atomic.Uint64
+	pool sync.Pool
+
+	slow   atomic.Int64
+	logger *slog.Logger
+
+	faults   [maxFaultNotes]atomic.Pointer[faultNote]
+	faultIdx atomic.Uint64
+	faultN   atomic.Uint64
+}
+
+// faultNote is one recorded fault-injection annotation.
+type faultNote struct {
+	ts   int64
+	desc string
+}
+
+// New creates a Tracer.
+func New(cfg Config) *Tracer {
+	ringSize := cfg.Ring
+	if ringSize <= 0 {
+		ringSize = 256
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	t := &Tracer{
+		side:   cfg.Side,
+		ring:   make([]atomic.Pointer[Trace], ringSize),
+		logger: logger,
+	}
+	t.slow.Store(int64(cfg.SlowThreshold))
+	for s := Stage(0); s < NumStages; s++ {
+		t.hists[s] = hist.NewSharded(cfg.Workers)
+	}
+	t.pool.New = func() any { return new(Op) }
+	return t
+}
+
+// Side returns which pipeline half this tracer instruments.
+func (t *Tracer) Side() Side { return t.side }
+
+// SetSlowThreshold changes the slow-op log threshold (0 disables).
+func (t *Tracer) SetSlowThreshold(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.slow.Store(int64(d))
+}
+
+// Start begins recording one operation handled by the given worker
+// (worker indexes the histogram shards; any non-negative value works).
+// A nil tracer returns a nil *Op, whose methods all no-op.
+func (t *Tracer) Start(worker int, kind string) *Op {
+	return t.StartAt(worker, kind, Now())
+}
+
+// StartAt is Start with an explicit operation start time, for callers
+// that timestamped the pickup before deciding to trace (the server's
+// poll loop).
+func (t *Tracer) StartAt(worker int, kind string, startNanos int64) *Op {
+	if t == nil {
+		return nil
+	}
+	op := t.pool.Get().(*Op)
+	op.tr = t
+	op.worker = worker
+	op.kind = kind
+	op.start = startNanos
+	op.id = t.ids.Add(1)
+	return op
+}
+
+// NoteFault records a fault-injection annotation (from faultfab's
+// OnFault hook): traces finished while the note's timestamp falls in
+// their window pick it up. Safe from any goroutine; nil-tracer no-op.
+func (t *Tracer) NoteFault(desc string) {
+	if t == nil {
+		return
+	}
+	i := t.faultIdx.Add(1) - 1
+	t.faults[i%maxFaultNotes].Store(&faultNote{ts: Now(), desc: desc})
+	t.faultN.Add(1)
+}
+
+// faultsBetween collects fault notes recorded within [from, to].
+func (t *Tracer) faultsBetween(from, to int64) []string {
+	var out []string
+	for i := range t.faults {
+		n := t.faults[i].Load()
+		if n != nil && n.ts >= from && n.ts <= to {
+			out = append(out, n.desc)
+			if len(out) >= 8 {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// push publishes a finished trace into the lock-free recent ring.
+func (t *Tracer) push(tr *Trace) {
+	i := t.ringIdx.Add(1) - 1
+	t.ring[i%uint64(len(t.ring))].Store(tr)
+}
+
+// Recent returns the retained recent traces, oldest first.
+func (t *Tracer) Recent() []Trace {
+	if t == nil {
+		return nil
+	}
+	out := make([]Trace, 0, len(t.ring))
+	// Walk the ring from the oldest retained slot forward so the result
+	// is (approximately, under concurrent pushes) in finish order.
+	next := t.ringIdx.Load()
+	for k := uint64(0); k < uint64(len(t.ring)); k++ {
+		p := t.ring[(next+k)%uint64(len(t.ring))].Load()
+		if p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out
+}
+
+// StageQuantiles is one stage's latency summary, as exported on
+// /metrics and Client.StatsStruct.
+type StageQuantiles struct {
+	// Stage names the pipeline segment.
+	Stage Stage
+	// Quantiles is the stage's latency distribution snapshot.
+	Quantiles hist.Quantiles
+}
+
+// Snapshot returns a quantile summary for every stage that has recorded
+// at least one sample, in pipeline order. Nil-tracer returns nil.
+func (t *Tracer) Snapshot() []StageQuantiles {
+	if t == nil {
+		return nil
+	}
+	var out []StageQuantiles
+	for s := Stage(0); s < NumStages; s++ {
+		if t.hists[s].Count() == 0 {
+			continue
+		}
+		out = append(out, StageQuantiles{Stage: s, Quantiles: t.hists[s].Snapshot().Quantiles()})
+	}
+	return out
+}
+
+// logSlow emits the slow-op report: one line with the breakdown, never
+// any key or payload material.
+func (t *Tracer) logSlow(tr *Trace) {
+	attrs := []any{
+		slog.String("kind", tr.Kind),
+		slog.Uint64("trace", tr.ID),
+		slog.Uint64("oid", tr.Oid),
+		slog.Int("client", int(tr.Client)),
+		slog.Duration("total", tr.Dur()),
+		slog.String("stages", formatSpans(tr.Spans)),
+	}
+	if tr.Err != "" {
+		attrs = append(attrs, slog.String("err", tr.Err))
+	}
+	if tr.Unconfirmed {
+		attrs = append(attrs, slog.Bool("unconfirmed", true))
+	}
+	if len(tr.Faults) > 0 {
+		attrs = append(attrs, slog.Any("faults", tr.Faults))
+	}
+	t.logger.Warn("slow operation", attrs...)
+}
+
+// Op is one in-flight operation's recording handle. All methods are
+// nil-receiver safe — the disabled-tracer hot path is a single branch.
+// An Op is owned by one goroutine at a time (ownership transfers with
+// the operation, e.g. trusted thread → sender loop on the server).
+type Op struct {
+	tr     *Tracer
+	worker int
+	id     uint64
+	kind   string
+	client uint32
+	oid    uint64
+	start  int64
+	err    string
+	unconf bool
+
+	nspans  int
+	dropped bool
+	spans   [maxSpans]Span
+}
+
+// Now returns the current time on the monotonic timebase, or 0 on a
+// nil Op so disabled-tracer paths skip the clock read entirely.
+func (o *Op) Now() int64 {
+	if o == nil {
+		return 0
+	}
+	return Now()
+}
+
+// SetKind overrides the operation kind (the server learns it only after
+// decoding the control data).
+func (o *Op) SetKind(kind string) {
+	if o != nil {
+		o.kind = kind
+	}
+}
+
+// SetClient records the server-assigned client id.
+func (o *Op) SetClient(id uint32) {
+	if o != nil {
+		o.client = id
+	}
+}
+
+// SetOid records the operation id (call per attempt; the last wins).
+func (o *Op) SetOid(oid uint64) {
+	if o != nil {
+		o.oid = oid
+	}
+}
+
+// SetError records the operation's final error.
+func (o *Op) SetError(err error) {
+	if o != nil && err != nil {
+		o.err = err.Error()
+	}
+}
+
+// MarkUnconfirmed flags the trace as an unknown-outcome write.
+func (o *Op) MarkUnconfirmed() {
+	if o != nil {
+		o.unconf = true
+	}
+}
+
+// Span records a stage from start (a value from Now) to the current
+// time.
+func (o *Op) Span(stage Stage, start int64) {
+	if o == nil {
+		return
+	}
+	o.SpanAt(stage, start, Now())
+}
+
+// SpanEnd records a stage from start to now and returns the end
+// timestamp, so back-to-back stages can share one clock read (the
+// previous stage's end is the next one's start). Returns 0 on nil.
+func (o *Op) SpanEnd(stage Stage, start int64) int64 {
+	if o == nil {
+		return 0
+	}
+	end := Now()
+	o.add(Span{Stage: stage, Start: start, Dur: end - start})
+	return end
+}
+
+// SpanAt records a stage with explicit bounds.
+func (o *Op) SpanAt(stage Stage, start, end int64) {
+	if o == nil {
+		return
+	}
+	o.add(Span{Stage: stage, Start: start, Dur: end - start})
+}
+
+// AttemptSpan records one CliAttempt span with its 1-based attempt
+// number.
+func (o *Op) AttemptSpan(attempt int, start int64) {
+	if o == nil {
+		return
+	}
+	a := attempt
+	if a > 255 {
+		a = 255
+	}
+	o.add(Span{Stage: CliAttempt, Attempt: uint8(a), Start: start, Dur: Now() - start})
+}
+
+// add appends a span, dropping (but still histogramming, via Finish's
+// loop over stored spans — dropped spans are recorded immediately
+// instead) past the bound.
+func (o *Op) add(sp Span) {
+	if o.nspans >= maxSpans {
+		// Histogram the overflow sample now; it just won't appear in the
+		// stored trace.
+		o.dropped = true
+		o.tr.hists[sp.Stage].Record(o.worker, time.Duration(sp.Dur))
+		return
+	}
+	o.spans[o.nspans] = sp
+	o.nspans++
+}
+
+// Finish completes the operation: appends the side's total stage,
+// feeds every span into the stage histograms, publishes the trace to
+// the recent ring (with any overlapping fault annotations), emits the
+// slow-op log if over threshold, and recycles the Op. The Op must not
+// be used afterwards.
+func (o *Op) Finish() {
+	if o == nil {
+		return
+	}
+	t := o.tr
+	end := Now()
+	o.add(Span{Stage: t.side.totalStage(), Start: o.start, Dur: end - o.start})
+	for i := 0; i < o.nspans; i++ {
+		sp := &o.spans[i]
+		t.hists[sp.Stage].Record(o.worker, time.Duration(sp.Dur))
+	}
+	// One allocation publishes the trace: the box co-locates the Trace
+	// header with its span storage, and is immutable once pushed.
+	box := &traceBox{}
+	copy(box.spans[:], o.spans[:o.nspans])
+	box.trace = Trace{
+		ID:          o.id,
+		Kind:        o.kind,
+		Client:      o.client,
+		Oid:         o.oid,
+		Start:       o.start,
+		End:         end,
+		Err:         o.err,
+		Unconfirmed: o.unconf,
+		Spans:       box.spans[:o.nspans],
+	}
+	if t.faultN.Load() > 0 {
+		box.trace.Faults = t.faultsBetween(o.start, end)
+	}
+	t.push(&box.trace)
+	if th := t.slow.Load(); th > 0 && end-o.start >= th {
+		t.logSlow(&box.trace)
+	}
+	*o = Op{}
+	t.pool.Put(o)
+}
+
+// traceBox is Finish's single allocation: Trace.Spans points into the
+// inline array, so one object carries the whole published record.
+type traceBox struct {
+	trace Trace
+	spans [maxSpans]Span
+}

@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilTracerAndOpNoop drives every entry point through nil receivers:
+// the disabled configuration must be inert and never panic.
+func TestNilTracerAndOpNoop(t *testing.T) {
+	var tr *Tracer
+	if got := tr.Start(0, "put"); got != nil {
+		t.Fatalf("nil tracer Start returned %v", got)
+	}
+	tr.NoteFault("ignored")
+	tr.SetSlowThreshold(time.Second)
+	if tr.Snapshot() != nil || tr.Recent() != nil {
+		t.Fatal("nil tracer snapshot/recent not nil")
+	}
+	var op *Op
+	if op.Now() != 0 {
+		t.Fatal("nil op Now() != 0")
+	}
+	op.SetKind("x")
+	op.SetClient(1)
+	op.SetOid(2)
+	op.SetError(nil)
+	op.MarkUnconfirmed()
+	op.Span(CliSeal, 0)
+	op.SpanAt(SrvApply, 0, 1)
+	op.AttemptSpan(1, 0)
+	op.Finish()
+}
+
+// TestStageNamesUnique guards the export-name table.
+func TestStageNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for s := Stage(0); s < NumStages; s++ {
+		name := s.String()
+		if name == "" || name == "stage?" {
+			t.Fatalf("stage %d has no name", s)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate stage name %q", name)
+		}
+		seen[name] = true
+	}
+	if Stage(200).String() != "stage?" {
+		t.Fatal("out-of-range stage name")
+	}
+}
+
+// TestOpRecordsSpansAndHistograms checks the main record → finish →
+// snapshot/recent flow.
+func TestOpRecordsSpansAndHistograms(t *testing.T) {
+	tr := New(Config{Side: SideClient, Workers: 2, Ring: 8})
+	op := tr.Start(0, "get")
+	op.SetClient(7)
+	op.SetOid(42)
+	start := op.Now()
+	time.Sleep(time.Millisecond)
+	op.Span(CliSeal, start)
+	op.AttemptSpan(1, start)
+	op.SetError(nil)
+	op.Finish()
+
+	recent := tr.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("recent = %d traces, want 1", len(recent))
+	}
+	got := recent[0]
+	if got.Kind != "get" || got.Client != 7 || got.Oid != 42 {
+		t.Fatalf("trace identity wrong: %+v", got)
+	}
+	if len(got.Spans) != 3 { // cli_seal, cli_attempt, cli_total
+		t.Fatalf("spans = %d, want 3: %v", len(got.Spans), got.Spans)
+	}
+	if last := got.Spans[len(got.Spans)-1]; last.Stage != CliTotal {
+		t.Fatalf("last span = %v, want cli_total", last.Stage)
+	}
+	if got.Spans[1].Attempt != 1 {
+		t.Fatalf("attempt span number = %d", got.Spans[1].Attempt)
+	}
+	if got.Dur() < time.Millisecond {
+		t.Fatalf("total duration %v too short", got.Dur())
+	}
+
+	snap := tr.Snapshot()
+	want := map[Stage]bool{CliSeal: true, CliAttempt: true, CliTotal: true}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot stages = %v", snap)
+	}
+	for _, sq := range snap {
+		if !want[sq.Stage] || sq.Quantiles.Count != 1 {
+			t.Fatalf("unexpected snapshot entry %+v", sq)
+		}
+	}
+}
+
+// TestRecentRingBounded checks the ring retains only the newest traces.
+func TestRecentRingBounded(t *testing.T) {
+	tr := New(Config{Side: SideServer, Ring: 4})
+	for i := 0; i < 10; i++ {
+		op := tr.Start(0, "put")
+		op.SetOid(uint64(i))
+		op.Finish()
+	}
+	recent := tr.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("recent = %d traces, want 4", len(recent))
+	}
+	for i, g := range recent {
+		if g.Oid != uint64(6+i) {
+			t.Fatalf("recent[%d].Oid = %d, want %d (oldest-first order)", i, g.Oid, 6+i)
+		}
+	}
+}
+
+// TestSpanOverflowStillHistogrammed checks that spans past the per-op
+// bound are dropped from the stored trace but still counted.
+func TestSpanOverflowStillHistogrammed(t *testing.T) {
+	tr := New(Config{Side: SideClient, Ring: 2})
+	op := tr.Start(0, "get")
+	now := op.Now()
+	for i := 0; i < maxSpans+10; i++ {
+		op.SpanAt(CliBackoff, now, now+1000)
+	}
+	op.Finish()
+	recent := tr.Recent()
+	if len(recent) != 1 || len(recent[0].Spans) != maxSpans {
+		t.Fatalf("stored spans = %d, want %d", len(recent[0].Spans), maxSpans)
+	}
+	for _, sq := range tr.Snapshot() {
+		if sq.Stage == CliBackoff && sq.Quantiles.Count != maxSpans+10 {
+			t.Fatalf("backoff histogram count = %d, want %d", sq.Quantiles.Count, maxSpans+10)
+		}
+	}
+}
+
+// TestSlowOpLogAndFaultAnnotation checks the slow threshold fires the
+// structured log and overlapping fault notes attach to the trace.
+func TestSlowOpLogAndFaultAnnotation(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	tr := New(Config{Side: SideServer, Ring: 4, SlowThreshold: time.Millisecond, Logger: logger})
+
+	op := tr.Start(1, "put")
+	tr.NoteFault("w0-s1/c2s write#3 drop+2ms")
+	time.Sleep(2 * time.Millisecond)
+	op.MarkUnconfirmed()
+	op.Finish()
+
+	out := buf.String()
+	if !strings.Contains(out, "slow operation") || !strings.Contains(out, "srv_total") {
+		t.Fatalf("slow-op log missing: %q", out)
+	}
+	if !strings.Contains(out, "unconfirmed") || !strings.Contains(out, "drop") {
+		t.Fatalf("slow-op log missing annotations: %q", out)
+	}
+	recent := tr.Recent()
+	if len(recent) != 1 || len(recent[0].Faults) != 1 {
+		t.Fatalf("fault annotation missing: %+v", recent)
+	}
+
+	// A fast op under the threshold must not log.
+	buf.Reset()
+	op = tr.Start(1, "get")
+	op.Finish()
+	if strings.Contains(buf.String(), "slow operation") {
+		t.Fatalf("fast op logged as slow: %q", buf.String())
+	}
+}
+
+// TestChromeTraceJSON checks the /debug/traces payload shape: valid
+// JSON, a traceEvents array of X events with µs timestamps, and the
+// metadata rows viewers use for naming.
+func TestChromeTraceJSON(t *testing.T) {
+	tr := New(Config{Side: SideServer, Ring: 8})
+	op := tr.Start(0, "get")
+	s := op.Now()
+	op.SpanAt(SrvPickup, s, s+1500)
+	op.SpanAt(SrvVerify, s+1500, s+4000)
+	op.SetOid(9)
+	op.Finish()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []TraceSet{{Side: "server", Traces: tr.Recent()}}); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  uint64         `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, buf.String())
+	}
+	var xEvents, meta int
+	names := map[string]bool{}
+	for _, ev := range parsed.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			xEvents++
+			names[ev.Name] = true
+			if ev.Ts < 0 || ev.Dur <= 0 {
+				t.Fatalf("bad event bounds: %+v", ev)
+			}
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if xEvents != 3 || meta != 2 {
+		t.Fatalf("events X=%d M=%d, want 3/2", xEvents, meta)
+	}
+	for _, want := range []string{"srv_pickup", "srv_verify", "srv_total"} {
+		if !names[want] {
+			t.Fatalf("missing span %q in %v", want, names)
+		}
+	}
+
+	// Empty input still yields valid JSON.
+	buf.Reset()
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &map[string]any{}); err != nil {
+		t.Fatalf("empty trace JSON invalid: %v", err)
+	}
+}
+
+// TestTracerConcurrent runs many workers recording, noting faults and
+// snapshotting at once (meaningful under -race).
+func TestTracerConcurrent(t *testing.T) {
+	tr := New(Config{Side: SideServer, Workers: 4, Ring: 32})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				op := tr.Start(w, "put")
+				op.SetOid(uint64(i))
+				op.Span(SrvApply, op.Now())
+				op.Finish()
+				if i%50 == 0 {
+					tr.NoteFault("injected")
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = tr.Snapshot()
+			_ = tr.Recent()
+		}
+	}()
+	wg.Wait()
+	<-done
+	total := uint64(0)
+	for _, sq := range tr.Snapshot() {
+		if sq.Stage == SrvTotal {
+			total = sq.Quantiles.Count
+		}
+	}
+	if total != 8*500 {
+		t.Fatalf("srv_total count = %d, want %d", total, 8*500)
+	}
+	if len(tr.Recent()) != 32 {
+		t.Fatalf("recent = %d, want full ring 32", len(tr.Recent()))
+	}
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// formatSpans renders a compact single-line stage breakdown for the
+// slow-op log, e.g. "cli_seal=12µs cli_resp_wait=4.1ms cli_total=4.3ms".
+func formatSpans(spans []Span) string {
+	var b strings.Builder
+	for i, sp := range spans {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(sp.Stage.String())
+		if sp.Attempt > 0 {
+			fmt.Fprintf(&b, "#%d", sp.Attempt)
+		}
+		b.WriteByte('=')
+		b.WriteString(time.Duration(sp.Dur).Round(100 * time.Nanosecond).String())
+	}
+	return b.String()
+}
+
+// TraceSet names one tracer's recent traces for WriteChromeTrace; the
+// Side string becomes the process name in the trace viewer.
+type TraceSet struct {
+	// Side labels the process row ("server", "client", "shard0", …).
+	Side string
+	// Traces are the set's traces (e.g. Tracer.Recent()).
+	Traces []Trace
+}
+
+// chromeEvent is one Chrome trace_event ("X" complete events plus "M"
+// metadata), the subset Perfetto and chrome://tracing load.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object trace container format.
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	DisplayUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace emits the given trace sets as Chrome trace_event
+// JSON: each set becomes one process (pid = set index), each trace one
+// thread within it, each span one complete ("X") event. Timestamps are
+// microseconds relative to the earliest span, as trace viewers expect.
+func WriteChromeTrace(w io.Writer, sets []TraceSet) error {
+	var base int64 = -1
+	for _, set := range sets {
+		for _, tr := range set.Traces {
+			if base < 0 || tr.Start < base {
+				base = tr.Start
+			}
+			for _, sp := range tr.Spans {
+				if sp.Start < base {
+					base = sp.Start
+				}
+			}
+		}
+	}
+	if base < 0 {
+		base = 0
+	}
+	us := func(nanos int64) float64 { return float64(nanos-base) / 1e3 }
+
+	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayUnit: "ns"}
+	for pid, set := range sets {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": "precursor-" + set.Side},
+		})
+		for _, tr := range set.Traces {
+			label := fmt.Sprintf("%s trace %d", tr.Kind, tr.ID)
+			if tr.Err != "" {
+				label += " (error)"
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tr.ID,
+				Args: map[string]any{"name": label},
+			})
+			for _, sp := range tr.Spans {
+				args := map[string]any{
+					"kind": tr.Kind,
+					"oid":  tr.Oid,
+				}
+				if tr.Client != 0 {
+					args["client"] = tr.Client
+				}
+				if sp.Attempt > 0 {
+					args["attempt"] = sp.Attempt
+				}
+				if sp.Stage == CliTotal || sp.Stage == SrvTotal {
+					if tr.Err != "" {
+						args["err"] = tr.Err
+					}
+					if tr.Unconfirmed {
+						args["unconfirmed"] = true
+					}
+					if len(tr.Faults) > 0 {
+						args["faults"] = tr.Faults
+					}
+				}
+				dur := float64(sp.Dur) / 1e3
+				if dur <= 0 {
+					// Zero-duration events render invisibly; clamp to the
+					// viewer's minimum visible width.
+					dur = 0.001
+				}
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: sp.Stage.String(),
+					Cat:  set.Side,
+					Ph:   "X",
+					Ts:   us(sp.Start),
+					Dur:  dur,
+					Pid:  pid,
+					Tid:  tr.ID,
+					Args: args,
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"precursor/internal/rdma"
@@ -68,6 +69,8 @@ type Writer struct {
 	signalEvery uint64
 	wrID        uint64
 	frame       []byte // reusable staging buffer
+
+	stalls atomic.Uint64 // TryWrite calls that found no credit
 }
 
 // WriterConfig configures a Writer.
@@ -134,6 +137,7 @@ func (w *Writer) TryWrite(msg []byte) (bool, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.availableLocked() <= 0 {
+		w.stalls.Add(1)
 		return false, nil
 	}
 	slot := w.sent % w.slots
@@ -162,6 +166,12 @@ func (w *Writer) TryWrite(msg []byte) (bool, error) {
 	w.sent++
 	return true, nil
 }
+
+// Stalls counts TryWrite attempts that found the ring without credit —
+// each unit is one spin of a credit-wait loop, so the counter measures
+// backpressure pressure, not distinct operations. Safe to read
+// concurrently with writes.
+func (w *Writer) Stalls() uint64 { return w.stalls.Load() }
 
 // Write places msg into the ring, spinning until credit is available —
 // the client-side flow-control loop of §3.7.

@@ -4,53 +4,99 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"sync"
 	"time"
+
+	"precursor/internal/obs"
 )
 
 // MetricsServer exposes a Precursor server's statistics over HTTP in the
 // Prometheus text exposition format (stdlib only), for production
-// monitoring of a deployed store.
+// monitoring of a deployed store. Besides GET /metrics it serves a
+// readiness GET /healthz, and — when tracers are attached — recent
+// operation traces on GET /debug/traces as Chrome trace_event JSON
+// (loadable in Perfetto / chrome://tracing).
 type MetricsServer struct {
 	server *Server
 	http   *http.Server
 	ln     net.Listener
+	pprof  bool
 
 	mu        sync.Mutex
 	cluster   *ClusterClient
+	tracers   []tracerEntry
 	done      chan struct{}
 	closeOnce sync.Once
 	closeErr  error
 }
 
-// ServeMetrics starts an HTTP listener on addr exposing GET /metrics and
-// GET /healthz for the given store.
-func ServeMetrics(server *Server, addr string) (*MetricsServer, error) {
-	return serveMetrics(server, nil, addr)
+// tracerEntry names one attached tracer for export.
+type tracerEntry struct {
+	side string
+	t    *Tracer
+}
+
+// MetricsOption customizes ServeMetrics / ServeClusterMetrics.
+type MetricsOption func(*MetricsServer)
+
+// WithTracer exports t's per-stage latency quantiles on /metrics
+// (labeled side="...") and its recent traces on /debug/traces. May be
+// given more than once (e.g. a server-side and a client-side tracer on
+// one endpoint); nil tracers are ignored.
+func WithTracer(side string, t *Tracer) MetricsOption {
+	return func(m *MetricsServer) {
+		if t != nil {
+			m.tracers = append(m.tracers, tracerEntry{side: side, t: t})
+		}
+	}
+}
+
+// WithPprof additionally serves net/http/pprof under /debug/pprof/ on
+// the metrics listener — CPU and heap profiling for a live store. Keep
+// the metrics address off untrusted networks when enabling this.
+func WithPprof() MetricsOption {
+	return func(m *MetricsServer) { m.pprof = true }
+}
+
+// ServeMetrics starts an HTTP listener on addr exposing GET /metrics,
+// GET /healthz (readiness: 503 until the server has completed
+// bootstrap) and GET /debug/traces for the given store.
+func ServeMetrics(server *Server, addr string, opts ...MetricsOption) (*MetricsServer, error) {
+	return serveMetrics(server, nil, addr, opts...)
 }
 
 // ServeClusterMetrics starts a metrics endpoint for a cluster client:
 // ring placement (per-shard hash-space ownership and a keys-per-shard
-// estimate), per-shard operation counters and shard health, all labeled
-// by shard. Use TrackCluster instead to add the same series to an
-// existing per-server endpoint.
-func ServeClusterMetrics(cluster *ClusterClient, addr string) (*MetricsServer, error) {
-	return serveMetrics(nil, cluster, addr)
+// estimate), per-shard operation counters, latency quantiles and shard
+// health, all labeled by shard. Its /healthz reports 503 while every
+// shard's breaker is open. Use TrackCluster instead to add the same
+// series to an existing per-server endpoint.
+func ServeClusterMetrics(cluster *ClusterClient, addr string, opts ...MetricsOption) (*MetricsServer, error) {
+	return serveMetrics(nil, cluster, addr, opts...)
 }
 
-func serveMetrics(server *Server, cluster *ClusterClient, addr string) (*MetricsServer, error) {
+func serveMetrics(server *Server, cluster *ClusterClient, addr string, opts ...MetricsOption) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("metrics listener: %w", err)
 	}
 	m := &MetricsServer{server: server, cluster: cluster, ln: ln, done: make(chan struct{})}
+	for _, opt := range opts {
+		opt(m)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", m.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write([]byte("ok\n"))
-	})
+	mux.HandleFunc("GET /healthz", m.handleHealthz)
+	mux.HandleFunc("GET /debug/traces", m.handleTraces)
+	if m.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	m.http = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		defer close(m.done)
@@ -71,6 +117,24 @@ func (m *MetricsServer) TrackCluster(c *ClusterClient) {
 	m.mu.Unlock()
 }
 
+// TrackTracer attaches a tracer after the endpoint is running — the
+// dynamic equivalent of the WithTracer option.
+func (m *MetricsServer) TrackTracer(side string, t *Tracer) {
+	if t == nil {
+		return
+	}
+	m.mu.Lock()
+	m.tracers = append(m.tracers, tracerEntry{side: side, t: t})
+	m.mu.Unlock()
+}
+
+// snapshotRefs copies the mutable reference set under the lock.
+func (m *MetricsServer) snapshotRefs() (*ClusterClient, []tracerEntry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cluster, append([]tracerEntry(nil), m.tracers...)
+}
+
 // Close stops the HTTP listener. Safe to call more than once and from
 // concurrent goroutines; later calls return the first call's error.
 func (m *MetricsServer) Close() error {
@@ -81,17 +145,48 @@ func (m *MetricsServer) Close() error {
 	return m.closeErr
 }
 
+// handleHealthz reports readiness, not liveness: load balancers must
+// not route to an instance that is still bootstrapping (or restoring a
+// snapshot), and a cluster endpoint whose every shard is unreachable
+// has nothing to serve.
+func (m *MetricsServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	cluster, _ := m.snapshotRefs()
+	if m.server != nil && !m.server.Ready() {
+		http.Error(w, "not ready: server bootstrap/restore in progress", http.StatusServiceUnavailable)
+		return
+	}
+	if cluster != nil {
+		if down := cluster.Degraded(); len(down) > 0 && len(down) == len(cluster.Ring().Shards()) {
+			http.Error(w, "not ready: all shards down", http.StatusServiceUnavailable)
+			return
+		}
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// handleTraces emits recent traces from every attached tracer as Chrome
+// trace_event JSON: one process per tracer, one thread per trace.
+func (m *MetricsServer) handleTraces(w http.ResponseWriter, r *http.Request) {
+	_, tracers := m.snapshotRefs()
+	sets := make([]obs.TraceSet, 0, len(tracers))
+	for _, e := range tracers {
+		sets = append(sets, obs.TraceSet{Side: e.side, Traces: e.t.Recent()})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = obs.WriteChromeTrace(w, sets)
+}
+
 func (m *MetricsServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
 	if m.server != nil {
 		m.writeServerMetrics(&b)
 	}
-	m.mu.Lock()
-	cluster := m.cluster
-	m.mu.Unlock()
+	cluster, tracers := m.snapshotRefs()
 	if cluster != nil {
 		writeClusterMetrics(&b, cluster)
 	}
+	writeStageMetrics(&b, tracers)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_, _ = w.Write([]byte(b.String()))
 }
@@ -119,6 +214,48 @@ func (m *MetricsServer) writeServerMetrics(b *strings.Builder) {
 	gauge("precursor_enclave_epc_pages", "Enclave working set in pages", float64(st.Enclave.EPCPages))
 	gauge("precursor_pool_bytes_reserved", "Untrusted payload pool reserved bytes", float64(st.PoolBytesReserved))
 	gauge("precursor_pool_bytes_in_use", "Untrusted payload pool live bytes", float64(st.PoolBytesInUse))
+	gauge("precursor_ready", "1 once the server has completed bootstrap (readiness)", boolGauge(m.server.Ready()))
+}
+
+// boolGauge renders a boolean as 0/1.
+func boolGauge(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// seconds renders a duration as fractional seconds, Prometheus's base
+// unit for time series.
+func seconds(d time.Duration) string {
+	return fmt.Sprintf("%g", d.Seconds())
+}
+
+// writeStageMetrics renders every attached tracer's per-stage latency
+// quantiles as one summary family labeled by side and stage.
+func writeStageMetrics(b *strings.Builder, tracers []tracerEntry) {
+	const name = "precursor_stage_latency_seconds"
+	wrote := false
+	for _, e := range tracers {
+		snap := e.t.Snapshot()
+		if len(snap) == 0 {
+			continue
+		}
+		if !wrote {
+			fmt.Fprintf(b, "# HELP %s Per-stage operation latency (see OBSERVABILITY.md for the stage glossary)\n# TYPE %s summary\n", name, name)
+			wrote = true
+		}
+		for _, sq := range snap {
+			q := sq.Quantiles
+			labels := fmt.Sprintf("side=%q,stage=%q", e.side, sq.Stage)
+			fmt.Fprintf(b, "%s{%s,quantile=\"0.5\"} %s\n", name, labels, seconds(q.P50))
+			fmt.Fprintf(b, "%s{%s,quantile=\"0.95\"} %s\n", name, labels, seconds(q.P95))
+			fmt.Fprintf(b, "%s{%s,quantile=\"0.99\"} %s\n", name, labels, seconds(q.P99))
+			fmt.Fprintf(b, "%s{%s,quantile=\"0.999\"} %s\n", name, labels, seconds(q.P999))
+			fmt.Fprintf(b, "%s_sum{%s} %s\n", name, labels, seconds(q.Sum))
+			fmt.Fprintf(b, "%s_count{%s} %d\n", name, labels, q.Count)
+		}
+	}
 }
 
 // writeClusterMetrics renders ring-placement and per-shard series for a
@@ -167,4 +304,25 @@ func writeClusterMetrics(b *strings.Builder, c *ClusterClient) {
 		func(ss ClusterShardStats) string { return fmt.Sprintf("%d", ss.Deletes) })
 	perShard("precursor_cluster_shard_errors_total", "Operations against the shard that failed", "counter",
 		func(ss ClusterShardStats) string { return fmt.Sprintf("%d", ss.Errors) })
+
+	// Per-shard whole-operation latency quantiles, one summary family.
+	const lat = "precursor_cluster_shard_latency_seconds"
+	wrote := false
+	for _, ss := range st.Shards {
+		q := ss.Latency
+		if q.Count == 0 {
+			continue
+		}
+		if !wrote {
+			head(lat, "Whole-operation latency against the shard as seen by this client", "summary")
+			wrote = true
+		}
+		labels := fmt.Sprintf("shard=%q", ss.Name)
+		fmt.Fprintf(b, "%s{%s,quantile=\"0.5\"} %s\n", lat, labels, seconds(q.P50))
+		fmt.Fprintf(b, "%s{%s,quantile=\"0.95\"} %s\n", lat, labels, seconds(q.P95))
+		fmt.Fprintf(b, "%s{%s,quantile=\"0.99\"} %s\n", lat, labels, seconds(q.P99))
+		fmt.Fprintf(b, "%s{%s,quantile=\"0.999\"} %s\n", lat, labels, seconds(q.P999))
+		fmt.Fprintf(b, "%s_sum{%s} %s\n", lat, labels, seconds(q.Sum))
+		fmt.Fprintf(b, "%s_count{%s} %d\n", lat, labels, q.Count)
+	}
 }

@@ -37,6 +37,7 @@ package precursor
 
 import (
 	"precursor/internal/core"
+	"precursor/internal/obs"
 	"precursor/internal/rdma"
 	"precursor/internal/sgx"
 )
@@ -75,6 +76,35 @@ type (
 	// Conn is a queue-pair connection.
 	Conn = rdma.Conn
 )
+
+// Re-exported observability types. A Tracer threads per-stage timing
+// through the operation path (see OBSERVABILITY.md); attach one via
+// ServerConfig.Tracer or DialConfig.Tracer and export it with
+// WithTracer on a metrics endpoint.
+type (
+	// Tracer records per-stage latency histograms and recent op traces.
+	Tracer = obs.Tracer
+	// TracerConfig configures NewTracer.
+	TracerConfig = obs.Config
+	// TracerSide says which half of the protocol a tracer observes.
+	TracerSide = obs.Side
+	// StageQuantiles is one pipeline stage's latency summary.
+	StageQuantiles = obs.StageQuantiles
+	// Trace is one completed operation's recorded spans.
+	Trace = obs.Trace
+)
+
+// Tracer sides for TracerConfig.Side.
+const (
+	// SideServer marks a tracer observing server-side stages (srv_*).
+	SideServer = obs.SideServer
+	// SideClient marks a tracer observing client-side stages (cli_*).
+	SideClient = obs.SideClient
+)
+
+// NewTracer builds an operation tracer. A nil *Tracer is valid
+// everywhere one is accepted and disables tracing at nil-check cost.
+func NewTracer(cfg TracerConfig) *Tracer { return obs.New(cfg) }
 
 // Errors returned by store operations.
 var (

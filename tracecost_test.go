@@ -1,0 +1,154 @@
+package precursor_test
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"precursor"
+)
+
+// TestTracerOverheadGate is the CI overhead gate for the observability
+// layer: two identical TCP-fabric deployments — one with tracing fully
+// enabled (server + client tracers), one with nil tracers — serve the
+// same workload with their operations interleaved one-for-one, so
+// scheduler and GC noise lands on both streams alike. The gate fails if
+// the traced stream's median per-op latency is more than 5% above the
+// untraced one's. The TCP fabric is the deployment path production
+// tracing rides on (cmd/precursor-server -trace), so its op latency is
+// the denominator the 5% budget is meant against.
+//
+// Timing-sensitive by design, so it only runs when opted in:
+//
+//	PRECURSOR_OVERHEAD_GATE=1 go test . -run TestTracerOverheadGate -v
+func TestTracerOverheadGate(t *testing.T) {
+	if os.Getenv("PRECURSOR_OVERHEAD_GATE") == "" {
+		t.Skip("set PRECURSOR_OVERHEAD_GATE=1 to run the tracing overhead gate")
+	}
+	const maxOver = 0.05
+	untraced := newOverheadPair(t, false)
+	traced := newOverheadPair(t, true)
+
+	value := make([]byte, 128)
+	for i := range value {
+		value[i] = byte(i)
+	}
+	// Seed the whole measured keyspace so every Get hits, then warm up
+	// allocators, pools and the enclave tables outside the measurement.
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("k%04d", i)
+		if err := untraced.client.Put(key, value); err != nil {
+			t.Fatal(err)
+		}
+		if err := traced.client.Put(key, value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%04d", i%64)
+		untraced.op(t, i, key, value)
+		traced.op(t, i, key, value)
+	}
+	// One re-measurement on failure: the comparison is between two live
+	// deployments on a shared host, so a single burst of scheduler or GC
+	// noise can push one sample set past the budget. A real regression
+	// fails both measurements.
+	over, b, tr := measureOverhead(t, untraced, traced, value)
+	if over > maxOver {
+		t.Logf("first measurement over budget (%+.2f%%); re-measuring once", over*100)
+		over, b, tr = measureOverhead(t, untraced, traced, value)
+	}
+	t.Logf("untraced median %v, traced median %v, overhead %+.2f%%", b, tr, over*100)
+	if over > maxOver {
+		t.Fatalf("tracing overhead %+.2f%% exceeds the %.0f%% budget (untraced %v, traced %v)",
+			over*100, maxOver*100, b, tr)
+	}
+}
+
+// measureOverhead interleaves ops pairwise across the two deployments and
+// returns the traced stream's relative median-latency overhead.
+func measureOverhead(t *testing.T, untraced, traced *overheadPair, value []byte) (over float64, b, tr time.Duration) {
+	const ops = 4000
+	baseLat := make([]time.Duration, 0, ops)
+	traceLat := make([]time.Duration, 0, ops)
+	for i := 0; i < ops; i++ {
+		key := fmt.Sprintf("k%04d", i%64)
+		// Alternate which deployment goes first within the pair so a
+		// periodic disturbance cannot consistently favor one stream.
+		if i%2 == 0 {
+			baseLat = append(baseLat, untraced.op(t, i, key, value))
+			traceLat = append(traceLat, traced.op(t, i, key, value))
+		} else {
+			traceLat = append(traceLat, traced.op(t, i, key, value))
+			baseLat = append(baseLat, untraced.op(t, i, key, value))
+		}
+	}
+	b, tr = median(baseLat), median(traceLat)
+	return float64(tr)/float64(b) - 1, b, tr
+}
+
+func median(ds []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// overheadPair is one in-process server + client deployment.
+type overheadPair struct {
+	client *precursor.Client
+}
+
+// op runs one put or get (alternating) and returns its latency.
+func (p *overheadPair) op(t *testing.T, i int, key string, value []byte) time.Duration {
+	t.Helper()
+	start := time.Now()
+	if i%2 == 0 {
+		if err := p.client.Put(key, value); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		if _, err := p.client.Get(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return time.Since(start)
+}
+
+// newOverheadPair builds a fresh TCP-fabric deployment (Serve + Dial on
+// a loopback ephemeral port), fully traced or fully untraced.
+func newOverheadPair(t *testing.T, withTracing bool) *overheadPair {
+	t.Helper()
+	platform, err := precursor.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := precursor.ServerConfig{
+		Platform: platform, Workers: 1, PollInterval: time.Microsecond,
+	}
+	var ctracer *precursor.Tracer
+	if withTracing {
+		cfg.Tracer = precursor.NewTracer(precursor.TracerConfig{
+			Side: precursor.SideServer, Workers: 1,
+		})
+		ctracer = precursor.NewTracer(precursor.TracerConfig{
+			Side: precursor.SideClient, Workers: 1,
+		})
+	}
+	svc, err := precursor.Serve("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	client, err := precursor.Dial(svc.Addr(), precursor.DialConfig{
+		PlatformKey: platform.AttestationPublicKey(),
+		Measurement: svc.Server.Measurement(),
+		Tracer:      ctracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return &overheadPair{client: client}
+}
