@@ -4,10 +4,13 @@ import (
 	"crypto/ecdsa"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 
 	"precursor/internal/cluster"
 	"precursor/internal/core"
+	"precursor/internal/rdma"
 )
 
 // Client-routed sharding: the public surface of internal/cluster.
@@ -38,6 +41,8 @@ var (
 	ErrShardDown = cluster.ErrShardDown
 	// ErrNoShards is returned when a cluster has no members.
 	ErrNoShards = cluster.ErrNoShards
+	// ErrNoQuorum marks replicated writes that missed their write quorum.
+	ErrNoQuorum = cluster.ErrNoQuorum
 )
 
 // ShardSpec tells DialCluster how to reach and attest one shard. Serve a
@@ -75,6 +80,18 @@ type ClusterConfig struct {
 	// SideClient tracer shared by every connection of every shard, so
 	// /metrics shows cluster-wide client-side stage latency.
 	Tracer *Tracer
+
+	// Replication (DialReplicatedCluster only).
+
+	// WriteQuorum is the number of replica acks a write needs in a
+	// replicated group (0 = majority of the group).
+	WriteQuorum int
+	// RepairInterval is the cadence of the background probe/repair scan
+	// over replicated groups (default 250 ms).
+	RepairInterval time.Duration
+	// DisableAutoRepair turns the background repair goroutine off
+	// (deterministic tests only).
+	DisableAutoRepair bool
 }
 
 // DialCluster connects to every shard — attesting each enclave
@@ -119,5 +136,107 @@ func DialCluster(shards []ShardSpec, cfg ClusterConfig) (*ClusterClient, error) 
 				errors.Is(err, core.ErrTimeout) ||
 				errors.Is(err, ErrPoolClosed)
 		},
+	})
+}
+
+// GroupName derives the ring name of a replica group from its members'
+// addresses: the sorted addresses joined with "|". Placement therefore
+// depends only on the membership *set*, so every client that lists the
+// same replicas — in any order — routes identically.
+func GroupName(replicas []ShardSpec) string {
+	addrs := make([]string, len(replicas))
+	for i, r := range replicas {
+		addrs[i] = r.Addr
+	}
+	sort.Strings(addrs)
+	return strings.Join(addrs, "|")
+}
+
+// DialReplicatedCluster connects to a cluster whose ring positions are
+// replica groups (see ServeReplicatedCluster): each inner slice is one
+// group of R independently attested servers holding the same key range.
+// Writes fan out to every live replica of the owning group and succeed
+// on cfg.WriteQuorum acks; reads come from the fastest healthy replica
+// and fail over transparently, so killing one replica of an R>1 group
+// never surfaces ErrShardDown. A replica that comes back is repaired
+// through attested anti-entropy sessions (sealed snapshot + delta +
+// journal replay) before it serves again.
+//
+// Replicas of a group must share a platform and enclave image — their
+// sealing keys must match for snapshots to transfer (PROTOCOL.md §10).
+func DialReplicatedCluster(groups [][]ShardSpec, cfg ClusterConfig) (*ClusterClient, error) {
+	if len(groups) == 0 {
+		return nil, ErrNoShards
+	}
+	if cfg.ConnsPerShard <= 0 {
+		cfg.ConnsPerShard = 1
+	}
+	specByAddr := make(map[string]ShardSpec)
+	members := make([]cluster.ReplicaGroup, 0, len(groups))
+	fail := func(err error) (*ClusterClient, error) {
+		for _, g := range members {
+			for _, r := range g.Replicas {
+				_ = r.Backend.Close()
+			}
+		}
+		return nil, err
+	}
+	for i, g := range groups {
+		if len(g) == 0 {
+			return fail(fmt.Errorf("precursor: replica group %d is empty", i))
+		}
+		rg := cluster.ReplicaGroup{Name: GroupName(g)}
+		for _, spec := range g {
+			pool, err := NewPool(spec.Addr, DialConfig{
+				PlatformKey: spec.PlatformKey,
+				Measurement: spec.Measurement,
+				Timeout:     cfg.Timeout,
+				ReadRetries: cfg.ReadRetries,
+				WrapConn:    cfg.WrapConn,
+				Tracer:      cfg.Tracer,
+			}, cfg.ConnsPerShard)
+			if err != nil {
+				return fail(fmt.Errorf("replica %s: %w", spec.Addr, err))
+			}
+			rg.Replicas = append(rg.Replicas, cluster.Shard{Name: spec.Addr, Backend: pool})
+			specByAddr[spec.Addr] = spec
+		}
+		members = append(members, rg)
+	}
+	openRepair := func(replica string) (cluster.RepairSession, error) {
+		spec, ok := specByAddr[replica]
+		if !ok {
+			return nil, fmt.Errorf("precursor: unknown replica %q", replica)
+		}
+		device := rdma.NewDevice("precursor-repair-" + replica)
+		conn, err := rdma.DialTCP(device, replica)
+		if err != nil {
+			return nil, err
+		}
+		rc, err := core.ConnectRepair(core.RepairConfig{
+			Conn:        conn,
+			PlatformKey: spec.PlatformKey,
+			Measurement: spec.Measurement,
+			Timeout:     cfg.Timeout,
+		})
+		if err != nil {
+			_ = conn.Close()
+			return nil, err
+		}
+		return rc, nil
+	}
+	return cluster.NewReplicated(members, cluster.Options{
+		VirtualNodes: cfg.VirtualNodes,
+		RetryBackoff: cfg.RetryBackoff,
+		MaxBackoff:   cfg.MaxBackoff,
+		IsShardFailure: func(err error) bool {
+			return errors.Is(err, core.ErrClosed) ||
+				errors.Is(err, core.ErrTimeout) ||
+				errors.Is(err, ErrPoolClosed)
+		},
+		WriteQuorum:       cfg.WriteQuorum,
+		OpenRepair:        openRepair,
+		RepairInterval:    cfg.RepairInterval,
+		DisableAutoRepair: cfg.DisableAutoRepair,
 	})
 }

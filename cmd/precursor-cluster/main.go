@@ -14,6 +14,16 @@
 //
 //	precursor-cluster -bench -shards 1,2,4 -records 2000 -clients 8 \
 //	    -ops 2000 -json BENCH_cluster.json
+//
+// With -replicas R > 1, serve mode backs every ring position with R
+// replicas sharing a platform (so sealed snapshots transfer between them
+// for anti-entropy repair) and prints one cluster-replica line per
+// member. Replication-bench mode compares R=1 against R=-replicas under
+// the same workload and measures the read-failover gap when one replica
+// is killed mid-run:
+//
+//	precursor-cluster -bench-replication -shards 2 -replicas 3 \
+//	    -write-quorum 2 -repl-json BENCH_replication.json
 package main
 
 import (
@@ -21,6 +31,7 @@ import (
 	"encoding/base64"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -49,20 +60,41 @@ func main() {
 		workload = flag.String("workload", "B", "YCSB workload: A, B, C or update-mostly")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		jsonPath = flag.String("json", "BENCH_cluster.json", "bench: write datapoints to this JSON file (empty = stdout only)")
+		benchRep = flag.Bool("bench-replication", false, "run the replication benchmark: R=1 vs -replicas, plus the failover gap")
+		replicas = flag.Int("replicas", 1, "replicas per ring position (serve / bench-replication)")
+		quorum   = flag.Int("write-quorum", 0, "write quorum for replicated groups (0 = majority)")
+		replJSON = flag.String("repl-json", "BENCH_replication.json", "bench-replication: write datapoints to this JSON file (empty = stdout only)")
 		metrics  = flag.String("metrics", "", "serve: expose Prometheus metrics for the whole cluster on this address")
 		trace    = flag.Bool("trace", false, "serve: record per-stage op timing across all shards (needs -metrics to export)")
 		pprofOn  = flag.Bool("pprof", false, "serve: net/http/pprof under /debug/pprof/ on the metrics address")
 	)
 	flag.Parse()
-	if *serve == *bench {
-		fmt.Fprintln(os.Stderr, "precursor-cluster: pass exactly one of -serve or -bench")
+	modes := 0
+	for _, on := range []bool{*serve, *bench, *benchRep} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "precursor-cluster: pass exactly one of -serve, -bench or -bench-replication")
 		flag.Usage()
 		os.Exit(2)
 	}
 	var err error
-	if *serve {
-		err = runServe(*shards, *workers, *metrics, *trace, *pprofOn)
-	} else {
+	switch {
+	case *serve:
+		err = runServe(*shards, *replicas, *workers, *metrics, *trace, *pprofOn)
+	case *benchRep:
+		err = runBenchReplication(replBenchConfig{
+			benchConfig: benchConfig{
+				shardCounts: *shards, workers: *workers, conns: *conns,
+				records: *records, valueSize: *valsize, clients: *clients,
+				opsPerClient: *ops, workload: *workload, seed: *seed,
+				jsonPath: *replJSON, out: os.Stdout,
+			},
+			replicas: *replicas, writeQuorum: *quorum,
+		})
+	default:
 		err = runBench(benchConfig{
 			shardCounts: *shards, workers: *workers, conns: *conns,
 			records: *records, valueSize: *valsize, clients: *clients,
@@ -76,11 +108,15 @@ func main() {
 	}
 }
 
-// runServe launches n shards and prints their cluster-shard lines.
-func runServe(shardsFlag string, workers int, metricsAddr string, trace, pprofOn bool) error {
+// runServe launches n ring positions (each backed by `replicas` servers
+// when replicas > 1) and prints their scrapeable member lines.
+func runServe(shardsFlag string, replicas, workers int, metricsAddr string, trace, pprofOn bool) error {
 	n, err := strconv.Atoi(strings.TrimSpace(shardsFlag))
 	if err != nil || n <= 0 {
 		return fmt.Errorf("-serve needs a single positive shard count, got %q", shardsFlag)
+	}
+	if replicas <= 0 {
+		replicas = 1
 	}
 	cfg := precursor.ServerConfig{Workers: workers}
 	var tracer *precursor.Tracer
@@ -89,15 +125,57 @@ func runServe(shardsFlag string, workers int, metricsAddr string, trace, pprofOn
 		// histograms, so /metrics shows cluster-wide stage latency.
 		tracer = precursor.NewTracer(precursor.TracerConfig{
 			Side:    precursor.SideServer,
-			Workers: workers * n,
+			Workers: workers * n * replicas,
 		})
 		cfg.Tracer = tracer
 	}
-	cs, err := precursor.ServeCluster(n, cfg)
-	if err != nil {
-		return err
+	var closeAll func()
+	var printMembers func() error
+	if replicas > 1 {
+		cs, err := precursor.ServeReplicatedCluster(n, replicas, cfg)
+		if err != nil {
+			return err
+		}
+		closeAll = cs.Close
+		printMembers = func() error {
+			fmt.Printf("precursor-cluster serving %d groups x %d replicas\n", n, replicas)
+			for g, group := range cs.GroupSpecs() {
+				for r, spec := range group {
+					pub, err := x509.MarshalPKIXPublicKey(spec.PlatformKey)
+					if err != nil {
+						return err
+					}
+					fmt.Printf("cluster-replica: %d/%d replica %d/%d addr=%s key=%s measurement=%s\n",
+						g, n, r, replicas, spec.Addr,
+						base64.StdEncoding.EncodeToString(pub),
+						hex.EncodeToString(spec.Measurement[:]))
+				}
+			}
+			return nil
+		}
+	} else {
+		cs, err := precursor.ServeCluster(n, cfg)
+		if err != nil {
+			return err
+		}
+		closeAll = cs.Close
+		printMembers = func() error {
+			fmt.Printf("precursor-cluster serving %d shards\n", n)
+			for i, spec := range cs.Specs() {
+				pub, err := x509.MarshalPKIXPublicKey(spec.PlatformKey)
+				if err != nil {
+					return err
+				}
+				id := cluster.ShardID{Index: i, Count: n}
+				fmt.Printf("cluster-shard: %s addr=%s key=%s measurement=%s\n",
+					id, spec.Addr,
+					base64.StdEncoding.EncodeToString(pub),
+					hex.EncodeToString(spec.Measurement[:]))
+			}
+			return nil
+		}
 	}
-	defer cs.Close()
+	defer closeAll()
 	if metricsAddr != "" {
 		var opts []precursor.MetricsOption
 		if tracer != nil {
@@ -113,17 +191,8 @@ func runServe(shardsFlag string, workers int, metricsAddr string, trace, pprofOn
 		defer ms.Close()
 		fmt.Printf("metrics:          http://%s/metrics\n", ms.Addr())
 	}
-	fmt.Printf("precursor-cluster serving %d shards\n", n)
-	for i, spec := range cs.Specs() {
-		pub, err := x509.MarshalPKIXPublicKey(spec.PlatformKey)
-		if err != nil {
-			return err
-		}
-		id := cluster.ShardID{Index: i, Count: n}
-		fmt.Printf("cluster-shard: %s addr=%s key=%s measurement=%s\n",
-			id, spec.Addr,
-			base64.StdEncoding.EncodeToString(pub),
-			hex.EncodeToString(spec.Measurement[:]))
+	if err := printMembers(); err != nil {
+		return err
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -236,6 +305,203 @@ func benchOne(n int, wl ycsb.Workload, cfg benchConfig) (BenchPoint, error) {
 		point.ShardPuts[ss.Name] = ss.Puts
 	}
 	return point, nil
+}
+
+// ReplBenchPoint is one replication-benchmark datapoint: a YCSB run at a
+// replication factor, plus (for the kill run) the measured failover gap.
+type ReplBenchPoint struct {
+	Groups      int     `json:"groups"`
+	Replicas    int     `json:"replicas"`
+	WriteQuorum int     `json:"write_quorum"`
+	Clients     int     `json:"clients"`
+	Workload    string  `json:"workload"`
+	Ops         uint64  `json:"ops"`
+	Errors      uint64  `json:"errors"`
+	Kops        float64 `json:"kops"`
+	P50Micros   float64 `json:"p50_us"`
+	P99Micros   float64 `json:"p99_us"`
+	// KilledReplica is set on the failover run: one replica of the probed
+	// group was closed mid-workload.
+	KilledReplica string `json:"killed_replica,omitempty"`
+	// FailoverGapMs is the longest interval between two consecutive
+	// successful probe reads around the kill — the client-visible
+	// unavailability window.
+	FailoverGapMs float64 `json:"failover_gap_ms,omitempty"`
+	// ShardDownErrors counts probe reads that failed with ErrShardDown
+	// (must be 0 for R>1: surviving replicas absorb the load).
+	ShardDownErrors uint64 `json:"shard_down_errors"`
+}
+
+type replBenchConfig struct {
+	benchConfig
+	replicas    int
+	writeQuorum int
+}
+
+// runBenchReplication compares R=1 against R=cfg.replicas under the same
+// workload, then reruns at R=cfg.replicas killing one replica mid-run to
+// measure the failover gap a client observes.
+func runBenchReplication(cfg replBenchConfig) error {
+	wl, err := workloadByName(cfg.workload)
+	if err != nil {
+		return err
+	}
+	groups, err := strconv.Atoi(strings.TrimSpace(cfg.shardCounts))
+	if err != nil || groups <= 0 {
+		return fmt.Errorf("-bench-replication needs a single positive -shards count, got %q", cfg.shardCounts)
+	}
+	if cfg.replicas <= 1 {
+		cfg.replicas = 3
+	}
+	factors := []int{1, cfg.replicas}
+	var points []ReplBenchPoint
+	fmt.Fprintf(cfg.out, "%-9s %-8s %-8s %-10s %-10s %-10s %-14s\n",
+		"replicas", "quorum", "clients", "kops", "p50(µs)", "p99(µs)", "failover(ms)")
+	for _, r := range factors {
+		p, err := replBenchOne(groups, r, wl, cfg, false)
+		if err != nil {
+			return fmt.Errorf("R=%d: %w", r, err)
+		}
+		points = append(points, p)
+		fmt.Fprintf(cfg.out, "%-9d %-8d %-8d %-10.1f %-10.1f %-10.1f %-14s\n",
+			p.Replicas, p.WriteQuorum, p.Clients, p.Kops, p.P50Micros, p.P99Micros, "-")
+	}
+	kill, err := replBenchOne(groups, cfg.replicas, wl, cfg, true)
+	if err != nil {
+		return fmt.Errorf("failover run: %w", err)
+	}
+	points = append(points, kill)
+	fmt.Fprintf(cfg.out, "%-9d %-8d %-8d %-10.1f %-10.1f %-10.1f %-14.1f (killed %s, shard-down errors: %d)\n",
+		kill.Replicas, kill.WriteQuorum, kill.Clients, kill.Kops,
+		kill.P50Micros, kill.P99Micros, kill.FailoverGapMs, kill.KilledReplica, kill.ShardDownErrors)
+	if cfg.jsonPath != "" {
+		data, err := json.MarshalIndent(points, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.out, "wrote %s\n", cfg.jsonPath)
+	}
+	return nil
+}
+
+// replBenchOne runs one YCSB pass against a groups x r deployment. With
+// kill set it additionally runs a probe-read pinger against one group,
+// closes one of that group's replicas mid-workload and reports the
+// longest gap between consecutive successful probes.
+func replBenchOne(groups, r int, wl ycsb.Workload, cfg replBenchConfig, kill bool) (ReplBenchPoint, error) {
+	cs, err := precursor.ServeReplicatedCluster(groups, r, precursor.ServerConfig{Workers: cfg.workers})
+	if err != nil {
+		return ReplBenchPoint{}, err
+	}
+	defer cs.Close()
+	specs := cs.GroupSpecs()
+	cc, err := precursor.DialReplicatedCluster(specs, precursor.ClusterConfig{
+		ConnsPerShard: cfg.conns,
+		Timeout:       30 * time.Second,
+		WriteQuorum:   cfg.writeQuorum,
+		RetryBackoff:  100 * time.Millisecond,
+	})
+	if err != nil {
+		return ReplBenchPoint{}, err
+	}
+	defer cc.Close()
+	if err := ycsb.Load(cc, cfg.records, cfg.valueSize, cfg.seed); err != nil {
+		return ReplBenchPoint{}, err
+	}
+
+	point := ReplBenchPoint{
+		Groups: groups, Replicas: r, Workload: wl.Name,
+		WriteQuorum: effectiveQuorum(r, cfg.writeQuorum),
+	}
+
+	var pingDone chan struct{}
+	var pingStop chan struct{}
+	if kill && r > 1 {
+		// The pinger hammers one key; killing a replica of the key's
+		// owning group makes the max success-to-success interval the
+		// client-visible failover gap.
+		const probe = "replication-bench-probe"
+		if err := cc.Put(probe, []byte("failover-gap")); err != nil {
+			return ReplBenchPoint{}, err
+		}
+		gi, ri := ownerGroup(cc, specs, probe), 0
+		point.KilledReplica = specs[gi][ri].Addr
+		pingStop = make(chan struct{})
+		pingDone = make(chan struct{})
+		go func() {
+			defer close(pingDone)
+			last := time.Now()
+			var maxGap time.Duration
+			for {
+				select {
+				case <-pingStop:
+					point.FailoverGapMs = float64(maxGap) / 1e6
+					return
+				default:
+				}
+				if _, err := cc.Get(probe); err == nil {
+					now := time.Now()
+					if gap := now.Sub(last); gap > maxGap {
+						maxGap = gap
+					}
+					last = now
+				} else if errors.Is(err, precursor.ErrShardDown) {
+					point.ShardDownErrors++
+				}
+			}
+		}()
+		go func() {
+			time.Sleep(300 * time.Millisecond)
+			cs.Groups[gi][ri].Close()
+		}()
+	}
+
+	rep, err := ycsb.RunShared(cc, ycsb.RunnerConfig{
+		Workload: wl, Records: cfg.records, ValueSize: cfg.valueSize,
+		Clients: cfg.clients, OpsPerClient: cfg.opsPerClient, Seed: cfg.seed,
+	})
+	if pingStop != nil {
+		// Let the post-kill breaker trip and read failover fully settle
+		// before sampling the gap.
+		time.Sleep(500 * time.Millisecond)
+		close(pingStop)
+		<-pingDone
+	}
+	if err != nil {
+		return ReplBenchPoint{}, err
+	}
+	point.Clients = rep.Clients
+	point.Ops = rep.Ops
+	point.Errors = rep.Errors
+	point.Kops = rep.Kops
+	point.P50Micros = float64(rep.Latency.Quantile(0.50)) / 1e3
+	point.P99Micros = float64(rep.Latency.Quantile(0.99)) / 1e3
+	return point, nil
+}
+
+// effectiveQuorum mirrors the cluster package's majority default.
+func effectiveQuorum(r, requested int) int {
+	if requested <= 0 {
+		return r/2 + 1
+	}
+	if requested > r {
+		return r
+	}
+	return requested
+}
+
+// ownerGroup finds the index of the replica group that owns key.
+func ownerGroup(cc *precursor.ClusterClient, specs [][]precursor.ShardSpec, key string) int {
+	owner := cc.ShardFor(key)
+	for g, group := range specs {
+		if precursor.GroupName(group) == owner {
+			return g
+		}
+	}
+	return 0
 }
 
 func workloadByName(name string) (ycsb.Workload, error) {

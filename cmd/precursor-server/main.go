@@ -9,6 +9,12 @@
 //
 //	precursor-server -addr :7100 -workers 12
 //	precursor-server -addr :7100 -hardened -owner-only
+//	precursor-server -addr :7100 -state-dir /var/lib/precursor -seal-interval 30s
+//
+// With -state-dir the server restores the newest sealed snapshot on
+// startup and seals on graceful shutdown (SIGTERM/SIGINT); -seal-interval
+// additionally seals periodically, and SIGHUP seals on demand. The age of
+// the last seal is exported on /metrics and /healthz.
 //
 // As one member of a client-routed cluster (see DESIGN.md, "Scaling
 // out"), give each server its shard position; it prints a
@@ -44,19 +50,20 @@ func main() {
 		stats     = flag.Duration("stats", 0, "print server stats at this interval (0 = off)")
 		metrics   = flag.String("metrics", "", "serve Prometheus metrics on this address (e.g. :9090)")
 		stateDir  = flag.String("state-dir", "", "directory for durable state: platform identity, trusted counter, snapshot (empty = ephemeral)")
+		sealEvery = flag.Duration("seal-interval", 0, "write a sealed snapshot at this interval (0 = only on shutdown; needs -state-dir)")
 		shard     = flag.String("shard", "", "this server's shard position i/n in a client-routed cluster (e.g. 0/4)")
 		trace     = flag.Bool("trace", false, "record per-stage op timing; exported on /metrics and /debug/traces (needs -metrics)")
 		pprofFlag = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the metrics address (needs -metrics)")
 		slowop    = flag.Duration("slowop", 0, "log operations slower than this threshold (implies -trace; 0 = off)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *hardened, *inline, *ownerOnly, *stats, *metrics, *stateDir, *shard, *trace, *pprofFlag, *slowop); err != nil {
+	if err := run(*addr, *workers, *hardened, *inline, *ownerOnly, *stats, *metrics, *stateDir, *sealEvery, *shard, *trace, *pprofFlag, *slowop); err != nil {
 		fmt.Fprintln(os.Stderr, "precursor-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery time.Duration, metricsAddr, stateDir, shard string, trace, pprofOn bool, slowop time.Duration) error {
+func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery time.Duration, metricsAddr, stateDir string, sealEvery time.Duration, shard string, trace, pprofOn bool, slowop time.Duration) error {
 	var shardID cluster.ShardID
 	if shard != "" {
 		var err error
@@ -105,6 +112,27 @@ func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery 
 	defer svc.Close()
 	svc.Server.SetOwnerOnly(ownerOnly)
 
+	if sealEvery > 0 && snapshotPath == "" {
+		return fmt.Errorf("-seal-interval requires -state-dir")
+	}
+	// sealNow writes one sealed snapshot atomically (tmp + rename), so a
+	// crash mid-seal leaves the previous snapshot intact. Note the trusted
+	// counter advances with every seal: after a periodic seal, only the
+	// newest snapshot file restores.
+	sealNow := func() error {
+		f, err := os.Create(snapshotPath + ".tmp")
+		if err != nil {
+			return err
+		}
+		if err := svc.Server.Seal(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		return os.Rename(snapshotPath+".tmp", snapshotPath)
+	}
 	if snapshotPath != "" {
 		if f, err := os.Open(snapshotPath); err == nil {
 			restoreErr := svc.Server.Restore(f)
@@ -114,19 +142,10 @@ func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery 
 			}
 			fmt.Printf("restored %d entries from %s\n", svc.Server.Stats().Entries, snapshotPath)
 		}
+		// Graceful shutdown (SIGTERM/SIGINT → normal return) seals a final
+		// snapshot so a planned restart resumes with zero data loss.
 		defer func() {
-			f, err := os.Create(snapshotPath + ".tmp")
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "seal:", err)
-				return
-			}
-			if err := svc.Server.Seal(f); err != nil {
-				fmt.Fprintln(os.Stderr, "seal:", err)
-				_ = f.Close()
-				return
-			}
-			_ = f.Close()
-			if err := os.Rename(snapshotPath+".tmp", snapshotPath); err != nil {
+			if err := sealNow(); err != nil {
 				fmt.Fprintln(os.Stderr, "seal:", err)
 				return
 			}
@@ -177,21 +196,46 @@ func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery 
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+
+	var statsCh, sealCh <-chan time.Time
 	if statsEvery > 0 {
 		ticker := time.NewTicker(statsEvery)
 		defer ticker.Stop()
-		for {
-			select {
-			case <-sig:
-				return nil
-			case <-ticker.C:
-				st := svc.Server.Stats()
-				fmt.Printf("clients=%d entries=%d puts=%d gets=%d deletes=%d replays=%d epc=%.1fMiB\n",
-					st.Clients, st.Entries, st.Puts, st.Gets, st.Deletes,
-					st.Replays, st.Enclave.WorkingSetMiB())
+		statsCh = ticker.C
+	}
+	if sealEvery > 0 {
+		ticker := time.NewTicker(sealEvery)
+		defer ticker.Stop()
+		sealCh = ticker.C
+	}
+	for {
+		select {
+		case <-sig:
+			// Normal return: the deferred sealNow writes the shutdown
+			// snapshot before the service closes.
+			return nil
+		case <-hup:
+			// SIGHUP = operator-requested seal (e.g. before a host reboot).
+			if snapshotPath == "" {
+				fmt.Fprintln(os.Stderr, "seal: SIGHUP ignored, no -state-dir")
+				continue
 			}
+			if err := sealNow(); err != nil {
+				fmt.Fprintln(os.Stderr, "seal:", err)
+				continue
+			}
+			fmt.Printf("sealed %d entries to %s (SIGHUP)\n", svc.Server.Stats().Entries, snapshotPath)
+		case <-sealCh:
+			if err := sealNow(); err != nil {
+				fmt.Fprintln(os.Stderr, "seal:", err)
+			}
+		case <-statsCh:
+			st := svc.Server.Stats()
+			fmt.Printf("clients=%d entries=%d puts=%d gets=%d deletes=%d replays=%d seals=%d epc=%.1fMiB\n",
+				st.Clients, st.Entries, st.Puts, st.Gets, st.Deletes,
+				st.Replays, svc.Server.SealsTotal(), st.Enclave.WorkingSetMiB())
 		}
 	}
-	<-sig
-	return nil
 }

@@ -18,6 +18,9 @@ type Service struct {
 	listener *rdma.TCPListener
 	stopOnce sync.Once
 	done     chan struct{}
+
+	connMu sync.Mutex
+	conns  []rdma.Conn
 }
 
 // Serve starts a Precursor server on addr over the TCP fabric and accepts
@@ -42,6 +45,14 @@ func Serve(addr string, cfg ServerConfig) (*Service, error) {
 			if err != nil {
 				return
 			}
+			// Track the accepted queue pair so Close can sever it: a
+			// stopping server must hang up on its clients, or their
+			// in-flight operations sit out the full op timeout before
+			// discovering the outage (a cluster client's failover would
+			// be timeout-bound instead of detection-bound).
+			svc.connMu.Lock()
+			svc.conns = append(svc.conns, qp)
+			svc.connMu.Unlock()
 			go func() {
 				if _, err := server.HandleConnection(qp); err != nil {
 					_ = qp.Close()
@@ -55,11 +66,19 @@ func Serve(addr string, cfg ServerConfig) (*Service, error) {
 // Addr returns the service's bound address.
 func (s *Service) Addr() string { return s.listener.Addr() }
 
-// Close stops accepting connections and shuts the server down.
+// Close stops accepting connections, hangs up on connected clients and
+// shuts the server down.
 func (s *Service) Close() {
 	s.stopOnce.Do(func() {
 		_ = s.listener.Close()
 		<-s.done
+		s.connMu.Lock()
+		conns := s.conns
+		s.conns = nil
+		s.connMu.Unlock()
+		for _, qp := range conns {
+			_ = qp.Close()
+		}
 		s.Server.Close()
 	})
 }
@@ -123,6 +142,105 @@ func (cs *ClusterService) Specs() []ShardSpec {
 func (cs *ClusterService) Close() {
 	for _, svc := range cs.Shards {
 		svc.Close()
+	}
+}
+
+// ReplicatedClusterService is a deployment whose ring positions are
+// replica groups: Groups[g] holds R independent Services that replicate
+// the same key range. Replicas of a group share one platform (and the
+// same enclave image), so their sealing keys match and a sealed snapshot
+// taken on one replica restores on another — the transfer anti-entropy
+// repair performs. Clients drive the replication; see
+// DialReplicatedCluster.
+type ReplicatedClusterService struct {
+	// Groups are the running services, Groups[g][r] = replica r of group g.
+	Groups [][]*Service
+
+	platforms []*Platform    // one per group, shared by its replicas
+	cfgs      []ServerConfig // per-group config (with Platform set)
+}
+
+// ServeReplicatedCluster launches groups×replicas servers over the TCP
+// fabric: `groups` ring positions, each backed by `replicas` copies.
+// When cfg.Platform is nil each *group* gets a fresh platform shared by
+// its replicas (clients still attest every replica separately; replicas
+// of different groups share nothing).
+func ServeReplicatedCluster(groups, replicas int, cfg ServerConfig) (*ReplicatedClusterService, error) {
+	if groups <= 0 || replicas <= 0 {
+		return nil, fmt.Errorf("precursor: replicated cluster needs groups>0 and replicas>0, got %d×%d", groups, replicas)
+	}
+	cs := &ReplicatedClusterService{}
+	for g := 0; g < groups; g++ {
+		groupCfg := cfg
+		if groupCfg.Platform == nil {
+			platform, err := NewPlatform()
+			if err != nil {
+				cs.Close()
+				return nil, fmt.Errorf("group %d platform: %w", g, err)
+			}
+			groupCfg.Platform = platform
+		}
+		var members []*Service
+		for r := 0; r < replicas; r++ {
+			svc, err := Serve("127.0.0.1:0", groupCfg)
+			if err != nil {
+				for _, m := range members {
+					m.Close()
+				}
+				cs.Close()
+				return nil, fmt.Errorf("group %d replica %d: %w", g, r, err)
+			}
+			members = append(members, svc)
+		}
+		cs.Groups = append(cs.Groups, members)
+		cs.platforms = append(cs.platforms, groupCfg.Platform)
+		cs.cfgs = append(cs.cfgs, groupCfg)
+	}
+	return cs, nil
+}
+
+// GroupSpecs returns the per-group ShardSpecs a client needs to
+// DialReplicatedCluster this deployment.
+func (cs *ReplicatedClusterService) GroupSpecs() [][]ShardSpec {
+	specs := make([][]ShardSpec, len(cs.Groups))
+	for g, members := range cs.Groups {
+		for _, svc := range members {
+			specs[g] = append(specs[g], ShardSpec{
+				Addr:        svc.Addr(),
+				PlatformKey: cs.platforms[g].AttestationPublicKey(),
+				Measurement: svc.Server.Measurement(),
+			})
+		}
+	}
+	return specs
+}
+
+// RestartReplica kills replica r of group g and starts a fresh server —
+// empty state, same address, same platform (so its attestation identity
+// and sealing key are unchanged). This models a machine rebooting after
+// a crash: the replica must be repaired from its peers (snapshot + delta
+// replay through a repairing client) before it holds any data again.
+func (cs *ReplicatedClusterService) RestartReplica(g, r int) (*Service, error) {
+	if g < 0 || g >= len(cs.Groups) || r < 0 || r >= len(cs.Groups[g]) {
+		return nil, fmt.Errorf("precursor: no replica %d/%d", g, r)
+	}
+	old := cs.Groups[g][r]
+	addr := old.Addr()
+	old.Close()
+	svc, err := Serve(addr, cs.cfgs[g])
+	if err != nil {
+		return nil, fmt.Errorf("restart replica %d/%d on %s: %w", g, r, addr, err)
+	}
+	cs.Groups[g][r] = svc
+	return svc, nil
+}
+
+// Close shuts every replica of every group down.
+func (cs *ReplicatedClusterService) Close() {
+	for _, members := range cs.Groups {
+		for _, svc := range members {
+			svc.Close()
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -30,6 +31,21 @@ type Shard struct {
 	Backend Backend
 }
 
+// ReplicaGroup is one ring position backed by R replicas. Every replica
+// stores the group's full key range; the client fans writes out to all of
+// them and reads from the fastest healthy one. Group names take the ring
+// position (placement depends only on the set of group names); replica
+// names identify the individual servers for health, stats and repair.
+type ReplicaGroup struct {
+	// Name is the group's ring identity. Every client must derive the
+	// same name for the same membership (the root package joins the
+	// sorted replica addresses).
+	Name string
+	// Replicas are the group members, each an independently attested
+	// single-node server.
+	Replicas []Shard
+}
+
 // Options tunes a cluster Client.
 type Options struct {
 	// VirtualNodes per shard on the ring (DefaultVirtualNodes if <= 0).
@@ -43,6 +59,25 @@ type Options struct {
 	// (trips the breaker) rather than a data-level error like not-found.
 	// Default: core.ErrClosed or core.ErrTimeout.
 	IsShardFailure func(error) bool
+	// WriteQuorum is the number of replica acks a write needs in a
+	// replicated group (0 = majority). Clamped to each group's size.
+	WriteQuorum int
+	// OpenRepair opens an anti-entropy repair session against the named
+	// replica (the root package dials core.ConnectRepair). Nil restricts
+	// repair to journal replay: a replica that lost state entirely
+	// cannot rejoin without a snapshot source.
+	OpenRepair func(replica string) (RepairSession, error)
+	// RepairInterval is the cadence of the background probe/repair scan
+	// over replicated groups (default 250ms).
+	RepairInterval time.Duration
+	// JournalCap bounds each replica's missed-write journal (default
+	// 4096). Overflow discards the journal and forces a full snapshot
+	// sync instead — never a silent gap.
+	JournalCap int
+	// DisableAutoRepair turns the background probe/repair goroutine off
+	// (deterministic tests drive repair via short RepairInterval instead;
+	// production leaves this false).
+	DisableAutoRepair bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -61,27 +96,55 @@ func (o *Options) withDefaults() Options {
 			return errors.Is(err, core.ErrClosed) || errors.Is(err, core.ErrTimeout)
 		}
 	}
+	if out.RepairInterval <= 0 {
+		out.RepairInterval = 250 * time.Millisecond
+	}
+	if out.JournalCap <= 0 {
+		out.JournalCap = 4096
+	}
 	return out
 }
 
 // Client routes operations across shards by consistent key hash.
 //
-// Each shard has an independent health breaker: when an operation fails
-// with a shard-level error the shard is marked down and subsequent
-// operations routed to it fail immediately with a ShardError wrapping
-// ErrShardDown, until the retry backoff elapses and a single probe
-// operation is let through. Other shards are unaffected — a dead shard
-// costs its own keys, never the cluster.
+// Each ring position is a replica group (size 1 unless built with
+// NewReplicated). Within a group every replica has an independent health
+// breaker. Single-replica groups keep the original semantics: when the
+// one replica's breaker is open, operations fail immediately with a
+// ShardError wrapping ErrShardDown until the retry backoff elapses and a
+// probe is let through. Replicated groups never fail fast while any
+// replica survives: writes fan out to all live replicas and succeed on a
+// quorum of acks, reads fail over from the fastest replica to the next,
+// and a recovering replica is repaired (snapshot + delta + journal
+// replay) before it serves again.
 //
 // Client is safe for concurrent use when its Backends are (use pools).
 type Client struct {
 	ring   *Ring
-	shards map[string]*shardState
+	groups map[string]*groupState   // by group name (ring identity)
+	reps   map[string]*replicaState // by replica name
+	order  []string                 // group names, ring order
 	opts   Options
 	closed atomic.Bool
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+
+	failovers        atomic.Uint64 // reads served by a non-preferred replica
+	quorumShortfalls atomic.Uint64 // writes that missed their quorum
+	repairsDone      atomic.Uint64 // completed replica repairs
+	repairFailures   atomic.Uint64 // aborted repair attempts
 }
 
-// shardState is one shard's connection plus health and counters.
+// groupState is one ring position's replica set.
+type groupState struct {
+	name     string
+	replicas []*replicaState
+	quorum   int // write quorum (1 for single-replica groups)
+}
+
+func (g *groupState) single() bool { return len(g.replicas) == 1 }
+
+// replicaState is one replica's connection plus health and counters.
 //
 // The breaker is epoch-based so slow, overlapping operations cannot
 // flap it: admit hands each operation a token stamped with the current
@@ -90,12 +153,21 @@ type Client struct {
 // Without this, an operation admitted while the shard was healthy but
 // completing after it tripped would close (on success) or deepen (on
 // failure) the breaker it knows nothing about.
-type shardState struct {
+//
+// On top of the breaker, a replica in an R>1 group moves through three
+// states: up (serving), down (breaker open), repairing (breaker closed
+// again but excluded from reads and live writes until its journal and —
+// after state loss — a donor snapshot have been replayed). Writes that
+// cannot go to a replica are journaled so repair knows what to re-sync.
+type replicaState struct {
 	name    string
 	backend Backend
+	group   *groupState
 
 	puts, gets, deletes atomic.Uint64
 	errors              atomic.Uint64
+	missed              atomic.Uint64 // writes journaled/skipped while not up (replica lag)
+	repairs             atomic.Uint64 // completed repairs of this replica
 
 	// lat records whole-operation latency against this shard as seen by
 	// this client (queueing, transport and retries included). latIdx
@@ -103,6 +175,9 @@ type shardState struct {
 	// many goroutines may drive one shard through a pool.
 	lat    *hist.Sharded
 	latIdx atomic.Uint32
+	// ewma is a smoothed operation latency in nanoseconds, used to order
+	// replicated reads fastest-first.
+	ewma atomic.Int64
 
 	mu       sync.Mutex
 	epoch    uint64 // bumped on every trip/close transition
@@ -110,6 +185,12 @@ type shardState struct {
 	failures int       // consecutive shard-level failures
 	retryAt  time.Time // next probe admission when down
 	probing  bool      // a probe op is in flight
+
+	repairing     bool     // R>1: serving suspended until repair completes
+	needsFullSync bool     // repair must adopt a donor snapshot first
+	journal       []string // keys written while this replica was not up
+	journalDrop   bool     // journal overflowed; forces needsFullSync
+	repairBusy    bool     // a repair run is in flight
 }
 
 // admitToken records the breaker state an operation was admitted under.
@@ -118,101 +199,364 @@ type admitToken struct {
 	probe bool // this op is the single half-open probe
 }
 
-// New builds a cluster client over the given shards.
+// New builds a cluster client over the given shards, one replica per
+// ring position (the original unreplicated layout).
 func New(shards []Shard, opts Options) (*Client, error) {
-	if len(shards) == 0 {
+	groups := make([]ReplicaGroup, len(shards))
+	for i, s := range shards {
+		groups[i] = ReplicaGroup{Name: s.Name, Replicas: []Shard{s}}
+	}
+	return NewReplicated(groups, opts)
+}
+
+// NewReplicated builds a cluster client over replica groups. Group names
+// take ring positions; writes to a group fan out to its replicas and
+// need opts.WriteQuorum acks (majority by default); reads are served by
+// the fastest healthy replica with transparent failover. Unless
+// opts.DisableAutoRepair is set, a background goroutine probes downed
+// replicas and repairs recovering ones (donor snapshot + delta + journal
+// replay) before they rejoin.
+func NewReplicated(groups []ReplicaGroup, opts Options) (*Client, error) {
+	if len(groups) == 0 {
 		return nil, ErrNoShards
 	}
 	o := opts.withDefaults()
-	names := make([]string, len(shards))
-	states := make(map[string]*shardState, len(shards))
-	for i, s := range shards {
-		names[i] = s.Name
-		states[s.Name] = &shardState{name: s.Name, backend: s.Backend, lat: hist.NewSharded(0)}
+	c := &Client{
+		groups: make(map[string]*groupState, len(groups)),
+		reps:   make(map[string]*replicaState),
+		opts:   o,
+		stopCh: make(chan struct{}),
 	}
-	if len(states) != len(shards) {
-		return nil, errors.New("precursor/cluster: duplicate shard name")
+	names := make([]string, len(groups))
+	replicated := false
+	for i, g := range groups {
+		if len(g.Replicas) == 0 {
+			return nil, fmt.Errorf("precursor/cluster: group %q has no replicas", g.Name)
+		}
+		gs := &groupState{name: g.Name}
+		for _, r := range g.Replicas {
+			if _, dup := c.reps[r.Name]; dup {
+				return nil, fmt.Errorf("precursor/cluster: duplicate replica name %q", r.Name)
+			}
+			rep := &replicaState{name: r.Name, backend: r.Backend, group: gs, lat: hist.NewSharded(0)}
+			gs.replicas = append(gs.replicas, rep)
+			c.reps[r.Name] = rep
+		}
+		gs.quorum = quorumFor(len(gs.replicas), o.WriteQuorum)
+		if len(gs.replicas) > 1 {
+			replicated = true
+		}
+		if _, dup := c.groups[g.Name]; dup {
+			return nil, fmt.Errorf("precursor/cluster: duplicate group name %q", g.Name)
+		}
+		c.groups[g.Name] = gs
+		names[i] = g.Name
 	}
-	return &Client{ring: NewRing(names, o.VirtualNodes), shards: states, opts: o}, nil
+	c.ring = NewRing(names, o.VirtualNodes)
+	c.order = c.ring.Shards()
+	if replicated && !o.DisableAutoRepair {
+		c.wg.Add(1)
+		go c.repairLoop()
+	}
+	return c, nil
+}
+
+// quorumFor resolves the effective write quorum for a group of size r.
+func quorumFor(r, requested int) int {
+	w := requested
+	if w <= 0 {
+		w = r/2 + 1 // majority
+	}
+	if w > r {
+		w = r
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Ring exposes the placement ring (for metrics and tooling).
 func (c *Client) Ring() *Ring { return c.ring }
 
-// ShardFor returns the name of the shard that owns key.
+// ShardFor returns the name of the replica group that owns key.
 func (c *Client) ShardFor(key string) string { return c.ring.Lookup(key) }
 
-// Put stores value under key on the owning shard.
+// groupFor resolves the owning replica group, checking liveness.
+func (c *Client) groupFor(key string) (*groupState, error) {
+	if c.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	g := c.groups[c.ring.Lookup(key)]
+	if g == nil {
+		return nil, ErrNoShards
+	}
+	return g, nil
+}
+
+// Put stores value under key on the owning group: directly on a
+// single-replica group, quorum-fanned-out on a replicated one.
 func (c *Client) Put(key string, value []byte) error {
-	sh, tok, err := c.route(key)
+	g, err := c.groupFor(key)
 	if err != nil {
 		return err
 	}
-	t0 := time.Now()
-	err = sh.backend.Put(key, value)
-	sh.recordLatency(t0)
-	if err = c.observe(sh, tok, err); err == nil {
-		sh.puts.Add(1)
+	if g.single() {
+		return c.singleOp(g.replicas[0], func(b Backend) error { return b.Put(key, value) },
+			func(r *replicaState) { r.puts.Add(1) })
 	}
-	return err
+	return c.quorumWrite(g, key, func(b Backend) error { return b.Put(key, value) }, false,
+		func(r *replicaState) { r.puts.Add(1) })
 }
 
-// Get fetches and verifies the value for key from the owning shard.
+// Get fetches and verifies the value for key from the owning group's
+// fastest healthy replica, failing over on replica outages and on MAC
+// failures (the integrity backstop: a Byzantine replica can corrupt its
+// copy, but the client-side MAC catches it and the read moves on).
 func (c *Client) Get(key string) ([]byte, error) {
-	sh, tok, err := c.route(key)
+	g, err := c.groupFor(key)
 	if err != nil {
 		return nil, err
 	}
-	t0 := time.Now()
-	v, err := sh.backend.Get(key)
-	sh.recordLatency(t0)
-	if err = c.observe(sh, tok, err); err == nil {
-		sh.gets.Add(1)
+	if g.single() {
+		rep := g.replicas[0]
+		tok, err := c.admitLegacy(rep)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		v, err := rep.backend.Get(key)
+		rep.recordLatency(t0)
+		if err = c.observe(rep, tok, err, false, ""); err == nil {
+			rep.gets.Add(1)
+		}
+		return v, err
 	}
-	return v, err
+	return c.replicatedGet(g, key)
 }
 
-// Delete removes key from the owning shard.
+// Delete removes key from the owning group (quorum-acked when
+// replicated; a replica reporting not-found counts as an ack).
 func (c *Client) Delete(key string) error {
-	sh, tok, err := c.route(key)
+	g, err := c.groupFor(key)
+	if err != nil {
+		return err
+	}
+	if g.single() {
+		return c.singleOp(g.replicas[0], func(b Backend) error { return b.Delete(key) },
+			func(r *replicaState) { r.deletes.Add(1) })
+	}
+	return c.quorumWrite(g, key, func(b Backend) error { return b.Delete(key) }, true,
+		func(r *replicaState) { r.deletes.Add(1) })
+}
+
+// singleOp runs one operation against a single-replica group with the
+// original breaker semantics.
+func (c *Client) singleOp(rep *replicaState, do func(Backend) error, tally func(*replicaState)) error {
+	tok, err := c.admitLegacy(rep)
 	if err != nil {
 		return err
 	}
 	t0 := time.Now()
-	err = sh.backend.Delete(key)
-	sh.recordLatency(t0)
-	if err = c.observe(sh, tok, err); err == nil {
-		sh.deletes.Add(1)
+	err = do(rep.backend)
+	rep.recordLatency(t0)
+	if err = c.observe(rep, tok, err, false, ""); err == nil {
+		tally(rep)
 	}
 	return err
+}
+
+// admitLegacy consults a single-replica group's breaker, counting
+// fail-fast rejections as errors like the original client did.
+func (c *Client) admitLegacy(rep *replicaState) (admitToken, error) {
+	tok, err := rep.admit()
+	if err != nil {
+		rep.errors.Add(1)
+		return admitToken{}, err
+	}
+	return tok, nil
+}
+
+// quorumWrite fans a write out to every live replica of g concurrently
+// and succeeds once quorum acks arrive. Replicas that are down or
+// repairing journal the key instead (repair re-syncs it later — journal
+// entries are dirty markers, not acks). Partial application joins
+// core.ErrUnconfirmed onto the failure, mirroring the single-node
+// write-outcome semantics.
+func (c *Client) quorumWrite(g *groupState, key string, do func(Backend) error, isDelete bool, tally func(*replicaState)) error {
+	live := make([]*replicaState, 0, len(g.replicas))
+	toks := make([]admitToken, 0, len(g.replicas))
+	for _, rep := range g.replicas {
+		if tok, ok := rep.admitWrite(c.opts.JournalCap, key); ok {
+			live = append(live, rep)
+			toks = append(toks, tok)
+		}
+	}
+	if len(live) == 0 {
+		c.quorumShortfalls.Add(1)
+		return &ShardError{Shard: g.name, Err: ErrShardDown}
+	}
+	// The channel is buffered and each goroutine runs its breaker
+	// observation itself, so the collector may return at quorum and let
+	// stragglers (e.g. an attempt stuck in a dead pool's acquire wait)
+	// drain in the background without stalling the caller.
+	ch := make(chan error, len(live))
+	for i, rep := range live {
+		go func(rep *replicaState, tok admitToken) {
+			t0 := time.Now()
+			err := do(rep.backend)
+			d := time.Since(t0)
+			rep.recordLatency(t0)
+			rep.noteLatency(d)
+			if err = c.observe(rep, tok, err, true, key); err == nil {
+				tally(rep)
+			}
+			ch <- err
+		}(rep, toks[i])
+	}
+	var acks, notFounds int
+	var firstFail, firstData error
+	for range live {
+		err := <-ch
+		switch {
+		case err == nil:
+			acks++
+		case isDelete && errors.Is(err, core.ErrNotFound):
+			// The replica never had the key — for a delete that is the
+			// desired end state, so it counts toward the quorum.
+			acks++
+			notFounds++
+		case c.opts.IsShardFailure(err) || errors.Is(err, core.ErrUnconfirmed):
+			if firstFail == nil {
+				firstFail = err
+			}
+		default:
+			if firstData == nil {
+				firstData = err
+			}
+		}
+		if acks >= g.quorum {
+			if isDelete && acks == notFounds {
+				return core.ErrNotFound
+			}
+			return nil
+		}
+	}
+	c.quorumShortfalls.Add(1)
+	if acks == 0 && firstFail == nil && firstData != nil {
+		// Every replica rejected the operation deterministically (e.g.
+		// oversized value): a clean data error, nothing was applied.
+		return firstData
+	}
+	cause := firstFail
+	if cause == nil {
+		cause = firstData
+	}
+	if cause == nil {
+		cause = ErrShardDown
+	}
+	if acks > 0 && !errors.Is(cause, core.ErrUnconfirmed) {
+		// Some replicas applied the write and the group is below quorum:
+		// the outcome is indeterminate until repair reconverges.
+		cause = fmt.Errorf("%w; %w", cause, core.ErrUnconfirmed)
+	}
+	return &ShardError{Shard: g.name, Err: fmt.Errorf("%w (%d/%d acks): %w", ErrNoQuorum, acks, g.quorum, cause)}
+}
+
+// replicatedGet serves a read from the fastest healthy replica, failing
+// over to the next on shard-level errors and on payload-MAC failures.
+// Not-found from a healthy replica is authoritative (an up replica has
+// every acked write) and is returned immediately.
+func (c *Client) replicatedGet(g *groupState, key string) ([]byte, error) {
+	order := g.readOrder()
+	probeFallback := len(order) == 0
+	if probeFallback {
+		// No replica is up. Try breaker probes on downed replicas so a
+		// read-only workload can still resurrect the group.
+		order = g.replicas
+	}
+	var lastErr error
+	attempted := 0
+	for _, rep := range order {
+		var tok admitToken
+		var ok bool
+		if probeFallback {
+			tok, ok = rep.admitProbe()
+		} else {
+			tok, ok = rep.admitRead()
+		}
+		if !ok {
+			continue
+		}
+		attempted++
+		t0 := time.Now()
+		v, err := rep.backend.Get(key)
+		d := time.Since(t0)
+		rep.recordLatency(t0)
+		err = c.observe(rep, tok, err, true, "")
+		if err == nil {
+			rep.noteLatency(d)
+			rep.gets.Add(1)
+			if attempted > 1 {
+				c.failovers.Add(1)
+			}
+			return v, nil
+		}
+		if errors.Is(err, core.ErrIntegrity) {
+			// Integrity backstop: this replica returned a payload whose
+			// MAC does not verify — treat like an outage and fail over.
+			lastErr = err
+			continue
+		}
+		if !c.opts.IsShardFailure(err) {
+			return nil, err // data-level and authoritative (e.g. not-found)
+		}
+		lastErr = err
+	}
+	if attempted == 0 {
+		for _, rep := range g.replicas {
+			rep.errors.Add(1)
+		}
+		return nil, &ShardError{Shard: g.name, Err: ErrShardDown}
+	}
+	return nil, lastErr
+}
+
+// readOrder snapshots the group's up replicas, fastest (EWMA) first.
+func (g *groupState) readOrder() []*replicaState {
+	ups := make([]*replicaState, 0, len(g.replicas))
+	for _, rep := range g.replicas {
+		rep.mu.Lock()
+		up := !rep.down && !rep.repairing
+		rep.mu.Unlock()
+		if up {
+			ups = append(ups, rep)
+		}
+	}
+	sort.SliceStable(ups, func(i, j int) bool { return ups[i].ewma.Load() < ups[j].ewma.Load() })
+	return ups
 }
 
 // recordLatency adds one operation's elapsed time to the shard's
 // latency histogram, striping across histogram shards for concurrency.
-func (s *shardState) recordLatency(start time.Time) {
+func (s *replicaState) recordLatency(start time.Time) {
 	s.lat.Record(int(s.latIdx.Add(1)), time.Since(start))
 }
 
-// route picks the owning shard and consults its breaker.
-func (c *Client) route(key string) (*shardState, admitToken, error) {
-	if c.closed.Load() {
-		return nil, admitToken{}, ErrClientClosed
+// noteLatency folds one sample into the read-preference EWMA (1/8 new).
+func (s *replicaState) noteLatency(d time.Duration) {
+	old := s.ewma.Load()
+	if old == 0 {
+		s.ewma.Store(int64(d))
+		return
 	}
-	sh := c.shards[c.ring.Lookup(key)]
-	if sh == nil {
-		return nil, admitToken{}, ErrNoShards
-	}
-	tok, err := sh.admit()
-	if err != nil {
-		sh.errors.Add(1)
-		return nil, admitToken{}, err
-	}
-	return sh, tok, nil
+	s.ewma.Store(old - old/8 + int64(d)/8)
 }
 
 // admit lets an operation through unless the shard's breaker is open,
-// stamping it with the breaker epoch it was admitted under.
-func (s *shardState) admit() (admitToken, error) {
+// stamping it with the breaker epoch it was admitted under. This is the
+// single-replica-group policy: when down, one probe per backoff window.
+func (s *replicaState) admit() (admitToken, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.down {
@@ -225,15 +569,82 @@ func (s *shardState) admit() (admitToken, error) {
 	return admitToken{epoch: s.epoch, probe: true}, nil
 }
 
-// observe feeds an operation result back into the shard's breaker and
+// admitWrite decides a replicated write's fate for this replica: live
+// (token returned), or journaled for repair because the replica is down
+// or repairing. The journal append happens under the same lock as the
+// state check, so repair's journal-empty rejoin can never miss a write.
+func (s *replicaState) admitWrite(journalCap int, key string) (admitToken, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.down && !s.repairing {
+		return admitToken{epoch: s.epoch}, true
+	}
+	s.journalLocked(journalCap, key)
+	s.missed.Add(1)
+	return admitToken{}, false
+}
+
+// admitRead admits a replicated read only on an up replica.
+func (s *replicaState) admitRead() (admitToken, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.down && !s.repairing {
+		return admitToken{epoch: s.epoch}, true
+	}
+	return admitToken{}, false
+}
+
+// admitProbe admits one half-open probe on a downed replica whose
+// backoff has elapsed (replicated groups; used when no replica is up and
+// by the background repair scan).
+func (s *replicaState) admitProbe() (admitToken, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.down {
+		if s.repairing {
+			return admitToken{}, false
+		}
+		return admitToken{epoch: s.epoch}, true
+	}
+	if s.probing || time.Now().Before(s.retryAt) {
+		return admitToken{}, false
+	}
+	s.probing = true
+	return admitToken{epoch: s.epoch, probe: true}, true
+}
+
+// journalLocked appends key to the missed-write journal (caller holds
+// s.mu). Overflow drops the whole journal and flags a full sync — an
+// incomplete journal must never masquerade as a complete delta.
+func (s *replicaState) journalLocked(cap int, key string) {
+	if s.journalDrop {
+		return
+	}
+	if len(s.journal) >= cap {
+		s.journal = nil
+		s.journalDrop = true
+		s.needsFullSync = true
+		return
+	}
+	s.journal = append(s.journal, key)
+}
+
+// observe feeds an operation result back into the replica's breaker and
 // wraps shard-level failures in a ShardError. Data-level errors (e.g.
 // not-found, integrity) pass through unchanged and prove liveness.
 //
 // Only results whose token epoch is still current may transition the
 // breaker, and only a probe's success may close it — a success that was
 // admitted before the trip proves nothing about the shard now.
-func (c *Client) observe(s *shardState, tok admitToken, err error) error {
+//
+// For replicated groups (replicated=true) two extra rules apply: a
+// closing probe lands in the repairing state when the replica has
+// anything to catch up on, and a failed write (writeKey != "") journals
+// its key so repair re-syncs it — including ambiguous outcomes
+// (ErrUnconfirmed), where the replica may or may not have applied it.
+func (c *Client) observe(s *replicaState, tok admitToken, err error, replicated bool, writeKey string) error {
 	fatal := err != nil && c.opts.IsShardFailure(err)
+	ambiguous := err != nil && errors.Is(err, core.ErrUnconfirmed)
 	s.mu.Lock()
 	current := tok.epoch == s.epoch
 	switch {
@@ -243,6 +654,14 @@ func (c *Client) observe(s *shardState, tok admitToken, err error) error {
 		s.down = true
 		s.probing = false
 		s.failures++
+		if replicated {
+			s.repairing = true
+			if c.opts.OpenRepair != nil {
+				// The outage may have been a restart with state loss; a
+				// snapshot source exists, so re-sync conservatively.
+				s.needsFullSync = true
+			}
+		}
 		backoff := c.opts.RetryBackoff << uint(min(s.failures-1, 16))
 		if backoff > c.opts.MaxBackoff || backoff <= 0 {
 			backoff = c.opts.MaxBackoff
@@ -254,11 +673,22 @@ func (c *Client) observe(s *shardState, tok admitToken, err error) error {
 		s.down = false
 		s.probing = false
 		s.failures = 0
+		if replicated && (s.needsFullSync || s.journalDrop || len(s.journal) > 0) {
+			s.repairing = true // serving resumes only after repair
+		} else {
+			s.repairing = false
+		}
 	case !fatal && current && !s.down:
 		// Routine success on a closed breaker: nothing to transition.
 	default:
 		// Stale token (the breaker moved on while this op was in
 		// flight): the result must not flap state it predates.
+	}
+	if replicated && writeKey != "" && err != nil && (fatal || ambiguous) {
+		// This replica missed (or may have missed) the write: remember
+		// the key so repair re-syncs it from a healthy donor.
+		s.repairing = true
+		s.journalLocked(c.opts.JournalCap, writeKey)
 	}
 	s.mu.Unlock()
 	if err != nil {
@@ -270,15 +700,16 @@ func (c *Client) observe(s *shardState, tok admitToken, err error) error {
 	return err
 }
 
-// Degraded returns the names of shards whose breaker is currently open,
-// sorted. An empty slice means every shard is believed healthy.
+// Degraded returns the names of replicas that are not currently serving
+// (breaker open, or suspended while repair catches them up), sorted. An
+// empty slice means every replica is believed healthy.
 func (c *Client) Degraded() []string {
 	var out []string
-	for name, sh := range c.shards {
-		sh.mu.Lock()
-		down := sh.down
-		sh.mu.Unlock()
-		if down {
+	for name, rep := range c.reps {
+		rep.mu.Lock()
+		bad := rep.down || rep.repairing
+		rep.mu.Unlock()
+		if bad {
 			out = append(out, name)
 		}
 	}
@@ -286,18 +717,42 @@ func (c *Client) Degraded() []string {
 	return out
 }
 
-// Healthy reports whether no shard is marked down.
+// Healthy reports whether every replica is serving.
 func (c *Client) Healthy() bool { return len(c.Degraded()) == 0 }
 
-// ShardStats is one shard's activity and health snapshot.
+// Available reports whether at least one replica is currently serving —
+// the cluster-level readiness signal (/healthz reports 503 when false).
+func (c *Client) Available() bool {
+	for _, rep := range c.reps {
+		rep.mu.Lock()
+		up := !rep.down && !rep.repairing
+		rep.mu.Unlock()
+		if up {
+			return true
+		}
+	}
+	return false
+}
+
+// ShardStats is one replica's activity and health snapshot.
 type ShardStats struct {
-	Name                string
+	Name string
+	// Group is the replica group (ring position) this replica belongs
+	// to. Equal to Name for single-replica groups.
+	Group               string
 	Puts, Gets, Deletes uint64
 	Errors              uint64
 	Down                bool
+	// State is "up", "down" or "repairing".
+	State               string
 	ConsecutiveFailures int
-	// Ownership is the shard's share of the hash space: its expected
-	// fraction of keys under a uniform distribution.
+	// Lag counts writes this replica missed (journaled or skipped) since
+	// it was last fully caught up.
+	Lag uint64
+	// Repairs counts completed anti-entropy repairs of this replica.
+	Repairs uint64
+	// Ownership is the replica's share of the hash space: its group's
+	// expected fraction of keys under a uniform distribution.
 	Ownership float64
 	// Latency summarizes whole-operation latency against this shard as
 	// seen by this client, retries and transport included (always on —
@@ -307,48 +762,81 @@ type ShardStats struct {
 
 // Stats aggregates cluster activity.
 type Stats struct {
-	Shards              []ShardStats // sorted by name
+	Shards              []ShardStats // sorted by group, ring order
+	Groups              int
 	Puts, Gets, Deletes uint64
 	Errors              uint64
+	// Failovers counts replicated reads served by a replica other than
+	// the first one tried.
+	Failovers uint64
+	// QuorumShortfalls counts replicated writes that missed their quorum.
+	QuorumShortfalls uint64
+	// Repairs and RepairFailures count completed and aborted anti-entropy
+	// repair runs across all replicas.
+	Repairs        uint64
+	RepairFailures uint64
 }
 
-// Stats snapshots per-shard counters, health and ring ownership.
+// Stats snapshots per-replica counters, health and ring ownership.
 func (c *Client) Stats() Stats {
 	own := c.ring.OwnershipFractions()
-	st := Stats{Shards: make([]ShardStats, 0, len(c.shards))}
-	for _, name := range c.ring.Shards() {
-		sh := c.shards[name]
-		sh.mu.Lock()
-		ss := ShardStats{
-			Name:                name,
-			Puts:                sh.puts.Load(),
-			Gets:                sh.gets.Load(),
-			Deletes:             sh.deletes.Load(),
-			Errors:              sh.errors.Load(),
-			Down:                sh.down,
-			ConsecutiveFailures: sh.failures,
-			Ownership:           own[name],
-			Latency:             sh.lat.Snapshot().Quantiles(),
+	st := Stats{
+		Groups:           len(c.order),
+		Failovers:        c.failovers.Load(),
+		QuorumShortfalls: c.quorumShortfalls.Load(),
+		Repairs:          c.repairsDone.Load(),
+		RepairFailures:   c.repairFailures.Load(),
+	}
+	for _, name := range c.order {
+		g := c.groups[name]
+		for _, rep := range g.replicas {
+			rep.mu.Lock()
+			state := "up"
+			if rep.down {
+				state = "down"
+			} else if rep.repairing {
+				state = "repairing"
+			}
+			ss := ShardStats{
+				Name:                rep.name,
+				Group:               g.name,
+				Puts:                rep.puts.Load(),
+				Gets:                rep.gets.Load(),
+				Deletes:             rep.deletes.Load(),
+				Errors:              rep.errors.Load(),
+				Down:                rep.down,
+				State:               state,
+				ConsecutiveFailures: rep.failures,
+				Lag:                 rep.missed.Load() + uint64(len(rep.journal)),
+				Repairs:             rep.repairs.Load(),
+				Ownership:           own[g.name],
+				Latency:             rep.lat.Snapshot().Quantiles(),
+			}
+			rep.mu.Unlock()
+			st.Shards = append(st.Shards, ss)
+			st.Puts += ss.Puts
+			st.Gets += ss.Gets
+			st.Deletes += ss.Deletes
+			st.Errors += ss.Errors
 		}
-		sh.mu.Unlock()
-		st.Shards = append(st.Shards, ss)
-		st.Puts += ss.Puts
-		st.Gets += ss.Gets
-		st.Deletes += ss.Deletes
-		st.Errors += ss.Errors
 	}
 	return st
 }
 
-// Close closes every shard backend. Safe to call twice.
+// Close stops the repair goroutine and closes every replica backend.
+// Safe to call twice.
 func (c *Client) Close() error {
 	if c.closed.Swap(true) {
 		return nil
 	}
+	close(c.stopCh)
+	c.wg.Wait()
 	var firstErr error
-	for _, name := range c.ring.Shards() {
-		if err := c.shards[name].backend.Close(); err != nil && firstErr == nil {
-			firstErr = err
+	for _, name := range c.order {
+		for _, rep := range c.groups[name].replicas {
+			if err := rep.backend.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
 	return firstErr

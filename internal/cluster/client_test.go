@@ -60,6 +60,9 @@ func (f *fakeBackend) Delete(key string) error {
 	if f.fail != nil {
 		return f.fail
 	}
+	if _, ok := f.m[key]; !ok {
+		return core.ErrNotFound // matches core.Client semantics
+	}
 	delete(f.m, key)
 	return nil
 }

@@ -17,6 +17,13 @@
 //     tracks per-shard health with retry/backoff so a dead shard fails
 //     fast (typed ShardError wrapping ErrShardDown) instead of hanging
 //     every operation, and aggregates per-shard statistics.
+//   - Replication: each ring position can be a ReplicaGroup of R servers
+//     (NewReplicated). Writes fan out to every live replica and succeed
+//     on a quorum of acks; reads come from the fastest healthy replica
+//     with transparent failover (the client-side payload MAC is the
+//     integrity backstop against a Byzantine replica); a recovering
+//     replica is repaired — donor sealed snapshot + delta + journal
+//     replay (repair.go) — before it serves again.
 //   - Topology: deployment bookkeeping shared by cmd/precursor-server's
 //     -shard i/n mode and cmd/precursor-cluster (server.go).
 //
@@ -40,6 +47,11 @@ var (
 	ErrShardDown = errors.New("precursor/cluster: shard down")
 	// ErrClientClosed is returned by operations on a closed cluster client.
 	ErrClientClosed = errors.New("precursor/cluster: client closed")
+	// ErrNoQuorum is wrapped by ShardError when a replicated write got
+	// fewer acks than the group's write quorum. If any replica did apply
+	// the write, core.ErrUnconfirmed is joined in as well: the outcome is
+	// indeterminate until anti-entropy repair reconverges the group.
+	ErrNoQuorum = errors.New("precursor/cluster: write quorum not reached")
 )
 
 // ShardError ties an operation failure to the shard it was routed to, so

@@ -1,0 +1,271 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"precursor/internal/core"
+)
+
+// Replica repair orchestration.
+//
+// The repair path is client-driven, like everything else in Precursor: a
+// recovering replica never talks to its peers. Instead the cluster
+// client (1) streams a sealed snapshot out of a healthy donor and pushes
+// it into the target — the blob is AEAD-sealed under the group's shared
+// sealing key and stamped with the donor's rollback counter, so the
+// client ferries bytes it cannot read and the target verifies them; then
+// (2) replays the donor's post-snapshot delta and the client's own
+// missed-write journal through the ordinary data path, re-encrypting
+// each value under a fresh one-time key. Only after the journal drains
+// completely does the replica rejoin the serving set.
+
+// RepairSession is one replica's anti-entropy endpoint, opened through
+// Options.OpenRepair. *core.RepairClient satisfies it.
+type RepairSession interface {
+	// FetchSnapshot asks the replica to seal its state and streams the
+	// sealed blob to w, returning the snapshot's seal generation.
+	FetchSnapshot(w io.Writer) (uint64, error)
+	// PushSnapshot streams a sealed snapshot into the replica, which
+	// verifies and adopts it. Returns the replica's resulting entry count.
+	PushSnapshot(r io.Reader) (int, error)
+	// DeltaSince lists the keys the replica dirtied since its seal at
+	// generation gen (core.ErrSealGeneration if gen is stale,
+	// core.ErrDeltaTruncated if the delta overflowed).
+	DeltaSince(gen uint64) ([]string, error)
+	// Close ends the session.
+	Close() error
+}
+
+// probeKey is the key used for breaker probes against downed replicas.
+// It is never written, so a healthy replica answers not-found — which
+// proves liveness just as well as a hit.
+const probeKey = "\x00precursor/probe"
+
+// repairBatch bounds how many journal entries one drain pass claims, so
+// rejoin latency stays bounded even under a write-heavy race.
+const repairBatch = 256
+
+// snapshotRetries bounds how often a full sync refetches the snapshot
+// because concurrent seals invalidated the delta generation.
+const snapshotRetries = 3
+
+// repairLoop is the background scan over replicated groups: it probes
+// downed replicas whose backoff has elapsed and launches repair for
+// replicas that are back up but not yet caught up.
+func (c *Client) repairLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.opts.RepairInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-t.C:
+		}
+		for _, name := range c.order {
+			g := c.groups[name]
+			if g.single() {
+				continue
+			}
+			for _, rep := range g.replicas {
+				c.tendReplica(g, rep)
+			}
+		}
+	}
+}
+
+// tendReplica advances one replica's recovery by at most one step:
+// launch a probe if it is down and due, or a repair run if it is
+// repairing and none is in flight.
+func (c *Client) tendReplica(g *groupState, rep *replicaState) {
+	rep.mu.Lock()
+	if rep.down {
+		due := !rep.probing && !time.Now().Before(rep.retryAt)
+		if due {
+			rep.probing = true
+			tok := admitToken{epoch: rep.epoch, probe: true}
+			rep.mu.Unlock()
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				c.probeReplica(rep, tok)
+			}()
+			return
+		}
+		rep.mu.Unlock()
+		return
+	}
+	if rep.repairing && !rep.repairBusy {
+		rep.repairBusy = true
+		rep.mu.Unlock()
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.repairReplica(g, rep)
+		}()
+		return
+	}
+	rep.mu.Unlock()
+}
+
+// probeReplica runs the half-open probe: any data-level answer (even
+// not-found) proves the replica is back.
+func (c *Client) probeReplica(rep *replicaState, tok admitToken) {
+	_, err := rep.backend.Get(probeKey)
+	if err != nil && !c.opts.IsShardFailure(err) {
+		err = nil // a data-level reply is a live replica
+	}
+	_ = c.observe(rep, tok, err, true, "")
+}
+
+// repairReplica runs one repair attempt and clears the busy flag. A
+// failed attempt leaves the replica repairing; the next scan retries
+// (typically with a different donor if the old one tripped).
+func (c *Client) repairReplica(g *groupState, rep *replicaState) {
+	err := c.runRepair(g, rep)
+	rep.mu.Lock()
+	rep.repairBusy = false
+	rep.mu.Unlock()
+	if err != nil {
+		c.repairFailures.Add(1)
+	} else {
+		rep.repairs.Add(1)
+		c.repairsDone.Add(1)
+	}
+}
+
+// runRepair brings rep fully up to date: a donor snapshot + delta replay
+// if its state is suspect, then a drain of the missed-write journal. The
+// final empty-journal check and the up transition happen under the
+// replica lock, the same lock admitWrite journals under — so no write
+// can slip between "journal is empty" and "serving again".
+func (c *Client) runRepair(g *groupState, rep *replicaState) error {
+	rep.mu.Lock()
+	needFull := rep.needsFullSync || rep.journalDrop
+	rep.mu.Unlock()
+	donor := c.pickDonor(g, rep)
+	if donor == nil {
+		return fmt.Errorf("precursor/cluster: no healthy donor in group %q for %q", g.name, rep.name)
+	}
+	if needFull {
+		if c.opts.OpenRepair == nil {
+			return fmt.Errorf("precursor/cluster: replica %q needs a full sync but no repair transport is configured", rep.name)
+		}
+		if err := c.fullSync(donor, rep); err != nil {
+			return fmt.Errorf("full sync %q from %q: %w", rep.name, donor.name, err)
+		}
+		rep.mu.Lock()
+		rep.needsFullSync = false
+		rep.journalDrop = false
+		rep.mu.Unlock()
+	}
+	for {
+		rep.mu.Lock()
+		if len(rep.journal) == 0 {
+			// Caught up. Flip to serving atomically with the emptiness
+			// check; a concurrent write now goes to the live path.
+			rep.repairing = false
+			rep.missed.Store(0)
+			rep.mu.Unlock()
+			return nil
+		}
+		n := min(len(rep.journal), repairBatch)
+		batch := append([]string(nil), rep.journal[:n]...)
+		rep.journal = rep.journal[n:]
+		rep.mu.Unlock()
+		seen := make(map[string]struct{}, len(batch))
+		for i, key := range batch {
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			if err := c.replayKey(donor, rep, key); err != nil {
+				// Put the unreplayed tail back so the next attempt
+				// finishes the job (order is irrelevant: replay copies
+				// the donor's *current* value).
+				rep.mu.Lock()
+				rep.journal = append(rep.journal, batch[i:]...)
+				rep.mu.Unlock()
+				return fmt.Errorf("replay %q onto %q: %w", key, rep.name, err)
+			}
+		}
+	}
+}
+
+// pickDonor returns an up replica of g other than rep (nil if none).
+func (c *Client) pickDonor(g *groupState, rep *replicaState) *replicaState {
+	for _, peer := range g.replicas {
+		if peer == rep {
+			continue
+		}
+		peer.mu.Lock()
+		up := !peer.down && !peer.repairing
+		peer.mu.Unlock()
+		if up {
+			return peer
+		}
+	}
+	return nil
+}
+
+// fullSync adopts the donor's sealed snapshot on the target, then
+// replays the donor's post-snapshot delta. If seals race the delta query
+// the snapshot is refetched (bounded by snapshotRetries).
+func (c *Client) fullSync(donor, rep *replicaState) error {
+	ds, err := c.opts.OpenRepair(donor.name)
+	if err != nil {
+		return fmt.Errorf("open donor session: %w", err)
+	}
+	defer ds.Close()
+	ts, err := c.opts.OpenRepair(rep.name)
+	if err != nil {
+		return fmt.Errorf("open target session: %w", err)
+	}
+	defer ts.Close()
+	for attempt := 0; attempt < snapshotRetries; attempt++ {
+		var sealed bytes.Buffer
+		gen, err := ds.FetchSnapshot(&sealed)
+		if err != nil {
+			return fmt.Errorf("fetch snapshot: %w", err)
+		}
+		if _, err := ts.PushSnapshot(bytes.NewReader(sealed.Bytes())); err != nil {
+			return fmt.Errorf("push snapshot: %w", err)
+		}
+		keys, err := ds.DeltaSince(gen)
+		if err != nil {
+			if errors.Is(err, core.ErrSealGeneration) || errors.Is(err, core.ErrDeltaTruncated) {
+				continue // another seal raced in; take a fresh snapshot
+			}
+			return fmt.Errorf("delta since %d: %w", gen, err)
+		}
+		for _, key := range keys {
+			if err := c.replayKey(donor, rep, key); err != nil {
+				return fmt.Errorf("replay delta key: %w", err)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("precursor/cluster: snapshot of %q raced concurrent seals %d times", donor.name, snapshotRetries)
+}
+
+// replayKey copies one key's current state from donor to rep through the
+// ordinary (MAC-verified, re-encrypted) data path. Not-found on the
+// donor means the key was deleted — mirror the delete.
+func (c *Client) replayKey(donor, rep *replicaState, key string) error {
+	v, err := donor.backend.Get(key)
+	switch {
+	case err == nil:
+		return rep.backend.Put(key, v)
+	case errors.Is(err, core.ErrNotFound):
+		if err := rep.backend.Delete(key); err != nil && !errors.Is(err, core.ErrNotFound) {
+			return err
+		}
+		return nil
+	default:
+		return err
+	}
+}

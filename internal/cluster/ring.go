@@ -116,7 +116,7 @@ func (r *Ring) OwnershipFractions() map[string]float64 {
 	if len(r.points) == 0 {
 		return out
 	}
-	const space = float64(1 << 63) * 2 // 2^64
+	const space = float64(1<<63) * 2 // 2^64
 	arcs := make([]float64, len(r.shards))
 	for i, p := range r.points {
 		var arc uint64

@@ -17,6 +17,11 @@ import (
 
 // helloMsg is the client's combined attestation + bootstrap request.
 type helloMsg struct {
+	// Role selects the session type: empty for the ring-based data path,
+	// "repair" for an anti-entropy repair session (PROTOCOL.md §10).
+	// Repair sessions attest exactly like data clients but skip ring
+	// setup — the Resp* / *CreditRKey fields are ignored for them.
+	Role string `json:"role,omitempty"`
 	// Attestation handshake (ECDH public key + nonce).
 	AttestPub   []byte `json:"attestPub"`
 	AttestNonce []byte `json:"attestNonce"`

@@ -15,7 +15,7 @@ import (
 // testCluster is a server plus helpers to attach clients over an
 // in-process fabric.
 type testCluster struct {
-	t        *testing.T
+	t        testing.TB
 	fabric   *rdma.Fabric
 	platform *sgx.Platform
 	server   *Server
@@ -23,7 +23,7 @@ type testCluster struct {
 	nDev     int
 }
 
-func newCluster(t *testing.T, cfg ServerConfig) *testCluster {
+func newCluster(t testing.TB, cfg ServerConfig) *testCluster {
 	t.Helper()
 	platform, err := sgx.NewPlatform()
 	if err != nil {

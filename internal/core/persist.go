@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"precursor/internal/cryptox"
+	"precursor/internal/sgx"
 	"precursor/internal/wire"
 )
 
@@ -36,8 +38,12 @@ var snapshotMagic = []byte("PRECURSOR-SNAP-1")
 
 // Seal writes an authenticated, encrypted snapshot of the store to w and
 // bumps the trusted monotonic counter. Only a snapshot produced by the
-// latest Seal will Restore.
+// latest Seal will Restore. Sealing also starts a fresh delta log: keys
+// dirtied after this seal are enumerable with DeltaSince, which is how
+// anti-entropy repair avoids re-streaming unchanged state.
 func (s *Server) Seal(w io.Writer) error {
+	s.sealMu.Lock()
+	defer s.sealMu.Unlock()
 	return s.enclave.Ecall("seal_state", func() error {
 		key, err := s.enclave.SealingKey()
 		if err != nil {
@@ -47,20 +53,28 @@ func (s *Server) Seal(w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		// Swap in a fresh dirty-key set before serializing: a write racing
+		// the serialization lands in the new set (and possibly also in the
+		// snapshot — a harmless duplicate), never in neither.
+		s.beginDeltaSeal()
 		plain, err := s.serializeState()
 		if err != nil {
+			s.abortDeltaSeal()
 			return err
 		}
 		counter, err := s.rollback.Increment()
 		if err != nil {
+			s.abortDeltaSeal()
 			return fmt.Errorf("trusted counter: %w", err)
 		}
 		var ad [8]byte
 		binary.LittleEndian.PutUint64(ad[:], counter)
 		sealed, err := aead.Seal(plain, ad[:])
 		if err != nil {
+			s.abortDeltaSeal()
 			return err
 		}
+		s.commitDeltaSeal(counter)
 		if _, err := w.Write(snapshotMagic); err != nil {
 			return fmt.Errorf("write snapshot: %w", err)
 		}
@@ -73,15 +87,45 @@ func (s *Server) Seal(w io.Writer) error {
 		if _, err := w.Write(sealed); err != nil {
 			return fmt.Errorf("write snapshot: %w", err)
 		}
+		s.seals.Add(1)
+		s.lastSeal.Store(time.Now().UnixNano())
 		return nil
 	})
 }
+
+// LastSealTime returns when the last successful Seal completed (zero time
+// if this process has never sealed). /metrics and /healthz surface its
+// age so operators can alert on stale snapshots.
+func (s *Server) LastSealTime() time.Time {
+	ns := s.lastSeal.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// SealsTotal counts successful Seal calls over this process's lifetime.
+func (s *Server) SealsTotal() uint64 { return s.seals.Load() }
 
 // Restore replaces the store's contents with a snapshot previously
 // produced by Seal. The snapshot must authenticate under the enclave's
 // sealing key and carry the trusted counter's current value; an older
 // counter means the host fed the enclave stale state.
-func (s *Server) Restore(r io.Reader) error {
+func (s *Server) Restore(r io.Reader) error { return s.restore(r, false) }
+
+// RestoreReplica replaces the store's contents with a snapshot sealed by
+// a *peer* replica of the same replica group (same platform, same
+// enclave image — hence the same sealing key). The donor's counter may
+// be ahead of this replica's; the local trusted counter is fast-forwarded
+// to match (sgx.CounterAdvancer), after which the usual counter==current
+// invariant holds. A snapshot *behind* the local counter is still
+// rejected as a rollback — adopting newer peer state is catch-up,
+// adopting older state is the attack Restore exists to stop.
+func (s *Server) RestoreReplica(r io.Reader) error { return s.restore(r, true) }
+
+func (s *Server) restore(r io.Reader, allowNewer bool) error {
+	s.sealMu.Lock()
+	defer s.sealMu.Unlock()
 	// While state is being replaced the server is not ready for traffic;
 	// /healthz readiness reports 503 until the restore completes. A
 	// server closed mid-restore stays not-ready.
@@ -110,9 +154,15 @@ func (s *Server) Restore(r io.Reader) error {
 		if size > 1<<32 {
 			return ErrSnapshotFormat
 		}
-		sealed := make([]byte, size)
-		if _, err := io.ReadFull(r, sealed); err != nil {
+		// Grow with the data actually present rather than trusting the
+		// header's length — a forged size would otherwise make the enclave
+		// allocate gigabytes before the first payload byte is read.
+		sealed, err := io.ReadAll(io.LimitReader(r, int64(size)))
+		if err != nil {
 			return fmt.Errorf("%w: %v", ErrSnapshotFormat, err)
+		}
+		if uint64(len(sealed)) != size {
+			return fmt.Errorf("%w: truncated sealed payload", ErrSnapshotFormat)
 		}
 		// Rollback check first: the counter value is bound into the AEAD's
 		// additional data, so a lying header also fails authentication.
@@ -120,7 +170,12 @@ func (s *Server) Restore(r io.Reader) error {
 		if err != nil {
 			return fmt.Errorf("trusted counter: %w", err)
 		}
-		if counter != current {
+		switch {
+		case counter == current:
+			// The usual case: the snapshot is the latest seal.
+		case counter < current:
+			return ErrSnapshotRollback
+		case !allowNewer:
 			return ErrSnapshotRollback
 		}
 		key, err := s.enclave.SealingKey()
@@ -137,7 +192,27 @@ func (s *Server) Restore(r io.Reader) error {
 		if err != nil {
 			return ErrSnapshotAuth
 		}
-		return s.deserializeState(plain)
+		if err := s.deserializeState(plain); err != nil {
+			return err
+		}
+		if counter > current {
+			adv, ok := s.rollback.(sgx.CounterAdvancer)
+			if !ok {
+				return fmt.Errorf("precursor: trusted counter cannot fast-forward for replica restore")
+			}
+			if err := adv.AdvanceTo(counter); err != nil {
+				return fmt.Errorf("trusted counter: %w", err)
+			}
+		}
+		// The store now equals the snapshot at generation counter exactly:
+		// restart the delta log from there.
+		s.deltaMu.Lock()
+		s.delta = make(map[string]struct{})
+		s.deltaOverflow = false
+		s.deltaSealing = false
+		s.deltaGen = counter
+		s.deltaMu.Unlock()
+		return nil
 	})
 }
 

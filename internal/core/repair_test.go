@@ -1,0 +1,285 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"precursor/internal/sgx"
+)
+
+// newPeer starts a second server on tc's fabric sharing tc's platform —
+// the replica-group deployment shape: same platform and image mean the
+// same sealing key, so sealed snapshots transfer between the two.
+func (tc *testCluster) newPeer(cfg ServerConfig) *testCluster {
+	tc.t.Helper()
+	cfg.Platform = tc.platform
+	if cfg.PollInterval == 0 {
+		cfg.PollInterval = time.Microsecond
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	tc.nDev++
+	dev, err := tc.fabric.NewDevice(fmt.Sprintf("server-peer-%d", tc.nDev))
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	server, err := NewServer(dev, cfg)
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	tc.t.Cleanup(server.Close)
+	// The peer shares tc's fabric but counts devices independently; offset
+	// its counter so client/repair device names never collide with tc's.
+	return &testCluster{t: tc.t, fabric: tc.fabric, platform: tc.platform, server: server, srvDev: dev, nDev: 1000 * tc.nDev}
+}
+
+// connectRepair opens an attested anti-entropy repair session to tc's
+// server over the in-process fabric.
+func (tc *testCluster) connectRepair() *RepairClient {
+	tc.t.Helper()
+	tc.nDev++
+	dev, err := tc.fabric.NewDevice(fmt.Sprintf("repair-%d", tc.nDev))
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	cliQP, srvQP := tc.fabric.ConnectRC(dev, tc.srvDev)
+	// Repair sessions occupy HandleConnection for their whole lifetime
+	// (served inline), so the handler runs in the background.
+	go func() { _, _ = tc.server.HandleConnection(srvQP) }()
+	rc, err := ConnectRepair(RepairConfig{
+		Conn:        cliQP,
+		PlatformKey: tc.platform.AttestationPublicKey(),
+		Measurement: tc.server.Measurement(),
+		Timeout:     10 * time.Second,
+	})
+	if err != nil {
+		tc.t.Fatalf("ConnectRepair: %v", err)
+	}
+	tc.t.Cleanup(func() { _ = rc.Close() })
+	return rc
+}
+
+// TestRepairSnapshotDeltaTransfer is the end-to-end anti-entropy path:
+// a donor's sealed snapshot is ferried (opaque to the client) into a
+// peer replica, the donor's post-snapshot delta is replayed through the
+// ordinary data path, and the peer then serves the donor's data.
+func TestRepairSnapshotDeltaTransfer(t *testing.T) {
+	donor := newCluster(t, ServerConfig{})
+	target := donor.newPeer(ServerConfig{})
+	cd := donor.connect()
+
+	for i := 0; i < 40; i++ {
+		if err := cd.Put(fmt.Sprintf("k%02d", i), []byte(fmt.Sprintf("value-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rd := donor.connectRepair()
+	rt := target.connectRepair()
+
+	var sealed bytes.Buffer
+	gen, err := rd.FetchSnapshot(&sealed)
+	if err != nil {
+		t.Fatalf("FetchSnapshot: %v", err)
+	}
+	if gen == 0 {
+		t.Fatalf("snapshot generation = 0, want the seal's counter")
+	}
+	entries, err := rt.PushSnapshot(bytes.NewReader(sealed.Bytes()))
+	if err != nil {
+		t.Fatalf("PushSnapshot: %v", err)
+	}
+	if entries != 40 {
+		t.Fatalf("entries after push = %d, want 40", entries)
+	}
+
+	// Dirty the donor after the snapshot: two updates and a delete.
+	if err := cd.Put("k00", []byte("updated-00")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cd.Put("extra", []byte("post-snapshot")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cd.Delete("k01"); err != nil {
+		t.Fatal(err)
+	}
+	delta, err := rd.DeltaSince(gen)
+	if err != nil {
+		t.Fatalf("DeltaSince(%d): %v", gen, err)
+	}
+	want := []string{"extra", "k00", "k01"}
+	sort.Strings(delta)
+	if fmt.Sprint(delta) != fmt.Sprint(want) {
+		t.Fatalf("delta = %v, want %v", delta, want)
+	}
+
+	// Replay the delta through the data path (what the cluster client's
+	// repair orchestration does): donor read → target write/delete.
+	ct := target.connect()
+	for _, key := range delta {
+		v, err := cd.Get(key)
+		switch {
+		case err == nil:
+			if err := ct.Put(key, v); err != nil {
+				t.Fatalf("replay put %q: %v", key, err)
+			}
+		case errors.Is(err, ErrNotFound):
+			if err := ct.Delete(key); err != nil && !errors.Is(err, ErrNotFound) {
+				t.Fatalf("replay delete %q: %v", key, err)
+			}
+		default:
+			t.Fatalf("replay read %q: %v", key, err)
+		}
+	}
+
+	// The target now serves the donor's exact state.
+	for i := 2; i < 40; i++ {
+		key := fmt.Sprintf("k%02d", i)
+		got, err := ct.Get(key)
+		if err != nil || string(got) != fmt.Sprintf("value-%02d", i) {
+			t.Fatalf("target %s = %q, %v", key, got, err)
+		}
+	}
+	if got, err := ct.Get("k00"); err != nil || string(got) != "updated-00" {
+		t.Fatalf("target k00 = %q, %v", got, err)
+	}
+	if got, err := ct.Get("extra"); err != nil || string(got) != "post-snapshot" {
+		t.Fatalf("target extra = %q, %v", got, err)
+	}
+	if _, err := ct.Get("k01"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("target k01: %v, want ErrNotFound", err)
+	}
+}
+
+// TestRepairStaleGeneration: a delta query against an outdated seal
+// generation must fail typed, telling the repairing client to refetch.
+func TestRepairStaleGeneration(t *testing.T) {
+	donor := newCluster(t, ServerConfig{})
+	cd := donor.connect()
+	if err := cd.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	rd := donor.connectRepair()
+	var sealed bytes.Buffer
+	gen1, err := rd.FetchSnapshot(&sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second seal supersedes gen1.
+	sealed.Reset()
+	if _, err := rd.FetchSnapshot(&sealed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.DeltaSince(gen1); !errors.Is(err, ErrSealGeneration) {
+		t.Fatalf("DeltaSince(stale) = %v, want ErrSealGeneration", err)
+	}
+	if g, err := rd.SealGeneration(); err != nil || g != gen1+1 {
+		t.Fatalf("SealGeneration = %d, %v; want %d", g, err, gen1+1)
+	}
+}
+
+// TestRepairRollbackRejected: pushing a snapshot older than the target's
+// trusted counter must be refused — catch-up may only move forward.
+func TestRepairRollbackRejected(t *testing.T) {
+	donor := newCluster(t, ServerConfig{})
+	target := donor.newPeer(ServerConfig{})
+
+	// The target seals twice: its trusted counter is now ahead of any
+	// first-generation donor snapshot.
+	var scratch bytes.Buffer
+	if err := target.server.Seal(&scratch); err != nil {
+		t.Fatal(err)
+	}
+	scratch.Reset()
+	if err := target.server.Seal(&scratch); err != nil {
+		t.Fatal(err)
+	}
+
+	rd := donor.connectRepair()
+	rt := target.connectRepair()
+	var sealed bytes.Buffer
+	if _, err := rd.FetchSnapshot(&sealed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.PushSnapshot(bytes.NewReader(sealed.Bytes())); !errors.Is(err, ErrSnapshotRollback) {
+		t.Fatalf("PushSnapshot(older) = %v, want ErrSnapshotRollback", err)
+	}
+}
+
+// TestRepairAttestationPinned: a repair client pinning a different
+// measurement must fail the handshake — repair sessions attest exactly
+// like data clients.
+func TestRepairAttestationPinned(t *testing.T) {
+	donor := newCluster(t, ServerConfig{})
+	donor.nDev++
+	dev, err := donor.fabric.NewDevice("repair-bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliQP, srvQP := donor.fabric.ConnectRC(dev, donor.srvDev)
+	go func() { _, _ = donor.server.HandleConnection(srvQP) }()
+	_, err = ConnectRepair(RepairConfig{
+		Conn:        cliQP,
+		PlatformKey: donor.platform.AttestationPublicKey(),
+		Measurement: sgx.Measurement{0xba, 0xad},
+		Timeout:     5 * time.Second,
+	})
+	if err == nil {
+		t.Fatal("ConnectRepair accepted a wrong measurement")
+	}
+}
+
+// TestDeltaLogSemantics covers the dirty-key set's bookkeeping directly:
+// generation matching, the in-progress-seal window, the abort poison and
+// the overflow bound.
+func TestDeltaLogSemantics(t *testing.T) {
+	tc := newCluster(t, ServerConfig{})
+	s := tc.server
+
+	if g := s.SealGeneration(); g != 0 {
+		t.Fatalf("initial generation = %d", g)
+	}
+	s.recordDelta("a")
+	if keys, err := s.DeltaSince(0); err != nil || fmt.Sprint(keys) != "[a]" {
+		t.Fatalf("DeltaSince(0) = %v, %v", keys, err)
+	}
+	if _, err := s.DeltaSince(7); !errors.Is(err, ErrSealGeneration) {
+		t.Fatalf("DeltaSince(wrong gen): %v", err)
+	}
+
+	// During a seal the log is unqueryable; commit stamps the generation.
+	s.beginDeltaSeal()
+	if _, err := s.DeltaSince(0); !errors.Is(err, ErrSealGeneration) {
+		t.Fatalf("DeltaSince(mid-seal): %v", err)
+	}
+	s.commitDeltaSeal(5)
+	if keys, err := s.DeltaSince(5); err != nil || len(keys) != 0 {
+		t.Fatalf("DeltaSince(5) = %v, %v", keys, err)
+	}
+	s.recordDelta("b")
+	if keys, err := s.DeltaSince(5); err != nil || fmt.Sprint(keys) != "[b]" {
+		t.Fatalf("DeltaSince(5) after write = %v, %v", keys, err)
+	}
+
+	// An aborted seal poisons the log until the next successful seal.
+	s.beginDeltaSeal()
+	s.abortDeltaSeal()
+	if _, err := s.DeltaSince(5); !errors.Is(err, ErrDeltaTruncated) {
+		t.Fatalf("DeltaSince(after abort): %v", err)
+	}
+	s.beginDeltaSeal()
+	s.commitDeltaSeal(6)
+
+	// Overflow: past the cap the delta is truncated, never silently short.
+	for i := 0; i <= deltaLogCap; i++ {
+		s.recordDelta(fmt.Sprintf("key-%d", i))
+	}
+	if _, err := s.DeltaSince(6); !errors.Is(err, ErrDeltaTruncated) {
+		t.Fatalf("DeltaSince(overflow): %v", err)
+	}
+}

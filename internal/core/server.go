@@ -83,10 +83,28 @@ type Server struct {
 	wg     sync.WaitGroup
 	ready  atomic.Bool
 
+	// Delta log: the set of keys dirtied since the last seal, consumed by
+	// the anti-entropy repair path (snapshot at generation g + the keys
+	// dirtied since g reconstruct the current state). Bounded: overflow
+	// poisons the log until the next seal, forcing repair to fall back to
+	// a fresh full snapshot.
+	deltaMu       sync.Mutex
+	delta         map[string]struct{}
+	deltaGen      uint64
+	deltaOverflow bool
+	deltaSealing  bool
+
+	// sealMu serializes Seal/Restore state swaps (a periodic sealer and a
+	// repair-session snapshot must not interleave their counter bumps).
+	sealMu   sync.Mutex
+	lastSeal atomic.Int64 // unix nanos of the last successful Seal, 0 = never
+	seals    atomic.Uint64
+
 	puts, gets, deletes   atomic.Uint64
 	replays, authFailures atomic.Uint64
 	badRequests           atomic.Uint64
 	cryptoBytes           atomic.Uint64
+	repairSessions        atomic.Uint64
 }
 
 // NewServer creates and starts a Precursor server on the given RDMA
@@ -108,6 +126,7 @@ func NewServer(device *rdma.Device, cfg ServerConfig) (*Server, error) {
 		enclave:  enclave,
 		rollback: c.RollbackCounter,
 		sessions: make(map[uint32]*session),
+		delta:    make(map[string]struct{}),
 		out:      make(chan outFrame, 1024),
 		stopCh:   make(chan struct{}),
 	}
@@ -188,6 +207,12 @@ func (s *Server) HandleConnection(conn rdma.Conn) (uint32, error) {
 	var hello helloMsg
 	if err := recvMsg(conn, &hello, time.Now().Add(bootstrapTimeout)); err != nil {
 		return 0, err
+	}
+	if hello.Role == repairRole {
+		// Anti-entropy repair session (§10): attested like a data client
+		// but served inline over two-sided messaging — no rings, no oid
+		// space, no session-table entry. Blocks until the peer hangs up.
+		return 0, s.serveRepair(conn, &hello)
 	}
 	if hello.RespSlots <= 0 || hello.RespSlotSize <= ringbuf.Overhead {
 		_ = sendMsg(conn, 1, &welcomeMsg{Error: "bad response ring geometry"})
@@ -575,6 +600,7 @@ func (s *Server) handlePut(sess *session, req *wire.Request, ctl *wire.RequestCo
 	if existed {
 		s.releaseEntry(old)
 	}
+	s.recordDelta(string(ctl.Key))
 	now = op.SpanEnd(obs.SrvApply, now)
 	s.reply(sess, wire.StatusOK, &wire.ResponseControl{Oid: ctl.Oid}, nil, op, now)
 }
@@ -633,6 +659,7 @@ func (s *Server) handleDelete(sess *session, ctl *wire.RequestControl, op *obs.O
 	}
 	s.table.Delete(key)
 	s.releaseEntry(e)
+	s.recordDelta(key)
 	now = op.SpanEnd(obs.SrvApply, now)
 	s.reply(sess, wire.StatusOK, &wire.ResponseControl{Oid: ctl.Oid}, nil, op, now)
 }

@@ -35,6 +35,20 @@ func (c *MonotonicCounter) Value() uint64 {
 	return c.value
 }
 
+// AdvanceTo fast-forwards the counter to v. Moving backwards is refused
+// with ErrCounterRollback; v equal to the current value is a no-op. The
+// anti-entropy repair path uses this when a replica adopts a donor's
+// sealed snapshot whose counter is ahead of its own.
+func (c *MonotonicCounter) AdvanceTo(v uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v < c.value {
+		return ErrCounterRollback
+	}
+	c.value = v
+	return nil
+}
+
 // VerifyAtLeast checks that observed state is not older than the counter,
 // i.e. observed >= current value. It returns ErrCounterRollback otherwise.
 func (c *MonotonicCounter) VerifyAtLeast(observed uint64) error {

@@ -19,8 +19,21 @@ type TrustedCounter interface {
 	Value() (uint64, error)
 }
 
+// CounterAdvancer is the optional fast-forward capability of a
+// TrustedCounter. A replica adopting a donor's sealed snapshot during
+// anti-entropy repair must move its counter up to the snapshot's stamp
+// (never down — implementations return ErrCounterRollback for that), so
+// the usual counter==current restore check holds afterwards. Counters
+// without this capability cannot take part in replica repair.
+type CounterAdvancer interface {
+	// AdvanceTo fast-forwards the counter to v (>= current value).
+	AdvanceTo(v uint64) error
+}
+
 // MonotonicCounter implements TrustedCounter in process memory.
 var _ TrustedCounter = (*counterAdapter)(nil)
+var _ CounterAdvancer = (*counterAdapter)(nil)
+var _ CounterAdvancer = (*FileCounter)(nil)
 
 // counterAdapter lifts MonotonicCounter (whose methods are infallible)
 // into the TrustedCounter interface.
@@ -37,6 +50,9 @@ func (a *counterAdapter) Increment() (uint64, error) { return a.c.Increment(), n
 
 // Value implements TrustedCounter.
 func (a *counterAdapter) Value() (uint64, error) { return a.c.Value(), nil }
+
+// AdvanceTo implements CounterAdvancer.
+func (a *counterAdapter) AdvanceTo(v uint64) error { return a.c.AdvanceTo(v) }
 
 // FileCounter is a TrustedCounter persisted to a file, standing in for an
 // external trusted monotonic-counter service. Note the trust caveat: a
@@ -85,6 +101,24 @@ func (f *FileCounter) Value() (uint64, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.v, nil
+}
+
+// AdvanceTo implements CounterAdvancer, persisting the new value before
+// returning. Moving backwards is refused with ErrCounterRollback.
+func (f *FileCounter) AdvanceTo(v uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if v < f.v {
+		return ErrCounterRollback
+	}
+	if v == f.v {
+		return nil
+	}
+	if err := f.writeLocked(v); err != nil {
+		return err
+	}
+	f.v = v
+	return nil
 }
 
 func (f *FileCounter) writeLocked(v uint64) error {

@@ -155,13 +155,19 @@ func (m *MetricsServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "not ready: server bootstrap/restore in progress", http.StatusServiceUnavailable)
 		return
 	}
-	if cluster != nil {
-		if down := cluster.Degraded(); len(down) > 0 && len(down) == len(cluster.Ring().Shards()) {
-			http.Error(w, "not ready: all shards down", http.StatusServiceUnavailable)
+	if cluster != nil && !cluster.Available() {
+		http.Error(w, "not ready: no replica serving", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	if m.server != nil {
+		if last := m.server.LastSealTime(); !last.IsZero() {
+			// Operators probing /healthz see at a glance how stale the
+			// durable snapshot is (see also precursor_last_seal_age_seconds).
+			fmt.Fprintf(w, "ok seal_age_seconds=%g\n", time.Since(last).Seconds())
 			return
 		}
 	}
-	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write([]byte("ok\n"))
 }
 
@@ -215,6 +221,12 @@ func (m *MetricsServer) writeServerMetrics(b *strings.Builder) {
 	gauge("precursor_pool_bytes_reserved", "Untrusted payload pool reserved bytes", float64(st.PoolBytesReserved))
 	gauge("precursor_pool_bytes_in_use", "Untrusted payload pool live bytes", float64(st.PoolBytesInUse))
 	gauge("precursor_ready", "1 once the server has completed bootstrap (readiness)", boolGauge(m.server.Ready()))
+	counter("precursor_seals_total", "Successful sealed-snapshot writes", m.server.SealsTotal())
+	if last := m.server.LastSealTime(); !last.IsZero() {
+		gauge("precursor_last_seal_age_seconds", "Seconds since the last successful seal", time.Since(last).Seconds())
+	} else {
+		gauge("precursor_last_seal_age_seconds", "Seconds since the last successful seal (-1 = never sealed)", -1)
+	}
 }
 
 // boolGauge renders a boolean as 0/1.
@@ -265,8 +277,18 @@ func writeClusterMetrics(b *strings.Builder, c *ClusterClient) {
 	head := func(name, help, typ string) {
 		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 	}
-	head("precursor_cluster_shards", "Cluster membership size", "gauge")
+	head("precursor_cluster_shards", "Cluster membership size (replicas across all groups)", "gauge")
 	fmt.Fprintf(b, "precursor_cluster_shards %d\n", len(st.Shards))
+	head("precursor_cluster_groups", "Replica groups (ring positions)", "gauge")
+	fmt.Fprintf(b, "precursor_cluster_groups %d\n", st.Groups)
+	head("precursor_cluster_read_failovers_total", "Replicated reads served by a non-preferred replica", "counter")
+	fmt.Fprintf(b, "precursor_cluster_read_failovers_total %d\n", st.Failovers)
+	head("precursor_cluster_quorum_shortfalls_total", "Replicated writes that missed their write quorum", "counter")
+	fmt.Fprintf(b, "precursor_cluster_quorum_shortfalls_total %d\n", st.QuorumShortfalls)
+	head("precursor_cluster_repairs_total", "Completed replica anti-entropy repairs", "counter")
+	fmt.Fprintf(b, "precursor_cluster_repairs_total %d\n", st.Repairs)
+	head("precursor_cluster_repair_failures_total", "Aborted replica repair attempts", "counter")
+	fmt.Fprintf(b, "precursor_cluster_repair_failures_total %d\n", st.RepairFailures)
 
 	// Live keys across the cluster (puts minus deletes, an upper bound
 	// under overwrites) scales each shard's ring ownership into a
@@ -282,16 +304,27 @@ func writeClusterMetrics(b *strings.Builder, c *ClusterClient) {
 	perShard := func(name, help, typ string, v func(ClusterShardStats) string) {
 		head(name, help, typ)
 		for _, ss := range st.Shards {
-			fmt.Fprintf(b, "%s{shard=%q} %s\n", name, ss.Name, v(ss))
+			fmt.Fprintf(b, "%s{shard=%q,group=%q} %s\n", name, ss.Name, ss.Group, v(ss))
 		}
 	}
-	perShard("precursor_cluster_shard_up", "1 if the shard's breaker is closed (healthy)", "gauge",
+	perShard("precursor_cluster_shard_up", "1 if the replica is serving (breaker closed and not repairing)", "gauge",
 		func(ss ClusterShardStats) string {
-			if ss.Down {
-				return "0"
+			if ss.State == "up" {
+				return "1"
 			}
-			return "1"
+			return "0"
 		})
+	perShard("precursor_cluster_shard_repairing", "1 while the replica is being caught up by anti-entropy repair", "gauge",
+		func(ss ClusterShardStats) string {
+			if ss.State == "repairing" {
+				return "1"
+			}
+			return "0"
+		})
+	perShard("precursor_cluster_shard_lag", "Writes the replica has missed since it was last caught up", "gauge",
+		func(ss ClusterShardStats) string { return fmt.Sprintf("%d", ss.Lag) })
+	perShard("precursor_cluster_shard_repairs_total", "Completed anti-entropy repairs of the replica", "counter",
+		func(ss ClusterShardStats) string { return fmt.Sprintf("%d", ss.Repairs) })
 	perShard("precursor_cluster_shard_ownership", "Shard's fraction of the placement ring's hash space", "gauge",
 		func(ss ClusterShardStats) string { return fmt.Sprintf("%g", ss.Ownership) })
 	perShard("precursor_cluster_shard_keys_estimate", "Estimated keys on the shard (ring ownership x live keys written through this client)", "gauge",
@@ -317,7 +350,7 @@ func writeClusterMetrics(b *strings.Builder, c *ClusterClient) {
 			head(lat, "Whole-operation latency against the shard as seen by this client", "summary")
 			wrote = true
 		}
-		labels := fmt.Sprintf("shard=%q", ss.Name)
+		labels := fmt.Sprintf("shard=%q,group=%q", ss.Name, ss.Group)
 		fmt.Fprintf(b, "%s{%s,quantile=\"0.5\"} %s\n", lat, labels, seconds(q.P50))
 		fmt.Fprintf(b, "%s{%s,quantile=\"0.95\"} %s\n", lat, labels, seconds(q.P95))
 		fmt.Fprintf(b, "%s{%s,quantile=\"0.99\"} %s\n", lat, labels, seconds(q.P99))

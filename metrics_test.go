@@ -169,9 +169,9 @@ func TestClusterMetricsEndpoint(t *testing.T) {
 	text := fetch()
 	for _, want := range []string{
 		"precursor_cluster_shards 2",
-		"precursor_cluster_shard_up{shard=\"" + cs.Shards[0].Addr() + "\"} 1",
-		"precursor_cluster_shard_up{shard=\"" + cs.Shards[1].Addr() + "\"} 1",
-		"precursor_cluster_shard_ownership{shard=\"" + cs.Shards[0].Addr() + "\"}",
+		"precursor_cluster_shard_up{shard=\"" + cs.Shards[0].Addr() + "\",group=\"" + cs.Shards[0].Addr() + "\"} 1",
+		"precursor_cluster_shard_up{shard=\"" + cs.Shards[1].Addr() + "\",group=\"" + cs.Shards[1].Addr() + "\"} 1",
+		"precursor_cluster_shard_ownership{shard=\"" + cs.Shards[0].Addr() + "\",group=\"" + cs.Shards[0].Addr() + "\"}",
 		"precursor_cluster_shard_keys_estimate",
 		"precursor_cluster_shard_puts_total",
 		"precursor_cluster_shard_errors_total",
@@ -203,7 +203,7 @@ func TestClusterMetricsEndpoint(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	text = fetch()
-	if want := "precursor_cluster_shard_up{shard=\"" + deadAddr + "\"} 0"; !strings.Contains(text, want) {
+	if want := "precursor_cluster_shard_up{shard=\"" + deadAddr + "\",group=\"" + deadAddr + "\"} 0"; !strings.Contains(text, want) {
 		t.Errorf("metrics missing %q after shard death\n%s", want, text)
 	}
 }

@@ -3,6 +3,7 @@ package precursor
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 )
@@ -36,6 +37,15 @@ type Pool struct {
 	redial func() (*Client, error)
 	// waitTimeout bounds acquire when every connection is busy or dead.
 	waitTimeout time.Duration
+
+	// Redial pacing is pool-wide, not per-loop: when a server dies it
+	// takes every pooled connection with it, spawning one redial loop per
+	// corpse — without shared state those loops dial in lockstep and
+	// hammer the server the moment it tries to come back. claimRedial
+	// serializes attempts and grows one shared, jittered backoff.
+	redialMu       sync.Mutex
+	redialFailures int       // consecutive failed attempts, pool-wide
+	nextRedial     time.Time // earliest next permitted attempt
 }
 
 // ErrPoolClosed is returned by operations on a closed pool.
@@ -87,6 +97,15 @@ func (p *Pool) acquire() (*Client, error) {
 	if p.closed {
 		p.mu.Unlock()
 		return nil, ErrPoolClosed
+	}
+	if p.redial != nil && len(p.all) == 0 {
+		// Every connection is dead and awaiting redial: waiting out the
+		// acquire timeout would stall the caller on a server that is
+		// known-unreachable right now. Fail fast with ErrClosed so a
+		// breaker above the pool trips immediately; the background
+		// redial loops restore capacity when the server returns.
+		p.mu.Unlock()
+		return nil, fmt.Errorf("precursor: pool has no live connections: %w", ErrClosed)
 	}
 	if n := len(p.free); n > 0 {
 		c := p.free[n-1]
@@ -172,11 +191,39 @@ func (p *Pool) finish(c *Client, err error) {
 	}
 }
 
-// redialLoop restores one discarded connection, backing off between
-// attempts, until it succeeds or the pool closes.
+// Redial backoff bounds: attempts start redialBase apart and double per
+// consecutive pool-wide failure up to redialMax.
+const (
+	redialBase     = 50 * time.Millisecond
+	redialMax      = 2 * time.Second
+	redialShiftCap = 6 // 50ms << 6 already exceeds redialMax
+)
+
+// claimRedial grants or defers one redial attempt. A granted claim
+// (ok=true) immediately pushes the next permitted attempt out by the
+// current backoff, so concurrent redial loops take turns; a deferred
+// claim returns how long to wait before asking again. The backoff is
+// jittered ±50% to decorrelate pools that lost their server at the same
+// moment (every client of a crashed shard otherwise retries in phase).
+func (p *Pool) claimRedial() (wait time.Duration, ok bool) {
+	p.redialMu.Lock()
+	defer p.redialMu.Unlock()
+	now := time.Now()
+	if now.Before(p.nextRedial) {
+		return p.nextRedial.Sub(now), false
+	}
+	d := redialBase << uint(min(p.redialFailures, redialShiftCap))
+	if d > redialMax {
+		d = redialMax
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	p.nextRedial = now.Add(d)
+	return 0, true
+}
+
+// redialLoop restores one discarded connection, pacing attempts through
+// the pool's shared backoff, until it succeeds or the pool closes.
 func (p *Pool) redialLoop() {
-	backoff := 50 * time.Millisecond
-	const maxBackoff = 2 * time.Second
 	for {
 		p.mu.Lock()
 		stopped := p.closed
@@ -184,23 +231,31 @@ func (p *Pool) redialLoop() {
 		if stopped {
 			return
 		}
+		wait, ok := p.claimRedial()
+		if !ok {
+			time.Sleep(wait)
+			continue
+		}
 		c, err := p.redial()
-		if err == nil {
-			p.mu.Lock()
-			if p.closed {
-				p.mu.Unlock()
-				_ = c.Close()
-				return
-			}
-			p.all = append(p.all, c)
+		if err != nil {
+			p.redialMu.Lock()
+			p.redialFailures++
+			p.redialMu.Unlock()
+			continue
+		}
+		p.redialMu.Lock()
+		p.redialFailures = 0
+		p.redialMu.Unlock()
+		p.mu.Lock()
+		if p.closed {
 			p.mu.Unlock()
-			p.release(c)
+			_ = c.Close()
 			return
 		}
-		time.Sleep(backoff)
-		if backoff *= 2; backoff > maxBackoff {
-			backoff = maxBackoff
-		}
+		p.all = append(p.all, c)
+		p.mu.Unlock()
+		p.release(c)
+		return
 	}
 }
 
