@@ -1,0 +1,300 @@
+package precursor_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"precursor"
+	"precursor/internal/faultfab"
+	"precursor/internal/fleet"
+	"precursor/internal/obs"
+)
+
+// auditChaosSeed fixes the fault-injection schedule of the audit
+// acceptance run, so the corruption events it relies on reproduce.
+const auditChaosSeed = 0xA0D17
+
+// TestAuditFleetObservability is the fleet-observability acceptance
+// test: a seeded chaos run (payload MAC corruption on the wire plus a
+// kill-one failover) against a replicated cluster sharing one audit
+// log must leave behind
+//
+//   - a /debug/audit chain that verifies end to end under the enclave
+//     key, records at least three distinct event kinds, and flags any
+//     single flipped byte;
+//   - a /fleet rollup whose quorum-shortfall and read-failover totals
+//     match the cluster client's own counters;
+//   - replicated-write traces carrying cli_replica child spans from at
+//     least two distinct replicas, visible on /debug/traces.
+func TestAuditFleetObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("audit chaos acceptance test skipped in -short mode")
+	}
+	const groups, replicas, quorum = 2, 2, 2
+	auditLog := precursor.NewAuditLog(0)
+	cliTracer := precursor.NewTracer(precursor.TracerConfig{Side: precursor.SideClient, Workers: 8})
+	cs, err := precursor.ServeReplicatedCluster(groups, replicas, precursor.ServerConfig{
+		Workers: 1, PollInterval: 50 * time.Microsecond, Audit: auditLog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cs.Close)
+	if len(auditLog.Key()) == 0 {
+		t.Fatal("servers did not install an enclave-derived audit MAC key")
+	}
+
+	// Corrupt a fraction of the client->server payload-ring writes: the
+	// stored payload's MAC then fails verification at read time, which
+	// must surface as byzantine_failover (and the rescue read as
+	// read_failover) in the audit chain.
+	ffab := faultfab.New(faultfab.Config{
+		Seed: auditChaosSeed,
+		C2S:  faultfab.ClassMap{faultfab.ClassWrite: faultfab.ClassProbs{Corrupt: 0.05}},
+	})
+	var connSeq atomic.Uint64
+	cc, err := precursor.DialReplicatedCluster(cs.GroupSpecs(), precursor.ClusterConfig{
+		ConnsPerShard:  1,
+		Timeout:        time.Second,
+		RetryBackoff:   50 * time.Millisecond,
+		RepairInterval: 25 * time.Millisecond,
+		WriteQuorum:    quorum,
+		Audit:          auditLog,
+		ClusterTracer:  cliTracer,
+		WrapConn: func(c precursor.Conn) precursor.Conn {
+			return ffab.Wrap(c, faultfab.C2S, fmt.Sprintf("conn%d", connSeq.Add(1)))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cc.Close() })
+
+	// Preload through a separate fault-free client so the working set is
+	// in place before any corruption (a corrupted preload write can trip
+	// a breaker and wedge the quorum before the test proper starts).
+	clean, err := precursor.DialReplicatedCluster(cs.GroupSpecs(), precursor.ClusterConfig{
+		ConnsPerShard: 1,
+		Timeout:       5 * time.Second,
+		WriteQuorum:   quorum,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = clean.Close() })
+
+	// Values are sized so corruption bit-flips overwhelmingly land in
+	// payload bytes (stored garbage the read-side MAC catches at read
+	// time) rather than in ring-frame headers (which just lose the
+	// request and cost a timeout).
+	const keys = 32
+	key := func(i int) string { return fmt.Sprintf("audit%04d", i) }
+	val := func(i, ver int) []byte {
+		return []byte(fmt.Sprintf("v%d-%d-%s", ver, i, strings.Repeat("x", 512)))
+	}
+	for i := 0; i < keys; i++ {
+		if err := clean.Put(key(i), val(i, 0)); err != nil {
+			t.Fatalf("preload put %d: %v", i, err)
+		}
+	}
+
+	// Phase 1 — drive rewrite+read rounds until the seeded corruption
+	// has produced a MAC-failure failover (byzantine_failover) whose
+	// rescue read succeeded on the next replica (read_failover). Header
+	// corruption occasionally trips a breaker along the way; auto-repair
+	// brings the replica back, so two-replica windows keep recurring.
+	// Each operation's error is irrelevant here — only the audit trail
+	// matters.
+	deadline := time.Now().Add(30 * time.Second)
+	for ver := 1; ; ver++ {
+		counts := auditLog.CountsByKind()
+		if counts[precursor.AuditKindByzantineFailover] > 0 && counts[precursor.AuditKindReadFailover] > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("seeded corruption never surfaced as byzantine/read failover; audit counts: %v", counts)
+		}
+		for i := 0; i < keys; i++ {
+			_ = cc.Put(key(i), val(i, ver))
+			_, _ = cc.Get(key(i))
+			_, _ = cc.Get(key(i))
+		}
+		// Pace the loop: a group mid-repair fails writes instantly, and a
+		// tight spin would flood the audit ring and evict early traces.
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Phase 2 — kill one replica of group 0. With W = R every write to
+	// that group now misses quorum, and the first failed operations trip
+	// the replica's breaker: quorum_shortfall and breaker_trip events.
+	cs.Groups[0][0].Close()
+	deadline = time.Now().Add(20 * time.Second)
+	for ver := 1000; ; ver++ {
+		counts := auditLog.CountsByKind()
+		if counts[precursor.AuditKindQuorumShortfall] > 0 && counts[precursor.AuditKindBreakerTrip] > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("kill-one never surfaced as shortfall/breaker events; audit counts: %v", counts)
+		}
+		for i := 0; i < keys; i++ {
+			_ = cc.Put(key(i), val(i, ver))
+			_, _ = cc.Get(key(i))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Workload done: the counters are static from here on.
+	st := cc.Stats()
+
+	ms, err := precursor.ServeClusterMetrics(cc, "127.0.0.1:0",
+		precursor.WithAudit(auditLog), precursor.WithTracer("client", cliTracer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ms.Close() })
+
+	// /debug/audit must verify end to end under the enclave-derived key
+	// and carry at least three distinct event kinds.
+	raw := httpGet(t, "http://"+ms.Addr()+"/debug/audit", http.StatusOK)
+	export, err := precursor.ReadAuditExport(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("parse /debug/audit: %v", err)
+	}
+	n, err := precursor.VerifyAuditExport(export, auditLog.Key())
+	if err != nil {
+		t.Fatalf("audit chain failed verification: %v", err)
+	}
+	if n != len(export.Records) || n == 0 {
+		t.Fatalf("verified %d of %d records", n, len(export.Records))
+	}
+	kinds := make(map[string]bool)
+	for _, r := range export.Records {
+		kinds[r.Kind] = true
+	}
+	if len(kinds) < 3 {
+		t.Fatalf("audit chain records %d distinct kinds, want >= 3: %v", len(kinds), kinds)
+	}
+
+	// A single flipped byte anywhere in a record must invalidate the
+	// chain.
+	tampered, err := precursor.ReadAuditExport(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := &tampered.Records[len(tampered.Records)/2]
+	if mid.Detail != "" {
+		b := []byte(mid.Detail)
+		b[0] ^= 0x01
+		mid.Detail = string(b)
+	} else {
+		b := []byte(mid.Kind)
+		b[0] ^= 0x01
+		mid.Kind = string(b)
+	}
+	if _, err := precursor.VerifyAuditExport(tampered, auditLog.Key()); err == nil {
+		t.Fatal("single flipped byte went undetected")
+	}
+
+	// /healthz must report the chain healthy (and would 503 if it were
+	// not — covered by the metrics unit tests).
+	hz := httpGet(t, "http://"+ms.Addr()+"/healthz", http.StatusOK)
+	if !strings.Contains(string(hz), "audit_chain=ok") {
+		t.Errorf("/healthz missing audit chain status: %q", hz)
+	}
+
+	// /fleet (aggregating this endpoint's /metrics) must report the same
+	// quorum-shortfall and read-failover totals the client counted.
+	agg, err := fleet.New(fleet.Config{Targets: []fleet.Target{
+		{Name: "cluster", URL: "http://" + ms.Addr() + "/metrics"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms2, err := precursor.ServeClusterMetrics(nil, "127.0.0.1:0", precursor.WithFleet(agg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ms2.Close() })
+	agg.ScrapeOnce()
+	fleetBody := httpGet(t, "http://"+ms2.Addr()+"/fleet", http.StatusOK)
+	samples, err := fleet.ParseProm(bytes.NewReader(fleetBody))
+	if err != nil {
+		t.Fatalf("parse /fleet: %v", err)
+	}
+	want := map[string]uint64{
+		"precursor_fleet_quorum_shortfalls_total": st.QuorumShortfalls,
+		"precursor_fleet_read_failovers_total":    st.Failovers,
+	}
+	for name, w := range want {
+		found := false
+		for _, s := range samples {
+			if s.Name == name {
+				found = true
+				if uint64(s.Value) != w {
+					t.Errorf("%s = %g, want %d (cluster Stats)", name, s.Value, w)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("/fleet missing %s", name)
+		}
+	}
+
+	// Replicated writes must fan out into cli_replica child spans from
+	// at least two distinct replicas, and /debug/traces must carry the
+	// group/replica annotations.
+	distinct := make(map[string]bool)
+	for _, tr := range cliTracer.Recent() {
+		for _, sp := range tr.Spans {
+			if sp.Stage == obs.CliReplica && sp.Replica != "" {
+				distinct[sp.Replica] = true
+			}
+		}
+	}
+	if len(distinct) < 2 {
+		t.Errorf("cli_replica spans name %d distinct replicas, want >= 2: %v", len(distinct), distinct)
+	}
+	traces := httpGet(t, "http://"+ms.Addr()+"/debug/traces", http.StatusOK)
+	for _, wantSub := range []string{"cli_replica", `"group"`, `"replica"`} {
+		if !bytes.Contains(traces, []byte(wantSub)) {
+			t.Errorf("/debug/traces missing %s", wantSub)
+		}
+	}
+
+	t.Logf("audit chain: %d records, %d kinds %v; shortfalls=%d failovers=%d replicas-in-traces=%d",
+		n, len(kinds), keysOf(kinds), st.QuorumShortfalls, st.Failovers, len(distinct))
+}
+
+// httpGet fetches url, asserts the status, and returns the body.
+func httpGet(t *testing.T, url string, wantStatus int) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: HTTP %d, want %d (%s)", url, resp.StatusCode, wantStatus, body)
+	}
+	return body
+}
+
+// keysOf lists a string-keyed set for log lines.
+func keysOf(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -80,6 +80,19 @@ type ClusterConfig struct {
 	// SideClient tracer shared by every connection of every shard, so
 	// /metrics shows cluster-wide client-side stage latency.
 	Tracer *Tracer
+	// ClusterTracer, when set, records cluster-level operations as
+	// traces of their own: replicated writes appear with one cli_replica
+	// child span per fanned-out replica, and replication faults (breaker
+	// trips, failovers, repairs) appear as fault annotations. Use a
+	// separate SideClient tracer from Tracer so per-connection stage
+	// timings and per-operation fan-out views stay distinct.
+	ClusterTracer *Tracer
+	// Audit, when set, receives tamper-evident records of the cluster
+	// client's security-relevant events: quorum shortfalls, Byzantine
+	// read failovers, breaker trips and repair anomalies. Share one log
+	// with the replica servers (ServerConfig.Audit) for a single fleet
+	// chain.
+	Audit *AuditLog
 
 	// Replication (DialReplicatedCluster only).
 
@@ -136,6 +149,8 @@ func DialCluster(shards []ShardSpec, cfg ClusterConfig) (*ClusterClient, error) 
 				errors.Is(err, core.ErrTimeout) ||
 				errors.Is(err, ErrPoolClosed)
 		},
+		Tracer: cfg.ClusterTracer,
+		Audit:  cfg.Audit,
 	})
 }
 
@@ -238,5 +253,7 @@ func DialReplicatedCluster(groups [][]ShardSpec, cfg ClusterConfig) (*ClusterCli
 		OpenRepair:        openRepair,
 		RepairInterval:    cfg.RepairInterval,
 		DisableAutoRepair: cfg.DisableAutoRepair,
+		Tracer:            cfg.ClusterTracer,
+		Audit:             cfg.Audit,
 	})
 }

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/hex"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"precursor"
+)
+
+// runAudit dispatches the audit subcommands (currently just verify).
+func runAudit(args []string) error {
+	if len(args) == 0 || args[0] != "verify" {
+		return errors.New("usage: audit verify [-key HEX] <file | - | http://host/debug/audit>")
+	}
+	fs := flag.NewFlagSet("audit verify", flag.ContinueOnError)
+	keyHex := fs.String("key", "", "hex MAC key; without it only the hash chain (not authenticity) is checked")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("usage: audit verify [-key HEX] <file | - | http://host/debug/audit>")
+	}
+	var key []byte
+	if *keyHex != "" {
+		k, err := hex.DecodeString(*keyHex)
+		if err != nil {
+			return fmt.Errorf("-key: %w", err)
+		}
+		key = k
+	}
+	export, err := readAuditSource(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	n, err := precursor.VerifyAuditExport(export, key)
+	if err != nil {
+		return fmt.Errorf("audit chain INVALID: %w", err)
+	}
+	kinds := make(map[string]int)
+	for _, r := range export.Records {
+		kinds[r.Kind]++
+	}
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	mode := "chain+MAC"
+	if key == nil {
+		mode = "chain only (no -key: authenticity not checked)"
+	}
+	fmt.Printf("audit chain OK: %d records verified (%s)\n", n, mode)
+	fmt.Printf("head seq=%d dropped=%d\n", export.HeadSeq, export.Dropped)
+	for _, k := range names {
+		fmt.Printf("  %-20s %d\n", k, kinds[k])
+	}
+	return nil
+}
+
+// readAuditSource loads an export from a /debug/audit URL, stdin ("-")
+// or a file path.
+func readAuditSource(src string) (*precursor.AuditExport, error) {
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		client := &http.Client{Timeout: 10 * time.Second}
+		resp, err := client.Get(src)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%s: HTTP %d", src, resp.StatusCode)
+		}
+		return precursor.ReadAuditExport(resp.Body)
+	}
+	if src == "-" {
+		return precursor.ReadAuditExport(os.Stdin)
+	}
+	f, err := os.Open(src)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return precursor.ReadAuditExport(io.Reader(f))
+}

@@ -8,6 +8,12 @@
 //	precursor-cli ... del mykey
 //	precursor-cli ... bench -clients 8 -ops 1000 -value-size 128 -read-ratio 0.95
 //
+// The audit subcommand needs no server credentials: it verifies a
+// tamper-evident audit-chain export offline — from a file, stdin ("-")
+// or straight from a metrics endpoint's /debug/audit URL:
+//
+//	precursor-cli audit verify -key HEXKEY http://127.0.0.1:9090/debug/audit
+//
 // The -server-key and -measurement values are printed by the server at
 // startup; the client refuses to talk to an enclave whose attestation does
 // not match them.
@@ -44,7 +50,12 @@ func main() {
 
 func run(addr, serverKey, measureHex string, args []string) error {
 	if len(args) == 0 {
-		return errors.New("usage: precursor-cli [flags] put|get|del|bench ...")
+		return errors.New("usage: precursor-cli [flags] put|get|del|bench|audit ...")
+	}
+	if args[0] == "audit" {
+		// Offline chain verification — no server connection, no
+		// attestation credentials needed.
+		return runAudit(args[1:])
 	}
 	cfg, err := dialConfig(serverKey, measureHex)
 	if err != nil {

@@ -24,6 +24,20 @@
 //
 //	precursor-cluster -bench-replication -shards 2 -replicas 3 \
 //	    -write-quorum 2 -repl-json BENCH_replication.json
+//
+// Top mode is a live fleet terminal view: it scrapes the given
+// /metrics endpoints and renders cluster SLO rollups — availability
+// vs. objective, error-budget burn, replication and security counters,
+// worst per-stage p99s and anomaly flags — refreshing in place:
+//
+//	precursor-cluster -top -targets shard0=http://127.0.0.1:9090/metrics
+//
+// Observability-bench mode measures the audit log's overhead on the
+// hot path (audit-off vs audit-on medians over interleaved pairs) and
+// appends the result to a JSON file; -gate exits nonzero when the
+// overhead exceeds 5%:
+//
+//	precursor-cluster -bench-obs -obs-json BENCH_obs.json -gate
 package main
 
 import (
@@ -43,6 +57,7 @@ import (
 
 	"precursor"
 	"precursor/internal/cluster"
+	"precursor/internal/fleet"
 	"precursor/internal/ycsb"
 )
 
@@ -67,23 +82,46 @@ func main() {
 		metrics  = flag.String("metrics", "", "serve: expose Prometheus metrics for the whole cluster on this address")
 		trace    = flag.Bool("trace", false, "serve: record per-stage op timing across all shards (needs -metrics to export)")
 		pprofOn  = flag.Bool("pprof", false, "serve: net/http/pprof under /debug/pprof/ on the metrics address")
+		fleetTgt = flag.String("fleet-targets", "", "serve: metrics endpoints to aggregate into /fleet on the -metrics address (comma-separated name=url)")
+		top      = flag.Bool("top", false, "render a live fleet SLO view of the -targets metrics endpoints")
+		targets  = flag.String("targets", "", "top: comma-separated metrics endpoints to scrape (name=url or bare url)")
+		topEvery = flag.Duration("top-interval", 2*time.Second, "top: refresh interval")
+		topIters = flag.Int("top-iterations", 0, "top: render this many frames then exit (0 = until interrupted)")
+		topSLO   = flag.Float64("slo", 0.999, "top: fleet availability objective")
+		benchObs = flag.Bool("bench-obs", false, "run the observability overhead benchmark: audit-off vs audit-on")
+		obsJSON  = flag.String("obs-json", "BENCH_obs.json", "bench-obs: write the datapoint to this JSON file (empty = stdout only)")
+		obsPairs = flag.Int("pairs", 5, "bench-obs: interleaved off/on measurement pairs")
+		obsGate  = flag.Bool("gate", false, "bench-obs: exit nonzero when audit overhead exceeds 5% of median throughput")
 	)
 	flag.Parse()
 	modes := 0
-	for _, on := range []bool{*serve, *bench, *benchRep} {
+	for _, on := range []bool{*serve, *bench, *benchRep, *top, *benchObs} {
 		if on {
 			modes++
 		}
 	}
 	if modes != 1 {
-		fmt.Fprintln(os.Stderr, "precursor-cluster: pass exactly one of -serve, -bench or -bench-replication")
+		fmt.Fprintln(os.Stderr, "precursor-cluster: pass exactly one of -serve, -bench, -bench-replication, -top or -bench-obs")
 		flag.Usage()
 		os.Exit(2)
 	}
 	var err error
 	switch {
 	case *serve:
-		err = runServe(*shards, *replicas, *workers, *metrics, *trace, *pprofOn)
+		err = runServe(*shards, *replicas, *workers, *metrics, *trace, *pprofOn, *fleetTgt)
+	case *top:
+		err = runTop(*targets, *topEvery, *topIters, *topSLO, os.Stdout)
+	case *benchObs:
+		err = runBenchObs(obsBenchConfig{
+			benchConfig: benchConfig{
+				shardCounts: *shards, workers: *workers, conns: *conns,
+				records: *records, valueSize: *valsize, clients: *clients,
+				opsPerClient: *ops, workload: *workload, seed: *seed,
+				jsonPath: *obsJSON, out: os.Stdout,
+			},
+			replicas: *replicas, writeQuorum: *quorum,
+			pairs: *obsPairs, gate: *obsGate,
+		})
 	case *benchRep:
 		err = runBenchReplication(replBenchConfig{
 			benchConfig: benchConfig{
@@ -110,7 +148,7 @@ func main() {
 
 // runServe launches n ring positions (each backed by `replicas` servers
 // when replicas > 1) and prints their scrapeable member lines.
-func runServe(shardsFlag string, replicas, workers int, metricsAddr string, trace, pprofOn bool) error {
+func runServe(shardsFlag string, replicas, workers int, metricsAddr string, trace, pprofOn bool, fleetTargets string) error {
 	n, err := strconv.Atoi(strings.TrimSpace(shardsFlag))
 	if err != nil || n <= 0 {
 		return fmt.Errorf("-serve needs a single positive shard count, got %q", shardsFlag)
@@ -184,12 +222,28 @@ func runServe(shardsFlag string, replicas, workers int, metricsAddr string, trac
 		if pprofOn {
 			opts = append(opts, precursor.WithPprof())
 		}
+		if fleetTargets != "" {
+			specs, err := parseTargets(fleetTargets)
+			if err != nil {
+				return err
+			}
+			agg, err := fleet.New(fleet.Config{Targets: specs})
+			if err != nil {
+				return err
+			}
+			agg.Start()
+			defer agg.Close()
+			opts = append(opts, precursor.WithFleet(agg))
+		}
 		ms, err := precursor.ServeClusterMetrics(nil, metricsAddr, opts...)
 		if err != nil {
 			return err
 		}
 		defer ms.Close()
 		fmt.Printf("metrics:          http://%s/metrics\n", ms.Addr())
+		if fleetTargets != "" {
+			fmt.Printf("fleet:            http://%s/fleet\n", ms.Addr())
+		}
 	}
 	if err := printMembers(); err != nil {
 		return err

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"precursor/internal/fleet"
+)
+
+// runTop drives the live fleet view: scrape the targets, clear the
+// terminal, render the rollup, repeat. iterations > 0 exits after that
+// many frames (used by tests and one-shot snapshots); 0 runs until
+// SIGINT/SIGTERM.
+func runTop(targetsFlag string, interval time.Duration, iterations int, slo float64, out *os.File) error {
+	specs, err := parseTargets(targetsFlag)
+	if err != nil {
+		return err
+	}
+	agg, err := fleet.New(fleet.Config{Targets: specs, Interval: interval, SLO: slo})
+	if err != nil {
+		return err
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	for frame := 0; ; frame++ {
+		agg.ScrapeOnce()
+		renderFrame(out, agg)
+		if iterations > 0 && frame+1 >= iterations {
+			return nil
+		}
+		select {
+		case <-sig:
+			return nil
+		case <-time.After(interval):
+		}
+	}
+}
+
+// renderFrame clears the terminal (when out is one) and writes the
+// current rollup.
+func renderFrame(out *os.File, agg *fleet.Aggregator) {
+	var w io.Writer = out
+	if isTerminal(out) {
+		fmt.Fprint(out, "\x1b[2J\x1b[H") // clear screen, home cursor
+	}
+	fleet.WriteTop(w, agg.Snapshot())
+}
+
+// isTerminal reports whether f is a character device (an interactive
+// terminal rather than a pipe or file), deciding whether frames clear
+// the screen or just append.
+func isTerminal(f *os.File) bool {
+	st, err := f.Stat()
+	return err == nil && st.Mode()&os.ModeCharDevice != 0
+}
+
+// parseTargets splits the -targets flag: comma-separated entries,
+// each "name=url" or a bare url (named by its host:port).
+func parseTargets(flagVal string) ([]fleet.Target, error) {
+	if strings.TrimSpace(flagVal) == "" {
+		return nil, errors.New("-top needs -targets (comma-separated name=url or url metrics endpoints)")
+	}
+	var specs []fleet.Target
+	for _, part := range strings.Split(flagVal, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rawURL, hasName := strings.Cut(part, "=")
+		if !hasName {
+			rawURL, name = part, ""
+		}
+		if !strings.Contains(rawURL, "://") {
+			rawURL = "http://" + rawURL
+		}
+		u, err := url.Parse(rawURL)
+		if err != nil || u.Host == "" {
+			return nil, fmt.Errorf("bad target %q", part)
+		}
+		if u.Path == "" || u.Path == "/" {
+			u.Path = "/metrics"
+		}
+		if name == "" {
+			name = u.Host
+		}
+		specs = append(specs, fleet.Target{Name: name, URL: u.String()})
+	}
+	if len(specs) == 0 {
+		return nil, errors.New("-targets parsed to no endpoints")
+	}
+	return specs, nil
+}

@@ -55,15 +55,16 @@ func main() {
 		trace     = flag.Bool("trace", false, "record per-stage op timing; exported on /metrics and /debug/traces (needs -metrics)")
 		pprofFlag = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the metrics address (needs -metrics)")
 		slowop    = flag.Duration("slowop", 0, "log operations slower than this threshold (implies -trace; 0 = off)")
+		auditOn   = flag.Bool("audit", false, "record security events in a tamper-evident audit log; exported on /metrics, /debug/audit and /healthz (needs -metrics to export)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *hardened, *inline, *ownerOnly, *stats, *metrics, *stateDir, *sealEvery, *shard, *trace, *pprofFlag, *slowop); err != nil {
+	if err := run(*addr, *workers, *hardened, *inline, *ownerOnly, *stats, *metrics, *stateDir, *sealEvery, *shard, *trace, *pprofFlag, *slowop, *auditOn); err != nil {
 		fmt.Fprintln(os.Stderr, "precursor-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery time.Duration, metricsAddr, stateDir string, sealEvery time.Duration, shard string, trace, pprofOn bool, slowop time.Duration) error {
+func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery time.Duration, metricsAddr, stateDir string, sealEvery time.Duration, shard string, trace, pprofOn bool, slowop time.Duration, auditOn bool) error {
 	var shardID cluster.ShardID
 	if shard != "" {
 		var err error
@@ -84,6 +85,11 @@ func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery 
 			SlowThreshold: slowop,
 		})
 		cfg.Tracer = tracer
+	}
+	var auditLog *precursor.AuditLog
+	if auditOn {
+		auditLog = precursor.NewAuditLog(0)
+		cfg.Audit = auditLog
 	}
 	var snapshotPath string
 	if stateDir != "" {
@@ -161,6 +167,9 @@ func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery 
 		if pprofOn {
 			opts = append(opts, precursor.WithPprof())
 		}
+		if auditLog != nil {
+			opts = append(opts, precursor.WithAudit(auditLog))
+		}
 		metrics, err := precursor.ServeMetrics(svc.Server, metricsAddr, opts...)
 		if err != nil {
 			return err
@@ -170,11 +179,14 @@ func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery 
 		if tracer != nil {
 			fmt.Printf("traces:           http://%s/debug/traces"+"\n", metrics.Addr())
 		}
+		if auditLog != nil {
+			fmt.Printf("audit:            http://%s/debug/audit"+"\n", metrics.Addr())
+		}
 		if pprofOn {
 			fmt.Printf("pprof:            http://%s/debug/pprof/"+"\n", metrics.Addr())
 		}
-	} else if tracer != nil || pprofOn {
-		fmt.Fprintln(os.Stderr, "precursor-server: -trace/-pprof/-slowop export requires -metrics (slow-op logging still active)")
+	} else if tracer != nil || pprofOn || auditLog != nil {
+		fmt.Fprintln(os.Stderr, "precursor-server: -trace/-pprof/-slowop/-audit export requires -metrics (recording still active)")
 	}
 
 	pub, err := x509.MarshalPKIXPublicKey(cfg.Platform.AttestationPublicKey())

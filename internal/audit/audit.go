@@ -1,0 +1,426 @@
+// Package audit is Precursor's tamper-evident security event log.
+//
+// Every integrity-relevant detection the system makes — attestation
+// failures, control-data MAC failures, oid replay rejections, snapshot
+// rollback detections, Byzantine read failovers, breaker trips, quorum
+// shortfalls, repair-session anomalies — is appended to a Log as one
+// Record. Records form a hash chain: each record's hash covers the
+// previous record's hash plus a canonical binary encoding of its own
+// fields, so flipping a single bit anywhere in the exported log breaks
+// verification. On top of the chain, a keyed Log MACs every record hash
+// and the chain head with HMAC-SHA256 under a key derived from the
+// enclave's sealing key (see core.NewServer), so truncating the log and
+// rewriting the head is detectable too: the untrusted host holding the
+// log cannot forge a head MAC for a shortened chain.
+//
+// The Log is bounded. When it overflows, the oldest records are dropped
+// but their final hash is retained as the export's base, so a partial
+// log still verifies end-to-end from its base to its head.
+//
+// Security note: records carry event kinds, actor names (addresses,
+// client ids), timestamps and error text only — never keys, values, or
+// key material. The MAC key itself never appears in a Record or Export.
+package audit
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event kinds. Each names one class of security-relevant detection; the
+// set is the union of the server-side verify/apply checks and the
+// cluster client's replication safeguards.
+const (
+	// KindAttestFail records a failed remote-attestation handshake
+	// (data-path or repair-session bootstrap).
+	KindAttestFail = "attest_fail"
+	// KindAuthFail records control data that failed AEAD authentication
+	// — a forged or corrupted request MAC.
+	KindAuthFail = "auth_fail"
+	// KindReplay records a rejected stale/duplicate oid (Algorithm 2's
+	// replay check).
+	KindReplay = "replay"
+	// KindRollback records a sealed snapshot rejected because its
+	// trusted counter was behind — a rollback or fork attack.
+	KindRollback = "rollback"
+	// KindSnapshotAuth records a sealed snapshot that failed
+	// authentication under the sealing key.
+	KindSnapshotAuth = "snapshot_auth"
+	// KindByzantineFailover records a replicated read that failed over
+	// because a replica served a payload whose MAC did not verify.
+	KindByzantineFailover = "byzantine_failover"
+	// KindBreakerTrip records a replica health breaker opening.
+	KindBreakerTrip = "breaker_trip"
+	// KindQuorumShortfall records a replicated write that missed its
+	// write quorum.
+	KindQuorumShortfall = "quorum_shortfall"
+	// KindRepairAnomaly records an aborted or failed anti-entropy repair
+	// run or repair-session request.
+	KindRepairAnomaly = "repair_anomaly"
+	// KindReadFailover records a replicated read that succeeded only
+	// after failing over from its preferred replica (for any reason —
+	// Byzantine failovers are additionally recorded as their own kind).
+	KindReadFailover = "read_failover"
+)
+
+// DefaultCapacity bounds a Log's retained records when New is called
+// with capacity <= 0.
+const DefaultCapacity = 8192
+
+// genesisSeed is hashed to produce the chain's genesis hash — the
+// base of a log that has never dropped a record.
+const genesisSeed = "precursor-audit-genesis-v1"
+
+// hashSize is the chain's hash and MAC width (SHA-256).
+const hashSize = sha256.Size
+
+// Verification errors.
+var (
+	// ErrChainBroken reports a record whose hash does not extend its
+	// predecessor — a bit flip, a reorder, or a forged record.
+	ErrChainBroken = errors.New("audit: hash chain broken")
+	// ErrBadMAC reports a record or head MAC that does not verify under
+	// the log's key — tampering by a party without the enclave key.
+	ErrBadMAC = errors.New("audit: MAC verification failed")
+	// ErrTruncated reports an export whose head does not match its last
+	// record — records were cut off the end.
+	ErrTruncated = errors.New("audit: log truncated")
+	// ErrBadExport reports a structurally invalid export.
+	ErrBadExport = errors.New("audit: malformed export")
+)
+
+// Record is one security event on the chain. Hash and MAC are filled by
+// the Log; callers populate the descriptive fields only.
+type Record struct {
+	// Seq is the record's position on the chain, starting at 1.
+	Seq uint64 `json:"seq"`
+	// TS is the event time in Unix nanoseconds.
+	TS int64 `json:"ts"`
+	// Kind classifies the event (the Kind* constants).
+	Kind string `json:"kind"`
+	// Actor names the principal the event concerns: a shard or replica
+	// address, a group name, or empty for a local server event.
+	Actor string `json:"actor,omitempty"`
+	// Client is the server-assigned client id, when known.
+	Client uint32 `json:"client,omitempty"`
+	// Oid is the operation id involved, when known.
+	Oid uint64 `json:"oid,omitempty"`
+	// Detail is a short human-readable description (error text). Never
+	// keys, values or key material.
+	Detail string `json:"detail,omitempty"`
+	// Hash chains this record to its predecessor:
+	// SHA256(prevHash || canonical encoding of the fields above).
+	Hash []byte `json:"hash"`
+	// MAC is HMAC-SHA256(key, Hash) when the log is keyed.
+	MAC []byte `json:"mac,omitempty"`
+}
+
+// encode returns the record's canonical binary encoding — the bytes the
+// chain hash covers. Length-prefixed fields make the encoding
+// injective, so no two distinct records encode alike.
+func (r *Record) encode() []byte {
+	b := make([]byte, 0, 64+len(r.Kind)+len(r.Actor)+len(r.Detail))
+	b = binary.LittleEndian.AppendUint64(b, r.Seq)
+	b = binary.LittleEndian.AppendUint64(b, uint64(r.TS))
+	b = binary.LittleEndian.AppendUint32(b, r.Client)
+	b = binary.LittleEndian.AppendUint64(b, r.Oid)
+	for _, s := range []string{r.Kind, r.Actor, r.Detail} {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+		b = append(b, s...)
+	}
+	return b
+}
+
+// Export is a verifiable snapshot of the chain: the base the surviving
+// records chain from (the genesis hash unless the log overflowed), the
+// records themselves, and the authenticated head.
+type Export struct {
+	// BaseSeq is the sequence number of the last dropped record (0 when
+	// nothing has been dropped).
+	BaseSeq uint64 `json:"base_seq"`
+	// BaseHash is the chain hash the first retained record extends.
+	BaseHash []byte `json:"base_hash"`
+	// Records are the retained records, oldest first.
+	Records []Record `json:"records"`
+	// HeadSeq is the last record's sequence number (BaseSeq if empty).
+	HeadSeq uint64 `json:"head_seq"`
+	// HeadHash is the chain head — the last record's hash.
+	HeadHash []byte `json:"head_hash"`
+	// HeadMAC is HMAC-SHA256(key, HeadHash || HeadSeq) when keyed; it is
+	// what makes truncation (dropping records off the end and rewriting
+	// the head) detectable.
+	HeadMAC []byte `json:"head_mac,omitempty"`
+	// Dropped counts records lost to the capacity bound.
+	Dropped uint64 `json:"dropped,omitempty"`
+}
+
+// Genesis returns the chain's genesis hash, the base of every log that
+// has never overflowed.
+func Genesis() []byte {
+	h := sha256.Sum256([]byte(genesisSeed))
+	return h[:]
+}
+
+// Log is a bounded, append-only, hash-chained security event log. All
+// methods are safe for concurrent use; a nil *Log is inert, so emission
+// sites pay one branch when auditing is disabled.
+type Log struct {
+	mu       sync.Mutex
+	key      []byte // HMAC key; nil until SetKey
+	capacity int
+	records  []Record
+	headSeq  uint64
+	headHash []byte
+	baseSeq  uint64
+	baseHash []byte
+	dropped  uint64
+	counts   map[string]uint64
+	lastTS   int64
+}
+
+// New creates a Log retaining at most capacity records (DefaultCapacity
+// if <= 0). The log starts unkeyed: the chain is maintained from the
+// first record, and MACs appear once SetKey is called (typically by
+// core.NewServer, which derives the key from the enclave sealing key).
+func New(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Log{
+		capacity: capacity,
+		headHash: Genesis(),
+		baseHash: Genesis(),
+		counts:   make(map[string]uint64),
+	}
+}
+
+// SetKey installs the HMAC key (set-once; later calls are ignored so a
+// log shared across servers keeps one consistent key). Record and head
+// MACs are computed at export time, so a key installed after events
+// were appended still covers them.
+func (l *Log) SetKey(key []byte) {
+	if l == nil || len(key) == 0 {
+		return
+	}
+	l.mu.Lock()
+	if l.key == nil {
+		l.key = append([]byte(nil), key...)
+	}
+	l.mu.Unlock()
+}
+
+// Key returns a copy of the installed HMAC key (nil if unkeyed). The
+// offline verifier needs it; handle it like the secret it is.
+func (l *Log) Key() []byte {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]byte(nil), l.key...)
+}
+
+// Add appends one event to the chain. The caller fills the descriptive
+// fields (Kind, Actor, Client, Oid, Detail); Seq, TS, and Hash are
+// assigned here. Nil-log and empty-kind calls are no-ops.
+func (l *Log) Add(r Record) {
+	if l == nil || r.Kind == "" {
+		return
+	}
+	now := time.Now().UnixNano()
+	l.mu.Lock()
+	r.Seq = l.headSeq + 1
+	r.TS = now
+	r.MAC = nil
+	h := sha256.New()
+	h.Write(l.headHash)
+	h.Write(r.encode())
+	r.Hash = h.Sum(nil)
+	l.headSeq = r.Seq
+	l.headHash = r.Hash
+	l.records = append(l.records, r)
+	if len(l.records) > l.capacity {
+		// Drop the oldest record but keep its hash as the new base, so
+		// the retained suffix still verifies end-to-end.
+		old := l.records[0]
+		l.baseSeq = old.Seq
+		l.baseHash = old.Hash
+		l.records = l.records[1:]
+		l.dropped++
+	}
+	l.counts[r.Kind]++
+	l.lastTS = now
+	l.mu.Unlock()
+}
+
+// Len returns the number of retained records.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// Dropped counts records lost to the capacity bound.
+func (l *Log) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// CountsByKind returns per-kind event totals over the log's lifetime
+// (dropped records included).
+func (l *Log) CountsByKind() map[string]uint64 {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]uint64, len(l.counts))
+	for k, v := range l.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// LastEventTime returns when the most recent event was recorded (zero
+// time if the log is empty). /healthz surfaces its age.
+func (l *Log) LastEventTime() time.Time {
+	if l == nil {
+		return time.Time{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.lastTS == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, l.lastTS)
+}
+
+// Export snapshots the chain for transport: retained records (with MACs
+// when keyed) plus the authenticated head.
+func (l *Log) Export() *Export {
+	if l == nil {
+		return &Export{BaseHash: Genesis(), HeadHash: Genesis()}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := &Export{
+		BaseSeq:  l.baseSeq,
+		BaseHash: append([]byte(nil), l.baseHash...),
+		Records:  make([]Record, len(l.records)),
+		HeadSeq:  l.headSeq,
+		HeadHash: append([]byte(nil), l.headHash...),
+		Dropped:  l.dropped,
+	}
+	copy(e.Records, l.records)
+	if l.key != nil {
+		for i := range e.Records {
+			e.Records[i].MAC = macOf(l.key, e.Records[i].Hash)
+		}
+		e.HeadMAC = headMAC(l.key, e.HeadHash, e.HeadSeq)
+	}
+	return e
+}
+
+// WriteJSON writes the export as indented JSON — the payload served on
+// GET /debug/audit and consumed by `precursor-cli audit verify`.
+func (l *Log) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l.Export())
+}
+
+// Verify re-verifies the log's own chain (the /healthz self-check).
+// An in-memory chain can only fail this if process memory was corrupted
+// — the check exists so the serving path and the offline verifier agree
+// on one definition of a valid chain.
+func (l *Log) Verify() error {
+	if l == nil {
+		return nil
+	}
+	_, err := VerifyExport(l.Export(), l.Key())
+	return err
+}
+
+// ReadExport parses an export previously produced by WriteJSON.
+func ReadExport(r io.Reader) (*Export, error) {
+	var e Export
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&e); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadExport, err)
+	}
+	return &e, nil
+}
+
+// VerifyExport checks an export end-to-end and returns the number of
+// records verified. With a nil key only the hash chain and head linkage
+// are checked — bit flips and reorders are caught, but a truncated
+// chain with a consistently rewritten head is not. With the log's key,
+// record MACs and the head MAC are verified too, which closes the
+// truncation hole: the holder of the log cannot re-MAC a shorter head.
+func VerifyExport(e *Export, key []byte) (int, error) {
+	if e == nil || len(e.BaseHash) != hashSize || len(e.HeadHash) != hashSize {
+		return 0, ErrBadExport
+	}
+	prev := e.BaseHash
+	seq := e.BaseSeq
+	for i := range e.Records {
+		r := &e.Records[i]
+		if r.Seq != seq+1 {
+			return i, fmt.Errorf("%w: record %d has seq %d, want %d (reordered or dropped)", ErrChainBroken, i, r.Seq, seq+1)
+		}
+		h := sha256.New()
+		h.Write(prev)
+		h.Write(r.encode())
+		want := h.Sum(nil)
+		if !hmac.Equal(want, r.Hash) {
+			return i, fmt.Errorf("%w: record seq %d hash mismatch", ErrChainBroken, r.Seq)
+		}
+		if key != nil && !hmac.Equal(macOf(key, r.Hash), r.MAC) {
+			return i, fmt.Errorf("%w: record seq %d", ErrBadMAC, r.Seq)
+		}
+		prev = r.Hash
+		seq = r.Seq
+	}
+	if e.HeadSeq != seq {
+		return len(e.Records), fmt.Errorf("%w: head seq %d, chain ends at %d", ErrTruncated, e.HeadSeq, seq)
+	}
+	if !hmac.Equal(prev, e.HeadHash) {
+		return len(e.Records), fmt.Errorf("%w: head hash does not match last record", ErrTruncated)
+	}
+	if key != nil && !hmac.Equal(headMAC(key, e.HeadHash, e.HeadSeq), e.HeadMAC) {
+		return len(e.Records), fmt.Errorf("%w: head", ErrBadMAC)
+	}
+	return len(e.Records), nil
+}
+
+// macOf computes the per-record MAC: HMAC-SHA256(key, hash).
+func macOf(key, hash []byte) []byte {
+	m := hmac.New(sha256.New, key)
+	m.Write(hash)
+	return m.Sum(nil)
+}
+
+// headMAC authenticates the chain head together with its sequence
+// number, so a rewound head cannot reuse an old head's MAC.
+func headMAC(key, headHash []byte, headSeq uint64) []byte {
+	m := hmac.New(sha256.New, key)
+	m.Write(headHash)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], headSeq)
+	m.Write(b[:])
+	return m.Sum(nil)
+}

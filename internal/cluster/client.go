@@ -8,8 +8,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"precursor/internal/audit"
 	"precursor/internal/core"
 	"precursor/internal/hist"
+	"precursor/internal/obs"
 )
 
 // Backend is one shard's key-value connection. *core.Client satisfies it,
@@ -78,6 +80,17 @@ type Options struct {
 	// (deterministic tests drive repair via short RepairInterval instead;
 	// production leaves this false).
 	DisableAutoRepair bool
+	// Audit, when set, receives a tamper-evident record of the client's
+	// replication safeguards firing: breaker trips, quorum shortfalls,
+	// Byzantine read failovers, repair anomalies. Share the servers' log
+	// to interleave client- and server-side detections on one chain, or
+	// give the client its own. Nil disables (one branch per event).
+	Audit *audit.Log
+	// Tracer, when set, records replicated operations as traces with
+	// per-replica child spans (obs.CliReplica, annotated with the group
+	// and replica names) and receives NoteFault annotations on failover
+	// and repair events. A SideClient tracer; nil disables.
+	Tracer *obs.Tracer
 }
 
 func (o *Options) withDefaults() Options {
@@ -128,6 +141,8 @@ type Client struct {
 	closed atomic.Bool
 	stopCh chan struct{}
 	wg     sync.WaitGroup
+
+	traceSlot atomic.Uint32 // stripes tracer histogram recording
 
 	failovers        atomic.Uint64 // reads served by a non-preferred replica
 	quorumShortfalls atomic.Uint64 // writes that missed their quorum
@@ -393,16 +408,28 @@ func (c *Client) quorumWrite(g *groupState, key string, do func(Backend) error, 
 		}
 	}
 	if len(live) == 0 {
-		c.quorumShortfalls.Add(1)
+		c.noteQuorumShortfall(g, 0, "no live replicas")
 		return &ShardError{Shard: g.name, Err: ErrShardDown}
 	}
-	// The channel is buffered and each goroutine runs its breaker
-	// observation itself, so the collector may return at quorum and let
-	// stragglers (e.g. an attempt stuck in a dead pool's acquire wait)
-	// drain in the background without stalling the caller.
-	ch := make(chan error, len(live))
+	kind := "put"
+	if isDelete {
+		kind = "delete"
+	}
+	op := c.opts.Tracer.Start(int(c.traceSlot.Add(1)), kind)
+	op.SetGroup(g.name)
+	// Each fan-out goroutine runs its breaker observation itself and
+	// reports into the buffered channel, so stragglers (e.g. an attempt
+	// stuck in a dead pool's acquire wait) drain in the background
+	// without stalling the caller.
+	type repResult struct {
+		rep        *replicaState
+		err        error
+		start, end int64 // obs timebase; 0 when tracing is off
+	}
+	results := make(chan repResult, len(live))
 	for i, rep := range live {
 		go func(rep *replicaState, tok admitToken) {
+			s0 := op.Now()
 			t0 := time.Now()
 			err := do(rep.backend)
 			d := time.Since(t0)
@@ -411,63 +438,104 @@ func (c *Client) quorumWrite(g *groupState, key string, do func(Backend) error, 
 			if err = c.observe(rep, tok, err, true, key); err == nil {
 				tally(rep)
 			}
-			ch <- err
+			results <- repResult{rep: rep, err: err, start: s0, end: op.Now()}
 		}(rep, toks[i])
 	}
-	var acks, notFounds int
-	var firstFail, firstData error
-	for range live {
-		err := <-ch
-		switch {
-		case err == nil:
-			acks++
-		case isDelete && errors.Is(err, core.ErrNotFound):
-			// The replica never had the key — for a delete that is the
-			// desired end state, so it counts toward the quorum.
-			acks++
-			notFounds++
-		case c.opts.IsShardFailure(err) || errors.Is(err, core.ErrUnconfirmed):
-			if firstFail == nil {
-				firstFail = err
-			}
-		default:
-			if firstData == nil {
-				firstData = err
+	// One collector goroutine owns the trace op (an obs.Op is single-
+	// owner): it signals the write's outcome on done the moment quorum is
+	// reached — the caller does not wait for stragglers — then keeps
+	// draining so every replica's share of the fan-out lands as a
+	// CliReplica child span before Finish.
+	done := make(chan error, 1)
+	go func() {
+		var acks, notFounds int
+		var firstFail, firstData error
+		resolved := false
+		resolve := func(err error) {
+			if !resolved {
+				resolved = true
+				op.SetError(err)
+				done <- err
 			}
 		}
-		if acks >= g.quorum {
-			if isDelete && acks == notFounds {
-				return core.ErrNotFound
+		for range live {
+			r := <-results
+			op.ReplicaSpanAt(r.rep.name, r.start, r.end)
+			switch {
+			case r.err == nil:
+				acks++
+			case isDelete && errors.Is(r.err, core.ErrNotFound):
+				// The replica never had the key — for a delete that is the
+				// desired end state, so it counts toward the quorum.
+				acks++
+				notFounds++
+			case c.opts.IsShardFailure(r.err) || errors.Is(r.err, core.ErrUnconfirmed):
+				if firstFail == nil {
+					firstFail = r.err
+				}
+			default:
+				if firstData == nil {
+					firstData = r.err
+				}
 			}
-			return nil
+			if !resolved && acks >= g.quorum {
+				if isDelete && acks == notFounds {
+					resolve(core.ErrNotFound)
+				} else {
+					resolve(nil)
+				}
+			}
 		}
-	}
+		if !resolved {
+			c.noteQuorumShortfall(g, acks, kind)
+			switch {
+			case acks == 0 && firstFail == nil && firstData != nil:
+				// Every replica rejected the operation deterministically
+				// (e.g. oversized value): a clean data error, nothing was
+				// applied.
+				resolve(firstData)
+			default:
+				cause := firstFail
+				if cause == nil {
+					cause = firstData
+				}
+				if cause == nil {
+					cause = ErrShardDown
+				}
+				if acks > 0 && !errors.Is(cause, core.ErrUnconfirmed) {
+					// Some replicas applied the write and the group is below
+					// quorum: the outcome is indeterminate until repair
+					// reconverges.
+					cause = fmt.Errorf("%w; %w", cause, core.ErrUnconfirmed)
+				}
+				resolve(&ShardError{Shard: g.name, Err: fmt.Errorf("%w (%d/%d acks): %w", ErrNoQuorum, acks, g.quorum, cause)})
+			}
+		}
+		op.Finish()
+	}()
+	return <-done
+}
+
+// noteQuorumShortfall counts, audits and trace-annotates one replicated
+// write that missed its quorum.
+func (c *Client) noteQuorumShortfall(g *groupState, acks int, detail string) {
 	c.quorumShortfalls.Add(1)
-	if acks == 0 && firstFail == nil && firstData != nil {
-		// Every replica rejected the operation deterministically (e.g.
-		// oversized value): a clean data error, nothing was applied.
-		return firstData
-	}
-	cause := firstFail
-	if cause == nil {
-		cause = firstData
-	}
-	if cause == nil {
-		cause = ErrShardDown
-	}
-	if acks > 0 && !errors.Is(cause, core.ErrUnconfirmed) {
-		// Some replicas applied the write and the group is below quorum:
-		// the outcome is indeterminate until repair reconverges.
-		cause = fmt.Errorf("%w; %w", cause, core.ErrUnconfirmed)
-	}
-	return &ShardError{Shard: g.name, Err: fmt.Errorf("%w (%d/%d acks): %w", ErrNoQuorum, acks, g.quorum, cause)}
+	c.opts.Audit.Add(audit.Record{Kind: audit.KindQuorumShortfall, Actor: g.name,
+		Detail: fmt.Sprintf("%s: %d/%d acks", detail, acks, g.quorum)})
+	c.opts.Tracer.NoteFault(fmt.Sprintf("quorum shortfall group=%s %d/%d acks", g.name, acks, g.quorum))
 }
 
 // replicatedGet serves a read from the fastest healthy replica, failing
 // over to the next on shard-level errors and on payload-MAC failures.
 // Not-found from a healthy replica is authoritative (an up replica has
 // every acked write) and is returned immediately.
-func (c *Client) replicatedGet(g *groupState, key string) ([]byte, error) {
+func (c *Client) replicatedGet(g *groupState, key string) (val []byte, retErr error) {
+	op := c.opts.Tracer.Start(int(c.traceSlot.Add(1)), "get")
+	op.SetGroup(g.name)
+	defer func() {
+		op.SetError(retErr)
+		op.Finish()
+	}()
 	order := g.readOrder()
 	probeFallback := len(order) == 0
 	if probeFallback {
@@ -489,22 +557,30 @@ func (c *Client) replicatedGet(g *groupState, key string) ([]byte, error) {
 			continue
 		}
 		attempted++
+		s0 := op.Now()
 		t0 := time.Now()
 		v, err := rep.backend.Get(key)
 		d := time.Since(t0)
 		rep.recordLatency(t0)
 		err = c.observe(rep, tok, err, true, "")
+		op.ReplicaSpanAt(rep.name, s0, op.Now())
 		if err == nil {
 			rep.noteLatency(d)
 			rep.gets.Add(1)
 			if attempted > 1 {
 				c.failovers.Add(1)
+				c.opts.Audit.Add(audit.Record{Kind: audit.KindReadFailover, Actor: rep.name,
+					Detail: fmt.Sprintf("group %s: read served by attempt %d", g.name, attempted)})
+				c.opts.Tracer.NoteFault(fmt.Sprintf("read failover group=%s served-by=%s attempt=%d", g.name, rep.name, attempted))
 			}
 			return v, nil
 		}
 		if errors.Is(err, core.ErrIntegrity) {
 			// Integrity backstop: this replica returned a payload whose
 			// MAC does not verify — treat like an outage and fail over.
+			c.opts.Audit.Add(audit.Record{Kind: audit.KindByzantineFailover, Actor: rep.name,
+				Detail: fmt.Sprintf("group %s: payload MAC failed verification", g.name)})
+			c.opts.Tracer.NoteFault(fmt.Sprintf("byzantine failover group=%s replica=%s", g.name, rep.name))
 			lastErr = err
 			continue
 		}
@@ -645,11 +721,13 @@ func (s *replicaState) journalLocked(cap int, key string) {
 func (c *Client) observe(s *replicaState, tok admitToken, err error, replicated bool, writeKey string) error {
 	fatal := err != nil && c.opts.IsShardFailure(err)
 	ambiguous := err != nil && errors.Is(err, core.ErrUnconfirmed)
+	tripped := false
 	s.mu.Lock()
 	current := tok.epoch == s.epoch
 	switch {
 	case fatal && current:
 		// Trip (or deepen, if this was the failed probe).
+		tripped = true
 		s.epoch++
 		s.down = true
 		s.probing = false
@@ -691,6 +769,10 @@ func (c *Client) observe(s *replicaState, tok admitToken, err error, replicated 
 		s.journalLocked(c.opts.JournalCap, writeKey)
 	}
 	s.mu.Unlock()
+	if tripped {
+		c.opts.Audit.Add(audit.Record{Kind: audit.KindBreakerTrip, Actor: s.name, Detail: err.Error()})
+		c.opts.Tracer.NoteFault("breaker trip replica=" + s.name)
+	}
 	if err != nil {
 		s.errors.Add(1)
 		if fatal {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"time"
 
+	"precursor/internal/audit"
 	"precursor/internal/core"
 )
 
@@ -132,9 +133,13 @@ func (c *Client) repairReplica(g *groupState, rep *replicaState) {
 	rep.mu.Unlock()
 	if err != nil {
 		c.repairFailures.Add(1)
+		c.opts.Audit.Add(audit.Record{Kind: audit.KindRepairAnomaly, Actor: rep.name,
+			Detail: err.Error()})
+		c.opts.Tracer.NoteFault("repair failed replica=" + rep.name)
 	} else {
 		rep.repairs.Add(1)
 		c.repairsDone.Add(1)
+		c.opts.Tracer.NoteFault("repair done replica=" + rep.name)
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"log/slog"
 	"time"
 
+	"precursor/internal/audit"
 	"precursor/internal/obs"
 	"precursor/internal/sgx"
 )
@@ -119,6 +120,15 @@ type ServerConfig struct {
 	// pays one branch per request. Spans never carry keys, values or key
 	// material — see OBSERVABILITY.md.
 	Tracer *obs.Tracer
+	// Audit, when set, receives a tamper-evident record of every
+	// security-relevant detection this server makes (attestation
+	// failures, MAC failures, replay rejections, rollback detections,
+	// repair-session anomalies). NewServer keys the log with a MAC key
+	// derived from the enclave's sealing key; a log shared across the
+	// replicas of a group keeps the first key installed (replicas of one
+	// group share a platform, so the key is the same). Nil disables
+	// auditing at the cost of one branch per detection.
+	Audit *audit.Log
 }
 
 func (c *ServerConfig) withDefaults() ServerConfig {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"time"
 
+	"precursor/internal/audit"
 	"precursor/internal/cryptox"
 	"precursor/internal/sgx"
 	"precursor/internal/wire"
@@ -174,8 +175,12 @@ func (s *Server) restore(r io.Reader, allowNewer bool) error {
 		case counter == current:
 			// The usual case: the snapshot is the latest seal.
 		case counter < current:
+			s.cfg.Audit.Add(audit.Record{Kind: audit.KindRollback,
+				Detail: fmt.Sprintf("snapshot counter %d behind trusted counter %d", counter, current)})
 			return ErrSnapshotRollback
 		case !allowNewer:
+			s.cfg.Audit.Add(audit.Record{Kind: audit.KindRollback,
+				Detail: fmt.Sprintf("snapshot counter %d ahead of trusted counter %d (fork)", counter, current)})
 			return ErrSnapshotRollback
 		}
 		key, err := s.enclave.SealingKey()
@@ -190,6 +195,8 @@ func (s *Server) restore(r io.Reader, allowNewer bool) error {
 		binary.LittleEndian.PutUint64(ad[:], counter)
 		plain, err := aead.Open(sealed, ad[:])
 		if err != nil {
+			s.cfg.Audit.Add(audit.Record{Kind: audit.KindSnapshotAuth,
+				Detail: "snapshot failed authentication under sealing key"})
 			return ErrSnapshotAuth
 		}
 		if err := s.deserializeState(plain); err != nil {

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"precursor/internal/audit"
 	"precursor/internal/cryptox"
 	"precursor/internal/rdma"
 	"precursor/internal/sgx"
@@ -225,6 +226,7 @@ func (s *Server) serveRepair(conn rdma.Conn, hello *helloMsg) error {
 		return err
 	})
 	if err != nil {
+		s.cfg.Audit.Add(audit.Record{Kind: audit.KindAttestFail, Detail: "repair session: " + err.Error()})
 		_ = sendMsg(conn, 2, &welcomeMsg{Error: "attestation failed"})
 		return fmt.Errorf("attestation: %w", err)
 	}
@@ -350,6 +352,12 @@ func (s *Server) repairLoop(link *repairLink) error {
 			return nil
 		default:
 			resp = &repairMsg{Op: repairOpError, Error: fmt.Sprintf("unknown repair op %q", m.Op)}
+		}
+		if resp != nil && resp.Op == repairOpError {
+			// Single chokepoint for every failed repair request — one
+			// audit record regardless of which arm built the error reply.
+			s.cfg.Audit.Add(audit.Record{Kind: audit.KindRepairAnomaly,
+				Detail: fmt.Sprintf("repair %s: %s", m.Op, resp.Error)})
 		}
 		if err := link.postRecv(); err != nil {
 			return err

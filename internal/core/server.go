@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"precursor/internal/audit"
 	"precursor/internal/cryptox"
 	"precursor/internal/hashtable"
 	"precursor/internal/obs"
@@ -134,6 +135,26 @@ func NewServer(device *rdma.Device, cfg ServerConfig) (*Server, error) {
 		s.rollback = sgx.AsTrustedCounter(sgx.NewMonotonicCounter())
 	}
 	s.acct = newEnclaveAccountant(enclave)
+	if c.Audit != nil {
+		// Key the audit log from inside the enclave: HKDF of the sealing
+		// key, so only this enclave identity (or a replica sharing its
+		// platform and measurement) can MAC the chain. SetKey is set-once
+		// — a log shared across a replica group keeps one key.
+		if err := enclave.Ecall("derive_audit_key", func() error {
+			sk, err := enclave.SealingKey()
+			if err != nil {
+				return err
+			}
+			mk, err := cryptox.HKDF(sk, nil, []byte("precursor-audit-mac-v1"), 32)
+			if err != nil {
+				return err
+			}
+			c.Audit.SetKey(mk)
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("audit key: %w", err)
+		}
+	}
 	s.pool = slab.New(slab.WithGrowFunc(func(n int) error {
 		// The single ocall of §4/§3.8: enlarge the pre-allocated untrusted
 		// list. The allocation itself happens in untrusted memory.
@@ -186,6 +207,10 @@ func (s *Server) Enclave() *sgx.Enclave { return s.enclave }
 
 // Tracer returns the server's tracer (nil when tracing is disabled).
 func (s *Server) Tracer() *obs.Tracer { return s.cfg.Tracer }
+
+// AuditLog returns the server's security audit log (nil when auditing
+// is disabled). /debug/audit and /healthz serve from it.
+func (s *Server) AuditLog() *audit.Log { return s.cfg.Audit }
 
 // SetOwnerOnly enables the simple access-control policy where only the
 // client that wrote a key may read or delete it ("traditional access
@@ -243,6 +268,7 @@ func (s *Server) HandleConnection(conn rdma.Conn) (uint32, error) {
 		return err
 	})
 	if err != nil {
+		s.cfg.Audit.Add(audit.Record{Kind: audit.KindAttestFail, Detail: err.Error()})
 		_ = sendMsg(conn, 1, &welcomeMsg{Error: "attestation failed"})
 		return 0, fmt.Errorf("attestation: %w", err)
 	}
@@ -494,6 +520,8 @@ func (s *Server) handleRequest(sess *session, msg []byte, op *obs.Op, now int64)
 	if err != nil {
 		s.authFailures.Add(1)
 		s.logEvent("control data failed authentication", slog.Int("client", int(sess.id)))
+		s.cfg.Audit.Add(audit.Record{Kind: audit.KindAuthFail, Client: sess.id,
+			Detail: "control data failed authentication"})
 		op.SetError(ErrAuth)
 		s.reply(sess, wire.StatusAuthFailed, nil, nil, op, now)
 		return
@@ -512,6 +540,8 @@ func (s *Server) handleRequest(sess *session, msg []byte, op *obs.Op, now int64)
 		s.replays.Add(1)
 		s.logEvent("replay detected", slog.Int("client", int(sess.id)),
 			slog.Uint64("oid", ctl.Oid), slog.Uint64("lastOid", sess.lastOid))
+		s.cfg.Audit.Add(audit.Record{Kind: audit.KindReplay, Client: sess.id, Oid: ctl.Oid,
+			Detail: fmt.Sprintf("oid %d not above last %d", ctl.Oid, sess.lastOid)})
 		now = op.SpanEnd(obs.SrvVerify, now)
 		op.SetError(ErrReplay)
 		s.reply(sess, wire.StatusReplay,

@@ -1,0 +1,237 @@
+package fleet
+
+import (
+	"bytes"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParsePromBasics(t *testing.T) {
+	in := `# HELP precursor_puts_total Completed put operations
+# TYPE precursor_puts_total counter
+precursor_puts_total 42
+
+precursor_ready 1
+precursor_stage_latency_seconds{side="client",stage="cli_total",quantile="0.99"} 0.00123
+precursor_cluster_shard_up{shard="127.0.0.1:7100",group="g0"} 1
+precursor_fleet_anomaly{flag="target \"x\" down: dial\ntimeout"} 1
+`
+	samples, err := ParseProm(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 5 {
+		t.Fatalf("got %d samples, want 5", len(samples))
+	}
+	if samples[0].Name != "precursor_puts_total" || samples[0].Value != 42 {
+		t.Fatalf("sample 0: %+v", samples[0])
+	}
+	if samples[2].Labels["quantile"] != "0.99" || samples[2].Labels["side"] != "client" {
+		t.Fatalf("sample 2 labels: %+v", samples[2].Labels)
+	}
+	if samples[3].Labels["shard"] != "127.0.0.1:7100" {
+		t.Fatalf("sample 3 labels: %+v", samples[3].Labels)
+	}
+	if want := "target \"x\" down: dial\ntimeout"; samples[4].Labels["flag"] != want {
+		t.Fatalf("escape handling: %q, want %q", samples[4].Labels["flag"], want)
+	}
+}
+
+func TestParsePromRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"precursor_puts_total",
+		"precursor_puts_total notanumber",
+		`precursor_x{unterminated="v 1`,
+		`precursor_x{novalue} 1`,
+	} {
+		if _, err := ParseProm(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseProm(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+// promTarget serves a fixed metrics payload.
+func promTarget(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_, _ = w.Write([]byte(body))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestAggregatorRollup(t *testing.T) {
+	a1 := promTarget(t, `precursor_cluster_quorum_shortfalls_total 3
+precursor_cluster_read_failovers_total 2
+precursor_cluster_repairs_total 1
+precursor_auth_failures_total 4
+precursor_audit_events_total{kind="breaker_trip"} 2
+precursor_stage_latency_seconds{side="client",stage="cli_total",quantile="0.99"} 0.002
+`)
+	a2 := promTarget(t, `precursor_replays_total 5
+precursor_audit_events_total{kind="breaker_trip"} 1
+precursor_audit_events_total{kind="byzantine_failover"} 1
+precursor_stage_latency_seconds{side="client",stage="cli_total",quantile="0.99"} 0.004
+precursor_stage_latency_seconds{side="client",stage="cli_total",quantile="0.5"} 0.001
+`)
+	agg, err := New(Config{Targets: []Target{
+		{Name: "t1", URL: a1.URL},
+		{Name: "t2", URL: a2.URL},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg.ScrapeOnce()
+	r := agg.Snapshot()
+	if r.TargetsUp != 2 || r.Availability != 1 {
+		t.Fatalf("up=%d avail=%g, want 2 and 1", r.TargetsUp, r.Availability)
+	}
+	if r.ErrorBudgetBurn != 0 {
+		t.Fatalf("burn=%g, want 0", r.ErrorBudgetBurn)
+	}
+	if r.QuorumShortfalls != 3 || r.ReadFailovers != 2 || r.Repairs != 1 {
+		t.Fatalf("cluster counters: %+v", r)
+	}
+	if r.AuthFailures != 4 || r.Replays != 5 {
+		t.Fatalf("security counters: %+v", r)
+	}
+	if r.AuditEvents["breaker_trip"] != 3 || r.AuditEvents["byzantine_failover"] != 1 {
+		t.Fatalf("audit events: %+v", r.AuditEvents)
+	}
+	// Worst-of across targets: t2's 4ms wins.
+	if len(r.StageP99) != 1 || r.StageP99[0].P99 != 0.004 || r.StageP99[0].Target != "t2" {
+		t.Fatalf("stage p99: %+v", r.StageP99)
+	}
+	// Shortfalls, auth failures, replays and the byzantine audit kind all
+	// flag anomalies.
+	if len(r.Anomalies) < 4 {
+		t.Fatalf("anomalies: %v", r.Anomalies)
+	}
+}
+
+func TestAggregatorDownTarget(t *testing.T) {
+	up := promTarget(t, "precursor_ready 1\n")
+	down := promTarget(t, "")
+	downURL := down.URL
+	down.Close() // refuses connections from here on
+	agg, err := New(Config{Targets: []Target{
+		{Name: "up", URL: up.URL},
+		{Name: "down", URL: downURL},
+	}, Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg.ScrapeOnce()
+	agg.ScrapeOnce()
+	r := agg.Snapshot()
+	if r.TargetsUp != 1 {
+		t.Fatalf("TargetsUp=%d, want 1", r.TargetsUp)
+	}
+	if math.Abs(r.Availability-0.5) > 1e-9 {
+		t.Fatalf("Availability=%g, want 0.5", r.Availability)
+	}
+	if r.ErrorBudgetBurn < 1 {
+		t.Fatalf("burn=%g, want >= 1 with half the fleet down", r.ErrorBudgetBurn)
+	}
+	foundDown, foundBurn := false, false
+	for _, an := range r.Anomalies {
+		if strings.Contains(an, "target down down") || strings.Contains(an, "target down") {
+			foundDown = true
+		}
+		if strings.Contains(an, "error-budget burn") {
+			foundBurn = true
+		}
+	}
+	if !foundDown || !foundBurn {
+		t.Fatalf("anomalies missing down/burn flags: %v", r.Anomalies)
+	}
+}
+
+// TestWritePromRoundTrip feeds /fleet output back through ParseProm —
+// the promtext round-trip the satellite task demands.
+func TestWritePromRoundTrip(t *testing.T) {
+	src := promTarget(t, `precursor_cluster_quorum_shortfalls_total 7
+precursor_cluster_read_failovers_total 2
+precursor_audit_events_total{kind="replay"} 9
+`)
+	agg, err := New(Config{Targets: []Target{{Name: "s", URL: src.URL}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg.ScrapeOnce()
+	var buf bytes.Buffer
+	if err := agg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseProm(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("fleet output failed to re-parse: %v\n%s", err, buf.String())
+	}
+	byName := func(name string) (Sample, bool) {
+		for _, s := range samples {
+			if s.Name == name {
+				return s, true
+			}
+		}
+		return Sample{}, false
+	}
+	if s, ok := byName("precursor_fleet_quorum_shortfalls_total"); !ok || s.Value != 7 {
+		t.Fatalf("quorum shortfalls: %+v ok=%v", s, ok)
+	}
+	if s, ok := byName("precursor_fleet_read_failovers_total"); !ok || s.Value != 2 {
+		t.Fatalf("read failovers: %+v ok=%v", s, ok)
+	}
+	if s, ok := byName("precursor_fleet_audit_events_total"); !ok || s.Labels["kind"] != "replay" || s.Value != 9 {
+		t.Fatalf("audit events: %+v ok=%v", s, ok)
+	}
+	if s, ok := byName("precursor_fleet_availability"); !ok || s.Value != 1 {
+		t.Fatalf("availability: %+v ok=%v", s, ok)
+	}
+}
+
+func TestServeHTTPAndTop(t *testing.T) {
+	src := promTarget(t, "precursor_cluster_repairs_total 1\nprecursor_stage_latency_seconds{side=\"server\",stage=\"srv_apply\",quantile=\"0.99\"} 0.0001\n")
+	agg, err := New(Config{Targets: []Target{{Name: "s", URL: src.URL}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg.ScrapeOnce()
+	rec := httptest.NewRecorder()
+	agg.ServeHTTP(rec, httptest.NewRequest("GET", "/fleet", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "precursor_fleet_repairs_total 1") {
+		t.Fatalf("ServeHTTP: code=%d body=%q", rec.Code, rec.Body.String())
+	}
+	var top bytes.Buffer
+	WriteTop(&top, agg.Snapshot())
+	out := top.String()
+	for _, want := range []string{"PRECURSOR FLEET", "repairs=1", "srv_apply"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteTop output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStartAndClose(t *testing.T) {
+	src := promTarget(t, "precursor_ready 1\n")
+	agg, err := New(Config{Targets: []Target{{Name: "s", URL: src.URL}}, Interval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg.Start()
+	defer agg.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if r := agg.Snapshot(); r.TargetsUp == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background scrape never landed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

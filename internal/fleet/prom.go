@@ -1,0 +1,136 @@
+package fleet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed metric line: a name, its label set (possibly
+// empty) and the value. Summary-family suffixes (_sum, _count) keep
+// their suffixed name.
+type Sample struct {
+	// Name is the metric family name.
+	Name string
+	// Labels are the sample's label pairs (nil when unlabeled).
+	Labels map[string]string
+	// Value is the sample value.
+	Value float64
+}
+
+// ParseProm reads the Prometheus text exposition format (the subset
+// ServeMetrics emits: HELP/TYPE comments, optional labels with quoted
+// escaped values, one float per line) and returns the samples in input
+// order. Comment and blank lines are skipped; a malformed sample line is
+// an error — the scraper must not silently mis-aggregate.
+func ParseProm(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	return out, nil
+}
+
+// parseSampleLine parses one non-comment sample line.
+func parseSampleLine(line string) (Sample, error) {
+	var s Sample
+	// Name runs to the first '{' or whitespace.
+	i := strings.IndexAny(line, "{ \t")
+	if i <= 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	rest = strings.TrimSpace(rest)
+	// A trailing timestamp (rare, optional in the format) would be a
+	// second field; take the first.
+	if j := strings.IndexAny(rest, " \t"); j >= 0 {
+		rest = rest[:j]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a leading {k="v",...} block, returning the labels
+// and the remainder of the line. Quoted values use the format's escapes
+// (\\, \", \n).
+func parseLabels(in string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	i := 1 // past '{'
+	for {
+		// Skip separators.
+		for i < len(in) && (in[i] == ',' || in[i] == ' ') {
+			i++
+		}
+		if i < len(in) && in[i] == '}' {
+			return labels, in[i+1:], nil
+		}
+		eq := strings.IndexByte(in[i:], '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("malformed labels %q", in)
+		}
+		key := strings.TrimSpace(in[i : i+eq])
+		i += eq + 1
+		if i >= len(in) || in[i] != '"' {
+			return nil, "", fmt.Errorf("unquoted label value in %q", in)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(in) {
+				return nil, "", fmt.Errorf("unterminated label value in %q", in)
+			}
+			c := in[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' && i+1 < len(in) {
+				i++
+				switch in[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(in[i])
+				default:
+					val.WriteByte('\\')
+					val.WriteByte(in[i])
+				}
+				i++
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels[key] = val.String()
+	}
+}

@@ -1,0 +1,67 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+)
+
+// WriteTop renders the rollup as the `precursor-cluster -top` terminal
+// view: a fleet header line, a per-target table, the replication and
+// security counter summaries, the worst per-stage p99s, and any raised
+// anomaly flags.
+func WriteTop(w io.Writer, r Rollup) {
+	fmt.Fprintf(w, "PRECURSOR FLEET  targets %d/%d up  availability %.4f  SLO %g  budget-burn %.2fx\n\n",
+		r.TargetsUp, len(r.Targets), r.Availability, r.SLO, r.ErrorBudgetBurn)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "TARGET\tSTATE\tAVAIL\tSCRAPES\tFAILS\tERROR")
+	for _, t := range r.Targets {
+		state := "up"
+		if !t.Up {
+			state = "DOWN"
+		}
+		errText := t.Err
+		if len(errText) > 48 {
+			errText = errText[:45] + "..."
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.4f\t%d\t%d\t%s\n", t.Name, state, t.Availability, t.Scrapes, t.Failures, errText)
+	}
+	tw.Flush()
+
+	fmt.Fprintf(w, "\nREPLICATION  shortfalls=%d read-failovers=%d repairs=%d repair-failures=%d\n",
+		r.QuorumShortfalls, r.ReadFailovers, r.Repairs, r.RepairFailures)
+	fmt.Fprintf(w, "SECURITY     auth-failures=%d replays=%d", r.AuthFailures, r.Replays)
+	if len(r.AuditEvents) > 0 {
+		kinds := make([]string, 0, len(r.AuditEvents))
+		for k := range r.AuditEvents {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		fmt.Fprint(w, "  audit:")
+		for _, k := range kinds {
+			fmt.Fprintf(w, " %s=%d", k, r.AuditEvents[k])
+		}
+	}
+	fmt.Fprintln(w)
+
+	if len(r.StageP99) > 0 {
+		fmt.Fprintln(w, "\nWORST P99 PER STAGE")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "SIDE\tSTAGE\tP99\tTARGET")
+		for _, sl := range r.StageP99 {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", sl.Side, sl.Stage,
+				time.Duration(sl.P99*float64(time.Second)).Round(time.Microsecond), sl.Target)
+		}
+		tw.Flush()
+	}
+
+	if len(r.Anomalies) > 0 {
+		fmt.Fprintln(w, "\nANOMALIES")
+		for _, an := range r.Anomalies {
+			fmt.Fprintf(w, "  ! %s\n", an)
+		}
+	}
+}

@@ -61,6 +61,11 @@ const (
 	// CliAttempt spans one full attempt of a retried read; sibling
 	// CliAttempt spans under one trace carry increasing Attempt numbers.
 	CliAttempt
+	// CliReplica spans one replica's share of a replicated cluster
+	// operation: the per-replica child spans of a quorum write's fan-out
+	// or a replicated read's failover sequence. The span's Replica field
+	// names the member; the trace's Group field names the replica group.
+	CliReplica
 	// CliTotal spans the whole client operation (recorded automatically
 	// on Finish for client-side tracers).
 	CliTotal
@@ -99,6 +104,7 @@ var stageNames = [NumStages]string{
 	CliVerify:     "cli_verify",
 	CliBackoff:    "cli_backoff",
 	CliAttempt:    "cli_attempt",
+	CliReplica:    "cli_replica",
 	CliTotal:      "cli_total",
 	SrvPickup:     "srv_pickup",
 	SrvDecode:     "srv_decode",
@@ -163,6 +169,10 @@ type Span struct {
 	// Attempt is the 1-based read-retry attempt number for CliAttempt
 	// (and the stages recorded inside it); 0 when not applicable.
 	Attempt uint8
+	// Replica names the replica-group member a CliReplica span timed
+	// (empty for every other stage). Together with Trace.Group it lets
+	// /debug/traces show a replicated write's fan-out.
+	Replica string
 	// Start is the span's start time on the monotonic timebase (Now).
 	Start int64
 	// Dur is the span's duration in nanoseconds.
@@ -197,6 +207,9 @@ type Trace struct {
 	// Unconfirmed marks a non-idempotent write whose outcome is unknown
 	// (the ErrUnconfirmed join).
 	Unconfirmed bool
+	// Group names the replica group a replicated cluster operation
+	// targeted (empty for unreplicated operations).
+	Group string
 	// Spans are the recorded stages, in recording order. The side's
 	// total stage is always last.
 	Spans []Span
@@ -421,6 +434,7 @@ type Op struct {
 	oid    uint64
 	start  int64
 	err    string
+	group  string
 	unconf bool
 
 	nspans  int
@@ -457,6 +471,25 @@ func (o *Op) SetOid(oid uint64) {
 	if o != nil {
 		o.oid = oid
 	}
+}
+
+// SetGroup records the replica group the operation targeted.
+func (o *Op) SetGroup(group string) {
+	if o != nil {
+		o.group = group
+	}
+}
+
+// ReplicaSpanAt records one replica's share of a replicated operation
+// with explicit bounds — a CliReplica child span named after the
+// member. Like every Op method it must be called by the Op's owning
+// goroutine; a replicated write's fan-out funnels its per-replica
+// timings to one collector that records them all.
+func (o *Op) ReplicaSpanAt(replica string, start, end int64) {
+	if o == nil {
+		return
+	}
+	o.add(Span{Stage: CliReplica, Replica: replica, Start: start, Dur: end - start})
 }
 
 // SetError records the operation's final error.
@@ -559,6 +592,7 @@ func (o *Op) Finish() {
 		End:         end,
 		Err:         o.err,
 		Unconfirmed: o.unconf,
+		Group:       o.group,
 		Spans:       box.spans[:o.nspans],
 	}
 	if t.faultN.Load() > 0 {

@@ -20,6 +20,9 @@ func formatSpans(spans []Span) string {
 		if sp.Attempt > 0 {
 			fmt.Fprintf(&b, "#%d", sp.Attempt)
 		}
+		if sp.Replica != "" {
+			fmt.Fprintf(&b, "[%s]", sp.Replica)
+		}
 		b.WriteByte('=')
 		b.WriteString(time.Duration(sp.Dur).Round(100 * time.Nanosecond).String())
 	}
@@ -100,8 +103,14 @@ func WriteChromeTrace(w io.Writer, sets []TraceSet) error {
 				if tr.Client != 0 {
 					args["client"] = tr.Client
 				}
+				if tr.Group != "" {
+					args["group"] = tr.Group
+				}
 				if sp.Attempt > 0 {
 					args["attempt"] = sp.Attempt
+				}
+				if sp.Replica != "" {
+					args["replica"] = sp.Replica
 				}
 				if sp.Stage == CliTotal || sp.Stage == SrvTotal {
 					if tr.Err != "" {

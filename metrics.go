@@ -5,10 +5,13 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"precursor/internal/audit"
+	"precursor/internal/fleet"
 	"precursor/internal/obs"
 )
 
@@ -27,6 +30,8 @@ type MetricsServer struct {
 	mu        sync.Mutex
 	cluster   *ClusterClient
 	tracers   []tracerEntry
+	audit     *audit.Log
+	fleet     *fleet.Aggregator
 	done      chan struct{}
 	closeOnce sync.Once
 	closeErr  error
@@ -49,6 +54,31 @@ func WithTracer(side string, t *Tracer) MetricsOption {
 	return func(m *MetricsServer) {
 		if t != nil {
 			m.tracers = append(m.tracers, tracerEntry{side: side, t: t})
+		}
+	}
+}
+
+// WithAudit exports l's tamper-evident security event chain on
+// GET /debug/audit (a signed JSON export the offline `precursor-cli
+// audit verify` validates), adds the precursor_audit_* family to
+// /metrics, and folds chain health into /healthz. Nil logs are ignored.
+func WithAudit(l *audit.Log) MetricsOption {
+	return func(m *MetricsServer) {
+		if l != nil {
+			m.audit = l
+		}
+	}
+}
+
+// WithFleet serves a's cluster SLO rollup on GET /fleet in the
+// Prometheus text format — availability vs. objective, error-budget
+// burn, fleet-wide replication and security counters and the worst p99
+// per stage. Nil aggregators are ignored; the caller owns a's
+// Start/Close lifecycle.
+func WithFleet(a *fleet.Aggregator) MetricsOption {
+	return func(m *MetricsServer) {
+		if a != nil {
+			m.fleet = a
 		}
 	}
 }
@@ -90,6 +120,8 @@ func serveMetrics(server *Server, cluster *ClusterClient, addr string, opts ...M
 	mux.HandleFunc("GET /metrics", m.handleMetrics)
 	mux.HandleFunc("GET /healthz", m.handleHealthz)
 	mux.HandleFunc("GET /debug/traces", m.handleTraces)
+	mux.HandleFunc("GET /debug/audit", m.handleAudit)
+	mux.HandleFunc("GET /fleet", m.handleFleet)
 	if m.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -128,11 +160,29 @@ func (m *MetricsServer) TrackTracer(side string, t *Tracer) {
 	m.mu.Unlock()
 }
 
+// TrackAudit attaches an audit log after the endpoint is running — the
+// dynamic equivalent of the WithAudit option.
+func (m *MetricsServer) TrackAudit(l *audit.Log) {
+	if l == nil {
+		return
+	}
+	m.mu.Lock()
+	m.audit = l
+	m.mu.Unlock()
+}
+
 // snapshotRefs copies the mutable reference set under the lock.
 func (m *MetricsServer) snapshotRefs() (*ClusterClient, []tracerEntry) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.cluster, append([]tracerEntry(nil), m.tracers...)
+}
+
+// auditRef reads the attached audit log under the lock.
+func (m *MetricsServer) auditRef() *audit.Log {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.audit
 }
 
 // Close stops the HTTP listener. Safe to call more than once and from
@@ -159,16 +209,54 @@ func (m *MetricsServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "not ready: no replica serving", http.StatusServiceUnavailable)
 		return
 	}
+	auditLog := m.auditRef()
+	if err := auditLog.Verify(); err != nil {
+		// A chain that fails its own MAC walk means the in-memory event
+		// history has been corrupted — stop trusting this instance.
+		http.Error(w, "not ready: audit chain self-verification failed: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
 	w.WriteHeader(http.StatusOK)
+	line := "ok"
 	if m.server != nil {
 		if last := m.server.LastSealTime(); !last.IsZero() {
 			// Operators probing /healthz see at a glance how stale the
 			// durable snapshot is (see also precursor_last_seal_age_seconds).
-			fmt.Fprintf(w, "ok seal_age_seconds=%g\n", time.Since(last).Seconds())
-			return
+			line += fmt.Sprintf(" seal_age_seconds=%g", time.Since(last).Seconds())
 		}
 	}
-	_, _ = w.Write([]byte("ok\n"))
+	if auditLog != nil {
+		line += " audit_chain=ok"
+		if last := auditLog.LastEventTime(); !last.IsZero() {
+			line += fmt.Sprintf(" audit_last_event_age_seconds=%g", time.Since(last).Seconds())
+		}
+	}
+	_, _ = w.Write([]byte(line + "\n"))
+}
+
+// handleAudit serves the audit log's signed export — the input to
+// `precursor-cli audit verify`. 404 when no log is attached.
+func (m *MetricsServer) handleAudit(w http.ResponseWriter, r *http.Request) {
+	auditLog := m.auditRef()
+	if auditLog == nil {
+		http.Error(w, "no audit log attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = auditLog.WriteJSON(w)
+}
+
+// handleFleet serves the fleet aggregator's SLO rollup as promtext. 404
+// when no aggregator is attached.
+func (m *MetricsServer) handleFleet(w http.ResponseWriter, r *http.Request) {
+	m.mu.Lock()
+	agg := m.fleet
+	m.mu.Unlock()
+	if agg == nil {
+		http.Error(w, "no fleet aggregator attached", http.StatusNotFound)
+		return
+	}
+	agg.ServeHTTP(w, r)
 }
 
 // handleTraces emits recent traces from every attached tracer as Chrome
@@ -191,6 +279,9 @@ func (m *MetricsServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	cluster, tracers := m.snapshotRefs()
 	if cluster != nil {
 		writeClusterMetrics(&b, cluster)
+	}
+	if auditLog := m.auditRef(); auditLog != nil {
+		writeAuditMetrics(&b, auditLog)
 	}
 	writeStageMetrics(&b, tracers)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -241,6 +332,36 @@ func boolGauge(v bool) float64 {
 // unit for time series.
 func seconds(d time.Duration) string {
 	return fmt.Sprintf("%g", d.Seconds())
+}
+
+// writeAuditMetrics renders the audit log's health: per-kind event
+// counts, drops, recency and the result of a chain self-verification.
+func writeAuditMetrics(b *strings.Builder, l *audit.Log) {
+	head := func(name, help, typ string) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	counts := l.CountsByKind()
+	if len(counts) > 0 {
+		head("precursor_audit_events_total", "Security audit events recorded, by kind", "counter")
+		kinds := make([]string, 0, len(counts))
+		for k := range counts {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Fprintf(b, "precursor_audit_events_total{kind=%q} %d\n", k, counts[k])
+		}
+	}
+	head("precursor_audit_chain_length", "Audit records currently retained in the chain", "gauge")
+	fmt.Fprintf(b, "precursor_audit_chain_length %d\n", l.Len())
+	head("precursor_audit_dropped_total", "Audit records evicted by the retention cap", "counter")
+	fmt.Fprintf(b, "precursor_audit_dropped_total %d\n", l.Dropped())
+	head("precursor_audit_chain_ok", "1 if the audit chain passes self-verification", "gauge")
+	fmt.Fprintf(b, "precursor_audit_chain_ok %g\n", boolGauge(l.Verify() == nil))
+	if last := l.LastEventTime(); !last.IsZero() {
+		head("precursor_audit_last_event_age_seconds", "Seconds since the most recent audit event", "gauge")
+		fmt.Fprintf(b, "precursor_audit_last_event_age_seconds %g\n", time.Since(last).Seconds())
+	}
 }
 
 // writeStageMetrics renders every attached tracer's per-stage latency

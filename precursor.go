@@ -36,6 +36,9 @@
 package precursor
 
 import (
+	"io"
+
+	"precursor/internal/audit"
 	"precursor/internal/core"
 	"precursor/internal/obs"
 	"precursor/internal/rdma"
@@ -93,6 +96,64 @@ type (
 	// Trace is one completed operation's recorded spans.
 	Trace = obs.Trace
 )
+
+// Re-exported security-audit types. An AuditLog is a hash-chained,
+// enclave-MACed record of security events (failed attestations, MAC
+// failures, replay rejections, rollback detections, Byzantine
+// failovers, …); attach one via ServerConfig.Audit and
+// ClusterConfig.Audit, export it with WithAudit on a metrics endpoint,
+// and verify exports offline with `precursor-cli audit verify`.
+type (
+	// AuditLog is the tamper-evident security event chain.
+	AuditLog = audit.Log
+	// AuditRecord is one security event in an AuditLog.
+	AuditRecord = audit.Record
+	// AuditExport is a signed audit-chain export (the /debug/audit payload).
+	AuditExport = audit.Export
+)
+
+// Audit event kinds recorded by servers and cluster clients.
+const (
+	// AuditKindAttestFail records a failed enclave attestation handshake.
+	AuditKindAttestFail = audit.KindAttestFail
+	// AuditKindAuthFail records control data that failed authentication.
+	AuditKindAuthFail = audit.KindAuthFail
+	// AuditKindReplay records a rejected replayed request.
+	AuditKindReplay = audit.KindReplay
+	// AuditKindRollback records a snapshot/counter rollback detection.
+	AuditKindRollback = audit.KindRollback
+	// AuditKindSnapshotAuth records a sealed snapshot that failed authentication.
+	AuditKindSnapshotAuth = audit.KindSnapshotAuth
+	// AuditKindByzantineFailover records a read failover caused by a
+	// payload MAC failure.
+	AuditKindByzantineFailover = audit.KindByzantineFailover
+	// AuditKindReadFailover records a read served by a non-preferred replica.
+	AuditKindReadFailover = audit.KindReadFailover
+	// AuditKindBreakerTrip records a replica breaker opening.
+	AuditKindBreakerTrip = audit.KindBreakerTrip
+	// AuditKindQuorumShortfall records a replicated write that missed quorum.
+	AuditKindQuorumShortfall = audit.KindQuorumShortfall
+	// AuditKindRepairAnomaly records a failed or anomalous repair session.
+	AuditKindRepairAnomaly = audit.KindRepairAnomaly
+)
+
+// NewAuditLog builds a tamper-evident audit log retaining up to
+// capacity records (0 = default capacity). The MAC key is installed by
+// the first server the log is attached to (derived inside the enclave
+// from the sealing key), so create the log first and pass it to
+// ServerConfig.Audit / ClusterConfig.Audit.
+func NewAuditLog(capacity int) *AuditLog { return audit.New(capacity) }
+
+// ReadAuditExport parses a signed audit export (e.g. the body of
+// GET /debug/audit).
+func ReadAuditExport(r io.Reader) (*AuditExport, error) { return audit.ReadExport(r) }
+
+// VerifyAuditExport walks an exported audit chain end to end, checking
+// every link hash and, when key is non-nil, every record MAC and the
+// head MAC. It returns the number of verified records.
+func VerifyAuditExport(e *AuditExport, key []byte) (int, error) {
+	return audit.VerifyExport(e, key)
+}
 
 // Tracer sides for TracerConfig.Side.
 const (
