@@ -1,0 +1,284 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"precursor"
+)
+
+// VlogBenchPoint is the -bench-vlog result: sustained spill-write
+// throughput, disk read-through latency and the crash-recovery check
+// against one value-log-backed server.
+type VlogBenchPoint struct {
+	Records   int   `json:"records"`
+	ValueSize int   `json:"value_size"`
+	Clients   int   `json:"clients"`
+	InlineMax int   `json:"inline_max"`
+	MemCap    int64 `json:"memory_cap_bytes"`
+
+	// Sustained write pass: every value is larger than InlineMax, so
+	// each put appends to the log and acks only after its group commit.
+	WriteKops    float64 `json:"write_kops"`
+	WriteMBs     float64 `json:"write_mb_s"`
+	WriteP50us   float64 `json:"write_p50_us"`
+	WriteP99us   float64 `json:"write_p99_us"`
+	GroupCommits uint64  `json:"group_commits"`
+	BatchAvg     float64 `json:"group_commit_batch_avg"`
+	Segments     int     `json:"segments"`
+
+	// Read pass over a dataset ≥4x the memory cap: most gets must come
+	// off disk (ReadThroughs counts those).
+	ReadKops     float64 `json:"read_kops"`
+	ReadP50us    float64 `json:"read_p50_us"`
+	ReadP99us    float64 `json:"read_p99_us"`
+	ReadThroughs uint64  `json:"read_throughs"`
+
+	// Recovery: the server is torn down without sealing a snapshot and
+	// rebuilt from the log alone. LostAcked must be 0 — every
+	// acknowledged put was group-committed before its ack.
+	RecoveredRecords uint64  `json:"recovered_records"`
+	RecoveryMs       float64 `json:"recovery_ms"`
+	LostAcked        int     `json:"lost_acked"`
+	TornSegments     int     `json:"torn_segments"`
+}
+
+type vlogBenchConfig struct {
+	benchConfig
+	dir       string
+	inlineMax int
+	gate      bool
+}
+
+// runBenchVlog measures the value log end to end: a sustained write pass
+// (all values spill to disk), a read pass sized so the dataset exceeds
+// the in-memory cache cap by 4x, then a restart-from-log-only recovery
+// check. With -gate it exits nonzero when any acknowledged write is lost.
+func runBenchVlog(cfg vlogBenchConfig) error {
+	dir := cfg.dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "precursor-vlog-bench-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	// Values must exceed the inline threshold to exercise the log.
+	inlineMax := cfg.inlineMax
+	if inlineMax <= 0 {
+		inlineMax = cfg.valueSize / 2
+		if inlineMax < 1 {
+			inlineMax = 1
+		}
+	}
+	memCap := int64(cfg.records*cfg.valueSize) / 4
+	if memCap < 1<<16 {
+		memCap = 1 << 16
+	}
+	point := VlogBenchPoint{
+		Records: cfg.records, ValueSize: cfg.valueSize, Clients: cfg.clients,
+		InlineMax: inlineMax, MemCap: memCap,
+	}
+
+	// The platform persists across the restart so the rebuilt enclave
+	// derives the same sealing key and can open its own log metadata.
+	platform, err := precursor.LoadOrCreatePlatform(filepath.Join(dir, "platform"))
+	if err != nil {
+		return err
+	}
+	scfg := precursor.ServerConfig{
+		Workers:  cfg.workers,
+		Platform: platform,
+		DataDir:  filepath.Join(dir, "log"),
+		Vlog: precursor.VlogConfig{
+			InlineMax:      inlineMax,
+			MemoryCapBytes: memCap,
+		},
+	}
+	svc, err := precursor.Serve("127.0.0.1:0", scfg)
+	if err != nil {
+		return err
+	}
+	shutdown := svc.Close
+	defer func() { shutdown() }()
+
+	dial := func(addr string) (*precursor.Client, error) {
+		return precursor.Dial(addr, precursor.DialConfig{
+			PlatformKey: platform.AttestationPublicKey(),
+			Measurement: svc.Server.Measurement(),
+			Timeout:     30 * time.Second,
+		})
+	}
+
+	// Write pass: cfg.clients closed-loop writers, unique keys.
+	writeLat, elapsed, err := vlogPass(cfg, svc.Addr(), dial, func(c *precursor.Client, key string) error {
+		return c.Put(key, vlogBenchValue(key, cfg.valueSize))
+	})
+	if err != nil {
+		return fmt.Errorf("write pass: %w", err)
+	}
+	total := cfg.records
+	point.WriteKops = float64(total) / elapsed.Seconds() / 1e3
+	point.WriteMBs = float64(total*cfg.valueSize) / elapsed.Seconds() / 1e6
+	point.WriteP50us, point.WriteP99us = quantileUS(writeLat, 0.50), quantileUS(writeLat, 0.99)
+
+	// Read pass over the whole keyspace: the cache cap admits at most a
+	// quarter of it, so reads are predominantly disk read-throughs.
+	readLat, relapsed, err := vlogPass(cfg, svc.Addr(), dial, func(c *precursor.Client, key string) error {
+		got, err := c.Get(key)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, vlogBenchValue(key, cfg.valueSize)) {
+			return fmt.Errorf("key %s: value mismatch", key)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("read pass: %w", err)
+	}
+	point.ReadKops = float64(total) / relapsed.Seconds() / 1e3
+	point.ReadP50us, point.ReadP99us = quantileUS(readLat, 0.50), quantileUS(readLat, 0.99)
+
+	st := svc.Server.Stats()
+	if st.Vlog != nil {
+		point.GroupCommits = st.Vlog.Log.GroupCommits
+		point.BatchAvg = st.Vlog.Log.BatchAvg()
+		point.Segments = st.Vlog.Log.Segments
+		point.ReadThroughs = st.Vlog.ReadThroughs
+	}
+
+	// Recovery: tear the server down with no snapshot — the log is the
+	// only durable state — and rebuild the index by replay.
+	shutdown()
+	shutdown = func() {}
+	svc2, err := precursor.Serve("127.0.0.1:0", scfg)
+	if err != nil {
+		return fmt.Errorf("restart: %w", err)
+	}
+	defer svc2.Close()
+	recStart := time.Now()
+	rec, err := svc2.Server.ReplayVlog()
+	if err != nil {
+		return fmt.Errorf("replay: %w", err)
+	}
+	point.RecoveryMs = float64(time.Since(recStart)) / 1e6
+	point.RecoveredRecords = rec.Replay.Records
+	point.TornSegments = rec.Replay.TornSegments
+	c, err := dial(svc2.Addr())
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	for i := 0; i < total; i++ {
+		key := vlogBenchKey(i)
+		got, err := c.Get(key)
+		if err != nil || !bytes.Equal(got, vlogBenchValue(key, cfg.valueSize)) {
+			point.LostAcked++
+		}
+	}
+
+	fmt.Fprintf(cfg.out, "%-9s %-10s %-11s %-11s %-10s %-11s %-11s %-9s\n",
+		"records", "wr(kops)", "wr(MB/s)", "wr p99(µs)", "rd(kops)", "rd p99(µs)", "readthru", "lost")
+	fmt.Fprintf(cfg.out, "%-9d %-10.1f %-11.1f %-11.1f %-10.1f %-11.1f %-11d %-9d\n",
+		point.Records, point.WriteKops, point.WriteMBs, point.WriteP99us,
+		point.ReadKops, point.ReadP99us, point.ReadThroughs, point.LostAcked)
+	if cfg.jsonPath != "" {
+		data, err := json.MarshalIndent(point, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.out, "wrote %s\n", cfg.jsonPath)
+	}
+	if cfg.gate {
+		if point.LostAcked > 0 {
+			return fmt.Errorf("recovery lost %d acknowledged writes", point.LostAcked)
+		}
+		if point.ReadThroughs == 0 {
+			return fmt.Errorf("read pass never hit the log (dataset fit in memory; raise -records or -value-size)")
+		}
+	}
+	return nil
+}
+
+// vlogPass fans cfg.records operations across cfg.clients connections
+// and returns per-op latencies plus the pass's wall time.
+func vlogPass(cfg vlogBenchConfig, addr string, dial func(string) (*precursor.Client, error), op func(*precursor.Client, string) error) ([]time.Duration, time.Duration, error) {
+	clients := cfg.clients
+	if clients < 1 {
+		clients = 1
+	}
+	conns := make([]*precursor.Client, clients)
+	for i := range conns {
+		c, err := dial(addr)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+	lats := make([][]time.Duration, clients)
+	errs := make([]error, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < cfg.records; i += clients {
+				t0 := time.Now()
+				if err := op(conns[w], vlogBenchKey(i)); err != nil {
+					errs[w] = fmt.Errorf("op %d: %w", i, err)
+					return
+				}
+				lats[w] = append(lats[w], time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	return all, elapsed, nil
+}
+
+// vlogBenchKey names record i.
+func vlogBenchKey(i int) string { return fmt.Sprintf("vlog-bench-%06d", i) }
+
+// vlogBenchValue derives record i's deterministic value, so the read
+// pass and the recovery check can verify content, not just presence.
+func vlogBenchValue(key string, size int) []byte {
+	v := make([]byte, size)
+	for i := range v {
+		v[i] = key[i%len(key)] ^ byte(i)
+	}
+	return v
+}
+
+// quantileUS returns the q-quantile of lats in microseconds.
+func quantileUS(lats []time.Duration, q float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q * float64(len(s)-1))
+	return float64(s[idx]) / 1e3
+}

@@ -38,6 +38,15 @@
 // overhead exceeds 5%:
 //
 //	precursor-cluster -bench-obs -obs-json BENCH_obs.json -gate
+//
+// Value-log bench mode measures the durable tier (see DESIGN.md,
+// "Trusted/untrusted storage split"): sustained spill-write throughput,
+// disk read-through latency over a dataset 4x the memory cap, and a
+// restart-from-log-only recovery check; -gate exits nonzero when any
+// acknowledged write is lost:
+//
+//	precursor-cluster -bench-vlog -records 4000 -value-size 4096 \
+//	    -vlog-json BENCH_vlog.json -gate
 package main
 
 import (
@@ -91,17 +100,21 @@ func main() {
 		benchObs = flag.Bool("bench-obs", false, "run the observability overhead benchmark: audit-off vs audit-on")
 		obsJSON  = flag.String("obs-json", "BENCH_obs.json", "bench-obs: write the datapoint to this JSON file (empty = stdout only)")
 		obsPairs = flag.Int("pairs", 5, "bench-obs: interleaved off/on measurement pairs")
-		obsGate  = flag.Bool("gate", false, "bench-obs: exit nonzero when audit overhead exceeds 5% of median throughput")
+		obsGate  = flag.Bool("gate", false, "bench-obs/bench-vlog: exit nonzero when the run misses its acceptance bound")
+		benchVl  = flag.Bool("bench-vlog", false, "run the value-log benchmark: spill writes, disk read-throughs, crash recovery")
+		vlogJSON = flag.String("vlog-json", "BENCH_vlog.json", "bench-vlog: write the datapoint to this JSON file (empty = stdout only)")
+		vlogDir  = flag.String("vlog-dir", "", "bench-vlog: directory for the value log (empty = fresh temp dir, removed after)")
+		vlogMax  = flag.Int("vlog-inline-max", 0, "bench-vlog: inline threshold in bytes (0 = half the value size, so every value spills)")
 	)
 	flag.Parse()
 	modes := 0
-	for _, on := range []bool{*serve, *bench, *benchRep, *top, *benchObs} {
+	for _, on := range []bool{*serve, *bench, *benchRep, *top, *benchObs, *benchVl} {
 		if on {
 			modes++
 		}
 	}
 	if modes != 1 {
-		fmt.Fprintln(os.Stderr, "precursor-cluster: pass exactly one of -serve, -bench, -bench-replication, -top or -bench-obs")
+		fmt.Fprintln(os.Stderr, "precursor-cluster: pass exactly one of -serve, -bench, -bench-replication, -top, -bench-obs or -bench-vlog")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -121,6 +134,16 @@ func main() {
 			},
 			replicas: *replicas, writeQuorum: *quorum,
 			pairs: *obsPairs, gate: *obsGate,
+		})
+	case *benchVl:
+		err = runBenchVlog(vlogBenchConfig{
+			benchConfig: benchConfig{
+				shardCounts: *shards, workers: *workers, conns: *conns,
+				records: *records, valueSize: *valsize, clients: *clients,
+				opsPerClient: *ops, workload: *workload, seed: *seed,
+				jsonPath: *vlogJSON, out: os.Stdout,
+			},
+			dir: *vlogDir, inlineMax: *vlogMax, gate: *obsGate,
 		})
 	case *benchRep:
 		err = runBenchReplication(replBenchConfig{

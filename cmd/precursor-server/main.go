@@ -16,6 +16,14 @@
 // additionally seals periodically, and SIGHUP seals on demand. The age of
 // the last seal is exported on /metrics and /healthz.
 //
+// With -data-dir the server additionally spills large values to a
+// durable value log on (untrusted) disk, serving datasets far beyond
+// enclave memory; on startup it replays the log to recover every
+// acknowledged write since the last snapshot (see DESIGN.md,
+// "Trusted/untrusted storage split"):
+//
+//	precursor-server -addr :7100 -state-dir /var/lib/precursor -data-dir /var/lib/precursor/log
+//
 // As one member of a client-routed cluster (see DESIGN.md, "Scaling
 // out"), give each server its shard position; it prints a
 // machine-readable cluster-shard line an orchestrator can scrape:
@@ -56,15 +64,18 @@ func main() {
 		pprofFlag = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the metrics address (needs -metrics)")
 		slowop    = flag.Duration("slowop", 0, "log operations slower than this threshold (implies -trace; 0 = off)")
 		auditOn   = flag.Bool("audit", false, "record security events in a tamper-evident audit log; exported on /metrics, /debug/audit and /healthz (needs -metrics to export)")
+		dataDir   = flag.String("data-dir", "", "directory for the durable value log: large values spill to untrusted disk and survive crashes (empty = memory only)")
+		vlogMax   = flag.Int("vlog-inline-max", 0, "values larger than this many bytes go to the value log (0 = default 4096; needs -data-dir)")
+		vlogSeg   = flag.Int64("vlog-segment-mb", 0, "value-log segment size in MiB (0 = default 64; needs -data-dir)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *hardened, *inline, *ownerOnly, *stats, *metrics, *stateDir, *sealEvery, *shard, *trace, *pprofFlag, *slowop, *auditOn); err != nil {
+	if err := run(*addr, *workers, *hardened, *inline, *ownerOnly, *stats, *metrics, *stateDir, *sealEvery, *shard, *trace, *pprofFlag, *slowop, *auditOn, *dataDir, *vlogMax, *vlogSeg); err != nil {
 		fmt.Fprintln(os.Stderr, "precursor-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery time.Duration, metricsAddr, stateDir string, sealEvery time.Duration, shard string, trace, pprofOn bool, slowop time.Duration, auditOn bool) error {
+func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery time.Duration, metricsAddr, stateDir string, sealEvery time.Duration, shard string, trace, pprofOn bool, slowop time.Duration, auditOn bool, dataDir string, vlogMax int, vlogSeg int64) error {
 	var shardID cluster.ShardID
 	if shard != "" {
 		var err error
@@ -76,6 +87,16 @@ func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery 
 		Workers:           workers,
 		HardenedMACs:      hardened,
 		InlineSmallValues: inline,
+	}
+	if dataDir == "" && (vlogMax != 0 || vlogSeg != 0) {
+		return fmt.Errorf("-vlog-inline-max/-vlog-segment-mb require -data-dir")
+	}
+	if dataDir != "" {
+		cfg.DataDir = dataDir
+		cfg.Vlog = precursor.VlogConfig{
+			InlineMax:    vlogMax,
+			SegmentBytes: vlogSeg << 20,
+		}
 	}
 	var tracer *precursor.Tracer
 	if trace || slowop > 0 {
@@ -157,6 +178,20 @@ func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery 
 			}
 			fmt.Printf("sealed %d entries to %s\n", svc.Server.Stats().Entries, snapshotPath)
 		}()
+	}
+	if dataDir != "" {
+		// Replay the value log after (and on top of) any snapshot restore:
+		// acknowledged writes since the last seal live only in the log.
+		rec, err := svc.Server.ReplayVlog()
+		if err != nil {
+			return fmt.Errorf("value log replay: %w", err)
+		}
+		fmt.Printf("value log: replayed %d records from %s (%d applied, %d already indexed)\n",
+			rec.Replay.Records, dataDir, rec.Applied, rec.Rehydrated)
+		if rec.Replay.TornSegments > 0 {
+			fmt.Fprintf(os.Stderr, "value log: truncated %d torn segment tail(s), %d bytes of unacknowledged writes discarded\n",
+				rec.Replay.TornSegments, rec.Replay.TornBytes)
+		}
 	}
 
 	if metricsAddr != "" {

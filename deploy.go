@@ -3,6 +3,7 @@ package precursor
 import (
 	"crypto/ecdsa"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -105,6 +106,11 @@ func ServeCluster(n int, cfg ServerConfig) (*ClusterService, error) {
 	cs := &ClusterService{}
 	for i := 0; i < n; i++ {
 		shardCfg := cfg
+		if shardCfg.DataDir != "" {
+			// Each shard owns its own value log: segment files are
+			// append-ordered per enclave and cannot be shared.
+			shardCfg.DataDir = filepath.Join(cfg.DataDir, fmt.Sprintf("shard-%d", i))
+		}
 		if shardCfg.Platform == nil {
 			platform, err := NewPlatform()
 			if err != nil {
@@ -182,7 +188,13 @@ func ServeReplicatedCluster(groups, replicas int, cfg ServerConfig) (*Replicated
 		}
 		var members []*Service
 		for r := 0; r < replicas; r++ {
-			svc, err := Serve("127.0.0.1:0", groupCfg)
+			replicaCfg := groupCfg
+			if replicaCfg.DataDir != "" {
+				// Replicas share a sealing key but never a value log; give
+				// each its own directory so repairs restore into fresh logs.
+				replicaCfg.DataDir = filepath.Join(cfg.DataDir, fmt.Sprintf("group-%d", g), fmt.Sprintf("replica-%d", r))
+			}
+			svc, err := Serve("127.0.0.1:0", replicaCfg)
 			if err != nil {
 				for _, m := range members {
 					m.Close()
@@ -227,7 +239,13 @@ func (cs *ReplicatedClusterService) RestartReplica(g, r int) (*Service, error) {
 	old := cs.Groups[g][r]
 	addr := old.Addr()
 	old.Close()
-	svc, err := Serve(addr, cs.cfgs[g])
+	cfg := cs.cfgs[g]
+	if cfg.DataDir != "" {
+		// Reattach the replica's own value-log directory (mirrors
+		// ServeReplicatedCluster's layout).
+		cfg.DataDir = filepath.Join(cfg.DataDir, fmt.Sprintf("group-%d", g), fmt.Sprintf("replica-%d", r))
+	}
+	svc, err := Serve(addr, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("restart replica %d/%d on %s: %w", g, r, addr, err)
 	}

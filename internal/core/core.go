@@ -120,6 +120,14 @@ type ServerConfig struct {
 	// pays one branch per request. Spans never carry keys, values or key
 	// material — see OBSERVABILITY.md.
 	Tracer *obs.Tracer
+	// DataDir, when set, enables the durable value log: values spill to
+	// fixed-size segments under DataDir/vlog on untrusted disk while the
+	// enclave keeps only the index and sealed per-record metadata (see
+	// vlog.go and DESIGN.md "Trusted/untrusted storage split"). Empty
+	// keeps the store memory-only, as before.
+	DataDir string
+	// Vlog tunes the value log; read only when DataDir is set.
+	Vlog VlogConfig
 	// Audit, when set, receives a tamper-evident record of every
 	// security-relevant detection this server makes (attestation
 	// failures, MAC failures, replay rejections, rollback detections,
@@ -176,4 +184,10 @@ type ServerStats struct {
 	PoolBytesReserved  int64
 	PoolBytesInUse     int64
 	PoolGrowths        uint64 // ≈ ocall count for pool growth
+	// Vlog reports durable value-log activity; nil when DataDir is unset.
+	Vlog *VlogStats
+	// SealDuration is how long the last Seal spent serializing and
+	// sealing state (0 = never sealed). Index-only snapshots keep this
+	// flat as the store grows — the satellite fix for seal stalls.
+	SealDuration time.Duration
 }

@@ -10,6 +10,7 @@ import (
 	"precursor/internal/audit"
 	"precursor/internal/cryptox"
 	"precursor/internal/sgx"
+	"precursor/internal/vlog"
 	"precursor/internal/wire"
 )
 
@@ -37,15 +38,31 @@ var (
 // snapshotMagic versions the snapshot format.
 var snapshotMagic = []byte("PRECURSOR-SNAP-1")
 
+// snapshotV2Sentinel opens the v2 (value-log aware) snapshot plaintext.
+// v1 plaintext begins with the entry count, which can never plausibly be
+// ~4 billion, so the sentinel cleanly separates the formats.
+const snapshotV2Sentinel = 0xFFFFFFFF
+
 // Seal writes an authenticated, encrypted snapshot of the store to w and
 // bumps the trusted monotonic counter. Only a snapshot produced by the
 // latest Seal will Restore. Sealing also starts a fresh delta log: keys
 // dirtied after this seal are enumerable with DeltaSince, which is how
 // anti-entropy repair avoids re-streaming unchanged state.
+//
+// With the value log enabled the snapshot is index-only: per-entry
+// metadata, sequence numbers and log pointers, but no pool payloads —
+// those are already durable in the log. This is the fix for seal stalls:
+// serialization time (and the table lock hold) no longer scales with
+// total value bytes, only with entry count.
 func (s *Server) Seal(w io.Writer) error {
+	return s.seal(w, s.vlog == nil)
+}
+
+func (s *Server) seal(w io.Writer, full bool) error {
+	start := time.Now()
 	s.sealMu.Lock()
 	defer s.sealMu.Unlock()
-	return s.enclave.Ecall("seal_state", func() error {
+	err := s.enclave.Ecall("seal_state", func() error {
 		key, err := s.enclave.SealingKey()
 		if err != nil {
 			return err
@@ -58,7 +75,12 @@ func (s *Server) Seal(w io.Writer) error {
 		// the serialization lands in the new set (and possibly also in the
 		// snapshot — a harmless duplicate), never in neither.
 		s.beginDeltaSeal()
-		plain, err := s.serializeState()
+		var plain []byte
+		if s.vlog != nil {
+			plain, err = s.serializeStateV2(full)
+		} else {
+			plain, err = s.serializeState()
+		}
 		if err != nil {
 			s.abortDeltaSeal()
 			return err
@@ -92,6 +114,18 @@ func (s *Server) Seal(w io.Writer) error {
 		s.lastSeal.Store(time.Now().UnixNano())
 		return nil
 	})
+	if err == nil {
+		s.lastSealDur.Store(int64(time.Since(start)))
+	}
+	return err
+}
+
+// LastSealDuration returns how long the last successful Seal took end to
+// end (0 = never sealed). /metrics exports it as
+// precursor_seal_duration_seconds; with the value log's index-only
+// snapshots it stays flat as stored bytes grow.
+func (s *Server) LastSealDuration() time.Duration {
+	return time.Duration(s.lastSealDur.Load())
 }
 
 // LastSealTime returns when the last successful Seal completed (zero time
@@ -267,10 +301,98 @@ func (s *Server) serializeState() ([]byte, error) {
 	return out, failure
 }
 
+// serializeStateV2 flattens the store in the value-log-aware format:
+//
+//	sentinel u32 | ver u8 (2) | flags u8 (bit0: payloads present) |
+//	watermark u64 | count u32 | entries...
+//
+// entry: keyLen u16 | key | opKey | owner u32 |
+// eflags u8 (1 hasMAC, 2 inline, 4 hasVptr) | mac | seq u64 |
+// [seg u32 | off u64 | len u32] | dataLen u32 | data.
+//
+// Index-only (full=false) snapshots always carry inline values (they
+// are enclave state and small) but no pool payloads — an entry's value
+// lives in the log, reachable through its pointer. Full snapshots add
+// the payload bytes, read back from the log when not cached, and are
+// what the repair path streams to joiners.
+func (s *Server) serializeStateV2(full bool) ([]byte, error) {
+	var out []byte
+	out = binary.LittleEndian.AppendUint32(out, snapshotV2Sentinel)
+	out = append(out, 2)
+	flags := byte(0)
+	if full {
+		flags |= 1
+	}
+	out = append(out, flags)
+	// The watermark is captured before the table walk so it never
+	// exceeds the sequences the snapshot reflects.
+	out = binary.LittleEndian.AppendUint64(out, s.vlogTrack.watermark())
+	out = binary.LittleEndian.AppendUint32(out, uint32(s.table.Len()))
+	var failure error
+	s.table.Range(func(key string, e *entry) bool {
+		if len(key) > wire.MaxKeyLen {
+			failure = wire.ErrOversized
+			return false
+		}
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(key)))
+		out = append(out, key...)
+		out = append(out, e.opKey[:]...)
+		out = binary.LittleEndian.AppendUint32(out, e.owner)
+		eflags := byte(0)
+		if e.hasMAC {
+			eflags |= 1
+		}
+		if e.inline != nil {
+			eflags |= 2
+		}
+		if e.vptr.Valid() {
+			eflags |= 4
+		}
+		out = append(out, eflags)
+		out = append(out, e.mac[:]...)
+		out = binary.LittleEndian.AppendUint64(out, e.seq)
+		if e.vptr.Valid() {
+			out = binary.LittleEndian.AppendUint32(out, e.vptr.Segment)
+			out = binary.LittleEndian.AppendUint64(out, e.vptr.Offset)
+			out = binary.LittleEndian.AppendUint32(out, e.vptr.Length)
+		}
+		switch {
+		case e.inline != nil:
+			out = binary.LittleEndian.AppendUint32(out, uint32(len(e.inline.Data)))
+			out = append(out, e.inline.Data...)
+		case !full:
+			out = binary.LittleEndian.AppendUint32(out, 0)
+		case e.ref.Valid():
+			stored, err := s.pool.Read(e.ref)
+			if err != nil {
+				failure = err
+				return false
+			}
+			out = binary.LittleEndian.AppendUint32(out, uint32(len(stored)))
+			out = append(out, stored...)
+		case e.vptr.Valid():
+			rec, err := s.vlog.ReadAt(e.vptr)
+			if err != nil {
+				failure = err
+				return false
+			}
+			out = binary.LittleEndian.AppendUint32(out, uint32(len(rec.Payload)))
+			out = append(out, rec.Payload...)
+		default:
+			out = binary.LittleEndian.AppendUint32(out, 0)
+		}
+		return true
+	})
+	return out, failure
+}
+
 // deserializeState rebuilds the table and pool from snapshot plaintext.
 func (s *Server) deserializeState(buf []byte) error {
 	if len(buf) < 4 {
 		return ErrSnapshotFormat
+	}
+	if binary.LittleEndian.Uint32(buf) == snapshotV2Sentinel {
+		return s.deserializeStateV2(buf[4:])
 	}
 	count := binary.LittleEndian.Uint32(buf)
 	buf = buf[4:]
@@ -333,10 +455,146 @@ func (s *Server) deserializeState(buf []byte) error {
 			}
 			e.ref = ref
 		}
+		if s.vlog != nil {
+			// Migrating a legacy full snapshot into a value-log server:
+			// every value is re-appended so the log, not the snapshot,
+			// becomes its durable home. Requires a fresh log — appending
+			// into one with unreplayed segments fails.
+			if err := s.migrateEntryToVlog(key, e, data, inline); err != nil {
+				return err
+			}
+		}
 		s.table.Put(key, e)
 	}
 	if len(buf) != 0 {
 		return ErrSnapshotFormat
+	}
+	return nil
+}
+
+// deserializeStateV2 rebuilds state from a v2 snapshot (see
+// serializeStateV2). Three cases:
+//
+//   - index-only + local value log: entries install with their sequence
+//     numbers and pointers into this node's own log; the caller must run
+//     ReplayVlog next to recover the post-snapshot tail.
+//   - full + local value log: a peer's snapshot — its pointers refer to
+//     the donor's log, so every value is re-appended into the local log
+//     under fresh sequences (requires a fresh log).
+//   - full + no value log: installs like a v1 snapshot, pointers ignored.
+//
+// Index-only without a local log is unrecoverable and refused.
+func (s *Server) deserializeStateV2(buf []byte) error {
+	if len(buf) < 14 || buf[0] != 2 {
+		return ErrSnapshotFormat
+	}
+	full := buf[1]&1 != 0
+	watermark := binary.LittleEndian.Uint64(buf[2:])
+	count := binary.LittleEndian.Uint32(buf[10:])
+	buf = buf[14:]
+	if !full && s.vlog == nil {
+		return fmt.Errorf("%w: index-only snapshot needs a value log (set DataDir)", ErrSnapshotFormat)
+	}
+	migrate := full && s.vlog != nil
+
+	s.table.Range(func(key string, e *entry) bool {
+		s.releaseEntry(e)
+		return true
+	})
+	s.table.Clear()
+
+	for i := uint32(0); i < count; i++ {
+		if len(buf) < 2 {
+			return ErrSnapshotFormat
+		}
+		keyLen := int(binary.LittleEndian.Uint16(buf))
+		buf = buf[2:]
+		if keyLen == 0 || keyLen > wire.MaxKeyLen || len(buf) < keyLen+wire.OpKeySize+4+1+wire.MACSize+8 {
+			return ErrSnapshotFormat
+		}
+		key := string(buf[:keyLen])
+		buf = buf[keyLen:]
+		e := &entry{}
+		copy(e.opKey[:], buf[:wire.OpKeySize])
+		buf = buf[wire.OpKeySize:]
+		e.owner = binary.LittleEndian.Uint32(buf)
+		buf = buf[4:]
+		eflags := buf[0]
+		buf = buf[1:]
+		e.hasMAC = eflags&1 != 0
+		inline := eflags&2 != 0
+		hasVptr := eflags&4 != 0
+		copy(e.mac[:], buf[:wire.MACSize])
+		buf = buf[wire.MACSize:]
+		e.seq = binary.LittleEndian.Uint64(buf)
+		buf = buf[8:]
+		if hasVptr {
+			if len(buf) < 16 {
+				return ErrSnapshotFormat
+			}
+			e.vptr = vlog.Ptr{
+				Segment: binary.LittleEndian.Uint32(buf),
+				Offset:  binary.LittleEndian.Uint64(buf[4:]),
+				Length:  binary.LittleEndian.Uint32(buf[12:]),
+			}
+			buf = buf[16:]
+			if !e.vptr.Valid() {
+				return ErrSnapshotFormat
+			}
+		}
+		if len(buf) < 4 {
+			return ErrSnapshotFormat
+		}
+		dataLen := int(binary.LittleEndian.Uint32(buf))
+		buf = buf[4:]
+		if dataLen > wire.MaxValueLen+64+wire.MACSize || len(buf) < dataLen {
+			return ErrSnapshotFormat
+		}
+		data := buf[:dataLen]
+		buf = buf[dataLen:]
+
+		switch {
+		case inline:
+			region, err := s.enclave.Alloc(dataLen)
+			if err != nil {
+				return err
+			}
+			copy(region.Data, data)
+			e.inline = region
+		case migrate && dataLen > 0 && s.vlogMayCache(dataLen):
+			ref, err := s.pool.Alloc(dataLen)
+			if err == nil {
+				if werr := s.pool.Write(ref, data); werr == nil {
+					e.ref = ref
+				} else {
+					s.pool.Free(ref)
+				}
+			}
+		case !migrate && dataLen > 0:
+			ref, err := s.pool.Alloc(dataLen)
+			if err != nil {
+				return err
+			}
+			if err := s.pool.Write(ref, data); err != nil {
+				return err
+			}
+			e.ref = ref
+		}
+		if migrate {
+			// Donor pointers mean nothing here: re-home the value.
+			e.vptr, e.seq = vlog.Ptr{}, 0
+			if err := s.migrateEntryToVlog(key, e, data, inline); err != nil {
+				return err
+			}
+		}
+		s.table.Put(key, e)
+	}
+	if len(buf) != 0 {
+		return ErrSnapshotFormat
+	}
+	if s.vlog != nil && !migrate {
+		s.vlogWatermark = watermark
+		s.vlogTrack.reset(watermark)
 	}
 	return nil
 }

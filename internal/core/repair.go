@@ -295,7 +295,9 @@ func (s *Server) repairLoop(link *repairLink) error {
 		case repairOpSnapshot:
 			snap.Reset()
 			snapOff = 0
-			if err := s.Seal(&snap); err != nil {
+			// Donor snapshots always carry payloads: a joiner cannot
+			// resolve pointers into this node's value log.
+			if err := s.seal(&snap, true); err != nil {
 				resp = &repairMsg{Op: repairOpError, Error: err.Error()}
 			} else {
 				resp = &repairMsg{Op: repairOpSnapshot, Gen: s.SealGeneration(), Size: snap.Len()}

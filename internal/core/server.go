@@ -16,6 +16,7 @@ import (
 	"precursor/internal/ringbuf"
 	"precursor/internal/sgx"
 	"precursor/internal/slab"
+	"precursor/internal/vlog"
 	"precursor/internal/wire"
 )
 
@@ -34,6 +35,11 @@ type entry struct {
 	hasMAC bool
 	inline *sgx.Region // enclave-resident small value, nil otherwise
 	owner  uint32
+	// Value-log placement (zero when the log is disabled): the durable
+	// record backing this version and its log sequence number. With the
+	// log enabled ref becomes a cache — evictable, rebuildable from vptr.
+	vptr vlog.Ptr
+	seq  uint64
 }
 
 // session is the per-client state: the transport-encryption AEAD keyed
@@ -97,9 +103,20 @@ type Server struct {
 
 	// sealMu serializes Seal/Restore state swaps (a periodic sealer and a
 	// repair-session snapshot must not interleave their counter bumps).
-	sealMu   sync.Mutex
-	lastSeal atomic.Int64 // unix nanos of the last successful Seal, 0 = never
-	seals    atomic.Uint64
+	sealMu      sync.Mutex
+	lastSeal    atomic.Int64 // unix nanos of the last successful Seal, 0 = never
+	seals       atomic.Uint64
+	lastSealDur atomic.Int64 // nanos the last Seal spent serializing
+
+	// Durable value log (nil unless ServerConfig.DataDir is set).
+	vlog          *vlog.Log
+	vlogAEAD      *cryptox.AEAD // seals per-record metadata; enclave-derived
+	vlogTrack     seqTracker
+	vlogWatermark uint64 // applied-seq watermark from Restore; guarded by sealMu
+
+	vlogReads, vlogReadErrors atomic.Uint64
+	vlogAuthFails             atomic.Uint64
+	vlogGCRuns, vlogGCMoved   atomic.Uint64
 
 	puts, gets, deletes   atomic.Uint64
 	replays, authFailures atomic.Uint64
@@ -167,6 +184,14 @@ func NewServer(device *rdma.Device, cfg ServerConfig) (*Server, error) {
 		return nil
 	}); err != nil {
 		return nil, err
+	}
+
+	// Durable value log: values spill to untrusted disk, the enclave
+	// keeps the index (see vlog.go).
+	if c.DataDir != "" {
+		if err := s.initVlog(); err != nil {
+			return nil, err
+		}
 	}
 
 	// Ecall ii.: start the trusted polling threads.
@@ -576,6 +601,10 @@ func opKind(o wire.Opcode) string {
 }
 
 func (s *Server) handlePut(sess *session, req *wire.Request, ctl *wire.RequestControl, op *obs.Op, now int64) {
+	if s.vlog != nil {
+		s.handlePutVlog(sess, req, ctl, op, now)
+		return
+	}
 	s.puts.Add(1)
 	e := &entry{owner: sess.id}
 
@@ -655,6 +684,30 @@ func (s *Server) handleGet(sess *session, ctl *wire.RequestControl, op *obs.Op, 
 		rc.Flags = wire.FlagInlineValue
 		rc.InlineValue = e.inline.Data
 		e.inline.Touch(0, len(e.inline.Data))
+	case s.vlog != nil && !e.ref.Valid() && e.vptr.Valid():
+		// The value has no memory-resident copy: read it back from the
+		// value log and re-authenticate its sealed metadata.
+		now = op.SpanEnd(obs.SrvApply, now)
+		val, inline, cur, err := s.vlogReadThrough(string(ctl.Key), e)
+		if err != nil {
+			op.SetError(err)
+			s.reply(sess, wire.StatusServerError, nil, nil, op, now)
+			return
+		}
+		e = cur
+		if inline {
+			rc.Flags = wire.FlagInlineValue
+			rc.InlineValue = val
+		} else {
+			rc.OpKey = e.opKey[:]
+			payload = val
+			if e.hasMAC {
+				rc.PayloadMAC = e.mac[:]
+			}
+		}
+		now = op.SpanEnd(obs.SrvVlogRead, now)
+		s.reply(sess, wire.StatusOK, rc, payload, op, now)
+		return
 	default:
 		rc.OpKey = e.opKey[:]
 		stored, err := s.pool.Read(e.ref)
@@ -687,6 +740,32 @@ func (s *Server) handleDelete(sess *session, ctl *wire.RequestControl, op *obs.O
 			&wire.ResponseControl{Oid: ctl.Oid, Flags: wire.FlagNotFound}, nil, op, now)
 		return
 	}
+	if s.vlog != nil {
+		// Deletes must be durable before they are acked: append a
+		// tombstone, then remove the entry only if no newer version
+		// raced in.
+		d, err := s.vlogDelete(key, sess.id)
+		if err != nil {
+			op.SetError(err)
+			s.reply(sess, wire.StatusServerError, nil, nil, op, now)
+			return
+		}
+		var old *entry
+		if s.table.DeleteIf(key, func(cur *entry) bool {
+			if cur.seq >= d {
+				return false
+			}
+			old = cur
+			return true
+		}) {
+			s.releaseEntry(old)
+		}
+		s.vlogTrack.applied(d)
+		s.recordDelta(key)
+		now = op.SpanEnd(obs.SrvApply, now)
+		s.reply(sess, wire.StatusOK, &wire.ResponseControl{Oid: ctl.Oid}, nil, op, now)
+		return
+	}
 	s.table.Delete(key)
 	s.releaseEntry(e)
 	s.recordDelta(key)
@@ -711,6 +790,10 @@ func (s *Server) releaseEntry(e *entry) {
 	if e.ref.Valid() {
 		s.pool.Free(e.ref)
 	}
+	if s.vlog != nil && e.vptr.Valid() {
+		// The superseded version's log record is reclaimable.
+		s.vlog.MarkDead(e.vptr)
+	}
 }
 
 // Stats returns a snapshot of server activity.
@@ -720,6 +803,8 @@ func (s *Server) Stats() ServerStats {
 	s.mu.Unlock()
 	ps := s.pool.Stats()
 	return ServerStats{
+		Vlog:               s.vlogStats(),
+		SealDuration:       time.Duration(s.lastSealDur.Load()),
 		Puts:               s.puts.Load(),
 		Gets:               s.gets.Load(),
 		Deletes:            s.deletes.Load(),
@@ -749,5 +834,8 @@ func (s *Server) Close() {
 	close(s.stopCh)
 	s.mu.Unlock()
 	s.wg.Wait()
+	if s.vlog != nil {
+		_ = s.vlog.Close()
+	}
 	s.enclave.Destroy()
 }

@@ -1,0 +1,873 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"log/slog"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"precursor/internal/audit"
+	"precursor/internal/cryptox"
+	"precursor/internal/obs"
+	"precursor/internal/slab"
+	"precursor/internal/vlog"
+	"precursor/internal/wire"
+)
+
+// Durable tiered storage: the trusted/untrusted storage split.
+//
+// Values arrive client-encrypted and MACed, so the same property that
+// keeps payloads out of the enclave on the wire (§3.2) keeps them off
+// trusted storage: the ciphertext spills verbatim to a value log on
+// untrusted disk (internal/vlog), and the enclave keeps only the index
+// — key, K_operation, and a value pointer — plus a small sealed
+// metadata blob per log record. The enclave authenticates each record's
+// *placement* by folding (segment, offset) and the key into the AEAD
+// associated data of that sealed metadata: the host can shuffle,
+// truncate or duplicate log records, but any record that opens under a
+// given (segment, offset, key) is exactly the record the enclave wrote
+// there. Freshness across restarts comes from the trusted-counter-
+// validated snapshot (index + per-entry sequence numbers) plus replay
+// of the log tail; a host that drops whole synced segments below the
+// snapshot's watermark is detected as a rollback.
+
+// ErrTornSegment re-exports the value log's typed torn-write error:
+// replay truncates at the damage and continues. It is deliberately
+// distinct from ErrSnapshotAuth, which reports cryptographic tampering
+// and refuses recovery.
+var ErrTornSegment = vlog.ErrTornSegment
+
+// ErrVlogDisabled reports a value-log operation on a server without a
+// DataDir.
+var ErrVlogDisabled = errors.New("precursor: value log not enabled (no DataDir)")
+
+// Value-log defaults.
+const (
+	// DefaultVlogInlineMax is the stored-bytes threshold at or under
+	// which a logged value also keeps a memory-resident copy.
+	DefaultVlogInlineMax = 4096
+	// DefaultVlogGCInterval is how often the background compactor scans
+	// for reclaimable segments.
+	DefaultVlogGCInterval = 2 * time.Second
+	// DefaultVlogGCThreshold is the dead-byte ratio above which a sealed
+	// segment is compacted.
+	DefaultVlogGCThreshold = 0.5
+)
+
+// VlogConfig tunes the durable value log. It is read only when
+// ServerConfig.DataDir is set; zero values take defaults.
+type VlogConfig struct {
+	// SegmentBytes is the log's segment rotation threshold.
+	SegmentBytes int64
+	// InlineMax is the stored-payload size at or under which a value
+	// keeps an untrusted-memory copy beside its log record, so gets skip
+	// the disk read — the storage analogue of the paper's inline-send
+	// cutoff. Larger values are disk-only and served by read-through.
+	InlineMax int
+	// MemoryCapBytes bounds the untrusted pool bytes used for those
+	// memory copies (0 = unbounded). Past the cap new values are
+	// disk-only, which is how a store serves datasets much larger than
+	// memory.
+	MemoryCapBytes int64
+	// GCInterval is the compaction scan period (<0 disables background
+	// GC; 0 = default).
+	GCInterval time.Duration
+	// GCThreshold is the dead-byte ratio that makes a segment a
+	// compaction candidate.
+	GCThreshold float64
+	// FS overrides the log's filesystem — the hook crash tests use to
+	// inject torn writes (vlog.MemFS). Nil = the real OS.
+	FS vlog.FS
+}
+
+// withVlogDefaults fills zero fields.
+func (c VlogConfig) withVlogDefaults() VlogConfig {
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = vlog.DefaultSegmentBytes
+	}
+	if c.InlineMax <= 0 {
+		c.InlineMax = DefaultVlogInlineMax
+	}
+	if c.GCInterval == 0 {
+		c.GCInterval = DefaultVlogGCInterval
+	}
+	if c.GCThreshold <= 0 || c.GCThreshold > 1 {
+		c.GCThreshold = DefaultVlogGCThreshold
+	}
+	return c
+}
+
+// VlogStats is a snapshot of value-log activity, embedded in
+// ServerStats when the log is enabled.
+type VlogStats struct {
+	Log vlog.Stats
+	// ReadThroughs counts gets served from disk (value not memory-resident).
+	ReadThroughs uint64
+	// ReadErrors counts read-throughs that failed structurally.
+	ReadErrors uint64
+	// AuthFailures counts records whose sealed metadata failed
+	// authentication — tampering, audited as snapshot_auth.
+	AuthFailures uint64
+	// GCRuns counts compaction passes; GCMovedRecords the live records
+	// relocated by them.
+	GCRuns         uint64
+	GCMovedRecords uint64
+	// CachedBytes is the untrusted pool memory holding value copies.
+	CachedBytes int64
+}
+
+// seqTracker maintains the contiguous applied-sequence watermark: the
+// highest W such that every log record with seq ≤ W has been applied to
+// the index. Snapshots embed W; recovery replays records above it.
+// Appends complete in arbitrary order relative to their reservation
+// order, so out-of-order completions park in pending until the gap
+// below them closes.
+type seqTracker struct {
+	mu      sync.Mutex
+	mark    uint64
+	pending map[uint64]struct{}
+}
+
+// applied records that seq's effect is in the index (or was superseded).
+func (t *seqTracker) applied(seq uint64) {
+	if seq == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if seq <= t.mark {
+		return
+	}
+	if seq != t.mark+1 {
+		if t.pending == nil {
+			t.pending = make(map[uint64]struct{})
+		}
+		t.pending[seq] = struct{}{}
+		return
+	}
+	t.mark = seq
+	for {
+		if _, ok := t.pending[t.mark+1]; !ok {
+			return
+		}
+		delete(t.pending, t.mark+1)
+		t.mark++
+	}
+}
+
+// watermark returns the current contiguous watermark.
+func (t *seqTracker) watermark() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.mark
+}
+
+// reset rebases the tracker (after restore/replay).
+func (t *seqTracker) reset(v uint64) {
+	t.mu.Lock()
+	t.mark = v
+	t.pending = nil
+	t.mu.Unlock()
+}
+
+// Sealed metadata: the per-record blob only the enclave can produce or
+// open. Plaintext layout (fixed prefix then optional inline value):
+//
+//	ver u8 | flags u8 | seq u64 | owner u32 | opKey 32 | mac 16 |
+//	valLen u16 | value
+//
+// The AEAD associated data binds the record's placement and key:
+// "precursor-vlog-rec-v1" ‖ segment u32 ‖ offset u64 ‖ key.
+const (
+	vlogMetaVersion   = 1
+	vlogMetaFixedLen  = 1 + 1 + 8 + 4 + cryptox.OperationKeySize + wire.MACSize + 2
+	vlogMetaTombstone = 1
+	vlogMetaInline    = 2
+	vlogMetaHasMAC    = 4
+)
+
+// vlogMeta is the decoded sealed metadata of one record.
+type vlogMeta struct {
+	flags byte
+	seq   uint64
+	owner uint32
+	opKey cryptox.OperationKey
+	mac   [wire.MACSize]byte
+	value []byte // inline value, only when vlogMetaInline
+}
+
+// encodeVlogMeta flattens m with a zero seq placeholder at bytes [2,10).
+func encodeVlogMeta(m *vlogMeta) []byte {
+	out := make([]byte, 0, vlogMetaFixedLen+len(m.value))
+	out = append(out, vlogMetaVersion, m.flags)
+	out = binary.LittleEndian.AppendUint64(out, m.seq)
+	out = binary.LittleEndian.AppendUint32(out, m.owner)
+	out = append(out, m.opKey[:]...)
+	out = append(out, m.mac[:]...)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(m.value)))
+	out = append(out, m.value...)
+	return out
+}
+
+// decodeVlogMeta parses sealed-metadata plaintext.
+func decodeVlogMeta(buf []byte) (*vlogMeta, error) {
+	if len(buf) < vlogMetaFixedLen || buf[0] != vlogMetaVersion {
+		return nil, fmt.Errorf("%w: bad value-log metadata", ErrSnapshotFormat)
+	}
+	m := &vlogMeta{flags: buf[1]}
+	m.seq = binary.LittleEndian.Uint64(buf[2:])
+	m.owner = binary.LittleEndian.Uint32(buf[10:])
+	copy(m.opKey[:], buf[14:14+cryptox.OperationKeySize])
+	copy(m.mac[:], buf[14+cryptox.OperationKeySize:])
+	valLen := int(binary.LittleEndian.Uint16(buf[vlogMetaFixedLen-2:]))
+	if len(buf) != vlogMetaFixedLen+valLen {
+		return nil, fmt.Errorf("%w: bad value-log metadata length", ErrSnapshotFormat)
+	}
+	m.value = buf[vlogMetaFixedLen:]
+	return m, nil
+}
+
+// vlogAD builds the placement-bound associated data for a record.
+func vlogAD(ptr vlog.Ptr, key []byte) []byte {
+	ad := make([]byte, 0, 21+4+8+len(key))
+	ad = append(ad, "precursor-vlog-rec-v1"...)
+	ad = binary.LittleEndian.AppendUint32(ad, ptr.Segment)
+	ad = binary.LittleEndian.AppendUint64(ad, ptr.Offset)
+	ad = append(ad, key...)
+	return ad
+}
+
+// initVlog opens the value log and derives its metadata sealing key
+// inside the enclave. Called from NewServer when DataDir is set.
+func (s *Server) initVlog() error {
+	s.cfg.Vlog = s.cfg.Vlog.withVlogDefaults()
+	if err := s.enclave.Ecall("derive_vlog_key", func() error {
+		sk, err := s.enclave.SealingKey()
+		if err != nil {
+			return err
+		}
+		mk, err := cryptox.HKDF(sk, nil, []byte("precursor-vlog-meta-v1"), 16)
+		if err != nil {
+			return err
+		}
+		s.vlogAEAD, err = cryptox.NewAEAD(mk)
+		return err
+	}); err != nil {
+		return fmt.Errorf("vlog key: %w", err)
+	}
+	l, err := vlog.Open(vlog.Config{
+		Dir:          filepath.Join(s.cfg.DataDir, "vlog"),
+		SegmentBytes: s.cfg.Vlog.SegmentBytes,
+		FS:           s.cfg.Vlog.FS,
+	})
+	if err != nil {
+		return err
+	}
+	s.vlog = l
+	if s.cfg.Vlog.GCInterval > 0 {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.vlogGCLoop()
+		}()
+	}
+	return nil
+}
+
+// sealVlogMeta produces the sealed metadata for m at placement ptr,
+// patching seq into the plaintext first.
+func (s *Server) sealVlogMeta(plain []byte, ptr vlog.Ptr, seq uint64, key string) ([]byte, error) {
+	binary.LittleEndian.PutUint64(plain[2:], seq)
+	return s.vlogAEAD.Seal(plain, vlogAD(ptr, []byte(key)))
+}
+
+// openVlogMeta opens and parses a record's sealed metadata, verifying
+// its placement binding and that the sealed sequence matches the
+// record header (the header is untrusted).
+func (s *Server) openVlogMeta(ptr vlog.Ptr, rec vlog.Record) (*vlogMeta, error) {
+	plain, err := s.vlogAEAD.Open(rec.Meta, vlogAD(ptr, rec.Key))
+	if err != nil {
+		return nil, fmt.Errorf("%w: value-log record %v", ErrSnapshotAuth, ptr)
+	}
+	m, err := decodeVlogMeta(plain)
+	if err != nil {
+		return nil, err
+	}
+	if m.seq != rec.Seq {
+		return nil, fmt.Errorf("%w: value-log record %v header seq %d != sealed seq %d",
+			ErrSnapshotAuth, ptr, rec.Seq, m.seq)
+	}
+	if (m.flags&vlogMetaTombstone != 0) != rec.Tombstone {
+		return nil, fmt.Errorf("%w: value-log record %v tombstone flag mismatch", ErrSnapshotAuth, ptr)
+	}
+	return m, nil
+}
+
+// vlogAuthFailure audits a record whose sealed metadata failed to
+// authenticate — tampering with untrusted storage, not a torn write.
+func (s *Server) vlogAuthFailure(err error) {
+	s.vlogAuthFails.Add(1)
+	s.cfg.Audit.Add(audit.Record{Kind: audit.KindSnapshotAuth,
+		Detail: fmt.Sprintf("value log: %v", err)})
+	s.logEvent("value-log record failed authentication", slog.String("error", err.Error()))
+}
+
+// vlogMayCache reports whether a stored payload of n bytes may keep a
+// memory-resident copy under the configured cap and threshold.
+func (s *Server) vlogMayCache(n int) bool {
+	if n > s.cfg.Vlog.InlineMax {
+		return false
+	}
+	if cap := s.cfg.Vlog.MemoryCapBytes; cap > 0 {
+		if s.pool.Stats().BytesInUse+int64(n) > cap {
+			return false
+		}
+	}
+	return true
+}
+
+// vlogPut appends e's record (payload = the stored ciphertext bytes;
+// inlineVal = the enclave-inline value, nil otherwise) and blocks until
+// it is durable. On success e.vptr and e.seq are set.
+func (s *Server) vlogPut(key string, e *entry, payload, inlineVal []byte) error {
+	m := &vlogMeta{owner: e.owner, opKey: e.opKey, mac: e.mac}
+	if inlineVal != nil {
+		m.flags |= vlogMetaInline
+		m.value = inlineVal
+	}
+	if e.hasMAC {
+		m.flags |= vlogMetaHasMAC
+	}
+	plain := encodeVlogMeta(m)
+	ptr, seq, err := s.vlog.Append([]byte(key), payload, false, len(plain)+cryptox.SealOverhead,
+		func(ptr vlog.Ptr, seq uint64) ([]byte, error) {
+			return s.sealVlogMeta(plain, ptr, seq, key)
+		})
+	if err != nil {
+		return err
+	}
+	e.vptr = ptr
+	e.seq = seq
+	return nil
+}
+
+// vlogDelete appends a durable tombstone for key and returns its
+// sequence number.
+func (s *Server) vlogDelete(key string, owner uint32) (uint64, error) {
+	m := &vlogMeta{flags: vlogMetaTombstone, owner: owner}
+	plain := encodeVlogMeta(m)
+	_, seq, err := s.vlog.Append([]byte(key), nil, true, len(plain)+cryptox.SealOverhead,
+		func(ptr vlog.Ptr, seq uint64) ([]byte, error) {
+			return s.sealVlogMeta(plain, ptr, seq, key)
+		})
+	return seq, err
+}
+
+// handlePutVlog is the put path when the value log is enabled: the
+// record append is the durable store, the pool copy a cache, and the
+// index swap conditional on sequence order so a relocation or a
+// concurrent put can never roll a key backwards.
+func (s *Server) handlePutVlog(sess *session, req *wire.Request, ctl *wire.RequestControl, op *obs.Op, now int64) {
+	s.puts.Add(1)
+	e := &entry{owner: sess.id}
+	var logPayload, inlineVal []byte
+
+	if ctl.Flags&wire.FlagInlineValue != 0 {
+		// §5.2 optimization: the small value lives inside the enclave; the
+		// log record carries it in the sealed metadata, payload empty.
+		region, err := s.enclave.Alloc(len(ctl.InlineValue))
+		if err != nil {
+			op.SetError(err)
+			s.reply(sess, wire.StatusServerError, nil, nil, op, now)
+			return
+		}
+		copy(region.Data, ctl.InlineValue)
+		e.inline = region
+		inlineVal = ctl.InlineValue
+	} else {
+		if len(ctl.OpKey) != wire.OpKeySize || req.Payload == nil {
+			s.badRequests.Add(1)
+			op.SetError(ErrBadResponse)
+			s.reply(sess, wire.StatusBadRequest, nil, nil, op, now)
+			return
+		}
+		copy(e.opKey[:], ctl.OpKey)
+		if s.cfg.HardenedMACs {
+			// §3.9 hardening: the MAC is enclave state — it rides in the
+			// sealed metadata, never in the untrusted record body.
+			copy(e.mac[:], req.PayloadMAC)
+			e.hasMAC = true
+			logPayload = req.Payload
+		} else {
+			logPayload = make([]byte, 0, len(req.Payload)+wire.MACSize)
+			logPayload = append(logPayload, req.Payload...)
+			logPayload = append(logPayload, req.PayloadMAC...)
+		}
+		// The pool copy is only a cache now; failures to build it are not
+		// put failures, and policy may skip it entirely.
+		if s.vlogMayCache(len(logPayload)) {
+			if ref, err := s.pool.Alloc(len(logPayload)); err == nil {
+				if slot, rerr := s.pool.Read(ref); rerr == nil {
+					copy(slot, logPayload)
+					e.ref = ref
+				} else {
+					s.pool.Free(ref)
+				}
+			}
+		}
+	}
+
+	key := string(ctl.Key)
+	// store_to_untrusted (Algorithm 2, line 7), durable edition: the
+	// append blocks until the group commit has fsynced, so the ack
+	// implies the value survives kill -9.
+	if err := s.vlogPut(key, e, logPayload, inlineVal); err != nil {
+		s.freeEntryResources(e)
+		op.SetError(err)
+		s.reply(sess, wire.StatusServerError, nil, nil, op, now)
+		return
+	}
+	var old *entry
+	applied := s.table.Upsert(key, func(cur *entry, exists bool) (*entry, bool) {
+		if exists {
+			if cur.seq >= e.seq {
+				return cur, false
+			}
+			old = cur
+		}
+		return e, true
+	})
+	if applied {
+		s.releaseEntry(old)
+	} else {
+		// A concurrent newer put landed between our append and the swap:
+		// this record is dead on arrival.
+		s.freeEntryResources(e)
+		s.vlog.MarkDead(e.vptr)
+	}
+	s.vlogTrack.applied(e.seq)
+	s.recordDelta(key)
+	now = op.SpanEnd(obs.SrvApply, now)
+	s.reply(sess, wire.StatusOK, &wire.ResponseControl{Oid: ctl.Oid}, nil, op, now)
+}
+
+// vlogReadThrough serves a get whose value is not memory-resident: read
+// the record at the entry's pointer, re-authenticate its sealed
+// metadata against the placement, and return the value bytes. If the
+// segment vanished under a concurrent GC relocation, the entry is
+// re-fetched once and the read retried.
+func (s *Server) vlogReadThrough(key string, e *entry) (value []byte, inline bool, ent *entry, err error) {
+	for attempt := 0; ; attempt++ {
+		rec, rerr := s.vlog.ReadAt(e.vptr)
+		if rerr != nil {
+			if errors.Is(rerr, vlog.ErrNotFound) && attempt == 0 {
+				// GC removed the segment after we loaded the entry; the
+				// relocated pointer is in the table now.
+				cur, ok := s.table.Get(key)
+				if ok && cur.vptr != e.vptr {
+					e = cur
+					continue
+				}
+			}
+			s.vlogReadErrors.Add(1)
+			return nil, false, e, rerr
+		}
+		if string(rec.Key) != key {
+			s.vlogReadErrors.Add(1)
+			return nil, false, e, fmt.Errorf("%w: value-log record %v key mismatch", ErrSnapshotAuth, e.vptr)
+		}
+		m, merr := s.openVlogMeta(e.vptr, rec)
+		if merr != nil {
+			if errors.Is(merr, ErrSnapshotAuth) {
+				s.vlogAuthFailure(merr)
+			}
+			return nil, false, e, merr
+		}
+		s.vlogReads.Add(1)
+		if m.flags&vlogMetaInline != 0 {
+			return m.value, true, e, nil
+		}
+		return rec.Payload, false, e, nil
+	}
+}
+
+// VlogRecovery summarises a ReplayVlog pass.
+type VlogRecovery struct {
+	// Replay carries the log-level scan stats, including torn-tail
+	// truncations (Replay.Torn wraps ErrTornSegment when any happened).
+	Replay vlog.ReplayStats
+	// Applied counts records whose effect entered the index; Skipped
+	// counts records superseded by newer state (snapshot or later
+	// records); Rehydrated counts snapshot entries whose memory copy was
+	// rebuilt from the log.
+	Applied    uint64
+	Skipped    uint64
+	Rehydrated uint64
+}
+
+// ReplayVlog recovers the value log after Restore (or on a fresh start
+// with existing segments): every record is placement-authenticated and
+// applied to the index newest-sequence-wins, torn tails are truncated
+// and reported (not fatal), and a record whose sealed metadata fails
+// authentication aborts recovery with ErrSnapshotAuth — corruption is
+// survivable, tampering is not. Appends are refused until this has run
+// on a log with existing segments.
+func (s *Server) ReplayVlog() (VlogRecovery, error) {
+	if s.vlog == nil {
+		return VlogRecovery{}, ErrVlogDisabled
+	}
+	s.sealMu.Lock()
+	defer s.sealMu.Unlock()
+	var rec VlogRecovery
+	watermark := s.vlogWatermark
+	tombs := make(map[string]uint64)
+	err := s.enclave.Ecall("replay_vlog", func() error {
+		st, err := s.vlog.Replay(func(ptr vlog.Ptr, r vlog.Record) error {
+			m, err := s.openVlogMeta(ptr, r)
+			if err != nil {
+				if errors.Is(err, ErrSnapshotAuth) {
+					s.vlogAuthFailure(err)
+				}
+				return err
+			}
+			s.applyVlogRecord(ptr, r, m, tombs, &rec)
+			return nil
+		})
+		rec.Replay = st
+		return err
+	})
+	if err != nil {
+		return rec, err
+	}
+	// Rollback check: the snapshot was validated against the trusted
+	// counter and promises every sequence up to its watermark is either
+	// in the snapshot or on disk. A log whose highest surviving sequence
+	// is below the watermark means the host dropped durable, already-
+	// sealed history — rollback, not a torn tail.
+	if rec.Replay.MaxSeq < watermark {
+		detail := fmt.Sprintf("value log ends at seq %d, snapshot watermark %d", rec.Replay.MaxSeq, watermark)
+		s.cfg.Audit.Add(audit.Record{Kind: audit.KindRollback, Detail: detail})
+		return rec, fmt.Errorf("%w: %s", ErrSnapshotRollback, detail)
+	}
+	if rec.Replay.Torn != nil {
+		s.logEvent("value log recovered past torn tail",
+			slog.Int("tornSegments", rec.Replay.TornSegments),
+			slog.Int64("tornBytes", rec.Replay.TornBytes))
+	}
+	top := rec.Replay.MaxSeq
+	if watermark > top {
+		top = watermark
+	}
+	s.vlogTrack.reset(top)
+	s.vlog.EnsureSeq(top)
+	return rec, nil
+}
+
+// applyVlogRecord folds one authenticated record into the index,
+// newest-sequence-wins, tracking dead bytes for eventual GC.
+func (s *Server) applyVlogRecord(ptr vlog.Ptr, r vlog.Record, m *vlogMeta, tombs map[string]uint64, rec *VlogRecovery) {
+	key := string(r.Key)
+	if r.Tombstone {
+		if d, ok := tombs[key]; !ok || r.Seq > d {
+			tombs[key] = r.Seq
+		}
+		var old *entry
+		if s.table.DeleteIf(key, func(cur *entry) bool {
+			if cur.seq >= r.Seq {
+				return false
+			}
+			old = cur
+			return true
+		}) {
+			s.releaseEntry(old)
+			rec.Applied++
+		} else {
+			rec.Skipped++
+		}
+		// The tombstone's own bytes are immediately reclaimable; the
+		// GC's carry-forward rule keeps its *effect* alive until no
+		// earlier record of the key can exist.
+		s.vlog.MarkDead(ptr)
+		return
+	}
+	if d, ok := tombs[key]; ok && r.Seq < d {
+		// Deleted by a tombstone newer than this record.
+		s.vlog.MarkDead(ptr)
+		rec.Skipped++
+		return
+	}
+	e, err := s.entryFromRecord(ptr, r, m)
+	if err != nil {
+		// Resource exhaustion rebuilding the memory copy: keep the entry
+		// disk-only rather than failing recovery.
+		e = &entry{owner: m.owner, opKey: m.opKey, mac: m.mac,
+			hasMAC: m.flags&vlogMetaHasMAC != 0, vptr: ptr, seq: r.Seq}
+	}
+	var prev *entry
+	prevSet := false
+	applied := s.table.Upsert(key, func(cur *entry, exists bool) (*entry, bool) {
+		if exists {
+			prev, prevSet = cur, true
+			if cur.seq >= r.Seq {
+				return cur, false
+			}
+		}
+		return e, true
+	})
+	switch {
+	case applied:
+		if prevSet && prev.seq < r.Seq {
+			s.releaseEntry(prev)
+		}
+		rec.Applied++
+	case prevSet && prev.seq == r.Seq && prev.vptr == ptr:
+		// This record backs a snapshot entry whose memory copy was not
+		// serialized (index-only snapshots): rehydrate it.
+		s.freeEntryResources(e)
+		if s.rehydrateEntry(key, prev, ptr, r, m) {
+			rec.Rehydrated++
+		}
+		rec.Skipped++
+	default:
+		// Superseded by a newer version already in the index.
+		s.freeEntryResources(e)
+		s.vlog.MarkDead(ptr)
+		rec.Skipped++
+	}
+}
+
+// entryFromRecord builds the index entry for an authenticated record,
+// rebuilding the enclave-inline region or the untrusted memory copy
+// when policy allows.
+func (s *Server) entryFromRecord(ptr vlog.Ptr, r vlog.Record, m *vlogMeta) (*entry, error) {
+	e := &entry{
+		owner:  m.owner,
+		opKey:  m.opKey,
+		mac:    m.mac,
+		hasMAC: m.flags&vlogMetaHasMAC != 0,
+		vptr:   ptr,
+		seq:    r.Seq,
+	}
+	if m.flags&vlogMetaInline != 0 {
+		region, err := s.enclave.Alloc(len(m.value))
+		if err != nil {
+			return nil, err
+		}
+		copy(region.Data, m.value)
+		e.inline = region
+		return e, nil
+	}
+	if len(r.Payload) > 0 && s.vlogMayCache(len(r.Payload)) {
+		ref, err := s.pool.Alloc(len(r.Payload))
+		if err == nil {
+			if werr := s.pool.Write(ref, r.Payload); werr == nil {
+				e.ref = ref
+			} else {
+				s.pool.Free(ref)
+			}
+		}
+	}
+	return e, nil
+}
+
+// rehydrateEntry rebuilds the memory-resident copy of a snapshot entry
+// from its log record, swapping in a fresh entry only if the original
+// is still installed.
+func (s *Server) rehydrateEntry(key string, cur *entry, ptr vlog.Ptr, r vlog.Record, m *vlogMeta) bool {
+	if cur.inline != nil || cur.ref.Valid() {
+		return false // already resident
+	}
+	fresh, err := s.entryFromRecord(ptr, r, m)
+	if err != nil || (fresh.inline == nil && !fresh.ref.Valid()) {
+		if err == nil {
+			s.freeEntryResources(fresh)
+		}
+		return false
+	}
+	if !s.table.Upsert(key, func(e *entry, exists bool) (*entry, bool) {
+		return fresh, exists && e == cur
+	}) {
+		s.freeEntryResources(fresh)
+		return false
+	}
+	return true
+}
+
+// freeEntryResources returns an entry's memory resources without
+// touching value-log accounting (unlike releaseEntry, which also marks
+// the entry's record dead).
+func (s *Server) freeEntryResources(e *entry) {
+	if e == nil {
+		return
+	}
+	if e.inline != nil {
+		s.enclave.Free(e.inline)
+		e.inline = nil
+	}
+	if e.ref.Valid() {
+		s.pool.Free(e.ref)
+		e.ref = slab.Ref{}
+	}
+}
+
+// vlogGCLoop periodically compacts segments whose dead-byte ratio
+// crossed the threshold, driven by the in-enclave live-pointer set.
+func (s *Server) vlogGCLoop() {
+	t := time.NewTicker(s.cfg.Vlog.GCInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+		}
+		if s.vlog.RecoveryPending() {
+			continue
+		}
+		s.VlogGCOnce()
+	}
+}
+
+// VlogGCOnce runs one compaction scan: every sealed segment at or above
+// the dead-ratio threshold is compacted (live records relocated, the
+// segment removed). Exposed for tests and tooling; the background loop
+// calls it on its interval.
+func (s *Server) VlogGCOnce() {
+	if s.vlog == nil {
+		return
+	}
+	s.vlogGCRuns.Add(1)
+	for _, seg := range s.vlog.Segments() {
+		if seg.Active {
+			continue
+		}
+		if seg.Bytes > 0 && seg.DeadRatio() < s.cfg.Vlog.GCThreshold {
+			continue
+		}
+		if err := s.compactSegment(seg.ID); err != nil {
+			s.logEvent("value-log compaction failed",
+				slog.Int("segment", int(seg.ID)), slog.String("error", err.Error()))
+		}
+	}
+}
+
+// compactSegment relocates a segment's live records to the log head and
+// removes the segment. Liveness is decided by the enclave index: a
+// record is live iff the entry for its key still points at it. A
+// tombstone is carried forward unless it is in the oldest segment or a
+// newer put superseded it — dropping it earlier could resurrect a
+// deleted key whose older records still exist elsewhere.
+func (s *Server) compactSegment(id uint32) error {
+	oldest := s.vlog.OldestSegment()
+	// The record holding the log's highest issued sequence is never
+	// dropped, even dead: sequence numbers only persist through records,
+	// and recovery flags a log whose top sequence regressed below the
+	// snapshot watermark as a rollback. Anchoring the top record keeps
+	// that check sound under aggressive compaction.
+	anchor := s.vlog.Seq()
+	return s.enclave.Ecall("vlog_gc", func() error {
+		err := s.vlog.IterateSegment(id, func(ptr vlog.Ptr, r vlog.Record) error {
+			m, merr := s.openVlogMeta(ptr, r)
+			if merr != nil {
+				if errors.Is(merr, ErrSnapshotAuth) {
+					s.vlogAuthFailure(merr)
+				}
+				return merr
+			}
+			key := string(r.Key)
+			if r.Tombstone {
+				if r.Seq != anchor {
+					if _, live := s.table.Get(key); live || id == oldest {
+						return nil // superseded, or nothing earlier to resurrect
+					}
+				}
+				return s.relocateRecord(key, nil, true, r.Seq, m, nil)
+			}
+			cur, ok := s.table.Get(key)
+			if ok && cur.vptr == ptr {
+				return s.relocateRecord(key, r.Payload, false, r.Seq, m, cur)
+			}
+			if r.Seq == anchor {
+				return s.relocateRecord(key, r.Payload, false, r.Seq, m, nil)
+			}
+			return nil // dead version
+		})
+		if err != nil {
+			return err
+		}
+		return s.vlog.RemoveSegment(id)
+	})
+}
+
+// relocateRecord re-appends a record at the log head under its original
+// sequence number, resealing its metadata for the new placement, and —
+// for live values — swings the index pointer only if the entry is still
+// the one that was copied.
+func (s *Server) relocateRecord(key string, payload []byte, tombstone bool, seq uint64, m *vlogMeta, cur *entry) error {
+	plain := encodeVlogMeta(m)
+	newPtr, err := s.vlog.AppendAt(seq, []byte(key), payload, tombstone, len(plain)+cryptox.SealOverhead,
+		func(ptr vlog.Ptr) ([]byte, error) {
+			return s.sealVlogMeta(plain, ptr, seq, key)
+		})
+	if err != nil {
+		return err
+	}
+	if cur == nil {
+		if !tombstone {
+			// A dead put carried only as the sequence anchor: keep the
+			// bytes reclaimable once a newer record takes over as anchor.
+			s.vlog.MarkDead(newPtr)
+		}
+		return nil
+	}
+	moved := *cur
+	moved.vptr = newPtr
+	if !s.table.Upsert(key, func(e *entry, exists bool) (*entry, bool) {
+		return &moved, exists && e == cur
+	}) {
+		// A concurrent write replaced the entry while we copied: the
+		// relocated bytes are garbage (the new version owns the key).
+		s.vlog.MarkDead(newPtr)
+		return nil
+	}
+	s.vlogGCMoved.Add(1)
+	return nil
+}
+
+// migrateEntryToVlog re-homes one restored entry into the local value
+// log under a fresh sequence number: used when a payload-carrying
+// snapshot (legacy v1, or a peer's full v2) lands on a value-log
+// server. data is the entry's stored bytes; inline marks enclave-inline
+// values.
+func (s *Server) migrateEntryToVlog(key string, e *entry, data []byte, inline bool) error {
+	var payload, inlineVal []byte
+	if inline {
+		inlineVal = data
+	} else if len(data) > 0 {
+		payload = data
+	}
+	if err := s.vlogPut(key, e, payload, inlineVal); err != nil {
+		return fmt.Errorf("migrate %q into value log: %w", key, err)
+	}
+	s.vlogTrack.applied(e.seq)
+	return nil
+}
+
+// vlogStats assembles the VlogStats snapshot (nil when disabled).
+func (s *Server) vlogStats() *VlogStats {
+	if s.vlog == nil {
+		return nil
+	}
+	return &VlogStats{
+		Log:            s.vlog.Stats(),
+		ReadThroughs:   s.vlogReads.Load(),
+		ReadErrors:     s.vlogReadErrors.Load(),
+		AuthFailures:   s.vlogAuthFails.Load(),
+		GCRuns:         s.vlogGCRuns.Load(),
+		GCMovedRecords: s.vlogGCMoved.Load(),
+		CachedBytes:    s.pool.Stats().BytesInUse,
+	}
+}

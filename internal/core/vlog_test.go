@@ -1,0 +1,599 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"testing"
+	"time"
+
+	"precursor/internal/audit"
+	"precursor/internal/rdma"
+	"precursor/internal/sgx"
+	"precursor/internal/vlog"
+)
+
+// vlogHarness pins the pieces that must survive a simulated kill -9:
+// the platform (sealing key), the trusted counter, and the MemFS that
+// plays the disk. boot() starts a fresh server "process" over them.
+type vlogHarness struct {
+	t        *testing.T
+	platform *sgx.Platform
+	counter  sgx.TrustedCounter
+	fs       *vlog.MemFS
+	cfg      ServerConfig
+}
+
+func newVlogHarness(t *testing.T, seed int64, tune func(*ServerConfig)) *vlogHarness {
+	t.Helper()
+	platform, err := sgx.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &vlogHarness{
+		t:        t,
+		platform: platform,
+		counter:  sgx.AsTrustedCounter(sgx.NewMonotonicCounter()),
+		fs:       vlog.NewMemFS(seed),
+	}
+	h.cfg = ServerConfig{
+		Platform:        platform,
+		RollbackCounter: h.counter,
+		Workers:         4,
+		PollInterval:    time.Microsecond,
+		DataDir:         "/data",
+		Vlog: VlogConfig{
+			FS:         h.fs,
+			GCInterval: -1, // tests drive GC explicitly
+		},
+	}
+	if tune != nil {
+		tune(&h.cfg)
+		h.platform = h.cfg.Platform // tests joining another group share its platform
+	}
+	return h
+}
+
+// boot starts one server incarnation over the harness's disk. Callers
+// close it themselves when simulating a crash boundary mid-test.
+func (h *vlogHarness) boot() *testCluster {
+	h.t.Helper()
+	fabric := rdma.NewFabric()
+	srvDev, err := fabric.NewDevice(fmt.Sprintf("server-%d", time.Now().UnixNano()))
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	server, err := NewServer(srvDev, h.cfg)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	h.t.Cleanup(server.Close)
+	return &testCluster{t: h.t, fabric: fabric, platform: h.platform, server: server, srvDev: srvDev}
+}
+
+func mustPut(t *testing.T, c *Client, key string, val []byte) {
+	t.Helper()
+	if err := c.Put(key, val); err != nil {
+		t.Fatalf("put %s: %v", key, err)
+	}
+}
+
+// TestVlogPutGetReadThrough: with a tiny cache threshold every value is
+// disk-only, so gets exercise the read-through path and its placement
+// re-authentication.
+func TestVlogPutGetReadThrough(t *testing.T) {
+	h := newVlogHarness(t, 7, func(cfg *ServerConfig) {
+		cfg.Vlog.InlineMax = 1 // nothing memory-resident
+	})
+	tc := h.boot()
+	c := tc.connect()
+
+	val := bytes.Repeat([]byte("v"), 900)
+	for i := 0; i < 64; i++ {
+		mustPut(t, c, fmt.Sprintf("k%03d", i), append(val, byte(i)))
+	}
+	for i := 0; i < 64; i++ {
+		got, err := c.Get(fmt.Sprintf("k%03d", i))
+		if err != nil || !bytes.Equal(got, append(val, byte(i))) {
+			t.Fatalf("get k%03d: %v (len %d)", i, err, len(got))
+		}
+	}
+	st := tc.server.Stats()
+	if st.Vlog == nil {
+		t.Fatal("Stats().Vlog nil with DataDir set")
+	}
+	if st.Vlog.ReadThroughs == 0 {
+		t.Error("no read-throughs despite InlineMax=1")
+	}
+	if st.Vlog.Log.SyncedAppends == 0 || st.Vlog.Log.GroupCommits == 0 {
+		t.Errorf("append durability not recorded: %+v", st.Vlog.Log)
+	}
+	// Overwrites mark prior records dead.
+	mustPut(t, c, "k000", []byte("replacement"))
+	if got, err := c.Get("k000"); err != nil || string(got) != "replacement" {
+		t.Fatalf("after overwrite: %q %v", got, err)
+	}
+	if d := tc.server.Stats().Vlog.Log.DeadBytes; d == 0 {
+		t.Error("overwrite did not mark old record dead")
+	}
+}
+
+// TestVlogCrashRecoveryZeroLostAcked is the headline durability claim:
+// every acked put survives kill -9, with no snapshot at all — recovery
+// is pure log replay.
+func TestVlogCrashRecoveryZeroLostAcked(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		h := newVlogHarness(t, seed, func(cfg *ServerConfig) {
+			cfg.Vlog.InlineMax = 1
+			cfg.Vlog.SegmentBytes = 8 << 10 // force rotations mid-run
+		})
+		tc := h.boot()
+		c := tc.connect()
+		const n = 120
+		for i := 0; i < n; i++ {
+			mustPut(t, c, fmt.Sprintf("key-%03d", i), []byte(fmt.Sprintf("value-%03d-%d", i, seed)))
+		}
+		// Deletes must be durable too.
+		if err := c.Delete("key-000"); err != nil {
+			t.Fatal(err)
+		}
+		tc.server.Close()
+		h.fs.Crash() // discard everything not fsynced; maybe garble the tear
+
+		tc2 := h.boot()
+		rec, err := tc2.server.ReplayVlog()
+		if err != nil {
+			t.Fatalf("seed %d: ReplayVlog: %v", seed, err)
+		}
+		if rec.Applied == 0 {
+			t.Fatalf("seed %d: replay applied nothing", seed)
+		}
+		c2 := tc2.connect()
+		if _, err := c2.Get("key-000"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("seed %d: deleted key resurrected: %v", seed, err)
+		}
+		for i := 1; i < n; i++ {
+			got, err := c2.Get(fmt.Sprintf("key-%03d", i))
+			if err != nil || string(got) != fmt.Sprintf("value-%03d-%d", i, seed) {
+				t.Fatalf("seed %d: lost acked put key-%03d: %q %v", seed, i, got, err)
+			}
+		}
+		tc2.server.Close()
+	}
+}
+
+// TestVlogSnapshotPlusReplay: index-only snapshot + log tail replay
+// reconstructs the full store, and the snapshot stays small because it
+// carries no payloads.
+func TestVlogSnapshotPlusReplay(t *testing.T) {
+	h := newVlogHarness(t, 11, func(cfg *ServerConfig) {
+		cfg.Vlog.InlineMax = 1
+	})
+	tc := h.boot()
+	c := tc.connect()
+
+	big := bytes.Repeat([]byte("x"), 2048)
+	for i := 0; i < 40; i++ {
+		mustPut(t, c, fmt.Sprintf("pre-%02d", i), big)
+	}
+	var snap bytes.Buffer
+	if err := tc.server.Seal(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() > 40*1024 {
+		t.Errorf("index-only snapshot carries payloads: %d bytes for ~80KiB of values", snap.Len())
+	}
+	if tc.server.LastSealDuration() <= 0 {
+		t.Error("LastSealDuration not recorded")
+	}
+	// Post-snapshot writes live only in the log.
+	for i := 0; i < 10; i++ {
+		mustPut(t, c, fmt.Sprintf("post-%02d", i), []byte(fmt.Sprintf("tail-%02d", i)))
+	}
+	mustPut(t, c, "pre-00", []byte("rewritten")) // newer than snapshot entry
+	tc.server.Close()
+	h.fs.Crash()
+
+	tc2 := h.boot()
+	if err := tc2.server.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if _, err := tc2.server.ReplayVlog(); err != nil {
+		t.Fatalf("ReplayVlog: %v", err)
+	}
+	c2 := tc2.connect()
+	for i := 1; i < 40; i++ {
+		got, err := c2.Get(fmt.Sprintf("pre-%02d", i))
+		if err != nil || !bytes.Equal(got, big) {
+			t.Fatalf("pre-%02d after recovery: %v (len %d)", i, err, len(got))
+		}
+	}
+	for i := 0; i < 10; i++ {
+		got, err := c2.Get(fmt.Sprintf("post-%02d", i))
+		if err != nil || string(got) != fmt.Sprintf("tail-%02d", i) {
+			t.Fatalf("post-%02d after recovery: %q %v", i, got, err)
+		}
+	}
+	// The record replay must not roll back the snapshot-superseding write.
+	if got, err := c2.Get("pre-00"); err != nil || string(got) != "rewritten" {
+		t.Fatalf("pre-00 after recovery: %q %v", got, err)
+	}
+}
+
+// TestVlogTornTailTruncatesButTamperRefuses distinguishes the two
+// failure classes of satellite 2: a torn write is truncated and
+// recovery continues (ErrTornSegment, reported in stats); a record that
+// authenticates structurally but fails the enclave's sealed-metadata
+// check is tampering and aborts recovery with ErrSnapshotAuth plus an
+// audit event.
+func TestVlogTornTailTruncatesButTamperRefuses(t *testing.T) {
+	aud := audit.New(64)
+	h := newVlogHarness(t, 99, func(cfg *ServerConfig) {
+		cfg.Vlog.InlineMax = 1
+		cfg.Audit = aud
+	})
+	tc := h.boot()
+	c := tc.connect()
+	for i := 0; i < 20; i++ {
+		mustPut(t, c, fmt.Sprintf("k%02d", i), bytes.Repeat([]byte{byte(i)}, 300))
+	}
+	tc.server.Close()
+
+	// Tamper with a synced record: flip one payload byte and fix up the
+	// CRC so the damage is structurally invisible.
+	const seg = "/data/vlog/seg-00000001.vlog"
+	f, err := h.fs.OpenWrite(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, _ := f.Size()
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	// First record starts at 0: header is magic u32, crc u32, seq u64,
+	// flags u8, keyLen u16, metaLen u16, payLen u32 (25 bytes).
+	keyLen := int(uint16(buf[17]) | uint16(buf[18])<<8)
+	metaLen := int(uint16(buf[19]) | uint16(buf[20])<<8)
+	payLen := int(uint32(buf[21]) | uint32(buf[22])<<8 | uint32(buf[23])<<16 | uint32(buf[24])<<24)
+	recLen := 25 + keyLen + metaLen + payLen
+	// Corrupt the sealed metadata, not the payload: payload integrity is
+	// the client's CMAC check (§3.2); what the *enclave* must refuse is a
+	// record whose sealed metadata does not authenticate.
+	buf[25+keyLen] ^= 0xff
+	crc := crc32.Checksum(buf[8:recLen], crc32.MakeTable(crc32.Castagnoli))
+	buf[4] = byte(crc)
+	buf[5] = byte(crc >> 8)
+	buf[6] = byte(crc >> 16)
+	buf[7] = byte(crc >> 24)
+	if _, err := f.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	tc2 := h.boot()
+	_, err = tc2.server.ReplayVlog()
+	if !errors.Is(err, ErrSnapshotAuth) {
+		t.Fatalf("tampered record: got %v, want ErrSnapshotAuth", err)
+	}
+	if aud.CountsByKind()[audit.KindSnapshotAuth] == 0 {
+		t.Error("tamper refusal not audited")
+	}
+	tc2.server.Close()
+
+	// Torn tail, by contrast, recovers: fresh disk, unsynced garbage at
+	// the end of the active segment.
+	h2 := newVlogHarness(t, 4242, func(cfg *ServerConfig) { cfg.Vlog.InlineMax = 1 })
+	tcA := h2.boot()
+	cA := tcA.connect()
+	for i := 0; i < 10; i++ {
+		mustPut(t, cA, fmt.Sprintf("t%02d", i), bytes.Repeat([]byte{byte(i)}, 200))
+	}
+	tcA.server.Close()
+	// Unsynced junk beyond the durable prefix = a torn group commit.
+	w, err := h2.fs.OpenWrite("/data/vlog/seg-00000001.vlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz, _ := w.Size()
+	if _, err := w.WriteAt(bytes.Repeat([]byte{0xab}, 100), sz); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	h2.fs.Crash()
+
+	tcB := h2.boot()
+	rec, err := tcB.server.ReplayVlog()
+	if err != nil {
+		t.Fatalf("torn tail must recover, got %v", err)
+	}
+	if rec.Replay.Torn != nil && !errors.Is(rec.Replay.Torn, ErrTornSegment) {
+		t.Errorf("torn error not typed: %v", rec.Replay.Torn)
+	}
+	cB := tcB.connect()
+	for i := 0; i < 10; i++ {
+		if got, err := cB.Get(fmt.Sprintf("t%02d", i)); err != nil || len(got) != 200 {
+			t.Fatalf("t%02d after torn recovery: %v", i, err)
+		}
+	}
+}
+
+// TestVlogServesDatasetBeyondMemoryCap is the capacity acceptance test:
+// with a small cache cap the store serves a dataset several times the
+// cap, entirely through log read-throughs.
+func TestVlogServesDatasetBeyondMemoryCap(t *testing.T) {
+	const memCap = 64 << 10
+	h := newVlogHarness(t, 3, func(cfg *ServerConfig) {
+		cfg.Vlog.InlineMax = 4096
+		cfg.Vlog.MemoryCapBytes = memCap
+	})
+	tc := h.boot()
+	c := tc.connect()
+
+	val := bytes.Repeat([]byte("d"), 1024)
+	const n = 400 // ~400 KiB stored ≥ 4× the 64 KiB cap
+	for i := 0; i < n; i++ {
+		mustPut(t, c, fmt.Sprintf("big-%04d", i), append(val, byte(i), byte(i>>8)))
+	}
+	st := tc.server.Stats()
+	if st.Vlog.Log.LiveBytes < 4*memCap {
+		t.Fatalf("dataset too small for the claim: live=%d cap=%d", st.Vlog.Log.LiveBytes, memCap)
+	}
+	if st.PoolBytesInUse > 2*memCap {
+		t.Errorf("cache blew through the cap: pool=%d cap=%d", st.PoolBytesInUse, memCap)
+	}
+	for i := 0; i < n; i += 13 {
+		got, err := c.Get(fmt.Sprintf("big-%04d", i))
+		if err != nil || !bytes.Equal(got, append(val, byte(i), byte(i>>8))) {
+			t.Fatalf("big-%04d: %v", i, err)
+		}
+	}
+}
+
+// TestVlogGCCompactsAndSurvivesCrash: overwriting churn makes dead
+// segments; GC reclaims them without breaking reads, and — because
+// relocated records keep their original sequence numbers — a crash
+// right after GC replays to the same state.
+func TestVlogGCCompactsAndSurvivesCrash(t *testing.T) {
+	h := newVlogHarness(t, 21, func(cfg *ServerConfig) {
+		cfg.Vlog.InlineMax = 1
+		cfg.Vlog.SegmentBytes = 4 << 10
+		cfg.Vlog.GCThreshold = 0.3
+	})
+	tc := h.boot()
+	c := tc.connect()
+
+	// Churn: every key overwritten repeatedly, old versions all dead.
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 20; i++ {
+			mustPut(t, c, fmt.Sprintf("churn-%02d", i),
+				[]byte(fmt.Sprintf("round-%d-key-%02d-%s", round, i, bytes.Repeat([]byte("p"), 200))))
+		}
+	}
+	before := tc.server.Stats().Vlog.Log
+	tc.server.VlogGCOnce()
+	after := tc.server.Stats().Vlog.Log
+	if after.GCSegments == 0 || after.GCReclaimed == 0 {
+		t.Fatalf("GC reclaimed nothing: before=%+v after=%+v", before, after)
+	}
+	if after.Segments >= before.Segments {
+		t.Errorf("segment count did not drop: %d -> %d", before.Segments, after.Segments)
+	}
+	// Reads still correct through relocated pointers.
+	for i := 0; i < 20; i++ {
+		got, err := c.Get(fmt.Sprintf("churn-%02d", i))
+		if err != nil || !bytes.HasPrefix(got, []byte(fmt.Sprintf("round-5-key-%02d", i))) {
+			t.Fatalf("churn-%02d after GC: %q %v", i, got, err)
+		}
+	}
+	// Crash after GC: replay sees relocated records (with old sequence
+	// numbers) after newer ones and must not resurrect stale data.
+	tc.server.Close()
+	h.fs.Crash()
+	tc2 := h.boot()
+	if _, err := tc2.server.ReplayVlog(); err != nil {
+		t.Fatalf("ReplayVlog after GC: %v", err)
+	}
+	c2 := tc2.connect()
+	for i := 0; i < 20; i++ {
+		got, err := c2.Get(fmt.Sprintf("churn-%02d", i))
+		if err != nil || !bytes.HasPrefix(got, []byte(fmt.Sprintf("round-5-key-%02d", i))) {
+			t.Fatalf("churn-%02d after GC+crash: %q %v", i, got, err)
+		}
+	}
+}
+
+// TestVlogSealDoesNotStallWriters: satellite 1. A concurrent writer keeps
+// making progress while Seal runs; with index-only snapshots the seal's
+// table hold is small and bounded.
+func TestVlogSealDoesNotStallWriters(t *testing.T) {
+	h := newVlogHarness(t, 17, func(cfg *ServerConfig) {
+		cfg.Vlog.InlineMax = 1
+	})
+	tc := h.boot()
+	c := tc.connect()
+	big := bytes.Repeat([]byte("s"), 4096)
+	for i := 0; i < 300; i++ {
+		mustPut(t, c, fmt.Sprintf("w-%04d", i), big)
+	}
+	start := time.Now()
+	var snap bytes.Buffer
+	if err := tc.server.Seal(&snap); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if d := tc.server.LastSealDuration(); d <= 0 || d > elapsed {
+		t.Errorf("seal duration out of range: %v (elapsed %v)", d, elapsed)
+	}
+	// ~300 entries × ~(key+meta+ptr) ≈ 30KiB; payloads would be 1.2MiB.
+	if snap.Len() > 128<<10 {
+		t.Errorf("snapshot not index-only: %d bytes", snap.Len())
+	}
+}
+
+// TestVlogMigrateLegacySnapshot: a v1 (payload-carrying) snapshot from a
+// memory-only peer restores into a value-log server by re-appending
+// everything into the local log.
+func TestVlogMigrateLegacySnapshot(t *testing.T) {
+	// Donor: memory-only server on a shared platform and counter.
+	platform, err := sgx.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := sgx.AsTrustedCounter(sgx.NewMonotonicCounter())
+	fabric := rdma.NewFabric()
+	donorDev, err := fabric.NewDevice("donor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	donor, err := NewServer(donorDev, ServerConfig{
+		Platform: platform, RollbackCounter: counter,
+		Workers: 4, PollInterval: time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(donor.Close)
+	dtc := &testCluster{t: t, fabric: fabric, platform: platform, server: donor, srvDev: donorDev}
+	dc := dtc.connect()
+	for i := 0; i < 30; i++ {
+		mustPut(t, dc, fmt.Sprintf("mig-%02d", i), bytes.Repeat([]byte{byte(i)}, 500))
+	}
+	var snap bytes.Buffer
+	if err := donor.Seal(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// Joiner: value-log server, fresh disk, same platform; the donor's
+	// counter is ahead so this is the replica-restore path.
+	h := newVlogHarness(t, 5, func(cfg *ServerConfig) {
+		cfg.Platform = platform
+		cfg.Vlog.InlineMax = 1
+	})
+	tc := h.boot()
+	if err := tc.server.RestoreReplica(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatalf("RestoreReplica(v1): %v", err)
+	}
+	c := tc.connect()
+	for i := 0; i < 30; i++ {
+		got, err := c.Get(fmt.Sprintf("mig-%02d", i))
+		if err != nil || !bytes.Equal(got, bytes.Repeat([]byte{byte(i)}, 500)) {
+			t.Fatalf("mig-%02d after migration: %v", i, err)
+		}
+	}
+	// The migrated values are log-durable: crash and replay them back.
+	tc.server.Close()
+	h.fs.Crash()
+	tc2 := h.boot()
+	if _, err := tc2.server.ReplayVlog(); err != nil {
+		t.Fatalf("ReplayVlog after migration: %v", err)
+	}
+	c2 := tc2.connect()
+	if got, err := c2.Get("mig-07"); err != nil || len(got) != 500 {
+		t.Fatalf("mig-07 after migration+crash: %v", err)
+	}
+}
+
+// TestVlogFullSnapshotForRepair: with the value log on, the repair
+// donor's snapshot carries payloads (a joiner cannot read this node's
+// disk), and a value-log joiner re-homes them into its own log.
+func TestVlogFullSnapshotForRepair(t *testing.T) {
+	h := newVlogHarness(t, 31, func(cfg *ServerConfig) {
+		cfg.Vlog.InlineMax = 1
+	})
+	tc := h.boot()
+	c := tc.connect()
+	for i := 0; i < 25; i++ {
+		mustPut(t, c, fmt.Sprintf("rep-%02d", i), bytes.Repeat([]byte{byte(i + 1)}, 700))
+	}
+	var full bytes.Buffer
+	if err := tc.server.seal(&full, true); err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() < 25*700 {
+		t.Fatalf("full snapshot missing payloads: %d bytes", full.Len())
+	}
+
+	// Joiner on its own fresh disk, same platform group.
+	h2 := newVlogHarness(t, 32, func(cfg *ServerConfig) {
+		cfg.Platform = h.platform
+		cfg.Vlog.InlineMax = 1
+	})
+	tc2 := h2.boot()
+	if err := tc2.server.RestoreReplica(bytes.NewReader(full.Bytes())); err != nil {
+		t.Fatalf("RestoreReplica(v2 full): %v", err)
+	}
+	c2 := tc2.connect()
+	for i := 0; i < 25; i++ {
+		got, err := c2.Get(fmt.Sprintf("rep-%02d", i))
+		if err != nil || !bytes.Equal(got, bytes.Repeat([]byte{byte(i + 1)}, 700)) {
+			t.Fatalf("rep-%02d on joiner: %v", i, err)
+		}
+	}
+}
+
+// TestVlogInlineValuesRecover: enclave-inline small values ride in the
+// sealed record metadata and come back after a crash.
+func TestVlogInlineValuesRecover(t *testing.T) {
+	h := newVlogHarness(t, 13, func(cfg *ServerConfig) {
+		cfg.InlineSmallValues = true
+	})
+	tc := h.boot()
+	c := tc.connect()
+	for i := 0; i < 30; i++ {
+		mustPut(t, c, fmt.Sprintf("tiny-%02d", i), []byte(fmt.Sprintf("v%02d", i)))
+	}
+	tc.server.Close()
+	h.fs.Crash()
+	tc2 := h.boot()
+	if _, err := tc2.server.ReplayVlog(); err != nil {
+		t.Fatal(err)
+	}
+	c2 := tc2.connect()
+	for i := 0; i < 30; i++ {
+		got, err := c2.Get(fmt.Sprintf("tiny-%02d", i))
+		if err != nil || string(got) != fmt.Sprintf("v%02d", i) {
+			t.Fatalf("tiny-%02d: %q %v", i, got, err)
+		}
+	}
+}
+
+// TestVlogIndexOnlySnapshotNeedsLog: an index-only snapshot restored
+// into a server without a value log must be refused, not half-loaded.
+func TestVlogIndexOnlySnapshotNeedsLog(t *testing.T) {
+	h := newVlogHarness(t, 41, nil)
+	tc := h.boot()
+	c := tc.connect()
+	mustPut(t, c, "solo", bytes.Repeat([]byte("z"), 500))
+	var snap bytes.Buffer
+	if err := tc.server.Seal(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	plain, err := sgx.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = plain
+	// Same platform + counter, but no DataDir: pointers are unreadable.
+	fabric := rdma.NewFabric()
+	dev, err := fabric.NewDevice("memonly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	memSrv, err := NewServer(dev, ServerConfig{
+		Platform: h.platform, RollbackCounter: h.counter,
+		Workers: 4, PollInterval: time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(memSrv.Close)
+	if err := memSrv.Restore(bytes.NewReader(snap.Bytes())); !errors.Is(err, ErrSnapshotFormat) {
+		t.Fatalf("index-only into memory-only server: got %v, want ErrSnapshotFormat", err)
+	}
+}

@@ -78,3 +78,80 @@ func TestRangeEarlyStop(t *testing.T) {
 		t.Errorf("visits = %d", visits)
 	}
 }
+
+func TestUpsertConditionalSwap(t *testing.T) {
+	tbl := New[int](nil, 0)
+	// Absent key: fn sees exists=false and may insert.
+	if !tbl.Upsert("k", func(cur int, exists bool) (int, bool) {
+		if exists {
+			t.Fatal("exists=true for fresh key")
+		}
+		return 1, true
+	}) {
+		t.Fatal("insert upsert failed")
+	}
+	// Condition holds: replacement applied.
+	if !tbl.Upsert("k", func(cur int, exists bool) (int, bool) { return cur + 10, exists && cur == 1 }) {
+		t.Fatal("upsert with matching condition failed")
+	}
+	if v, _ := tbl.Get("k"); v != 11 {
+		t.Fatalf("v = %d", v)
+	}
+	// Condition fails: value untouched, reported as not applied.
+	if tbl.Upsert("k", func(cur int, exists bool) (int, bool) { return 99, cur == 1 }) {
+		t.Fatal("upsert applied despite failed condition")
+	}
+	if v, _ := tbl.Get("k"); v != 11 {
+		t.Fatalf("v = %d after refused upsert", v)
+	}
+	// Declining an insert leaves the key absent.
+	if tbl.Upsert("absent", func(cur int, exists bool) (int, bool) { return 5, false }) {
+		t.Fatal("declined insert reported as applied")
+	}
+	if _, ok := tbl.Get("absent"); ok {
+		t.Fatal("declined insert landed anyway")
+	}
+	// Upsert inserts interact correctly with growth.
+	for i := 0; i < 2000; i++ {
+		k := "grow-" + strconv.Itoa(i)
+		tbl.Upsert(k, func(cur int, exists bool) (int, bool) { return i, !exists })
+	}
+	if tbl.Len() != 2001 {
+		t.Fatalf("len = %d", tbl.Len())
+	}
+}
+
+func TestDeleteIf(t *testing.T) {
+	tbl := New[int](nil, 0)
+	tbl.Put("k", 7)
+	if tbl.DeleteIf("k", func(cur int) bool { return cur == 8 }) {
+		t.Fatal("conditional delete fired on mismatched value")
+	}
+	if _, ok := tbl.Get("k"); !ok {
+		t.Fatal("refused delete removed the key")
+	}
+	if !tbl.DeleteIf("k", func(cur int) bool { return cur == 7 }) {
+		t.Fatal("conditional delete failed on matching value")
+	}
+	if _, ok := tbl.Get("k"); ok {
+		t.Fatal("key survives an approved delete")
+	}
+	if tbl.DeleteIf("k", func(int) bool { return true }) {
+		t.Fatal("delete of absent key reported success")
+	}
+	// Probe chains stay intact after a conditional delete (backward shift).
+	for i := 0; i < 300; i++ {
+		tbl.Put("p-"+strconv.Itoa(i), i)
+	}
+	if !tbl.DeleteIf("p-7", func(int) bool { return true }) {
+		t.Fatal("chain delete failed")
+	}
+	for i := 0; i < 300; i++ {
+		if i == 7 {
+			continue
+		}
+		if v, ok := tbl.Get("p-" + strconv.Itoa(i)); !ok || v != i {
+			t.Fatalf("probe chain broken at %d", i)
+		}
+	}
+}

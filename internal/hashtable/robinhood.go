@@ -193,6 +193,79 @@ func (t *Table[V]) Swap(key string, val V) (V, bool) {
 	return zero, false
 }
 
+// Upsert atomically inserts or conditionally replaces key's value. fn
+// receives the current value (zero if absent) and whether the key
+// exists, and returns the value to store plus whether to store it.
+// Upsert returns whether a store happened, all under one lock hold.
+// The value-log write path uses it to apply versioned records newest-
+// wins, and value-log GC uses it as a conditional swap: relocate an
+// entry's pointer only if the entry is still the one whose record was
+// copied, so a concurrent put is never clobbered by a stale relocation.
+func (t *Table[V]) Upsert(key string, fn func(cur V, exists bool) (V, bool)) bool {
+	h := hashKey(key)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx, dist := h&t.mask, uint64(0)
+	for {
+		s := &t.slots[idx]
+		if t.acct != nil {
+			t.acct.TouchBucket(int(idx), len(t.slots), t.entSize)
+		}
+		if s.hash == 0 || probeDist(s.hash, idx, t.mask) < dist {
+			break
+		}
+		if s.hash == h && s.key == key {
+			val, ok := fn(s.val, true)
+			if ok {
+				s.val = val
+			}
+			return ok
+		}
+		idx = (idx + 1) & t.mask
+		dist++
+	}
+	var zero V
+	val, ok := fn(zero, false)
+	if !ok {
+		return false
+	}
+	if (t.len+1)*100 > len(t.slots)*maxLoadPercent {
+		t.growLocked()
+	}
+	t.insertLocked(h, key, val)
+	return true
+}
+
+// DeleteIf removes key only when cond approves of its current value,
+// returning whether a removal happened. The value-log replay path uses
+// it to apply tombstones newest-wins: a tombstone must not remove an
+// entry whose record is newer than the tombstone itself.
+func (t *Table[V]) DeleteIf(key string, cond func(cur V) bool) bool {
+	h := hashKey(key)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx, dist := h&t.mask, uint64(0)
+	for {
+		s := &t.slots[idx]
+		if t.acct != nil {
+			t.acct.TouchBucket(int(idx), len(t.slots), t.entSize)
+		}
+		if s.hash == 0 || probeDist(s.hash, idx, t.mask) < dist {
+			return false
+		}
+		if s.hash == h && s.key == key {
+			if !cond(s.val) {
+				return false
+			}
+			t.backwardShiftLocked(idx)
+			t.len--
+			return true
+		}
+		idx = (idx + 1) & t.mask
+		dist++
+	}
+}
+
 // Delete removes key, returning whether it was present. It uses
 // backward-shift deletion, which preserves Robin-Hood probe invariants
 // without tombstones.

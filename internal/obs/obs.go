@@ -81,6 +81,10 @@ const (
 	// SrvApply is the table and payload-pool work of the operation body:
 	// store_to_untrusted / lookup / delete (Algorithm 2, line 7+).
 	SrvApply
+	// SrvVlogRead is the value-log read-through: fetching a record from
+	// the untrusted on-disk log and re-authenticating its enclave-sealed
+	// placement metadata, on gets whose value is not memory-resident.
+	SrvVlogRead
 	// SrvReplySeal is response-control encoding plus AEAD sealing.
 	SrvReplySeal
 	// SrvSend is the reply's untrusted-sender path: from enqueue on the
@@ -110,6 +114,7 @@ var stageNames = [NumStages]string{
 	SrvDecode:     "srv_decode",
 	SrvVerify:     "srv_verify",
 	SrvApply:      "srv_apply",
+	SrvVlogRead:   "srv_vlog_read",
 	SrvReplySeal:  "srv_reply_seal",
 	SrvSend:       "srv_send",
 	SrvTotal:      "srv_total",

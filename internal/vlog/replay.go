@@ -1,0 +1,172 @@
+package vlog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ReplayStats summarises a recovery pass.
+type ReplayStats struct {
+	Records      uint64 // structurally valid records visited
+	Bytes        uint64 // bytes those records occupy
+	TornSegments int    // segments truncated at a damaged record
+	TornBytes    int64  // bytes discarded by those truncations
+	Torn         error  // first truncation, wrapping ErrTornSegment (nil if clean)
+	MaxSeq       uint64 // highest sequence number seen
+}
+
+// Replay scans every segment in (segment, offset) order, invoking fn
+// for each structurally valid record. A damaged record — torn write,
+// bad magic, bad CRC — truncates its segment there and
+// replay continues with the next segment; the truncation is reported in
+// ReplayStats (wrapping ErrTornSegment) rather than failing recovery,
+// because torn tails are the expected residue of a crash. An error from
+// fn aborts replay immediately and is returned as-is: that path is for
+// cryptographic refusal (tampered sealed metadata), which must stop the
+// server, not be truncated around.
+//
+// After a successful pass the log's sequence counter resumes above
+// everything on disk and appends are re-enabled.
+func (l *Log) Replay(fn func(ptr Ptr, rec Record) error) (ReplayStats, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ReplayStats{}, ErrClosed
+	}
+	if !l.recoverDue && l.seq > 0 {
+		l.mu.Unlock()
+		return ReplayStats{}, fmt.Errorf("vlog: replay after appends have begun")
+	}
+	ids := make([]uint32, 0, len(l.segs))
+	for id := range l.segs {
+		ids = append(ids, id)
+	}
+	l.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	var st ReplayStats
+	sizes := make(map[uint32]int64, len(ids))
+	for _, id := range ids {
+		validEnd, err := l.scanSegment(id, &st, fn)
+		if err != nil {
+			return st, err
+		}
+		sizes[id] = validEnd
+	}
+
+	l.mu.Lock()
+	for id, size := range sizes {
+		if s, ok := l.segs[id]; ok {
+			s.bytes = size
+		}
+	}
+	if st.MaxSeq > l.seq {
+		l.seq = st.MaxSeq
+	}
+	if len(ids) > 0 {
+		last := ids[len(ids)-1]
+		l.active = last
+		l.activeOff = uint64(sizes[last])
+	}
+	l.recoverDue = false
+	l.mu.Unlock()
+	return st, nil
+}
+
+// scanSegment replays one segment, truncating it at the first damaged
+// record. It returns the segment's valid length.
+func (l *Log) scanSegment(id uint32, st *ReplayStats, fn func(Ptr, Record) error) (int64, error) {
+	f, err := l.fs.OpenRead(l.segmentPath(id))
+	if err != nil {
+		return 0, fmt.Errorf("vlog: replay open segment %d: %w", id, err)
+	}
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return 0, fmt.Errorf("vlog: replay stat segment %d: %w", id, err)
+	}
+	buf := make([]byte, size)
+	if size > 0 {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			f.Close()
+			return 0, fmt.Errorf("vlog: replay read segment %d: %w", id, err)
+		}
+	}
+	f.Close()
+
+	off := int64(0)
+	for off < size {
+		// Sequence numbers may legitimately regress mid-stream: GC
+		// relocates records into newer segments keeping their original
+		// (older) sequence. Only structural damage tears a segment.
+		rec, n, derr := decodeRecord(buf[off:])
+		if derr != nil {
+			return l.truncateTorn(id, off, size, derr, st)
+		}
+		if err := fn(Ptr{Segment: id, Offset: uint64(off), Length: uint32(n)}, rec); err != nil {
+			return 0, err
+		}
+		if rec.Seq > st.MaxSeq {
+			st.MaxSeq = rec.Seq
+		}
+		st.Records++
+		st.Bytes += uint64(n)
+		off += int64(n)
+	}
+	return off, nil
+}
+
+// truncateTorn cuts segment id down to off, recording the damage.
+func (l *Log) truncateTorn(id uint32, off, size int64, cause error, st *ReplayStats) (int64, error) {
+	if !errors.Is(cause, ErrTornSegment) {
+		cause = fmt.Errorf("%w: %v", ErrTornSegment, cause)
+	}
+	if err := l.fs.Truncate(l.segmentPath(id), off); err != nil {
+		return 0, fmt.Errorf("vlog: truncate torn segment %d: %w", id, err)
+	}
+	st.TornSegments++
+	st.TornBytes += size - off
+	if st.Torn == nil {
+		st.Torn = fmt.Errorf("segment %d truncated at offset %d (%d bytes dropped): %w", id, off, size-off, cause)
+	}
+	return off, nil
+}
+
+// IterateSegment walks one segment's records in offset order — the GC
+// read path. Unlike Replay it never truncates: structural damage in a
+// segment that already survived recovery means the segment should be
+// left alone, so the damage is returned (wrapping ErrTornSegment).
+func (l *Log) IterateSegment(id uint32, fn func(ptr Ptr, rec Record) error) error {
+	l.mu.Lock()
+	if _, ok := l.segs[id]; !ok {
+		l.mu.Unlock()
+		return ErrNotFound
+	}
+	size := l.segs[id].bytes
+	l.mu.Unlock()
+
+	f, err := l.fs.OpenRead(l.segmentPath(id))
+	if err != nil {
+		return fmt.Errorf("%w: segment %d: %v", ErrNotFound, id, err)
+	}
+	defer f.Close()
+	buf := make([]byte, size)
+	if size > 0 {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			return fmt.Errorf("vlog: read segment %d: %w", id, err)
+		}
+	}
+	off := int64(0)
+	for off < size {
+		rec, n, derr := decodeRecord(buf[off:])
+		if derr != nil {
+			return fmt.Errorf("segment %d offset %d: %w", id, off, derr)
+		}
+		if err := fn(Ptr{Segment: id, Offset: uint64(off), Length: uint32(n)}, rec); err != nil {
+			return err
+		}
+		off += int64(n)
+	}
+	return nil
+}

@@ -1,0 +1,427 @@
+package vlog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// appendOne is the test shorthand for a metadata-carrying append.
+func appendOne(t *testing.T, l *Log, key, meta, payload string, tomb bool) (Ptr, uint64) {
+	t.Helper()
+	ptr, seq, err := l.Append([]byte(key), []byte(payload), tomb, len(meta), func(Ptr, uint64) ([]byte, error) {
+		return []byte(meta), nil
+	})
+	if err != nil {
+		t.Fatalf("append %q: %v", key, err)
+	}
+	return ptr, seq
+}
+
+func TestAppendReadRoundtrip(t *testing.T) {
+	l, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	ptr, seq, err := l.Append([]byte("alpha"), []byte("ciphertext-bytes"), false, 4, func(p Ptr, s uint64) ([]byte, error) {
+		if p.Segment != 1 || p.Offset != 0 {
+			t.Errorf("unexpected placement %v", p)
+		}
+		if s != 1 {
+			t.Errorf("seq = %d, want 1", s)
+		}
+		return []byte("meta"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 {
+		t.Fatalf("seq = %d", seq)
+	}
+	rec, err := l.ReadAt(ptr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec.Key) != "alpha" || string(rec.Meta) != "meta" || string(rec.Payload) != "ciphertext-bytes" {
+		t.Fatalf("roundtrip mismatch: %q %q %q", rec.Key, rec.Meta, rec.Payload)
+	}
+	if rec.Tombstone {
+		t.Fatal("unexpected tombstone flag")
+	}
+}
+
+func TestSealMetaSizeMismatchWedges(t *testing.T) {
+	l, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	_, _, err = l.Append([]byte("k"), nil, false, 4, func(Ptr, uint64) ([]byte, error) {
+		return []byte("toolong"), nil
+	})
+	if err == nil {
+		t.Fatal("want size-mismatch error")
+	}
+	if _, _, err := l.Append([]byte("k2"), nil, false, 0, func(Ptr, uint64) ([]byte, error) { return nil, nil }); !errors.Is(err, ErrWedged) {
+		t.Fatalf("want ErrWedged after seal failure, got %v", err)
+	}
+}
+
+func TestRotationAndOversizedRecord(t *testing.T) {
+	l, err := Open(Config{Dir: t.TempDir(), SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var ptrs []Ptr
+	for i := 0; i < 8; i++ {
+		p, _ := appendOne(t, l, fmt.Sprintf("key-%d", i), "m", "0123456789abcdef0123456789abcdef0123456789abcdef", false)
+		ptrs = append(ptrs, p)
+	}
+	// A record far larger than the segment threshold still lands.
+	big, _ := appendOne(t, l, "big", "m", string(make([]byte, 1024)), false)
+	ptrs = append(ptrs, big)
+
+	st := l.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("expected rotation, got %d segments", st.Segments)
+	}
+	for i, p := range ptrs {
+		if _, err := l.ReadAt(p); err != nil {
+			t.Fatalf("read %d after rotation: %v", i, err)
+		}
+	}
+}
+
+func TestGroupCommitCoalesces(t *testing.T) {
+	l, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			appendOne(t, l, fmt.Sprintf("k%03d", i), "meta", "payload", false)
+		}(i)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.SyncedAppends != n {
+		t.Fatalf("synced %d appends, want %d", st.SyncedAppends, n)
+	}
+	if st.GroupCommits == 0 || st.GroupCommits > n {
+		t.Fatalf("group commits = %d", st.GroupCommits)
+	}
+	if st.BatchAvg() < 1 {
+		t.Fatalf("batch avg = %v", st.BatchAvg())
+	}
+}
+
+func TestMarkDeadAndRemoveSegment(t *testing.T) {
+	l, err := Open(Config{Dir: t.TempDir(), SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	p1, _ := appendOne(t, l, "a", "m", string(make([]byte, 100)), false)
+	appendOne(t, l, "b", "m", string(make([]byte, 100)), false) // forces rotation
+	l.MarkDead(p1)
+
+	segs := l.Segments()
+	if len(segs) != 2 {
+		t.Fatalf("segments = %d", len(segs))
+	}
+	if segs[0].DeadRatio() != 1.0 {
+		t.Fatalf("segment 1 dead ratio = %v", segs[0].DeadRatio())
+	}
+	if !segs[1].Active {
+		t.Fatal("last segment should be active")
+	}
+	if err := l.RemoveSegment(segs[1].ID); err == nil {
+		t.Fatal("removing active segment should fail")
+	}
+	if err := l.RemoveSegment(p1.Segment); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.ReadAt(p1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("read after remove: %v", err)
+	}
+	st := l.Stats()
+	if st.GCSegments != 1 || st.GCReclaimed == 0 {
+		t.Fatalf("gc stats = %+v", st)
+	}
+}
+
+func TestRecoveryRequiredBeforeAppend(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendOne(t, l, "k", "m", "v", false)
+	l.Close()
+
+	l2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if _, _, err := l2.Append([]byte("k2"), nil, false, 0, func(Ptr, uint64) ([]byte, error) { return nil, nil }); !errors.Is(err, ErrRecoveryRequired) {
+		t.Fatalf("append before replay: %v", err)
+	}
+	if _, err := l2.Replay(func(Ptr, Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	appendOne(t, l2, "k2", "m", "v", false)
+}
+
+func TestReplayResumesSeqAndPlacement(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(Config{Dir: dir, SegmentBytes: 256})
+	var lastPtr Ptr
+	for i := 0; i < 10; i++ {
+		lastPtr, _ = appendOne(t, l, fmt.Sprintf("key-%d", i), "meta", "some-payload-bytes", false)
+	}
+	l.Close()
+
+	l2, err := Open(Config{Dir: dir, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	var seen []uint64
+	st, err := l2.Replay(func(ptr Ptr, rec Record) error {
+		seen = append(seen, rec.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 10 || st.MaxSeq != 10 || st.Torn != nil {
+		t.Fatalf("replay stats = %+v", st)
+	}
+	for i, s := range seen {
+		if s != uint64(i+1) {
+			t.Fatalf("replay order broken: %v", seen)
+		}
+	}
+	// New appends continue above the recovered sequence and don't collide
+	// with recovered placements.
+	p, seq := appendOne(t, l2, "new", "meta", "v", false)
+	if seq != 11 {
+		t.Fatalf("resumed seq = %d", seq)
+	}
+	if p.Segment == lastPtr.Segment && p.Offset <= lastPtr.Offset {
+		t.Fatalf("new record placed before recovered tail: %v vs %v", p, lastPtr)
+	}
+}
+
+func TestCrashMidGroupCommitTruncatesTail(t *testing.T) {
+	fs := NewMemFS(42)
+	dir := "/log"
+	l, err := Open(Config{Dir: dir, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Acked writes: durable by the time Append returns.
+	var acked []Ptr
+	for i := 0; i < 20; i++ {
+		p, _ := appendOne(t, l, fmt.Sprintf("acked-%02d", i), "meta", "durable-payload", false)
+		acked = append(acked, p)
+	}
+	// Unacked writes: bytes down, fsync never happened. Bypass the group
+	// commit by writing through the log's internals — simulate by writing
+	// garbage at the tail of the active segment file, as a crashed
+	// in-flight batch would leave.
+	w, err := fs.OpenWrite(l.segmentPath(l.Stats().ActiveSegment))
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, _ := w.Size()
+	if _, err := w.WriteAt(encodeRecord(nil, 21, false, []byte("unacked"), []byte("meta"), []byte("in-flight")), size); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.Crash()
+
+	l2, err := Open(Config{Dir: dir, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := make(map[string]bool)
+	st, err := l2.Replay(func(ptr Ptr, rec Record) error {
+		got[string(rec.Key)] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range acked {
+		key := fmt.Sprintf("acked-%02d", i)
+		if !got[key] {
+			t.Fatalf("acked record %q (at %v) lost after crash", key, p)
+		}
+	}
+	if st.Records < uint64(len(acked)) {
+		t.Fatalf("replayed %d records, want >= %d", st.Records, len(acked))
+	}
+	if st.Torn != nil && !errors.Is(st.Torn, ErrTornSegment) {
+		t.Fatalf("torn error not typed: %v", st.Torn)
+	}
+}
+
+func TestCrashMidRotationKeepsAckedRecords(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			fs := NewMemFS(seed)
+			dir := "/log"
+			l, err := Open(Config{Dir: dir, SegmentBytes: 200, FS: fs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Enough appends to rotate several times; every one is acked, so
+			// every one must survive the crash.
+			var keys []string
+			for i := 0; i < 30; i++ {
+				k := fmt.Sprintf("key-%02d", i)
+				appendOne(t, l, k, "meta", "0123456789abcdef0123456789abcdef", false)
+				keys = append(keys, k)
+			}
+			// Leave an unsynced in-flight record at the tail, then crash.
+			w, _ := fs.OpenWrite(l.segmentPath(l.Stats().ActiveSegment))
+			size, _ := w.Size()
+			w.WriteAt(encodeRecord(nil, 99, false, []byte("tail"), nil, bytes.Repeat([]byte("x"), 64)), size)
+			fs.Crash()
+
+			l2, err := Open(Config{Dir: dir, SegmentBytes: 200, FS: fs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l2.Close()
+			got := make(map[string]bool)
+			if _, err := l2.Replay(func(ptr Ptr, rec Record) error {
+				got[string(rec.Key)] = true
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range keys {
+				if !got[k] {
+					t.Fatalf("acked %q lost (seed %d)", k, seed)
+				}
+			}
+		})
+	}
+}
+
+func TestReplayTruncatesMidChainDamageAndContinues(t *testing.T) {
+	fs := NewMemFS(7)
+	dir := "/log"
+	l, _ := Open(Config{Dir: dir, SegmentBytes: 128, FS: fs})
+	appendOne(t, l, "first", "m", string(make([]byte, 100)), false)  // seg 1
+	appendOne(t, l, "second", "m", string(make([]byte, 100)), false) // seg 2
+	appendOne(t, l, "third", "m", string(make([]byte, 100)), false)  // seg 3
+	l.Close()
+
+	// Corrupt a record in the middle segment (not the tail).
+	w, err := fs.OpenWrite(dir + "/" + segmentName(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteAt([]byte{0xff, 0xff, 0xff, 0xff}, 30); err != nil {
+		t.Fatal(err)
+	}
+	w.Sync()
+
+	l2, err := Open(Config{Dir: dir, SegmentBytes: 128, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := make(map[string]bool)
+	st, err := l2.Replay(func(ptr Ptr, rec Record) error {
+		got[string(rec.Key)] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got["first"] || !got["third"] {
+		t.Fatalf("replay did not continue past damaged segment: %v", got)
+	}
+	if got["second"] {
+		t.Fatal("damaged record should have been dropped")
+	}
+	if st.TornSegments != 1 || !errors.Is(st.Torn, ErrTornSegment) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReplayCallbackErrorAborts(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(Config{Dir: dir})
+	appendOne(t, l, "k", "m", "v", false)
+	l.Close()
+
+	l2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	tamper := errors.New("sealed metadata failed authentication")
+	if _, err := l2.Replay(func(Ptr, Record) error { return tamper }); !errors.Is(err, tamper) {
+		t.Fatalf("replay error = %v", err)
+	}
+}
+
+func TestIterateSegment(t *testing.T) {
+	l, err := Open(Config{Dir: t.TempDir(), SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 5; i++ {
+		appendOne(t, l, fmt.Sprintf("k%d", i), "m", "v", false)
+	}
+	var n int
+	if err := l.IterateSegment(1, func(ptr Ptr, rec Record) error {
+		n++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("iterated %d records", n)
+	}
+	if err := l.IterateSegment(99, func(Ptr, Record) error { return nil }); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing segment: %v", err)
+	}
+}
+
+func TestTombstoneRoundtrip(t *testing.T) {
+	l, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ptr, _ := appendOne(t, l, "gone", "meta", "", true)
+	rec, err := l.ReadAt(ptr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Tombstone || len(rec.Payload) != 0 {
+		t.Fatalf("tombstone mismatch: %+v", rec)
+	}
+}

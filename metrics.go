@@ -318,6 +318,27 @@ func (m *MetricsServer) writeServerMetrics(b *strings.Builder) {
 	} else {
 		gauge("precursor_last_seal_age_seconds", "Seconds since the last successful seal (-1 = never sealed)", -1)
 	}
+	if d := m.server.LastSealDuration(); d > 0 {
+		gauge("precursor_seal_duration_seconds", "Wall time of the last successful seal (index-only with a value log, so flat as data grows)", d.Seconds())
+	}
+	if v := st.Vlog; v != nil {
+		gauge("precursor_vlog_segments", "Value-log segment files on disk", float64(v.Log.Segments))
+		gauge("precursor_vlog_live_bytes", "Value-log bytes still referenced by the enclave index", float64(v.Log.LiveBytes))
+		gauge("precursor_vlog_dead_bytes", "Value-log bytes superseded or deleted, awaiting GC", float64(v.Log.DeadBytes))
+		gauge("precursor_vlog_cached_bytes", "Untrusted pool bytes caching value-log payloads", float64(v.CachedBytes))
+		counter("precursor_vlog_appended_records_total", "Records appended to the value log", v.Log.AppendedRecords)
+		counter("precursor_vlog_appended_bytes_total", "Bytes appended to the value log", v.Log.AppendedBytes)
+		counter("precursor_vlog_group_commits_total", "Fsync batches issued by the group committer", v.Log.GroupCommits)
+		counter("precursor_vlog_synced_appends_total", "Appends made durable by those batches", v.Log.SyncedAppends)
+		gauge("precursor_vlog_group_commit_batch_avg", "Mean appends coalesced per fsync (durability amortization factor)", v.Log.BatchAvg())
+		counter("precursor_vlog_read_throughs_total", "Gets served by reading the value from disk", v.ReadThroughs)
+		counter("precursor_vlog_read_errors_total", "Disk read-throughs that failed structurally", v.ReadErrors)
+		counter("precursor_vlog_auth_failures_total", "Value-log records whose sealed metadata failed authentication", v.AuthFailures)
+		counter("precursor_vlog_gc_runs_total", "Value-log compaction passes", v.GCRuns)
+		counter("precursor_vlog_gc_moved_records_total", "Live records relocated by compaction", v.GCMovedRecords)
+		counter("precursor_vlog_gc_segments_total", "Segments removed by compaction", v.Log.GCSegments)
+		counter("precursor_vlog_gc_reclaimed_bytes_total", "Bytes reclaimed by removing compacted segments", v.Log.GCReclaimed)
+	}
 }
 
 // boolGauge renders a boolean as 0/1.

@@ -83,6 +83,76 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// TestVlogMetricsEndpoint: with a value log attached, /metrics grows the
+// precursor_vlog_* families and the seal-duration gauge.
+func TestVlogMetricsEndpoint(t *testing.T) {
+	platform, err := precursor.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := precursor.Serve("127.0.0.1:0", precursor.ServerConfig{
+		Platform: platform, Workers: 2, PollInterval: time.Microsecond,
+		DataDir: t.TempDir(),
+		Vlog:    precursor.VlogConfig{InlineMax: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	metrics, err := precursor.ServeMetrics(svc.Server, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metrics.Close()
+
+	client, err := precursor.Dial(svc.Addr(), precursor.DialConfig{
+		PlatformKey: platform.AttestationPublicKey(),
+		Measurement: svc.Server.Measurement(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	big := strings.Repeat("v", 512) // above InlineMax: spills to the log
+	for i := 0; i < 4; i++ {
+		if err := client.Put(fmt.Sprintf("vm%d", i), []byte(big)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := client.Get("vm0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Server.Seal(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + metrics.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"precursor_vlog_segments 1",
+		"precursor_vlog_appended_records_total 4",
+		"precursor_vlog_group_commits_total",
+		"precursor_vlog_group_commit_batch_avg",
+		"precursor_vlog_live_bytes",
+		"precursor_vlog_read_throughs_total",
+		"precursor_vlog_auth_failures_total 0",
+		"precursor_vlog_gc_reclaimed_bytes_total 0",
+		"precursor_seal_duration_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("vlog metrics missing %q\n%s", want, text)
+		}
+	}
+}
+
 // TestMetricsServerDoubleClose: Close is idempotent, including from
 // concurrent goroutines.
 func TestMetricsServerDoubleClose(t *testing.T) {

@@ -62,6 +62,19 @@ type (
 	ClientStats = core.ClientStats
 )
 
+// Re-exported durable-storage (value log) types. Setting
+// ServerConfig.DataDir spills large values to a partitioned,
+// crash-recoverable log of client-encrypted records on untrusted disk
+// (see DESIGN.md, "Trusted/untrusted storage split").
+type (
+	// VlogConfig tunes the value log (ServerConfig.Vlog).
+	VlogConfig = core.VlogConfig
+	// VlogStats is a value-log activity snapshot (ServerStats.Vlog).
+	VlogStats = core.VlogStats
+	// VlogRecovery summarizes a Server.ReplayVlog crash-recovery pass.
+	VlogRecovery = core.VlogRecovery
+)
+
 // Re-exported trusted-execution types.
 type (
 	// Platform is an SGX-capable machine hosting enclaves.
@@ -179,6 +192,12 @@ var (
 	// ErrUnconfirmed joins the causal error of a non-idempotent write
 	// whose outcome is unknown (it may or may not have been applied).
 	ErrUnconfirmed = core.ErrUnconfirmed
+	// ErrTornSegment marks a value-log tail truncated mid-write by a
+	// crash; recovery truncates it and continues (benign, by design).
+	ErrTornSegment = core.ErrTornSegment
+	// ErrSnapshotRollback reports stale durable state (snapshot or value
+	// log) — evidence of a rollback attack or lost writes.
+	ErrSnapshotRollback = core.ErrSnapshotRollback
 )
 
 // NewPlatform creates an SGX platform with a fresh attestation key.
