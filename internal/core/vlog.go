@@ -463,9 +463,11 @@ func (s *Server) vlogReadThrough(key string, e *entry) (value []byte, inline boo
 	for attempt := 0; ; attempt++ {
 		rec, rerr := s.vlog.ReadAt(e.vptr)
 		if rerr != nil {
-			if errors.Is(rerr, vlog.ErrNotFound) && attempt == 0 {
-				// GC removed the segment after we loaded the entry; the
-				// relocated pointer is in the table now.
+			if attempt == 0 && (errors.Is(rerr, vlog.ErrNotFound) || errors.Is(rerr, vlog.ErrBadRecord)) {
+				// GC removed the segment after we loaded the entry (a
+				// mid-read removal can surface as a bad-record read error
+				// from the closed handle); the relocated pointer is in
+				// the table now.
 				cur, ok := s.table.Get(key)
 				if ok && cur.vptr != e.vptr {
 					e = cur
@@ -609,17 +611,27 @@ func (s *Server) applyVlogRecord(ptr vlog.Ptr, r vlog.Record, m *vlogMeta, tombs
 	var prev *entry
 	prevSet := false
 	applied := s.table.Upsert(key, func(cur *entry, exists bool) (*entry, bool) {
+		prev, prevSet = nil, false
 		if exists {
 			prev, prevSet = cur, true
-			if cur.seq >= r.Seq {
+			if cur.seq > r.Seq || (cur.seq == r.Seq && cur.vptr == ptr) {
 				return cur, false
 			}
+			// cur.seq < r.Seq: a newer version wins. cur.seq == r.Seq at
+			// a *different* placement: GC relocated this version after
+			// the snapshot recorded its old pointer, so the on-disk copy
+			// we are looking at is the surviving placement — adopt it,
+			// or the entry keeps a pointer into a removed segment and
+			// the only live copy gets marked dead below.
 		}
 		return e, true
 	})
 	switch {
 	case applied:
-		if prevSet && prev.seq < r.Seq {
+		if prevSet {
+			// Superseded version, or the stale pre-relocation placement
+			// of this same version: its memory copies are freed and its
+			// record (if the segment still exists) marked dead.
 			s.releaseEntry(prev)
 		}
 		rec.Applied++

@@ -407,6 +407,71 @@ func TestVlogGCCompactsAndSurvivesCrash(t *testing.T) {
 	}
 }
 
+// TestVlogGCRelocationAfterSnapshotRecovers: a snapshot taken before GC
+// holds pre-relocation pointers. After a crash, replay meets each
+// relocated copy — same sequence, new placement, original segment gone —
+// and must adopt the surviving placement rather than marking the only
+// live copy dead, or acked, sealed values silently vanish.
+func TestVlogGCRelocationAfterSnapshotRecovers(t *testing.T) {
+	h := newVlogHarness(t, 77, func(cfg *ServerConfig) {
+		cfg.Vlog.InlineMax = 1
+		cfg.Vlog.SegmentBytes = 4 << 10
+		cfg.Vlog.GCThreshold = 0.3
+	})
+	tc := h.boot()
+	c := tc.connect()
+	keepVal := func(i int) []byte {
+		return []byte(fmt.Sprintf("keep-%02d-%s", i, bytes.Repeat([]byte("k"), 200)))
+	}
+	// Interleave long-lived and churn keys so every early segment holds
+	// both live and soon-dead records.
+	for i := 0; i < 16; i++ {
+		mustPut(t, c, fmt.Sprintf("keep-%02d", i), keepVal(i))
+		mustPut(t, c, fmt.Sprintf("churn-%02d", i), bytes.Repeat([]byte("c"), 200))
+	}
+	var snap bytes.Buffer
+	if err := tc.server.Seal(&snap); err != nil {
+		t.Fatal(err)
+	}
+	// Churn overwrites push the early segments over the dead-ratio
+	// threshold; compaction then relocates the live keep records and
+	// removes the segments the snapshot still points into.
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 16; i++ {
+			mustPut(t, c, fmt.Sprintf("churn-%02d", i), bytes.Repeat([]byte{byte('0' + round)}, 200))
+		}
+	}
+	tc.server.VlogGCOnce()
+	if tc.server.Stats().Vlog.Log.GCSegments == 0 {
+		t.Fatal("GC removed no segment; the scenario needs relocated records")
+	}
+	tc.server.Close()
+	h.fs.Crash()
+
+	tc2 := h.boot()
+	if err := tc2.server.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if _, err := tc2.server.ReplayVlog(); err != nil {
+		t.Fatalf("ReplayVlog: %v", err)
+	}
+	c2 := tc2.connect()
+	for i := 0; i < 16; i++ {
+		got, err := c2.Get(fmt.Sprintf("keep-%02d", i))
+		if err != nil || !bytes.Equal(got, keepVal(i)) {
+			t.Fatalf("keep-%02d lost after snapshot+GC+crash: %q %v", i, got, err)
+		}
+	}
+	// Post-recovery compaction must not drop the adopted copies either.
+	tc2.server.VlogGCOnce()
+	for i := 0; i < 16; i++ {
+		if got, err := c2.Get(fmt.Sprintf("keep-%02d", i)); err != nil || !bytes.Equal(got, keepVal(i)) {
+			t.Fatalf("keep-%02d dropped by post-recovery GC: %v", i, err)
+		}
+	}
+	tc2.server.Close()
+}
+
 // TestVlogSealDoesNotStallWriters: satellite 1. A concurrent writer keeps
 // making progress while Seal runs; with index-only snapshots the seal's
 // table hold is small and bounded.

@@ -23,8 +23,13 @@ type FS interface {
 	Remove(path string) error
 	// List returns the file names (not paths) in dir.
 	List(dir string) ([]string, error)
-	// Truncate shrinks path to size bytes (torn-tail repair).
+	// Truncate shrinks path to size bytes (torn-tail repair) and makes
+	// the new size durable.
 	Truncate(path string, size int64) error
+	// SyncDir flushes dir's entries to stable storage, so a crash
+	// cannot drop a created segment (whose contents were fsynced) or
+	// resurrect a removed one.
+	SyncDir(dir string) error
 }
 
 // File is the per-file surface the log needs.
@@ -81,8 +86,32 @@ func (OSFS) List(dir string) ([]string, error) {
 	return names, nil
 }
 
-// Truncate implements FS.
-func (OSFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+// Truncate implements FS: the shrink is fsynced before returning, so a
+// crash cannot undo a torn-tail repair the caller already acted on.
+func (OSFS) Truncate(path string, size int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// SyncDir implements FS.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // osFile adapts *os.File to File.
 type osFile struct{ *os.File }
@@ -151,6 +180,11 @@ func (m *MemFS) Crash() int {
 
 // MkdirAll implements FS (directories are implicit in MemFS).
 func (m *MemFS) MkdirAll(dir string) error { return nil }
+
+// SyncDir implements FS. MemFS's crash model has no directory entries
+// — files either exist or don't, independent of any dir flush — so this
+// is a no-op; the OSFS implementation is where the dir fsync matters.
+func (m *MemFS) SyncDir(dir string) error { return nil }
 
 // OpenWrite implements FS.
 func (m *MemFS) OpenWrite(path string) (File, error) {

@@ -381,6 +381,13 @@ func (l *Log) rotateLocked() error {
 	if err != nil {
 		return fmt.Errorf("vlog: rotate: %w", err)
 	}
+	// The new file's directory entry must be durable before any record
+	// in it is acked: fsyncing only the file leaves a crash free to drop
+	// the file itself, silently losing the log tail.
+	if err := l.fs.SyncDir(l.cfg.Dir); err != nil {
+		_ = w.Close()
+		return fmt.Errorf("vlog: rotate: sync dir: %w", err)
+	}
 	l.writers[next] = w
 	l.active = next
 	l.activeOff = 0
@@ -435,19 +442,37 @@ func (l *Log) committer() {
 			}
 		}
 		l.mu.Lock()
+		wedged := l.wedged
 		dirty := l.dirty
 		l.dirty = make(map[uint32]File)
 		l.mu.Unlock()
 		var err error
-		for _, f := range dirty {
-			if e := f.Sync(); e != nil && err == nil {
-				err = fmt.Errorf("vlog: fsync: %w", e)
+		if wedged {
+			err = ErrWedged
+		} else {
+			for _, f := range dirty {
+				if e := f.Sync(); e != nil && err == nil {
+					err = fmt.Errorf("vlog: fsync: %w", e)
+				}
+			}
+			if err != nil {
+				// A failed fsync leaves the earlier batch's pages in an
+				// unknown state: the kernel may drop them after reporting
+				// the error, so a later successful fsync would ack records
+				// *behind* a possibly-torn predecessor — records replay
+				// would then truncate away. Wedge before releasing the
+				// batch so no subsequent append can be acked.
+				l.mu.Lock()
+				l.wedged = true
+				l.mu.Unlock()
 			}
 		}
-		l.statsMu.Lock()
-		l.stats.GroupCommits++
-		l.stats.SyncedAppends += uint64(len(batch))
-		l.statsMu.Unlock()
+		if err == nil {
+			l.statsMu.Lock()
+			l.stats.GroupCommits++
+			l.stats.SyncedAppends += uint64(len(batch))
+			l.statsMu.Unlock()
+		}
 		for _, r := range batch {
 			r.done <- err
 		}
@@ -467,16 +492,33 @@ func (l *Log) ReadAt(ptr Ptr) (Record, error) {
 	}
 	buf := make([]byte, ptr.Length)
 	if _, err := f.ReadAt(buf, int64(ptr.Offset)); err != nil {
+		// A concurrent RemoveSegment closes cached read handles; the
+		// failure then means "segment gone", not "record damaged", and
+		// callers holding a stale pointer should re-fetch it.
+		if !l.segmentLive(ptr.Segment) {
+			return Record{}, fmt.Errorf("%w: segment %d", ErrNotFound, ptr.Segment)
+		}
 		return Record{}, fmt.Errorf("%w: %v", ErrBadRecord, err)
 	}
 	rec, n, err := decodeRecord(buf)
 	if err != nil || n != int(ptr.Length) {
+		if !l.segmentLive(ptr.Segment) {
+			return Record{}, fmt.Errorf("%w: segment %d", ErrNotFound, ptr.Segment)
+		}
 		return Record{}, ErrBadRecord
 	}
 	l.statsMu.Lock()
 	l.stats.Reads++
 	l.statsMu.Unlock()
 	return rec, nil
+}
+
+// segmentLive reports whether segment id is still part of the log.
+func (l *Log) segmentLive(id uint32) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.segs[id]
+	return ok
 }
 
 // reader returns a cached read handle for segment id.
@@ -502,10 +544,17 @@ func (l *Log) MarkDead(ptr Ptr) {
 		return
 	}
 	l.mu.Lock()
-	if st, ok := l.segs[ptr.Segment]; ok {
+	st, ok := l.segs[ptr.Segment]
+	if ok {
 		st.dead += int64(ptr.Length)
 	}
 	l.mu.Unlock()
+	if !ok {
+		// The segment is already removed (GC finished first, or the
+		// pointer predates a crash that compacted it away): nothing left
+		// to account.
+		return
+	}
 	l.statsMu.Lock()
 	l.stats.DeadBytes += int64(ptr.Length)
 	l.statsMu.Unlock()
@@ -584,6 +633,9 @@ func (l *Log) RemoveSegment(id uint32) error {
 
 	if err := l.fs.Remove(l.segmentPath(id)); err != nil {
 		return fmt.Errorf("vlog: remove segment %d: %w", id, err)
+	}
+	if err := l.fs.SyncDir(l.cfg.Dir); err != nil {
+		return fmt.Errorf("vlog: remove segment %d: sync dir: %w", id, err)
 	}
 	l.statsMu.Lock()
 	l.stats.GCReclaimed += uint64(bytes)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -407,6 +408,128 @@ func TestIterateSegment(t *testing.T) {
 	}
 	if err := l.IterateSegment(99, func(Ptr, Record) error { return nil }); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("missing segment: %v", err)
+	}
+}
+
+// failSyncFS wraps MemFS so tests can make file fsyncs fail on demand:
+// the committer must wedge the log at the first failure.
+type failSyncFS struct {
+	*MemFS
+	fail atomic.Bool
+}
+
+func (f *failSyncFS) OpenWrite(path string) (File, error) {
+	h, err := f.MemFS.OpenWrite(path)
+	if err != nil {
+		return nil, err
+	}
+	return failSyncFile{File: h, fs: f}, nil
+}
+
+type failSyncFile struct {
+	File
+	fs *failSyncFS
+}
+
+func (h failSyncFile) Sync() error {
+	if h.fs.fail.Load() {
+		return errors.New("injected fsync failure")
+	}
+	return h.File.Sync()
+}
+
+func TestFsyncFailureWedgesLog(t *testing.T) {
+	fs := &failSyncFS{MemFS: NewMemFS(1)}
+	l, err := Open(Config{Dir: "/log", FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendOne(t, l, "ok", "m", "v", false)
+
+	fs.fail.Store(true)
+	if _, _, err := l.Append([]byte("lost"), []byte("v"), false, 1, func(Ptr, uint64) ([]byte, error) {
+		return []byte("m"), nil
+	}); err == nil {
+		t.Fatal("append whose fsync failed must not ack")
+	}
+	fs.fail.Store(false)
+	// The log must stay wedged even though the disk recovered: pages
+	// queued before the failed fsync may never reach disk, so a later
+	// acked append could sit behind a torn record and be truncated away
+	// by replay.
+	if _, _, err := l.Append([]byte("after"), []byte("v"), false, 1, func(Ptr, uint64) ([]byte, error) {
+		return []byte("m"), nil
+	}); !errors.Is(err, ErrWedged) {
+		t.Fatalf("append after failed fsync: got %v, want ErrWedged", err)
+	}
+}
+
+// errFile stands in for the read handle a concurrent RemoveSegment
+// closed while a ReadAt was in flight.
+type errFile struct{}
+
+func (errFile) ReadAt([]byte, int64) (int, error)  { return 0, errors.New("file already closed") }
+func (errFile) WriteAt([]byte, int64) (int, error) { return 0, errors.New("file already closed") }
+func (errFile) Sync() error                        { return errors.New("file already closed") }
+func (errFile) Close() error                       { return nil }
+func (errFile) Size() (int64, error)               { return 0, errors.New("file already closed") }
+
+func TestReadAtRemovedSegmentIsNotFound(t *testing.T) {
+	l, err := Open(Config{Dir: t.TempDir(), SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	p1, _ := appendOne(t, l, "a", "m", string(make([]byte, 64)), false)
+	appendOne(t, l, "b", "m", string(make([]byte, 64)), false) // rotation: seg 1 sealed
+	if err := l.RemoveSegment(p1.Segment); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the race: a reader that grabbed its cached handle just
+	// before RemoveSegment closed it.
+	l.readMu.Lock()
+	l.readers[p1.Segment] = errFile{}
+	l.readMu.Unlock()
+	if _, err := l.ReadAt(p1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("read through closed handle of removed segment: %v, want ErrNotFound", err)
+	}
+}
+
+// countSyncDirFS counts directory flushes so tests can pin where the
+// log reports directory-entry durability.
+type countSyncDirFS struct {
+	*MemFS
+	dirSyncs atomic.Int32
+}
+
+func (f *countSyncDirFS) SyncDir(dir string) error {
+	f.dirSyncs.Add(1)
+	return f.MemFS.SyncDir(dir)
+}
+
+func TestSegmentLifecycleSyncsDir(t *testing.T) {
+	fs := &countSyncDirFS{MemFS: NewMemFS(2)}
+	l, err := Open(Config{Dir: "/log", SegmentBytes: 64, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	p1, _ := appendOne(t, l, "a", "m", string(make([]byte, 64)), false)
+	if n := fs.dirSyncs.Load(); n < 1 {
+		t.Fatalf("creating the first segment issued %d dir syncs, want >= 1", n)
+	}
+	appendOne(t, l, "b", "m", string(make([]byte, 64)), false) // rotation
+	if n := fs.dirSyncs.Load(); n < 2 {
+		t.Fatalf("rotation issued %d dir syncs total, want >= 2", n)
+	}
+	l.MarkDead(p1)
+	before := fs.dirSyncs.Load()
+	if err := l.RemoveSegment(p1.Segment); err != nil {
+		t.Fatal(err)
+	}
+	if fs.dirSyncs.Load() <= before {
+		t.Fatal("segment removal did not sync the directory")
 	}
 }
 
