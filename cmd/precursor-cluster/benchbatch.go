@@ -1,0 +1,231 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"precursor"
+)
+
+// BatchBenchPoint is the -bench-batch result: the same small-value
+// workload driven once op-by-op and once as multi-op batch frames over
+// the same connections, so the speedup isolates what batching amortizes
+// (control seals, ring doorbells, reply polls) from raw server speed.
+type BatchBenchPoint struct {
+	Records   int `json:"records"`
+	ValueSize int `json:"value_size"`
+	BatchSize int `json:"batch_size"`
+	Clients   int `json:"clients"`
+
+	// Op-by-op pass: one seal + one doorbell + one reply per op.
+	UnbatchedKops  float64 `json:"unbatched_kops"`
+	UnbatchedP99us float64 `json:"unbatched_p99_us"`
+
+	// Batched pass: the identical ops in frames of BatchSize.
+	// BatchedP99us is per frame (BatchSize ops), not per op.
+	BatchedKops  float64 `json:"batched_kops"`
+	BatchedP99us float64 `json:"batched_p99_us"`
+
+	// Speedup is BatchedKops / UnbatchedKops; the CI gate requires it
+	// to reach SpeedupGate.
+	Speedup     float64 `json:"speedup"`
+	SpeedupGate float64 `json:"speedup_gate"`
+}
+
+// batchSpeedupGate is the acceptance bound -bench-batch -gate enforces:
+// batch frames must deliver at least this multiple of op-by-op
+// throughput on the small-value workload, or the run exits nonzero.
+const batchSpeedupGate = 1.5
+
+type batchBenchConfig struct {
+	benchConfig
+	batchSize int
+	gate      bool
+}
+
+// runBenchBatch measures multi-op batching end to end against one
+// server: a put+get pass op by op, then the identical pass as batch
+// frames, on the same pooled connections. With -gate the run fails
+// unless batching reaches batchSpeedupGate× unbatched throughput.
+func runBenchBatch(cfg batchBenchConfig) error {
+	if cfg.batchSize < 2 {
+		cfg.batchSize = 16
+	}
+	point := BatchBenchPoint{
+		Records: cfg.records, ValueSize: cfg.valueSize,
+		BatchSize: cfg.batchSize, Clients: cfg.clients,
+		SpeedupGate: batchSpeedupGate,
+	}
+
+	platform, err := precursor.NewPlatform()
+	if err != nil {
+		return err
+	}
+	svc, err := precursor.Serve("127.0.0.1:0", precursor.ServerConfig{
+		Workers: cfg.workers, Platform: platform,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	clients := cfg.clients
+	if clients < 1 {
+		clients = 1
+	}
+	conns := make([]*precursor.Client, clients)
+	for i := range conns {
+		c, err := precursor.Dial(svc.Addr(), precursor.DialConfig{
+			PlatformKey: platform.AttestationPublicKey(),
+			Measurement: svc.Server.Measurement(),
+			Timeout:     30 * time.Second,
+		})
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+
+	key := func(i int) string { return fmt.Sprintf("batch-bench-%06d", i) }
+	value := func(i int) []byte { return vlogBenchValue(key(i), cfg.valueSize) }
+
+	// Op-by-op pass: every record written then read back, one frame each.
+	uLat, uElapsed, err := batchBenchFan(clients, cfg.records, func(w, lo, hi int) ([]time.Duration, error) {
+		c := conns[w]
+		lats := make([]time.Duration, 0, 2*(hi-lo))
+		for i := lo; i < hi; i++ {
+			t0 := time.Now()
+			if err := c.Put(key(i), value(i)); err != nil {
+				return nil, fmt.Errorf("put %d: %w", i, err)
+			}
+			lats = append(lats, time.Since(t0))
+			t0 = time.Now()
+			got, err := c.Get(key(i))
+			if err != nil || !bytes.Equal(got, value(i)) {
+				return nil, fmt.Errorf("get %d: %v", i, err)
+			}
+			lats = append(lats, time.Since(t0))
+		}
+		return lats, nil
+	})
+	if err != nil {
+		return fmt.Errorf("unbatched pass: %w", err)
+	}
+	totalOps := 2 * cfg.records
+	point.UnbatchedKops = float64(totalOps) / uElapsed.Seconds() / 1e3
+	point.UnbatchedP99us = quantileUS(uLat, 0.99)
+
+	// Batched pass: the same put+get sequence in frames of batchSize.
+	bLat, bElapsed, err := batchBenchFan(clients, cfg.records, func(w, lo, hi int) ([]time.Duration, error) {
+		c := conns[w]
+		var lats []time.Duration
+		// Each frame covers one contiguous key range [base, base+len),
+		// so gets verify content exactly by index.
+		run := func(base int, ops []precursor.BatchOp) error {
+			t0 := time.Now()
+			results, err := c.Batch(ops)
+			if err != nil {
+				return err
+			}
+			lats = append(lats, time.Since(t0))
+			for j, r := range results {
+				if r.Err != nil {
+					return fmt.Errorf("op %d (%s): %w", j, ops[j].Key, r.Err)
+				}
+				if ops[j].Kind == precursor.BatchGet && !bytes.Equal(r.Value, value(base+j)) {
+					return fmt.Errorf("op %d (%s): value mismatch", j, ops[j].Key)
+				}
+			}
+			return nil
+		}
+		for base := lo; base < hi; base += cfg.batchSize {
+			end := base + cfg.batchSize
+			if end > hi {
+				end = hi
+			}
+			puts := make([]precursor.BatchOp, 0, end-base)
+			gets := make([]precursor.BatchOp, 0, end-base)
+			for i := base; i < end; i++ {
+				puts = append(puts, precursor.BatchOp{Kind: precursor.BatchPut, Key: key(i), Value: value(i)})
+				gets = append(gets, precursor.BatchOp{Kind: precursor.BatchGet, Key: key(i)})
+			}
+			if err := run(base, puts); err != nil {
+				return nil, err
+			}
+			if err := run(base, gets); err != nil {
+				return nil, err
+			}
+		}
+		return lats, nil
+	})
+	if err != nil {
+		return fmt.Errorf("batched pass: %w", err)
+	}
+	point.BatchedKops = float64(totalOps) / bElapsed.Seconds() / 1e3
+	point.BatchedP99us = quantileUS(bLat, 0.99)
+	if point.UnbatchedKops > 0 {
+		point.Speedup = point.BatchedKops / point.UnbatchedKops
+	}
+
+	fmt.Fprintf(cfg.out, "%-9s %-7s %-14s %-15s %-12s %-16s %-8s\n",
+		"records", "batch", "unbatch(kops)", "unbatch p99(µs)", "batch(kops)", "batch p99(µs)/fr", "speedup")
+	fmt.Fprintf(cfg.out, "%-9d %-7d %-14.1f %-15.1f %-12.1f %-16.1f %-8.2f\n",
+		point.Records, point.BatchSize, point.UnbatchedKops, point.UnbatchedP99us,
+		point.BatchedKops, point.BatchedP99us, point.Speedup)
+	if cfg.jsonPath != "" {
+		data, err := json.MarshalIndent(point, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.out, "wrote %s\n", cfg.jsonPath)
+	}
+	if cfg.gate && point.Speedup < batchSpeedupGate {
+		return fmt.Errorf("batch speedup %.2fx below the %.1fx gate", point.Speedup, batchSpeedupGate)
+	}
+	return nil
+}
+
+// batchBenchFan splits [0, records) into one contiguous range per
+// worker and runs them concurrently, returning pooled latencies and the
+// pass's wall time.
+func batchBenchFan(workers, records int, pass func(w, lo, hi int) ([]time.Duration, error)) ([]time.Duration, time.Duration, error) {
+	lats := make([][]time.Duration, workers)
+	errs := make([]error, workers)
+	per := (records + workers - 1) / workers
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > records {
+			hi = records
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			lats[w], errs[w] = pass(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	return all, elapsed, nil
+}

@@ -105,16 +105,19 @@ func main() {
 		vlogJSON = flag.String("vlog-json", "BENCH_vlog.json", "bench-vlog: write the datapoint to this JSON file (empty = stdout only)")
 		vlogDir  = flag.String("vlog-dir", "", "bench-vlog: directory for the value log (empty = fresh temp dir, removed after)")
 		vlogMax  = flag.Int("vlog-inline-max", 0, "bench-vlog: inline threshold in bytes (0 = half the value size, so every value spills)")
+		benchBat = flag.Bool("bench-batch", false, "run the multi-op batching benchmark: op-by-op vs batch frames on one server")
+		batSize  = flag.Int("batch-size", 16, "bench-batch: ops per batch frame")
+		batJSON  = flag.String("batch-json", "BENCH_batch.json", "bench-batch: write the datapoint to this JSON file (empty = stdout only)")
 	)
 	flag.Parse()
 	modes := 0
-	for _, on := range []bool{*serve, *bench, *benchRep, *top, *benchObs, *benchVl} {
+	for _, on := range []bool{*serve, *bench, *benchRep, *top, *benchObs, *benchVl, *benchBat} {
 		if on {
 			modes++
 		}
 	}
 	if modes != 1 {
-		fmt.Fprintln(os.Stderr, "precursor-cluster: pass exactly one of -serve, -bench, -bench-replication, -top, -bench-obs or -bench-vlog")
+		fmt.Fprintln(os.Stderr, "precursor-cluster: pass exactly one of -serve, -bench, -bench-replication, -top, -bench-obs, -bench-vlog or -bench-batch")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -144,6 +147,16 @@ func main() {
 				jsonPath: *vlogJSON, out: os.Stdout,
 			},
 			dir: *vlogDir, inlineMax: *vlogMax, gate: *obsGate,
+		})
+	case *benchBat:
+		err = runBenchBatch(batchBenchConfig{
+			benchConfig: benchConfig{
+				shardCounts: *shards, workers: *workers, conns: *conns,
+				records: *records, valueSize: *valsize, clients: *clients,
+				opsPerClient: *ops, workload: *workload, seed: *seed,
+				jsonPath: *batJSON, out: os.Stdout,
+			},
+			batchSize: *batSize, gate: *obsGate,
 		})
 	case *benchRep:
 		err = runBenchReplication(replBenchConfig{

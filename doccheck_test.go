@@ -123,3 +123,45 @@ func TestDocsCoverDurableTier(t *testing.T) {
 		}
 	}
 }
+
+// TestDocsCoverBatching pins the documentation for multi-op batch
+// frames: the wire-format section, the user-facing quickstart and
+// bench flag, and the observability stages/metric families. A rename
+// in code without the matching doc update fails here.
+func TestDocsCoverBatching(t *testing.T) {
+	for _, tc := range []struct {
+		file    string
+		phrases []string
+	}{
+		{"PROTOCOL.md", []string{
+			"Batch frames (multi-op)",
+			"burns the oid",
+			"per-op results",
+			"ErrUnconfirmed",
+		}},
+		{"README.md", []string{
+			"-bench-batch",
+			"BENCH_batch.json",
+			"BatchAsync",
+			"precursor.BatchOp",
+		}},
+		{"OBSERVABILITY.md", []string{
+			"cli_batch",
+			"srv_batch",
+			"precursor_batches_total",
+			"precursor_batched_ops_total",
+		}},
+	} {
+		data, err := os.ReadFile(tc.file)
+		if err != nil {
+			t.Errorf("read %s: %v", tc.file, err)
+			continue
+		}
+		text := string(data)
+		for _, phrase := range tc.phrases {
+			if !strings.Contains(text, phrase) {
+				t.Errorf("%s: missing %q", tc.file, phrase)
+			}
+		}
+	}
+}

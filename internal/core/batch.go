@@ -1,0 +1,523 @@
+package core
+
+// Client-side multi-op batching: N operations ride one sealed control
+// blob and one ring doorbell (wire.OpBatch), amortizing the per-op
+// AEAD seal/verify and doorbell cost that dominates small-value
+// workloads. The synchronous Batch waits for the single sealed reply;
+// BatchAsync pipelines — several batches may be in flight per
+// connection, each resolved by oid when its authenticated reply
+// arrives, which is also why reply matching is a map rather than the
+// single-op path's one-oid comparison: the server's sender pool may
+// reorder same-session replies.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"precursor/internal/cryptox"
+	"precursor/internal/obs"
+	"precursor/internal/ringbuf"
+	"precursor/internal/wire"
+)
+
+// BatchOpKind selects the operation a BatchOp performs.
+type BatchOpKind uint8
+
+// Batch operation kinds.
+const (
+	// BatchPut stores Value under Key.
+	BatchPut BatchOpKind = iota + 1
+	// BatchGet fetches Key's value into the op's BatchResult.
+	BatchGet
+	// BatchDelete removes Key.
+	BatchDelete
+)
+
+// BatchOp is one operation inside a client batch.
+type BatchOp struct {
+	// Kind selects put, get or delete.
+	Kind BatchOpKind
+	// Key is the operation's key (required).
+	Key string
+	// Value is the value to store (BatchPut only).
+	Value []byte
+}
+
+// BatchResult is one op's outcome. Batch outcomes are per-op: a batch
+// that reaches the server is applied op by op, and each op's fate —
+// including ErrUnconfirmed attribution for writes on timeout — lands in
+// its own slot.
+type BatchResult struct {
+	// Value is the fetched value (successful BatchGet only).
+	Value []byte
+	// Err is the op's outcome: nil on success, ErrNotFound, or — for
+	// writes whose fate is unknown — the causal error joined with
+	// ErrUnconfirmed, mirroring single-op semantics.
+	Err error
+}
+
+// BatchFuture is a pipelined batch's pending result, returned by
+// BatchAsync. Wait blocks (driving the connection's poll loop) until
+// the batch's sealed reply arrives or the deadline passes. A future is
+// tied to the client that issued it and shares its serialization: Wait
+// and other client operations may be called from different goroutines.
+type BatchFuture struct {
+	c        *Client
+	oid      uint64
+	kinds    []BatchOpKind
+	results  []BatchResult
+	op       *obs.Op
+	sendEnd  int64
+	deadline time.Time
+	done     bool
+	err      error
+}
+
+// maxPipelined bounds the batches one connection may have in flight at
+// once — enough to keep the ring busy, small enough that a stalled
+// server cannot strand unbounded client state.
+const maxPipelined = 16
+
+// Batch executes ops as one frame — one oid, one control seal, one
+// ring doorbell — and returns per-op results in request order. The
+// returned error is batch-level (validation, transport, timeout);
+// per-op outcomes, including partial failures, are in the results. On
+// a batch-level error after the frame was sent, write ops additionally
+// carry ErrUnconfirmed in their slots.
+func (c *Client) Batch(ops []BatchOp) ([]BatchResult, error) {
+	f, err := c.BatchAsync(ops)
+	if err != nil {
+		return nil, err
+	}
+	return f.Wait()
+}
+
+// PutBatch stores values[i] under keys[i] as one batch frame.
+func (c *Client) PutBatch(keys []string, values [][]byte) ([]BatchResult, error) {
+	if len(keys) != len(values) {
+		return nil, fmt.Errorf("%w: %d keys, %d values", ErrTooLarge, len(keys), len(values))
+	}
+	ops := make([]BatchOp, len(keys))
+	for i := range keys {
+		ops[i] = BatchOp{Kind: BatchPut, Key: keys[i], Value: values[i]}
+	}
+	return c.Batch(ops)
+}
+
+// GetBatch fetches keys as one batch frame; results[i].Value holds
+// keys[i]'s value on success.
+func (c *Client) GetBatch(keys []string) ([]BatchResult, error) {
+	ops := make([]BatchOp, len(keys))
+	for i := range keys {
+		ops[i] = BatchOp{Kind: BatchGet, Key: keys[i]}
+	}
+	return c.Batch(ops)
+}
+
+// DeleteBatch removes keys as one batch frame.
+func (c *Client) DeleteBatch(keys []string) ([]BatchResult, error) {
+	ops := make([]BatchOp, len(keys))
+	for i := range keys {
+		ops[i] = BatchOp{Kind: BatchDelete, Key: keys[i]}
+	}
+	return c.Batch(ops)
+}
+
+// BatchAsync sends ops as one frame and returns immediately with a
+// future; up to maxPipelined batches may be in flight per connection.
+// The frame is sent (with credit wait) before BatchAsync returns, so a
+// nil-error return means the request is on the wire.
+func (c *Client) BatchAsync(ops []BatchOp) (*BatchFuture, error) {
+	if len(ops) == 0 || len(ops) > wire.MaxBatchOps {
+		return nil, fmt.Errorf("%w: batch of %d ops (1..%d)", ErrTooLarge, len(ops), wire.MaxBatchOps)
+	}
+	for i := range ops {
+		op := &ops[i]
+		if op.Kind != BatchPut && op.Kind != BatchGet && op.Kind != BatchDelete {
+			return nil, fmt.Errorf("precursor: batch op %d has invalid kind %d", i, op.Kind)
+		}
+		if len(op.Key) == 0 || len(op.Key) > wire.MaxKeyLen {
+			return nil, fmt.Errorf("%w: op %d key", ErrTooLarge, i)
+		}
+		if op.Kind == BatchPut && len(op.Value) > wire.MaxValueLen {
+			return nil, fmt.Errorf("%w: op %d value", ErrTooLarge, i)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if len(c.inflight) >= maxPipelined {
+		// Drain the oldest reply before admitting more pipelined state.
+		if err := c.waitAnyLocked(); err != nil {
+			return nil, err
+		}
+	}
+	return c.startBatchLocked(ops)
+}
+
+// startBatchLocked assembles, seals and sends one batch frame. Called
+// with mu held. Scratch buffers on the client are reused across
+// batches, so steady-state assembly of inline-value batches costs no
+// codec allocations (the AEAD nonce/seal and per-put payload
+// encryption are the remaining cryptographic costs).
+func (c *Client) startBatchLocked(ops []BatchOp) (*BatchFuture, error) {
+	var op *obs.Op
+	if tr := c.cfg.Tracer; tr != nil {
+		op = tr.Start(int(c.id), "batch")
+		op.SetClient(c.id)
+	}
+	t0 := op.Now()
+	c.oid++
+	c.bctl.Oid = c.oid
+	c.bctl.Ops = c.bctl.Ops[:0]
+	c.payloadBuf = c.payloadBuf[:0]
+	if cap(c.opKeys) < len(ops) {
+		c.opKeys = make([]cryptox.OperationKey, len(ops))
+	}
+	c.opKeys = c.opKeys[:len(ops)]
+
+	kinds := make([]BatchOpKind, len(ops))
+	for i := range ops {
+		bop := wire.BatchOp{Key: []byte(ops[i].Key)}
+		kinds[i] = ops[i].Kind
+		switch ops[i].Kind {
+		case BatchPut:
+			bop.Op = wire.OpPut
+			if c.cfg.InlineSmallValues && len(ops[i].Value) < c.cfg.InlineMax {
+				bop.Flags = wire.FlagInlineValue
+				bop.InlineValue = ops[i].Value
+			} else {
+				opKey, err := cryptox.NewOperationKey()
+				if err != nil {
+					op.SetError(err)
+					op.Finish()
+					return nil, err
+				}
+				payload, mac, err := cryptox.EncryptPayload(opKey, ops[i].Value)
+				if err != nil {
+					op.SetError(err)
+					op.Finish()
+					return nil, err
+				}
+				c.opKeys[i] = opKey
+				bop.OpKey = c.opKeys[i][:]
+				bop.PayloadLen = uint32(len(payload) + len(mac))
+				c.payloadBuf = append(c.payloadBuf, payload...)
+				c.payloadBuf = append(c.payloadBuf, mac...)
+			}
+		case BatchGet:
+			bop.Op = wire.OpGet
+		case BatchDelete:
+			bop.Op = wire.OpDelete
+		}
+		c.bctl.Ops = append(c.bctl.Ops, bop)
+	}
+
+	var err error
+	c.ctlBuf, err = wire.AppendBatchControl(c.ctlBuf[:0], &c.bctl)
+	if err != nil {
+		op.SetError(err)
+		op.Finish()
+		return nil, err
+	}
+	c.sealedBuf, err = c.aead.SealAppend(c.sealedBuf[:0], c.ctlBuf, c.ad[:])
+	if err != nil {
+		op.SetError(err)
+		op.Finish()
+		return nil, err
+	}
+	breq := wire.BatchRequest{
+		ClientID:      c.id,
+		Count:         len(ops),
+		SealedControl: c.sealedBuf,
+		Payload:       c.payloadBuf,
+	}
+	c.frameBuf, err = breq.AppendTo(c.frameBuf[:0])
+	if err != nil {
+		op.SetError(err)
+		op.Finish()
+		return nil, err
+	}
+	if len(c.frameBuf) > c.reqWriter.MaxMessage() {
+		op.SetError(ErrTooLarge)
+		op.Finish()
+		return nil, fmt.Errorf("%w: batch frame of %d bytes exceeds ring slot (%d)",
+			ErrTooLarge, len(c.frameBuf), c.reqWriter.MaxMessage())
+	}
+	t0 = op.SpanEnd(obs.CliBatch, t0)
+
+	deadline := time.Now().Add(c.cfg.Timeout)
+	waitStart, writeStart := t0, t0
+	for {
+		// The ring writer copies the frame before returning, so the
+		// client's scratch buffers are free for the next batch.
+		ok, werr := c.reqWriter.TryWrite(c.frameBuf)
+		if werr != nil {
+			err := fmt.Errorf("%w: %v", ErrClosed, werr)
+			op.SetError(err)
+			op.Finish()
+			return nil, err
+		}
+		if ok {
+			op.SpanAt(obs.CliCreditWait, waitStart, writeStart)
+			t0 = op.SpanEnd(obs.CliRingWrite, writeStart)
+			break
+		}
+		if time.Now().After(deadline) {
+			// Never entered the ring: nothing was sent, nothing is
+			// unconfirmed.
+			op.SetError(ErrTimeout)
+			op.Finish()
+			return nil, ErrTimeout
+		}
+		time.Sleep(2 * time.Microsecond)
+		writeStart = op.Now()
+	}
+
+	f := &BatchFuture{
+		c:        c,
+		oid:      c.oid,
+		kinds:    kinds,
+		results:  make([]BatchResult, len(ops)),
+		op:       op,
+		sendEnd:  t0,
+		deadline: deadline,
+	}
+	if c.inflight == nil {
+		c.inflight = make(map[uint64]*BatchFuture)
+	}
+	c.inflight[f.oid] = f
+	c.batches++
+	c.batchedOps += uint64(len(ops))
+	return f, nil
+}
+
+// Wait blocks until the batch's reply arrives or its deadline passes,
+// then returns the per-op results. On timeout, write ops (put/delete)
+// resolve with ErrTimeout joined with ErrUnconfirmed — the frame was
+// on the wire and may have been applied — while reads resolve with
+// plain ErrTimeout; the batch-level error is ErrTimeout. Wait is
+// idempotent: later calls return the resolved results.
+func (f *BatchFuture) Wait() ([]BatchResult, error) {
+	c := f.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for !f.done {
+		if c.closed {
+			f.resolveFailureLocked(ErrClosed)
+			break
+		}
+		if time.Now().After(f.deadline) {
+			f.resolveFailureLocked(ErrTimeout)
+			break
+		}
+		if err := c.pollOnceLocked(); err != nil {
+			f.resolveFailureLocked(err)
+			break
+		}
+	}
+	return f.results, f.err
+}
+
+// Err returns the batch-level error after Wait resolved the future
+// (nil while pending or on success).
+func (f *BatchFuture) Err() error {
+	f.c.mu.Lock()
+	defer f.c.mu.Unlock()
+	return f.err
+}
+
+// waitAnyLocked drives the poll loop until any inflight batch
+// resolves, the earliest deadline passes, or the connection dies.
+// Called with mu held.
+func (c *Client) waitAnyLocked() error {
+	var oldest *BatchFuture
+	for _, f := range c.inflight {
+		if oldest == nil || f.oid < oldest.oid {
+			oldest = f
+		}
+	}
+	if oldest == nil {
+		return nil
+	}
+	before := len(c.inflight)
+	for len(c.inflight) >= before {
+		if time.Now().After(oldest.deadline) {
+			oldest.resolveFailureLocked(ErrTimeout)
+			return nil
+		}
+		if err := c.pollOnceLocked(); err != nil {
+			oldest.resolveFailureLocked(err)
+			return nil
+		}
+	}
+	return nil
+}
+
+// pollOnceLocked polls the response ring once, dispatching whatever
+// authenticated frame arrives (batch replies resolve their futures;
+// single-op frames with no waiter are counted stale). It sleeps
+// briefly when the ring is empty. Only transport-fatal errors are
+// returned. Called with mu held.
+func (c *Client) pollOnceLocked() error {
+	msg, ready, err := c.respReader.PollInto(c.pollBuf)
+	c.pollBuf = msg[:cap(msg)]
+	if err != nil {
+		if errors.Is(err, ringbuf.ErrCorrupt) {
+			c.badFrames++
+			return nil
+		}
+		return fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	if !ready {
+		time.Sleep(2 * time.Microsecond)
+		return nil
+	}
+	resp, err := wire.DecodeResponse(msg)
+	if err != nil {
+		c.badFrames++
+		return nil
+	}
+	if len(resp.SealedControl) == 0 {
+		c.unauthStatuses++
+		return nil
+	}
+	rcPt, err := c.aead.Open(resp.SealedControl, c.ad[:])
+	if err != nil {
+		c.badFrames++
+		return nil
+	}
+	if wire.IsBatchReply(rcPt) {
+		c.resolveBatchReplyLocked(rcPt, resp.Payload)
+		return nil
+	}
+	// An authenticated single-op frame with no single op in flight: a
+	// duplicated or very late delivery.
+	c.staleFrames++
+	return nil
+}
+
+// resolveBatchReplyLocked matches an authenticated batch reply to its
+// inflight future and fills per-op results. Unmatched oids count as
+// stale; malformed-but-authenticated replies resolve the future with
+// ErrBadResponse. Called with mu held.
+func (c *Client) resolveBatchReplyLocked(pt, payload []byte) {
+	if err := wire.DecodeBatchReply(pt, &c.brep); err != nil {
+		c.badFrames++
+		return
+	}
+	f := c.inflight[c.brep.Oid]
+	if f == nil || f.done {
+		c.staleFrames++
+		return
+	}
+	if c.brep.Flags&wire.FlagReplay != 0 {
+		// The server saw this oid twice (a duplicated in-flight frame);
+		// the copy that answered first decided the ops, so this copy's
+		// fate is unknown exactly like a single-op replay.
+		f.resolveFailureLocked(ErrReplay)
+		return
+	}
+	if len(c.brep.Results) != len(f.kinds) ||
+		c.brep.ValidateReplyExtents(len(payload)) != nil {
+		f.resolveFailureLocked(ErrBadResponse)
+		return
+	}
+	off := 0
+	for i := range c.brep.Results {
+		res := &c.brep.Results[i]
+		seg := payload[off : off+int(res.PayloadLen)]
+		off += int(res.PayloadLen)
+		f.results[i] = c.batchOpResult(f.kinds[i], res, seg)
+	}
+	f.finishLocked(nil)
+}
+
+// batchOpResult converts one sealed per-op result into the client-side
+// outcome, decrypting get payloads. seg aliases the poll buffer, so
+// values are copied or decrypted before returning.
+func (c *Client) batchOpResult(kind BatchOpKind, res *wire.BatchOpResult, seg []byte) BatchResult {
+	switch res.Status {
+	case wire.StatusOK:
+	case wire.StatusNotFound:
+		return BatchResult{Err: ErrNotFound}
+	case wire.StatusBadRequest:
+		return BatchResult{Err: ErrBadResponse}
+	default:
+		return BatchResult{Err: fmt.Errorf("%w: server status %v", ErrBadResponse, res.Status)}
+	}
+	if res.Flags&wire.FlagNotFound != 0 {
+		return BatchResult{Err: ErrNotFound}
+	}
+	if kind != BatchGet {
+		return BatchResult{}
+	}
+	if res.Flags&wire.FlagInlineValue != 0 {
+		return BatchResult{Value: append([]byte(nil), res.InlineValue...)}
+	}
+	if len(res.OpKey) != wire.OpKeySize {
+		return BatchResult{Err: ErrBadResponse}
+	}
+	var opKey cryptox.OperationKey
+	copy(opKey[:], res.OpKey)
+	ciphertext := seg
+	mac := res.PayloadMAC
+	if mac == nil {
+		if len(seg) < wire.MACSize {
+			return BatchResult{Err: ErrBadResponse}
+		}
+		ciphertext = seg[:len(seg)-wire.MACSize]
+		mac = seg[len(seg)-wire.MACSize:]
+	}
+	value, err := cryptox.DecryptPayload(opKey, ciphertext, mac)
+	if err != nil {
+		c.integrityFailures++
+		return BatchResult{Err: fmt.Errorf("%w: %v", ErrIntegrity, err)}
+	}
+	return BatchResult{Value: value}
+}
+
+// resolveFailureLocked resolves every op of a failed batch with
+// per-op attribution: the frame was sent, so writes carry
+// ErrUnconfirmed joined onto the cause while reads get the cause
+// alone. ErrBadResponse joins too — a malformed-but-authenticated
+// reply leaves write fates unknown (unlike a per-op StatusBadRequest,
+// which is a definitive pre-apply rejection and stays plain). Called
+// with mu held.
+func (f *BatchFuture) resolveFailureLocked(cause error) {
+	unconfirmed := writeOutcome(cause)
+	if errors.Is(cause, ErrBadResponse) {
+		unconfirmed = fmt.Errorf("%w; %w", cause, ErrUnconfirmed)
+	}
+	for i, k := range f.kinds {
+		if k == BatchGet {
+			f.results[i] = BatchResult{Err: cause}
+		} else {
+			f.results[i] = BatchResult{Err: unconfirmed}
+		}
+	}
+	f.finishLocked(cause)
+}
+
+// finishLocked marks the future resolved, removes it from the inflight
+// map and closes its trace. Called with mu held.
+func (f *BatchFuture) finishLocked(err error) {
+	f.done = true
+	f.err = err
+	delete(f.c.inflight, f.oid)
+	if f.op != nil {
+		f.op.Span(obs.CliRespWait, f.sendEnd)
+		f.op.SetOid(f.oid)
+		if err != nil {
+			f.op.SetError(err)
+			if errors.Is(err, ErrUnconfirmed) || errors.Is(err, ErrTimeout) || errors.Is(err, ErrReplay) {
+				f.op.MarkUnconfirmed()
+			}
+		}
+		f.op.Finish()
+		f.op = nil
+	}
+}

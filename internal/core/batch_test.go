@@ -1,0 +1,349 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// batchModes runs a subtest under each server storage mode the batch
+// path has a distinct branch for.
+func batchModes(t *testing.T, fn func(t *testing.T, tc *testCluster, c *Client)) {
+	t.Helper()
+	modes := []struct {
+		name string
+		cfg  ServerConfig
+		opt  func(*ClientConfig)
+	}{
+		{"base", ServerConfig{}, func(*ClientConfig) {}},
+		{"hardened", ServerConfig{HardenedMACs: true}, func(*ClientConfig) {}},
+		{"inline", ServerConfig{InlineSmallValues: true},
+			func(cfg *ClientConfig) { cfg.InlineSmallValues = true }},
+	}
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			tc := newCluster(t, m.cfg)
+			fn(t, tc, tc.connect(m.opt))
+		})
+	}
+	t.Run("vlog", func(t *testing.T) {
+		tc := newCluster(t, ServerConfig{DataDir: t.TempDir()})
+		fn(t, tc, tc.connect(func(*ClientConfig) {}))
+	})
+}
+
+func TestBatchPutGetDeleteRoundTrip(t *testing.T) {
+	batchModes(t, func(t *testing.T, tc *testCluster, c *Client) {
+		keys := make([]string, 20)
+		values := make([][]byte, 20)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("batch-key-%d", i)
+			values[i] = bytes.Repeat([]byte{byte(i + 1)}, 10+i*13)
+		}
+		results, err := c.PutBatch(keys, values)
+		if err != nil {
+			t.Fatalf("PutBatch: %v", err)
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("put %d: %v", i, r.Err)
+			}
+		}
+		results, err = c.GetBatch(keys)
+		if err != nil {
+			t.Fatalf("GetBatch: %v", err)
+		}
+		for i, r := range results {
+			if r.Err != nil || !bytes.Equal(r.Value, values[i]) {
+				t.Fatalf("get %d: err=%v len=%d want %d", i, r.Err, len(r.Value), len(values[i]))
+			}
+		}
+		results, err = c.DeleteBatch(keys[:10])
+		if err != nil {
+			t.Fatalf("DeleteBatch: %v", err)
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("delete %d: %v", i, r.Err)
+			}
+		}
+		results, err = c.GetBatch(keys)
+		if err != nil {
+			t.Fatalf("GetBatch after delete: %v", err)
+		}
+		for i, r := range results {
+			if i < 10 {
+				if !errors.Is(r.Err, ErrNotFound) {
+					t.Fatalf("deleted key %d: want ErrNotFound, got %v", i, r.Err)
+				}
+			} else if r.Err != nil || !bytes.Equal(r.Value, values[i]) {
+				t.Fatalf("surviving key %d: %v", i, r.Err)
+			}
+		}
+	})
+}
+
+func TestBatchMixedOpsAndStatuses(t *testing.T) {
+	tc := newCluster(t, ServerConfig{})
+	c := tc.connect()
+	if err := c.Put("exists", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	results, err := c.Batch([]BatchOp{
+		{Kind: BatchPut, Key: "exists", Value: []byte("new")},
+		{Kind: BatchGet, Key: "exists"},
+		{Kind: BatchGet, Key: "missing"},
+		{Kind: BatchDelete, Key: "missing"},
+		{Kind: BatchPut, Key: "fresh", Value: []byte("v")},
+		{Kind: BatchDelete, Key: "fresh"},
+		{Kind: BatchGet, Key: "fresh"},
+	})
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	if results[0].Err != nil {
+		t.Errorf("overwrite put: %v", results[0].Err)
+	}
+	// Ops apply in order, so the get at index 1 observes the put at 0.
+	if results[1].Err != nil || !bytes.Equal(results[1].Value, []byte("new")) {
+		t.Errorf("ordered get: %q, %v", results[1].Value, results[1].Err)
+	}
+	if !errors.Is(results[2].Err, ErrNotFound) {
+		t.Errorf("missing get: %v", results[2].Err)
+	}
+	if !errors.Is(results[3].Err, ErrNotFound) {
+		t.Errorf("missing delete: %v", results[3].Err)
+	}
+	if results[4].Err != nil || results[5].Err != nil {
+		t.Errorf("fresh put/delete: %v, %v", results[4].Err, results[5].Err)
+	}
+	if !errors.Is(results[6].Err, ErrNotFound) {
+		t.Errorf("get after in-batch delete: %v", results[6].Err)
+	}
+}
+
+func TestBatchPipelined(t *testing.T) {
+	tc := newCluster(t, ServerConfig{})
+	c := tc.connect()
+	const pipelined = 8
+	futures := make([]*BatchFuture, pipelined)
+	for b := 0; b < pipelined; b++ {
+		ops := make([]BatchOp, 4)
+		for i := range ops {
+			ops[i] = BatchOp{
+				Kind:  BatchPut,
+				Key:   fmt.Sprintf("pipe-%d-%d", b, i),
+				Value: []byte(fmt.Sprintf("value-%d-%d", b, i)),
+			}
+		}
+		f, err := c.BatchAsync(ops)
+		if err != nil {
+			t.Fatalf("BatchAsync %d: %v", b, err)
+		}
+		futures[b] = f
+	}
+	// Waiting in reverse order exercises out-of-order resolution: later
+	// futures' replies arrive while earlier ones are still registered.
+	for b := pipelined - 1; b >= 0; b-- {
+		results, err := futures[b].Wait()
+		if err != nil {
+			t.Fatalf("Wait %d: %v", b, err)
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("batch %d op %d: %v", b, i, r.Err)
+			}
+		}
+	}
+	for b := 0; b < pipelined; b++ {
+		for i := 0; i < 4; i++ {
+			v, err := c.Get(fmt.Sprintf("pipe-%d-%d", b, i))
+			if err != nil || !bytes.Equal(v, []byte(fmt.Sprintf("value-%d-%d", b, i))) {
+				t.Fatalf("pipe-%d-%d: %q, %v", b, i, v, err)
+			}
+		}
+	}
+	st := c.StatsStruct()
+	if st.Batches != pipelined || st.BatchedOps != pipelined*4 {
+		t.Errorf("client batch counters: %d/%d, want %d/%d",
+			st.Batches, st.BatchedOps, pipelined, pipelined*4)
+	}
+	ss := tc.server.Stats()
+	if ss.Batches != pipelined || ss.BatchedOps != pipelined*4 {
+		t.Errorf("server batch counters: %d/%d", ss.Batches, ss.BatchedOps)
+	}
+}
+
+func TestBatchInterleavedWithSingleOps(t *testing.T) {
+	tc := newCluster(t, ServerConfig{})
+	c := tc.connect()
+	f, err := c.BatchAsync([]BatchOp{
+		{Kind: BatchPut, Key: "async-a", Value: []byte("1")},
+		{Kind: BatchPut, Key: "async-b", Value: []byte("2")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single ops while the batch is in flight: the single-op poll loop
+	// must dispatch the batch's reply to its future rather than dropping
+	// or misattributing it.
+	if err := c.Put("single", []byte("s")); err != nil {
+		t.Fatalf("interleaved Put: %v", err)
+	}
+	v, err := c.Get("single")
+	if err != nil || !bytes.Equal(v, []byte("s")) {
+		t.Fatalf("interleaved Get: %q, %v", v, err)
+	}
+	results, err := f.Wait()
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("batch op %d: %v", i, r.Err)
+		}
+	}
+	if v, err := c.Get("async-a"); err != nil || !bytes.Equal(v, []byte("1")) {
+		t.Fatalf("async-a: %q, %v", v, err)
+	}
+}
+
+func TestBatchReplayRejectedPerOp(t *testing.T) {
+	tc := newCluster(t, ServerConfig{})
+	c := tc.connect()
+	if _, err := c.PutBatch([]string{"r1"}, [][]byte{[]byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	// Force an oid reuse: the server must reject the whole batch with a
+	// sealed replay notice, and the client must surface it per-op — for
+	// writes joined with ErrUnconfirmed (the first frame with this oid
+	// may have been the one applied).
+	c.mu.Lock()
+	c.oid -= 2
+	c.mu.Unlock()
+	results, err := c.Batch([]BatchOp{
+		{Kind: BatchPut, Key: "r2", Value: []byte("w")},
+		{Kind: BatchGet, Key: "r1"},
+	})
+	if !errors.Is(err, ErrReplay) {
+		t.Fatalf("batch-level error: %v, want ErrReplay", err)
+	}
+	if !errors.Is(results[0].Err, ErrReplay) || !errors.Is(results[0].Err, ErrUnconfirmed) {
+		t.Errorf("write op: %v, want ErrReplay+ErrUnconfirmed", results[0].Err)
+	}
+	if !errors.Is(results[1].Err, ErrReplay) || errors.Is(results[1].Err, ErrUnconfirmed) {
+		t.Errorf("read op: %v, want plain ErrReplay", results[1].Err)
+	}
+	// A fresh oid works again.
+	c.mu.Lock()
+	c.oid += 2
+	c.mu.Unlock()
+	if _, err := c.GetBatch([]string{"r1"}); err != nil {
+		t.Fatalf("post-replay batch: %v", err)
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	tc := newCluster(t, ServerConfig{})
+	c := tc.connect()
+	if _, err := c.Batch(nil); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("empty batch: %v", err)
+	}
+	big := make([]BatchOp, 200)
+	for i := range big {
+		big[i] = BatchOp{Kind: BatchGet, Key: "k"}
+	}
+	if _, err := c.Batch(big); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized batch: %v", err)
+	}
+	if _, err := c.Batch([]BatchOp{{Kind: BatchGet, Key: ""}}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("empty key: %v", err)
+	}
+	if _, err := c.Batch([]BatchOp{{Kind: 0, Key: "k"}}); err == nil {
+		t.Error("invalid kind accepted")
+	}
+	if _, err := c.PutBatch([]string{"a", "b"}, [][]byte{[]byte("1")}); err == nil {
+		t.Error("mismatched PutBatch lengths accepted")
+	}
+	// A batch whose assembled frame exceeds the ring slot fails before
+	// sending — no partial application.
+	huge := make([]BatchOp, 4)
+	for i := range huge {
+		huge[i] = BatchOp{Kind: BatchPut, Key: fmt.Sprintf("h%d", i),
+			Value: bytes.Repeat([]byte{1}, 8*1024)}
+	}
+	if _, err := c.Batch(huge); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("frame-oversized batch: %v", err)
+	}
+	if _, err := c.GetBatch([]string{"h0"}); err != nil {
+		t.Fatalf("client unusable after rejected batch: %v", err)
+	}
+}
+
+func TestBatchOversizedReplyStripsGets(t *testing.T) {
+	tc := newCluster(t, ServerConfig{})
+	c := tc.connect()
+	// Individually-put values that together exceed one response slot:
+	// the server must strip the get payloads rather than drop or split
+	// the reply, reporting those gets as server errors while keeping the
+	// interleaved write results intact.
+	keys := make([]string, 8)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("wide-%d", i)
+		if err := c.Put(keys[i], bytes.Repeat([]byte{byte(i)}, 4*1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ops := make([]BatchOp, 0, len(keys)+1)
+	for _, k := range keys {
+		ops = append(ops, BatchOp{Kind: BatchGet, Key: k})
+	}
+	ops = append(ops, BatchOp{Kind: BatchPut, Key: "tiny", Value: []byte("t")})
+	results, err := c.Batch(ops)
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	stripped := 0
+	for i := 0; i < len(keys); i++ {
+		if results[i].Err != nil {
+			stripped++
+		}
+	}
+	if stripped == 0 {
+		t.Error("no gets stripped from an oversized reply")
+	}
+	if results[len(keys)].Err != nil {
+		t.Errorf("write result lost in oversized reply: %v", results[len(keys)].Err)
+	}
+	if v, err := c.Get("tiny"); err != nil || !bytes.Equal(v, []byte("t")) {
+		t.Errorf("write not applied: %q, %v", v, err)
+	}
+}
+
+func TestBatchOwnerOnlyAccessControl(t *testing.T) {
+	tc := newCluster(t, ServerConfig{})
+	tc.server.SetOwnerOnly(true)
+	owner := tc.connect()
+	other := tc.connect()
+	if _, err := owner.PutBatch([]string{"mine"}, [][]byte{[]byte("secret")}); err != nil {
+		t.Fatal(err)
+	}
+	results, err := other.GetBatch([]string{"mine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(results[0].Err, ErrNotFound) {
+		t.Errorf("foreign batch get: %v, want ErrNotFound (pretend absence)", results[0].Err)
+	}
+	results, err = other.DeleteBatch([]string{"mine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(results[0].Err, ErrNotFound) {
+		t.Errorf("foreign batch delete: %v", results[0].Err)
+	}
+	if got, err := owner.Get("mine"); err != nil || !bytes.Equal(got, []byte("secret")) {
+		t.Errorf("owner's key damaged: %q, %v", got, err)
+	}
+}

@@ -108,8 +108,22 @@ type Client struct {
 	// a client runs one operation at a time.
 	curOp *obs.Op
 
+	// Batch state (all guarded by mu). inflight maps oid to the pending
+	// pipelined batch; the rest are scratch buffers reused across
+	// batches so the steady-state encode/decode path allocates nothing.
+	inflight   map[uint64]*BatchFuture
+	bctl       wire.BatchControl
+	brep       wire.BatchReply
+	ctlBuf     []byte
+	sealedBuf  []byte
+	frameBuf   []byte
+	payloadBuf []byte
+	opKeys     []cryptox.OperationKey
+	pollBuf    []byte
+
 	// Stats.
 	puts, gets, deletes uint64
+	batches, batchedOps uint64
 	integrityFailures   uint64
 	retries             uint64
 	badFrames           uint64
@@ -499,7 +513,8 @@ func (c *Client) roundTrip(req *wire.Request, ctl *wire.RequestControl, deadline
 		if time.Now().After(deadline) {
 			return nil, nil, ErrTimeout
 		}
-		msg, ready, err := c.respReader.Poll()
+		msg, ready, err := c.respReader.PollInto(c.pollBuf)
+		c.pollBuf = msg[:cap(msg)]
 		if err != nil {
 			if errors.Is(err, ringbuf.ErrCorrupt) {
 				// The reader consumed the mangled slot; the bytes are
@@ -534,6 +549,12 @@ func (c *Client) roundTrip(req *wire.Request, ctl *wire.RequestControl, deadline
 			c.badFrames++
 			continue
 		}
+		if wire.IsBatchReply(rcPt) {
+			// A pipelined batch's reply arriving while a single op polls:
+			// resolve its future and keep waiting for this op's response.
+			c.resolveBatchReplyLocked(rcPt, resp.Payload)
+			continue
+		}
 		rc, err := wire.DecodeResponseControl(rcPt)
 		if err != nil {
 			c.badFrames++
@@ -558,6 +579,9 @@ func (c *Client) roundTrip(req *wire.Request, ctl *wire.RequestControl, deadline
 // returns.
 type ClientStats struct {
 	Puts, Gets, Deletes uint64
+	// Batches counts batch frames sent; BatchedOps counts the operations
+	// they carried (so BatchedOps/Batches is the realized batch factor).
+	Batches, BatchedOps uint64
 	// IntegrityFailures counts Get responses whose payload MAC did not
 	// verify — the client-side tamper-evidence check (Algorithm 1).
 	IntegrityFailures uint64
@@ -590,6 +614,8 @@ func (s *ClientStats) Add(other ClientStats) {
 	s.Puts += other.Puts
 	s.Gets += other.Gets
 	s.Deletes += other.Deletes
+	s.Batches += other.Batches
+	s.BatchedOps += other.BatchedOps
 	s.IntegrityFailures += other.IntegrityFailures
 	s.Retries += other.Retries
 	s.BadFrames += other.BadFrames
@@ -605,6 +631,7 @@ func (c *Client) StatsStruct() ClientStats {
 	defer c.mu.Unlock()
 	return ClientStats{
 		Puts: c.puts, Gets: c.gets, Deletes: c.deletes,
+		Batches: c.batches, BatchedOps: c.batchedOps,
 		IntegrityFailures: c.integrityFailures,
 		Retries:           c.retries,
 		BadFrames:         c.badFrames,

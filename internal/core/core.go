@@ -171,6 +171,9 @@ func (c *ServerConfig) withDefaults() ServerConfig {
 // ServerStats is a snapshot of server activity.
 type ServerStats struct {
 	Puts, Gets, Deletes uint64
+	// Batches counts batch frames applied; BatchedOps counts the
+	// operations they carried (each also counted in Puts/Gets/Deletes).
+	Batches, BatchedOps uint64
 	Replays             uint64 // rejected stale/duplicate oids
 	AuthFailures        uint64 // control data that failed auth-decryption
 	BadRequests         uint64

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"log/slog"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,6 +56,17 @@ type session struct {
 	respCredit *rdma.MemoryRegion
 	lastOid    uint64 // accessed only by the owning trusted thread
 	revoked    atomic.Bool
+
+	// Batch scratch, reused across batch frames so the server's
+	// steady-state batch path allocates nothing in the codec. Accessed
+	// only by the owning trusted thread — the same single-poller
+	// invariant that protects lastOid.
+	breq     wire.BatchRequest
+	bctl     wire.BatchControl
+	brep     wire.BatchReply
+	bCtlPt   []byte // opened batch-control plaintext
+	bRepPt   []byte // batch-reply plaintext before sealing
+	bPayload []byte // reply payload region (get segments, op order)
 }
 
 // outFrame is a reply handed from a trusted thread to the untrusted
@@ -119,6 +131,7 @@ type Server struct {
 	vlogGCRuns, vlogGCMoved   atomic.Uint64
 
 	puts, gets, deletes   atomic.Uint64
+	batches, batchedOps   atomic.Uint64
 	replays, authFailures atomic.Uint64
 	badRequests           atomic.Uint64
 	cryptoBytes           atomic.Uint64
@@ -401,7 +414,17 @@ func (s *Server) rebuildWorkersLocked() {
 // no enclave transitions.
 func (s *Server) trustedLoop(worker int) {
 	var scratch *sgx.Region
+	var pollBuf []byte
 	tr := s.cfg.Tracer
+	// Adaptive idle back-off: spin (lowest latency while traffic is
+	// hot), then yield the P (stay runnable without starving the TCP
+	// fabric's goroutines), then sleep PollInterval (cede the core on a
+	// genuinely idle ring). A single ready frame resets the ladder.
+	const (
+		spinSweeps  = 64
+		yieldSweeps = 1024
+	)
+	idle := 0
 	for {
 		select {
 		case <-s.stopCh:
@@ -423,7 +446,8 @@ func (s *Server) trustedLoop(worker int) {
 			if sess.revoked.Load() {
 				continue
 			}
-			msg, ready, err := sess.reqReader.Poll()
+			msg, ready, err := sess.reqReader.PollInto(pollBuf)
+			pollBuf = msg[:cap(msg)]
 			if err != nil {
 				// Corrupt frame from a rogue client: skip; flow-control
 				// violations produce garbage the framing rejects (§3.9).
@@ -455,8 +479,22 @@ func (s *Server) trustedLoop(worker int) {
 			}
 			s.handleRequest(sess, msg, op, now)
 		}
-		if !progress && s.cfg.PollInterval > 0 {
-			time.Sleep(s.cfg.PollInterval)
+		if progress {
+			idle = 0
+			continue
+		}
+		idle++
+		switch {
+		case idle <= spinSweeps:
+			// Hot spin: a frame is likely mid-flight.
+		case idle <= spinSweeps+yieldSweeps:
+			runtime.Gosched()
+		default:
+			if s.cfg.PollInterval > 0 {
+				time.Sleep(s.cfg.PollInterval)
+			} else {
+				runtime.Gosched()
+			}
 		}
 	}
 }
@@ -530,6 +568,15 @@ func (s *Server) reply(sess *session, status wire.Status, control *wire.Response
 // becomes the next stage's start so the chain costs one clock read per
 // boundary.
 func (s *Server) handleRequest(sess *session, msg []byte, op *obs.Op, now int64) {
+	// Batch frames demux on the untrusted opcode byte before the
+	// single-op decoder (which rejects OpBatch). A flipped opcode merely
+	// shifts the sealed-control offset, so the AEAD open fails and the
+	// frame dies unauthenticated — the opcode cannot smuggle a single-op
+	// request into the batch path or vice versa.
+	if len(msg) > 0 && wire.Opcode(msg[0]) == wire.OpBatch {
+		s.handleBatch(sess, msg, op, now)
+		return
+	}
 	req, err := wire.DecodeRequest(msg)
 	if err != nil {
 		s.badRequests.Add(1)
@@ -808,6 +855,8 @@ func (s *Server) Stats() ServerStats {
 		Puts:               s.puts.Load(),
 		Gets:               s.gets.Load(),
 		Deletes:            s.deletes.Load(),
+		Batches:            s.batches.Load(),
+		BatchedOps:         s.batchedOps.Load(),
 		Replays:            s.replays.Load(),
 		AuthFailures:       s.authFailures.Load(),
 		BadRequests:        s.badRequests.Load(),

@@ -73,5 +73,32 @@ func (a *AEAD) Open(sealed, ad []byte) ([]byte, error) {
 	return pt, nil
 }
 
+// SealAppend is Seal into a caller-provided buffer: it appends
+// nonce‖ciphertext‖tag to dst and returns the extended slice,
+// allocating only if dst lacks capacity — the batch hot path's
+// allocation-free variant. dst must not alias plaintext.
+func (a *AEAD) SealAppend(dst, plaintext, ad []byte) ([]byte, error) {
+	var nonce [GCMNonceSize]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return nil, fmt.Errorf("nonce: %w", err)
+	}
+	dst = append(dst, nonce[:]...)
+	return a.aead.Seal(dst, nonce[:], plaintext, ad), nil
+}
+
+// OpenAppend is Open into a caller-provided buffer: it appends the
+// plaintext to dst and returns the extended slice, allocating only if
+// dst lacks capacity. dst must not alias sealed.
+func (a *AEAD) OpenAppend(dst, sealed, ad []byte) ([]byte, error) {
+	if len(sealed) < GCMNonceSize+GCMTagSize {
+		return nil, ErrCiphertext
+	}
+	pt, err := a.aead.Open(dst, sealed[:GCMNonceSize], sealed[GCMNonceSize:], ad)
+	if err != nil {
+		return nil, ErrAuthFailed
+	}
+	return pt, nil
+}
+
 // Overhead returns the bytes added by Seal.
 func (a *AEAD) Overhead() int { return SealOverhead }

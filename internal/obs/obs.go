@@ -94,6 +94,12 @@ const (
 	// SrvTotal spans the whole server-side handling (recorded
 	// automatically on Finish for server-side tracers).
 	SrvTotal
+	// CliBatch is client-side batch assembly: encoding N ops into one
+	// control blob, sealing it, and building the single frame.
+	CliBatch
+	// SrvBatch is the server-side per-op apply loop of a batch frame:
+	// everything between the one verify and the one reply seal.
+	SrvBatch
 	// NumStages is the number of defined stages.
 	NumStages
 )
@@ -118,6 +124,8 @@ var stageNames = [NumStages]string{
 	SrvReplySeal:  "srv_reply_seal",
 	SrvSend:       "srv_send",
 	SrvTotal:      "srv_total",
+	CliBatch:      "cli_batch",
+	SrvBatch:      "srv_batch",
 }
 
 // String returns the stage's export name.

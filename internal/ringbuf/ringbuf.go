@@ -285,28 +285,48 @@ func NewReader(cfg ReaderConfig) (*Reader, error) {
 // wedge the session forever. The caller decides what corruption means;
 // the reader only guarantees forward progress.
 func (r *Reader) Poll() ([]byte, bool, error) {
+	msg, ok, err := r.PollInto(nil)
+	if !ok {
+		return nil, ok, err
+	}
+	return msg, ok, err
+}
+
+// PollInto is Poll with a caller-provided buffer, the allocation-free
+// variant hot loops use: the frame is read into buf when its capacity
+// suffices (a larger buffer is allocated otherwise, sized to the slot
+// so it never grows twice). The returned slice is the buffer to retain
+// for the next call — when a message is ready its length is the message
+// length; otherwise buf comes back unchanged. The message bytes are
+// only valid until the next PollInto with the same buffer.
+func (r *Reader) PollInto(buf []byte) ([]byte, bool, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	slotOff := r.base + int(r.readIdx%r.slots)*r.slotSize
 	if r.ring.ByteAt(slotOff) != StartSign {
-		return nil, false, nil
+		return buf, false, nil
 	}
 	if n := r.ring.ReadAt(slotOff, r.hdr); n != headerLen {
-		return nil, false, nil
+		return buf, false, nil
 	}
 	msgLen := int(binary.LittleEndian.Uint32(r.hdr[1:5]))
 	if msgLen > r.slotSize-Overhead {
 		err := fmt.Errorf("%w: length %d", ErrCorrupt, msgLen)
-		return nil, false, r.consumeCorruptLocked(slotOff, err)
+		return buf, false, r.consumeCorruptLocked(slotOff, err)
 	}
 	if r.ring.ByteAt(slotOff+headerLen+msgLen) != EndSign {
 		// Write still in flight.
-		return nil, false, nil
+		return buf, false, nil
 	}
-	msg := make([]byte, msgLen)
+	var msg []byte
+	if cap(buf) >= msgLen {
+		msg = buf[:msgLen]
+	} else {
+		msg = make([]byte, msgLen, r.slotSize)
+	}
 	if n := r.ring.ReadAt(slotOff+headerLen, msg); n != msgLen {
 		err := fmt.Errorf("%w: short read", ErrCorrupt)
-		return nil, false, r.consumeCorruptLocked(slotOff, err)
+		return buf, false, r.consumeCorruptLocked(slotOff, err)
 	}
 	// Clear the start sign so the slot reads as free until rewritten.
 	r.ring.SetByte(slotOff, 0)

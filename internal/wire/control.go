@@ -21,6 +21,11 @@ const (
 	// FlagReplay, set in sealed response control, authenticates a replay
 	// rejection (Algorithm 2's error branch).
 	FlagReplay
+	// FlagBatch, set in sealed response control, marks the plaintext as a
+	// BatchReply rather than a single-op ResponseControl. Because the bit
+	// is inside the seal it doubles as an unforgeable demux tag; the
+	// single-op encoder never sets it.
+	FlagBatch
 )
 
 // RequestControl is the plaintext of a request's transport-encrypted

@@ -25,6 +25,9 @@ const (
 	OpPut Opcode = iota + 1
 	OpGet
 	OpDelete
+	// OpBatch marks a multi-op frame: N ops under one control seal and
+	// one ring doorbell (see batch.go).
+	OpBatch
 )
 
 func (o Opcode) String() string {
@@ -35,6 +38,8 @@ func (o Opcode) String() string {
 		return "GET"
 	case OpDelete:
 		return "DELETE"
+	case OpBatch:
+		return "BATCH"
 	}
 	return "UNKNOWN"
 }

@@ -299,6 +299,8 @@ func (m *MetricsServer) writeServerMetrics(b *strings.Builder) {
 	counter("precursor_puts_total", "Completed put operations", st.Puts)
 	counter("precursor_gets_total", "Completed get operations", st.Gets)
 	counter("precursor_deletes_total", "Completed delete operations", st.Deletes)
+	counter("precursor_batches_total", "Multi-op batch frames applied", st.Batches)
+	counter("precursor_batched_ops_total", "Operations carried by batch frames (each also counted in puts/gets/deletes)", st.BatchedOps)
 	counter("precursor_replays_total", "Rejected replayed requests", st.Replays)
 	counter("precursor_auth_failures_total", "Control data that failed authentication", st.AuthFailures)
 	counter("precursor_bad_requests_total", "Malformed requests", st.BadRequests)

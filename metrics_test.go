@@ -49,6 +49,12 @@ func TestMetricsEndpoint(t *testing.T) {
 	if _, err := client.Get("m"); err != nil {
 		t.Fatal(err)
 	}
+	if results, err := client.Batch([]precursor.BatchOp{
+		{Kind: precursor.BatchPut, Key: "mb", Value: []byte("v")},
+		{Kind: precursor.BatchGet, Key: "m"},
+	}); err != nil || results[0].Err != nil || results[1].Err != nil {
+		t.Fatalf("batch: %v %+v", err, results)
+	}
 
 	resp, err := http.Get("http://" + metrics.Addr() + "/metrics")
 	if err != nil {
@@ -61,12 +67,16 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	text := string(body)
 	for _, want := range []string{
-		"precursor_puts_total 5",
-		"precursor_gets_total 1",
-		"precursor_entries 1",
+		// 5 single puts + 1 get, plus a 2-op batch (1 put + 1 get):
+		// batched ops count in the per-kind totals too.
+		"precursor_puts_total 6",
+		"precursor_gets_total 2",
+		"precursor_entries 2",
 		"precursor_clients 1",
 		"# TYPE precursor_enclave_epc_pages gauge",
 		"precursor_enclave_crypto_bytes_total",
+		"precursor_batches_total 1",
+		"precursor_batched_ops_total 2",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q\n%s", want, text)

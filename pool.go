@@ -292,6 +292,56 @@ func (p *Pool) Delete(key string) error {
 	return err
 }
 
+// Batch executes ops as one multi-op frame — one seal, one ring
+// doorbell — over a single borrowed connection, returning per-op
+// results in request order. The error is batch-level; per-op outcomes
+// (including ErrUnconfirmed attribution for writes whose fate is
+// unknown) are in the results. See Client.Batch.
+func (p *Pool) Batch(ops []BatchOp) ([]BatchResult, error) {
+	c, err := p.acquire()
+	if err != nil {
+		return nil, err
+	}
+	results, err := c.Batch(ops)
+	p.finish(c, err)
+	return results, err
+}
+
+// PutBatch stores values[i] under keys[i] as one batch frame on one
+// borrowed connection.
+func (p *Pool) PutBatch(keys []string, values [][]byte) ([]BatchResult, error) {
+	c, err := p.acquire()
+	if err != nil {
+		return nil, err
+	}
+	results, err := c.PutBatch(keys, values)
+	p.finish(c, err)
+	return results, err
+}
+
+// GetBatch fetches keys as one batch frame on one borrowed connection.
+func (p *Pool) GetBatch(keys []string) ([]BatchResult, error) {
+	c, err := p.acquire()
+	if err != nil {
+		return nil, err
+	}
+	results, err := c.GetBatch(keys)
+	p.finish(c, err)
+	return results, err
+}
+
+// DeleteBatch removes keys as one batch frame on one borrowed
+// connection.
+func (p *Pool) DeleteBatch(keys []string) ([]BatchResult, error) {
+	c, err := p.acquire()
+	if err != nil {
+		return nil, err
+	}
+	results, err := c.DeleteBatch(keys)
+	p.finish(c, err)
+	return results, err
+}
+
 // Size returns the number of pooled connections (live ones — dead
 // connections awaiting redial are not counted).
 func (p *Pool) Size() int {

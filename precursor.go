@@ -62,6 +62,30 @@ type (
 	ClientStats = core.ClientStats
 )
 
+// Re-exported multi-op batching types. A batch ships N operations under
+// one control seal and one ring doorbell and returns per-op results —
+// see Client.Batch, Client.BatchAsync and PROTOCOL.md "Batch frames".
+type (
+	// BatchOp is one operation inside a batch.
+	BatchOp = core.BatchOp
+	// BatchOpKind selects what a BatchOp does (BatchPut/BatchGet/BatchDelete).
+	BatchOpKind = core.BatchOpKind
+	// BatchResult is one batched op's outcome.
+	BatchResult = core.BatchResult
+	// BatchFuture is a pipelined batch pending its sealed reply.
+	BatchFuture = core.BatchFuture
+)
+
+// Batch operation kinds.
+const (
+	// BatchPut stores a value.
+	BatchPut = core.BatchPut
+	// BatchGet fetches a value.
+	BatchGet = core.BatchGet
+	// BatchDelete removes a key.
+	BatchDelete = core.BatchDelete
+)
+
 // Re-exported durable-storage (value log) types. Setting
 // ServerConfig.DataDir spills large values to a partitioned,
 // crash-recoverable log of client-encrypted records on untrusted disk

@@ -210,3 +210,178 @@ func TestReplicatedClusterFailoverRepair(t *testing.T) {
 	t.Logf("repaired replica %s serves %d/%d keys; failovers=%d repairs=%d",
 		victimAddr, checked, keys, st.Failovers, st.Repairs)
 }
+
+// TestReplicatedBatchQuorumKillOne drives batched writes through the
+// full stack — cluster router → connection pool → wire batch frames —
+// while one replica of group 0 is killed mid-run:
+//
+//   - per-op outcomes never surface ErrShardDown while a quorum
+//     survives (failover and quorum accounting are transparent to the
+//     batch caller);
+//   - no acked batched put is lost — every key reads back as a value
+//     some batch op acked (or an unconfirmed candidate);
+//   - reassembly is order-preserving across groups: each result slot
+//     must answer for the key at the same index, even though the batch
+//     was split per group and fanned out per replica.
+func TestReplicatedBatchQuorumKillOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replication batch chaos test skipped in -short mode")
+	}
+	const groups, replicas, quorum = 2, 3, 2
+	cs, err := precursor.ServeReplicatedCluster(groups, replicas, precursor.ServerConfig{
+		Workers: 1, PollInterval: 50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cs.Close)
+	cc, err := precursor.DialReplicatedCluster(cs.GroupSpecs(), precursor.ClusterConfig{
+		ConnsPerShard:  2,
+		Timeout:        5 * time.Second,
+		RetryBackoff:   50 * time.Millisecond,
+		WriteQuorum:    quorum,
+		RepairInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cc.Close() })
+
+	const keys = 96
+	key := func(i int) string { return fmt.Sprintf("bchaos%04d", i) }
+	// Values encode their key index so a misrouted result slot (a
+	// reassembly bug) is caught by inspection, not just by divergence.
+	val := func(i, ver int) []byte { return []byte(fmt.Sprintf("i%04d-v%06d", i, ver)) }
+
+	// Preload through one cross-group batch per 32 keys.
+	var mu sync.Mutex
+	candidates := make([][][]byte, keys)
+	for base := 0; base < keys; base += 32 {
+		ks := make([]string, 0, 32)
+		vs := make([][]byte, 0, 32)
+		for i := base; i < base+32 && i < keys; i++ {
+			ks = append(ks, key(i))
+			vs = append(vs, val(i, 0))
+		}
+		results, err := cc.PutBatch(ks, vs)
+		if err != nil {
+			t.Fatalf("preload batch at %d: %v", base, err)
+		}
+		for j, r := range results {
+			if r.Err != nil {
+				t.Fatalf("preload op %d: %v", base+j, r.Err)
+			}
+			candidates[base+j] = [][]byte{vs[j]}
+		}
+	}
+
+	var (
+		shardDownCount int
+		hardErrs       []error
+		ackedBatches   int
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		w := w
+		wrng := rand.New(rand.NewSource(*replSeed + 100 + int64(w)))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lo, span := w*(keys/4), keys/4
+			for ver := 1; ; ver++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// One mixed cross-group batch: a handful of puts on this
+				// writer's keys plus gets on the same keys, so both halves
+				// of the replicated batch path run under the kill.
+				idx := make([]int, 0, 4)
+				ops := make([]precursor.BatchOp, 0, 8)
+				for n := 0; n < 4; n++ {
+					i := lo + wrng.Intn(span)
+					idx = append(idx, i)
+					ops = append(ops, precursor.BatchOp{Kind: precursor.BatchPut, Key: key(i), Value: val(i, ver)})
+				}
+				for _, i := range idx {
+					ops = append(ops, precursor.BatchOp{Kind: precursor.BatchGet, Key: key(i)})
+				}
+				results, err := cc.Batch(ops)
+				mu.Lock()
+				if err != nil || len(results) != len(ops) {
+					hardErrs = append(hardErrs, fmt.Errorf("batch-level failure: %v (%d results)", err, len(results)))
+					mu.Unlock()
+					continue
+				}
+				ackedBatches++
+				for j, r := range results {
+					i := idx[j%len(idx)]
+					switch {
+					case errors.Is(r.Err, precursor.ErrShardDown):
+						shardDownCount++
+					case j < len(idx): // put
+						switch {
+						case r.Err == nil, errors.Is(r.Err, precursor.ErrUnconfirmed):
+							candidates[i] = append(candidates[i], ops[j].Value)
+							if len(candidates[i]) > 4 {
+								candidates[i] = candidates[i][len(candidates[i])-4:]
+							}
+						default:
+							hardErrs = append(hardErrs, fmt.Errorf("batched put %s: %w", key(i), r.Err))
+						}
+					case r.Err == nil: // get: value must answer for its own slot's key
+						if !bytes.HasPrefix(r.Value, []byte(fmt.Sprintf("i%04d-", i))) {
+							hardErrs = append(hardErrs, fmt.Errorf("reassembly: slot %d (key %s) got %q", j, key(i), r.Value))
+						}
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	cs.Groups[0][0].Close()
+	time.Sleep(700 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if shardDownCount != 0 {
+		t.Errorf("batched replicated ops surfaced ErrShardDown %d times", shardDownCount)
+	}
+	for _, e := range hardErrs {
+		t.Errorf("workload: %v", e)
+	}
+	if ackedBatches == 0 {
+		t.Fatal("no batch completed; workload cannot have exercised the kill")
+	}
+
+	// Durability sweep with the replica still dead, as one big
+	// order-preserving cross-group read batch.
+	ks := make([]string, keys)
+	for i := range ks {
+		ks[i] = key(i)
+	}
+	results, err := cc.GetBatch(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("post-kill batched read %s: %v", key(i), r.Err)
+		}
+		ok := false
+		for _, c := range candidates[i] {
+			if bytes.Equal(r.Value, c) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("acked batched put lost: %s = %q, not among %d candidates", key(i), r.Value, len(candidates[i]))
+		}
+	}
+	st := cc.Stats()
+	t.Logf("batches acked=%d failovers=%d shortfalls=%d", ackedBatches, st.Failovers, st.QuorumShortfalls)
+}
