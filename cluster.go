@@ -93,6 +93,10 @@ type ClusterConfig struct {
 	// with the replica servers (ServerConfig.Audit) for a single fleet
 	// chain.
 	Audit *AuditLog
+	// Heat, when set, accumulates routing-path workload heat (hashed
+	// heavy hitters, ring-range load, op rates) as this client routes;
+	// export it with WithHeat on a metrics endpoint. Nil disables.
+	Heat *HeatCollector
 
 	// Replication (DialReplicatedCluster only).
 
@@ -151,6 +155,7 @@ func DialCluster(shards []ShardSpec, cfg ClusterConfig) (*ClusterClient, error) 
 		},
 		Tracer: cfg.ClusterTracer,
 		Audit:  cfg.Audit,
+		Heat:   cfg.Heat,
 	})
 }
 
@@ -255,5 +260,6 @@ func DialReplicatedCluster(groups [][]ShardSpec, cfg ClusterConfig) (*ClusterCli
 		DisableAutoRepair: cfg.DisableAutoRepair,
 		Tracer:            cfg.ClusterTracer,
 		Audit:             cfg.Audit,
+		Heat:              cfg.Heat,
 	})
 }

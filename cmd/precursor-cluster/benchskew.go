@@ -1,0 +1,417 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"precursor"
+	"precursor/internal/heat"
+	"precursor/internal/ycsb"
+)
+
+// skewMaxOverhead is the acceptance bound for -bench-skew -gate: heat
+// accounting (sketch + counters on the apply and routing paths) may not
+// cost more than this fraction of median throughput.
+const skewMaxOverhead = 0.03
+
+// skewRecallK is how many exact heavy hitters the sketch is checked
+// against: recall of the true top-10 is the headline sketch-quality
+// number.
+const skewRecallK = 10
+
+// SkewBenchPoint is one zipf-θ datapoint of the -bench-skew sweep:
+// measured shard imbalance, the hottest shard, and the heavy-hitter
+// sketch's recall against an exact client-side tally.
+type SkewBenchPoint struct {
+	// Theta is the zipfian skew exponent of the pass.
+	Theta float64 `json:"theta"`
+	// Shards, Records, Clients and OpsPerClient echo the pass setup.
+	Shards       int    `json:"shards"`
+	Records      int    `json:"records"`
+	Clients      int    `json:"clients"`
+	OpsPerClient int    `json:"ops_per_client"`
+	Workload     string `json:"workload"`
+	// Ops and Kops are the pass's completed operations and throughput.
+	Ops  uint64  `json:"ops"`
+	Kops float64 `json:"kops"`
+	// HottestShard is the shard that routed the most operations.
+	HottestShard string `json:"hottest_shard"`
+	// ShardOps maps shard address to its routed op count.
+	ShardOps map[string]uint64 `json:"shard_ops"`
+	// ImbalanceMaxMean and ImbalanceCV quantify the measured cross-shard
+	// load skew (1 and 0 = perfectly balanced).
+	ImbalanceMaxMean float64 `json:"imbalance_max_mean"`
+	ImbalanceCV      float64 `json:"imbalance_cv"`
+	// TopShare is the fraction of run ops that hit the exact top-10 keys
+	// (the zipf ground truth the sketch is up against).
+	TopShare float64 `json:"top_share"`
+	// Top10Recall is the fraction of the exact top-10 hashed key ids the
+	// merged server-side sketches report in their own top-10.
+	Top10Recall float64 `json:"top10_recall"`
+}
+
+// SkewBenchResult is the full -bench-skew output: the θ sweep plus the
+// heat-off vs heat-on overhead measurement.
+type SkewBenchResult struct {
+	Shards int              `json:"shards"`
+	Points []SkewBenchPoint `json:"points"`
+	// Pairs, KopsOff, KopsOn and OverheadPct are the interleaved
+	// heat-off/heat-on overhead measurement at the sweep's highest θ.
+	Pairs   int     `json:"pairs"`
+	KopsOff float64 `json:"kops_heat_off"`
+	KopsOn  float64 `json:"kops_heat_on"`
+	// OverheadPct is (off-on)/off in percent; negative means the heat-on
+	// runs happened to be faster (noise).
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+type skewBenchConfig struct {
+	benchConfig
+	thetas string
+	pairs  int
+	gate   bool
+}
+
+// tallyStore wraps a ycsb.Store with an exact per-key op count — the
+// ground truth the heavy-hitter sketch's recall is measured against.
+type tallyStore struct {
+	inner ycsb.Store
+	mu    sync.Mutex
+	count map[string]uint64
+}
+
+func newTallyStore(inner ycsb.Store) *tallyStore {
+	return &tallyStore{inner: inner, count: make(map[string]uint64)}
+}
+
+// Put counts the key and delegates.
+func (t *tallyStore) Put(key string, value []byte) error {
+	t.note(key)
+	return t.inner.Put(key, value)
+}
+
+// Get counts the key and delegates.
+func (t *tallyStore) Get(key string) ([]byte, error) {
+	t.note(key)
+	return t.inner.Get(key)
+}
+
+func (t *tallyStore) note(key string) {
+	t.mu.Lock()
+	t.count[key]++
+	t.mu.Unlock()
+}
+
+// top returns the n most-counted keys, hottest first, plus the total
+// op count.
+func (t *tallyStore) top(n int) ([]string, uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	type kc struct {
+		k string
+		c uint64
+	}
+	all := make([]kc, 0, len(t.count))
+	var total uint64
+	for k, c := range t.count {
+		all = append(all, kc{k, c})
+		total += c
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].k < all[j].k
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	keys := make([]string, n)
+	for i := 0; i < n; i++ {
+		keys[i] = all[i].k
+	}
+	return keys, total
+}
+
+// countOf returns the exact count of one key.
+func (t *tallyStore) countOf(key string) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count[key]
+}
+
+// heatDeploy is an n-shard deployment where every shard has its own
+// heat collector (ServeCluster shares one ServerConfig, so per-shard
+// collectors need per-shard Serve calls).
+type heatDeploy struct {
+	svcs  []*precursor.Service
+	specs []precursor.ShardSpec
+	heats []*precursor.HeatCollector
+}
+
+func (d *heatDeploy) close() {
+	for _, svc := range d.svcs {
+		svc.Close()
+	}
+}
+
+// serveHeatShards launches n single-shard services, each with a fresh
+// platform and (when withHeat) its own heat collector.
+func serveHeatShards(n, workers int, withHeat bool) (*heatDeploy, error) {
+	d := &heatDeploy{}
+	for i := 0; i < n; i++ {
+		platform, err := precursor.NewPlatform()
+		if err != nil {
+			d.close()
+			return nil, fmt.Errorf("shard %d platform: %w", i, err)
+		}
+		cfg := precursor.ServerConfig{Workers: workers, Platform: platform}
+		var hc *precursor.HeatCollector
+		if withHeat {
+			hc = precursor.NewHeatCollector(precursor.HeatConfig{})
+			cfg.Heat = hc
+		}
+		svc, err := precursor.Serve("127.0.0.1:0", cfg)
+		if err != nil {
+			d.close()
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		d.svcs = append(d.svcs, svc)
+		d.heats = append(d.heats, hc)
+		d.specs = append(d.specs, precursor.ShardSpec{
+			Addr:        svc.Addr(),
+			PlatformKey: platform.AttestationPublicKey(),
+			Measurement: svc.Server.Measurement(),
+		})
+	}
+	return d, nil
+}
+
+// runBenchSkew sweeps zipf θ over a fixed shard count, measuring the
+// load imbalance each skew level produces and the heavy-hitter
+// sketch's recall, then measures heat accounting's throughput overhead
+// with interleaved off/on pairs.
+func runBenchSkew(cfg skewBenchConfig) error {
+	wl, err := workloadByName(cfg.workload)
+	if err != nil {
+		return err
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(cfg.shardCounts))
+	if err != nil || n <= 0 {
+		return fmt.Errorf("-bench-skew needs a single positive -shards count, got %q", cfg.shardCounts)
+	}
+	var thetas []float64
+	for _, part := range strings.Split(cfg.thetas, ",") {
+		th, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return fmt.Errorf("bad theta %q", part)
+		}
+		thetas = append(thetas, th)
+	}
+	if len(thetas) == 0 {
+		return fmt.Errorf("-thetas is empty")
+	}
+	if cfg.pairs <= 0 {
+		cfg.pairs = 3
+	}
+
+	result := SkewBenchResult{Shards: n, Pairs: cfg.pairs}
+	fmt.Fprintf(cfg.out, "%-8s %-10s %-14s %-10s %-12s %-14s\n",
+		"theta", "kops", "hottest", "max/mean", "top-share", "top10-recall")
+	for _, th := range thetas {
+		point, err := skewPoint(n, th, wl, cfg)
+		if err != nil {
+			return fmt.Errorf("theta %g: %w", th, err)
+		}
+		result.Points = append(result.Points, point)
+		fmt.Fprintf(cfg.out, "%-8g %-10.1f %-14s %-10.2f %-12.2f %-14.2f\n",
+			point.Theta, point.Kops, point.HottestShard,
+			point.ImbalanceMaxMean, point.TopShare, point.Top10Recall)
+	}
+
+	// Overhead at the sweep's most skewed θ — the worst case for sketch
+	// stripe contention, since every worker hammers the same hot hashes.
+	overheadTheta := thetas[len(thetas)-1]
+	measure := func() (offK, onK float64, err error) {
+		var off, on []float64
+		for i := 0; i < cfg.pairs; i++ {
+			k, err := skewPass(n, overheadTheta, wl, cfg, false)
+			if err != nil {
+				return 0, 0, fmt.Errorf("pair %d heat-off: %w", i, err)
+			}
+			off = append(off, k)
+			k, err = skewPass(n, overheadTheta, wl, cfg, true)
+			if err != nil {
+				return 0, 0, fmt.Errorf("pair %d heat-on: %w", i, err)
+			}
+			on = append(on, k)
+		}
+		return median(off), median(on), nil
+	}
+	result.KopsOff, result.KopsOn, err = measure()
+	if err != nil {
+		return err
+	}
+	overheadPct := func() float64 {
+		if result.KopsOff <= 0 {
+			return 0
+		}
+		return (result.KopsOff - result.KopsOn) / result.KopsOff * 100
+	}
+	result.OverheadPct = overheadPct()
+	if cfg.gate && result.OverheadPct > skewMaxOverhead*100 {
+		// One re-measure before failing: scheduling noise at these run
+		// lengths can exceed the bound on a single sample.
+		fmt.Fprintf(cfg.out, "overhead %.2f%% over %.0f%% bound; re-measuring\n",
+			result.OverheadPct, skewMaxOverhead*100)
+		result.KopsOff, result.KopsOn, err = measure()
+		if err != nil {
+			return err
+		}
+		result.OverheadPct = overheadPct()
+	}
+	fmt.Fprintf(cfg.out, "heat overhead: kops(off)=%.1f kops(on)=%.1f overhead=%.2f%% (pairs=%d, theta=%g)\n",
+		result.KopsOff, result.KopsOn, result.OverheadPct, cfg.pairs, overheadTheta)
+
+	if cfg.jsonPath != "" {
+		data, err := json.MarshalIndent(result, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.out, "wrote %s\n", cfg.jsonPath)
+	}
+	if cfg.gate && result.OverheadPct > skewMaxOverhead*100 {
+		return fmt.Errorf("heat overhead %.2f%% exceeds the %.0f%% bound",
+			result.OverheadPct, skewMaxOverhead*100)
+	}
+	return nil
+}
+
+// skewPoint runs one heat-on measured pass at θ and derives the
+// datapoint: imbalance from the cluster client's per-shard routing
+// stats, recall from the merged server sketches vs an exact tally.
+func skewPoint(n int, theta float64, wl ycsb.Workload, cfg skewBenchConfig) (SkewBenchPoint, error) {
+	d, err := serveHeatShards(n, cfg.workers, true)
+	if err != nil {
+		return SkewBenchPoint{}, err
+	}
+	defer d.close()
+	routeHeat := precursor.NewHeatCollector(precursor.HeatConfig{})
+	cc, err := precursor.DialCluster(d.specs, precursor.ClusterConfig{
+		ConnsPerShard: cfg.conns,
+		Timeout:       30 * time.Second,
+		Heat:          routeHeat,
+	})
+	if err != nil {
+		return SkewBenchPoint{}, err
+	}
+	defer cc.Close()
+	if err := ycsb.Load(cc, cfg.records, cfg.valueSize, cfg.seed); err != nil {
+		return SkewBenchPoint{}, err
+	}
+	tally := newTallyStore(cc)
+	rep, err := ycsb.RunShared(tally, ycsb.RunnerConfig{
+		Workload: wl, Records: cfg.records, ValueSize: cfg.valueSize,
+		Dist: ycsb.Zipfian, ZipfTheta: theta,
+		Clients: cfg.clients, OpsPerClient: cfg.opsPerClient, Seed: cfg.seed,
+	})
+	if err != nil {
+		return SkewBenchPoint{}, err
+	}
+
+	point := SkewBenchPoint{
+		Theta: theta, Shards: n, Records: cfg.records,
+		Clients: rep.Clients, OpsPerClient: cfg.opsPerClient,
+		Workload: wl.Name, Ops: rep.Ops, Kops: rep.Kops,
+		ShardOps: map[string]uint64{},
+	}
+
+	// Imbalance and hottest shard from the client's routing stats. The
+	// load phase routed uniformly, so subtracting it would sharpen the
+	// numbers; keeping it makes the measurement conservative.
+	var ops []uint64
+	var hottest uint64
+	for _, ss := range cc.Stats().Shards {
+		routed := ss.Puts + ss.Gets + ss.Deletes
+		point.ShardOps[ss.Name] = routed
+		ops = append(ops, routed)
+		if routed > hottest {
+			hottest = routed
+			point.HottestShard = ss.Name
+		}
+	}
+	skew := heat.SkewOf(ops)
+	point.ImbalanceMaxMean = skew.MaxMean
+	point.ImbalanceCV = skew.CV
+
+	// Recall: merge every shard's sketch and check the exact top-10's
+	// hashed ids against the merged top-10.
+	var lists [][]heat.TopEntry
+	for _, hc := range d.heats {
+		lists = append(lists, hc.Snapshot().Top)
+	}
+	merged := heat.MergeTop(skewRecallK, lists...)
+	sketchTop := make(map[uint64]bool, len(merged))
+	for _, e := range merged {
+		sketchTop[e.Hash] = true
+	}
+	exact, total := tally.top(skewRecallK)
+	hits := 0
+	var hotOps uint64
+	for _, key := range exact {
+		if sketchTop[heat.HashKey(key)] {
+			hits++
+		}
+		hotOps += tally.countOf(key)
+	}
+	if len(exact) > 0 {
+		point.Top10Recall = float64(hits) / float64(len(exact))
+	}
+	if total > 0 {
+		point.TopShare = float64(hotOps) / float64(total)
+	}
+	return point, nil
+}
+
+// skewPass runs one unmeasured-tally pass (heat off or on) and returns
+// its throughput — the overhead probe.
+func skewPass(n int, theta float64, wl ycsb.Workload, cfg skewBenchConfig, withHeat bool) (float64, error) {
+	d, err := serveHeatShards(n, cfg.workers, withHeat)
+	if err != nil {
+		return 0, err
+	}
+	defer d.close()
+	ccfg := precursor.ClusterConfig{
+		ConnsPerShard: cfg.conns,
+		Timeout:       30 * time.Second,
+	}
+	if withHeat {
+		ccfg.Heat = precursor.NewHeatCollector(precursor.HeatConfig{})
+	}
+	cc, err := precursor.DialCluster(d.specs, ccfg)
+	if err != nil {
+		return 0, err
+	}
+	defer cc.Close()
+	if err := ycsb.Load(cc, cfg.records, cfg.valueSize, cfg.seed); err != nil {
+		return 0, err
+	}
+	rep, err := ycsb.RunShared(cc, ycsb.RunnerConfig{
+		Workload: wl, Records: cfg.records, ValueSize: cfg.valueSize,
+		Dist: ycsb.Zipfian, ZipfTheta: theta,
+		Clients: cfg.clients, OpsPerClient: cfg.opsPerClient, Seed: cfg.seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return rep.Kops, nil
+}

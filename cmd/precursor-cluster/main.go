@@ -47,6 +47,14 @@
 //
 //	precursor-cluster -bench-vlog -records 4000 -value-size 4096 \
 //	    -vlog-json BENCH_vlog.json -gate
+//
+// Workload-skew bench mode sweeps a zipfian θ (default 0.6, 0.9, 1.2)
+// over a fixed shard count, measuring the cross-shard imbalance each
+// skew level produces, the heavy-hitter sketch's top-10 recall against
+// an exact tally, and heat accounting's throughput overhead; -gate
+// exits nonzero when the overhead exceeds 3%:
+//
+//	precursor-cluster -bench-skew -shards 4 -skew-json BENCH_heat.json -gate
 package main
 
 import (
@@ -100,7 +108,7 @@ func main() {
 		benchObs = flag.Bool("bench-obs", false, "run the observability overhead benchmark: audit-off vs audit-on")
 		obsJSON  = flag.String("obs-json", "BENCH_obs.json", "bench-obs: write the datapoint to this JSON file (empty = stdout only)")
 		obsPairs = flag.Int("pairs", 5, "bench-obs: interleaved off/on measurement pairs")
-		obsGate  = flag.Bool("gate", false, "bench-obs/bench-vlog: exit nonzero when the run misses its acceptance bound")
+		obsGate  = flag.Bool("gate", false, "bench-obs/-vlog/-batch/-skew: exit nonzero when the run misses its acceptance bound")
 		benchVl  = flag.Bool("bench-vlog", false, "run the value-log benchmark: spill writes, disk read-throughs, crash recovery")
 		vlogJSON = flag.String("vlog-json", "BENCH_vlog.json", "bench-vlog: write the datapoint to this JSON file (empty = stdout only)")
 		vlogDir  = flag.String("vlog-dir", "", "bench-vlog: directory for the value log (empty = fresh temp dir, removed after)")
@@ -108,23 +116,27 @@ func main() {
 		benchBat = flag.Bool("bench-batch", false, "run the multi-op batching benchmark: op-by-op vs batch frames on one server")
 		batSize  = flag.Int("batch-size", 16, "bench-batch: ops per batch frame")
 		batJSON  = flag.String("batch-json", "BENCH_batch.json", "bench-batch: write the datapoint to this JSON file (empty = stdout only)")
+		benchSkw = flag.Bool("bench-skew", false, "run the workload-skew benchmark: zipf θ sweep measuring imbalance, sketch recall and heat overhead")
+		thetas   = flag.String("thetas", "0.6,0.9,1.2", "bench-skew: comma-separated zipf θ values to sweep")
+		skewJSON = flag.String("skew-json", "BENCH_heat.json", "bench-skew: write the result to this JSON file (empty = stdout only)")
+		heatOn   = flag.Bool("heat", false, "serve: accumulate workload heat per shard and export it on the -metrics address (/debug/heat, precursor_heat_*)")
 	)
 	flag.Parse()
 	modes := 0
-	for _, on := range []bool{*serve, *bench, *benchRep, *top, *benchObs, *benchVl, *benchBat} {
+	for _, on := range []bool{*serve, *bench, *benchRep, *top, *benchObs, *benchVl, *benchBat, *benchSkw} {
 		if on {
 			modes++
 		}
 	}
 	if modes != 1 {
-		fmt.Fprintln(os.Stderr, "precursor-cluster: pass exactly one of -serve, -bench, -bench-replication, -top, -bench-obs, -bench-vlog or -bench-batch")
+		fmt.Fprintln(os.Stderr, "precursor-cluster: pass exactly one of -serve, -bench, -bench-replication, -top, -bench-obs, -bench-vlog, -bench-batch or -bench-skew")
 		flag.Usage()
 		os.Exit(2)
 	}
 	var err error
 	switch {
 	case *serve:
-		err = runServe(*shards, *replicas, *workers, *metrics, *trace, *pprofOn, *fleetTgt)
+		err = runServe(*shards, *replicas, *workers, *metrics, *trace, *pprofOn, *fleetTgt, *heatOn)
 	case *top:
 		err = runTop(*targets, *topEvery, *topIters, *topSLO, os.Stdout)
 	case *benchObs:
@@ -158,6 +170,16 @@ func main() {
 			},
 			batchSize: *batSize, gate: *obsGate,
 		})
+	case *benchSkw:
+		err = runBenchSkew(skewBenchConfig{
+			benchConfig: benchConfig{
+				shardCounts: *shards, workers: *workers, conns: *conns,
+				records: *records, valueSize: *valsize, clients: *clients,
+				opsPerClient: *ops, workload: *workload, seed: *seed,
+				jsonPath: *skewJSON, out: os.Stdout,
+			},
+			thetas: *thetas, pairs: *obsPairs, gate: *obsGate,
+		})
 	case *benchRep:
 		err = runBenchReplication(replBenchConfig{
 			benchConfig: benchConfig{
@@ -184,7 +206,7 @@ func main() {
 
 // runServe launches n ring positions (each backed by `replicas` servers
 // when replicas > 1) and prints their scrapeable member lines.
-func runServe(shardsFlag string, replicas, workers int, metricsAddr string, trace, pprofOn bool, fleetTargets string) error {
+func runServe(shardsFlag string, replicas, workers int, metricsAddr string, trace, pprofOn bool, fleetTargets string, heatOn bool) error {
 	n, err := strconv.Atoi(strings.TrimSpace(shardsFlag))
 	if err != nil || n <= 0 {
 		return fmt.Errorf("-serve needs a single positive shard count, got %q", shardsFlag)
@@ -202,6 +224,17 @@ func runServe(shardsFlag string, replicas, workers int, metricsAddr string, trac
 			Workers: workers * n * replicas,
 		})
 		cfg.Tracer = tracer
+	}
+	var heatColl *precursor.HeatCollector
+	if heatOn {
+		// Like -trace, one shared collector: this process is one metrics
+		// target, so its heat rolls up all in-process shards (per-shard
+		// heat maps come from one endpoint per shard, as precursor-server
+		// -heat serves).
+		heatColl = precursor.NewHeatCollector(precursor.HeatConfig{
+			Stripes: workers * n * replicas,
+		})
+		cfg.Heat = heatColl
 	}
 	var closeAll func()
 	var printMembers func() error
@@ -255,6 +288,9 @@ func runServe(shardsFlag string, replicas, workers int, metricsAddr string, trac
 		if tracer != nil {
 			opts = append(opts, precursor.WithTracer("server", tracer))
 		}
+		if heatColl != nil {
+			opts = append(opts, precursor.WithHeat("server", heatColl))
+		}
 		if pprofOn {
 			opts = append(opts, precursor.WithPprof())
 		}
@@ -279,6 +315,9 @@ func runServe(shardsFlag string, replicas, workers int, metricsAddr string, trac
 		fmt.Printf("metrics:          http://%s/metrics\n", ms.Addr())
 		if fleetTargets != "" {
 			fmt.Printf("fleet:            http://%s/fleet\n", ms.Addr())
+		}
+		if heatColl != nil {
+			fmt.Printf("heat:             http://%s/debug/heat\n", ms.Addr())
 		}
 	}
 	if err := printMembers(); err != nil {

@@ -30,6 +30,14 @@
 //
 //	precursor-server -addr :7100 -shard 0/4
 //	precursor-server -addr :7101 -shard 1/4
+//
+// With -heat (and -metrics) the server accumulates workload heat on its
+// apply path — hashed heavy hitters, ring-range load, op-rate EWMAs —
+// and exports it as precursor_heat_* on /metrics and JSON on
+// GET /debug/heat; a fleet aggregator scraping per-shard endpoints
+// folds these into the cluster heat map (see OBSERVABILITY.md):
+//
+//	precursor-server -addr :7100 -shard 0/4 -heat -metrics :9090
 package main
 
 import (
@@ -63,19 +71,20 @@ func main() {
 		trace     = flag.Bool("trace", false, "record per-stage op timing; exported on /metrics and /debug/traces (needs -metrics)")
 		pprofFlag = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the metrics address (needs -metrics)")
 		slowop    = flag.Duration("slowop", 0, "log operations slower than this threshold (implies -trace; 0 = off)")
+		heatOn    = flag.Bool("heat", false, "accumulate workload heat (hashed heavy hitters, ring-range load, op rates); exported on /metrics and /debug/heat (needs -metrics to export)")
 		auditOn   = flag.Bool("audit", false, "record security events in a tamper-evident audit log; exported on /metrics, /debug/audit and /healthz (needs -metrics to export)")
 		dataDir   = flag.String("data-dir", "", "directory for the durable value log: large values spill to untrusted disk and survive crashes (empty = memory only)")
 		vlogMax   = flag.Int("vlog-inline-max", 0, "values larger than this many bytes go to the value log (0 = default 4096; needs -data-dir)")
 		vlogSeg   = flag.Int64("vlog-segment-mb", 0, "value-log segment size in MiB (0 = default 64; needs -data-dir)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *hardened, *inline, *ownerOnly, *stats, *metrics, *stateDir, *sealEvery, *shard, *trace, *pprofFlag, *slowop, *auditOn, *dataDir, *vlogMax, *vlogSeg); err != nil {
+	if err := run(*addr, *workers, *hardened, *inline, *ownerOnly, *stats, *metrics, *stateDir, *sealEvery, *shard, *trace, *pprofFlag, *slowop, *heatOn, *auditOn, *dataDir, *vlogMax, *vlogSeg); err != nil {
 		fmt.Fprintln(os.Stderr, "precursor-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery time.Duration, metricsAddr, stateDir string, sealEvery time.Duration, shard string, trace, pprofOn bool, slowop time.Duration, auditOn bool, dataDir string, vlogMax int, vlogSeg int64) error {
+func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery time.Duration, metricsAddr, stateDir string, sealEvery time.Duration, shard string, trace, pprofOn bool, slowop time.Duration, heatOn, auditOn bool, dataDir string, vlogMax int, vlogSeg int64) error {
 	var shardID cluster.ShardID
 	if shard != "" {
 		var err error
@@ -106,6 +115,11 @@ func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery 
 			SlowThreshold: slowop,
 		})
 		cfg.Tracer = tracer
+	}
+	var heatColl *precursor.HeatCollector
+	if heatOn {
+		heatColl = precursor.NewHeatCollector(precursor.HeatConfig{Stripes: workers})
+		cfg.Heat = heatColl
 	}
 	var auditLog *precursor.AuditLog
 	if auditOn {
@@ -202,6 +216,9 @@ func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery 
 		if pprofOn {
 			opts = append(opts, precursor.WithPprof())
 		}
+		if heatColl != nil {
+			opts = append(opts, precursor.WithHeat("server", heatColl))
+		}
 		if auditLog != nil {
 			opts = append(opts, precursor.WithAudit(auditLog))
 		}
@@ -214,14 +231,17 @@ func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery 
 		if tracer != nil {
 			fmt.Printf("traces:           http://%s/debug/traces"+"\n", metrics.Addr())
 		}
+		if heatColl != nil {
+			fmt.Printf("heat:             http://%s/debug/heat"+"\n", metrics.Addr())
+		}
 		if auditLog != nil {
 			fmt.Printf("audit:            http://%s/debug/audit"+"\n", metrics.Addr())
 		}
 		if pprofOn {
 			fmt.Printf("pprof:            http://%s/debug/pprof/"+"\n", metrics.Addr())
 		}
-	} else if tracer != nil || pprofOn || auditLog != nil {
-		fmt.Fprintln(os.Stderr, "precursor-server: -trace/-pprof/-slowop/-audit export requires -metrics (recording still active)")
+	} else if tracer != nil || pprofOn || auditLog != nil || heatColl != nil {
+		fmt.Fprintln(os.Stderr, "precursor-server: -trace/-pprof/-slowop/-audit/-heat export requires -metrics (recording still active)")
 	}
 
 	pub, err := x509.MarshalPKIXPublicKey(cfg.Platform.AttestationPublicKey())

@@ -124,6 +124,53 @@ func TestDocsCoverDurableTier(t *testing.T) {
 	}
 }
 
+// TestDocsCoverHeat pins the documentation for workload-heat
+// telemetry: the metric families and debug endpoint, the
+// skew-to-resharding operator workflow, the privacy guarantee (hashed
+// ids only), and the user-facing flags. A rename in code without the
+// matching doc update fails here.
+func TestDocsCoverHeat(t *testing.T) {
+	for _, tc := range []struct {
+		file    string
+		phrases []string
+	}{
+		{"README.md", []string{
+			"-heat",
+			"-bench-skew",
+			"BENCH_heat.json",
+			"/debug/heat",
+		}},
+		{"OBSERVABILITY.md", []string{
+			"precursor_heat_ops_total",
+			"precursor_heat_range_ops_total",
+			"precursor_heat_top1_share",
+			"precursor_heat_batch_fill_total",
+			"precursor_slowop_suppressed_total",
+			"precursor_fleet_hottest_target",
+			"precursor_fleet_heat_skew_max_mean",
+			"precursor_build_info",
+			"precursor_uptime_seconds",
+			"hashed key ids only",
+			"Skew-to-resharding workflow",
+			"/debug/heat",
+			"-bench-skew",
+			"BENCH_heat.json",
+		}},
+	} {
+		data, err := os.ReadFile(tc.file)
+		if err != nil {
+			t.Errorf("read %s: %v", tc.file, err)
+			continue
+		}
+		text := string(data)
+		for _, phrase := range tc.phrases {
+			if !strings.Contains(text, phrase) {
+				t.Errorf("%s: missing %q", tc.file, phrase)
+			}
+		}
+	}
+}
+
 // TestDocsCoverBatching pins the documentation for multi-op batch
 // frames: the wire-format section, the user-facing quickstart and
 // bench flag, and the observability stages/metric families. A rename

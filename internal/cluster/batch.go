@@ -15,6 +15,7 @@ import (
 
 	"precursor/internal/audit"
 	"precursor/internal/core"
+	"precursor/internal/heat"
 )
 
 // BatchBackend is the optional batching capability of a Backend:
@@ -64,6 +65,13 @@ func (c *Client) Batch(ops []core.BatchOp) ([]core.BatchResult, error) {
 		return nil, nil
 	}
 	results := make([]core.BatchResult, len(ops))
+	if c.opts.Heat != nil {
+		c.opts.Heat.RecordBatch(len(ops))
+		for i := range ops {
+			c.opts.Heat.Record(batchHeatKind(ops[i].Kind),
+				heat.HashKey(ops[i].Key), len(ops[i].Value), 0)
+		}
+	}
 	// Split by owning group, remembering each op's original index so
 	// reassembly preserves order across groups.
 	type subBatch struct {
@@ -109,7 +117,26 @@ func (c *Client) Batch(ops []core.BatchOp) ([]core.BatchResult, error) {
 		}(sb)
 	}
 	wg.Wait()
+	if c.opts.Heat != nil {
+		var out int
+		for i := range results {
+			out += len(results[i].Value)
+		}
+		c.opts.Heat.AddBytesOut(out)
+	}
 	return results, nil
+}
+
+// batchHeatKind maps batch op kinds to heat collector kinds.
+func batchHeatKind(k core.BatchOpKind) heat.Kind {
+	switch k {
+	case core.BatchPut:
+		return heat.KindPut
+	case core.BatchDelete:
+		return heat.KindDelete
+	default:
+		return heat.KindGet
+	}
 }
 
 // PutBatch stores values[i] under keys[i], routed and batched per

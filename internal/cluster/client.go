@@ -10,6 +10,7 @@ import (
 
 	"precursor/internal/audit"
 	"precursor/internal/core"
+	"precursor/internal/heat"
 	"precursor/internal/hist"
 	"precursor/internal/obs"
 )
@@ -91,6 +92,12 @@ type Options struct {
 	// and replica names) and receives NoteFault annotations on failover
 	// and repair events. A SideClient tracer; nil disables.
 	Tracer *obs.Tracer
+	// Heat, when set, accumulates routing-path workload heat: which
+	// hashed keys this client sends where, ring-range load and op
+	// rates, mirroring the server-side apply-path collector so client
+	// and shard views of skew can be compared. Nil disables (one
+	// branch per op).
+	Heat *heat.Collector
 }
 
 func (o *Options) withDefaults() Options {
@@ -316,6 +323,7 @@ func (c *Client) Put(key string, value []byte) error {
 	if err != nil {
 		return err
 	}
+	c.opts.Heat.Record(heat.KindPut, heat.HashKey(key), len(value), 0)
 	if g.single() {
 		return c.singleOp(g.replicas[0], func(b Backend) error { return b.Put(key, value) },
 			func(r *replicaState) { r.puts.Add(1) })
@@ -333,6 +341,7 @@ func (c *Client) Get(key string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.opts.Heat.Record(heat.KindGet, heat.HashKey(key), 0, 0)
 	if g.single() {
 		rep := g.replicas[0]
 		tok, err := c.admitLegacy(rep)
@@ -345,9 +354,12 @@ func (c *Client) Get(key string) ([]byte, error) {
 		if err = c.observe(rep, tok, err, false, ""); err == nil {
 			rep.gets.Add(1)
 		}
+		c.opts.Heat.AddBytesOut(len(v))
 		return v, err
 	}
-	return c.replicatedGet(g, key)
+	v, err := c.replicatedGet(g, key)
+	c.opts.Heat.AddBytesOut(len(v))
+	return v, err
 }
 
 // Delete removes key from the owning group (quorum-acked when
@@ -357,6 +369,7 @@ func (c *Client) Delete(key string) error {
 	if err != nil {
 		return err
 	}
+	c.opts.Heat.Record(heat.KindDelete, heat.HashKey(key), 0, 0)
 	if g.single() {
 		return c.singleOp(g.replicas[0], func(b Backend) error { return b.Delete(key) },
 			func(r *replicaState) { r.deletes.Add(1) })
@@ -857,6 +870,14 @@ type Stats struct {
 	// repair runs across all replicas.
 	Repairs        uint64
 	RepairFailures uint64
+	// GroupSkew is the imbalance of routed ops across replica groups
+	// (ring positions): how unevenly this client's traffic lands on
+	// the shards, regardless of why. Balanced traffic has CV 0 and
+	// MaxMean 1; see heat.SkewOf.
+	GroupSkew heat.Skew
+	// HottestGroup is the replica group that received the most routed
+	// ops ("" before any traffic).
+	HottestGroup string
 }
 
 // Stats snapshots per-replica counters, health and ring ownership.
@@ -869,8 +890,10 @@ func (c *Client) Stats() Stats {
 		Repairs:          c.repairsDone.Load(),
 		RepairFailures:   c.repairFailures.Load(),
 	}
+	groupOps := make([]uint64, 0, len(c.order))
 	for _, name := range c.order {
 		g := c.groups[name]
+		var groupMax uint64
 		for _, rep := range g.replicas {
 			rep.mu.Lock()
 			state := "up"
@@ -900,9 +923,34 @@ func (c *Client) Stats() Stats {
 			st.Gets += ss.Gets
 			st.Deletes += ss.Deletes
 			st.Errors += ss.Errors
+			if ops := ss.Puts + ss.Gets + ss.Deletes; ops > groupMax {
+				groupMax = ops
+			}
+		}
+		// A group's routed load is its busiest replica's op count: exact
+		// for single-replica groups, and for replicated ones it avoids
+		// multiplying quorum fan-out into the skew signal.
+		groupOps = append(groupOps, groupMax)
+	}
+	st.GroupSkew = SkewOfGroups(c.order, groupOps, &st.HottestGroup)
+	return st
+}
+
+// SkewOfGroups computes load imbalance over per-group op counts and,
+// when hottest is non-nil, names the busiest group into it ("" when
+// counts are empty or all zero).
+func SkewOfGroups(names []string, ops []uint64, hottest *string) heat.Skew {
+	if hottest != nil {
+		*hottest = ""
+		var best uint64
+		for i, n := range ops {
+			if n > best && i < len(names) {
+				best = n
+				*hottest = names[i]
+			}
 		}
 	}
-	return st
+	return heat.SkewOf(ops)
 }
 
 // Close stops the repair goroutine and closes every replica backend.

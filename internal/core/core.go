@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"precursor/internal/audit"
+	"precursor/internal/heat"
 	"precursor/internal/obs"
 	"precursor/internal/sgx"
 )
@@ -137,6 +138,13 @@ type ServerConfig struct {
 	// group share a platform, so the key is the same). Nil disables
 	// auditing at the cost of one branch per detection.
 	Audit *audit.Log
+	// Heat, when set, accumulates workload heat on the apply path —
+	// heavy-hitter key hashes, ring-range load, op rates, bytes and
+	// batch fill — inside the enclave boundary (only hashed key ids
+	// ever leave it; see internal/heat and OBSERVABILITY.md). Nil
+	// disables heat accounting; the hot path then pays one branch per
+	// request.
+	Heat *heat.Collector
 }
 
 func (c *ServerConfig) withDefaults() ServerConfig {

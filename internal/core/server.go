@@ -12,6 +12,7 @@ import (
 	"precursor/internal/audit"
 	"precursor/internal/cryptox"
 	"precursor/internal/hashtable"
+	"precursor/internal/heat"
 	"precursor/internal/obs"
 	"precursor/internal/rdma"
 	"precursor/internal/ringbuf"
@@ -249,6 +250,10 @@ func (s *Server) Tracer() *obs.Tracer { return s.cfg.Tracer }
 // AuditLog returns the server's security audit log (nil when auditing
 // is disabled). /debug/audit and /healthz serve from it.
 func (s *Server) AuditLog() *audit.Log { return s.cfg.Audit }
+
+// Heat returns the server's heat collector (nil when heat accounting
+// is disabled).
+func (s *Server) Heat() *heat.Collector { return s.cfg.Heat }
 
 // SetOwnerOnly enables the simple access-control policy where only the
 // client that wrote a key may read or delete it ("traditional access
@@ -531,6 +536,13 @@ func (s *Server) senderLoop() {
 // the trace is finished here. now is the caller's last stage-boundary
 // timestamp (0 when op is nil), continuing the chained clock reads.
 func (s *Server) reply(sess *session, status wire.Status, control *wire.ResponseControl, payload []byte, op *obs.Op, now int64) {
+	if s.cfg.Heat != nil {
+		n := len(payload)
+		if control != nil {
+			n += len(control.InlineValue)
+		}
+		s.cfg.Heat.AddBytesOut(n)
+	}
 	var sealed []byte
 	if control != nil {
 		pt, err := control.Encode()
@@ -623,6 +635,15 @@ func (s *Server) handleRequest(sess *session, msg []byte, op *obs.Op, now int64)
 	sess.lastOid = ctl.Oid
 	now = op.SpanEnd(obs.SrvVerify, now)
 
+	// Heat accounting happens here — after the control seal opened, so
+	// the key is authentic, and before dispatch, so every op kind is
+	// covered by one hook. Only the key's hash enters the sketch; the
+	// response payload size is added by reply.
+	if s.cfg.Heat != nil {
+		s.cfg.Heat.Record(heatKind(ctl.Op), heat.HashKeyBytes(ctl.Key),
+			len(req.Payload)+len(ctl.InlineValue), 0)
+	}
+
 	switch ctl.Op {
 	case wire.OpPut:
 		s.handlePut(sess, req, ctl, op, now)
@@ -630,6 +651,18 @@ func (s *Server) handleRequest(sess *session, msg []byte, op *obs.Op, now int64)
 		s.handleGet(sess, ctl, op, now)
 	case wire.OpDelete:
 		s.handleDelete(sess, ctl, op, now)
+	}
+}
+
+// heatKind maps opcodes to heat collector kinds.
+func heatKind(o wire.Opcode) heat.Kind {
+	switch o {
+	case wire.OpPut:
+		return heat.KindPut
+	case wire.OpDelete:
+		return heat.KindDelete
+	default:
+		return heat.KindGet
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"precursor/internal/audit"
 	"precursor/internal/cryptox"
+	"precursor/internal/heat"
 	"precursor/internal/obs"
 	"precursor/internal/wire"
 )
@@ -96,6 +97,7 @@ func (s *Server) handleBatch(sess *session, msg []byte, op *obs.Op, now int64) {
 
 	s.batches.Add(1)
 	s.batchedOps.Add(uint64(len(ctl.Ops)))
+	s.cfg.Heat.RecordBatch(len(ctl.Ops))
 	sess.brep.Oid = ctl.Oid
 	sess.brep.Flags = 0
 	sess.brep.Results = sess.brep.Results[:0]
@@ -105,6 +107,12 @@ func (s *Server) handleBatch(sess *session, msg []byte, op *obs.Op, now int64) {
 		bop := &ctl.Ops[i]
 		seg := sess.breq.Payload[off : off+int(bop.PayloadLen)]
 		off += int(bop.PayloadLen)
+		if s.cfg.Heat != nil {
+			// Batched ops heat-account like single ops: authentic key
+			// hash, request bytes in; replyBatch adds the response size.
+			s.cfg.Heat.Record(heatKind(bop.Op), heat.HashKeyBytes(bop.Key),
+				len(seg)+len(bop.InlineValue), 0)
+		}
 		var res wire.BatchOpResult
 		switch bop.Op {
 		case wire.OpPut:
@@ -341,6 +349,7 @@ func (s *Server) applyBatchDelete(sess *session, bop *wire.BatchOp) wire.BatchOp
 // StatusServerError (retryable) while write results, whose effects are
 // already applied, are preserved. Takes ownership of op like reply.
 func (s *Server) replyBatch(sess *session, status wire.Status, payload []byte, op *obs.Op, now int64) {
+	s.cfg.Heat.AddBytesOut(len(payload))
 	var err error
 	sess.bRepPt, err = wire.AppendBatchReply(sess.bRepPt[:0], &sess.brep)
 	if err != nil {

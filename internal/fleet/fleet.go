@@ -16,11 +16,14 @@ package fleet
 import (
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"precursor/internal/heat"
 )
 
 // Defaults for Config zero values.
@@ -255,6 +258,29 @@ type StageLatency struct {
 	Target string
 }
 
+// TargetHeat is one target's workload-heat summary in a Rollup, folded
+// from the target's precursor_heat_* families (absent for targets that
+// export no heat collector).
+type TargetHeat struct {
+	// Name is the target's configured name.
+	Name string
+	// Ops sums precursor_heat_ops_total over kinds and sides.
+	Ops uint64
+	// Rate sums precursor_heat_op_rate over kinds and sides (ops/sec).
+	Rate float64
+	// RangeSkew is the target's worst key-range imbalance across its
+	// heat vantages (hot keys *within* the shard's arc of the ring).
+	RangeSkew heat.Skew
+}
+
+// heatSkewMinOps gates the load-skew anomaly: with fewer total fleet
+// ops than this, imbalance is noise, not signal.
+const heatSkewMinOps = 1000
+
+// heatSkewAnomalyMaxMean is the hottest-shard max/mean ratio at or
+// above which the rollup raises a load-skew anomaly.
+const heatSkewAnomalyMaxMean = 2.0
+
 // Rollup is one consistent snapshot of fleet health.
 type Rollup struct {
 	// Targets are the per-endpoint statuses, in configuration order.
@@ -281,6 +307,16 @@ type Rollup struct {
 	// StageP99 is the worst p99 per (side, stage) across the fleet,
 	// sorted by side then stage.
 	StageP99 []StageLatency
+	// Heat holds per-target workload-heat summaries, in configuration
+	// order, for targets exporting precursor_heat_* (empty otherwise).
+	Heat []TargetHeat
+	// HottestTarget names the target with the most heat-accounted ops
+	// ("" when no target exports heat or all are idle).
+	HottestTarget string
+	// HeatSkew is the fleet-wide load imbalance across the heat-exporting
+	// targets' op counts — the cross-shard skew the hash ring is supposed
+	// to keep near {0, 1}.
+	HeatSkew heat.Skew
 	// Anomalies are human-readable flags raised by this rollup: down
 	// targets, budget overburn, integrity events present.
 	Anomalies []string
@@ -304,8 +340,31 @@ func (a *Aggregator) Snapshot() Rollup {
 			r.TargetsUp++
 		}
 		availSum += ts.Availability
+		th := TargetHeat{Name: t.name}
+		heatSeen := false
 		for _, s := range t.samples {
+			// A target emitting NaN or ±Inf (an empty summary window, a
+			// division by zero upstream) must not poison worst-of or sum
+			// folds: NaN compares false against everything, so a NaN that
+			// arrived first would hold its slot forever.
+			if math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+				continue
+			}
 			switch s.Name {
+			case "precursor_heat_ops_total":
+				th.Ops += uint64(s.Value)
+				heatSeen = true
+			case "precursor_heat_op_rate":
+				th.Rate += s.Value
+				heatSeen = true
+			case "precursor_heat_range_skew_cv":
+				if s.Value > th.RangeSkew.CV {
+					th.RangeSkew.CV = s.Value
+				}
+			case "precursor_heat_range_skew_max_mean":
+				if s.Value > th.RangeSkew.MaxMean {
+					th.RangeSkew.MaxMean = s.Value
+				}
 			case "precursor_cluster_quorum_shortfalls_total":
 				r.QuorumShortfalls += uint64(s.Value)
 			case "precursor_cluster_read_failovers_total":
@@ -332,6 +391,23 @@ func (a *Aggregator) Snapshot() Rollup {
 				}
 			}
 		}
+		if heatSeen {
+			r.Heat = append(r.Heat, th)
+		}
+	}
+	if len(r.Heat) > 0 {
+		ops := make([]uint64, len(r.Heat))
+		var hottest uint64
+		for i, th := range r.Heat {
+			ops[i] = th.Ops
+			if th.Ops > hottest {
+				hottest = th.Ops
+				r.HottestTarget = th.Name
+			}
+		}
+		r.HeatSkew = heat.SkewOf(ops)
+	} else {
+		r.HeatSkew = heat.Skew{MaxMean: 1}
 	}
 	if len(a.targets) > 0 {
 		r.Availability = availSum / float64(len(a.targets))
@@ -369,6 +445,17 @@ func (a *Aggregator) Snapshot() Rollup {
 	for _, kind := range []string{"byzantine_failover", "rollback", "snapshot_auth", "attest_fail"} {
 		if n := r.AuditEvents[kind]; n > 0 {
 			r.Anomalies = append(r.Anomalies, fmt.Sprintf("%d %s audit events", n, kind))
+		}
+	}
+	if r.HottestTarget != "" && r.HeatSkew.MaxMean >= heatSkewAnomalyMaxMean {
+		var totalOps uint64
+		for _, th := range r.Heat {
+			totalOps += th.Ops
+		}
+		if totalOps >= heatSkewMinOps {
+			r.Anomalies = append(r.Anomalies, fmt.Sprintf(
+				"load skew: hottest shard %s at %.2fx mean (cv %.2f) — see its /debug/heat for the hot keys",
+				r.HottestTarget, r.HeatSkew.MaxMean, r.HeatSkew.CV))
 		}
 	}
 	return r
@@ -431,6 +518,28 @@ func (a *Aggregator) WriteProm(w io.Writer) error {
 		head("precursor_fleet_stage_p99_seconds", "Worst p99 stage latency anywhere in the fleet", "gauge")
 		for _, sl := range r.StageP99 {
 			fmt.Fprintf(&b, "precursor_fleet_stage_p99_seconds{side=%q,stage=%q,target=%q} %g\n", sl.Side, sl.Stage, sl.Target, sl.P99)
+		}
+	}
+	if len(r.Heat) > 0 {
+		head("precursor_fleet_heat_ops_total", "Heat-accounted operations per target (all kinds and vantages)", "counter")
+		for _, th := range r.Heat {
+			fmt.Fprintf(&b, "precursor_fleet_heat_ops_total{target=%q} %d\n", th.Name, th.Ops)
+		}
+		head("precursor_fleet_heat_op_rate", "EWMA heat-accounted op rate per target in ops/sec", "gauge")
+		for _, th := range r.Heat {
+			fmt.Fprintf(&b, "precursor_fleet_heat_op_rate{target=%q} %g\n", th.Name, th.Rate)
+		}
+		head("precursor_fleet_heat_range_skew_max_mean", "Worst within-target key-range imbalance (hot keys inside the shard's ring arc)", "gauge")
+		for _, th := range r.Heat {
+			fmt.Fprintf(&b, "precursor_fleet_heat_range_skew_max_mean{target=%q} %g\n", th.Name, th.RangeSkew.MaxMean)
+		}
+		head("precursor_fleet_heat_skew_cv", "Cross-target load imbalance: coefficient of variation of per-target heat ops", "gauge")
+		fmt.Fprintf(&b, "precursor_fleet_heat_skew_cv %g\n", r.HeatSkew.CV)
+		head("precursor_fleet_heat_skew_max_mean", "Cross-target load imbalance: hottest target's ops over the mean", "gauge")
+		fmt.Fprintf(&b, "precursor_fleet_heat_skew_max_mean %g\n", r.HeatSkew.MaxMean)
+		if r.HottestTarget != "" {
+			head("precursor_fleet_hottest_target", "Constant-1 gauge whose target label names the most-loaded target", "gauge")
+			fmt.Fprintf(&b, "precursor_fleet_hottest_target{target=%q} 1\n", r.HottestTarget)
 		}
 	}
 	head("precursor_fleet_anomalies", "Anomaly flags raised by the current rollup", "gauge")

@@ -216,6 +216,243 @@ func TestServeHTTPAndTop(t *testing.T) {
 	}
 }
 
+// TestParsePromNaNInfQuantiles covers summary families whose windows
+// are empty or degenerate: the text format spells those NaN/+Inf/-Inf,
+// ParseProm must accept them (they are valid floats), and the rollup
+// fold must not let them poison worst-of comparisons or counter sums.
+func TestParsePromNaNInfQuantiles(t *testing.T) {
+	in := `precursor_stage_latency_seconds{side="client",stage="cli_total",quantile="0.99"} NaN
+precursor_stage_latency_seconds{side="client",stage="cli_verify",quantile="0.99"} +Inf
+precursor_stage_latency_seconds{side="server",stage="srv_apply",quantile="0.99"} -Inf
+`
+	samples, err := ParseProm(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("got %d samples, want 3", len(samples))
+	}
+	if !math.IsNaN(samples[0].Value) {
+		t.Fatalf("sample 0: %+v, want NaN", samples[0])
+	}
+	if !math.IsInf(samples[1].Value, 1) || !math.IsInf(samples[2].Value, -1) {
+		t.Fatalf("Inf handling: %+v %+v", samples[1], samples[2])
+	}
+
+	// The NaN target is listed first, so without the rollup's guard its
+	// NaN would claim the cli_total slot and block t2's real value.
+	nan := promTarget(t, `precursor_stage_latency_seconds{side="client",stage="cli_total",quantile="0.99"} NaN
+precursor_stage_latency_seconds{side="client",stage="cli_verify",quantile="0.99"} +Inf
+precursor_heat_op_rate{side="server",kind="put"} NaN
+`)
+	real := promTarget(t, `precursor_stage_latency_seconds{side="client",stage="cli_total",quantile="0.99"} 0.002
+`)
+	agg, err := New(Config{Targets: []Target{
+		{Name: "t-nan", URL: nan.URL},
+		{Name: "t-real", URL: real.URL},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg.ScrapeOnce()
+	r := agg.Snapshot()
+	if len(r.StageP99) != 1 || r.StageP99[0].Stage != "cli_total" {
+		t.Fatalf("stage p99 fold: %+v, want only cli_total (NaN and Inf skipped)", r.StageP99)
+	}
+	if r.StageP99[0].P99 != 0.002 || r.StageP99[0].Target != "t-real" {
+		t.Fatalf("NaN displaced the real p99: %+v", r.StageP99[0])
+	}
+	for _, th := range r.Heat {
+		if math.IsNaN(th.Rate) {
+			t.Fatalf("NaN leaked into heat rate: %+v", th)
+		}
+	}
+}
+
+// TestAggregatorDuplicateMetricNames pins the aggregator's duplicate
+// semantics: the same family appearing twice within one scrape body
+// sums (two vantage labels of one counter), while re-scrapes of the
+// same target replace its samples — counters must not double-count
+// across scrape rounds.
+func TestAggregatorDuplicateMetricNames(t *testing.T) {
+	src := promTarget(t, `precursor_cluster_quorum_shortfalls_total 3
+precursor_cluster_quorum_shortfalls_total 2
+precursor_heat_ops_total{side="server",kind="put"} 10
+precursor_heat_ops_total{side="server",kind="get"} 30
+precursor_heat_ops_total{side="router",kind="get"} 5
+`)
+	agg, err := New(Config{Targets: []Target{{Name: "s", URL: src.URL}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg.ScrapeOnce()
+	r := agg.Snapshot()
+	if r.QuorumShortfalls != 5 {
+		t.Fatalf("within-scrape duplicates: got %d, want 3+2=5", r.QuorumShortfalls)
+	}
+	if len(r.Heat) != 1 || r.Heat[0].Ops != 45 {
+		t.Fatalf("heat ops across labels: %+v, want 45", r.Heat)
+	}
+	// Two more scrape rounds: the totals must stay put, not triple.
+	agg.ScrapeOnce()
+	agg.ScrapeOnce()
+	r = agg.Snapshot()
+	if r.QuorumShortfalls != 5 || r.Heat[0].Ops != 45 {
+		t.Fatalf("re-scrape doubled counters: shortfalls=%d heat=%d", r.QuorumShortfalls, r.Heat[0].Ops)
+	}
+}
+
+// TestAggregatorHTTP500MidWindow flips a target from healthy to HTTP
+// 500 partway through the availability window: the target must read as
+// down with the status in its error, availability must reflect the
+// mixed window, and the last good scrape's counters must still feed
+// the rollup (last-known values, not zeros).
+func TestAggregatorHTTP500MidWindow(t *testing.T) {
+	healthy := true
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy {
+			http.Error(w, "internal error", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_, _ = w.Write([]byte("precursor_cluster_repairs_total 4\n"))
+	}))
+	t.Cleanup(srv.Close)
+	agg, err := New(Config{Targets: []Target{{Name: "s", URL: srv.URL}}, Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg.ScrapeOnce()
+	agg.ScrapeOnce()
+	healthy = false
+	agg.ScrapeOnce()
+	agg.ScrapeOnce()
+	r := agg.Snapshot()
+	ts := r.Targets[0]
+	if ts.Up {
+		t.Fatal("target still up after HTTP 500s")
+	}
+	if !strings.Contains(ts.Err, "HTTP 500") {
+		t.Fatalf("error text: %q, want HTTP 500", ts.Err)
+	}
+	if math.Abs(ts.Availability-0.5) > 1e-9 {
+		t.Fatalf("availability=%g, want 0.5 (2 of 4 windowed scrapes failed)", ts.Availability)
+	}
+	if ts.Scrapes != 4 || ts.Failures != 2 {
+		t.Fatalf("scrapes=%d failures=%d, want 4 and 2", ts.Scrapes, ts.Failures)
+	}
+	if r.Repairs != 4 {
+		t.Fatalf("last-known counters lost on failure: repairs=%d, want 4", r.Repairs)
+	}
+	foundDown := false
+	for _, an := range r.Anomalies {
+		if strings.Contains(an, "HTTP 500") {
+			foundDown = true
+		}
+	}
+	if !foundDown {
+		t.Fatalf("no down anomaly naming HTTP 500: %v", r.Anomalies)
+	}
+}
+
+// TestFleetHeatRollup drives the heat fold end to end: per-target heat
+// summaries, hottest-target election, cross-shard skew, the /fleet
+// promtext families, the -top HEAT pane and the load-skew anomaly.
+func TestFleetHeatRollup(t *testing.T) {
+	hot := promTarget(t, `precursor_heat_ops_total{side="server",kind="put"} 300
+precursor_heat_ops_total{side="server",kind="get"} 2700
+precursor_heat_op_rate{side="server",kind="get"} 90.5
+precursor_heat_range_skew_cv{side="server"} 1.4
+precursor_heat_range_skew_max_mean{side="server"} 6.2
+`)
+	cold := promTarget(t, `precursor_heat_ops_total{side="server",kind="get"} 100
+precursor_heat_op_rate{side="server",kind="get"} 3.1
+precursor_heat_range_skew_cv{side="server"} 0.2
+precursor_heat_range_skew_max_mean{side="server"} 1.3
+`)
+	bare := promTarget(t, "precursor_ready 1\n") // no heat exported
+	agg, err := New(Config{Targets: []Target{
+		{Name: "hot", URL: hot.URL},
+		{Name: "cold", URL: cold.URL},
+		{Name: "bare", URL: bare.URL},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg.ScrapeOnce()
+	r := agg.Snapshot()
+	if len(r.Heat) != 2 {
+		t.Fatalf("heat targets: %+v, want 2 (bare target excluded)", r.Heat)
+	}
+	if r.Heat[0].Name != "hot" || r.Heat[0].Ops != 3000 || r.Heat[0].Rate != 90.5 {
+		t.Fatalf("hot target heat: %+v", r.Heat[0])
+	}
+	if r.Heat[0].RangeSkew.MaxMean != 6.2 || r.Heat[0].RangeSkew.CV != 1.4 {
+		t.Fatalf("hot target range skew: %+v", r.Heat[0].RangeSkew)
+	}
+	if r.HottestTarget != "hot" {
+		t.Fatalf("hottest=%q, want hot", r.HottestTarget)
+	}
+	// ops {3000, 100}: mean 1550, max/mean ~1.935 — skewed but below the
+	// 2.0 anomaly threshold.
+	if r.HeatSkew.MaxMean < 1.9 || r.HeatSkew.MaxMean > 2.0 {
+		t.Fatalf("fleet heat skew: %+v", r.HeatSkew)
+	}
+	var buf bytes.Buffer
+	if err := agg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`precursor_fleet_heat_ops_total{target="hot"} 3000`,
+		`precursor_fleet_heat_op_rate{target="cold"} 3.1`,
+		`precursor_fleet_heat_range_skew_max_mean{target="hot"} 6.2`,
+		`precursor_fleet_hottest_target{target="hot"} 1`,
+		"precursor_fleet_heat_skew_max_mean ",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("/fleet missing %q:\n%s", want, buf.String())
+		}
+	}
+	var top bytes.Buffer
+	WriteTop(&top, r)
+	for _, want := range []string{"HEAT", "hottest=hot", "90.5/s", "6.20x"} {
+		if !strings.Contains(top.String(), want) {
+			t.Fatalf("-top HEAT pane missing %q:\n%s", want, top.String())
+		}
+	}
+}
+
+// TestFleetHeatSkewAnomaly crosses the skew-anomaly thresholds (>= 2x
+// max/mean with >= 1000 total ops) and expects the actionable flag.
+func TestFleetHeatSkewAnomaly(t *testing.T) {
+	// Four shards: max/mean over N counters tops out at N, so a 2x
+	// threshold needs more than two targets to be crossable at all.
+	hot := promTarget(t, `precursor_heat_ops_total{side="server",kind="get"} 5000
+`)
+	cold := promTarget(t, `precursor_heat_ops_total{side="server",kind="get"} 100
+`)
+	agg, err := New(Config{Targets: []Target{
+		{Name: "shard0", URL: hot.URL},
+		{Name: "shard1", URL: cold.URL},
+		{Name: "shard2", URL: cold.URL},
+		{Name: "shard3", URL: cold.URL},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg.ScrapeOnce()
+	r := agg.Snapshot()
+	found := false
+	for _, an := range r.Anomalies {
+		if strings.Contains(an, "load skew") && strings.Contains(an, "shard0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no load-skew anomaly naming shard0: %v", r.Anomalies)
+	}
+}
+
 func TestStartAndClose(t *testing.T) {
 	src := promTarget(t, "precursor_ready 1\n")
 	agg, err := New(Config{Targets: []Target{{Name: "s", URL: src.URL}}, Interval: 10 * time.Millisecond})

@@ -47,6 +47,17 @@ func WriteTop(w io.Writer, r Rollup) {
 	}
 	fmt.Fprintln(w)
 
+	if len(r.Heat) > 0 {
+		fmt.Fprintf(w, "\nHEAT  hottest=%s  cross-shard max/mean=%.2fx cv=%.2f\n",
+			orDash(r.HottestTarget), r.HeatSkew.MaxMean, r.HeatSkew.CV)
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "TARGET\tOPS\tRATE\tRANGE-SKEW")
+		for _, th := range r.Heat {
+			fmt.Fprintf(tw, "%s\t%d\t%.1f/s\t%.2fx\n", th.Name, th.Ops, th.Rate, th.RangeSkew.MaxMean)
+		}
+		tw.Flush()
+	}
+
 	if len(r.StageP99) > 0 {
 		fmt.Fprintln(w, "\nWORST P99 PER STAGE")
 		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
@@ -64,4 +75,12 @@ func WriteTop(w io.Writer, r Rollup) {
 			fmt.Fprintf(w, "  ! %s\n", an)
 		}
 	}
+}
+
+// orDash substitutes "-" for an empty field in the table view.
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }

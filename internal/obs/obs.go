@@ -249,6 +249,15 @@ type Config struct {
 	SlowThreshold time.Duration
 	// Logger receives slow-op reports (slog.Default() if nil).
 	Logger *slog.Logger
+	// SlowLogBurst is the token-bucket burst for slow-op log lines
+	// (default 10): a latency storm gets at most this many consecutive
+	// lines before the steady-state rate applies.
+	SlowLogBurst int
+	// SlowLogEvery is the steady-state interval between slow-op log
+	// lines once the burst is spent (default 1s; negative disables
+	// rate limiting entirely). Suppressed reports are counted — see
+	// SlowSuppressed and precursor_slowop_suppressed_total.
+	SlowLogEvery time.Duration
 }
 
 // Tracer aggregates operation traces for one side of the pipeline. All
@@ -266,6 +275,17 @@ type Tracer struct {
 
 	slow   atomic.Int64
 	logger *slog.Logger
+
+	// Slow-op log token bucket: a latency storm must not flood stderr.
+	// slowMu guards the bucket; suppressed is the cumulative drop
+	// counter (atomic so the metrics scrape never takes the mutex).
+	slowMu        sync.Mutex
+	slowTokens    float64
+	slowLast      int64   // timebase ns of the last refill
+	slowBurst     float64 // bucket capacity
+	slowEveryNs   float64 // ns per replenished token (<= 0: unlimited)
+	slowSuppDelta uint64  // drops since the last emitted line
+	suppressed    atomic.Uint64
 
 	faults   [maxFaultNotes]atomic.Pointer[faultNote]
 	faultIdx atomic.Uint64
@@ -294,6 +314,18 @@ func New(cfg Config) *Tracer {
 		logger: logger,
 	}
 	t.slow.Store(int64(cfg.SlowThreshold))
+	burst := cfg.SlowLogBurst
+	if burst <= 0 {
+		burst = 10
+	}
+	every := cfg.SlowLogEvery
+	if every == 0 {
+		every = time.Second
+	}
+	t.slowBurst = float64(burst)
+	t.slowTokens = t.slowBurst
+	t.slowEveryNs = float64(every.Nanoseconds()) // negative: unlimited
+	t.slowLast = Now()
 	for s := Stage(0); s < NumStages; s++ {
 		t.hists[s] = hist.NewSharded(cfg.Workers)
 	}
@@ -411,9 +443,49 @@ func (t *Tracer) Snapshot() []StageQuantiles {
 	return out
 }
 
+// slowAdmit consults the slow-op token bucket: it returns whether this
+// report may be logged and, when it may, how many reports were
+// suppressed since the last emitted line (so the log still conveys
+// storm magnitude without a line per op).
+func (t *Tracer) slowAdmit() (suppressedSince uint64, ok bool) {
+	if t.slowEveryNs <= 0 {
+		return 0, true
+	}
+	now := Now()
+	t.slowMu.Lock()
+	defer t.slowMu.Unlock()
+	t.slowTokens += float64(now-t.slowLast) / t.slowEveryNs
+	t.slowLast = now
+	if t.slowTokens > t.slowBurst {
+		t.slowTokens = t.slowBurst
+	}
+	if t.slowTokens < 1 {
+		t.slowSuppDelta++
+		t.suppressed.Add(1)
+		return 0, false
+	}
+	t.slowTokens--
+	since := t.slowSuppDelta
+	t.slowSuppDelta = 0
+	return since, true
+}
+
+// SlowSuppressed returns the cumulative count of slow-op reports the
+// rate limiter dropped (precursor_slowop_suppressed_total). Nil-safe.
+func (t *Tracer) SlowSuppressed() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.suppressed.Load()
+}
+
 // logSlow emits the slow-op report: one line with the breakdown, never
 // any key or payload material.
 func (t *Tracer) logSlow(tr *Trace) {
+	suppressedSince, ok := t.slowAdmit()
+	if !ok {
+		return
+	}
 	attrs := []any{
 		slog.String("kind", tr.Kind),
 		slog.Uint64("trace", tr.ID),
@@ -430,6 +502,9 @@ func (t *Tracer) logSlow(tr *Trace) {
 	}
 	if len(tr.Faults) > 0 {
 		attrs = append(attrs, slog.Any("faults", tr.Faults))
+	}
+	if suppressedSince > 0 {
+		attrs = append(attrs, slog.Uint64("suppressed_since_last", suppressedSince))
 	}
 	t.logger.Warn("slow operation", attrs...)
 }

@@ -176,6 +176,66 @@ func TestSlowOpLogAndFaultAnnotation(t *testing.T) {
 	}
 }
 
+// TestSlowOpRateLimit: a latency storm gets at most the burst of log
+// lines plus ~1/SlowLogEvery after; the rest are counted, not printed,
+// and the next admitted line carries the suppressed count.
+func TestSlowOpRateLimit(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	tr := New(Config{
+		Side: SideServer, Ring: 4, SlowThreshold: time.Nanosecond,
+		Logger: logger, SlowLogBurst: 3, SlowLogEvery: time.Hour,
+	})
+	const storm = 50
+	for i := 0; i < storm; i++ {
+		op := tr.Start(0, "put")
+		time.Sleep(10 * time.Microsecond) // over the 1ns threshold
+		op.Finish()
+	}
+	if got := strings.Count(buf.String(), "slow operation"); got != 3 {
+		t.Fatalf("storm of %d emitted %d lines, want the burst of 3", storm, got)
+	}
+	if got := tr.SlowSuppressed(); got != storm-3 {
+		t.Fatalf("SlowSuppressed = %d, want %d", got, storm-3)
+	}
+
+	// Refill one token and confirm the next line reports the backlog.
+	tr.slowMu.Lock()
+	tr.slowTokens = 1
+	tr.slowMu.Unlock()
+	buf.Reset()
+	op := tr.Start(0, "get")
+	time.Sleep(10 * time.Microsecond)
+	op.Finish()
+	out := buf.String()
+	if !strings.Contains(out, "slow operation") || !strings.Contains(out, "suppressed_since_last=47") {
+		t.Fatalf("refilled line missing suppressed_since_last: %q", out)
+	}
+
+	// Negative SlowLogEvery disables limiting.
+	buf.Reset()
+	unlimited := New(Config{
+		Side: SideServer, Ring: 4, SlowThreshold: time.Nanosecond,
+		Logger: logger, SlowLogBurst: 1, SlowLogEvery: -1,
+	})
+	for i := 0; i < 5; i++ {
+		op := unlimited.Start(0, "put")
+		time.Sleep(10 * time.Microsecond)
+		op.Finish()
+	}
+	if got := strings.Count(buf.String(), "slow operation"); got != 5 {
+		t.Fatalf("unlimited tracer emitted %d lines, want 5", got)
+	}
+	if unlimited.SlowSuppressed() != 0 {
+		t.Fatalf("unlimited tracer suppressed %d", unlimited.SlowSuppressed())
+	}
+
+	var nilTracer *Tracer
+	if nilTracer.SlowSuppressed() != 0 {
+		t.Fatal("nil tracer SlowSuppressed")
+	}
+}
+
 // TestChromeTraceJSON checks the /debug/traces payload shape: valid
 // JSON, a traceEvents array of X events with µs timestamps, and the
 // metadata rows viewers use for naming.

@@ -45,6 +45,8 @@ type RunnerConfig struct {
 	Records   int
 	ValueSize int
 	Dist      Distribution
+	// ZipfTheta sets the zipfian skew exponent (see GeneratorConfig).
+	ZipfTheta float64
 	Clients   int
 	// OpsPerClient bounds each client's operations (0 = use Duration).
 	OpsPerClient int
@@ -120,7 +122,8 @@ func Run(factory func(i int) (Store, error), cfg RunnerConfig) (Report, error) {
 			g, err := NewGenerator(GeneratorConfig{
 				Workload: cfg.Workload, Records: cfg.Records,
 				ValueSize: cfg.ValueSize, Dist: cfg.Dist,
-				Seed: cfg.Seed + int64(i)*7919,
+				ZipfTheta: cfg.ZipfTheta,
+				Seed:      cfg.Seed + int64(i)*7919,
 			})
 			if err != nil {
 				return

@@ -58,6 +58,10 @@ type Generator struct {
 	valueBuf  []byte
 }
 
+// DefaultZipfTheta is YCSB's standard zipfian skew constant, used
+// when GeneratorConfig.ZipfTheta is zero.
+const DefaultZipfTheta = 0.99
+
 // GeneratorConfig configures a Generator.
 type GeneratorConfig struct {
 	Workload  Workload
@@ -65,6 +69,13 @@ type GeneratorConfig struct {
 	ValueSize int
 	Dist      Distribution
 	Seed      int64
+	// ZipfTheta sets the zipfian skew exponent θ (DefaultZipfTheta
+	// when 0; only meaningful with Dist == Zipfian). θ in (0,1) uses
+	// YCSB's scrambled-zipfian approximation; θ > 1 — heavier skew
+	// than the approximation is valid for — uses the rejection-based
+	// generator, with the same rank scrambling. θ == 1 exactly is
+	// rejected (both formulations are singular there).
+	ZipfTheta float64
 }
 
 // NewGenerator creates a generator.
@@ -87,7 +98,14 @@ func NewGenerator(cfg GeneratorConfig) (*Generator, error) {
 		valueBuf:  make([]byte, cfg.ValueSize),
 	}
 	if cfg.Dist == Zipfian {
-		g.zipf = newZipfGen(cfg.Records, 0.99, g.rng)
+		theta := cfg.ZipfTheta
+		if theta == 0 {
+			theta = DefaultZipfTheta
+		}
+		if theta < 0 || theta == 1 {
+			return nil, fmt.Errorf("ycsb: zipf theta must be positive and != 1, got %v", theta)
+		}
+		g.zipf = newZipfGen(cfg.Records, theta, g.rng)
 	}
 	return g, nil
 }
@@ -116,7 +134,10 @@ func (g *Generator) Next() Op {
 
 // zipfGen is the YCSB zipfian generator over [0, n): items are permuted by
 // a multiplicative hash so the hot set is spread across the key space,
-// matching YCSB's scrambled zipfian.
+// matching YCSB's scrambled zipfian. For theta in (0,1) it uses Gray's
+// closed-form approximation (YCSB's own); for theta > 1 — where that
+// approximation is not valid — it delegates rank drawing to math/rand's
+// rejection-based Zipf generator and scrambles the same way.
 type zipfGen struct {
 	n     int
 	theta float64
@@ -124,10 +145,15 @@ type zipfGen struct {
 	zetan float64
 	eta   float64
 	rng   *rand.Rand
+	heavy *rand.Zipf // theta > 1 path
 }
 
 func newZipfGen(n int, theta float64, rng *rand.Rand) *zipfGen {
 	z := &zipfGen{n: n, theta: theta, rng: rng}
+	if theta > 1 {
+		z.heavy = rand.NewZipf(rng, theta, 1, uint64(n-1))
+		return z
+	}
 	z.zetan = zeta(n, theta)
 	z.alpha = 1.0 / (1.0 - theta)
 	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
@@ -143,6 +169,10 @@ func zeta(n int, theta float64) float64 {
 }
 
 func (z *zipfGen) next() int {
+	if z.heavy != nil {
+		rank := int(z.heavy.Uint64())
+		return int(uint64(rank) * 0x9E3779B97F4A7C15 % uint64(z.n))
+	}
 	u := z.rng.Float64()
 	uz := u * z.zetan
 	var rank int

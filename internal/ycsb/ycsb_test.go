@@ -3,6 +3,7 @@ package ycsb
 import (
 	"errors"
 	"math"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -230,11 +231,55 @@ func TestRunnerWarmupExcluded(t *testing.T) {
 	}
 }
 
+// TestZipfThetaSweep: raising θ must concentrate more mass on the hot
+// set, across both the Gray-approximation path (θ<1) and the
+// rejection-generator path (θ>1) — the sweep -bench-skew runs.
+func TestZipfThetaSweep(t *testing.T) {
+	hotShare := func(theta float64) float64 {
+		g, err := NewGenerator(GeneratorConfig{
+			Workload: WorkloadC, Records: 2000, ValueSize: 8,
+			Dist: Zipfian, ZipfTheta: theta, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[string]int)
+		const n = 40000
+		for i := 0; i < n; i++ {
+			counts[g.Next().Key]++
+		}
+		// Share of traffic on the 10 hottest keys.
+		top := make([]int, 0, len(counts))
+		for _, c := range counts {
+			top = append(top, c)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(top)))
+		sum := 0
+		for i := 0; i < 10 && i < len(top); i++ {
+			sum += top[i]
+		}
+		return float64(sum) / n
+	}
+	s06, s09, s12 := hotShare(0.6), hotShare(0.9), hotShare(1.2)
+	if !(s06 < s09 && s09 < s12) {
+		t.Errorf("top-10 share not monotone in θ: 0.6→%.3f 0.9→%.3f 1.2→%.3f", s06, s09, s12)
+	}
+	if s12 < 0.5 {
+		t.Errorf("θ=1.2 top-10 share = %.3f, want a majority of traffic on the hot set", s12)
+	}
+}
+
 func TestGeneratorValidation(t *testing.T) {
 	if _, err := NewGenerator(GeneratorConfig{Records: 0}); err == nil {
 		t.Error("zero records accepted")
 	}
 	if _, err := NewGenerator(GeneratorConfig{Records: 10, ValueSize: -1}); err == nil {
 		t.Error("negative value size accepted")
+	}
+	if _, err := NewGenerator(GeneratorConfig{Records: 10, Dist: Zipfian, ZipfTheta: 1}); err == nil {
+		t.Error("theta == 1 accepted (singular for both generator paths)")
+	}
+	if _, err := NewGenerator(GeneratorConfig{Records: 10, Dist: Zipfian, ZipfTheta: -0.5}); err == nil {
+		t.Error("negative theta accepted")
 	}
 }

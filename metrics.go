@@ -1,10 +1,12 @@
 package precursor
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -12,6 +14,7 @@ import (
 
 	"precursor/internal/audit"
 	"precursor/internal/fleet"
+	"precursor/internal/heat"
 	"precursor/internal/obs"
 )
 
@@ -26,10 +29,12 @@ type MetricsServer struct {
 	http   *http.Server
 	ln     net.Listener
 	pprof  bool
+	start  time.Time
 
 	mu        sync.Mutex
 	cluster   *ClusterClient
 	tracers   []tracerEntry
+	heats     []heatEntry
 	audit     *audit.Log
 	fleet     *fleet.Aggregator
 	done      chan struct{}
@@ -43,6 +48,12 @@ type tracerEntry struct {
 	t    *Tracer
 }
 
+// heatEntry names one attached heat collector for export.
+type heatEntry struct {
+	side string
+	c    *HeatCollector
+}
+
 // MetricsOption customizes ServeMetrics / ServeClusterMetrics.
 type MetricsOption func(*MetricsServer)
 
@@ -54,6 +65,20 @@ func WithTracer(side string, t *Tracer) MetricsOption {
 	return func(m *MetricsServer) {
 		if t != nil {
 			m.tracers = append(m.tracers, tracerEntry{side: side, t: t})
+		}
+	}
+}
+
+// WithHeat exports c's workload-heat snapshot on /metrics (the
+// precursor_heat_* families, labeled side="...") and on GET /debug/heat
+// as JSON — heavy hitters by hashed key id (never plaintext keys), ring
+// key-range load, skew, op rates, bytes and batch fill. May be given
+// more than once (e.g. a server-side and a routing-side collector on
+// one endpoint); nil collectors are ignored.
+func WithHeat(side string, c *HeatCollector) MetricsOption {
+	return func(m *MetricsServer) {
+		if c != nil {
+			m.heats = append(m.heats, heatEntry{side: side, c: c})
 		}
 	}
 }
@@ -112,7 +137,7 @@ func serveMetrics(server *Server, cluster *ClusterClient, addr string, opts ...M
 	if err != nil {
 		return nil, fmt.Errorf("metrics listener: %w", err)
 	}
-	m := &MetricsServer{server: server, cluster: cluster, ln: ln, done: make(chan struct{})}
+	m := &MetricsServer{server: server, cluster: cluster, ln: ln, start: time.Now(), done: make(chan struct{})}
 	for _, opt := range opts {
 		opt(m)
 	}
@@ -121,6 +146,7 @@ func serveMetrics(server *Server, cluster *ClusterClient, addr string, opts ...M
 	mux.HandleFunc("GET /healthz", m.handleHealthz)
 	mux.HandleFunc("GET /debug/traces", m.handleTraces)
 	mux.HandleFunc("GET /debug/audit", m.handleAudit)
+	mux.HandleFunc("GET /debug/heat", m.handleHeat)
 	mux.HandleFunc("GET /fleet", m.handleFleet)
 	if m.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -160,6 +186,17 @@ func (m *MetricsServer) TrackTracer(side string, t *Tracer) {
 	m.mu.Unlock()
 }
 
+// TrackHeat attaches a heat collector after the endpoint is running —
+// the dynamic equivalent of the WithHeat option.
+func (m *MetricsServer) TrackHeat(side string, c *HeatCollector) {
+	if c == nil {
+		return
+	}
+	m.mu.Lock()
+	m.heats = append(m.heats, heatEntry{side: side, c: c})
+	m.mu.Unlock()
+}
+
 // TrackAudit attaches an audit log after the endpoint is running — the
 // dynamic equivalent of the WithAudit option.
 func (m *MetricsServer) TrackAudit(l *audit.Log) {
@@ -176,6 +213,13 @@ func (m *MetricsServer) snapshotRefs() (*ClusterClient, []tracerEntry) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.cluster, append([]tracerEntry(nil), m.tracers...)
+}
+
+// heatRefs copies the attached heat collectors under the lock.
+func (m *MetricsServer) heatRefs() []heatEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]heatEntry(nil), m.heats...)
 }
 
 // auditRef reads the attached audit log under the lock.
@@ -259,6 +303,35 @@ func (m *MetricsServer) handleFleet(w http.ResponseWriter, r *http.Request) {
 	agg.ServeHTTP(w, r)
 }
 
+// heatExport is one attached collector's slice of the /debug/heat
+// payload.
+type heatExport struct {
+	// Side names the vantage point (the WithHeat label).
+	Side string `json:"side"`
+	// Heat is the collector's snapshot at request time.
+	Heat HeatSnapshot `json:"heat"`
+}
+
+// handleHeat serves every attached heat collector's snapshot as JSON:
+// heavy hitters by hashed key id (never plaintext keys), the
+// ring-aligned range histogram with its skew coefficient, op rates,
+// bytes and batch fill. 404 when no collector is attached.
+func (m *MetricsServer) handleHeat(w http.ResponseWriter, r *http.Request) {
+	heats := m.heatRefs()
+	if len(heats) == 0 {
+		http.Error(w, "no heat collector attached", http.StatusNotFound)
+		return
+	}
+	out := make([]heatExport, 0, len(heats))
+	for _, e := range heats {
+		out = append(out, heatExport{Side: e.side, Heat: e.c.Snapshot()})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}
+
 // handleTraces emits recent traces from every attached tracer as Chrome
 // trace_event JSON: one process per tracer, one thread per trace.
 func (m *MetricsServer) handleTraces(w http.ResponseWriter, r *http.Request) {
@@ -273,6 +346,7 @@ func (m *MetricsServer) handleTraces(w http.ResponseWriter, r *http.Request) {
 
 func (m *MetricsServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
+	m.writeBuildInfo(&b)
 	if m.server != nil {
 		m.writeServerMetrics(&b)
 	}
@@ -284,8 +358,21 @@ func (m *MetricsServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeAuditMetrics(&b, auditLog)
 	}
 	writeStageMetrics(&b, tracers)
+	writeHeatMetrics(&b, m.heatRefs())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_, _ = w.Write([]byte(b.String()))
+}
+
+// writeBuildInfo renders the build-identity and uptime series every
+// endpoint flavor exports: precursor_build_info (a constant-1 gauge
+// whose labels carry the library version and Go runtime, the standard
+// *_build_info idiom) and precursor_uptime_seconds (seconds since this
+// metrics endpoint started serving).
+func (m *MetricsServer) writeBuildInfo(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP precursor_build_info Build identity; value is always 1, the labels carry the info\n# TYPE precursor_build_info gauge\n")
+	fmt.Fprintf(b, "precursor_build_info{version=%q,go=%q} 1\n", Version, runtime.Version())
+	fmt.Fprintf(b, "# HELP precursor_uptime_seconds Seconds since this metrics endpoint started\n# TYPE precursor_uptime_seconds gauge\n")
+	fmt.Fprintf(b, "precursor_uptime_seconds %g\n", time.Since(m.start).Seconds())
 }
 
 func (m *MetricsServer) writeServerMetrics(b *strings.Builder) {
@@ -412,6 +499,118 @@ func writeStageMetrics(b *strings.Builder, tracers []tracerEntry) {
 			fmt.Fprintf(b, "%s_count{%s} %d\n", name, labels, q.Count)
 		}
 	}
+	if len(tracers) > 0 {
+		const supp = "precursor_slowop_suppressed_total"
+		fmt.Fprintf(b, "# HELP %s Slow-op log lines dropped by the tracer's log rate limiter\n# TYPE %s counter\n", supp, supp)
+		for _, e := range tracers {
+			fmt.Fprintf(b, "%s{side=%q} %d\n", supp, e.side, e.t.SlowSuppressed())
+		}
+	}
+}
+
+// writeHeatMetrics renders every attached heat collector's snapshot as
+// the precursor_heat_* families, labeled by side. The heavy-hitter list
+// itself is JSON-only (GET /debug/heat) — per-hash series would churn
+// label cardinality — but its concentration is summarized here as the
+// top-1 and top-K shares of total ops.
+func writeHeatMetrics(b *strings.Builder, heats []heatEntry) {
+	if len(heats) == 0 {
+		return
+	}
+	head := func(name, help, typ string) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	snaps := make([]HeatSnapshot, len(heats))
+	for i, e := range heats {
+		snaps[i] = e.c.Snapshot()
+	}
+	head("precursor_heat_ops_total", "Operations accounted by the heat collector, by kind", "counter")
+	for i, e := range heats {
+		fmt.Fprintf(b, "precursor_heat_ops_total{side=%q,kind=\"put\"} %d\n", e.side, snaps[i].Puts)
+		fmt.Fprintf(b, "precursor_heat_ops_total{side=%q,kind=\"get\"} %d\n", e.side, snaps[i].Gets)
+		fmt.Fprintf(b, "precursor_heat_ops_total{side=%q,kind=\"delete\"} %d\n", e.side, snaps[i].Deletes)
+	}
+	head("precursor_heat_op_rate", "EWMA operation rate in ops/sec (~10s time constant), by kind", "gauge")
+	for i, e := range heats {
+		fmt.Fprintf(b, "precursor_heat_op_rate{side=%q,kind=\"put\"} %g\n", e.side, snaps[i].PutRate)
+		fmt.Fprintf(b, "precursor_heat_op_rate{side=%q,kind=\"get\"} %g\n", e.side, snaps[i].GetRate)
+		fmt.Fprintf(b, "precursor_heat_op_rate{side=%q,kind=\"delete\"} %g\n", e.side, snaps[i].DeleteRate)
+	}
+	head("precursor_heat_bytes_in_total", "Payload bytes received from clients, per heat vantage", "counter")
+	for i, e := range heats {
+		fmt.Fprintf(b, "precursor_heat_bytes_in_total{side=%q} %d\n", e.side, snaps[i].BytesIn)
+	}
+	head("precursor_heat_bytes_out_total", "Payload bytes returned to clients, per heat vantage", "counter")
+	for i, e := range heats {
+		fmt.Fprintf(b, "precursor_heat_bytes_out_total{side=%q} %d\n", e.side, snaps[i].BytesOut)
+	}
+	head("precursor_heat_range_ops_total", "Operations per equal arc of the 64-bit ring hash space (bucket 0 = lowest hashes)", "counter")
+	for i, e := range heats {
+		for bk, n := range snaps[i].RangeBuckets {
+			fmt.Fprintf(b, "precursor_heat_range_ops_total{side=%q,bucket=\"%d\"} %d\n", e.side, bk, n)
+		}
+	}
+	head("precursor_heat_range_skew_cv", "Coefficient of variation across the key-range histogram (0 = perfectly balanced)", "gauge")
+	for i, e := range heats {
+		fmt.Fprintf(b, "precursor_heat_range_skew_cv{side=%q} %g\n", e.side, snaps[i].RangeSkew.CV)
+	}
+	head("precursor_heat_range_skew_max_mean", "Hottest key-range bucket's load over the mean bucket load (1 = perfectly balanced)", "gauge")
+	for i, e := range heats {
+		fmt.Fprintf(b, "precursor_heat_range_skew_max_mean{side=%q} %g\n", e.side, snaps[i].RangeSkew.MaxMean)
+	}
+	head("precursor_heat_top1_share", "Fraction of all ops hitting the single hottest hashed key", "gauge")
+	for i, e := range heats {
+		fmt.Fprintf(b, "precursor_heat_top1_share{side=%q} %g\n", e.side, topShare(snaps[i], 1))
+	}
+	head("precursor_heat_topk_share", "Fraction of all ops hitting the sketch's tracked heavy hitters", "gauge")
+	for i, e := range heats {
+		fmt.Fprintf(b, "precursor_heat_topk_share{side=%q} %g\n", e.side, topShare(snaps[i], len(snaps[i].Top)))
+	}
+	head("precursor_heat_batches_total", "Multi-op batch frames accounted by the heat collector", "counter")
+	for i, e := range heats {
+		fmt.Fprintf(b, "precursor_heat_batches_total{side=%q} %d\n", e.side, snaps[i].Batches)
+	}
+	head("precursor_heat_batched_ops_total", "Operations carried inside those batch frames", "counter")
+	for i, e := range heats {
+		fmt.Fprintf(b, "precursor_heat_batched_ops_total{side=%q} %d\n", e.side, snaps[i].BatchedOps)
+	}
+	head("precursor_heat_batch_fill_total", "Batch frames by fill level (cumulative le buckets)", "counter")
+	for i, e := range heats {
+		var cum uint64
+		for bk := 0; bk < heat.BatchFillBucketCount; bk++ {
+			cum += snaps[i].BatchFill[bk]
+			bound := "+Inf"
+			if ub := heat.BatchFillBucketBound(bk); ub >= 0 {
+				bound = fmt.Sprintf("%d", ub)
+			}
+			fmt.Fprintf(b, "precursor_heat_batch_fill_total{side=%q,le=%q} %d\n", e.side, bound, cum)
+		}
+	}
+	head("precursor_heat_uptime_seconds", "Age of the heat collector", "gauge")
+	for i, e := range heats {
+		fmt.Fprintf(b, "precursor_heat_uptime_seconds{side=%q} %s\n", e.side, seconds(snaps[i].Uptime))
+	}
+}
+
+// topShare returns the fraction of a snapshot's total ops covered by
+// its n hottest entries (estimated counts, so an upper bound).
+func topShare(s HeatSnapshot, n int) float64 {
+	total := s.TotalOps()
+	if total == 0 {
+		return 0
+	}
+	if n > len(s.Top) {
+		n = len(s.Top)
+	}
+	var sum uint64
+	for _, e := range s.Top[:n] {
+		sum += e.Count
+	}
+	share := float64(sum) / float64(total)
+	if share > 1 {
+		share = 1
+	}
+	return share
 }
 
 // writeClusterMetrics renders ring-placement and per-shard series for a

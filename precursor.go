@@ -40,10 +40,15 @@ import (
 
 	"precursor/internal/audit"
 	"precursor/internal/core"
+	"precursor/internal/heat"
 	"precursor/internal/obs"
 	"precursor/internal/rdma"
 	"precursor/internal/sgx"
 )
+
+// Version identifies this build of the Precursor reproduction; exported
+// on /metrics as precursor_build_info.
+const Version = "0.8.0"
 
 // Re-exported core types. The store's full documentation lives on the
 // underlying declarations in internal/core.
@@ -203,6 +208,35 @@ const (
 // NewTracer builds an operation tracer. A nil *Tracer is valid
 // everywhere one is accepted and disables tracing at nil-check cost.
 func NewTracer(cfg TracerConfig) *Tracer { return obs.New(cfg) }
+
+// Re-exported workload-heat types. A HeatCollector accumulates
+// heavy-hitter key hashes (never plaintext keys), ring-range load, op
+// rates, bytes and batch fill on the server apply path
+// (ServerConfig.Heat) and the cluster routing path (ClusterConfig.Heat);
+// export it with WithHeat on a metrics endpoint (/metrics
+// precursor_heat_* families and GET /debug/heat). See OBSERVABILITY.md.
+type (
+	// HeatCollector accumulates workload heat for one vantage point.
+	HeatCollector = heat.Collector
+	// HeatConfig configures NewHeatCollector.
+	HeatConfig = heat.Config
+	// HeatSnapshot is a point-in-time heat summary.
+	HeatSnapshot = heat.Snapshot
+	// HeatTopEntry is one heavy hitter (hashed key id + count bounds).
+	HeatTopEntry = heat.TopEntry
+	// HeatSkew quantifies load imbalance (CV and max/mean).
+	HeatSkew = heat.Skew
+)
+
+// NewHeatCollector builds a workload-heat collector. A nil
+// *HeatCollector is valid everywhere one is accepted and disables heat
+// accounting at nil-check cost.
+func NewHeatCollector(cfg HeatConfig) *HeatCollector { return heat.NewCollector(cfg) }
+
+// HeatHashKey maps a key to the hashed id heat snapshots report — the
+// same placement hash the cluster ring uses, so operators can match a
+// hot hashed id against keys they know.
+func HeatHashKey(key string) uint64 { return heat.HashKey(key) }
 
 // Errors returned by store operations.
 var (
