@@ -97,6 +97,20 @@ type ClusterConfig struct {
 	// heavy hitters, ring-range load, op rates) as this client routes;
 	// export it with WithHeat on a metrics endpoint. Nil disables.
 	Heat *HeatCollector
+	// HedgeReads enables budget-guarded read hedging in replicated
+	// groups: a read the fastest replica has not answered within a p95
+	// estimate of its latency is also issued to the next healthy
+	// replica, and the first sealed-valid reply wins. Hedges spend
+	// retry-budget tokens, so tail-latency insurance can never become a
+	// read storm. DialReplicatedCluster only (single-replica groups
+	// have nowhere to hedge).
+	HedgeReads bool
+	// HedgeMinDelay floors the hedge delay (default 1 ms).
+	HedgeMinDelay time.Duration
+	// RetryBudget, when set, is shared by the cluster client's hedged
+	// reads and overload retries; nil installs a per-client default
+	// bucket (see OverloadGate / RetryBudget in this package).
+	RetryBudget *RetryBudget
 
 	// Replication (DialReplicatedCluster only).
 
@@ -261,5 +275,8 @@ func DialReplicatedCluster(groups [][]ShardSpec, cfg ClusterConfig) (*ClusterCli
 		Tracer:            cfg.ClusterTracer,
 		Audit:             cfg.Audit,
 		Heat:              cfg.Heat,
+		HedgeReads:        cfg.HedgeReads,
+		HedgeMinDelay:     cfg.HedgeMinDelay,
+		Budget:            cfg.RetryBudget,
 	})
 }

@@ -55,6 +55,17 @@
 // exits nonzero when the overhead exceeds 3%:
 //
 //	precursor-cluster -bench-skew -shards 4 -skew-json BENCH_heat.json -gate
+//
+// Overload bench mode measures the overload-protection stack: peak
+// throughput vs goodput at 2x saturation on a gated fleet, retry
+// amplification and acked-put durability across shed/recover cycles,
+// and the read-p99 cut hedged reads buy under a one-slow-replica
+// fault injection; -gate exits nonzero when goodput drops below 70%
+// of peak, admitted-op p99 is unbounded, retry amplification exceeds
+// 1.1x, any acked put is lost, or hedging fails to cut read p99
+// within its 10% extra-read allowance:
+//
+//	precursor-cluster -bench-overload -shards 4 -ovl-json BENCH_overload.json -gate
 package main
 
 import (
@@ -120,16 +131,18 @@ func main() {
 		thetas   = flag.String("thetas", "0.6,0.9,1.2", "bench-skew: comma-separated zipf θ values to sweep")
 		skewJSON = flag.String("skew-json", "BENCH_heat.json", "bench-skew: write the result to this JSON file (empty = stdout only)")
 		heatOn   = flag.Bool("heat", false, "serve: accumulate workload heat per shard and export it on the -metrics address (/debug/heat, precursor_heat_*)")
+		benchOvl = flag.Bool("bench-overload", false, "run the overload benchmark: goodput under 2x saturation, shed/recover chaos, hedged reads")
+		ovlJSON  = flag.String("ovl-json", "BENCH_overload.json", "bench-overload: write the result to this JSON file (empty = stdout only)")
 	)
 	flag.Parse()
 	modes := 0
-	for _, on := range []bool{*serve, *bench, *benchRep, *top, *benchObs, *benchVl, *benchBat, *benchSkw} {
+	for _, on := range []bool{*serve, *bench, *benchRep, *top, *benchObs, *benchVl, *benchBat, *benchSkw, *benchOvl} {
 		if on {
 			modes++
 		}
 	}
 	if modes != 1 {
-		fmt.Fprintln(os.Stderr, "precursor-cluster: pass exactly one of -serve, -bench, -bench-replication, -top, -bench-obs, -bench-vlog, -bench-batch or -bench-skew")
+		fmt.Fprintln(os.Stderr, "precursor-cluster: pass exactly one of -serve, -bench, -bench-replication, -top, -bench-obs, -bench-vlog, -bench-batch, -bench-skew or -bench-overload")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -179,6 +192,16 @@ func main() {
 				jsonPath: *skewJSON, out: os.Stdout,
 			},
 			thetas: *thetas, pairs: *obsPairs, gate: *obsGate,
+		})
+	case *benchOvl:
+		err = runBenchOverload(overloadBenchConfig{
+			benchConfig: benchConfig{
+				shardCounts: *shards, workers: *workers, conns: *conns,
+				records: *records, valueSize: *valsize, clients: *clients,
+				opsPerClient: *ops, workload: *workload, seed: *seed,
+				jsonPath: *ovlJSON, out: os.Stdout,
+			},
+			gate: *obsGate,
 		})
 	case *benchRep:
 		err = runBenchReplication(replBenchConfig{

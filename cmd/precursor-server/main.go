@@ -16,6 +16,12 @@
 // additionally seals periodically, and SIGHUP seals on demand. The age of
 // the last seal is exported on /metrics and /healthz.
 //
+// Shutdown is a graceful drain: on SIGTERM/SIGINT the server first stops
+// admitting new operations (each is refused with a sealed RETRY_LATER so
+// clients back off or fail over), /healthz flips to 503 "draining", and
+// in-flight work is given -drain-timeout to finish before the final seal
+// and exit.
+//
 // With -data-dir the server additionally spills large values to a
 // durable value log on (untrusted) disk, serving datasets far beyond
 // enclave memory; on startup it replays the log to recover every
@@ -76,15 +82,16 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "directory for the durable value log: large values spill to untrusted disk and survive crashes (empty = memory only)")
 		vlogMax   = flag.Int("vlog-inline-max", 0, "values larger than this many bytes go to the value log (0 = default 4096; needs -data-dir)")
 		vlogSeg   = flag.Int64("vlog-segment-mb", 0, "value-log segment size in MiB (0 = default 64; needs -data-dir)")
+		drainFor  = flag.Duration("drain-timeout", 5*time.Second, "on SIGTERM/SIGINT, how long to wait for in-flight ops after admission stops (0 = exit immediately)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *hardened, *inline, *ownerOnly, *stats, *metrics, *stateDir, *sealEvery, *shard, *trace, *pprofFlag, *slowop, *heatOn, *auditOn, *dataDir, *vlogMax, *vlogSeg); err != nil {
+	if err := run(*addr, *workers, *hardened, *inline, *ownerOnly, *stats, *metrics, *stateDir, *sealEvery, *shard, *trace, *pprofFlag, *slowop, *heatOn, *auditOn, *dataDir, *vlogMax, *vlogSeg, *drainFor); err != nil {
 		fmt.Fprintln(os.Stderr, "precursor-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery time.Duration, metricsAddr, stateDir string, sealEvery time.Duration, shard string, trace, pprofOn bool, slowop time.Duration, heatOn, auditOn bool, dataDir string, vlogMax int, vlogSeg int64) error {
+func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery time.Duration, metricsAddr, stateDir string, sealEvery time.Duration, shard string, trace, pprofOn bool, slowop time.Duration, heatOn, auditOn bool, dataDir string, vlogMax int, vlogSeg int64, drainFor time.Duration) error {
 	var shardID cluster.ShardID
 	if shard != "" {
 		var err error
@@ -280,8 +287,17 @@ func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery 
 	for {
 		select {
 		case <-sig:
-			// Normal return: the deferred sealNow writes the shutdown
-			// snapshot before the service closes.
+			// Graceful drain: stop admitting first, so every new op gets a
+			// sealed RETRY_LATER (clients back off or fail over) and
+			// /healthz reports 503 "draining", then give in-flight work a
+			// bounded window to finish. The normal return runs the deferred
+			// sealNow, so the shutdown snapshot includes everything that
+			// completed during the drain.
+			svc.Server.SetDraining(true)
+			if drainFor > 0 {
+				fmt.Printf("draining: shedding new ops, waiting up to %v for in-flight work\n", drainFor)
+				waitDrained(svc.Server, drainFor)
+			}
 			return nil
 		case <-hup:
 			// SIGHUP = operator-requested seal (e.g. before a host reboot).
@@ -304,5 +320,17 @@ func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery 
 				st.Clients, st.Entries, st.Puts, st.Gets, st.Deletes,
 				st.Replays, svc.Server.SealsTotal(), st.Enclave.WorkingSetMiB())
 		}
+	}
+}
+
+// waitDrained polls the admission gate until no admitted operation is
+// still in flight, or the grace period elapses — whichever comes first.
+func waitDrained(srv *precursor.Server, grace time.Duration) {
+	deadline := time.Now().Add(grace)
+	for time.Now().Before(deadline) {
+		if srv.Gate().Stats().Inflight == 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -171,6 +171,70 @@ func TestDocsCoverHeat(t *testing.T) {
 	}
 }
 
+// TestDocsCoverOverload pins the documentation for the
+// overload-protection stack: the RETRY_LATER protocol section, the
+// operator quickstart (drain, bench gate), and the shed/hedge/budget
+// metric families and trace annotations. A rename in code without the
+// matching doc update fails here.
+func TestDocsCoverOverload(t *testing.T) {
+	for _, tc := range []struct {
+		file    string
+		phrases []string
+	}{
+		{"PROTOCOL.md", []string{
+			"Admission control: RETRY_LATER",
+			"not an error",
+			"never",
+			"ErrUnconfirmed",
+			"burn the oid",
+			"retry budget",
+			"draining",
+		}},
+		{"README.md", []string{
+			"-drain-timeout",
+			"-bench-overload",
+			"BENCH_overload.json",
+			"HedgeReads",
+			"TestOverloadChaosShedRecover",
+		}},
+		{"OBSERVABILITY.md", []string{
+			"precursor_overload_shed_reads_total",
+			"precursor_overload_shed_writes_total",
+			"precursor_overload_shed_batches_total",
+			"precursor_overload_draining",
+			"precursor_overload_admitted_total",
+			"precursor_overload_inflight",
+			"precursor_overload_service_ewma_seconds",
+			"precursor_cluster_hedges_launched_total",
+			"precursor_cluster_hedges_won_total",
+			"precursor_cluster_hedges_denied_total",
+			"precursor_retry_budget_tokens",
+			"precursor_retry_budget_granted_total",
+			"precursor_retry_budget_denied_total",
+			"shed read (overload)",
+			"shed write (overload)",
+			"shed batch (overload)",
+			"hedge launched",
+			"hedge won",
+			"-bench-overload",
+			"BENCH_overload.json",
+			"draining",
+		}},
+	} {
+		data, err := os.ReadFile(tc.file)
+		if err != nil {
+			t.Errorf("read %s: %v", tc.file, err)
+			continue
+		}
+		text := string(data)
+		for _, phrase := range tc.phrases {
+			if !strings.Contains(text, phrase) {
+				t.Errorf("%s: missing %q", tc.file, phrase)
+			}
+		}
+	}
+}
+
 // TestDocsCoverBatching pins the documentation for multi-op batch
 // frames: the wire-format section, the user-facing quickstart and
 // bench flag, and the observability stages/metric families. A rename

@@ -29,9 +29,31 @@ type BatchBackend interface {
 	Batch(ops []core.BatchOp) ([]core.BatchResult, error)
 }
 
+// DeadlineBatchBackend is the optional deadline-propagating batching
+// capability: backends that can bound a batch frame by a caller
+// deadline (core.Client, the root package's Pool) implement it, so a
+// parent batch's remaining budget follows its sub-ops down to the
+// wire instead of each hop re-starting a full Timeout.
+type DeadlineBatchBackend interface {
+	// BatchDeadline is Batch bounded by an absolute deadline (zero =
+	// none). See core.Client.BatchDeadline.
+	BatchDeadline(ops []core.BatchOp, deadline time.Time) ([]core.BatchResult, error)
+}
+
+// minBatchSlice is the minimum remaining parent budget worth fanning a
+// sub-batch out for: below this, every op is resolved ErrTimeout
+// locally — doomed work never reaches a replica.
+const minBatchSlice = time.Millisecond
+
 // backendBatch runs ops against one backend, using its native batch
 // support when available and falling back to per-op calls otherwise.
-func backendBatch(b Backend, ops []core.BatchOp) ([]core.BatchResult, error) {
+// A non-zero deadline is propagated when the backend supports it.
+func backendBatch(b Backend, ops []core.BatchOp, deadline time.Time) ([]core.BatchResult, error) {
+	if !deadline.IsZero() {
+		if db, ok := b.(DeadlineBatchBackend); ok {
+			return db.BatchDeadline(ops, deadline)
+		}
+	}
 	if bb, ok := b.(BatchBackend); ok {
 		return bb.Batch(ops)
 	}
@@ -58,6 +80,18 @@ func backendBatch(b Backend, ops []core.BatchOp) ([]core.BatchResult, error) {
 // in its op's BatchResult (with core.ErrUnconfirmed joined for writes
 // whose fate is unknown, exactly like the single-op path).
 func (c *Client) Batch(ops []core.BatchOp) ([]core.BatchResult, error) {
+	return c.BatchDeadline(ops, time.Time{})
+}
+
+// BatchDeadline is Batch under a caller-supplied absolute deadline
+// (zero = none). The deadline propagates through every sub-batch: a
+// parent with less than minBatchSlice of budget left does not fan out
+// at all — every routable op resolves to core.ErrTimeout locally, and
+// since nothing was sent, ErrUnconfirmed never joins. Mid-batch, a
+// spent deadline stops read failover to further replicas, and
+// deadline-capable backends bound their frames by the remaining
+// budget.
+func (c *Client) BatchDeadline(ops []core.BatchOp, deadline time.Time) ([]core.BatchResult, error) {
 	if c.closed.Load() {
 		return nil, ErrClientClosed
 	}
@@ -97,6 +131,17 @@ func (c *Client) Batch(ops []core.BatchOp) ([]core.BatchResult, error) {
 		sb.ops = append(sb.ops, op)
 		sb.idx = append(sb.idx, i)
 	}
+	if !deadline.IsZero() && time.Until(deadline) < minBatchSlice {
+		// The parent deadline is (nearly) spent: resolve every routable
+		// op with a clean timeout instead of fanning doomed work out to
+		// the replicas. Nothing was sent, so ErrUnconfirmed never joins.
+		for _, name := range order {
+			for _, pi := range subs[name].idx {
+				results[pi].Err = core.ErrTimeout
+			}
+		}
+		return results, nil
+	}
 	var wg sync.WaitGroup
 	for _, name := range order {
 		sb := subs[name]
@@ -105,9 +150,9 @@ func (c *Client) Batch(ops []core.BatchOp) ([]core.BatchResult, error) {
 			defer wg.Done()
 			var rs []core.BatchResult
 			if sb.g.single() {
-				rs = c.singleBatch(sb.g.replicas[0], sb.ops)
+				rs = c.singleBatch(sb.g.replicas[0], sb.ops, deadline)
 			} else {
-				rs = c.replicatedBatch(sb.g, sb.ops)
+				rs = c.replicatedBatch(sb.g, sb.ops, deadline)
 			}
 			// Indices are disjoint across sub-batches, so concurrent
 			// writes into results never collide.
@@ -173,7 +218,7 @@ func (c *Client) DeleteBatch(keys []string) ([]core.BatchResult, error) {
 // singleBatch runs a sub-batch against a single-replica group with the
 // original breaker semantics: admitted as one operation, the breaker
 // fed the worst shard-level outcome.
-func (c *Client) singleBatch(rep *replicaState, ops []core.BatchOp) []core.BatchResult {
+func (c *Client) singleBatch(rep *replicaState, ops []core.BatchOp, deadline time.Time) []core.BatchResult {
 	tok, err := c.admitLegacy(rep)
 	if err != nil {
 		out := make([]core.BatchResult, len(ops))
@@ -183,7 +228,7 @@ func (c *Client) singleBatch(rep *replicaState, ops []core.BatchOp) []core.Batch
 		return out
 	}
 	t0 := time.Now()
-	results, berr := backendBatch(rep.backend, ops)
+	results, berr := backendBatch(rep.backend, ops, deadline)
 	rep.recordLatency(t0)
 	obsErr := berr
 	if obsErr == nil {
@@ -238,7 +283,7 @@ func (c *Client) tallyBatch(rep *replicaState, ops []core.BatchOp, results []cor
 // op order; ordering between a batch's writes and reads of the same
 // key is not defined in a replicated group (they race like two
 // independent clients would).
-func (c *Client) replicatedBatch(g *groupState, ops []core.BatchOp) []core.BatchResult {
+func (c *Client) replicatedBatch(g *groupState, ops []core.BatchOp, deadline time.Time) []core.BatchResult {
 	out := make([]core.BatchResult, len(ops))
 	var wOps, rOps []core.BatchOp
 	var wIdx, rIdx []int
@@ -256,7 +301,7 @@ func (c *Client) replicatedBatch(g *groupState, ops []core.BatchOp) []core.Batch
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			rs := c.quorumWriteBatch(g, wOps)
+			rs := c.quorumWriteBatch(g, wOps, deadline)
 			for j := range rs {
 				out[wIdx[j]] = rs[j]
 			}
@@ -266,7 +311,7 @@ func (c *Client) replicatedBatch(g *groupState, ops []core.BatchOp) []core.Batch
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			rs := c.replicatedGetBatch(g, rOps)
+			rs := c.replicatedGetBatch(g, rOps, deadline)
 			for j := range rs {
 				out[rIdx[j]] = rs[j]
 			}
@@ -310,7 +355,7 @@ func (s *replicaState) admitWriteBatch(journalCap int, ops []core.BatchOp) (admi
 // quorumWrite it waits for every replica (per-op accounting needs the
 // full tally); the batch already amortizes the latency. Failed or
 // ambiguous ops journal their keys on the replicas that missed them.
-func (c *Client) quorumWriteBatch(g *groupState, ops []core.BatchOp) []core.BatchResult {
+func (c *Client) quorumWriteBatch(g *groupState, ops []core.BatchOp, deadline time.Time) []core.BatchResult {
 	out := make([]core.BatchResult, len(ops))
 	live := make([]*replicaState, 0, len(g.replicas))
 	toks := make([]admitToken, 0, len(g.replicas))
@@ -343,7 +388,7 @@ func (c *Client) quorumWriteBatch(g *groupState, ops []core.BatchOp) []core.Batc
 		go func(rep *replicaState, tok admitToken) {
 			s0 := op.Now()
 			t0 := time.Now()
-			results, berr := backendBatch(rep.backend, ops)
+			results, berr := backendBatch(rep.backend, ops, deadline)
 			d := time.Since(t0)
 			rep.recordLatency(t0)
 			rep.noteLatency(d)
@@ -443,7 +488,7 @@ func (c *Client) quorumWriteBatch(g *groupState, ops []core.BatchOp) []core.Batc
 // on shard-level errors and on payload-MAC failures (the Byzantine
 // backstop). Data-level outcomes from a healthy replica — the value or
 // an authoritative not-found — resolve an op immediately.
-func (c *Client) replicatedGetBatch(g *groupState, ops []core.BatchOp) []core.BatchResult {
+func (c *Client) replicatedGetBatch(g *groupState, ops []core.BatchOp, deadline time.Time) []core.BatchResult {
 	op := c.opts.Tracer.Start(int(c.traceSlot.Add(1)), "batch")
 	op.SetGroup(g.name)
 	defer op.Finish()
@@ -463,6 +508,12 @@ func (c *Client) replicatedGetBatch(g *groupState, ops []core.BatchOp) []core.Ba
 		if len(pending) == 0 {
 			break
 		}
+		if !deadline.IsZero() && time.Until(deadline) < minBatchSlice && attempted > 0 {
+			// The parent budget is spent: stop failing over. The pending
+			// ops resolve ErrTimeout below (reads — never unconfirmed).
+			lastErr = core.ErrTimeout
+			break
+		}
 		var tok admitToken
 		var ok bool
 		if probeFallback {
@@ -480,7 +531,7 @@ func (c *Client) replicatedGetBatch(g *groupState, ops []core.BatchOp) []core.Ba
 		}
 		s0 := op.Now()
 		t0 := time.Now()
-		results, berr := backendBatch(rep.backend, sub)
+		results, berr := backendBatch(rep.backend, sub, deadline)
 		d := time.Since(t0)
 		rep.recordLatency(t0)
 		obsErr := berr

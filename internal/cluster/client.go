@@ -13,6 +13,7 @@ import (
 	"precursor/internal/heat"
 	"precursor/internal/hist"
 	"precursor/internal/obs"
+	"precursor/internal/overload"
 )
 
 // Backend is one shard's key-value connection. *core.Client satisfies it,
@@ -98,6 +99,22 @@ type Options struct {
 	// and shard views of skew can be compared. Nil disables (one
 	// branch per op).
 	Heat *heat.Collector
+	// HedgeReads enables budget-guarded read hedging in replicated
+	// groups: when the fastest replica has not answered within the hedge
+	// delay (a p95 estimate of its smoothed latency, floored at
+	// HedgeMinDelay), the read is also issued to the next healthy
+	// replica and the first sealed-valid reply wins; the loser's late
+	// result is discarded. Every hedge spends a token from Budget, so
+	// hedging can never more than marginally amplify read load.
+	HedgeReads bool
+	// HedgeMinDelay floors the hedge delay (default 1ms) so
+	// sub-millisecond latency estimates do not hedge every read.
+	HedgeMinDelay time.Duration
+	// Budget is the token bucket that admission-control retries and
+	// hedged reads spend from; successful operations earn tokens back
+	// at overload.DefaultBudgetRatio, bounding total amplification. Nil
+	// installs a per-client default bucket.
+	Budget *overload.RetryBudget
 }
 
 func (o *Options) withDefaults() Options {
@@ -121,6 +138,12 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.JournalCap <= 0 {
 		out.JournalCap = 4096
+	}
+	if out.HedgeMinDelay <= 0 {
+		out.HedgeMinDelay = time.Millisecond
+	}
+	if out.Budget == nil {
+		out.Budget = overload.NewRetryBudget(0, 0)
 	}
 	return out
 }
@@ -155,6 +178,9 @@ type Client struct {
 	quorumShortfalls atomic.Uint64 // writes that missed their quorum
 	repairsDone      atomic.Uint64 // completed replica repairs
 	repairFailures   atomic.Uint64 // aborted repair attempts
+	hedgesLaunched   atomic.Uint64 // secondary reads issued by the hedge timer
+	hedgesWon        atomic.Uint64 // hedged reads where the secondary answered first
+	hedgesDenied     atomic.Uint64 // hedge attempts refused by the retry budget
 }
 
 // groupState is one ring position's replica set.
@@ -558,6 +584,20 @@ func (c *Client) replicatedGet(g *groupState, key string) (val []byte, retErr er
 	}
 	var lastErr error
 	attempted := 0
+	hedgeable := c.opts.HedgeReads && !probeFallback && len(order) >= 2
+	if hedgeable {
+		v, err, tried, done := c.hedgedGet(g, op, order, key)
+		if done {
+			return v, err
+		}
+		// Every hedged attempt failed at the shard level (or the primary
+		// could not be admitted); fall through to the sequential walk —
+		// tripped replicas will be skipped by their breakers.
+		attempted += tried
+		if err != nil {
+			lastErr = err
+		}
+	}
 	for _, rep := range order {
 		var tok admitToken
 		var ok bool
@@ -580,6 +620,7 @@ func (c *Client) replicatedGet(g *groupState, key string) (val []byte, retErr er
 		if err == nil {
 			rep.noteLatency(d)
 			rep.gets.Add(1)
+			c.opts.Budget.OnSuccess()
 			if attempted > 1 {
 				c.failovers.Add(1)
 				c.opts.Audit.Add(audit.Record{Kind: audit.KindReadFailover, Actor: rep.name,
@@ -609,6 +650,113 @@ func (c *Client) replicatedGet(g *groupState, key string) (val []byte, retErr er
 		return nil, &ShardError{Shard: g.name, Err: ErrShardDown}
 	}
 	return nil, lastErr
+}
+
+// hedgedGet races the fastest replica against a budget-guarded hedge:
+// the read is issued to order[0] immediately, and if no reply has
+// arrived within hedgeDelay, a second copy goes to the next admittable
+// replica. The first sealed-valid reply wins; the loser's late result
+// is discarded (reads are idempotent, so a duplicate apply is
+// harmless). Returns done=false when the caller should fall back to
+// the sequential walk: the primary was not admittable, or every
+// launched attempt failed at the shard level (tried reports how many
+// attempts ran, err the last shard-level failure).
+func (c *Client) hedgedGet(g *groupState, op *obs.Op, order []*replicaState, key string) (val []byte, err error, tried int, done bool) {
+	primary := order[0]
+	ptok, ok := primary.admitRead()
+	if !ok {
+		return nil, nil, 0, false
+	}
+	type hedgeReply struct {
+		rep   *replicaState
+		v     []byte
+		err   error
+		d     time.Duration
+		start int64
+	}
+	// Buffered to the maximum attempt count so a losing straggler's send
+	// never blocks: its reply is simply dropped with the channel.
+	replies := make(chan hedgeReply, 2)
+	launch := func(rep *replicaState, tok admitToken) {
+		s0 := op.Now()
+		t0 := time.Now()
+		v, gerr := rep.backend.Get(key)
+		d := time.Since(t0)
+		rep.recordLatency(t0)
+		gerr = c.observe(rep, tok, gerr, true, "")
+		replies <- hedgeReply{rep: rep, v: v, err: gerr, d: d, start: s0}
+	}
+	go launch(primary, ptok)
+	launched := 1
+	timer := time.NewTimer(c.hedgeDelay(primary))
+	defer timer.Stop()
+	var lastErr error
+	for received := 0; received < launched; {
+		select {
+		case r := <-replies:
+			received++
+			op.ReplicaSpanAt(r.rep.name, r.start, op.Now())
+			switch {
+			case r.err == nil:
+				r.rep.noteLatency(r.d)
+				r.rep.gets.Add(1)
+				c.opts.Budget.OnSuccess()
+				if r.rep != primary {
+					c.hedgesWon.Add(1)
+					c.opts.Tracer.NoteFault(fmt.Sprintf("hedge won group=%s replica=%s", g.name, r.rep.name))
+				}
+				return r.v, nil, launched, true
+			case errors.Is(r.err, core.ErrIntegrity):
+				// Integrity backstop, as in the sequential walk: treat the
+				// replica as Byzantine and let the race (or the fallback
+				// walk) serve the read elsewhere.
+				c.opts.Audit.Add(audit.Record{Kind: audit.KindByzantineFailover, Actor: r.rep.name,
+					Detail: fmt.Sprintf("group %s: payload MAC failed verification", g.name)})
+				c.opts.Tracer.NoteFault(fmt.Sprintf("byzantine failover group=%s replica=%s", g.name, r.rep.name))
+				lastErr = r.err
+			case !c.opts.IsShardFailure(r.err):
+				// Data-level and authoritative (e.g. not-found from a
+				// healthy replica) — the race is decided.
+				return nil, r.err, launched, true
+			default:
+				lastErr = r.err
+			}
+		case <-timer.C:
+			if launched > 1 {
+				continue
+			}
+			if !c.opts.Budget.TrySpend() {
+				c.hedgesDenied.Add(1)
+				continue
+			}
+			for _, rep := range order[1:] {
+				if tok, hok := rep.admitRead(); hok {
+					launched++
+					c.hedgesLaunched.Add(1)
+					c.opts.Tracer.NoteFault(fmt.Sprintf("hedge launched group=%s replica=%s", g.name, rep.name))
+					go launch(rep, tok)
+					break
+				}
+			}
+		}
+	}
+	return nil, lastErr, launched, false
+}
+
+// hedgeDelay estimates the primary replica's p95 latency from its
+// smoothed (EWMA) latency — 3x the mean is the standard tail estimate
+// for exponential-ish service times — floored at HedgeMinDelay and
+// capped at RetryBackoff so a cold or noisy estimate cannot push the
+// hedge past the breaker's own patience.
+func (c *Client) hedgeDelay(rep *replicaState) time.Duration {
+	d := 3 * time.Duration(rep.ewma.Load())
+	if d < c.opts.HedgeMinDelay {
+		d = c.opts.HedgeMinDelay
+	}
+	if d > c.opts.RetryBackoff {
+		d = c.opts.RetryBackoff
+	}
+	return d
 }
 
 // readOrder snapshots the group's up replicas, fastest (EWMA) first.
@@ -870,6 +1018,15 @@ type Stats struct {
 	// repair runs across all replicas.
 	Repairs        uint64
 	RepairFailures uint64
+	// HedgesLaunched counts secondary reads issued by the hedge timer,
+	// HedgesWon those where the secondary's sealed-valid reply arrived
+	// first, and HedgesDenied hedge attempts the retry budget refused.
+	HedgesLaunched uint64
+	HedgesWon      uint64
+	HedgesDenied   uint64
+	// RetryBudget snapshots the token bucket that hedges and
+	// admission-control retries spend from.
+	RetryBudget overload.BudgetStats
 	// GroupSkew is the imbalance of routed ops across replica groups
 	// (ring positions): how unevenly this client's traffic lands on
 	// the shards, regardless of why. Balanced traffic has CV 0 and
@@ -889,6 +1046,10 @@ func (c *Client) Stats() Stats {
 		QuorumShortfalls: c.quorumShortfalls.Load(),
 		Repairs:          c.repairsDone.Load(),
 		RepairFailures:   c.repairFailures.Load(),
+		HedgesLaunched:   c.hedgesLaunched.Load(),
+		HedgesWon:        c.hedgesWon.Load(),
+		HedgesDenied:     c.hedgesDenied.Load(),
+		RetryBudget:      c.opts.Budget.Stats(),
 	}
 	groupOps := make([]uint64, 0, len(c.order))
 	for _, name := range c.order {
@@ -952,6 +1113,11 @@ func SkewOfGroups(names []string, ops []uint64, hottest *string) heat.Skew {
 	}
 	return heat.SkewOf(ops)
 }
+
+// Budget exposes the client's retry/hedge token bucket (never nil —
+// withDefaults installs one), so callers can share it or surface its
+// stats.
+func (c *Client) Budget() *overload.RetryBudget { return c.opts.Budget }
 
 // Close stops the repair goroutine and closes every replica backend.
 // Safe to call twice.

@@ -9,6 +9,7 @@ import (
 
 	"precursor/internal/audit"
 	"precursor/internal/core"
+	"precursor/internal/overload"
 )
 
 // Replica repair orchestration.
@@ -56,10 +57,13 @@ const snapshotRetries = 3
 
 // repairLoop is the background scan over replicated groups: it probes
 // downed replicas whose backoff has elapsed and launches repair for
-// replicas that are back up but not yet caught up.
+// replicas that are back up but not yet caught up. Each cycle waits a
+// jittered interval (uniform in [interval/2, interval*1.5)) rather than
+// a fixed tick, so a fleet of clients restarted together does not probe
+// a recovering replica in lockstep and stampede it back down.
 func (c *Client) repairLoop() {
 	defer c.wg.Done()
-	t := time.NewTicker(c.opts.RepairInterval)
+	t := time.NewTimer(overload.Jitter(c.opts.RepairInterval))
 	defer t.Stop()
 	for {
 		select {
@@ -67,6 +71,7 @@ func (c *Client) repairLoop() {
 			return
 		case <-t.C:
 		}
+		t.Reset(overload.Jitter(c.opts.RepairInterval))
 		for _, name := range c.order {
 			g := c.groups[name]
 			if g.single() {

@@ -76,7 +76,12 @@ type BatchFuture struct {
 
 // maxPipelined bounds the batches one connection may have in flight at
 // once — enough to keep the ring busy, small enough that a stalled
-// server cannot strand unbounded client state.
+// server cannot strand unbounded client state. It is the ceiling of
+// the per-connection AIMD window (Client.window): the live limit
+// adapts within [1, maxPipelined], shrinking multiplicatively on
+// RETRY_LATER and timeout signals and recovering additively on
+// successes, so an overloaded server sees its offered load fall
+// instead of a wall of retries.
 const maxPipelined = 16
 
 // Batch executes ops as one frame — one oid, one control seal, one
@@ -87,6 +92,21 @@ const maxPipelined = 16
 // carry ErrUnconfirmed in their slots.
 func (c *Client) Batch(ops []BatchOp) ([]BatchResult, error) {
 	f, err := c.BatchAsync(ops)
+	if err != nil {
+		return nil, err
+	}
+	return f.Wait()
+}
+
+// BatchDeadline is Batch under a caller-supplied absolute deadline:
+// the frame's effective deadline is the earlier of the client's
+// configured Timeout and the parent's deadline, so a parent budget
+// propagates through batch sub-ops instead of being silently extended.
+// A deadline that is already spent fails fast with ErrTimeout before
+// anything is sent — nothing reaches the wire, nothing is unconfirmed.
+// A zero deadline means no parent bound (identical to Batch).
+func (c *Client) BatchDeadline(ops []BatchOp, deadline time.Time) ([]BatchResult, error) {
+	f, err := c.batchAsync(ops, deadline)
 	if err != nil {
 		return nil, err
 	}
@@ -129,6 +149,13 @@ func (c *Client) DeleteBatch(keys []string) ([]BatchResult, error) {
 // The frame is sent (with credit wait) before BatchAsync returns, so a
 // nil-error return means the request is on the wire.
 func (c *Client) BatchAsync(ops []BatchOp) (*BatchFuture, error) {
+	return c.batchAsync(ops, time.Time{})
+}
+
+// batchAsync is BatchAsync bounded by an optional parent deadline
+// (zero = none): the frame's deadline is the earlier of Timeout-from-
+// now and the parent's.
+func (c *Client) batchAsync(ops []BatchOp, parent time.Time) (*BatchFuture, error) {
 	if len(ops) == 0 || len(ops) > wire.MaxBatchOps {
 		return nil, fmt.Errorf("%w: batch of %d ops (1..%d)", ErrTooLarge, len(ops), wire.MaxBatchOps)
 	}
@@ -149,13 +176,31 @@ func (c *Client) BatchAsync(ops []BatchOp) (*BatchFuture, error) {
 	if c.closed {
 		return nil, ErrClosed
 	}
-	if len(c.inflight) >= maxPipelined {
+	// The deadline is stamped at entry, before the backpressure drain
+	// below: time spent waiting for a pipelining slot counts against
+	// this batch's budget, so a nearly-expired parent surfaces
+	// ErrTimeout here instead of fanning out doomed work with a
+	// quietly extended deadline.
+	deadline := time.Now().Add(c.cfg.Timeout)
+	if !parent.IsZero() && parent.Before(deadline) {
+		deadline = parent
+	}
+	if !time.Now().Before(deadline) {
+		// The parent's budget is already spent: nothing was sent,
+		// nothing is unconfirmed.
+		return nil, ErrTimeout
+	}
+	for len(c.inflight) >= c.window.Limit() {
 		// Drain the oldest reply before admitting more pipelined state.
 		if err := c.waitAnyLocked(); err != nil {
 			return nil, err
 		}
+		if time.Now().After(deadline) {
+			// Nothing was sent, nothing is unconfirmed.
+			return nil, ErrTimeout
+		}
 	}
-	return c.startBatchLocked(ops)
+	return c.startBatchLocked(ops, deadline)
 }
 
 // startBatchLocked assembles, seals and sends one batch frame. Called
@@ -163,7 +208,7 @@ func (c *Client) BatchAsync(ops []BatchOp) (*BatchFuture, error) {
 // batches, so steady-state assembly of inline-value batches costs no
 // codec allocations (the AEAD nonce/seal and per-put payload
 // encryption are the remaining cryptographic costs).
-func (c *Client) startBatchLocked(ops []BatchOp) (*BatchFuture, error) {
+func (c *Client) startBatchLocked(ops []BatchOp, deadline time.Time) (*BatchFuture, error) {
 	var op *obs.Op
 	if tr := c.cfg.Tracer; tr != nil {
 		op = tr.Start(int(c.id), "batch")
@@ -249,7 +294,6 @@ func (c *Client) startBatchLocked(ops []BatchOp) (*BatchFuture, error) {
 	}
 	t0 = op.SpanEnd(obs.CliBatch, t0)
 
-	deadline := time.Now().Add(c.cfg.Timeout)
 	waitStart, writeStart := t0, t0
 	for {
 		// The ring writer copies the frame before returning, so the
@@ -421,6 +465,25 @@ func (c *Client) resolveBatchReplyLocked(pt, payload []byte) {
 		f.resolveFailureLocked(ErrReplay)
 		return
 	}
+	if c.brep.Flags&wire.FlagRetryLater != 0 {
+		// The admission gate shed the whole frame as a unit: the oid is
+		// burned server-side, nothing was applied, and every op — reads
+		// and writes alike — resolves with a plain retryable
+		// RetryLaterError (never ErrUnconfirmed). The shed is a
+		// congestion signal for this connection's pipelining window.
+		var hint time.Duration
+		if len(c.brep.Results) > 0 {
+			hint = RetryHint(c.brep.Results[0].InlineValue)
+		}
+		c.retryLaters++
+		c.window.OnCongestion()
+		shed := &RetryLaterError{Hint: hint}
+		for i := range f.kinds {
+			f.results[i] = BatchResult{Err: shed}
+		}
+		f.finishLocked(shed)
+		return
+	}
 	if len(c.brep.Results) != len(f.kinds) ||
 		c.brep.ValidateReplyExtents(len(payload)) != nil {
 		f.resolveFailureLocked(ErrBadResponse)
@@ -433,6 +496,7 @@ func (c *Client) resolveBatchReplyLocked(pt, payload []byte) {
 		off += int(res.PayloadLen)
 		f.results[i] = c.batchOpResult(f.kinds[i], res, seg)
 	}
+	c.window.OnSuccess()
 	f.finishLocked(nil)
 }
 
@@ -446,6 +510,11 @@ func (c *Client) batchOpResult(kind BatchOpKind, res *wire.BatchOpResult, seg []
 		return BatchResult{Err: ErrNotFound}
 	case wire.StatusBadRequest:
 		return BatchResult{Err: ErrBadResponse}
+	case wire.StatusRetryLater:
+		// A per-op shed inside an otherwise-applied batch (defensive —
+		// the gate sheds whole frames). Plain and retryable, never
+		// unconfirmed: the server guarantees the op was not applied.
+		return BatchResult{Err: &RetryLaterError{Hint: RetryHint(res.InlineValue)}}
 	default:
 		return BatchResult{Err: fmt.Errorf("%w: server status %v", ErrBadResponse, res.Status)}
 	}
@@ -488,6 +557,12 @@ func (c *Client) batchOpResult(kind BatchOpKind, res *wire.BatchOpResult, seg []
 // which is a definitive pre-apply rejection and stays plain). Called
 // with mu held.
 func (f *BatchFuture) resolveFailureLocked(cause error) {
+	if errors.Is(cause, ErrTimeout) {
+		// A pipelined batch dying on its deadline is a congestion signal:
+		// shrink the window so the connection stops piling work onto a
+		// server that cannot drain it.
+		f.c.window.OnCongestion()
+	}
 	unconfirmed := writeOutcome(cause)
 	if errors.Is(cause, ErrBadResponse) {
 		unconfirmed = fmt.Errorf("%w; %w", cause, ErrUnconfirmed)

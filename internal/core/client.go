@@ -11,6 +11,7 @@ import (
 
 	"precursor/internal/cryptox"
 	"precursor/internal/obs"
+	"precursor/internal/overload"
 	"precursor/internal/rdma"
 	"precursor/internal/ringbuf"
 	"precursor/internal/sgx"
@@ -121,11 +122,18 @@ type Client struct {
 	opKeys     []cryptox.OperationKey
 	pollBuf    []byte
 
+	// window is the connection's AIMD pipelining limit: how many batch
+	// frames may be in flight at once. RETRY_LATER and timeouts shrink
+	// it multiplicatively; successes recover it additively (floor 1,
+	// ceiling maxPipelined).
+	window *overload.AIMD
+
 	// Stats.
 	puts, gets, deletes uint64
 	batches, batchedOps uint64
 	integrityFailures   uint64
 	retries             uint64
+	retryLaters         uint64
 	badFrames           uint64
 	staleFrames         uint64
 	unauthStatuses      uint64
@@ -143,7 +151,8 @@ func Connect(cfg ClientConfig) (*Client, error) {
 		return nil, fmt.Errorf("precursor: PlatformKey is required for attestation")
 	}
 
-	cl := &Client{cfg: c, conn: c.Conn, device: c.Device}
+	cl := &Client{cfg: c, conn: c.Conn, device: c.Device,
+		window: overload.NewAIMD(1, maxPipelined)}
 	cl.respRing = c.Device.RegisterMemory(
 		ringbuf.RingBytes(c.RespSlots, c.RespSlotSize), rdma.PermRemoteWrite)
 	cl.reqCredit = c.Device.RegisterMemory(ringbuf.CreditBytes, rdma.PermRemoteWrite)
@@ -357,6 +366,12 @@ func (c *Client) getRetry(key string) ([]byte, error) {
 			return value, err
 		}
 		lastErr = err
+		// An admission-control shed carries the server's backoff hint;
+		// honor it when it is longer than the local schedule.
+		var rl *RetryLaterError
+		if errors.As(err, &rl) && rl.Hint > backoff {
+			backoff = rl.Hint
+		}
 		// Bounded exponential backoff with ±50% jitter, capped by what is
 		// left of the operation's budget.
 		sleep := backoff/2 + time.Duration(rand.Int64N(int64(backoff)))
@@ -374,10 +389,13 @@ func (c *Client) getRetry(key string) ([]byte, error) {
 
 // retryableRead reports whether an idempotent read may be re-attempted
 // with a fresh oid: yes for timeouts, replay rejections (the server saw
-// a duplicated frame for this oid — a later oid starts clean), and
-// malformed-but-authenticated responses; no for terminal outcomes.
+// a duplicated frame for this oid — a later oid starts clean),
+// malformed-but-authenticated responses, and admission-control sheds
+// (the server guarantees a shed op was not applied); no for terminal
+// outcomes.
 func retryableRead(err error) bool {
-	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrReplay) || errors.Is(err, ErrBadResponse)
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrReplay) ||
+		errors.Is(err, ErrBadResponse) || errors.Is(err, ErrRetryLater)
 }
 
 func (c *Client) getOnce(key string, deadline time.Time) ([]byte, error) {
@@ -560,6 +578,23 @@ func (c *Client) roundTrip(req *wire.Request, ctl *wire.RequestControl, deadline
 			c.badFrames++
 			continue
 		}
+		if rc.Flags&wire.FlagRetryLater != 0 {
+			// Sealed admission-control shed. A matching oid attributes it
+			// to this op directly. Oid 0 is the read-shed sentinel — the
+			// server refused the frame before opening the control seal, so
+			// it could not echo the oid; only an idempotent read may accept
+			// it (a late sentinel from an earlier shed get is harmless:
+			// reads retry with fresh oids and the superseded reply goes
+			// stale). A write never accepts an oid-less shed.
+			if rc.Oid == c.oid || (rc.Oid == 0 && req.Op == wire.OpGet) {
+				op.Span(obs.CliRespWait, pollStart)
+				c.retryLaters++
+				c.window.OnCongestion()
+				return nil, nil, &RetryLaterError{Hint: RetryHint(rc.InlineValue)}
+			}
+			c.staleFrames++
+			continue
+		}
 		if rc.Oid != c.oid {
 			// Authenticated but stale (a duplicated in-flight response from
 			// an earlier oid); keep waiting for the fresh one.
@@ -587,6 +622,13 @@ type ClientStats struct {
 	IntegrityFailures uint64
 	// Retries counts read re-attempts after transient failures.
 	Retries uint64
+	// RetryLaters counts sealed admission-control sheds this connection
+	// received (single ops and batch frames alike).
+	RetryLaters uint64
+	// Window is the connection's current AIMD pipelining limit — a
+	// gauge, so Add keeps the maximum across connections rather than
+	// summing.
+	Window int
 	// BadFrames counts unattributable response frames skipped by the
 	// poll loop: corrupt ring slots, undecodable responses, and sealed
 	// control data that failed authentication.
@@ -618,6 +660,10 @@ func (s *ClientStats) Add(other ClientStats) {
 	s.BatchedOps += other.BatchedOps
 	s.IntegrityFailures += other.IntegrityFailures
 	s.Retries += other.Retries
+	s.RetryLaters += other.RetryLaters
+	if other.Window > s.Window {
+		s.Window = other.Window
+	}
 	s.BadFrames += other.BadFrames
 	s.StaleFrames += other.StaleFrames
 	s.UnauthStatuses += other.UnauthStatuses
@@ -634,6 +680,8 @@ func (c *Client) StatsStruct() ClientStats {
 		Batches: c.batches, BatchedOps: c.batchedOps,
 		IntegrityFailures: c.integrityFailures,
 		Retries:           c.retries,
+		RetryLaters:       c.retryLaters,
+		Window:            c.window.Limit(),
 		BadFrames:         c.badFrames,
 		StaleFrames:       c.staleFrames,
 		UnauthStatuses:    c.unauthStatuses,

@@ -27,12 +27,14 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"log/slog"
 	"time"
 
 	"precursor/internal/audit"
 	"precursor/internal/heat"
 	"precursor/internal/obs"
+	"precursor/internal/overload"
 	"precursor/internal/sgx"
 )
 
@@ -54,7 +56,36 @@ var (
 	// appears alone — it is joined onto the causal error (ErrTimeout or
 	// ErrReplay), so errors.Is works against either.
 	ErrUnconfirmed = errors.New("precursor: write outcome unconfirmed")
+	// ErrRetryLater is the admission-control shed outcome: the server is
+	// overloaded (or draining) and refused the operation before applying
+	// it. It is not a failure and never joins ErrUnconfirmed — the
+	// sealed RETRY_LATER reply guarantees the op was NOT applied, so
+	// both reads and writes may be retried safely after the server's
+	// backoff hint (see RetryHint).
+	ErrRetryLater = errors.New("precursor: server overloaded, retry later")
 )
+
+// RetryLaterError is the concrete error behind ErrRetryLater: an
+// admission-control shed carrying the server's backoff hint. It
+// matches errors.Is(err, ErrRetryLater), and callers that honor the
+// hint extract it with errors.As. Hint 0 means the server offered no
+// suggestion.
+type RetryLaterError struct {
+	// Hint is the server-suggested backoff before retrying.
+	Hint time.Duration
+}
+
+// Error implements the error interface.
+func (e *RetryLaterError) Error() string {
+	if e.Hint <= 0 {
+		return ErrRetryLater.Error()
+	}
+	return fmt.Sprintf("%s (hint %v)", ErrRetryLater.Error(), e.Hint)
+}
+
+// Is reports target == ErrRetryLater, so errors.Is sees through the
+// concrete type.
+func (e *RetryLaterError) Is(target error) bool { return target == ErrRetryLater }
 
 // Default geometry. Ring slots hold a full request (header + sealed
 // control + payload + MAC), so the slot size bounds the value size.
@@ -145,6 +176,13 @@ type ServerConfig struct {
 	// disables heat accounting; the hot path then pays one branch per
 	// request.
 	Heat *heat.Collector
+	// Overload, when set, is the admission gate consulted at ring
+	// pickup, before seal verification: excess load is shed with sealed
+	// RETRY_LATER replies carrying a backoff hint, writes preferred
+	// over reads, batches shed as a unit. Nil disables load-based
+	// admission control (every op is admitted; a drain-only gate still
+	// sheds during graceful shutdown).
+	Overload *overload.Gate
 }
 
 func (c *ServerConfig) withDefaults() ServerConfig {
@@ -201,4 +239,11 @@ type ServerStats struct {
 	// sealing state (0 = never sealed). Index-only snapshots keep this
 	// flat as the store grows — the satellite fix for seal stalls.
 	SealDuration time.Duration
+	// ShedReads, ShedWrites and ShedBatches count operations refused by
+	// the admission gate with sealed RETRY_LATER (all zero when
+	// ServerConfig.Overload is nil).
+	ShedReads, ShedWrites, ShedBatches uint64
+	// Draining reports whether the server is in graceful drain: every
+	// op is shed while in-flight work finishes ahead of seal-and-exit.
+	Draining bool
 }

@@ -14,6 +14,7 @@ import (
 	"precursor/internal/hashtable"
 	"precursor/internal/heat"
 	"precursor/internal/obs"
+	"precursor/internal/overload"
 	"precursor/internal/rdma"
 	"precursor/internal/ringbuf"
 	"precursor/internal/sgx"
@@ -137,6 +138,12 @@ type Server struct {
 	badRequests           atomic.Uint64
 	cryptoBytes           atomic.Uint64
 	repairSessions        atomic.Uint64
+
+	// gate is the admission controller consulted at ring pickup. Always
+	// non-nil: when ServerConfig.Overload is unset a drain-only gate is
+	// installed (never sheds on load, still sheds during drain), so
+	// graceful shutdown works on every server.
+	gate *overload.Gate
 }
 
 // NewServer creates and starts a Precursor server on the given RDMA
@@ -164,6 +171,15 @@ func NewServer(device *rdma.Device, cfg ServerConfig) (*Server, error) {
 	}
 	if s.rollback == nil {
 		s.rollback = sgx.AsTrustedCounter(sgx.NewMonotonicCounter())
+	}
+	s.gate = c.Overload
+	if s.gate == nil {
+		// Drain-only gate: thresholds high enough to never shed on load,
+		// so only SetDraining engages it.
+		s.gate = overload.NewGate(overload.GateConfig{
+			MaxInflight:   -1,
+			MaxQueueDelay: time.Hour,
+		})
 	}
 	s.acct = newEnclaveAccountant(enclave)
 	if c.Audit != nil {
@@ -597,6 +613,33 @@ func (s *Server) handleRequest(sess *session, msg []byte, op *obs.Op, now int64)
 		return
 	}
 	now = op.SpanEnd(obs.SrvDecode, now)
+	// Admission control, decided before the control seal is opened so a
+	// melting server never pays AEAD for work it refuses. Reads shed
+	// right here with an oid-less sealed RETRY_LATER (idempotent
+	// retries make the early exit safe). A refused write must still
+	// open and burn its oid before the shed reply — see below — so only
+	// the decision is taken now. The reply-queue depth is the pressure
+	// signal: backlog × service-time EWMA estimates queue delay.
+	kind := overload.KindWrite
+	if req.Op == wire.OpGet {
+		kind = overload.KindRead
+	}
+	admitted, hint := s.gate.Admit(kind, len(s.out))
+	if !admitted && kind == overload.KindRead {
+		if tr := s.cfg.Tracer; tr != nil {
+			tr.NoteFault("shed read (overload)")
+		}
+		op.SetKind("get")
+		op.SetError(ErrRetryLater)
+		s.reply(sess, wire.StatusRetryLater,
+			&wire.ResponseControl{Flags: wire.FlagRetryLater, InlineValue: hintBytes(hint)},
+			nil, op, now)
+		return
+	}
+	if admitted {
+		start := time.Now()
+		defer func() { s.gate.Done(time.Since(start)) }()
+	}
 	// Only the sealed control segment crosses into the enclave; req.Payload
 	// stays in untrusted memory (Fig. 3, steps 3–4).
 	s.cryptoBytes.Add(uint64(len(req.SealedControl)))
@@ -634,6 +677,23 @@ func (s *Server) handleRequest(sess *session, msg []byte, op *obs.Op, now int64)
 	}
 	sess.lastOid = ctl.Oid
 	now = op.SpanEnd(obs.SrvVerify, now)
+
+	// Refused write: the oid is burned above, so a duplicate delivery of
+	// this exact frame can never apply after the client has already
+	// resolved it as RETRY_LATER and moved on — the shed is guaranteed
+	// "not applied", which is what lets writes retry without
+	// ErrUnconfirmed. The echoed oid inside the seal attributes the
+	// reply to this operation.
+	if !admitted {
+		if tr := s.cfg.Tracer; tr != nil {
+			tr.NoteFault("shed write (overload)")
+		}
+		op.SetError(ErrRetryLater)
+		s.reply(sess, wire.StatusRetryLater,
+			&wire.ResponseControl{Oid: ctl.Oid, Flags: wire.FlagRetryLater, InlineValue: hintBytes(hint)},
+			nil, op, now)
+		return
+	}
 
 	// Heat accounting happens here — after the control seal opened, so
 	// the key is authentic, and before dispatch, so every op kind is
@@ -882,6 +942,7 @@ func (s *Server) Stats() ServerStats {
 	clients := len(s.sessions)
 	s.mu.Unlock()
 	ps := s.pool.Stats()
+	gs := s.gate.Stats()
 	return ServerStats{
 		Vlog:               s.vlogStats(),
 		SealDuration:       time.Duration(s.lastSealDur.Load()),
@@ -900,7 +961,51 @@ func (s *Server) Stats() ServerStats {
 		PoolBytesReserved:  ps.BytesReserved,
 		PoolBytesInUse:     ps.BytesInUse,
 		PoolGrowths:        ps.Growths,
+		ShedReads:          gs.ShedReads,
+		ShedWrites:         gs.ShedWrites,
+		ShedBatches:        gs.ShedBatches,
+		Draining:           gs.Draining,
 	}
+}
+
+// Gate returns the server's admission gate (never nil; a drain-only
+// gate when ServerConfig.Overload was unset), for metrics exporters.
+func (s *Server) Gate() *overload.Gate { return s.gate }
+
+// SetDraining toggles graceful drain: while draining every new
+// operation is shed with a sealed RETRY_LATER so clients fail over,
+// while in-flight work completes normally. Used by SIGTERM shutdown —
+// drain, wait a grace period, seal, exit.
+func (s *Server) SetDraining(v bool) { s.gate.SetDraining(v) }
+
+// Draining reports whether the server is in graceful drain.
+func (s *Server) Draining() bool { return s.gate.Draining() }
+
+// RetryHint decodes the backoff hint carried in a sealed RETRY_LATER
+// reply's inline-value field: a little-endian uint32 millisecond
+// count. Returns 0 when the hint is absent or malformed ("use your
+// own backoff").
+func RetryHint(b []byte) time.Duration {
+	if len(b) < 4 {
+		return 0
+	}
+	return time.Duration(binary.LittleEndian.Uint32(b)) * time.Millisecond
+}
+
+// hintBytes encodes a shed backoff hint for the sealed reply,
+// saturating at uint32 milliseconds and flooring at 1ms so a hint is
+// never encoded as "none".
+func hintBytes(d time.Duration) []byte {
+	ms := d.Milliseconds()
+	if ms <= 0 {
+		ms = 1
+	}
+	if ms > int64(^uint32(0)) {
+		ms = int64(^uint32(0))
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(ms))
+	return b[:]
 }
 
 // Close stops all worker threads and destroys the enclave.

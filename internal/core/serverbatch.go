@@ -10,11 +10,13 @@ package core
 import (
 	"fmt"
 	"log/slog"
+	"time"
 
 	"precursor/internal/audit"
 	"precursor/internal/cryptox"
 	"precursor/internal/heat"
 	"precursor/internal/obs"
+	"precursor/internal/overload"
 	"precursor/internal/wire"
 )
 
@@ -25,6 +27,15 @@ import (
 // into a single reply.
 func (s *Server) handleBatch(sess *session, msg []byte, op *obs.Op, now int64) {
 	op.SetKind("batch")
+	// Admission is decided before any decode or AEAD work, but a
+	// refused batch still opens and burns its oid below so the shed is
+	// guaranteed "not applied" — the batch is the replay unit, so the
+	// whole frame sheds as a unit (every per-op result RETRY_LATER).
+	admitted, hint := s.gate.Admit(overload.KindBatch, len(s.out))
+	if admitted {
+		start := time.Now()
+		defer func() { s.gate.Done(time.Since(start)) }()
+	}
 	if err := wire.DecodeBatchRequest(msg, &sess.breq); err != nil {
 		s.badRequests.Add(1)
 		op.SetError(err)
@@ -94,6 +105,23 @@ func (s *Server) handleBatch(sess *session, msg []byte, op *obs.Op, now int64) {
 	}
 	sess.lastOid = ctl.Oid
 	now = op.SpanEnd(obs.SrvVerify, now)
+
+	if !admitted {
+		if tr := s.cfg.Tracer; tr != nil {
+			tr.NoteFault("shed batch (overload)")
+		}
+		h := hintBytes(hint)
+		sess.brep.Oid = ctl.Oid
+		sess.brep.Flags = wire.FlagRetryLater
+		sess.brep.Results = sess.brep.Results[:0]
+		for range ctl.Ops {
+			sess.brep.Results = append(sess.brep.Results,
+				wire.BatchOpResult{Status: wire.StatusRetryLater, Flags: wire.FlagRetryLater, InlineValue: h})
+		}
+		op.SetError(ErrRetryLater)
+		s.replyBatch(sess, wire.StatusRetryLater, nil, op, now)
+		return
+	}
 
 	s.batches.Add(1)
 	s.batchedOps.Add(uint64(len(ctl.Ops)))

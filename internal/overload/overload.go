@@ -1,0 +1,446 @@
+// Package overload implements Precursor's overload-protection
+// primitives: the server-side admission gate that sheds excess load
+// before seal verification, the client-side AIMD concurrency
+// controller that adapts the pipelining window to RETRY_LATER and
+// deadline signals, and the token-bucket retry budget that bounds
+// fleet-wide retry amplification.
+//
+// Precursor's servers never coordinate (the paper's client-centric
+// core claim), so when a shard saturates only two parties can stop
+// the melt: the enclave, by refusing work before paying the
+// transition + AEAD cost per doomed op, and the clients, by backing
+// off without amplifying. This package supplies both halves; the
+// wiring lives in internal/core (server and client), the pool, and
+// internal/cluster (hedged reads).
+package overload
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies an operation for admission purposes. Writes are
+// preferred over reads when shedding: a shed read costs the client one
+// cheap idempotent retry, while a shed write stalls durability — so
+// reads shed at a lower pressure threshold.
+type Kind uint8
+
+// Operation kinds, in shed-preference order.
+const (
+	// KindRead is an idempotent read (Get) — first to shed.
+	KindRead Kind = iota
+	// KindWrite is a single-op write (Put/Delete) — sheds only above
+	// the full pressure threshold.
+	KindWrite
+	// KindBatch is a multi-op batch frame, shed as a unit at the write
+	// threshold (batches carry writes).
+	KindBatch
+)
+
+// GateConfig configures a server admission Gate. The zero value takes
+// the defaults below via NewGate.
+type GateConfig struct {
+	// MaxInflight caps concurrently admitted operations across the
+	// server's trusted threads. 0 means DefaultMaxInflight; negative
+	// disables the cap.
+	MaxInflight int
+	// MaxQueueDelay is the estimated queue-delay ceiling for writes and
+	// batches: when backlog × service-time-EWMA exceeds it, the gate
+	// sheds. 0 means DefaultMaxQueueDelay.
+	MaxQueueDelay time.Duration
+	// ReadFraction scales MaxQueueDelay down for reads so they shed
+	// first (write preference). 0 means DefaultReadFraction; values are
+	// clamped to (0, 1].
+	ReadFraction float64
+	// BaseHint is the minimum backoff hint returned with a shed. 0
+	// means DefaultBaseHint.
+	BaseHint time.Duration
+	// MaxHint caps the backoff hint (sheds under deep backlogs suggest
+	// proportionally longer waits, up to this). 0 means DefaultMaxHint.
+	MaxHint time.Duration
+}
+
+// Gate defaults, chosen so an unconfigured gate only engages under
+// genuine pressure: tens of milliseconds of estimated queue delay on a
+// path whose per-op service time is single-digit microseconds.
+const (
+	// DefaultMaxInflight is the default concurrently-admitted cap.
+	DefaultMaxInflight = 4096
+	// DefaultMaxQueueDelay is the default write/batch queue-delay ceiling.
+	DefaultMaxQueueDelay = 20 * time.Millisecond
+	// DefaultReadFraction is the default read threshold as a fraction
+	// of MaxQueueDelay.
+	DefaultReadFraction = 0.5
+	// DefaultBaseHint is the default minimum shed backoff hint.
+	DefaultBaseHint = 2 * time.Millisecond
+	// DefaultMaxHint is the default maximum shed backoff hint.
+	DefaultMaxHint = 250 * time.Millisecond
+)
+
+func (c GateConfig) withDefaults() GateConfig {
+	if c.MaxInflight == 0 {
+		c.MaxInflight = DefaultMaxInflight
+	}
+	if c.MaxQueueDelay <= 0 {
+		c.MaxQueueDelay = DefaultMaxQueueDelay
+	}
+	if c.ReadFraction <= 0 || c.ReadFraction > 1 {
+		c.ReadFraction = DefaultReadFraction
+	}
+	if c.BaseHint <= 0 {
+		c.BaseHint = DefaultBaseHint
+	}
+	if c.MaxHint < c.BaseHint {
+		c.MaxHint = DefaultMaxHint
+	}
+	return c
+}
+
+// Gate is the server-side admission controller. It is deliberately
+// cheap — a handful of atomic loads per decision — because it runs at
+// ring pickup, before the expensive seal verification, on every
+// operation. All methods are safe for concurrent use by the server's
+// trusted threads.
+type Gate struct {
+	cfg      GateConfig
+	draining atomic.Bool
+	inflight atomic.Int64
+	// svcEWMA is the exponentially-weighted service-time average in
+	// nanoseconds (gain 1/8), fed by Done. Combined with the sender
+	// backlog it yields the queue-delay estimate that drives shedding.
+	svcEWMA atomic.Int64
+
+	admitted    atomic.Uint64
+	shedReads   atomic.Uint64
+	shedWrites  atomic.Uint64
+	shedBatches atomic.Uint64
+}
+
+// NewGate returns an admission gate with cfg's thresholds (zero fields
+// take defaults).
+func NewGate(cfg GateConfig) *Gate {
+	return &Gate{cfg: cfg.withDefaults()}
+}
+
+// Admit decides whether an operation of the given kind may proceed.
+// backlog is the current depth of the server's reply queue (the
+// cheapest congestion signal available at ring pickup). On admission
+// it returns (true, 0) and the caller MUST call Done when the op
+// finishes; on shed it returns (false, hint) where hint is the
+// suggested client backoff.
+func (g *Gate) Admit(kind Kind, backlog int) (bool, time.Duration) {
+	if g == nil {
+		return true, 0
+	}
+	if g.draining.Load() {
+		g.shed(kind)
+		return false, g.cfg.MaxHint
+	}
+	if g.cfg.MaxInflight > 0 && g.inflight.Load() >= int64(g.cfg.MaxInflight) {
+		g.shed(kind)
+		return false, g.hint(g.cfg.MaxQueueDelay)
+	}
+	est := time.Duration(backlog) * time.Duration(g.svcEWMA.Load())
+	limit := g.cfg.MaxQueueDelay
+	if kind == KindRead {
+		limit = time.Duration(float64(limit) * g.cfg.ReadFraction)
+	}
+	if est > limit {
+		g.shed(kind)
+		return false, g.hint(est)
+	}
+	g.inflight.Add(1)
+	g.admitted.Add(1)
+	return true, 0
+}
+
+// Done records the service time of an admitted operation and releases
+// its in-flight slot. Call exactly once per successful Admit.
+func (g *Gate) Done(service time.Duration) {
+	if g == nil {
+		return
+	}
+	g.inflight.Add(-1)
+	if service < 0 {
+		return
+	}
+	// EWMA with gain 1/8, lock-free: a lost race skews the estimate by
+	// one sample, which the next sample corrects.
+	old := g.svcEWMA.Load()
+	g.svcEWMA.Store(old - old/8 + int64(service)/8)
+}
+
+// SetDraining toggles drain mode: while draining the gate sheds every
+// operation (RETRY_LATER with the maximum hint) so in-flight work can
+// finish and the server can seal and exit.
+func (g *Gate) SetDraining(v bool) {
+	if g != nil {
+		g.draining.Store(v)
+	}
+}
+
+// Draining reports whether the gate is in drain mode.
+func (g *Gate) Draining() bool { return g != nil && g.draining.Load() }
+
+// hint converts an estimated queue delay into a client backoff
+// suggestion, clamped to [BaseHint, MaxHint] with the delay itself as
+// the midpoint scale.
+func (g *Gate) hint(est time.Duration) time.Duration {
+	h := est
+	if h < g.cfg.BaseHint {
+		h = g.cfg.BaseHint
+	}
+	if h > g.cfg.MaxHint {
+		h = g.cfg.MaxHint
+	}
+	return h
+}
+
+func (g *Gate) shed(kind Kind) {
+	switch kind {
+	case KindRead:
+		g.shedReads.Add(1)
+	case KindWrite:
+		g.shedWrites.Add(1)
+	default:
+		g.shedBatches.Add(1)
+	}
+}
+
+// GateStats is a snapshot of a gate's admission counters.
+type GateStats struct {
+	// Admitted counts operations that passed the gate.
+	Admitted uint64
+	// ShedReads, ShedWrites and ShedBatches count sheds by kind.
+	ShedReads, ShedWrites, ShedBatches uint64
+	// Inflight is the current number of admitted, unfinished ops.
+	Inflight int64
+	// ServiceEWMA is the current service-time estimate.
+	ServiceEWMA time.Duration
+	// Draining reports drain mode.
+	Draining bool
+}
+
+// Stats returns a consistent-enough snapshot of the gate's counters
+// (each field is individually atomic).
+func (g *Gate) Stats() GateStats {
+	if g == nil {
+		return GateStats{}
+	}
+	return GateStats{
+		Admitted:    g.admitted.Load(),
+		ShedReads:   g.shedReads.Load(),
+		ShedWrites:  g.shedWrites.Load(),
+		ShedBatches: g.shedBatches.Load(),
+		Inflight:    g.inflight.Load(),
+		ServiceEWMA: time.Duration(g.svcEWMA.Load()),
+		Draining:    g.draining.Load(),
+	}
+}
+
+// AIMD is a per-connection adaptive concurrency limit: additive
+// increase on success, multiplicative decrease on congestion signals
+// (RETRY_LATER, deadline expiry), floor 1. It governs how many batch
+// frames a connection keeps pipelined — the client-side analogue of a
+// TCP congestion window. Methods are safe for concurrent use, though
+// in practice each limiter is driven by one connection's owner.
+type AIMD struct {
+	mu    sync.Mutex
+	limit float64
+	min   float64
+	max   float64
+	// incr is the additive step per success; factor the multiplicative
+	// cut per congestion signal.
+	incr   float64
+	factor float64
+
+	increases, decreases atomic.Uint64
+}
+
+// NewAIMD returns a limiter spanning [min, max], starting at max
+// (optimistic: the first congestion signal halves it). min is clamped
+// to ≥1, max to ≥min.
+func NewAIMD(min, max int) *AIMD {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	return &AIMD{
+		limit:  float64(max),
+		min:    float64(min),
+		max:    float64(max),
+		incr:   0.5,
+		factor: 0.5,
+	}
+}
+
+// Limit returns the current integer concurrency limit (≥1).
+func (a *AIMD) Limit() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return int(a.limit)
+}
+
+// OnSuccess applies the additive increase (bounded by max).
+func (a *AIMD) OnSuccess() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.limit += a.incr; a.limit > a.max {
+		a.limit = a.max
+	} else {
+		a.increases.Add(1)
+	}
+}
+
+// OnCongestion applies the multiplicative decrease (floored at min).
+// Call on RETRY_LATER or a deadline expiry attributable to load.
+func (a *AIMD) OnCongestion() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.limit *= a.factor; a.limit < a.min {
+		a.limit = a.min
+	} else {
+		a.decreases.Add(1)
+	}
+}
+
+// AIMDStats is a snapshot of a limiter's state.
+type AIMDStats struct {
+	// Limit is the current window.
+	Limit int
+	// Increases and Decreases count effective window adjustments.
+	Increases, Decreases uint64
+}
+
+// Stats returns the limiter's current window and adjustment counters.
+func (a *AIMD) Stats() AIMDStats {
+	a.mu.Lock()
+	limit := int(a.limit)
+	a.mu.Unlock()
+	return AIMDStats{
+		Limit:     limit,
+		Increases: a.increases.Load(),
+		Decreases: a.decreases.Load(),
+	}
+}
+
+// RetryBudget is a token bucket bounding retry (and hedge)
+// amplification: each success deposits Ratio tokens, each retry spends
+// one, so sustained retry traffic cannot exceed Ratio × the success
+// rate — fleet-wide amplification stays ≤ 1+Ratio even when every
+// client is saturated. Shared per pool (all connections to one shard)
+// and consulted by the cluster layer before hedging. Safe for
+// concurrent use.
+type RetryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	ratio  float64
+
+	granted atomic.Uint64
+	denied  atomic.Uint64
+}
+
+// Budget defaults: amplification ≤ 1.1×, with a small standing
+// allowance so isolated failures retry immediately.
+const (
+	// DefaultBudgetRatio is the default tokens-per-success deposit.
+	DefaultBudgetRatio = 0.1
+	// DefaultBudgetMax is the default bucket capacity.
+	DefaultBudgetMax = 32
+)
+
+// NewRetryBudget returns a budget with the given capacity and
+// per-success deposit ratio (zero/negative take defaults). The bucket
+// starts full so cold-start retries are not starved.
+func NewRetryBudget(max, ratio float64) *RetryBudget {
+	if max <= 0 {
+		max = DefaultBudgetMax
+	}
+	if ratio <= 0 {
+		ratio = DefaultBudgetRatio
+	}
+	return &RetryBudget{tokens: max, max: max, ratio: ratio}
+}
+
+// OnSuccess deposits the per-success ratio into the bucket.
+func (b *RetryBudget) OnSuccess() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.tokens += b.ratio; b.tokens > b.max {
+		b.tokens = b.max
+	}
+	b.mu.Unlock()
+}
+
+// TrySpend attempts to spend one token for a retry or hedge. It
+// reports whether the spend was granted; when it is not, the caller
+// must give up (return the underlying error) rather than retry —
+// that refusal is what bounds the storm.
+func (b *RetryBudget) TrySpend() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	ok := b.tokens >= 1
+	if ok {
+		b.tokens--
+	}
+	b.mu.Unlock()
+	if ok {
+		b.granted.Add(1)
+	} else {
+		b.denied.Add(1)
+	}
+	return ok
+}
+
+// Tokens returns the current bucket level.
+func (b *RetryBudget) Tokens() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+// BudgetStats is a snapshot of a retry budget's counters.
+type BudgetStats struct {
+	// Tokens is the current bucket level.
+	Tokens float64
+	// Granted and Denied count TrySpend outcomes; Denied > 0 means the
+	// budget actively suppressed retry amplification.
+	Granted, Denied uint64
+}
+
+// Stats returns the budget's level and spend counters.
+func (b *RetryBudget) Stats() BudgetStats {
+	if b == nil {
+		return BudgetStats{}
+	}
+	b.mu.Lock()
+	tokens := b.tokens
+	b.mu.Unlock()
+	return BudgetStats{
+		Tokens:  tokens,
+		Granted: b.granted.Load(),
+		Denied:  b.denied.Load(),
+	}
+}
+
+// Jitter spreads d over [d/2, 3d/2), the repo's standard decorrelation
+// for backoffs and probe intervals (half the base plus a uniformly
+// random base). It exists here so every layer jitters the same way.
+func Jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(rand.Int64N(int64(d)))
+}

@@ -26,6 +26,13 @@ const (
 	// is inside the seal it doubles as an unforgeable demux tag; the
 	// single-op encoder never sets it.
 	FlagBatch
+	// FlagRetryLater, set in sealed response control, authenticates an
+	// admission-control shed (StatusRetryLater): the server refused the
+	// op before applying it. The seal matters — an unauthenticated
+	// RETRY_LATER would let an on-path adversary silently cancel
+	// operations. When set, InlineValue carries a little-endian backoff
+	// hint in milliseconds (may be empty for "use your own backoff").
+	FlagRetryLater
 )
 
 // RequestControl is the plaintext of a request's transport-encrypted

@@ -55,6 +55,11 @@ const (
 	StatusAuthFailed // control data failed authenticated decryption
 	StatusBadRequest
 	StatusServerError
+	// StatusRetryLater is the admission-control shed outcome: the server
+	// refused to apply the operation because it is overloaded (or
+	// draining) and guarantees the op was NOT applied. It is not an
+	// error — clients retry after the sealed backoff hint.
+	StatusRetryLater
 )
 
 func (s Status) String() string {
@@ -71,6 +76,8 @@ func (s Status) String() string {
 		return "BAD_REQUEST"
 	case StatusServerError:
 		return "SERVER_ERROR"
+	case StatusRetryLater:
+		return "RETRY_LATER"
 	}
 	return "UNKNOWN"
 }

@@ -249,6 +249,13 @@ func (m *MetricsServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "not ready: server bootstrap/restore in progress", http.StatusServiceUnavailable)
 		return
 	}
+	if m.server != nil && m.server.Draining() {
+		// Graceful drain: the server sheds every new op with RETRY_LATER
+		// while in-flight work finishes — scrapes and load balancers must
+		// fail over now, before the process seals and exits.
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
 	if cluster != nil && !cluster.Available() {
 		http.Error(w, "not ready: no replica serving", http.StatusServiceUnavailable)
 		return
@@ -409,6 +416,16 @@ func (m *MetricsServer) writeServerMetrics(b *strings.Builder) {
 	}
 	if d := m.server.LastSealDuration(); d > 0 {
 		gauge("precursor_seal_duration_seconds", "Wall time of the last successful seal (index-only with a value log, so flat as data grows)", d.Seconds())
+	}
+	counter("precursor_overload_shed_reads_total", "Reads refused by the admission gate with sealed RETRY_LATER", st.ShedReads)
+	counter("precursor_overload_shed_writes_total", "Writes refused by the admission gate with sealed RETRY_LATER", st.ShedWrites)
+	counter("precursor_overload_shed_batches_total", "Batch frames refused as a unit by the admission gate", st.ShedBatches)
+	gauge("precursor_overload_draining", "1 while the server is in graceful drain (shedding every op before seal-and-exit)", boolGauge(st.Draining))
+	if g := m.server.Gate(); g != nil {
+		gs := g.Stats()
+		counter("precursor_overload_admitted_total", "Operations admitted past the overload gate", gs.Admitted)
+		gauge("precursor_overload_inflight", "Operations currently inside the admission gate", float64(gs.Inflight))
+		gauge("precursor_overload_service_ewma_seconds", "Smoothed per-op service time the gate scales reply-queue backlog by", gs.ServiceEWMA.Seconds())
 	}
 	if v := st.Vlog; v != nil {
 		gauge("precursor_vlog_segments", "Value-log segment files on disk", float64(v.Log.Segments))
@@ -632,6 +649,18 @@ func writeClusterMetrics(b *strings.Builder, c *ClusterClient) {
 	fmt.Fprintf(b, "precursor_cluster_repairs_total %d\n", st.Repairs)
 	head("precursor_cluster_repair_failures_total", "Aborted replica repair attempts", "counter")
 	fmt.Fprintf(b, "precursor_cluster_repair_failures_total %d\n", st.RepairFailures)
+	head("precursor_cluster_hedges_launched_total", "Secondary reads issued by the hedge timer", "counter")
+	fmt.Fprintf(b, "precursor_cluster_hedges_launched_total %d\n", st.HedgesLaunched)
+	head("precursor_cluster_hedges_won_total", "Hedged reads where the secondary's sealed-valid reply arrived first", "counter")
+	fmt.Fprintf(b, "precursor_cluster_hedges_won_total %d\n", st.HedgesWon)
+	head("precursor_cluster_hedges_denied_total", "Hedge attempts refused by the retry budget", "counter")
+	fmt.Fprintf(b, "precursor_cluster_hedges_denied_total %d\n", st.HedgesDenied)
+	head("precursor_retry_budget_tokens", "Retry/hedge token-bucket level (successes deposit, retries and hedges spend)", "gauge")
+	fmt.Fprintf(b, "precursor_retry_budget_tokens %g\n", st.RetryBudget.Tokens)
+	head("precursor_retry_budget_granted_total", "Retries and hedges the budget allowed", "counter")
+	fmt.Fprintf(b, "precursor_retry_budget_granted_total %d\n", st.RetryBudget.Granted)
+	head("precursor_retry_budget_denied_total", "Retries and hedges the budget refused (amplification actively bounded)", "counter")
+	fmt.Fprintf(b, "precursor_retry_budget_denied_total %d\n", st.RetryBudget.Denied)
 
 	// Live keys across the cluster (puts minus deletes, an upper bound
 	// under overwrites) scales each shard's ring ownership into a

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"precursor/internal/overload"
 )
 
 // Pool multiplexes operations over several Precursor client connections.
@@ -46,6 +48,12 @@ type Pool struct {
 	redialMu       sync.Mutex
 	redialFailures int       // consecutive failed attempts, pool-wide
 	nextRedial     time.Time // earliest next permitted attempt
+
+	// budget is the pool-wide retry budget: every RETRY_LATER retry
+	// spends a token, every success deposits a fraction of one, so the
+	// pool's retry amplification is bounded (≤ ~1.1×) no matter how
+	// hard the shard sheds. Shared across all the pool's connections.
+	budget *overload.RetryBudget
 }
 
 // ErrPoolClosed is returned by operations on a closed pool.
@@ -66,6 +74,7 @@ func NewPool(addr string, cfg DialConfig, size int) (*Pool, error) {
 	p := &Pool{
 		redial:      func() (*Client, error) { return Dial(addr, cfg) },
 		waitTimeout: wait,
+		budget:      overload.NewRetryBudget(overload.DefaultBudgetMax, overload.DefaultBudgetRatio),
 	}
 	for i := 0; i < size; i++ {
 		c, err := Dial(addr, cfg)
@@ -85,7 +94,10 @@ func NewPoolFromClients(clients []*Client) (*Pool, error) {
 	if len(clients) == 0 {
 		return nil, errors.New("precursor: pool needs at least one client")
 	}
-	p := &Pool{waitTimeout: defaultAcquireWait}
+	p := &Pool{
+		waitTimeout: defaultAcquireWait,
+		budget:      overload.NewRetryBudget(overload.DefaultBudgetMax, overload.DefaultBudgetRatio),
+	}
 	p.free = append(p.free, clients...)
 	p.all = append(p.all, clients...)
 	return p, nil
@@ -259,37 +271,86 @@ func (p *Pool) redialLoop() {
 	}
 }
 
-// Put stores value under key using any idle connection.
-func (p *Pool) Put(key string, value []byte) error {
-	c, err := p.acquire()
-	if err != nil {
-		return err
+// maxShedRetries bounds how many times one pool operation re-attempts
+// after RETRY_LATER, even when the budget would fund more.
+const maxShedRetries = 3
+
+// withShedRetry runs op (which must acquire/finish its own connection
+// per attempt), retrying admission-control sheds under the pool's
+// shared retry budget. A shed is safe to retry for reads AND writes —
+// the sealed RETRY_LATER guarantees the server did not apply the op —
+// but each retry spends a budget token; when the bucket is empty the
+// shed error is returned as-is, which is what bounds fleet-wide retry
+// amplification. Between attempts the server's backoff hint (or a
+// small default) is honored with jitter.
+func (p *Pool) withShedRetry(op func() error) error {
+	backoff := 2 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil {
+			p.budget.OnSuccess()
+			return nil
+		}
+		if !errors.Is(err, ErrRetryLater) || attempt >= maxShedRetries || !p.budget.TrySpend() {
+			return err
+		}
+		var rl *RetryLaterError
+		if errors.As(err, &rl) && rl.Hint > backoff {
+			backoff = rl.Hint
+		}
+		time.Sleep(overload.Jitter(backoff))
+		backoff *= 2
 	}
-	err = c.Put(key, value)
-	p.finish(c, err)
-	return err
 }
 
-// Get fetches and verifies the value for key.
+// Budget returns the pool's shared retry budget, for metrics exporters
+// and layers (the cluster client) that coordinate their own retries or
+// hedges with the pool's.
+func (p *Pool) Budget() *overload.RetryBudget { return p.budget }
+
+// Put stores value under key using any idle connection. A RETRY_LATER
+// shed is retried under the pool's retry budget (the server guarantees
+// a shed write was not applied, so the retry cannot double-apply).
+func (p *Pool) Put(key string, value []byte) error {
+	return p.withShedRetry(func() error {
+		c, err := p.acquire()
+		if err != nil {
+			return err
+		}
+		err = c.Put(key, value)
+		p.finish(c, err)
+		return err
+	})
+}
+
+// Get fetches and verifies the value for key. RETRY_LATER sheds are
+// retried under the pool's retry budget.
 func (p *Pool) Get(key string) ([]byte, error) {
-	c, err := p.acquire()
-	if err != nil {
-		return nil, err
-	}
-	v, err := c.Get(key)
-	p.finish(c, err)
+	var v []byte
+	err := p.withShedRetry(func() error {
+		c, err := p.acquire()
+		if err != nil {
+			return err
+		}
+		v, err = c.Get(key)
+		p.finish(c, err)
+		return err
+	})
 	return v, err
 }
 
-// Delete removes key.
+// Delete removes key. RETRY_LATER sheds are retried under the pool's
+// retry budget.
 func (p *Pool) Delete(key string) error {
-	c, err := p.acquire()
-	if err != nil {
+	return p.withShedRetry(func() error {
+		c, err := p.acquire()
+		if err != nil {
+			return err
+		}
+		err = c.Delete(key)
+		p.finish(c, err)
 		return err
-	}
-	err = c.Delete(key)
-	p.finish(c, err)
-	return err
+	})
 }
 
 // Batch executes ops as one multi-op frame — one seal, one ring
@@ -297,48 +358,89 @@ func (p *Pool) Delete(key string) error {
 // results in request order. The error is batch-level; per-op outcomes
 // (including ErrUnconfirmed attribution for writes whose fate is
 // unknown) are in the results. See Client.Batch.
+// Batches shed by the admission gate fail as a unit with a batch-level
+// RetryLaterError — nothing was applied — so the whole frame is
+// retried under the budget like a single op.
 func (p *Pool) Batch(ops []BatchOp) ([]BatchResult, error) {
-	c, err := p.acquire()
-	if err != nil {
-		return nil, err
-	}
-	results, err := c.Batch(ops)
-	p.finish(c, err)
+	var results []BatchResult
+	err := p.withShedRetry(func() error {
+		c, err := p.acquire()
+		if err != nil {
+			return err
+		}
+		results, err = c.Batch(ops)
+		p.finish(c, err)
+		return err
+	})
+	return results, err
+}
+
+// BatchDeadline is Batch under a caller-supplied absolute deadline
+// (zero = none): the parent's remaining budget bounds the frame's
+// deadline, and a spent deadline fails fast with ErrTimeout before
+// anything is sent. Shed retries stop once the deadline would be
+// overrun.
+func (p *Pool) BatchDeadline(ops []BatchOp, deadline time.Time) ([]BatchResult, error) {
+	var results []BatchResult
+	err := p.withShedRetry(func() error {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return ErrTimeout
+		}
+		c, err := p.acquire()
+		if err != nil {
+			return err
+		}
+		results, err = c.BatchDeadline(ops, deadline)
+		p.finish(c, err)
+		return err
+	})
 	return results, err
 }
 
 // PutBatch stores values[i] under keys[i] as one batch frame on one
 // borrowed connection.
 func (p *Pool) PutBatch(keys []string, values [][]byte) ([]BatchResult, error) {
-	c, err := p.acquire()
-	if err != nil {
-		return nil, err
-	}
-	results, err := c.PutBatch(keys, values)
-	p.finish(c, err)
+	var results []BatchResult
+	err := p.withShedRetry(func() error {
+		c, err := p.acquire()
+		if err != nil {
+			return err
+		}
+		results, err = c.PutBatch(keys, values)
+		p.finish(c, err)
+		return err
+	})
 	return results, err
 }
 
 // GetBatch fetches keys as one batch frame on one borrowed connection.
 func (p *Pool) GetBatch(keys []string) ([]BatchResult, error) {
-	c, err := p.acquire()
-	if err != nil {
-		return nil, err
-	}
-	results, err := c.GetBatch(keys)
-	p.finish(c, err)
+	var results []BatchResult
+	err := p.withShedRetry(func() error {
+		c, err := p.acquire()
+		if err != nil {
+			return err
+		}
+		results, err = c.GetBatch(keys)
+		p.finish(c, err)
+		return err
+	})
 	return results, err
 }
 
 // DeleteBatch removes keys as one batch frame on one borrowed
 // connection.
 func (p *Pool) DeleteBatch(keys []string) ([]BatchResult, error) {
-	c, err := p.acquire()
-	if err != nil {
-		return nil, err
-	}
-	results, err := c.DeleteBatch(keys)
-	p.finish(c, err)
+	var results []BatchResult
+	err := p.withShedRetry(func() error {
+		c, err := p.acquire()
+		if err != nil {
+			return err
+		}
+		results, err = c.DeleteBatch(keys)
+		p.finish(c, err)
+		return err
+	})
 	return results, err
 }
 

@@ -42,6 +42,7 @@ import (
 	"precursor/internal/core"
 	"precursor/internal/heat"
 	"precursor/internal/obs"
+	"precursor/internal/overload"
 	"precursor/internal/rdma"
 	"precursor/internal/sgx"
 )
@@ -256,7 +257,40 @@ var (
 	// ErrSnapshotRollback reports stale durable state (snapshot or value
 	// log) — evidence of a rollback attack or lost writes.
 	ErrSnapshotRollback = core.ErrSnapshotRollback
+	// ErrRetryLater reports an admission-control shed: the server was
+	// overloaded (or draining) and guarantees the op was NOT applied.
+	// Not a failure and never joined with ErrUnconfirmed — retry after
+	// the backoff hint (see RetryLaterError and PROTOCOL.md).
+	ErrRetryLater = core.ErrRetryLater
 )
+
+// Re-exported overload-protection types. A server sheds excess load at
+// ring pickup through ServerConfig.Overload (sealed RETRY_LATER
+// replies with backoff hints); pools retry sheds under a shared
+// token-bucket retry budget; the cluster client hedges slow reads
+// under the same budget discipline. See PROTOCOL.md "RETRY_LATER" and
+// OBSERVABILITY.md "Overload".
+type (
+	// OverloadGate is the server-side admission controller
+	// (ServerConfig.Overload).
+	OverloadGate = overload.Gate
+	// OverloadGateConfig configures NewOverloadGate.
+	OverloadGateConfig = overload.GateConfig
+	// OverloadGateStats is an admission gate's counter snapshot.
+	OverloadGateStats = overload.GateStats
+	// RetryBudget is the token bucket bounding retry amplification.
+	RetryBudget = overload.RetryBudget
+	// RetryBudgetStats is a retry budget's counter snapshot.
+	RetryBudgetStats = overload.BudgetStats
+	// RetryLaterError is the concrete ErrRetryLater carrying the
+	// server's backoff hint (extract with errors.As).
+	RetryLaterError = core.RetryLaterError
+)
+
+// NewOverloadGate builds a server admission gate for
+// ServerConfig.Overload (zero-value config takes sane defaults; a nil
+// gate disables load-based admission control).
+func NewOverloadGate(cfg OverloadGateConfig) *OverloadGate { return overload.NewGate(cfg) }
 
 // NewPlatform creates an SGX platform with a fresh attestation key.
 func NewPlatform(opts ...sgx.PlatformOption) (*Platform, error) {
