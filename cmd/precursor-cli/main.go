@@ -14,6 +14,12 @@
 //
 //	precursor-cli audit verify -key HEXKEY http://127.0.0.1:9090/debug/audit
 //
+// The trace subcommand likewise needs no credentials: it pulls raw
+// trace dumps from one or more metrics endpoints, stitches them into
+// end-to-end traces by trace id, and prints the worst ones:
+//
+//	precursor-cli trace -n 5 http://127.0.0.1:9090/metrics http://127.0.0.1:9091/metrics
+//
 // The -server-key and -measurement values are printed by the server at
 // startup; the client refuses to talk to an enclave whose attestation does
 // not match them.
@@ -50,12 +56,17 @@ func main() {
 
 func run(addr, serverKey, measureHex string, args []string) error {
 	if len(args) == 0 {
-		return errors.New("usage: precursor-cli [flags] put|get|del|bench|audit ...")
+		return errors.New("usage: precursor-cli [flags] put|get|del|bench|audit|trace ...")
 	}
 	if args[0] == "audit" {
 		// Offline chain verification — no server connection, no
 		// attestation credentials needed.
 		return runAudit(args[1:])
+	}
+	if args[0] == "trace" {
+		// Trace stitching talks to metrics endpoints only — no server
+		// connection, no attestation credentials needed.
+		return runTrace(args[1:])
 	}
 	cfg, err := dialConfig(serverKey, measureHex)
 	if err != nil {

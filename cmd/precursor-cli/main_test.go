@@ -80,3 +80,30 @@ func TestRunRejectsUnknownCommand(t *testing.T) {
 		t.Error("malformed put accepted")
 	}
 }
+
+func TestParseTraceTarget(t *testing.T) {
+	for _, tc := range []struct {
+		arg, name, url string
+		bad            bool
+	}{
+		{arg: "http://10.0.0.1:9090/metrics", name: "10.0.0.1:9090", url: "http://10.0.0.1:9090/metrics"},
+		{arg: "srv0=http://10.0.0.1:9090/metrics", name: "srv0", url: "http://10.0.0.1:9090/metrics"},
+		{arg: "not a url", bad: true},
+		{arg: "", bad: true},
+	} {
+		got, err := parseTraceTarget(tc.arg)
+		if tc.bad {
+			if err == nil {
+				t.Errorf("parseTraceTarget(%q) = %+v, want error", tc.arg, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseTraceTarget(%q): %v", tc.arg, err)
+			continue
+		}
+		if got.Name != tc.name || got.URL != tc.url {
+			t.Errorf("parseTraceTarget(%q) = %+v, want {%s %s}", tc.arg, got, tc.name, tc.url)
+		}
+	}
+}

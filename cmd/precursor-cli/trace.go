@@ -1,0 +1,105 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"precursor/internal/fleet"
+)
+
+// runTrace pulls raw trace dumps from one or more metrics endpoints,
+// stitches the spans into end-to-end traces by trace id, and prints the
+// worst of them (errors first, then slowest). Like audit, it needs no
+// server credentials — it talks only to the untrusted-side metrics
+// listeners. With -chrome it also writes the stitched set as Chrome
+// trace_event JSON for Perfetto.
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	var (
+		n      = fs.Int("n", 5, "number of worst traces to print (0 = all)")
+		chrome = fs.String("chrome", "", "also write the stitched Chrome trace JSON to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return errors.New("usage: trace [-n N] [-chrome out.json] <url | name=url> ...")
+	}
+	targets := make([]fleet.Target, 0, fs.NArg())
+	for _, arg := range fs.Args() {
+		t, err := parseTraceTarget(arg)
+		if err != nil {
+			return err
+		}
+		targets = append(targets, t)
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	nodes, err := fleet.CollectTraces(client, targets)
+	if len(nodes) == 0 {
+		if err != nil {
+			return err
+		}
+		return errors.New("no targets answered")
+	}
+	if err != nil {
+		// Partial failure: stitch what the live nodes hold, but say so.
+		fmt.Fprintln(os.Stderr, "precursor-cli: warning:", err)
+	}
+
+	stitched := fleet.Stitch(nodes)
+	if len(stitched) == 0 {
+		fmt.Println("no traces retained (is tracing enabled? see -trace / -trace-ring)")
+		return nil
+	}
+	fmt.Printf("%d traces stitched from %d nodes; worst %d:\n",
+		len(stitched), len(nodes), printCount(*n, len(stitched)))
+	fmt.Print(fleet.FormatStitched(stitched, *n))
+
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			return err
+		}
+		if err := fleet.WriteStitchedChrome(f, stitched); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("chrome trace written to %s\n", *chrome)
+	}
+	return nil
+}
+
+// printCount is the number of traces FormatStitched will print.
+func printCount(n, total int) int {
+	if n <= 0 || n > total {
+		return total
+	}
+	return n
+}
+
+// parseTraceTarget turns "url" or "name=url" into a fleet target. The
+// bare form names the target after its host:port.
+func parseTraceTarget(arg string) (fleet.Target, error) {
+	name, rawurl, ok := strings.Cut(arg, "=")
+	if !ok || strings.Contains(name, "://") {
+		name, rawurl = "", arg
+	}
+	u, err := url.Parse(rawurl)
+	if err != nil || u.Host == "" {
+		return fleet.Target{}, fmt.Errorf("bad target %q (want http://host:port[/metrics] or name=url)", arg)
+	}
+	if name == "" {
+		name = u.Host
+	}
+	return fleet.Target{Name: name, URL: rawurl}, nil
+}

@@ -109,6 +109,8 @@ func main() {
 		replJSON = flag.String("repl-json", "BENCH_replication.json", "bench-replication: write datapoints to this JSON file (empty = stdout only)")
 		metrics  = flag.String("metrics", "", "serve: expose Prometheus metrics for the whole cluster on this address")
 		trace    = flag.Bool("trace", false, "serve: record per-stage op timing across all shards (needs -metrics to export)")
+		traceRng = flag.Int("trace-ring", 0, "serve: retained-trace ring capacity for /debug/traces (0 = default 256; needs -trace)")
+		tailSamp = flag.Float64("tail-sample", 0, "serve: probability an unremarkable trace is retained; slow/error/fault traces are always kept (0 = keep all)")
 		pprofOn  = flag.Bool("pprof", false, "serve: net/http/pprof under /debug/pprof/ on the metrics address")
 		fleetTgt = flag.String("fleet-targets", "", "serve: metrics endpoints to aggregate into /fleet on the -metrics address (comma-separated name=url)")
 		top      = flag.Bool("top", false, "render a live fleet SLO view of the -targets metrics endpoints")
@@ -149,7 +151,7 @@ func main() {
 	var err error
 	switch {
 	case *serve:
-		err = runServe(*shards, *replicas, *workers, *metrics, *trace, *pprofOn, *fleetTgt, *heatOn)
+		err = runServe(*shards, *replicas, *workers, *metrics, *trace, *traceRng, *tailSamp, *pprofOn, *fleetTgt, *heatOn)
 	case *top:
 		err = runTop(*targets, *topEvery, *topIters, *topSLO, os.Stdout)
 	case *benchObs:
@@ -229,7 +231,7 @@ func main() {
 
 // runServe launches n ring positions (each backed by `replicas` servers
 // when replicas > 1) and prints their scrapeable member lines.
-func runServe(shardsFlag string, replicas, workers int, metricsAddr string, trace, pprofOn bool, fleetTargets string, heatOn bool) error {
+func runServe(shardsFlag string, replicas, workers int, metricsAddr string, trace bool, traceRing int, tailSample float64, pprofOn bool, fleetTargets string, heatOn bool) error {
 	n, err := strconv.Atoi(strings.TrimSpace(shardsFlag))
 	if err != nil || n <= 0 {
 		return fmt.Errorf("-serve needs a single positive shard count, got %q", shardsFlag)
@@ -243,8 +245,10 @@ func runServe(shardsFlag string, replicas, workers int, metricsAddr string, trac
 		// One shared server-side tracer: every shard records into the same
 		// histograms, so /metrics shows cluster-wide stage latency.
 		tracer = precursor.NewTracer(precursor.TracerConfig{
-			Side:    precursor.SideServer,
-			Workers: workers * n * replicas,
+			Side:       precursor.SideServer,
+			Workers:    workers * n * replicas,
+			Ring:       traceRing,
+			TailSample: tailSample,
 		})
 		cfg.Tracer = tracer
 	}

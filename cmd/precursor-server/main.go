@@ -75,6 +75,8 @@ func main() {
 		sealEvery = flag.Duration("seal-interval", 0, "write a sealed snapshot at this interval (0 = only on shutdown; needs -state-dir)")
 		shard     = flag.String("shard", "", "this server's shard position i/n in a client-routed cluster (e.g. 0/4)")
 		trace     = flag.Bool("trace", false, "record per-stage op timing; exported on /metrics and /debug/traces (needs -metrics)")
+		traceRing = flag.Int("trace-ring", 0, "retained-trace ring capacity for /debug/traces (0 = default 256; needs -trace)")
+		tailSamp  = flag.Float64("tail-sample", 0, "probability an unremarkable trace is retained; slow/error/fault traces are always kept (0 = keep all)")
 		pprofFlag = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the metrics address (needs -metrics)")
 		slowop    = flag.Duration("slowop", 0, "log operations slower than this threshold (implies -trace; 0 = off)")
 		heatOn    = flag.Bool("heat", false, "accumulate workload heat (hashed heavy hitters, ring-range load, op rates); exported on /metrics and /debug/heat (needs -metrics to export)")
@@ -85,13 +87,13 @@ func main() {
 		drainFor  = flag.Duration("drain-timeout", 5*time.Second, "on SIGTERM/SIGINT, how long to wait for in-flight ops after admission stops (0 = exit immediately)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *hardened, *inline, *ownerOnly, *stats, *metrics, *stateDir, *sealEvery, *shard, *trace, *pprofFlag, *slowop, *heatOn, *auditOn, *dataDir, *vlogMax, *vlogSeg, *drainFor); err != nil {
+	if err := run(*addr, *workers, *hardened, *inline, *ownerOnly, *stats, *metrics, *stateDir, *sealEvery, *shard, *trace, *pprofFlag, *slowop, *traceRing, *tailSamp, *heatOn, *auditOn, *dataDir, *vlogMax, *vlogSeg, *drainFor); err != nil {
 		fmt.Fprintln(os.Stderr, "precursor-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery time.Duration, metricsAddr, stateDir string, sealEvery time.Duration, shard string, trace, pprofOn bool, slowop time.Duration, heatOn, auditOn bool, dataDir string, vlogMax int, vlogSeg int64, drainFor time.Duration) error {
+func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery time.Duration, metricsAddr, stateDir string, sealEvery time.Duration, shard string, trace, pprofOn bool, slowop time.Duration, traceRing int, tailSample float64, heatOn, auditOn bool, dataDir string, vlogMax int, vlogSeg int64, drainFor time.Duration) error {
 	var shardID cluster.ShardID
 	if shard != "" {
 		var err error
@@ -120,8 +122,10 @@ func run(addr string, workers int, hardened, inline, ownerOnly bool, statsEvery 
 			Side:          precursor.SideServer,
 			Workers:       workers,
 			SlowThreshold: slowop,
+			TailSample:    tailSample,
 		})
 		cfg.Tracer = tracer
+		cfg.TraceRing = traceRing
 	}
 	var heatColl *precursor.HeatCollector
 	if heatOn {

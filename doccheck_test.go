@@ -276,3 +276,53 @@ func TestDocsCoverBatching(t *testing.T) {
 		}
 	}
 }
+
+// TestDocsCoverTracing pins the documentation for end-to-end trace
+// correlation: the sealed trace-context wire section with its AD
+// coverage note, the tail-sampling and exemplar semantics, the
+// stitching endpoints/flags, and the CLI workflow. A rename in code
+// without the matching doc update fails here.
+func TestDocsCoverTracing(t *testing.T) {
+	for _, tc := range []struct {
+		file    string
+		phrases []string
+	}{
+		{"PROTOCOL.md", []string{
+			"Trace context",
+			"inside the sealed control plaintext",
+			"AD coverage",
+			"clientID(4) ‖ traceID(8 LE)",
+			"precursor_trace_context_errors_total",
+		}},
+		{"README.md", []string{
+			"-trace-ring",
+			"-tail-sample",
+			"precursor-cli trace",
+		}},
+		{"OBSERVABILITY.md", []string{
+			"End-to-end trace correlation",
+			"timebase_unix_nano",
+			"?raw=1",
+			"precursor-cli trace",
+			"Tail sampling",
+			"precursor_traces_retained_total",
+			"precursor_traces_discarded_total",
+			"precursor_trace_context_errors_total",
+			"trace_id",
+			"-tail-sample",
+			"-trace-ring",
+		}},
+	} {
+		data, err := os.ReadFile(tc.file)
+		if err != nil {
+			t.Errorf("read %s: %v", tc.file, err)
+			continue
+		}
+		text := string(data)
+		for _, phrase := range tc.phrases {
+			if !strings.Contains(text, phrase) {
+				t.Errorf("%s: missing %q", tc.file, phrase)
+			}
+		}
+	}
+}

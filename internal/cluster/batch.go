@@ -16,6 +16,7 @@ import (
 	"precursor/internal/audit"
 	"precursor/internal/core"
 	"precursor/internal/heat"
+	"precursor/internal/obs"
 )
 
 // BatchBackend is the optional batching capability of a Backend:
@@ -40,6 +41,16 @@ type DeadlineBatchBackend interface {
 	BatchDeadline(ops []core.BatchOp, deadline time.Time) ([]core.BatchResult, error)
 }
 
+// TracedBatchBackend is the optional trace-propagating batching
+// capability (the batch analogue of TracedBackend): the cluster-level
+// batch span's ref rides down so each per-group sub-batch frame — and
+// the server span applying it — stitches under one end-to-end trace.
+type TracedBatchBackend interface {
+	// BatchDeadlineTraced is BatchDeadline continuing the given trace
+	// (zero deadline = none). See core.Client.BatchDeadlineTraced.
+	BatchDeadlineTraced(ref obs.SpanRef, ops []core.BatchOp, deadline time.Time) ([]core.BatchResult, error)
+}
+
 // minBatchSlice is the minimum remaining parent budget worth fanning a
 // sub-batch out for: below this, every op is resolved ErrTimeout
 // locally — doomed work never reaches a replica.
@@ -47,8 +58,16 @@ const minBatchSlice = time.Millisecond
 
 // backendBatch runs ops against one backend, using its native batch
 // support when available and falling back to per-op calls otherwise.
-// A non-zero deadline is propagated when the backend supports it.
-func backendBatch(b Backend, ops []core.BatchOp, deadline time.Time) ([]core.BatchResult, error) {
+// A non-zero deadline is propagated when the backend supports it, and a
+// valid ref when the backend can carry trace context (correlation is
+// never a reason to fail: backends without the capability just run the
+// plain path).
+func backendBatch(b Backend, ref obs.SpanRef, ops []core.BatchOp, deadline time.Time) ([]core.BatchResult, error) {
+	if ref.Valid() {
+		if tb, ok := b.(TracedBatchBackend); ok {
+			return tb.BatchDeadlineTraced(ref, ops, deadline)
+		}
+	}
 	if !deadline.IsZero() {
 		if db, ok := b.(DeadlineBatchBackend); ok {
 			return db.BatchDeadline(ops, deadline)
@@ -61,11 +80,11 @@ func backendBatch(b Backend, ops []core.BatchOp, deadline time.Time) ([]core.Bat
 	for i, op := range ops {
 		switch op.Kind {
 		case core.BatchPut:
-			results[i].Err = b.Put(op.Key, op.Value)
+			results[i].Err = backendPut(b, ref, op.Key, op.Value)
 		case core.BatchGet:
-			results[i].Value, results[i].Err = b.Get(op.Key)
+			results[i].Value, results[i].Err = backendGet(b, ref, op.Key)
 		case core.BatchDelete:
-			results[i].Err = b.Delete(op.Key)
+			results[i].Err = backendDelete(b, ref, op.Key)
 		default:
 			results[i].Err = fmt.Errorf("precursor/cluster: invalid batch op kind %d", op.Kind)
 		}
@@ -142,6 +161,11 @@ func (c *Client) BatchDeadline(ops []core.BatchOp, deadline time.Time) ([]core.B
 		}
 		return results, nil
 	}
+	// One umbrella op covers the whole client batch, so a frame that
+	// fans out to several groups still stitches into a single trace:
+	// each group's sub-batch op adopts this ref as its parent.
+	op := c.opts.Tracer.Start(int(c.traceSlot.Add(1)), "batch")
+	pref := op.Ref()
 	var wg sync.WaitGroup
 	for _, name := range order {
 		sb := subs[name]
@@ -150,9 +174,9 @@ func (c *Client) BatchDeadline(ops []core.BatchOp, deadline time.Time) ([]core.B
 			defer wg.Done()
 			var rs []core.BatchResult
 			if sb.g.single() {
-				rs = c.singleBatch(sb.g.replicas[0], sb.ops, deadline)
+				rs = c.singleBatch(sb.g.replicas[0], sb.ops, deadline, pref)
 			} else {
-				rs = c.replicatedBatch(sb.g, sb.ops, deadline)
+				rs = c.replicatedBatch(sb.g, sb.ops, deadline, pref)
 			}
 			// Indices are disjoint across sub-batches, so concurrent
 			// writes into results never collide.
@@ -162,6 +186,13 @@ func (c *Client) BatchDeadline(ops []core.BatchOp, deadline time.Time) ([]core.B
 		}(sb)
 	}
 	wg.Wait()
+	for i := range results {
+		if results[i].Err != nil {
+			op.SetError(results[i].Err)
+			break
+		}
+	}
+	op.Finish()
 	if c.opts.Heat != nil {
 		var out int
 		for i := range results {
@@ -218,7 +249,7 @@ func (c *Client) DeleteBatch(keys []string) ([]core.BatchResult, error) {
 // singleBatch runs a sub-batch against a single-replica group with the
 // original breaker semantics: admitted as one operation, the breaker
 // fed the worst shard-level outcome.
-func (c *Client) singleBatch(rep *replicaState, ops []core.BatchOp, deadline time.Time) []core.BatchResult {
+func (c *Client) singleBatch(rep *replicaState, ops []core.BatchOp, deadline time.Time, pref obs.SpanRef) []core.BatchResult {
 	tok, err := c.admitLegacy(rep)
 	if err != nil {
 		out := make([]core.BatchResult, len(ops))
@@ -228,7 +259,7 @@ func (c *Client) singleBatch(rep *replicaState, ops []core.BatchOp, deadline tim
 		return out
 	}
 	t0 := time.Now()
-	results, berr := backendBatch(rep.backend, ops, deadline)
+	results, berr := backendBatch(rep.backend, pref, ops, deadline)
 	rep.recordLatency(t0)
 	obsErr := berr
 	if obsErr == nil {
@@ -283,7 +314,7 @@ func (c *Client) tallyBatch(rep *replicaState, ops []core.BatchOp, results []cor
 // op order; ordering between a batch's writes and reads of the same
 // key is not defined in a replicated group (they race like two
 // independent clients would).
-func (c *Client) replicatedBatch(g *groupState, ops []core.BatchOp, deadline time.Time) []core.BatchResult {
+func (c *Client) replicatedBatch(g *groupState, ops []core.BatchOp, deadline time.Time, pref obs.SpanRef) []core.BatchResult {
 	out := make([]core.BatchResult, len(ops))
 	var wOps, rOps []core.BatchOp
 	var wIdx, rIdx []int
@@ -301,7 +332,7 @@ func (c *Client) replicatedBatch(g *groupState, ops []core.BatchOp, deadline tim
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			rs := c.quorumWriteBatch(g, wOps, deadline)
+			rs := c.quorumWriteBatch(g, wOps, deadline, pref)
 			for j := range rs {
 				out[wIdx[j]] = rs[j]
 			}
@@ -311,7 +342,7 @@ func (c *Client) replicatedBatch(g *groupState, ops []core.BatchOp, deadline tim
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			rs := c.replicatedGetBatch(g, rOps, deadline)
+			rs := c.replicatedGetBatch(g, rOps, deadline, pref)
 			for j := range rs {
 				out[rIdx[j]] = rs[j]
 			}
@@ -355,7 +386,7 @@ func (s *replicaState) admitWriteBatch(journalCap int, ops []core.BatchOp) (admi
 // quorumWrite it waits for every replica (per-op accounting needs the
 // full tally); the batch already amortizes the latency. Failed or
 // ambiguous ops journal their keys on the replicas that missed them.
-func (c *Client) quorumWriteBatch(g *groupState, ops []core.BatchOp, deadline time.Time) []core.BatchResult {
+func (c *Client) quorumWriteBatch(g *groupState, ops []core.BatchOp, deadline time.Time, pref obs.SpanRef) []core.BatchResult {
 	out := make([]core.BatchResult, len(ops))
 	live := make([]*replicaState, 0, len(g.replicas))
 	toks := make([]admitToken, 0, len(g.replicas))
@@ -375,6 +406,8 @@ func (c *Client) quorumWriteBatch(g *groupState, ops []core.BatchOp, deadline ti
 	}
 	op := c.opts.Tracer.Start(int(c.traceSlot.Add(1)), "batch")
 	op.SetGroup(g.name)
+	op.AdoptRef(pref)
+	ref := op.Ref() // every replica's sub-batch stitches under this op
 	defer op.Finish()
 
 	type repRes struct {
@@ -388,7 +421,7 @@ func (c *Client) quorumWriteBatch(g *groupState, ops []core.BatchOp, deadline ti
 		go func(rep *replicaState, tok admitToken) {
 			s0 := op.Now()
 			t0 := time.Now()
-			results, berr := backendBatch(rep.backend, ops, deadline)
+			results, berr := backendBatch(rep.backend, ref, ops, deadline)
 			d := time.Since(t0)
 			rep.recordLatency(t0)
 			rep.noteLatency(d)
@@ -488,9 +521,11 @@ func (c *Client) quorumWriteBatch(g *groupState, ops []core.BatchOp, deadline ti
 // on shard-level errors and on payload-MAC failures (the Byzantine
 // backstop). Data-level outcomes from a healthy replica — the value or
 // an authoritative not-found — resolve an op immediately.
-func (c *Client) replicatedGetBatch(g *groupState, ops []core.BatchOp, deadline time.Time) []core.BatchResult {
+func (c *Client) replicatedGetBatch(g *groupState, ops []core.BatchOp, deadline time.Time, pref obs.SpanRef) []core.BatchResult {
 	op := c.opts.Tracer.Start(int(c.traceSlot.Add(1)), "batch")
 	op.SetGroup(g.name)
+	op.AdoptRef(pref)
+	ref := op.Ref()
 	defer op.Finish()
 	out := make([]core.BatchResult, len(ops))
 	order := g.readOrder()
@@ -531,7 +566,7 @@ func (c *Client) replicatedGetBatch(g *groupState, ops []core.BatchOp, deadline 
 		}
 		s0 := op.Now()
 		t0 := time.Now()
-		results, berr := backendBatch(rep.backend, sub, deadline)
+		results, berr := backendBatch(rep.backend, ref, sub, deadline)
 		d := time.Since(t0)
 		rep.recordLatency(t0)
 		obsErr := berr

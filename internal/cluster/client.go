@@ -26,6 +26,49 @@ type Backend interface {
 	Close() error
 }
 
+// TracedBackend is the optional trace-propagating capability of a
+// Backend: backends that can carry a caller's trace context to the
+// server inside the sealed control data (core.Client, the root
+// package's Pool) implement it, and the cluster client uses it so the
+// cluster-level span — quorum write, hedged read, failover walk —
+// becomes the parent of every per-shard span it fans out to, across
+// process boundaries. Backends without it are driven through the plain
+// methods; correlation stops at this hop, nothing else changes.
+type TracedBackend interface {
+	// PutTraced is Put continuing the given trace (see core.Client.PutTraced).
+	PutTraced(ref obs.SpanRef, key string, value []byte) error
+	// GetTraced is Get continuing the given trace.
+	GetTraced(ref obs.SpanRef, key string) ([]byte, error)
+	// DeleteTraced is Delete continuing the given trace.
+	DeleteTraced(ref obs.SpanRef, key string) error
+}
+
+// backendPut routes one put through the backend's traced variant when
+// it has one and the caller has a live trace, and the plain method
+// otherwise.
+func backendPut(b Backend, ref obs.SpanRef, key string, value []byte) error {
+	if tb, ok := b.(TracedBackend); ok && ref.Valid() {
+		return tb.PutTraced(ref, key, value)
+	}
+	return b.Put(key, value)
+}
+
+// backendGet is backendPut's read analogue.
+func backendGet(b Backend, ref obs.SpanRef, key string) ([]byte, error) {
+	if tb, ok := b.(TracedBackend); ok && ref.Valid() {
+		return tb.GetTraced(ref, key)
+	}
+	return b.Get(key)
+}
+
+// backendDelete is backendPut's delete analogue.
+func backendDelete(b Backend, ref obs.SpanRef, key string) error {
+	if tb, ok := b.(TracedBackend); ok && ref.Valid() {
+		return tb.DeleteTraced(ref, key)
+	}
+	return b.Delete(key)
+}
+
 // Shard names one cluster member and its connection.
 type Shard struct {
 	// Name identifies the shard on the ring. Placement depends only on
@@ -354,8 +397,9 @@ func (c *Client) Put(key string, value []byte) error {
 		return c.singleOp(g.replicas[0], func(b Backend) error { return b.Put(key, value) },
 			func(r *replicaState) { r.puts.Add(1) })
 	}
-	return c.quorumWrite(g, key, func(b Backend) error { return b.Put(key, value) }, false,
-		func(r *replicaState) { r.puts.Add(1) })
+	return c.quorumWrite(g, key, func(b Backend, ref obs.SpanRef) error {
+		return backendPut(b, ref, key, value)
+	}, false, func(r *replicaState) { r.puts.Add(1) })
 }
 
 // Get fetches and verifies the value for key from the owning group's
@@ -400,8 +444,9 @@ func (c *Client) Delete(key string) error {
 		return c.singleOp(g.replicas[0], func(b Backend) error { return b.Delete(key) },
 			func(r *replicaState) { r.deletes.Add(1) })
 	}
-	return c.quorumWrite(g, key, func(b Backend) error { return b.Delete(key) }, true,
-		func(r *replicaState) { r.deletes.Add(1) })
+	return c.quorumWrite(g, key, func(b Backend, ref obs.SpanRef) error {
+		return backendDelete(b, ref, key)
+	}, true, func(r *replicaState) { r.deletes.Add(1) })
 }
 
 // singleOp runs one operation against a single-replica group with the
@@ -436,8 +481,9 @@ func (c *Client) admitLegacy(rep *replicaState) (admitToken, error) {
 // repairing journal the key instead (repair re-syncs it later — journal
 // entries are dirty markers, not acks). Partial application joins
 // core.ErrUnconfirmed onto the failure, mirroring the single-node
-// write-outcome semantics.
-func (c *Client) quorumWrite(g *groupState, key string, do func(Backend) error, isDelete bool, tally func(*replicaState)) error {
+// write-outcome semantics. do receives the quorum op's own span ref so
+// every replica attempt stitches under the one cluster-level trace.
+func (c *Client) quorumWrite(g *groupState, key string, do func(Backend, obs.SpanRef) error, isDelete bool, tally func(*replicaState)) error {
 	live := make([]*replicaState, 0, len(g.replicas))
 	toks := make([]admitToken, 0, len(g.replicas))
 	for _, rep := range g.replicas {
@@ -456,6 +502,9 @@ func (c *Client) quorumWrite(g *groupState, key string, do func(Backend) error, 
 	}
 	op := c.opts.Tracer.Start(int(c.traceSlot.Add(1)), kind)
 	op.SetGroup(g.name)
+	// Read before the fan-out launches: Ref's fields are fixed at Start,
+	// and the collector goroutine owns every later mutation of op.
+	ref := op.Ref()
 	// Each fan-out goroutine runs its breaker observation itself and
 	// reports into the buffered channel, so stragglers (e.g. an attempt
 	// stuck in a dead pool's acquire wait) drain in the background
@@ -470,7 +519,7 @@ func (c *Client) quorumWrite(g *groupState, key string, do func(Backend) error, 
 		go func(rep *replicaState, tok admitToken) {
 			s0 := op.Now()
 			t0 := time.Now()
-			err := do(rep.backend)
+			err := do(rep.backend, ref)
 			d := time.Since(t0)
 			rep.recordLatency(t0)
 			rep.noteLatency(d)
@@ -571,6 +620,7 @@ func (c *Client) noteQuorumShortfall(g *groupState, acks int, detail string) {
 func (c *Client) replicatedGet(g *groupState, key string) (val []byte, retErr error) {
 	op := c.opts.Tracer.Start(int(c.traceSlot.Add(1)), "get")
 	op.SetGroup(g.name)
+	ref := op.Ref()
 	defer func() {
 		op.SetError(retErr)
 		op.Finish()
@@ -612,7 +662,7 @@ func (c *Client) replicatedGet(g *groupState, key string) (val []byte, retErr er
 		attempted++
 		s0 := op.Now()
 		t0 := time.Now()
-		v, err := rep.backend.Get(key)
+		v, err := backendGet(rep.backend, ref, key)
 		d := time.Since(t0)
 		rep.recordLatency(t0)
 		err = c.observe(rep, tok, err, true, "")
@@ -677,10 +727,11 @@ func (c *Client) hedgedGet(g *groupState, op *obs.Op, order []*replicaState, key
 	// Buffered to the maximum attempt count so a losing straggler's send
 	// never blocks: its reply is simply dropped with the channel.
 	replies := make(chan hedgeReply, 2)
+	ref := op.Ref() // primary and hedge share the cluster op's trace
 	launch := func(rep *replicaState, tok admitToken) {
 		s0 := op.Now()
 		t0 := time.Now()
-		v, gerr := rep.backend.Get(key)
+		v, gerr := backendGet(rep.backend, ref, key)
 		d := time.Since(t0)
 		rep.recordLatency(t0)
 		gerr = c.observe(rep, tok, gerr, true, "")

@@ -98,6 +98,29 @@ func (c *Client) Batch(ops []BatchOp) ([]BatchResult, error) {
 	return f.Wait()
 }
 
+// BatchTraced is Batch continuing a caller-supplied trace: the batch's
+// local span adopts ref's trace id (or forwards it verbatim when this
+// client has no tracer) and the context rides the sealed batch control
+// to the server, so the server-side batch span stitches under the same
+// end-to-end trace. A zero ref is identical to Batch.
+func (c *Client) BatchTraced(ref obs.SpanRef, ops []BatchOp) ([]BatchResult, error) {
+	f, err := c.batchAsync(ops, time.Time{}, ref)
+	if err != nil {
+		return nil, err
+	}
+	return f.Wait()
+}
+
+// BatchDeadlineTraced is BatchDeadline continuing a caller-supplied
+// trace (see BatchTraced).
+func (c *Client) BatchDeadlineTraced(ref obs.SpanRef, ops []BatchOp, deadline time.Time) ([]BatchResult, error) {
+	f, err := c.batchAsync(ops, deadline, ref)
+	if err != nil {
+		return nil, err
+	}
+	return f.Wait()
+}
+
 // BatchDeadline is Batch under a caller-supplied absolute deadline:
 // the frame's effective deadline is the earlier of the client's
 // configured Timeout and the parent's deadline, so a parent budget
@@ -106,7 +129,7 @@ func (c *Client) Batch(ops []BatchOp) ([]BatchResult, error) {
 // anything is sent — nothing reaches the wire, nothing is unconfirmed.
 // A zero deadline means no parent bound (identical to Batch).
 func (c *Client) BatchDeadline(ops []BatchOp, deadline time.Time) ([]BatchResult, error) {
-	f, err := c.batchAsync(ops, deadline)
+	f, err := c.batchAsync(ops, deadline, obs.SpanRef{})
 	if err != nil {
 		return nil, err
 	}
@@ -149,13 +172,14 @@ func (c *Client) DeleteBatch(keys []string) ([]BatchResult, error) {
 // The frame is sent (with credit wait) before BatchAsync returns, so a
 // nil-error return means the request is on the wire.
 func (c *Client) BatchAsync(ops []BatchOp) (*BatchFuture, error) {
-	return c.batchAsync(ops, time.Time{})
+	return c.batchAsync(ops, time.Time{}, obs.SpanRef{})
 }
 
 // batchAsync is BatchAsync bounded by an optional parent deadline
 // (zero = none): the frame's deadline is the earlier of Timeout-from-
-// now and the parent's.
-func (c *Client) batchAsync(ops []BatchOp, parent time.Time) (*BatchFuture, error) {
+// now and the parent's. ref, when valid, is the caller's trace context
+// to continue (see BatchTraced).
+func (c *Client) batchAsync(ops []BatchOp, parent time.Time, ref obs.SpanRef) (*BatchFuture, error) {
 	if len(ops) == 0 || len(ops) > wire.MaxBatchOps {
 		return nil, fmt.Errorf("%w: batch of %d ops (1..%d)", ErrTooLarge, len(ops), wire.MaxBatchOps)
 	}
@@ -200,7 +224,7 @@ func (c *Client) batchAsync(ops []BatchOp, parent time.Time) (*BatchFuture, erro
 			return nil, ErrTimeout
 		}
 	}
-	return c.startBatchLocked(ops, deadline)
+	return c.startBatchLocked(ops, deadline, ref)
 }
 
 // startBatchLocked assembles, seals and sends one batch frame. Called
@@ -208,15 +232,22 @@ func (c *Client) batchAsync(ops []BatchOp, parent time.Time) (*BatchFuture, erro
 // batches, so steady-state assembly of inline-value batches costs no
 // codec allocations (the AEAD nonce/seal and per-put payload
 // encryption are the remaining cryptographic costs).
-func (c *Client) startBatchLocked(ops []BatchOp, deadline time.Time) (*BatchFuture, error) {
+func (c *Client) startBatchLocked(ops []BatchOp, deadline time.Time, ref obs.SpanRef) (*BatchFuture, error) {
 	var op *obs.Op
 	if tr := c.cfg.Tracer; tr != nil {
 		op = tr.Start(int(c.id), "batch")
 		op.SetClient(c.id)
+		// Continue the caller's trace (no-op on a zero ref) and
+		// propagate this batch's own span as the server's parent.
+		op.AdoptRef(ref)
+		ref = op.Ref()
 	}
 	t0 := op.Now()
 	c.oid++
 	c.bctl.Oid = c.oid
+	// Assigned unconditionally: bctl is reused scratch, and a stale
+	// context from the previous batch must not leak into this frame.
+	c.bctl.Trace = traceCtx(ref)
 	c.bctl.Ops = c.bctl.Ops[:0]
 	c.payloadBuf = c.payloadBuf[:0]
 	if cap(c.opKeys) < len(ops) {

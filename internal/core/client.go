@@ -108,6 +108,15 @@ type Client struct {
 	// tracer is disabled). Guarded by mu like the rest of the op state —
 	// a client runs one operation at a time.
 	curOp *obs.Op
+	// curRef is the trace context the in-flight operation propagates on
+	// the wire: curOp's own span when tracing is enabled, or a caller-
+	// supplied ref forwarded verbatim when this connection has no tracer
+	// (the pool/cluster layers trace, the connection just carries).
+	// Zero = no context. Guarded by mu.
+	curRef obs.SpanRef
+	// adx is the extended response AD scratch — client id ‖ trace id —
+	// expected when the request carried a trace context. Guarded by mu.
+	adx [12]byte
 
 	// Batch state (all guarded by mu). inflight maps oid to the pending
 	// pipelined batch; the rest are scratch buffers reused across
@@ -226,6 +235,14 @@ func (c *Client) ID() uint32 { return c.id }
 // unknown — the request may or may not have been applied — the error
 // matches both its cause (ErrTimeout or ErrReplay) and ErrUnconfirmed.
 func (c *Client) Put(key string, value []byte) error {
+	return c.PutTraced(obs.SpanRef{}, key, value)
+}
+
+// PutTraced is Put carrying an upstream trace ref: the operation's
+// span joins the ref's trace and the context propagates to the server
+// inside the sealed control data, so the server-side spans stitch into
+// the same end-to-end trace. A zero ref is exactly Put.
+func (c *Client) PutTraced(ref obs.SpanRef, key string, value []byte) error {
 	if len(key) == 0 || len(key) > wire.MaxKeyLen || len(value) > wire.MaxValueLen {
 		return ErrTooLarge
 	}
@@ -234,24 +251,43 @@ func (c *Client) Put(key string, value []byte) error {
 	if c.closed {
 		return ErrClosed
 	}
-	c.beginOp("put")
+	c.beginOpRef("put", ref)
 	err := writeOutcome(c.putOnce(key, value, time.Now().Add(c.cfg.Timeout)))
 	c.endOp(err)
 	return err
 }
 
+// traceCtx maps the in-flight span ref to its wire encoding (the zero
+// ref maps to the zero context, which the control encoder omits).
+func traceCtx(r obs.SpanRef) wire.TraceContext {
+	return wire.TraceContext{TraceID: r.TraceID, ParentSpan: r.SpanID, Sampled: r.Sampled}
+}
+
 // beginOp starts the in-flight operation's trace (no-op when the tracer
 // is disabled). Called with mu held.
-func (c *Client) beginOp(kind string) {
+func (c *Client) beginOp(kind string) { c.beginOpRef(kind, obs.SpanRef{}) }
+
+// beginOpRef is beginOp for operations arriving with an upstream trace
+// ref (the cluster layer's quorum/hedge/batch parents): the local op
+// adopts the ref's trace, and the context propagated on the wire is the
+// local op's span — or, when this connection has no tracer of its own,
+// the caller's ref forwarded verbatim so correlation survives
+// tracer-less hops. Called with mu held.
+func (c *Client) beginOpRef(kind string, ref obs.SpanRef) {
 	if tr := c.cfg.Tracer; tr != nil {
 		c.curOp = tr.Start(int(c.id), kind)
 		c.curOp.SetClient(c.id)
+		c.curOp.AdoptRef(ref)
+		c.curRef = c.curOp.Ref()
+		return
 	}
+	c.curRef = ref
 }
 
 // endOp finishes the in-flight trace with the operation's outcome.
 // Called with mu held.
 func (c *Client) endOp(err error) {
+	c.curRef = obs.SpanRef{}
 	op := c.curOp
 	if op == nil {
 		return
@@ -269,7 +305,7 @@ func (c *Client) endOp(err error) {
 
 func (c *Client) putOnce(key string, value []byte, deadline time.Time) error {
 	c.oid++
-	ctl := wire.RequestControl{Op: wire.OpPut, Oid: c.oid, Key: []byte(key)}
+	ctl := wire.RequestControl{Op: wire.OpPut, Oid: c.oid, Key: []byte(key), Trace: traceCtx(c.curRef)}
 	req := wire.Request{Op: wire.OpPut, ClientID: c.id}
 
 	if c.cfg.InlineSmallValues && len(value) < c.cfg.InlineMax {
@@ -325,6 +361,12 @@ func writeOutcome(err error) error {
 // (ErrNotFound, ErrIntegrity, ErrClosed, ErrTooLarge) return
 // immediately.
 func (c *Client) Get(key string) ([]byte, error) {
+	return c.GetTraced(obs.SpanRef{}, key)
+}
+
+// GetTraced is Get carrying an upstream trace ref — see PutTraced. A
+// zero ref is exactly Get.
+func (c *Client) GetTraced(ref obs.SpanRef, key string) ([]byte, error) {
 	if len(key) == 0 || len(key) > wire.MaxKeyLen {
 		return nil, ErrTooLarge
 	}
@@ -333,7 +375,7 @@ func (c *Client) Get(key string) ([]byte, error) {
 	if c.closed {
 		return nil, ErrClosed
 	}
-	c.beginOp("get")
+	c.beginOpRef("get", ref)
 	value, err := c.getRetry(key)
 	c.endOp(err)
 	return value, err
@@ -400,7 +442,7 @@ func retryableRead(err error) bool {
 
 func (c *Client) getOnce(key string, deadline time.Time) ([]byte, error) {
 	c.oid++
-	ctl := wire.RequestControl{Op: wire.OpGet, Oid: c.oid, Key: []byte(key)}
+	ctl := wire.RequestControl{Op: wire.OpGet, Oid: c.oid, Key: []byte(key), Trace: traceCtx(c.curRef)}
 	req := wire.Request{Op: wire.OpGet, ClientID: c.id}
 
 	rc, payload, err := c.roundTrip(&req, &ctl, deadline)
@@ -443,6 +485,12 @@ func (c *Client) getOnce(key string, deadline time.Time) ([]byte, error) {
 // Delete removes key from the store. Like Put it is non-idempotent and
 // never retried; an unknown outcome matches ErrUnconfirmed.
 func (c *Client) Delete(key string) error {
+	return c.DeleteTraced(obs.SpanRef{}, key)
+}
+
+// DeleteTraced is Delete carrying an upstream trace ref — see
+// PutTraced. A zero ref is exactly Delete.
+func (c *Client) DeleteTraced(ref obs.SpanRef, key string) error {
 	if len(key) == 0 || len(key) > wire.MaxKeyLen {
 		return ErrTooLarge
 	}
@@ -451,7 +499,7 @@ func (c *Client) Delete(key string) error {
 	if c.closed {
 		return ErrClosed
 	}
-	c.beginOp("delete")
+	c.beginOpRef("delete", ref)
 	err := writeOutcome(c.deleteOnce(key, time.Now().Add(c.cfg.Timeout)))
 	c.endOp(err)
 	return err
@@ -459,7 +507,7 @@ func (c *Client) Delete(key string) error {
 
 func (c *Client) deleteOnce(key string, deadline time.Time) error {
 	c.oid++
-	ctl := wire.RequestControl{Op: wire.OpDelete, Oid: c.oid, Key: []byte(key)}
+	ctl := wire.RequestControl{Op: wire.OpDelete, Oid: c.oid, Key: []byte(key), Trace: traceCtx(c.curRef)}
 	req := wire.Request{Op: wire.OpDelete, ClientID: c.id}
 
 	rc, _, err := c.roundTrip(&req, &ctl, deadline)
@@ -493,6 +541,18 @@ func (c *Client) roundTrip(req *wire.Request, ctl *wire.RequestControl, deadline
 	req.SealedControl, err = c.aead.Seal(pt, c.ad[:])
 	if err != nil {
 		return nil, nil, err
+	}
+	// A request that carries a trace context expects its reply sealed
+	// under the extended AD (client id ‖ trace id): the server echoes
+	// the trace binding, so a reply cannot be attributed to the wrong
+	// trace. Pre-verification replies (oid-less read sheds) and
+	// pipelined batch replies stay on the base AD — handled below.
+	respAD := c.ad[:]
+	traced := ctl.Trace.Valid()
+	if traced {
+		copy(c.adx[:4], c.ad[:])
+		binary.LittleEndian.PutUint64(c.adx[4:], ctl.Trace.TraceID)
+		respAD = c.adx[:]
 	}
 	frame, err := req.Encode(nil)
 	if err != nil {
@@ -562,7 +622,32 @@ func (c *Client) roundTrip(req *wire.Request, ctl *wire.RequestControl, deadline
 			c.unauthStatuses++
 			continue
 		}
-		rcPt, err := c.aead.Open(resp.SealedControl, c.ad[:])
+		rcPt, err := c.aead.Open(resp.SealedControl, respAD)
+		if err != nil && traced {
+			// Base-AD fallback: the only legitimate base-AD frames while a
+			// traced op is in flight are replies the server sealed before it
+			// could know the trace id — an oid-less RETRY_LATER read shed —
+			// and pipelined batch replies (always base-AD; their sealed oid
+			// echo binds them). Anything else under the "wrong" AD is
+			// unattributable and must not decide this operation.
+			if basePt, berr := c.aead.Open(resp.SealedControl, c.ad[:]); berr == nil {
+				if wire.IsBatchReply(basePt) {
+					c.resolveBatchReplyLocked(basePt, resp.Payload)
+					continue
+				}
+				if rc, derr := wire.DecodeResponseControl(basePt); derr == nil &&
+					rc.Flags&wire.FlagRetryLater != 0 && rc.Oid == 0 && req.Op == wire.OpGet {
+					op.Span(obs.CliRespWait, pollStart)
+					c.retryLaters++
+					c.window.OnCongestion()
+					return nil, nil, &RetryLaterError{Hint: RetryHint(rc.InlineValue)}
+				}
+				c.staleFrames++
+				continue
+			}
+			c.badFrames++
+			continue
+		}
 		if err != nil {
 			c.badFrames++
 			continue

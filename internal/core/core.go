@@ -152,6 +152,10 @@ type ServerConfig struct {
 	// pays one branch per request. Spans never carry keys, values or key
 	// material — see OBSERVABILITY.md.
 	Tracer *obs.Tracer
+	// TraceRing, when > 0, rebounds Tracer's recent-trace ring (the
+	// /debug/traces capacity) at server construction — the config-level
+	// face of the -trace-ring flag. Ignored when Tracer is nil.
+	TraceRing int
 	// DataDir, when set, enables the durable value log: values spill to
 	// fixed-size segments under DataDir/vlog on untrusted disk while the
 	// enclave keeps only the index and sealed per-record metadata (see
@@ -223,6 +227,11 @@ type ServerStats struct {
 	Replays             uint64 // rejected stale/duplicate oids
 	AuthFailures        uint64 // control data that failed auth-decryption
 	BadRequests         uint64
+	// TraceCtxErrors counts requests whose sealed control carried
+	// trailing bytes that did not decode as a trace context (bad length
+	// or unknown version byte) — a version-skewed peer. The request is
+	// still served; only trace correlation is lost, and loudly.
+	TraceCtxErrors uint64
 	// EnclaveCryptoBytes counts the bytes the enclave en/decrypted: only
 	// the small control segments — never payload — which is the design's
 	// central claim (compare the baselines' counters).

@@ -48,10 +48,18 @@ type entry struct {
 // session is the per-client state: the transport-encryption AEAD keyed
 // with K_session, the replay window, and the ring endpoints.
 type session struct {
-	id         uint32
-	conn       rdma.Conn
-	aead       *cryptox.AEAD
-	ad         [4]byte // AEAD additional data: the client id
+	id   uint32
+	conn rdma.Conn
+	aead *cryptox.AEAD
+	ad   [4]byte // request AEAD additional data: the client id
+	// adx is the extended reply AD — client id ‖ trace id — used when
+	// the request carried a trace context, so a reply can only
+	// authenticate against the trace that asked for it. replyAD points
+	// at ad or adx for the op being handled; like lastOid it is owned by
+	// the session's single trusted poller (reply seals synchronously on
+	// that thread before the frame is handed to the sender pool).
+	adx        [12]byte
+	replyAD    []byte
 	reqRing    *rdma.MemoryRegion
 	reqReader  *ringbuf.Reader
 	respWriter *ringbuf.Writer
@@ -136,6 +144,7 @@ type Server struct {
 	batches, batchedOps   atomic.Uint64
 	replays, authFailures atomic.Uint64
 	badRequests           atomic.Uint64
+	traceCtxErrors        atomic.Uint64
 	cryptoBytes           atomic.Uint64
 	repairSessions        atomic.Uint64
 
@@ -156,6 +165,9 @@ func NewServer(device *rdma.Device, cfg ServerConfig) (*Server, error) {
 	c := cfg.withDefaults()
 	if c.RandomRKeys {
 		device.RandomizeRKeys()
+	}
+	if c.TraceRing > 0 {
+		c.Tracer.SetRing(c.TraceRing)
 	}
 	enclave := c.Platform.CreateEnclave(c.Image, c.ImagePages)
 
@@ -567,7 +579,11 @@ func (s *Server) reply(sess *session, status wire.Status, control *wire.Response
 			op.Finish()
 			return
 		}
-		sealed, err = sess.aead.Seal(pt, sess.ad[:])
+		ad := sess.replyAD
+		if ad == nil {
+			ad = sess.ad[:]
+		}
+		sealed, err = sess.aead.Seal(pt, ad)
 		if err != nil {
 			op.SetError(err)
 			op.Finish()
@@ -596,6 +612,11 @@ func (s *Server) reply(sess *session, status wire.Status, control *wire.Response
 // becomes the next stage's start so the chain costs one clock read per
 // boundary.
 func (s *Server) handleRequest(sess *session, msg []byte, op *obs.Op, now int64) {
+	// Replies default to the base AD; only a successfully decoded trace
+	// context upgrades to the extended (trace-bound) AD below. The reset
+	// keeps pre-verification replies — sheds, decode failures — sealed
+	// under the AD the client can always open.
+	sess.replyAD = nil
 	// Batch frames demux on the untrusted opcode byte before the
 	// single-op decoder (which rejects OpBatch). A flipped opcode merely
 	// shifts the sealed-control offset, so the AEAD open fails and the
@@ -662,6 +683,7 @@ func (s *Server) handleRequest(sess *session, msg []byte, op *obs.Op, now int64)
 	}
 	op.SetKind(opKind(ctl.Op))
 	op.SetOid(ctl.Oid)
+	s.adoptTrace(sess, ctl.Trace, ctl.TraceBad, op)
 	// Replay check (Algorithm 2, lines 4–6): oids must strictly increase.
 	if ctl.Oid <= sess.lastOid {
 		s.replays.Add(1)
@@ -712,6 +734,40 @@ func (s *Server) handleRequest(sess *session, msg []byte, op *obs.Op, now int64)
 	case wire.OpDelete:
 		s.handleDelete(sess, ctl, op, now)
 	}
+}
+
+// adoptTrace stitches the server-side op into the request's propagated
+// trace (server spans adopt the client's trace id) and binds the reply
+// seal to it via the extended AD. A context that was present but failed
+// to decode — a version-skewed peer — is surfaced as a fault annotation
+// and the precursor_trace_context_errors_total counter rather than
+// silently dropping correlation; the reply then stays on the base AD,
+// which is exactly what a context-less client expects.
+func (s *Server) adoptTrace(sess *session, ctx wire.TraceContext, bad bool, op *obs.Op) {
+	if s.adoptTraceOnly(ctx, bad, op) {
+		copy(sess.adx[:4], sess.ad[:])
+		binary.LittleEndian.PutUint64(sess.adx[4:], ctx.TraceID)
+		sess.replyAD = sess.adx[:]
+	}
+}
+
+// adoptTraceOnly is adoptTrace without the reply-AD upgrade, reporting
+// whether a valid context was adopted. The batch path uses it directly:
+// batch replies always seal under the base AD (several batches pipeline
+// per session and the sealed oid echo already binds reply to request),
+// so only the span adoption and the decode-failure accounting apply.
+func (s *Server) adoptTraceOnly(ctx wire.TraceContext, bad bool, op *obs.Op) bool {
+	if ctx.Valid() {
+		op.AdoptRef(obs.SpanRef{TraceID: ctx.TraceID, SpanID: ctx.ParentSpan, Sampled: ctx.Sampled})
+		return true
+	}
+	if bad {
+		s.traceCtxErrors.Add(1)
+		if tr := s.cfg.Tracer; tr != nil {
+			tr.NoteFault("trace context decode failure")
+		}
+	}
+	return false
 }
 
 // heatKind maps opcodes to heat collector kinds.
@@ -954,6 +1010,7 @@ func (s *Server) Stats() ServerStats {
 		Replays:            s.replays.Load(),
 		AuthFailures:       s.authFailures.Load(),
 		BadRequests:        s.badRequests.Load(),
+		TraceCtxErrors:     s.traceCtxErrors.Load(),
 		EnclaveCryptoBytes: s.cryptoBytes.Load(),
 		Entries:            s.table.Len(),
 		Clients:            clients,

@@ -65,6 +65,7 @@ func (s *Server) handleBatch(sess *session, msg []byte, op *obs.Op, now int64) {
 	}
 	ctl := &sess.bctl
 	op.SetOid(ctl.Oid)
+	s.adoptTraceOnly(ctl.Trace, ctl.TraceBad, op)
 
 	// One replay check covers the whole batch — the batch is the replay
 	// unit (one oid per frame).

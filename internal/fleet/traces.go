@@ -1,0 +1,302 @@
+package fleet
+
+// Cross-node trace stitching: fetch every target's raw trace dump
+// (/debug/traces?raw=1), re-anchor each process's monotonic span
+// timestamps onto the shared wall-clock axis via its exported timebase,
+// and group spans by trace id into end-to-end causal traces. A hedged
+// read that touched one client and two replica servers becomes ONE
+// stitched trace with spans from three processes; see OBSERVABILITY.md,
+// "End-to-end trace correlation".
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"precursor/internal/obs"
+)
+
+// RawSet mirrors the JSON shape of one element of the
+// /debug/traces?raw=1 payload (the root package's RawTraceSet).
+// Duplicated here because internal/fleet must not import the root
+// precursor package (the root package imports fleet).
+type RawSet struct {
+	// Side labels the tracer within the process ("client", "server", …).
+	Side string `json:"side"`
+	// TimeBaseUnixNano is the wall-clock instant (Unix nanoseconds) the
+	// process's monotonic span timestamps are relative to.
+	TimeBaseUnixNano int64 `json:"timebase_unix_nano"`
+	// Traces are the tracer's retained recent traces.
+	Traces []obs.Trace `json:"traces"`
+}
+
+// NodeTraces is one target's raw trace dump.
+type NodeTraces struct {
+	// Target names the scraped node (Target.Name).
+	Target string
+	// Sets are the tracers the node exports, each with its own timebase.
+	Sets []RawSet
+}
+
+// TraceURL rewrites a target's metrics URL into its raw trace dump URL
+// (path /debug/traces, query raw=1). An unparseable URL is returned
+// unchanged so the fetch error names the real culprit.
+func TraceURL(rawurl string) string {
+	u, err := url.Parse(rawurl)
+	if err != nil {
+		return rawurl
+	}
+	u.Path = "/debug/traces"
+	u.RawQuery = "raw=1"
+	u.Fragment = ""
+	return u.String()
+}
+
+// CollectTraces fetches every target's raw trace dump concurrently. A
+// nil client gets DefaultScrapeTimeout. Nodes that answered are always
+// returned; fetch failures are joined into the returned error, so a
+// partially-down fleet still yields the traces the live nodes hold.
+func CollectTraces(client *http.Client, targets []Target) ([]NodeTraces, error) {
+	if client == nil {
+		client = &http.Client{Timeout: DefaultScrapeTimeout}
+	}
+	nodes := make([]NodeTraces, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, t := range targets {
+		wg.Add(1)
+		go func(i int, t Target) {
+			defer wg.Done()
+			sets, err := fetchTraces(client, TraceURL(t.URL))
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", t.Name, err)
+				return
+			}
+			nodes[i] = NodeTraces{Target: t.Name, Sets: sets}
+		}(i, t)
+	}
+	wg.Wait()
+	out := nodes[:0]
+	for i := range nodes {
+		if errs[i] == nil {
+			out = append(out, nodes[i])
+		}
+	}
+	return out, errors.Join(errs...)
+}
+
+// fetchTraces GETs and decodes one raw trace dump.
+func fetchTraces(client *http.Client, url string) ([]RawSet, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	var sets []RawSet
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&sets); err != nil {
+		return nil, fmt.Errorf("decode traces: %w", err)
+	}
+	return sets, nil
+}
+
+// StitchedSpan is one process-local operation placed on the shared
+// absolute time axis. Trace is a re-anchored copy: its Start/End and
+// every span Start are absolute Unix nanoseconds, not process-relative.
+type StitchedSpan struct {
+	// Target names the node the span was recorded on.
+	Target string
+	// Side names the tracer within the node ("client", "server", …).
+	Side string
+	// Depth is the span's distance from the stitched trace's root (0 for
+	// the root itself, or for an orphan whose parent span wasn't
+	// retained).
+	Depth int
+	// Trace is the operation record, re-anchored to absolute time.
+	Trace obs.Trace
+}
+
+// Stitched is one end-to-end trace assembled from the spans every
+// process recorded under the same trace id.
+type Stitched struct {
+	// ID is the shared trace id.
+	ID uint64
+	// Kind is the root (earliest) span's operation kind.
+	Kind string
+	// Start and End bound the whole trace in absolute Unix nanoseconds.
+	Start, End int64
+	// Err is the first non-empty span error, "" if every span succeeded.
+	Err string
+	// Procs counts the distinct targets that contributed spans.
+	Procs int
+	// Spans are the member operations, parents before children, ties by
+	// start time.
+	Spans []StitchedSpan
+}
+
+// Dur returns the stitched trace's end-to-end duration.
+func (s *Stitched) Dur() time.Duration { return time.Duration(s.End - s.Start) }
+
+// Stitch groups every span in the given dumps by trace id and assembles
+// the groups into end-to-end traces, worst first: errored traces ahead
+// of clean ones, slower ahead of faster. Span timestamps are re-anchored
+// from each process's monotonic timebase to absolute Unix nanoseconds,
+// so spans from different machines land on one comparable axis (subject
+// to those machines' wall-clock agreement).
+func Stitch(nodes []NodeTraces) []Stitched {
+	groups := make(map[uint64][]StitchedSpan)
+	for _, node := range nodes {
+		for _, set := range node.Sets {
+			for _, tr := range set.Traces {
+				if tr.ID == 0 {
+					continue
+				}
+				anchored := tr
+				anchored.Start += set.TimeBaseUnixNano
+				anchored.End += set.TimeBaseUnixNano
+				anchored.Spans = append([]obs.Span(nil), tr.Spans...)
+				for i := range anchored.Spans {
+					anchored.Spans[i].Start += set.TimeBaseUnixNano
+				}
+				groups[tr.ID] = append(groups[tr.ID], StitchedSpan{
+					Target: node.Target, Side: set.Side, Trace: anchored,
+				})
+			}
+		}
+	}
+	out := make([]Stitched, 0, len(groups))
+	for id, spans := range groups {
+		out = append(out, assemble(id, spans))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ei, ej := out[i].Err != "", out[j].Err != ""
+		if ei != ej {
+			return ei
+		}
+		if di, dj := out[i].Dur(), out[j].Dur(); di != dj {
+			return di > dj
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// assemble orders one trace's spans causally and derives its summary.
+func assemble(id uint64, spans []StitchedSpan) Stitched {
+	sort.Slice(spans, func(i, j int) bool {
+		if a, b := spans[i].Trace.Start, spans[j].Trace.Start; a != b {
+			return a < b
+		}
+		return spans[i].Trace.Span < spans[j].Trace.Span
+	})
+	// Depth by parent links; a missing parent (span not retained on its
+	// node, or trimmed from the ring) leaves the child at depth 0.
+	index := make(map[uint64]int, len(spans))
+	for i, sp := range spans {
+		index[sp.Trace.Span] = i
+	}
+	for i := range spans {
+		depth, at := 0, spans[i].Trace.Parent
+		for at != 0 {
+			j, ok := index[at]
+			if !ok || depth >= len(spans) {
+				break
+			}
+			depth++
+			at = spans[j].Trace.Parent
+		}
+		spans[i].Depth = depth
+	}
+	st := Stitched{ID: id, Kind: spans[0].Trace.Kind, Spans: spans}
+	st.Start, st.End = spans[0].Trace.Start, spans[0].Trace.End
+	procs := make(map[string]struct{}, len(spans))
+	for _, sp := range spans {
+		if sp.Trace.Start < st.Start {
+			st.Start = sp.Trace.Start
+		}
+		if sp.Trace.End > st.End {
+			st.End = sp.Trace.End
+		}
+		if st.Err == "" && sp.Trace.Err != "" {
+			st.Err = sp.Trace.Err
+		}
+		procs[sp.Target] = struct{}{}
+	}
+	st.Procs = len(procs)
+	return st
+}
+
+// WriteStitchedChrome emits stitched traces as Chrome trace_event JSON:
+// one process row per contributing target/side pair, so an end-to-end
+// trace renders as aligned bars across the nodes it touched. Load the
+// output in Perfetto or chrome://tracing.
+func WriteStitchedChrome(w io.Writer, traces []Stitched) error {
+	order := []string{}
+	sets := map[string]*obs.TraceSet{}
+	for _, st := range traces {
+		for _, sp := range st.Spans {
+			key := sp.Target + "/" + sp.Side
+			set, ok := sets[key]
+			if !ok {
+				set = &obs.TraceSet{Side: key}
+				sets[key] = set
+				order = append(order, key)
+			}
+			set.Traces = append(set.Traces, sp.Trace)
+		}
+	}
+	flat := make([]obs.TraceSet, len(order))
+	for i, key := range order {
+		flat[i] = *sets[key]
+	}
+	return obs.WriteChromeTrace(w, flat)
+}
+
+// FormatStitched pretty-prints up to n stitched traces (0 or negative
+// means all), one block per trace: a summary line, then each span
+// indented by causal depth with its offset from the trace start.
+func FormatStitched(traces []Stitched, n int) string {
+	if n <= 0 || n > len(traces) {
+		n = len(traces)
+	}
+	var b strings.Builder
+	for _, st := range traces[:n] {
+		fmt.Fprintf(&b, "trace %016x %s dur=%s spans=%d procs=%d",
+			st.ID, st.Kind, st.Dur().Round(time.Microsecond), len(st.Spans), st.Procs)
+		if st.Err != "" {
+			fmt.Fprintf(&b, " err=%q", st.Err)
+		}
+		b.WriteByte('\n')
+		for _, sp := range st.Spans {
+			tr := &sp.Trace
+			fmt.Fprintf(&b, "  %s+%-11s %s/%s %s dur=%s oid=%d",
+				strings.Repeat("  ", sp.Depth),
+				time.Duration(tr.Start-st.Start).Round(time.Microsecond),
+				sp.Target, sp.Side, tr.Kind,
+				tr.Dur().Round(time.Microsecond), tr.Oid)
+			if tr.Group != "" {
+				fmt.Fprintf(&b, " group=%s", tr.Group)
+			}
+			if tr.Unconfirmed {
+				b.WriteString(" unconfirmed")
+			}
+			if tr.Err != "" {
+				fmt.Fprintf(&b, " err=%q", tr.Err)
+			}
+			for _, f := range tr.Faults {
+				fmt.Fprintf(&b, "\n  %s  ! %s", strings.Repeat("  ", sp.Depth), f)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"precursor/internal/obs"
+)
+
+// traceServer serves a fixed raw trace dump at /debug/traces.
+func traceServer(t *testing.T, sets []RawSet) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/traces" || r.URL.Query().Get("raw") == "" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(sets); err != nil {
+			t.Errorf("encode: %v", err)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestTraceURL(t *testing.T) {
+	got := TraceURL("http://127.0.0.1:9090/metrics")
+	want := "http://127.0.0.1:9090/debug/traces?raw=1"
+	if got != want {
+		t.Fatalf("TraceURL = %q, want %q", got, want)
+	}
+	if got := TraceURL("://bad"); got != "://bad" {
+		t.Fatalf("unparseable URL mangled: %q", got)
+	}
+}
+
+func TestCollectAndStitch(t *testing.T) {
+	const traceID = 0xabcdef0123456789
+	// Client process: timebase 1_000_000, op [100, 500] relative.
+	cli := traceServer(t, []RawSet{{
+		Side: "client", TimeBaseUnixNano: 1_000_000,
+		Traces: []obs.Trace{{
+			ID: traceID, Span: 11, Parent: 0, Kind: "get", Oid: 7,
+			Start: 100, End: 500,
+			Spans: []obs.Span{{Stage: obs.CliTotal, Start: 100, Dur: 400}},
+		}},
+	}})
+	// Server process: timebase 900_000, child op [100_200, 100_300]
+	// relative — absolutely inside the client op.
+	srvr := traceServer(t, []RawSet{{
+		Side: "server", TimeBaseUnixNano: 900_000,
+		Traces: []obs.Trace{
+			{
+				ID: traceID, Span: 22, Parent: 11, Kind: "get", Oid: 7,
+				Start: 100_200, End: 100_300, Err: "shed",
+				Spans: []obs.Span{{Stage: obs.SrvTotal, Start: 100_200, Dur: 100}},
+			},
+			// A second, unrelated server-local trace.
+			{ID: 42, Span: 33, Kind: "put", Start: 1, End: 2},
+		},
+	}})
+
+	nodes, err := CollectTraces(nil, []Target{
+		{Name: "cli", URL: cli.URL + "/metrics"},
+		{Name: "srv", URL: srvr.URL + "/metrics"},
+	})
+	if err != nil {
+		t.Fatalf("CollectTraces: %v", err)
+	}
+	if len(nodes) != 2 {
+		t.Fatalf("got %d nodes, want 2", len(nodes))
+	}
+
+	stitched := Stitch(nodes)
+	if len(stitched) != 2 {
+		t.Fatalf("got %d stitched traces, want 2", len(stitched))
+	}
+	// Worst-first: the errored cross-node trace must rank ahead of the
+	// clean local one.
+	st := stitched[0]
+	if st.ID != traceID || st.Err != "shed" {
+		t.Fatalf("worst trace = id %x err %q, want %x / shed", st.ID, st.Err, uint64(traceID))
+	}
+	if len(st.Spans) != 2 || st.Procs != 2 {
+		t.Fatalf("spans=%d procs=%d, want 2/2", len(st.Spans), st.Procs)
+	}
+	// Causal order and depth: client root first, server child below it.
+	if st.Spans[0].Target != "cli" || st.Spans[0].Depth != 0 {
+		t.Fatalf("root span = %+v", st.Spans[0])
+	}
+	if st.Spans[1].Target != "srv" || st.Spans[1].Depth != 1 {
+		t.Fatalf("child span = %+v", st.Spans[1])
+	}
+	// Re-anchoring: client op starts at 1_000_000+100, server child at
+	// 900_000+100_200 = 1_000_200 — inside [1_000_100, 1_000_500].
+	if st.Start != 1_000_100 || st.End != 1_000_500 {
+		t.Fatalf("bounds [%d, %d], want [1000100, 1000500]", st.Start, st.End)
+	}
+	if got := st.Spans[1].Trace.Start; got != 1_000_200 {
+		t.Fatalf("child anchored start = %d, want 1000200", got)
+	}
+	if got := st.Spans[1].Trace.Spans[0].Start; got != 1_000_200 {
+		t.Fatalf("child stage span anchored start = %d, want 1000200", got)
+	}
+
+	// Pretty print names both processes and the error.
+	text := FormatStitched(stitched, 1)
+	for _, want := range []string{"abcdef0123456789", "cli/client", "srv/server", `err="shed"`, "procs=2"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("FormatStitched missing %q:\n%s", want, text)
+		}
+	}
+
+	// Chrome export: valid JSON with one process row per target/side.
+	var b strings.Builder
+	if err := WriteStitchedChrome(&b, stitched); err != nil {
+		t.Fatalf("WriteStitchedChrome: %v", err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("chrome output not JSON: %v", err)
+	}
+	rows := map[string]bool{}
+	for _, ev := range out.TraceEvents {
+		if ev.Name == "process_name" && ev.Ph == "M" {
+			rows[ev.Args["name"].(string)] = true
+		}
+	}
+	for _, want := range []string{"precursor-cli/client", "precursor-srv/server"} {
+		if !rows[want] {
+			t.Fatalf("missing process row %q in %v", want, rows)
+		}
+	}
+}
+
+func TestCollectTracesPartialFailure(t *testing.T) {
+	good := traceServer(t, []RawSet{{Side: "server"}})
+	nodes, err := CollectTraces(nil, []Target{
+		{Name: "good", URL: good.URL + "/metrics"},
+		{Name: "dead", URL: "http://127.0.0.1:1/metrics"},
+	})
+	if err == nil {
+		t.Fatal("want an error naming the dead target")
+	}
+	if !strings.Contains(err.Error(), "dead") {
+		t.Fatalf("error %q does not name the dead target", err)
+	}
+	if len(nodes) != 1 || nodes[0].Target != "good" {
+		t.Fatalf("live node not returned: %+v", nodes)
+	}
+}

@@ -23,6 +23,8 @@ package obs
 
 import (
 	"log/slog"
+	"math"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -175,6 +177,42 @@ var timeBase = time.Now()
 // an *Op) use it to stamp span starts before an Op exists.
 func Now() int64 { return int64(time.Since(timeBase)) }
 
+// TimeBaseUnixNano returns the wall-clock instant (Unix nanoseconds) the
+// monotonic timebase is anchored at, so a collector can place this
+// process's span timestamps (Now-relative) on a shared absolute axis
+// when stitching traces from several processes.
+func TimeBaseUnixNano() int64 { return timeBase.UnixNano() }
+
+// randID returns a uniformly random nonzero 64-bit identifier. Trace
+// and span ids are random (not sequential) so ids minted by different
+// processes collide only with ~2^-64 probability — the property
+// cross-node trace stitching rests on. Zero is reserved for "absent".
+func randID() uint64 {
+	for {
+		if v := rand.Uint64(); v != 0 {
+			return v
+		}
+	}
+}
+
+// SpanRef is a portable reference to an in-flight span: enough for a
+// callee (another goroutine, another process via the wire trace
+// context) to record its own work as a child of the referenced span.
+// The zero SpanRef means "no trace"; methods accepting one treat it as
+// a no-op, so untraced paths need no branches.
+type SpanRef struct {
+	// TraceID is the end-to-end trace the span belongs to.
+	TraceID uint64
+	// SpanID is the span itself — the parent of whatever adopts the ref.
+	SpanID uint64
+	// Sampled carries the origin's head-sampling decision so every node
+	// on the trace's path retains or discards it coherently.
+	Sampled bool
+}
+
+// Valid reports whether the ref actually references a trace.
+func (r SpanRef) Valid() bool { return r.TraceID != 0 }
+
 // Span is one timed stage within a trace.
 type Span struct {
 	// Stage names the pipeline segment.
@@ -205,8 +243,20 @@ const maxFaultNotes = 64
 // stage spans both for inspection (Recent, /debug/traces) and the
 // slow-op log.
 type Trace struct {
-	// ID is the tracer-unique trace identifier.
+	// ID is the trace identifier: random, nonzero, and — when the
+	// operation adopted a propagated trace context — shared with every
+	// other process that worked on the same end-to-end operation.
 	ID uint64
+	// Span is this operation's own span id within the trace, the parent
+	// of any child spans recorded downstream.
+	Span uint64
+	// Parent is the upstream span this operation is a child of (0 for a
+	// trace root).
+	Parent uint64
+	// Sampled records the head-sampling bit the retention decision used
+	// (essential traces — errors, unconfirmed writes, faults, slow-over-
+	// threshold — are retained even when it is false).
+	Sampled bool
 	// Kind is the operation kind ("put", "get", "delete", …).
 	Kind string
 	// Client is the server-assigned client id, when known.
@@ -258,6 +308,19 @@ type Config struct {
 	// rate limiting entirely). Suppressed reports are counted — see
 	// SlowSuppressed and precursor_slowop_suppressed_total.
 	SlowLogEvery time.Duration
+	// TailSample is the probability an *unremarkable* finished trace is
+	// retained in the recent ring. Essential traces — errors, unconfirmed
+	// writes, fault-annotated operations, and anything at or over
+	// SlowThreshold — are always retained (tail-based sampling): the ring
+	// keeps 100% of what an operator would grep for, and TailSample only
+	// thins the healthy background. 0 means 1.0 (retain everything, the
+	// pre-tail-sampling behavior every existing caller gets); negative
+	// retains no unremarkable traces at all. Stage histograms and
+	// exemplars always record regardless of retention. An operation that
+	// adopted a propagated trace context inherits the origin's sampling
+	// decision instead of rolling its own, so a trace is kept or dropped
+	// coherently on every node it touched.
+	TailSample float64
 }
 
 // Tracer aggregates operation traces for one side of the pipeline. All
@@ -267,11 +330,25 @@ type Tracer struct {
 	side  Side
 	hists [NumStages]*hist.Sharded
 
-	ring    []atomic.Pointer[Trace]
+	// ring is the recent-trace ring behind a pointer so SetRing can
+	// swap in a new bound without stalling concurrent publishes.
+	ring    atomic.Pointer[traceRing]
 	ringIdx atomic.Uint64
 
-	ids  atomic.Uint64
 	pool sync.Pool
+
+	// sampleCut implements TailSample: an unremarkable trace is head-
+	// sampled iff its random trace id is <= sampleCut (math.MaxUint64 =
+	// keep all, 0 = keep none). Deriving the decision from the id keeps
+	// Start allocation- and float-free.
+	sampleCut uint64
+	// retained / discarded count Finish's tail-sampling outcomes.
+	retained, discarded atomic.Uint64
+
+	// exemplars holds, per stage, the slowest span since the last
+	// TakeExemplar — the trace-id link exported next to the stage's
+	// latency quantiles on /metrics.
+	exemplars [NumStages]atomic.Pointer[exemplar]
 
 	slow   atomic.Int64
 	logger *slog.Logger
@@ -298,6 +375,17 @@ type faultNote struct {
 	desc string
 }
 
+// traceRing is one immutable-capacity recent-trace ring generation.
+type traceRing struct {
+	slots []atomic.Pointer[Trace]
+}
+
+// exemplar links a stage's latency to the trace that exhibited it.
+type exemplar struct {
+	traceID uint64
+	dur     int64
+}
+
 // New creates a Tracer.
 func New(cfg Config) *Tracer {
 	ringSize := cfg.Ring
@@ -310,8 +398,16 @@ func New(cfg Config) *Tracer {
 	}
 	t := &Tracer{
 		side:   cfg.Side,
-		ring:   make([]atomic.Pointer[Trace], ringSize),
 		logger: logger,
+	}
+	t.ring.Store(&traceRing{slots: make([]atomic.Pointer[Trace], ringSize)})
+	switch {
+	case cfg.TailSample < 0:
+		t.sampleCut = 0
+	case cfg.TailSample == 0 || cfg.TailSample >= 1:
+		t.sampleCut = math.MaxUint64
+	default:
+		t.sampleCut = uint64(cfg.TailSample * float64(math.MaxUint64))
 	}
 	t.slow.Store(int64(cfg.SlowThreshold))
 	burst := cfg.SlowLogBurst
@@ -363,7 +459,11 @@ func (t *Tracer) StartAt(worker int, kind string, startNanos int64) *Op {
 	op.worker = worker
 	op.kind = kind
 	op.start = startNanos
-	op.id = t.ids.Add(1)
+	op.id = randID()
+	op.span = randID()
+	// Head-sample off the random trace id: cheap, and every tracer with
+	// the same TailSample makes the same call for the same trace.
+	op.sampled = op.id <= t.sampleCut
 	return op
 }
 
@@ -396,8 +496,28 @@ func (t *Tracer) faultsBetween(from, to int64) []string {
 
 // push publishes a finished trace into the lock-free recent ring.
 func (t *Tracer) push(tr *Trace) {
+	r := t.ring.Load()
 	i := t.ringIdx.Add(1) - 1
-	t.ring[i%uint64(len(t.ring))].Store(tr)
+	r.slots[i%uint64(len(r.slots))].Store(tr)
+}
+
+// SetRing rebounds the recent-trace ring to n slots (values <= 0 keep
+// the current bound). The swap is lock-free; traces retained under the
+// old bound are dropped, which is acceptable for a startup-time knob.
+// Nil-tracer no-op.
+func (t *Tracer) SetRing(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.ring.Store(&traceRing{slots: make([]atomic.Pointer[Trace], n)})
+}
+
+// RingSize returns the current recent-trace ring bound. Nil-safe.
+func (t *Tracer) RingSize() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.ring.Load().slots)
 }
 
 // Recent returns the retained recent traces, oldest first.
@@ -405,17 +525,62 @@ func (t *Tracer) Recent() []Trace {
 	if t == nil {
 		return nil
 	}
-	out := make([]Trace, 0, len(t.ring))
+	r := t.ring.Load()
+	out := make([]Trace, 0, len(r.slots))
 	// Walk the ring from the oldest retained slot forward so the result
 	// is (approximately, under concurrent pushes) in finish order.
 	next := t.ringIdx.Load()
-	for k := uint64(0); k < uint64(len(t.ring)); k++ {
-		p := t.ring[(next+k)%uint64(len(t.ring))].Load()
+	for k := uint64(0); k < uint64(len(r.slots)); k++ {
+		p := r.slots[(next+k)%uint64(len(r.slots))].Load()
 		if p != nil {
 			out = append(out, *p)
 		}
 	}
 	return out
+}
+
+// Retained returns how many finished traces tail sampling published to
+// the recent ring. Nil-safe.
+func (t *Tracer) Retained() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.retained.Load()
+}
+
+// Discarded returns how many finished traces tail sampling dropped
+// (unremarkable and not head-sampled). Their spans were still recorded
+// into the stage histograms. Nil-safe.
+func (t *Tracer) Discarded() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.discarded.Load()
+}
+
+// noteExemplar keeps the slowest span per stage since the last
+// TakeExemplar. Load-compare-store (not CAS): a lost race forgets one
+// candidate, which exemplars tolerate.
+func (t *Tracer) noteExemplar(s Stage, traceID uint64, dur int64) {
+	cur := t.exemplars[s].Load()
+	if cur == nil || dur >= cur.dur {
+		t.exemplars[s].Store(&exemplar{traceID: traceID, dur: dur})
+	}
+}
+
+// TakeExemplar returns and clears the stage's exemplar: the trace id of
+// the slowest span recorded for the stage since the previous call, so
+// each /metrics scrape links the stage's quantiles to a concrete recent
+// trace. ok is false when the stage recorded nothing since. Nil-safe.
+func (t *Tracer) TakeExemplar(s Stage) (traceID uint64, dur time.Duration, ok bool) {
+	if t == nil || s >= NumStages {
+		return 0, 0, false
+	}
+	e := t.exemplars[s].Swap(nil)
+	if e == nil {
+		return 0, 0, false
+	}
+	return e.traceID, time.Duration(e.dur), true
 }
 
 // StageQuantiles is one stage's latency summary, as exported on
@@ -514,16 +679,19 @@ func (t *Tracer) logSlow(tr *Trace) {
 // An Op is owned by one goroutine at a time (ownership transfers with
 // the operation, e.g. trusted thread → sender loop on the server).
 type Op struct {
-	tr     *Tracer
-	worker int
-	id     uint64
-	kind   string
-	client uint32
-	oid    uint64
-	start  int64
-	err    string
-	group  string
-	unconf bool
+	tr      *Tracer
+	worker  int
+	id      uint64 // trace id (adopted from a SpanRef, or minted fresh)
+	span    uint64 // this operation's own span id
+	parent  uint64 // upstream span id (0 = trace root)
+	sampled bool   // head-sampling decision, local or inherited
+	kind    string
+	client  uint32
+	oid     uint64
+	start   int64
+	err     string
+	group   string
+	unconf  bool
 
 	nspans  int
 	dropped bool
@@ -566,6 +734,40 @@ func (o *Op) SetGroup(group string) {
 	if o != nil {
 		o.group = group
 	}
+}
+
+// Ref returns a portable reference to this operation's span, for
+// propagation to children — downstream goroutines, or a peer process
+// via the wire trace context. Returns the zero SpanRef on a nil Op, so
+// untraced paths propagate "no context" for free.
+func (o *Op) Ref() SpanRef {
+	if o == nil {
+		return SpanRef{}
+	}
+	return SpanRef{TraceID: o.id, SpanID: o.span, Sampled: o.sampled}
+}
+
+// AdoptRef stitches this operation into the referenced trace: the op
+// takes the ref's trace id, becomes a child of the ref's span, and
+// inherits the origin's sampling decision (so the whole distributed
+// trace is retained or thinned coherently). The op keeps its own span
+// id. No-op on a nil Op or an invalid ref.
+func (o *Op) AdoptRef(r SpanRef) {
+	if o == nil || !r.Valid() {
+		return
+	}
+	o.id = r.TraceID
+	o.parent = r.SpanID
+	o.sampled = r.Sampled
+}
+
+// TraceID returns the operation's current trace id (0 on nil). Useful
+// for tests and log correlation; the hot path never needs it.
+func (o *Op) TraceID() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.id
 }
 
 // ReplicaSpanAt records one replica's share of a replicated operation
@@ -651,11 +853,13 @@ func (o *Op) add(sp Span) {
 	o.nspans++
 }
 
-// Finish completes the operation: appends the side's total stage,
-// feeds every span into the stage histograms, publishes the trace to
-// the recent ring (with any overlapping fault annotations), emits the
-// slow-op log if over threshold, and recycles the Op. The Op must not
-// be used afterwards.
+// Finish completes the operation: appends the side's total stage and
+// feeds every span into the stage histograms and exemplar slots
+// (always), then makes the tail-sampling retention call — essential
+// traces (error, unconfirmed, fault-annotated, slow-over-threshold)
+// always publish to the recent ring, unremarkable ones only when
+// head-sampled — emits the slow-op log if over threshold, and recycles
+// the Op. The Op must not be used afterwards.
 func (o *Op) Finish() {
 	if o == nil {
 		return
@@ -666,13 +870,33 @@ func (o *Op) Finish() {
 	for i := 0; i < o.nspans; i++ {
 		sp := &o.spans[i]
 		t.hists[sp.Stage].Record(o.worker, time.Duration(sp.Dur))
+		t.noteExemplar(sp.Stage, o.id, sp.Dur)
 	}
+	th := t.slow.Load()
+	essential := o.err != "" || o.unconf || (th > 0 && end-o.start >= th)
+	var faults []string
+	if t.faultN.Load() > 0 {
+		faults = t.faultsBetween(o.start, end)
+		if len(faults) > 0 {
+			essential = true
+		}
+	}
+	if !essential && !o.sampled {
+		t.discarded.Add(1)
+		*o = Op{}
+		t.pool.Put(o)
+		return
+	}
+	t.retained.Add(1)
 	// One allocation publishes the trace: the box co-locates the Trace
 	// header with its span storage, and is immutable once pushed.
 	box := &traceBox{}
 	copy(box.spans[:], o.spans[:o.nspans])
 	box.trace = Trace{
 		ID:          o.id,
+		Span:        o.span,
+		Parent:      o.parent,
+		Sampled:     o.sampled,
 		Kind:        o.kind,
 		Client:      o.client,
 		Oid:         o.oid,
@@ -682,12 +906,10 @@ func (o *Op) Finish() {
 		Unconfirmed: o.unconf,
 		Group:       o.group,
 		Spans:       box.spans[:o.nspans],
-	}
-	if t.faultN.Load() > 0 {
-		box.trace.Faults = t.faultsBetween(o.start, end)
+		Faults:      faults,
 	}
 	t.push(&box.trace)
-	if th := t.slow.Load(); th > 0 && end-o.start >= th {
+	if th > 0 && end-o.start >= th {
 		t.logSlow(&box.trace)
 	}
 	*o = Op{}

@@ -113,6 +113,11 @@ func WriteChromeTrace(w io.Writer, sets []TraceSet) error {
 					args["replica"] = sp.Replica
 				}
 				if sp.Stage == CliTotal || sp.Stage == SrvTotal {
+					args["trace"] = fmt.Sprintf("%016x", tr.ID)
+					args["span"] = fmt.Sprintf("%016x", tr.Span)
+					if tr.Parent != 0 {
+						args["parent"] = fmt.Sprintf("%016x", tr.Parent)
+					}
 					if tr.Err != "" {
 						args["err"] = tr.Err
 					}

@@ -141,6 +141,13 @@ type BatchOp struct {
 type BatchControl struct {
 	Oid uint64
 	Ops []BatchOp
+	// Trace is the optional propagated trace context covering the whole
+	// batch (the batch is also the correlation unit: one oid, one trace).
+	// Encoded after the op list; zero TraceID = absent.
+	Trace TraceContext
+	// TraceBad is set by the decoder when post-op-list trailing bytes did
+	// not parse as a trace context — see RequestControl.TraceBad.
+	TraceBad bool
 }
 
 // AppendBatchControl appends the serialized control plaintext to dst.
@@ -171,6 +178,9 @@ func AppendBatchControl(dst []byte, c *BatchControl) ([]byte, error) {
 		dst = append(dst, op.InlineValue...)
 		dst = binary.LittleEndian.AppendUint32(dst, op.PayloadLen)
 	}
+	if c.Trace.Valid() {
+		dst = AppendTraceContext(dst, c.Trace)
+	}
 	return dst, nil
 }
 
@@ -187,6 +197,7 @@ func DecodeBatchControl(buf []byte, c *BatchControl) error {
 		return ErrBatchCount
 	}
 	c.Ops = c.Ops[:0]
+	c.Trace, c.TraceBad = TraceContext{}, false
 	rest := buf[10:]
 	for i := 0; i < count; i++ {
 		if len(rest) < 4 {
@@ -232,7 +243,14 @@ func DecodeBatchControl(buf []byte, c *BatchControl) error {
 		c.Ops = append(c.Ops, op)
 	}
 	if len(rest) != 0 {
-		return ErrControl
+		// Post-op-list bytes: an optional trace context (tracing-aware
+		// peer) or garbage from a version-skewed one. Never a hard error —
+		// only correlation, not correctness, rides here.
+		if ctx, ok := ParseTraceContext(rest); ok {
+			c.Trace = ctx
+		} else {
+			c.TraceBad = true
+		}
 	}
 	return nil
 }

@@ -49,6 +49,16 @@ type RequestControl struct {
 	// InlineValue is present when FlagInlineValue is set: the raw value,
 	// protected solely by the transport encryption.
 	InlineValue []byte
+	// Trace is the optional propagated trace context (zero TraceID =
+	// absent). It is encoded after all v1 fields so pre-tracing decoders,
+	// which ignore trailing bytes, interoperate.
+	Trace TraceContext
+	// TraceBad is set by the decoder when trailing bytes were present but
+	// did not parse as a trace context (bad length, unknown version, zero
+	// id) — a version-skewed peer. The request itself is still valid; the
+	// server surfaces the skew as a fault annotation and a counter
+	// instead of silently dropping correlation.
+	TraceBad bool
 }
 
 // Encode serializes the control plaintext.
@@ -60,6 +70,9 @@ func (c *RequestControl) Encode() ([]byte, error) {
 		return nil, ErrControl
 	}
 	n := 1 + 1 + 8 + 2 + len(c.Key) + 1 + len(c.OpKey) + 2 + len(c.InlineValue)
+	if c.Trace.Valid() {
+		n += TraceContextSize
+	}
 	out := make([]byte, 0, n)
 	out = append(out, byte(c.Op), c.Flags)
 	out = binary.LittleEndian.AppendUint64(out, c.Oid)
@@ -69,6 +82,9 @@ func (c *RequestControl) Encode() ([]byte, error) {
 	out = append(out, c.OpKey...)
 	out = binary.LittleEndian.AppendUint16(out, uint16(len(c.InlineValue)))
 	out = append(out, c.InlineValue...)
+	if c.Trace.Valid() {
+		out = AppendTraceContext(out, c.Trace)
+	}
 	return out, nil
 }
 
@@ -103,6 +119,17 @@ func DecodeRequestControl(buf []byte) (*RequestControl, error) {
 	}
 	if inlineLen > 0 {
 		c.InlineValue = rest[:inlineLen]
+	}
+	rest = rest[inlineLen:]
+	if len(rest) > 0 {
+		// Trailing bytes after the v1 fields: a trace context from a
+		// tracing-aware peer, or garbage from a version-skewed one. Either
+		// way the request stays valid — only correlation is at stake.
+		if ctx, ok := ParseTraceContext(rest); ok {
+			c.Trace = ctx
+		} else {
+			c.TraceBad = true
+		}
 	}
 	return c, nil
 }

@@ -1,0 +1,79 @@
+package wire
+
+import "encoding/binary"
+
+// Trace-context wire encoding (see PROTOCOL.md "Trace context").
+//
+// A compact Dapper-style trace context — trace id, parent span id and a
+// head-sampling bit — rides at the tail of the *sealed* request control
+// plaintext (single-op and batch). Placement inside the seal is the
+// security property: the untrusted host and any on-path adversary can
+// neither forge, strip, nor rewrite correlation, because doing so would
+// break the control AEAD. Responses do not echo the context; instead the
+// server folds the request's trace id into the response seal's
+// associated data, so a response can only authenticate against the very
+// trace that asked for it.
+//
+// The field is optional and appended after all v1 control fields, which
+// old decoders ignore (the single-op decoder always tolerated trailing
+// bytes), so old servers interoperate with new clients and vice versa.
+const (
+	// TraceContextVersion is the only trace-context encoding version this
+	// build emits or understands. Unknown versions are a decode fault
+	// (surfaced via RequestControl.TraceBad), not a hard error.
+	TraceContextVersion = 0x01
+	// TraceContextSize is the encoded size: version(1) + flags(1) +
+	// trace id(8) + parent span id(8).
+	TraceContextSize = 18
+	// traceFlagSampled marks the trace as head-sampled: every node that
+	// sees the bit retains the trace regardless of its local tail-sample
+	// probability, so cross-node traces are kept or dropped coherently.
+	traceFlagSampled = 0x01
+)
+
+// TraceContext is the propagated trace context: which end-to-end trace
+// this operation belongs to, which span on the caller is its parent, and
+// whether the origin head-sampled it for retention. A zero TraceID means
+// "no context" — trace ids are drawn uniformly from the nonzero 64-bit
+// space, so zero is reserved as the absent value.
+type TraceContext struct {
+	// TraceID identifies the end-to-end trace (0 = no context).
+	TraceID uint64
+	// ParentSpan is the caller-side span id this operation is a child of.
+	ParentSpan uint64
+	// Sampled carries the origin's head-sampling decision.
+	Sampled bool
+}
+
+// Valid reports whether the context actually carries a trace.
+func (t TraceContext) Valid() bool { return t.TraceID != 0 }
+
+// AppendTraceContext appends the TraceContextSize-byte encoding of t.
+func AppendTraceContext(dst []byte, t TraceContext) []byte {
+	var flags byte
+	if t.Sampled {
+		flags |= traceFlagSampled
+	}
+	dst = append(dst, TraceContextVersion, flags)
+	dst = binary.LittleEndian.AppendUint64(dst, t.TraceID)
+	return binary.LittleEndian.AppendUint64(dst, t.ParentSpan)
+}
+
+// ParseTraceContext parses an encoded trace context. ok is false for a
+// bad length, an unknown version byte, or a zero trace id — the caller
+// decides whether that is "no context" (empty buf) or a decode fault
+// worth counting (non-empty garbage from a version-skewed peer).
+func ParseTraceContext(buf []byte) (t TraceContext, ok bool) {
+	if len(buf) != TraceContextSize || buf[0] != TraceContextVersion {
+		return TraceContext{}, false
+	}
+	t = TraceContext{
+		Sampled:    buf[1]&traceFlagSampled != 0,
+		TraceID:    binary.LittleEndian.Uint64(buf[2:10]),
+		ParentSpan: binary.LittleEndian.Uint64(buf[10:18]),
+	}
+	if t.TraceID == 0 {
+		return TraceContext{}, false
+	}
+	return t, true
+}

@@ -1,0 +1,132 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	in := TraceContext{TraceID: 0xdeadbeefcafef00d, ParentSpan: 0x0123456789abcdef, Sampled: true}
+	enc := AppendTraceContext(nil, in)
+	if len(enc) != TraceContextSize {
+		t.Fatalf("encoded %d bytes, want %d", len(enc), TraceContextSize)
+	}
+	out, ok := ParseTraceContext(enc)
+	if !ok || out != in {
+		t.Fatalf("round trip = %+v ok=%v, want %+v", out, ok, in)
+	}
+
+	in.Sampled = false
+	out, ok = ParseTraceContext(AppendTraceContext(nil, in))
+	if !ok || out != in {
+		t.Fatalf("unsampled round trip = %+v ok=%v, want %+v", out, ok, in)
+	}
+}
+
+func TestTraceContextParseRejects(t *testing.T) {
+	good := AppendTraceContext(nil, TraceContext{TraceID: 1, ParentSpan: 2, Sampled: true})
+	cases := map[string][]byte{
+		"truncated":       good[:TraceContextSize-1],
+		"oversized":       append(append([]byte{}, good...), 0),
+		"unknown version": append([]byte{0x7f}, good[1:]...),
+		"zero trace id":   AppendTraceContext(nil, TraceContext{ParentSpan: 2}),
+		"empty":           nil,
+	}
+	for name, buf := range cases {
+		if ctx, ok := ParseTraceContext(buf); ok || ctx.Valid() {
+			t.Errorf("%s: parsed %+v, want rejection", name, ctx)
+		}
+	}
+}
+
+func TestRequestControlCarriesTraceContext(t *testing.T) {
+	ctl := RequestControl{
+		Op: OpPut, Oid: 7, Key: []byte("k"),
+		OpKey: bytes.Repeat([]byte{3}, OpKeySize),
+		Trace: TraceContext{TraceID: 11, ParentSpan: 22, Sampled: true},
+	}
+	enc, err := ctl.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeRequestControl(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Trace != ctl.Trace || dec.TraceBad {
+		t.Fatalf("decoded trace %+v bad=%v, want %+v", dec.Trace, dec.TraceBad, ctl.Trace)
+	}
+
+	// Absent context stays absent: no trailing bytes, no TraceBad.
+	ctl.Trace = TraceContext{}
+	enc, err = ctl.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err = DecodeRequestControl(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Trace.Valid() || dec.TraceBad {
+		t.Fatalf("absent context decoded as %+v bad=%v", dec.Trace, dec.TraceBad)
+	}
+}
+
+func TestRequestControlTraceBadOnGarbage(t *testing.T) {
+	ctl := RequestControl{Op: OpGet, Oid: 9, Key: []byte("k")}
+	enc, err := ctl.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A version-skewed peer appended something that is not a v1 trace
+	// context. The request must still decode — only correlation is lost.
+	enc = append(enc, 0xee, 0xff)
+	dec, err := DecodeRequestControl(enc)
+	if err != nil {
+		t.Fatalf("garbage trailer rejected the request: %v", err)
+	}
+	if !dec.TraceBad || dec.Trace.Valid() {
+		t.Fatalf("trace=%+v bad=%v, want TraceBad with no context", dec.Trace, dec.TraceBad)
+	}
+	if dec.Op != OpGet || dec.Oid != 9 || string(dec.Key) != "k" {
+		t.Fatalf("v1 fields corrupted: %+v", dec)
+	}
+}
+
+func TestBatchControlCarriesTraceContext(t *testing.T) {
+	ctl := BatchControl{
+		Oid: 5,
+		Ops: []BatchOp{{Op: OpGet, Key: []byte("a")}},
+		Trace: TraceContext{
+			TraceID: 0xffffffffffffffff, ParentSpan: 1, Sampled: false,
+		},
+	}
+	enc, err := AppendBatchControl(nil, &ctl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec BatchControl
+	// Dirty scratch: decoding must reset Trace/TraceBad before parsing.
+	dec.Trace = TraceContext{TraceID: 123}
+	dec.TraceBad = true
+	if err := DecodeBatchControl(enc, &dec); err != nil {
+		t.Fatal(err)
+	}
+	if dec.Trace != ctl.Trace || dec.TraceBad {
+		t.Fatalf("decoded trace %+v bad=%v, want %+v", dec.Trace, dec.TraceBad, ctl.Trace)
+	}
+
+	// Garbage trailer: batch decodes, TraceBad set.
+	ctl.Trace = TraceContext{}
+	enc, err = AppendBatchControl(nil, &ctl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc = append(enc, 0x00)
+	if err := DecodeBatchControl(enc, &dec); err != nil {
+		t.Fatalf("garbage trailer rejected the batch: %v", err)
+	}
+	if !dec.TraceBad || dec.Trace.Valid() {
+		t.Fatalf("trace=%+v bad=%v, want TraceBad with no context", dec.Trace, dec.TraceBad)
+	}
+}

@@ -339,10 +339,41 @@ func (m *MetricsServer) handleHeat(w http.ResponseWriter, r *http.Request) {
 	_ = enc.Encode(out)
 }
 
+// RawTraceSet is one attached tracer's slice of the /debug/traces?raw=1
+// payload: the retained traces plus the wall-clock anchor of the
+// tracer's monotonic timebase, which is what lets a fleet collector
+// (internal/fleet, `precursor-cli trace`) place spans from different
+// processes on one shared time axis and stitch them by trace id.
+type RawTraceSet struct {
+	// Side names the vantage point (the WithTracer label).
+	Side string `json:"side"`
+	// TimeBaseUnixNano anchors the set's span timestamps: span Start
+	// values are nanoseconds since this wall-clock instant.
+	TimeBaseUnixNano int64 `json:"timebase_unix_nano"`
+	// Traces are the tracer's retained recent traces, oldest first.
+	Traces []obs.Trace `json:"traces"`
+}
+
 // handleTraces emits recent traces from every attached tracer as Chrome
-// trace_event JSON: one process per tracer, one thread per trace.
+// trace_event JSON: one process per tracer, one thread per trace. With
+// ?raw=1 it instead emits the machine-readable RawTraceSet JSON that
+// cross-node collectors stitch — raw span records with a wall-clock
+// timebase anchor per tracer.
 func (m *MetricsServer) handleTraces(w http.ResponseWriter, r *http.Request) {
 	_, tracers := m.snapshotRefs()
+	if r.URL.Query().Get("raw") != "" {
+		out := make([]RawTraceSet, 0, len(tracers))
+		for _, e := range tracers {
+			out = append(out, RawTraceSet{
+				Side:             e.side,
+				TimeBaseUnixNano: obs.TimeBaseUnixNano(),
+				Traces:           e.t.Recent(),
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(out)
+		return
+	}
 	sets := make([]obs.TraceSet, 0, len(tracers))
 	for _, e := range tracers {
 		sets = append(sets, obs.TraceSet{Side: e.side, Traces: e.t.Recent()})
@@ -398,6 +429,7 @@ func (m *MetricsServer) writeServerMetrics(b *strings.Builder) {
 	counter("precursor_replays_total", "Rejected replayed requests", st.Replays)
 	counter("precursor_auth_failures_total", "Control data that failed authentication", st.AuthFailures)
 	counter("precursor_bad_requests_total", "Malformed requests", st.BadRequests)
+	counter("precursor_trace_context_errors_total", "Sealed controls whose trailing bytes did not decode as a trace context (version-skewed peer; the request was still served)", st.TraceCtxErrors)
 	counter("precursor_enclave_crypto_bytes_total", "Bytes en/decrypted inside the enclave (control data only)", st.EnclaveCryptoBytes)
 	counter("precursor_enclave_ecalls_total", "Enclave entries", st.Enclave.Ecalls)
 	counter("precursor_enclave_ocalls_total", "Enclave exits", st.Enclave.Ocalls)
@@ -510,7 +542,17 @@ func writeStageMetrics(b *strings.Builder, tracers []tracerEntry) {
 			labels := fmt.Sprintf("side=%q,stage=%q", e.side, sq.Stage)
 			fmt.Fprintf(b, "%s{%s,quantile=\"0.5\"} %s\n", name, labels, seconds(q.P50))
 			fmt.Fprintf(b, "%s{%s,quantile=\"0.95\"} %s\n", name, labels, seconds(q.P95))
-			fmt.Fprintf(b, "%s{%s,quantile=\"0.99\"} %s\n", name, labels, seconds(q.P99))
+			// The p99 line carries an OpenMetrics-style exemplar when the
+			// stage recorded anything since the last scrape: the trace id
+			// of the stage's slowest recent span, linking the quantile to
+			// one concrete trace in /debug/traces. Parsers that don't know
+			// exemplars take the first value field and ignore the suffix.
+			if id, dur, ok := e.t.TakeExemplar(sq.Stage); ok {
+				fmt.Fprintf(b, "%s{%s,quantile=\"0.99\"} %s # {trace_id=\"%016x\"} %s\n",
+					name, labels, seconds(q.P99), id, seconds(dur))
+			} else {
+				fmt.Fprintf(b, "%s{%s,quantile=\"0.99\"} %s\n", name, labels, seconds(q.P99))
+			}
 			fmt.Fprintf(b, "%s{%s,quantile=\"0.999\"} %s\n", name, labels, seconds(q.P999))
 			fmt.Fprintf(b, "%s_sum{%s} %s\n", name, labels, seconds(q.Sum))
 			fmt.Fprintf(b, "%s_count{%s} %d\n", name, labels, q.Count)
@@ -521,6 +563,16 @@ func writeStageMetrics(b *strings.Builder, tracers []tracerEntry) {
 		fmt.Fprintf(b, "# HELP %s Slow-op log lines dropped by the tracer's log rate limiter\n# TYPE %s counter\n", supp, supp)
 		for _, e := range tracers {
 			fmt.Fprintf(b, "%s{side=%q} %d\n", supp, e.side, e.t.SlowSuppressed())
+		}
+		const ret = "precursor_traces_retained_total"
+		fmt.Fprintf(b, "# HELP %s Finished traces retained in the recent-trace ring (essential or head-sampled)\n# TYPE %s counter\n", ret, ret)
+		for _, e := range tracers {
+			fmt.Fprintf(b, "%s{side=%q} %d\n", ret, e.side, e.t.Retained())
+		}
+		const disc = "precursor_traces_discarded_total"
+		fmt.Fprintf(b, "# HELP %s Finished traces dropped by tail sampling (unremarkable and not head-sampled; their spans still count in the latency histograms)\n# TYPE %s counter\n", disc, disc)
+		for _, e := range tracers {
+			fmt.Fprintf(b, "%s{side=%q} %d\n", disc, e.side, e.t.Discarded())
 		}
 	}
 }

@@ -580,7 +580,7 @@ func TestDebugTraces(t *testing.T) {
 			Name string         `json:"name"`
 			Ph   string         `json:"ph"`
 			Pid  int            `json:"pid"`
-			Tid  int            `json:"tid"`
+			Tid  uint64         `json:"tid"`
 			Dur  float64        `json:"dur"`
 			Args map[string]any `json:"args"`
 		} `json:"traceEvents"`
@@ -589,7 +589,7 @@ func TestDebugTraces(t *testing.T) {
 		t.Fatalf("traces is not valid Chrome trace JSON: %v\n%s", err, body)
 	}
 	stages := map[string]bool{}
-	byTid := map[int]map[string]bool{}
+	byTid := map[uint64]map[string]bool{}
 	for _, ev := range payload.TraceEvents {
 		if ev.Ph != "X" || !strings.HasPrefix(ev.Name, "srv_") {
 			continue

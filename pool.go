@@ -353,6 +353,51 @@ func (p *Pool) Delete(key string) error {
 	})
 }
 
+// PutTraced is Put continuing a caller-supplied trace: whichever
+// connection the op borrows adopts ref's trace and carries it to the
+// server inside the sealed control data (see Client.PutTraced). Shed
+// retries reuse the same ref, so every attempt lands in one trace.
+func (p *Pool) PutTraced(ref SpanRef, key string, value []byte) error {
+	return p.withShedRetry(func() error {
+		c, err := p.acquire()
+		if err != nil {
+			return err
+		}
+		err = c.PutTraced(ref, key, value)
+		p.finish(c, err)
+		return err
+	})
+}
+
+// GetTraced is Get continuing a caller-supplied trace (see PutTraced).
+func (p *Pool) GetTraced(ref SpanRef, key string) ([]byte, error) {
+	var v []byte
+	err := p.withShedRetry(func() error {
+		c, err := p.acquire()
+		if err != nil {
+			return err
+		}
+		v, err = c.GetTraced(ref, key)
+		p.finish(c, err)
+		return err
+	})
+	return v, err
+}
+
+// DeleteTraced is Delete continuing a caller-supplied trace (see
+// PutTraced).
+func (p *Pool) DeleteTraced(ref SpanRef, key string) error {
+	return p.withShedRetry(func() error {
+		c, err := p.acquire()
+		if err != nil {
+			return err
+		}
+		err = c.DeleteTraced(ref, key)
+		p.finish(c, err)
+		return err
+	})
+}
+
 // Batch executes ops as one multi-op frame — one seal, one ring
 // doorbell — over a single borrowed connection, returning per-op
 // results in request order. The error is batch-level; per-op outcomes
@@ -391,6 +436,27 @@ func (p *Pool) BatchDeadline(ops []BatchOp, deadline time.Time) ([]BatchResult, 
 			return err
 		}
 		results, err = c.BatchDeadline(ops, deadline)
+		p.finish(c, err)
+		return err
+	})
+	return results, err
+}
+
+// BatchDeadlineTraced is BatchDeadline continuing a caller-supplied
+// trace (zero deadline = none): the whole frame — and the server-side
+// batch span applying it — stitches under ref's trace. See
+// Client.BatchDeadlineTraced.
+func (p *Pool) BatchDeadlineTraced(ref SpanRef, ops []BatchOp, deadline time.Time) ([]BatchResult, error) {
+	var results []BatchResult
+	err := p.withShedRetry(func() error {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return ErrTimeout
+		}
+		c, err := p.acquire()
+		if err != nil {
+			return err
+		}
+		results, err = c.BatchDeadlineTraced(ref, ops, deadline)
 		p.finish(c, err)
 		return err
 	})

@@ -138,6 +138,11 @@ type (
 	StageQuantiles = obs.StageQuantiles
 	// Trace is one completed operation's recorded spans.
 	Trace = obs.Trace
+	// SpanRef is a portable reference into a live trace (trace id,
+	// parent span id, sampling decision) that the *Traced operation
+	// variants carry across process hops — see OBSERVABILITY.md
+	// "End-to-end trace correlation".
+	SpanRef = obs.SpanRef
 )
 
 // Re-exported security-audit types. An AuditLog is a hash-chained,

@@ -1,6 +1,7 @@
 package precursor_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"sort"
@@ -61,6 +62,25 @@ func TestTracerOverheadGate(t *testing.T) {
 		over, b, tr = measureOverhead(t, untraced, traced, value)
 	}
 	t.Logf("untraced median %v, traced median %v, overhead %+.2f%%", b, tr, over*100)
+	if path := os.Getenv("PRECURSOR_TRACE_JSON"); path != "" {
+		// CI datapoint (BENCH_trace.json): the measured cost of full
+		// tracing — context propagation, extended reply AD, span
+		// recording — against the untraced baseline.
+		point := struct {
+			Bench            string  `json:"bench"`
+			UntracedMedianNs int64   `json:"untraced_median_ns"`
+			TracedMedianNs   int64   `json:"traced_median_ns"`
+			Overhead         float64 `json:"overhead_frac"`
+			MaxOverhead      float64 `json:"max_overhead_frac"`
+		}{"trace_overhead", b.Nanoseconds(), tr.Nanoseconds(), over, maxOver}
+		data, err := json.MarshalIndent(point, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatalf("write %s: %v", path, err)
+		}
+	}
 	if over > maxOver {
 		t.Fatalf("tracing overhead %+.2f%% exceeds the %.0f%% budget (untraced %v, traced %v)",
 			over*100, maxOver*100, b, tr)
